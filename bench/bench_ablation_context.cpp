@@ -1,0 +1,86 @@
+// Ablation: per-call-site contexts (the paper's "separate set of x_i
+// variables for this instance of the call", enabling eq-18-style facts)
+// vs the base formulation with one variable space per function (eq 12).
+//
+// Context expansion multiplies variables — fullsearch's 16x16 search
+// expands dist1 into 256 instances — so this bench reports the variable
+// counts, analysis time, and whether the bound changes (it must not,
+// unless context-qualified constraints are in play).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "cinderella/codegen/codegen.hpp"
+#include "cinderella/ipet/analyzer.hpp"
+#include "cinderella/suite/suite.hpp"
+#include "cinderella/support/text.hpp"
+
+namespace {
+
+using namespace cinderella;
+
+ipet::Estimate analyze(const suite::Benchmark& bench, bool sensitive,
+                       std::size_t* numContexts) {
+  const codegen::CompileResult compiled = codegen::compileSource(bench.source);
+  ipet::AnalyzerOptions options;
+  options.contextSensitive = sensitive;
+  ipet::Analyzer analyzer(compiled, bench.rootFunction, options);
+  for (const auto& c : bench.constraints) {
+    analyzer.addConstraint(c.text, c.scope);
+  }
+  *numContexts = analyzer.contexts().size();
+  return analyzer.estimate();
+}
+
+void printTable() {
+  std::printf("ABLATION: per-call-site contexts vs per-function variables\n");
+  std::printf("%-18s %10s %10s %14s %14s %6s\n", "Function", "ctx(sens)",
+              "ctx(base)", "WCET(sens)", "WCET(base)", "equal");
+  for (const auto& bench : suite::allBenchmarks()) {
+    std::size_t sensCtx = 0;
+    std::size_t baseCtx = 0;
+    const auto sens = analyze(bench, true, &sensCtx);
+    const auto base = analyze(bench, false, &baseCtx);
+    std::printf("%-18s %10zu %10zu %14s %14s %6s\n", bench.name.c_str(),
+                sensCtx, baseCtx, withThousands(sens.bound.hi).c_str(),
+                withThousands(base.bound.hi).c_str(),
+                sens.bound.hi == base.bound.hi ? "yes" : "no");
+  }
+  std::printf("\n(The bounds coincide because the Table-I constraints do "
+              "not use context\n qualification; the sensitive mode exists "
+              "for eq-18-style caller facts.)\n\n");
+}
+
+void BM_Context(benchmark::State& state, const suite::Benchmark* bench,
+                bool sensitive) {
+  const codegen::CompileResult compiled =
+      codegen::compileSource(bench->source);
+  ipet::AnalyzerOptions options;
+  options.contextSensitive = sensitive;
+  for (auto _ : state) {
+    ipet::Analyzer analyzer(compiled, bench->rootFunction, options);
+    for (const auto& c : bench->constraints) {
+      analyzer.addConstraint(c.text, c.scope);
+    }
+    benchmark::DoNotOptimize(analyzer.estimate().bound.hi);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printTable();
+  for (const char* name : {"fullsearch", "circle", "whetstone", "dhry"}) {
+    const auto& bench = suite::benchmarkByName(name);
+    benchmark::RegisterBenchmark((std::string("sensitive/") + name).c_str(),
+                                 BM_Context, &bench, true)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark((std::string("base/") + name).c_str(),
+                                 BM_Context, &bench, false)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

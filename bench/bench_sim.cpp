@@ -1,0 +1,44 @@
+// Simulator throughput benchmark: simulated instructions per second over
+// the Table-I workloads.  Not a paper table, but the substrate number a
+// user needs to size experiments (the paper's board ran at 20 MHz; the
+// simulator should be comfortably faster than real time).
+#include <benchmark/benchmark.h>
+
+#include "cinderella/codegen/codegen.hpp"
+#include "cinderella/sim/simulator.hpp"
+#include "cinderella/suite/suite.hpp"
+
+namespace {
+
+using namespace cinderella;
+
+void BM_Simulate(benchmark::State& state, const suite::Benchmark* bench) {
+  const codegen::CompileResult compiled =
+      codegen::compileSource(bench->source);
+  sim::Simulator simulator(compiled.module);
+  const int fn = *compiled.module.findFunction(bench->rootFunction);
+  sim::SimOptions options;
+  options.patches = bench->worstData;
+  std::int64_t instructions = 0;
+  for (auto _ : state) {
+    const sim::SimResult r = simulator.run(fn, {}, options);
+    instructions += r.instructions;
+    benchmark::DoNotOptimize(r.cycles);
+  }
+  state.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const auto& bench : suite::allBenchmarks()) {
+    benchmark::RegisterBenchmark(("sim/" + bench.name).c_str(), BM_Simulate,
+                                 &bench)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

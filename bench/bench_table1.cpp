@@ -1,0 +1,54 @@
+// Reproduces Table I of the paper: the benchmark set with source-line
+// counts and the number of constraint sets passed to the ILP solver
+// (total after DNF expansion, and how many survive null-set pruning).
+//
+// Also registers a google-benchmark timer per program measuring the full
+// analysis (constraint construction + all ILP solves), the quantity the
+// paper reports as "less than 2 seconds on an SGI Indigo".
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "cinderella/suite/harness.hpp"
+#include "cinderella/suite/suite.hpp"
+#include "cinderella/support/text.hpp"
+
+namespace {
+
+using namespace cinderella;
+
+void printTable() {
+  std::printf("TABLE I: SET OF BENCHMARK EXAMPLES\n");
+  std::printf("%-18s %-45s %6s %6s %8s\n", "Function", "Description", "Lines",
+              "Sets", "NonNull");
+  for (const auto& bench : suite::allBenchmarks()) {
+    const suite::BenchmarkEvaluation eval = suite::evaluate(bench);
+    std::printf("%-18s %-45s %6d %6d %8d\n", bench.name.c_str(),
+                bench.description.c_str(), eval.sourceLines,
+                eval.stats.constraintSets,
+                eval.stats.constraintSets - eval.stats.prunedNullSets);
+  }
+  std::printf("\n");
+}
+
+void BM_Analysis(benchmark::State& state, const suite::Benchmark* bench) {
+  for (auto _ : state) {
+    const suite::BenchmarkEvaluation eval = suite::evaluate(*bench);
+    benchmark::DoNotOptimize(eval.estimated.hi);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printTable();
+  for (const auto& bench : suite::allBenchmarks()) {
+    benchmark::RegisterBenchmark(("analysis/" + bench.name).c_str(),
+                                 BM_Analysis, &bench)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,57 @@
+#include "cinderella/cfg/callgraph.hpp"
+
+#include <algorithm>
+
+#include "cinderella/support/error.hpp"
+
+namespace cinderella::cfg {
+
+CallGraph::CallGraph(const vm::Module& module) {
+  callees_.resize(static_cast<std::size_t>(module.numFunctions()));
+  for (int f = 0; f < module.numFunctions(); ++f) {
+    std::vector<int>& out = callees_[static_cast<std::size_t>(f)];
+    for (const auto& in : module.function(f).code) {
+      if (in.op == vm::Opcode::Call) out.push_back(static_cast<int>(in.imm));
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
+
+  // Cycle detection over the whole graph.
+  enum : char { White, Grey, Black };
+  std::vector<char> color(callees_.size(), White);
+  auto dfs = [&](auto&& self, int f) -> bool {
+    color[static_cast<std::size_t>(f)] = Grey;
+    for (const int c : callees_[static_cast<std::size_t>(f)]) {
+      if (color[static_cast<std::size_t>(c)] == Grey) return true;
+      if (color[static_cast<std::size_t>(c)] == White && self(self, c)) {
+        return true;
+      }
+    }
+    color[static_cast<std::size_t>(f)] = Black;
+    return false;
+  };
+  for (std::size_t f = 0; f < callees_.size(); ++f) {
+    if (color[f] == White && dfs(dfs, static_cast<int>(f))) {
+      hasCycle_ = true;
+      break;
+    }
+  }
+}
+
+std::vector<int> CallGraph::bottomUpOrder(int root) const {
+  CIN_REQUIRE(!hasCycle_);
+  std::vector<int> order;
+  std::vector<char> visited(callees_.size(), 0);
+  auto dfs = [&](auto&& self, int f) -> void {
+    visited[static_cast<std::size_t>(f)] = 1;
+    for (const int c : callees_[static_cast<std::size_t>(f)]) {
+      if (!visited[static_cast<std::size_t>(c)]) self(self, c);
+    }
+    order.push_back(f);
+  };
+  dfs(dfs, root);
+  return order;
+}
+
+}  // namespace cinderella::cfg

@@ -1,0 +1,98 @@
+#include "cinderella/cfg/dominators.hpp"
+
+#include <algorithm>
+
+#include "cinderella/support/error.hpp"
+
+namespace cinderella::cfg {
+
+namespace {
+
+/// Reverse-postorder numbering of blocks reachable from the entry.
+std::vector<int> reversePostorder(const ControlFlowGraph& cfg) {
+  std::vector<int> order;
+  std::vector<char> visited(static_cast<std::size_t>(cfg.numBlocks()), 0);
+  // Iterative DFS with an explicit stack carrying a child cursor.
+  std::vector<std::pair<int, std::size_t>> stack;
+  stack.emplace_back(0, 0);
+  visited[0] = 1;
+  std::vector<std::vector<int>> succ(static_cast<std::size_t>(cfg.numBlocks()));
+  for (int b = 0; b < cfg.numBlocks(); ++b) {
+    succ[static_cast<std::size_t>(b)] = cfg.successors(b);
+  }
+  while (!stack.empty()) {
+    auto& [block, cursor] = stack.back();
+    const auto& kids = succ[static_cast<std::size_t>(block)];
+    if (cursor < kids.size()) {
+      const int child = kids[cursor++];
+      if (!visited[static_cast<std::size_t>(child)]) {
+        visited[static_cast<std::size_t>(child)] = 1;
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(block);
+      stack.pop_back();
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace
+
+DominatorTree::DominatorTree(const ControlFlowGraph& cfg) {
+  const int n = cfg.numBlocks();
+  idom_.assign(static_cast<std::size_t>(n), -1);
+  const std::vector<int> rpo = reversePostorder(cfg);
+  std::vector<int> rpoIndex(static_cast<std::size_t>(n), -1);
+  for (std::size_t i = 0; i < rpo.size(); ++i) {
+    rpoIndex[static_cast<std::size_t>(rpo[i])] = static_cast<int>(i);
+  }
+
+  auto intersect = [&](int a, int b) {
+    while (a != b) {
+      while (rpoIndex[static_cast<std::size_t>(a)] >
+             rpoIndex[static_cast<std::size_t>(b)]) {
+        a = idom_[static_cast<std::size_t>(a)];
+      }
+      while (rpoIndex[static_cast<std::size_t>(b)] >
+             rpoIndex[static_cast<std::size_t>(a)]) {
+        b = idom_[static_cast<std::size_t>(b)];
+      }
+    }
+    return a;
+  };
+
+  idom_[0] = 0;  // sentinel: entry dominated by itself during iteration
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const int b : rpo) {
+      if (b == 0) continue;
+      int newIdom = -1;
+      for (const int p : cfg.predecessors(b)) {
+        if (rpoIndex[static_cast<std::size_t>(p)] < 0) continue;  // unreachable
+        if (idom_[static_cast<std::size_t>(p)] < 0) continue;     // unprocessed
+        newIdom = (newIdom < 0) ? p : intersect(p, newIdom);
+      }
+      if (newIdom >= 0 && idom_[static_cast<std::size_t>(b)] != newIdom) {
+        idom_[static_cast<std::size_t>(b)] = newIdom;
+        changed = true;
+      }
+    }
+  }
+  idom_[0] = -1;  // restore convention: entry has no idom
+}
+
+bool DominatorTree::dominates(int a, int b) const {
+  if (!reachable(b)) return false;
+  int cur = b;
+  while (true) {
+    if (cur == a) return true;
+    const int next = idom_[static_cast<std::size_t>(cur)];
+    if (next < 0 || next == cur) return false;
+    cur = next;
+  }
+}
+
+}  // namespace cinderella::cfg

@@ -1,0 +1,70 @@
+#include "cinderella/cfg/dot.hpp"
+
+#include <sstream>
+
+namespace cinderella::cfg {
+
+namespace {
+
+void emitBody(std::ostringstream& out, const vm::Module& module,
+              const ControlFlowGraph& cfg, const std::string& prefix) {
+  const vm::Function& fn = module.function(cfg.functionIndex());
+  out << "  " << prefix << "entry [shape=point];\n";
+  out << "  " << prefix << "exit [shape=point];\n";
+  for (const auto& b : cfg.blocks()) {
+    out << "  " << prefix << "B" << b.id << " [shape=box, label=\"x" << b.id;
+    if (b.firstLine > 0) {
+      out << "\\nlines " << b.firstLine << ".." << b.lastLine;
+    }
+    out << "\\ninstr " << b.firstInstr << ".." << b.lastInstr << "\"];\n";
+  }
+  for (const auto& e : cfg.edges()) {
+    out << "  "
+        << (e.isEntry() ? prefix + "entry"
+                        : prefix + "B" + std::to_string(e.from))
+        << " -> "
+        << (e.isExit() ? prefix + "exit"
+                       : prefix + "B" + std::to_string(e.to))
+        << " [label=\"d" << e.id << "\"";
+    if (e.isCall()) {
+      out << ", style=dashed, color=blue, label=\"f via "
+          << module.function(e.callee).name << "\"";
+    }
+    out << "];\n";
+  }
+  out << "  " << prefix << "label_node [shape=plaintext, label=\"" << fn.name
+      << "\"];\n";
+}
+
+}  // namespace
+
+std::string toDot(const vm::Module& module, const ControlFlowGraph& cfg) {
+  std::ostringstream out;
+  out << "digraph cfg {\n";
+  emitBody(out, module, cfg, "");
+  out << "}\n";
+  return out.str();
+}
+
+std::string moduleToDot(const vm::Module& module) {
+  std::ostringstream out;
+  out << "digraph module {\n";
+  for (int f = 0; f < module.numFunctions(); ++f) {
+    const ControlFlowGraph cfg = buildCfg(module, f);
+    const std::string prefix = "f" + std::to_string(f) + "_";
+    out << " subgraph cluster_" << f << " {\n";
+    out << "  label=\"" << module.function(f).name << "\";\n";
+    emitBody(out, module, cfg, prefix);
+    out << " }\n";
+    // Inter-cluster call edges.
+    for (const auto& e : cfg.edges()) {
+      if (!e.isCall()) continue;
+      out << " " << prefix << "B" << e.from << " -> f" << e.callee
+          << "_B0 [style=dotted, color=red];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace cinderella::cfg

@@ -1,0 +1,33 @@
+// Module-level call graph: which functions call which, reachability from
+// a root, and topological ordering (recursion is rejected upstream, so
+// the graph is a DAG for analysable programs).
+#pragma once
+
+#include <vector>
+
+#include "cinderella/vm/module.hpp"
+
+namespace cinderella::cfg {
+
+class CallGraph {
+ public:
+  explicit CallGraph(const vm::Module& module);
+
+  /// Distinct callee indices of `function`.
+  [[nodiscard]] const std::vector<int>& callees(int function) const {
+    return callees_[static_cast<std::size_t>(function)];
+  }
+
+  /// True when the call graph contains a cycle (recursion).
+  [[nodiscard]] bool hasCycle() const { return hasCycle_; }
+
+  /// Functions reachable from `root` (root included), in a bottom-up
+  /// (callees-first) topological order.  Requires !hasCycle().
+  [[nodiscard]] std::vector<int> bottomUpOrder(int root) const;
+
+ private:
+  std::vector<std::vector<int>> callees_;
+  bool hasCycle_ = false;
+};
+
+}  // namespace cinderella::cfg

@@ -1,0 +1,107 @@
+// Control-flow graphs over VISA functions.
+//
+// Terminology follows the paper: basic blocks carry `x` variables, flow
+// edges carry `d` variables, call edges carry `f` variables.  A call
+// instruction terminates its block; the edge from the call block to the
+// continuation block is a *call edge* (the paper's f-edge) tagged with
+// the callee, because control flows to the continuation only by passing
+// through the callee.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cinderella/vm/module.hpp"
+
+namespace cinderella::cfg {
+
+/// Pseudo block id used as the source of the entry edge and the target
+/// of exit edges.
+inline constexpr int kBoundary = -1;
+
+struct BasicBlock {
+  int id = 0;
+  int firstInstr = 0;
+  int lastInstr = 0;  // inclusive
+  std::vector<int> succEdges;  // edge ids leaving this block
+  std::vector<int> predEdges;  // edge ids entering this block
+  /// Callee function index when the block ends in Call, else -1.
+  int callee = -1;
+  /// True when the block ends in Ret (or falls off the function end).
+  bool isExit = false;
+  /// Source line span covered by the block's instructions (0 = unknown).
+  int firstLine = 0;
+  int lastLine = 0;
+
+  [[nodiscard]] int numInstrs() const { return lastInstr - firstInstr + 1; }
+};
+
+struct Edge {
+  int id = 0;
+  int from = kBoundary;  // block id or kBoundary for the entry edge
+  int to = kBoundary;    // block id or kBoundary for exit edges
+  /// Callee function index for call edges (the paper's f-edges), else -1.
+  int callee = -1;
+
+  [[nodiscard]] bool isCall() const { return callee >= 0; }
+  [[nodiscard]] bool isEntry() const { return from == kBoundary; }
+  [[nodiscard]] bool isExit() const { return to == kBoundary; }
+};
+
+/// CFG of a single function.  Block 0 is always the entry block.
+class ControlFlowGraph {
+ public:
+  ControlFlowGraph() = default;
+
+  [[nodiscard]] int functionIndex() const { return functionIndex_; }
+  [[nodiscard]] int numBlocks() const {
+    return static_cast<int>(blocks_.size());
+  }
+  [[nodiscard]] int numEdges() const { return static_cast<int>(edges_.size()); }
+  [[nodiscard]] const BasicBlock& block(int id) const {
+    return blocks_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const Edge& edge(int id) const {
+    return edges_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const std::vector<BasicBlock>& blocks() const {
+    return blocks_;
+  }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Id of the entry edge (boundary -> block 0).
+  [[nodiscard]] int entryEdge() const { return entryEdge_; }
+  /// Ids of all exit edges (ret block -> boundary).
+  [[nodiscard]] const std::vector<int>& exitEdges() const {
+    return exitEdges_;
+  }
+
+  /// Block containing instruction `instrIndex`.
+  [[nodiscard]] int blockOfInstr(int instrIndex) const;
+
+  /// Successor block ids of `id` (excluding boundary).
+  [[nodiscard]] std::vector<int> successors(int id) const;
+  /// Predecessor block ids of `id` (excluding boundary).
+  [[nodiscard]] std::vector<int> predecessors(int id) const;
+
+  /// Multi-line dump for debugging: blocks, instruction ranges, edges.
+  [[nodiscard]] std::string str(const vm::Module& module) const;
+
+ private:
+  friend ControlFlowGraph buildCfg(const vm::Module& module,
+                                   int functionIndex);
+
+  int functionIndex_ = -1;
+  std::vector<BasicBlock> blocks_;
+  std::vector<Edge> edges_;
+  std::vector<int> instrToBlock_;
+  int entryEdge_ = -1;
+  std::vector<int> exitEdges_;
+};
+
+/// Builds the CFG of `module.function(functionIndex)`.  The function must
+/// be non-empty and the module laid out.
+[[nodiscard]] ControlFlowGraph buildCfg(const vm::Module& module,
+                                        int functionIndex);
+
+}  // namespace cinderella::cfg

@@ -1,0 +1,33 @@
+// Dominator analysis over a ControlFlowGraph (iterative data-flow
+// formulation of Cooper/Harvey/Kennedy).
+#pragma once
+
+#include <vector>
+
+#include "cinderella/cfg/cfg.hpp"
+
+namespace cinderella::cfg {
+
+class DominatorTree {
+ public:
+  explicit DominatorTree(const ControlFlowGraph& cfg);
+
+  /// Immediate dominator of `block`, or -1 for the entry block and for
+  /// blocks unreachable from the entry.
+  [[nodiscard]] int idom(int block) const {
+    return idom_[static_cast<std::size_t>(block)];
+  }
+
+  /// True when `a` dominates `b` (reflexive).
+  [[nodiscard]] bool dominates(int a, int b) const;
+
+  /// True when `block` is reachable from the entry block.
+  [[nodiscard]] bool reachable(int block) const {
+    return block == 0 || idom_[static_cast<std::size_t>(block)] >= 0;
+  }
+
+ private:
+  std::vector<int> idom_;
+};
+
+}  // namespace cinderella::cfg

@@ -1,0 +1,19 @@
+// Graphviz (dot) export of control-flow graphs — blocks labelled the
+// paper's way (x variables, source line spans) and edges labelled with
+// their d/f variables.
+#pragma once
+
+#include <string>
+
+#include "cinderella/cfg/cfg.hpp"
+
+namespace cinderella::cfg {
+
+/// One function's CFG as a dot digraph.
+[[nodiscard]] std::string toDot(const vm::Module& module,
+                                const ControlFlowGraph& cfg);
+
+/// Whole module: one cluster per function, call edges between clusters.
+[[nodiscard]] std::string moduleToDot(const vm::Module& module);
+
+}  // namespace cinderella::cfg

@@ -1,0 +1,32 @@
+// Natural-loop detection, used to (a) locate where user loop-bound
+// annotations attach and (b) implement the paper's Section IV refinement
+// of splitting a loop's first iteration.
+#pragma once
+
+#include <vector>
+
+#include "cinderella/cfg/cfg.hpp"
+#include "cinderella/cfg/dominators.hpp"
+
+namespace cinderella::cfg {
+
+struct NaturalLoop {
+  /// Loop header block (dominates every member).
+  int header = -1;
+  /// Latch blocks: sources of back edges into the header.
+  std::vector<int> latches;
+  /// All member block ids, header included, sorted ascending.
+  std::vector<int> blocks;
+  /// Edge ids entering the header from outside the loop (loop-entry
+  /// edges; their count sum is the number of times the loop is entered).
+  std::vector<int> entryEdges;
+
+  [[nodiscard]] bool contains(int block) const;
+};
+
+/// Finds all natural loops of `cfg`; loops sharing a header are merged
+/// (as is conventional).  Returns loops sorted by header block id.
+[[nodiscard]] std::vector<NaturalLoop> findLoops(const ControlFlowGraph& cfg,
+                                                 const DominatorTree& dom);
+
+}  // namespace cinderella::cfg

@@ -1,0 +1,56 @@
+#include "cinderella/cfg/loops.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace cinderella::cfg {
+
+bool NaturalLoop::contains(int block) const {
+  return std::binary_search(blocks.begin(), blocks.end(), block);
+}
+
+std::vector<NaturalLoop> findLoops(const ControlFlowGraph& cfg,
+                                   const DominatorTree& dom) {
+  // header -> (latches, member set)
+  std::map<int, std::pair<std::vector<int>, std::set<int>>> loopsByHeader;
+
+  for (const auto& e : cfg.edges()) {
+    if (e.isEntry() || e.isExit()) continue;
+    if (!dom.reachable(e.from)) continue;
+    if (!dom.dominates(e.to, e.from)) continue;  // not a back edge
+    auto& [latches, members] = loopsByHeader[e.to];
+    latches.push_back(e.from);
+    // Natural loop: header + all blocks that reach the latch without
+    // passing through the header (reverse flood fill from the latch).
+    members.insert(e.to);
+    std::vector<int> work{e.from};
+    while (!work.empty()) {
+      const int b = work.back();
+      work.pop_back();
+      if (!members.insert(b).second) continue;
+      for (const int p : cfg.predecessors(b)) {
+        if (!members.count(p)) work.push_back(p);
+      }
+    }
+  }
+
+  std::vector<NaturalLoop> loops;
+  for (auto& [header, data] : loopsByHeader) {
+    NaturalLoop loop;
+    loop.header = header;
+    loop.latches = std::move(data.first);
+    std::sort(loop.latches.begin(), loop.latches.end());
+    loop.blocks.assign(data.second.begin(), data.second.end());
+    for (const int e : cfg.block(header).predEdges) {
+      const Edge& edge = cfg.edge(e);
+      if (edge.isEntry() || !loop.contains(edge.from)) {
+        loop.entryEdges.push_back(e);
+      }
+    }
+    loops.push_back(std::move(loop));
+  }
+  return loops;
+}
+
+}  // namespace cinderella::cfg

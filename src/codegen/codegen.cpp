@@ -1,0 +1,465 @@
+#include "cinderella/codegen/codegen.hpp"
+
+#include <bit>
+#include <cstdint>
+
+#include "cinderella/lang/loop_inference.hpp"
+#include "cinderella/lang/parser.hpp"
+#include "cinderella/lang/sema.hpp"
+#include "cinderella/support/error.hpp"
+
+namespace cinderella::codegen {
+
+using lang::BinaryOp;
+using lang::Expr;
+using lang::ExprKind;
+using lang::Stmt;
+using lang::StmtKind;
+using lang::Storage;
+using lang::Symbol;
+using lang::Type;
+using lang::UnaryOp;
+using vm::Instr;
+using vm::Opcode;
+
+namespace {
+
+class FunctionCompiler {
+ public:
+  FunctionCompiler(const lang::FunctionDecl& decl,
+                   const std::vector<int>& functionIndex,
+                   std::vector<LoopAnnotation>* loops)
+      : decl_(decl), functionIndex_(functionIndex), loops_(loops) {}
+
+  vm::Function run() {
+    fn_.name = decl_.name;
+    fn_.numParams = static_cast<int>(decl_.params.size());
+    nextReg_ = fn_.numParams;
+
+    // Parameters already resolved by sema as the first symbols.
+    int paramIdx = 0;
+    for (const auto& sym : decl_.symbols) {
+      if (sym->storage == Storage::Param) {
+        sym->location = paramIdx++;
+      }
+    }
+    CIN_REQUIRE(paramIdx == fn_.numParams);
+
+    genStmt(*decl_.body);
+
+    // Fall-off-the-end return.  Also needed when control can only reach
+    // the end via a forward branch (e.g. the join point of an if/else
+    // whose arms both return): such branches target code.size().
+    bool branchesToEnd = false;
+    for (const Instr& in : fn_.code) {
+      if ((in.op == Opcode::Br || in.op == Opcode::Bt ||
+           in.op == Opcode::Bf) &&
+          in.imm == static_cast<std::int64_t>(fn_.code.size())) {
+        branchesToEnd = true;
+        break;
+      }
+    }
+    if (fn_.code.empty() || fn_.code.back().op != Opcode::Ret ||
+        branchesToEnd) {
+      if (decl_.returnType == Type::Void) {
+        emit({.op = Opcode::Ret, .rs1 = -1});
+      } else {
+        const int r = freshReg();
+        emit({.op = Opcode::MovI, .rd = r, .imm = 0});
+        emit({.op = Opcode::Ret, .rs1 = r});
+      }
+    }
+
+    fn_.numRegs = nextReg_;
+    fn_.frameWords = frameWords_;
+    return std::move(fn_);
+  }
+
+ private:
+  int freshReg() { return nextReg_++; }
+
+  int emit(Instr instr) {
+    if (!instr.loc.isKnown()) instr.loc = currentLoc_;
+    fn_.code.push_back(std::move(instr));
+    return static_cast<int>(fn_.code.size()) - 1;
+  }
+
+  [[nodiscard]] int here() const { return static_cast<int>(fn_.code.size()); }
+
+  void patchTarget(int instrIndex, int target) {
+    fn_.code[static_cast<std::size_t>(instrIndex)].imm = target;
+  }
+
+  void recordLoop(const Stmt& stmt, int headerInstr, int bodyInstr,
+                  int backEdgeInstr) {
+    LoopAnnotation loop;
+    loop.headerInstr = headerInstr;
+    loop.bodyInstr = bodyInstr;
+    loop.backEdgeInstr = backEdgeInstr;
+    loop.lo = stmt.loopLo;
+    loop.hi = stmt.loopHi;
+    loop.line = stmt.loc.line;
+    if (loop.lo < 0) {
+      // No annotation: fall back to automatic trip-count inference for
+      // canonical counted loops (paper Section VII future work).
+      if (const auto trips = lang::inferTripCount(stmt)) {
+        loop.lo = trips->first;
+        loop.hi = trips->second;
+      }
+    }
+    loops_->push_back(loop);  // function index filled in by compile()
+  }
+
+  // -------------------------------------------------------------------
+  // Statements.
+
+  void genStmt(const Stmt& stmt) {
+    currentLoc_ = stmt.loc;
+    switch (stmt.kind) {
+      case StmtKind::Block:
+        for (const auto& s : stmt.body) genStmt(*s);
+        break;
+      case StmtKind::Decl: {
+        Symbol* sym = stmt.declSymbol;
+        CIN_REQUIRE(sym != nullptr);
+        if (sym->isArray) {
+          sym->location = frameWords_;
+          frameWords_ += sym->arraySize;
+        } else {
+          sym->location = freshReg();
+          if (stmt.value) {
+            const int v = genExpr(*stmt.value);
+            emit({.op = Opcode::Mov, .rd = sym->location, .rs1 = v});
+          }
+        }
+        break;
+      }
+      case StmtKind::Assign:
+        genAssign(stmt);
+        break;
+      case StmtKind::ExprStmt:
+        genExpr(*stmt.value);
+        break;
+      case StmtKind::If: {
+        const int cond = genExpr(*stmt.cond);
+        const int skipThen = emit({.op = Opcode::Bf, .rs1 = cond});
+        for (const auto& s : stmt.body) genStmt(*s);
+        if (!stmt.elseBody.empty()) {
+          // The join branch belongs to the if statement itself, not to
+          // the last statement of the then-arm: the continuation block
+          // it opens must not appear to "start" on that statement's line
+          // (line-anchored @L constraints depend on this).
+          const int skipElse =
+              emit({.op = Opcode::Br, .loc = stmt.loc});
+          patchTarget(skipThen, here());
+          for (const auto& s : stmt.elseBody) genStmt(*s);
+          patchTarget(skipElse, here());
+        } else {
+          patchTarget(skipThen, here());
+        }
+        break;
+      }
+      case StmtKind::While: {
+        const int top = here();
+        const int cond = genExpr(*stmt.cond);
+        currentLoc_ = stmt.loc;
+        const int exit = emit({.op = Opcode::Bf, .rs1 = cond});
+        const int bodyStart = here();
+        for (const auto& s : stmt.body) genStmt(*s);
+        const int backEdge = emit({.op = Opcode::Br, .imm = top, .loc = stmt.loc});
+        patchTarget(exit, here());
+        recordLoop(stmt, top, bodyStart, backEdge);
+        break;
+      }
+      case StmtKind::For: {
+        if (stmt.init) genStmt(*stmt.init);
+        const int top = here();
+        int exit = -1;
+        if (stmt.cond) {
+          const int cond = genExpr(*stmt.cond);
+          currentLoc_ = stmt.loc;
+          exit = emit({.op = Opcode::Bf, .rs1 = cond});
+        }
+        const int bodyStart = here();
+        for (const auto& s : stmt.body) genStmt(*s);
+        if (stmt.step) genStmt(*stmt.step);
+        const int backEdge = emit({.op = Opcode::Br, .imm = top, .loc = stmt.loc});
+        if (exit >= 0) patchTarget(exit, here());
+        recordLoop(stmt, top, bodyStart, backEdge);
+        break;
+      }
+      case StmtKind::Return: {
+        if (stmt.value) {
+          const int v = genExpr(*stmt.value);
+          currentLoc_ = stmt.loc;
+          emit({.op = Opcode::Ret, .rs1 = v});
+        } else {
+          emit({.op = Opcode::Ret, .rs1 = -1});
+        }
+        break;
+      }
+    }
+  }
+
+  void genAssign(const Stmt& stmt) {
+    const Symbol* target = stmt.targetSymbol;
+    CIN_REQUIRE(target != nullptr);
+    const int value = genExpr(*stmt.value);
+    currentLoc_ = stmt.loc;
+
+    if (stmt.targetIndex) {
+      const int index = genExpr(*stmt.targetIndex);
+      currentLoc_ = stmt.loc;
+      storeElement(*target, index, value);
+      return;
+    }
+
+    switch (target->storage) {
+      case Storage::Global:
+        emit({.op = Opcode::St, .rs1 = -1, .rs2 = value,
+              .imm = target->location});
+        break;
+      case Storage::Param:
+      case Storage::Local:
+        emit({.op = Opcode::Mov, .rd = target->location, .rs1 = value});
+        break;
+    }
+  }
+
+  /// mem[element address of target[index]] <- value.
+  void storeElement(const Symbol& target, int indexReg, int valueReg) {
+    if (target.storage == Storage::Global) {
+      emit({.op = Opcode::St, .rs1 = indexReg, .rs2 = valueReg,
+            .imm = target.location});
+    } else {
+      const int base = freshReg();
+      emit({.op = Opcode::FrameAddr, .rd = base, .imm = target.location});
+      const int addr = freshReg();
+      emit({.op = Opcode::Add, .rd = addr, .rs1 = base, .rs2 = indexReg});
+      emit({.op = Opcode::St, .rs1 = addr, .rs2 = valueReg, .imm = 0});
+    }
+  }
+
+  /// rd <- target[index].
+  int loadElement(const Symbol& target, int indexReg) {
+    const int rd = freshReg();
+    if (target.storage == Storage::Global) {
+      emit({.op = Opcode::Ld, .rd = rd, .rs1 = indexReg,
+            .imm = target.location});
+    } else {
+      const int base = freshReg();
+      emit({.op = Opcode::FrameAddr, .rd = base, .imm = target.location});
+      const int addr = freshReg();
+      emit({.op = Opcode::Add, .rd = addr, .rs1 = base, .rs2 = indexReg});
+      emit({.op = Opcode::Ld, .rd = rd, .rs1 = addr, .imm = 0});
+    }
+    return rd;
+  }
+
+  // -------------------------------------------------------------------
+  // Expressions.  Each returns the register holding the result.
+
+  int genExpr(const Expr& expr) {
+    currentLoc_ = expr.loc;
+    switch (expr.kind) {
+      case ExprKind::IntLit: {
+        const int rd = freshReg();
+        emit({.op = Opcode::MovI, .rd = rd, .imm = expr.intValue});
+        return rd;
+      }
+      case ExprKind::FloatLit: {
+        const int rd = freshReg();
+        emit({.op = Opcode::MovF, .rd = rd, .fimm = expr.floatValue});
+        return rd;
+      }
+      case ExprKind::VarRef: {
+        const Symbol* sym = expr.symbol;
+        CIN_REQUIRE(sym != nullptr);
+        if (sym->storage == Storage::Global) {
+          const int rd = freshReg();
+          emit({.op = Opcode::Ld, .rd = rd, .rs1 = -1, .imm = sym->location});
+          return rd;
+        }
+        return sym->location;  // params and local scalars live in registers
+      }
+      case ExprKind::Index: {
+        const int index = genExpr(*expr.lhs);
+        currentLoc_ = expr.loc;
+        return loadElement(*expr.symbol, index);
+      }
+      case ExprKind::Cast: {
+        const int v = genExpr(*expr.lhs);
+        currentLoc_ = expr.loc;
+        const int rd = freshReg();
+        if (expr.type == Type::Float) {
+          emit({.op = Opcode::CvtIF, .rd = rd, .rs1 = v});
+        } else {
+          emit({.op = Opcode::CvtFI, .rd = rd, .rs1 = v});
+        }
+        return rd;
+      }
+      case ExprKind::Unary: {
+        const int v = genExpr(*expr.lhs);
+        currentLoc_ = expr.loc;
+        const int rd = freshReg();
+        switch (expr.uop) {
+          case UnaryOp::Neg:
+            emit({.op = expr.type == Type::Float ? Opcode::FNeg : Opcode::Neg,
+                  .rd = rd, .rs1 = v});
+            break;
+          case UnaryOp::LogNot: {
+            // !x  ==  (x == 0)
+            const int zero = freshReg();
+            emit({.op = Opcode::MovI, .rd = zero, .imm = 0});
+            emit({.op = Opcode::CmpEq, .rd = rd, .rs1 = v, .rs2 = zero});
+            break;
+          }
+          case UnaryOp::BitNot:
+            emit({.op = Opcode::Not, .rd = rd, .rs1 = v});
+            break;
+        }
+        return rd;
+      }
+      case ExprKind::Binary:
+        if (expr.bop == BinaryOp::LogAnd || expr.bop == BinaryOp::LogOr) {
+          return genShortCircuit(expr);
+        }
+        return genArith(expr);
+      case ExprKind::Call:
+        return genCall(expr);
+    }
+    CIN_REQUIRE(false && "unreachable expression kind");
+    return -1;
+  }
+
+  int genArith(const Expr& expr) {
+    const int a = genExpr(*expr.lhs);
+    const int b = genExpr(*expr.rhs);
+    currentLoc_ = expr.loc;
+    const int rd = freshReg();
+    const bool isFloatOperands = expr.lhs->type == Type::Float;
+    Opcode op;
+    switch (expr.bop) {
+      case BinaryOp::Add: op = isFloatOperands ? Opcode::FAdd : Opcode::Add; break;
+      case BinaryOp::Sub: op = isFloatOperands ? Opcode::FSub : Opcode::Sub; break;
+      case BinaryOp::Mul: op = isFloatOperands ? Opcode::FMul : Opcode::Mul; break;
+      case BinaryOp::Div: op = isFloatOperands ? Opcode::FDiv : Opcode::Div; break;
+      case BinaryOp::Rem: op = Opcode::Rem; break;
+      case BinaryOp::BitAnd: op = Opcode::And; break;
+      case BinaryOp::BitOr: op = Opcode::Or; break;
+      case BinaryOp::BitXor: op = Opcode::Xor; break;
+      case BinaryOp::Shl: op = Opcode::Shl; break;
+      case BinaryOp::Shr: op = Opcode::Shr; break;
+      case BinaryOp::Eq: op = isFloatOperands ? Opcode::FCmpEq : Opcode::CmpEq; break;
+      case BinaryOp::Ne: op = isFloatOperands ? Opcode::FCmpNe : Opcode::CmpNe; break;
+      case BinaryOp::Lt: op = isFloatOperands ? Opcode::FCmpLt : Opcode::CmpLt; break;
+      case BinaryOp::Le: op = isFloatOperands ? Opcode::FCmpLe : Opcode::CmpLe; break;
+      case BinaryOp::Gt: op = isFloatOperands ? Opcode::FCmpGt : Opcode::CmpGt; break;
+      case BinaryOp::Ge: op = isFloatOperands ? Opcode::FCmpGe : Opcode::CmpGe; break;
+      default:
+        CIN_REQUIRE(false && "logical ops handled elsewhere");
+        return -1;
+    }
+    emit({.op = op, .rd = rd, .rs1 = a, .rs2 = b});
+    return rd;
+  }
+
+  /// Short-circuit && / || lowered to branches, like a real C compiler.
+  int genShortCircuit(const Expr& expr) {
+    const int rd = freshReg();
+    const int a = genExpr(*expr.lhs);
+    currentLoc_ = expr.loc;
+    int skip;
+    if (expr.bop == BinaryOp::LogAnd) {
+      // result = 0; if (a) { result = (b != 0); }
+      emit({.op = Opcode::MovI, .rd = rd, .imm = 0});
+      skip = emit({.op = Opcode::Bf, .rs1 = a});
+    } else {
+      // result = 1; if (!a) { result = (b != 0); }
+      emit({.op = Opcode::MovI, .rd = rd, .imm = 1});
+      skip = emit({.op = Opcode::Bt, .rs1 = a});
+    }
+    const int b = genExpr(*expr.rhs);
+    currentLoc_ = expr.loc;
+    const int zero = freshReg();
+    emit({.op = Opcode::MovI, .rd = zero, .imm = 0});
+    emit({.op = Opcode::CmpNe, .rd = rd, .rs1 = b, .rs2 = zero});
+    patchTarget(skip, here());
+    return rd;
+  }
+
+  int genCall(const Expr& expr) {
+    std::vector<int> argRegs;
+    argRegs.reserve(expr.args.size());
+    for (const auto& arg : expr.args) argRegs.push_back(genExpr(*arg));
+    currentLoc_ = expr.loc;
+    const int rd = freshReg();
+    CIN_REQUIRE(expr.calleeIndex >= 0);
+    emit({.op = Opcode::Call, .rd = rd,
+          .imm = functionIndex_[static_cast<std::size_t>(expr.calleeIndex)],
+          .args = argRegs});
+    return rd;
+  }
+
+  const lang::FunctionDecl& decl_;
+  const std::vector<int>& functionIndex_;
+  std::vector<LoopAnnotation>* loops_;
+  vm::Function fn_;
+  int nextReg_ = 0;
+  int frameWords_ = 0;
+  SourceLoc currentLoc_;
+};
+
+std::uint64_t encodeInitValue(double value, bool isFloat) {
+  if (isFloat) return std::bit_cast<std::uint64_t>(value);
+  return static_cast<std::uint64_t>(static_cast<std::int64_t>(value));
+}
+
+}  // namespace
+
+CompileResult compile(const lang::Program& program) {
+  CompileResult result;
+
+  // Globals first, so codegen can reference their offsets.
+  for (const auto& g : program.globals) {
+    CIN_REQUIRE(g.symbol != nullptr && "run lang::analyze before compile");
+    const int size = g.arraySize > 0 ? g.arraySize : 1;
+    const vm::GlobalVar& var =
+        result.module.addGlobal(g.name, size, g.type == Type::Float);
+    g.symbol->location = var.offset;
+    for (std::size_t i = 0; i < g.init.size(); ++i) {
+      result.module.setGlobalWord(
+          var.offset + static_cast<int>(i),
+          encodeInitValue(g.init[i], g.type == Type::Float));
+    }
+  }
+
+  // VM function indices coincide with program order (needed before
+  // bodies are compiled so calls, including forward calls, resolve).
+  result.functionIndex.resize(program.functions.size());
+  for (std::size_t i = 0; i < program.functions.size(); ++i) {
+    result.functionIndex[i] = static_cast<int>(i);
+  }
+
+  for (std::size_t i = 0; i < program.functions.size(); ++i) {
+    std::vector<LoopAnnotation> loops;
+    FunctionCompiler compiler(program.functions[i], result.functionIndex,
+                              &loops);
+    const int fnIndex = result.module.addFunction(compiler.run());
+    for (auto& loop : loops) {
+      loop.function = fnIndex;
+      result.loops.push_back(loop);
+    }
+  }
+
+  result.module.layout();
+  return result;
+}
+
+CompileResult compileSource(std::string_view source) {
+  lang::Program program = lang::parse(source);
+  lang::analyze(program);
+  return compile(program);
+}
+
+}  // namespace cinderella::codegen

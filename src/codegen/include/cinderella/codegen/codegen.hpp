@@ -1,0 +1,44 @@
+// MiniC -> VISA code generation.
+//
+// The generator is deliberately a straightforward non-optimizing
+// compiler: one virtual register per local scalar, fresh temporaries per
+// expression, short-circuit booleans lowered to branches.  This mirrors
+// the embedded compilers of the paper's era closely enough for the
+// timing analysis to be interesting while keeping codegen fully
+// predictable for tests.
+#pragma once
+
+#include "cinderella/lang/ast.hpp"
+#include "cinderella/vm/module.hpp"
+
+namespace cinderella::codegen {
+
+/// Source-level loop-bound annotation carried through to machine level,
+/// so the analysis can attach the paper's `lo*x_pre <= x_body <= hi*x_pre`
+/// constraints without re-reading the source.
+struct LoopAnnotation {
+  int function = -1;      ///< VM function index.
+  int headerInstr = -1;   ///< First instruction of the loop condition.
+  int bodyInstr = -1;     ///< First instruction of the loop body.
+  int backEdgeInstr = -1; ///< The back-edge Br instruction.
+  std::int64_t lo = -1;   ///< Minimum body executions per loop entry (-1 = unannotated).
+  std::int64_t hi = -1;   ///< Maximum body executions per loop entry (-1 = unannotated).
+  int line = 0;           ///< Source line of the loop statement.
+};
+
+struct CompileResult {
+  vm::Module module;
+  /// functionIndex[i] is the vm function index of program.functions[i].
+  std::vector<int> functionIndex;
+  /// Every source loop, annotated or not, in every function.
+  std::vector<LoopAnnotation> loops;
+};
+
+/// Compiles an analyzed MiniC program (run lang::analyze first) into a
+/// laid-out VISA module.  Also assigns Symbol::location for every symbol.
+[[nodiscard]] CompileResult compile(const lang::Program& program);
+
+/// Convenience: parse + analyze + compile.
+[[nodiscard]] CompileResult compileSource(std::string_view source);
+
+}  // namespace cinderella::codegen

@@ -1,0 +1,294 @@
+#include "cinderella/explicitpath/enumerator.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "cinderella/cfg/callgraph.hpp"
+#include "cinderella/cfg/cfg.hpp"
+#include "cinderella/cfg/dominators.hpp"
+#include "cinderella/cfg/loops.hpp"
+#include "cinderella/support/error.hpp"
+
+namespace cinderella::explicitpath {
+
+namespace {
+
+/// What crossing a particular CFG edge does to loop iteration counters.
+struct EdgeActions {
+  std::vector<int> resets;  ///< loop ids whose counter resets to 0
+  /// (loop id, hi): entering the loop's body block — ++count, prune > hi.
+  std::vector<std::pair<int, std::int64_t>> bodyEntries;
+  /// (loop id, lo): leaving the loop — prune when count < lo.
+  std::vector<std::pair<int, std::int64_t>> exits;
+};
+
+struct FunctionInfo {
+  cfg::ControlFlowGraph cfg;
+  std::vector<march::BlockCost> blockCosts;
+  std::vector<EdgeActions> edgeActions;  // per edge id
+  int numLoops = 0;
+};
+
+/// A frame of the simulated call stack.
+struct CallFrame {
+  int function = 0;
+  int block = 0;
+  /// Per-loop iteration counters of this activation.
+  std::vector<std::int64_t> counters;
+  /// Local edge to continue on in the caller once the callee returns.
+  int pendingCallEdge = -1;
+};
+
+/// Full enumeration state at a branch point.
+struct State {
+  std::vector<CallFrame> stack;
+  std::int64_t worstCost = 0;
+  std::int64_t bestCost = 0;
+  /// Edge (local id, in top frame's function) chosen to leave the
+  /// current block; -1 = not yet chosen (fresh block).
+  int nextEdge = -1;
+};
+
+class Enumerator {
+ public:
+  Enumerator(const codegen::CompileResult& compiled, std::string_view root,
+             const EnumOptions& options)
+      : compiled_(compiled), options_(options), model_(options.machine) {
+    const auto rootIndex = compiled.module.findFunction(root);
+    if (!rootIndex) {
+      throw AnalysisError("unknown root function '" + std::string(root) + "'");
+    }
+    root_ = *rootIndex;
+    const cfg::CallGraph callGraph(compiled.module);
+    if (callGraph.hasCycle()) {
+      throw AnalysisError("program is recursive; cannot enumerate paths");
+    }
+    for (int f = 0; f < compiled.module.numFunctions(); ++f) {
+      infos_.push_back(buildInfo(f));
+    }
+  }
+
+  EnumResult run() {
+    EnumResult result;
+    result.worst = std::numeric_limits<std::int64_t>::min();
+    result.best = std::numeric_limits<std::int64_t>::max();
+
+    std::vector<State> pending;
+    {
+      State init;
+      init.stack.push_back(makeFrame(root_, 0));
+      accrue(init, root_, 0);
+      pending.push_back(std::move(init));
+    }
+
+    bool capped = false;
+    while (!pending.empty()) {
+      if (result.pathsExplored >= options_.maxPaths ||
+          result.steps >= options_.maxSteps) {
+        capped = true;
+        break;
+      }
+      State state = std::move(pending.back());
+      pending.pop_back();
+      walk(std::move(state), pending, result, &capped);
+      if (capped) break;
+    }
+
+    result.complete = !capped;
+    if (result.pathsExplored == 0) {
+      result.worst = 0;
+      result.best = 0;
+    }
+    return result;
+  }
+
+ private:
+  FunctionInfo buildInfo(int f) {
+    FunctionInfo info;
+    info.cfg = cfg::buildCfg(compiled_.module, f);
+    const vm::Function& fn = compiled_.module.function(f);
+    for (const auto& b : info.cfg.blocks()) {
+      info.blockCosts.push_back(
+          model_.blockCost(fn, b.firstInstr, b.lastInstr));
+    }
+    info.edgeActions.resize(static_cast<std::size_t>(info.cfg.numEdges()));
+
+    const cfg::DominatorTree dom(info.cfg);
+    const auto loops = cfg::findLoops(info.cfg, dom);
+    info.numLoops = static_cast<int>(loops.size());
+
+    for (std::size_t li = 0; li < loops.size(); ++li) {
+      const auto& loop = loops[li];
+      // Find the matching bound annotation via header block.
+      std::int64_t lo = -1;
+      std::int64_t hi = -1;
+      int body = -1;
+      for (const auto& ann : compiled_.loops) {
+        if (ann.function != f) continue;
+        if (info.cfg.blockOfInstr(ann.headerInstr) != loop.header) continue;
+        lo = ann.lo;
+        hi = ann.hi;
+        body = info.cfg.blockOfInstr(ann.bodyInstr);
+        break;
+      }
+      if (lo < 0 || hi < 0) {
+        throw AnalysisError("explicit enumeration requires __loopbound on "
+                            "every loop (function '" +
+                            fn.name + "')");
+      }
+
+      const int loopId = static_cast<int>(li);
+      for (const int e : loop.entryEdges) {
+        info.edgeActions[static_cast<std::size_t>(e)].resets.push_back(loopId);
+      }
+      for (const auto& e : info.cfg.edges()) {
+        if (e.isEntry() || e.isExit()) continue;
+        const bool fromIn = loop.contains(e.from);
+        const bool toIn = loop.contains(e.to);
+        if (fromIn && e.to == body) {
+          info.edgeActions[static_cast<std::size_t>(e.id)].bodyEntries
+              .push_back({loopId, hi});
+        }
+        if (fromIn && !toIn) {
+          info.edgeActions[static_cast<std::size_t>(e.id)].exits.push_back(
+              {loopId, lo});
+        }
+      }
+      // Exit edges of the function that leave the loop (Ret inside loop).
+      for (const auto& e : info.cfg.edges()) {
+        if (!e.isExit()) continue;
+        if (loop.contains(e.from)) {
+          info.edgeActions[static_cast<std::size_t>(e.id)].exits.push_back(
+              {loopId, lo});
+        }
+      }
+    }
+    return info;
+  }
+
+  CallFrame makeFrame(int function, int block) const {
+    CallFrame frame;
+    frame.function = function;
+    frame.block = block;
+    frame.counters.assign(
+        static_cast<std::size_t>(infos_[static_cast<std::size_t>(function)]
+                                     .numLoops),
+        0);
+    return frame;
+  }
+
+  void accrue(State& state, int function, int block) const {
+    const auto& cost =
+        infos_[static_cast<std::size_t>(function)].blockCosts
+            [static_cast<std::size_t>(block)];
+    state.worstCost += cost.worst;
+    state.bestCost += cost.best;
+  }
+
+  /// Applies edge actions; returns false when the path is pruned.
+  static bool applyActions(CallFrame& frame, const EdgeActions& actions) {
+    for (const int loop : actions.resets) {
+      frame.counters[static_cast<std::size_t>(loop)] = 0;
+    }
+    for (const auto& [loop, hi] : actions.bodyEntries) {
+      if (++frame.counters[static_cast<std::size_t>(loop)] > hi) return false;
+    }
+    for (const auto& [loop, lo] : actions.exits) {
+      if (frame.counters[static_cast<std::size_t>(loop)] < lo) return false;
+    }
+    return true;
+  }
+
+  /// Follows one path until it terminates or branches; branch siblings
+  /// are pushed onto `pending`.
+  void walk(State state, std::vector<State>& pending, EnumResult& result,
+            bool* capped) const {
+    while (true) {
+      if (++result.steps >= options_.maxSteps) {
+        *capped = true;
+        return;
+      }
+      CallFrame& frame = state.stack.back();
+      const FunctionInfo& info =
+          infos_[static_cast<std::size_t>(frame.function)];
+      const cfg::BasicBlock& block =
+          info.cfg.block(frame.block);
+
+      // Choose the departing edge.
+      int edgeId = state.nextEdge;
+      state.nextEdge = -1;
+      if (edgeId < 0) {
+        CIN_REQUIRE(!block.succEdges.empty());
+        edgeId = block.succEdges[0];
+        // Defer the siblings.
+        for (std::size_t i = 1; i < block.succEdges.size(); ++i) {
+          State sibling = state;
+          sibling.nextEdge = block.succEdges[i];
+          pending.push_back(std::move(sibling));
+        }
+      }
+
+      const cfg::Edge& edge = info.cfg.edge(edgeId);
+
+      if (edge.isCall()) {
+        // Descend into the callee; the call edge's counter actions apply
+        // when control reaches the continuation block, i.e. at return.
+        frame.pendingCallEdge = edgeId;
+        state.stack.push_back(makeFrame(edge.callee, 0));
+        accrue(state, edge.callee, 0);
+        continue;
+      }
+
+      if (!applyActions(frame, info.edgeActions[static_cast<std::size_t>(
+                                   edgeId)])) {
+        return;  // pruned
+      }
+
+      if (edge.isExit()) {
+        // Return from the current activation.
+        state.stack.pop_back();
+        if (state.stack.empty()) {
+          ++result.pathsExplored;
+          result.worst = std::max(result.worst, state.worstCost);
+          result.best = std::min(result.best, state.bestCost);
+          return;
+        }
+        CallFrame& caller = state.stack.back();
+        const FunctionInfo& callerInfo =
+            infos_[static_cast<std::size_t>(caller.function)];
+        const int callEdge = caller.pendingCallEdge;
+        caller.pendingCallEdge = -1;
+        CIN_REQUIRE(callEdge >= 0);
+        const cfg::Edge& ce = callerInfo.cfg.edge(callEdge);
+        if (!applyActions(caller, callerInfo.edgeActions
+                                      [static_cast<std::size_t>(callEdge)])) {
+          return;
+        }
+        CIN_REQUIRE(!ce.isExit() && "trailing calls are not generated");
+        caller.block = ce.to;
+        accrue(state, caller.function, ce.to);
+        continue;
+      }
+
+      frame.block = edge.to;
+      accrue(state, frame.function, edge.to);
+    }
+  }
+
+  const codegen::CompileResult& compiled_;
+  EnumOptions options_;
+  march::CostModel model_;
+  int root_ = -1;
+  std::vector<FunctionInfo> infos_;
+};
+
+}  // namespace
+
+EnumResult enumeratePaths(const codegen::CompileResult& compiled,
+                          std::string_view root, const EnumOptions& options) {
+  return Enumerator(compiled, root, options).run();
+}
+
+}  // namespace cinderella::explicitpath

@@ -1,0 +1,48 @@
+// Explicit path enumeration — the state of the art the paper displaces
+// (Park & Shaw's approach, Section II).
+//
+// Walks every loop-bound-respecting path of the whole (virtually
+// inlined) program, accumulating per-block costs, and reports the
+// extreme path cost.  The number of such paths is exponential in the
+// number of sequential conditionals and polynomial of high degree in
+// loop bounds, which is exactly the blow-up the paper's implicit method
+// avoids; the enumerator therefore carries explicit work caps and
+// reports whether it completed.
+//
+// On programs whose only path information is loop bounds, a *complete*
+// enumeration agrees exactly with the IPET bound (both are tight over
+// the same path set) — the cross-validation used by integration tests.
+#pragma once
+
+#include <cstdint>
+
+#include "cinderella/codegen/codegen.hpp"
+#include "cinderella/march/cost_model.hpp"
+
+namespace cinderella::explicitpath {
+
+struct EnumOptions {
+  /// Stop after exploring this many complete paths.
+  std::uint64_t maxPaths = 1'000'000;
+  /// Stop after this many block-steps of total work.
+  std::uint64_t maxSteps = 200'000'000;
+  march::MachineParams machine;
+};
+
+struct EnumResult {
+  /// False when a cap was hit; the bounds then cover only the explored
+  /// prefix of the path space.
+  bool complete = false;
+  std::uint64_t pathsExplored = 0;
+  std::uint64_t steps = 0;
+  std::int64_t worst = 0;  ///< max over paths of sum of worst block costs
+  std::int64_t best = 0;   ///< min over paths of sum of best block costs
+};
+
+/// Enumerates all paths of `root` in `compiled`.  Every reachable loop
+/// must carry a bound annotation; throws AnalysisError otherwise.
+[[nodiscard]] EnumResult enumeratePaths(const codegen::CompileResult& compiled,
+                                        std::string_view root,
+                                        const EnumOptions& options = {});
+
+}  // namespace cinderella::explicitpath

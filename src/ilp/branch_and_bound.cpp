@@ -1,0 +1,172 @@
+#include "cinderella/ilp/branch_and_bound.hpp"
+
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "cinderella/support/error.hpp"
+
+namespace cinderella::ilp {
+
+const char* ilpStatusStr(IlpStatus status) {
+  switch (status) {
+    case IlpStatus::Optimal:
+      return "optimal";
+    case IlpStatus::Infeasible:
+      return "infeasible";
+    case IlpStatus::Unbounded:
+      return "unbounded";
+    case IlpStatus::Limit:
+      return "limit";
+  }
+  return "?";
+}
+
+namespace {
+
+/// A node of the search tree: extra bound constraints of the form
+/// x[var] <= bound or x[var] >= bound layered onto the base problem.
+struct BoundCut {
+  int var = 0;
+  lp::Relation rel = lp::Relation::LessEq;
+  double bound = 0.0;
+};
+
+struct Node {
+  std::vector<BoundCut> cuts;
+  /// LP bound inherited from the parent (for best-first pruning).
+  double parentBound = 0.0;
+};
+
+/// Index of the variable whose value is farthest from an integer, or
+/// nullopt when the point is integral within `tol`.
+std::optional<int> mostFractional(const std::vector<double>& values,
+                                  double tol) {
+  int best = -1;
+  double bestDist = tol;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double frac = values[i] - std::floor(values[i]);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist > bestDist) {
+      bestDist = dist;
+      best = static_cast<int>(i);
+    }
+  }
+  if (best < 0) return std::nullopt;
+  return best;
+}
+
+lp::Problem withCuts(const lp::Problem& base,
+                     const std::vector<BoundCut>& cuts) {
+  lp::Problem p = base;
+  for (const auto& cut : cuts) {
+    lp::LinearExpr e;
+    e.add(cut.var, 1.0);
+    p.addConstraint(std::move(e), cut.rel, cut.bound);
+  }
+  return p;
+}
+
+}  // namespace
+
+IlpSolution solve(const lp::Problem& problem, const IlpOptions& options) {
+  IlpSolution result;
+  const bool maximize = (problem.sense() == lp::Sense::Maximize);
+  const double worst = maximize ? -std::numeric_limits<double>::infinity()
+                                : std::numeric_limits<double>::infinity();
+  double incumbentObjective = worst;
+  std::vector<double> incumbentValues;
+  bool haveIncumbent = false;
+  bool hitLimit = false;
+
+  auto better = [&](double a, double b) { return maximize ? a > b : a < b; };
+
+  std::vector<Node> stack;
+  stack.push_back(Node{{}, maximize ? std::numeric_limits<double>::infinity()
+                                    : -std::numeric_limits<double>::infinity()});
+
+  bool rootNode = true;
+  while (!stack.empty()) {
+    if (result.stats.lpCalls >= options.maxNodes) {
+      hitLimit = true;
+      break;
+    }
+    Node node = std::move(stack.back());
+    stack.pop_back();
+
+    // Bound: the parent's relaxation bound caps every descendant.
+    if (haveIncumbent && !better(node.parentBound, incumbentObjective)) {
+      continue;
+    }
+
+    const lp::Problem sub = withCuts(problem, node.cuts);
+    const lp::Solution relax = lp::solve(sub, options.lpOptions);
+    ++result.stats.lpCalls;
+    result.stats.totalPivots += relax.pivots;
+
+    if (relax.status == lp::SolveStatus::IterationLimit) {
+      hitLimit = true;
+      break;
+    }
+    if (relax.status == lp::SolveStatus::Unbounded) {
+      // An unbounded relaxation at the root means the ILP itself is
+      // unbounded (the feasible integral points are a subset, but the
+      // recession direction is rational, so integral points also recede).
+      if (rootNode) {
+        result.status = IlpStatus::Unbounded;
+        return result;
+      }
+      // In a child the direction survives too: still unbounded.
+      result.status = IlpStatus::Unbounded;
+      return result;
+    }
+    if (relax.status == lp::SolveStatus::Infeasible) {
+      rootNode = false;
+      continue;
+    }
+
+    const auto fractional = mostFractional(relax.values, options.intTol);
+    if (rootNode) {
+      result.stats.firstRelaxationIntegral = !fractional.has_value();
+      rootNode = false;
+    }
+
+    if (haveIncumbent && !better(relax.objective, incumbentObjective)) {
+      continue;  // bound: relaxation no better than incumbent
+    }
+
+    if (!fractional) {
+      // Integral: new incumbent.
+      std::vector<double> rounded = relax.values;
+      for (double& v : rounded) v = std::round(v);
+      incumbentObjective = relax.objective;
+      incumbentValues = std::move(rounded);
+      haveIncumbent = true;
+      continue;
+    }
+
+    const int var = *fractional;
+    const double value = relax.values[static_cast<std::size_t>(var)];
+    Node down = node;
+    down.cuts.push_back({var, lp::Relation::LessEq, std::floor(value)});
+    down.parentBound = relax.objective;
+    Node up = node;
+    up.cuts.push_back({var, lp::Relation::GreaterEq, std::ceil(value)});
+    up.parentBound = relax.objective;
+    stack.push_back(std::move(down));
+    stack.push_back(std::move(up));
+  }
+
+  if (haveIncumbent) {
+    result.status = hitLimit ? IlpStatus::Limit : IlpStatus::Optimal;
+    result.objective = incumbentObjective;
+    result.values = std::move(incumbentValues);
+  } else {
+    result.status = hitLimit ? IlpStatus::Limit : IlpStatus::Infeasible;
+  }
+  return result;
+}
+
+}  // namespace cinderella::ilp

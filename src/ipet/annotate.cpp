@@ -1,0 +1,103 @@
+#include "cinderella/ipet/annotate.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "cinderella/support/text.hpp"
+
+namespace cinderella::ipet {
+
+std::string formatEstimateReport(const Analyzer& analyzer,
+                                 const Estimate& estimate) {
+  const vm::Module& module = analyzer.module();
+  std::ostringstream out;
+  out << "estimated bound: "
+      << intervalStr(estimate.bound.lo, estimate.bound.hi) << " cycles\n";
+  out << padRight("block", 22) << padLeft("cost[best,worst]", 18)
+      << padLeft("x(worst)", 10) << padLeft("x(best)", 9)
+      << padLeft("worst contrib", 15) << "\n";
+
+  std::map<std::pair<int, int>, std::int64_t> bestCounts;
+  for (const auto& row : estimate.bestCounts) {
+    bestCounts[{row.function, row.block}] = row.count;
+  }
+  std::map<std::pair<int, int>, std::int64_t> seen;
+  for (const auto& row : estimate.worstCounts) {
+    seen[{row.function, row.block}] = row.count;
+  }
+  for (const auto& row : estimate.bestCounts) {
+    seen.try_emplace({row.function, row.block}, 0);
+  }
+
+  std::int64_t total = 0;
+  for (const auto& [key, worstCount] : seen) {
+    const auto [fn, block] = key;
+    const march::BlockCost cost = analyzer.blockCost(fn, block);
+    const std::int64_t contribution = worstCount * cost.worst;
+    total += contribution;
+    const auto bestIt = bestCounts.find(key);
+    out << padRight(module.function(fn).name + ".x" + std::to_string(block),
+                    22)
+        << padLeft(intervalStr(cost.best, cost.worst), 18)
+        << padLeft(std::to_string(worstCount), 10)
+        << padLeft(bestIt == bestCounts.end()
+                       ? "0"
+                       : std::to_string(bestIt->second),
+                   9)
+        << padLeft(withThousands(contribution), 15) << "\n";
+  }
+  out << padRight("(sum of worst contributions)", 50)
+      << padLeft(withThousands(total), 15) << "\n";
+  return out.str();
+}
+
+std::string annotateSource(const Analyzer& analyzer,
+                           std::string_view source) {
+  const vm::Module& module = analyzer.module();
+
+  // line -> labels placed on that line (first-come order).
+  std::map<int, std::string> labels;
+  for (int f = 0; f < module.numFunctions(); ++f) {
+    const auto& cfg = analyzer.cfgOf(f);
+    for (const auto& b : cfg.blocks()) {
+      if (b.firstLine <= 0) continue;
+      std::string& slot = labels[b.firstLine];
+      if (!slot.empty()) slot += ",";
+      slot += "x" + std::to_string(b.id);
+    }
+  }
+
+  std::ostringstream out;
+  const auto lines = splitLines(source);
+  std::size_t labelWidth = 0;
+  for (const auto& [line, text] : labels) {
+    labelWidth = std::max(labelWidth, text.size());
+  }
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const int lineNo = static_cast<int>(i) + 1;
+    const auto it = labels.find(lineNo);
+    const std::string label = (it != labels.end()) ? it->second : "";
+    out << padLeft(std::to_string(lineNo), 4) << ": "
+        << padRight(label, labelWidth) << " | " << lines[i] << "\n";
+  }
+
+  // Call-edge table.
+  bool anyCalls = false;
+  for (int f = 0; f < module.numFunctions(); ++f) {
+    const auto& cfg = analyzer.cfgOf(f);
+    for (const auto& e : cfg.edges()) {
+      const int label = analyzer.fLabel(f, e.id);
+      if (label == 0) continue;
+      if (!anyCalls) {
+        out << "\ncall edges:\n";
+        anyCalls = true;
+      }
+      out << "  f" << label << ": " << module.function(f).name << " -> "
+          << module.function(e.callee).name << " (block x" << e.from << ")\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace cinderella::ipet

@@ -1,0 +1,305 @@
+#include "cinderella/ipet/constraint_lang.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "cinderella/support/error.hpp"
+
+namespace cinderella::ipet {
+
+std::string VarRef::str() const {
+  std::string out;
+  if (kind == VarKind::CallEdge) {
+    out = "f" + std::to_string(number);
+  } else if (kind == VarKind::LineBlock) {
+    out = function + "@" + std::to_string(number);
+  } else {
+    if (!function.empty()) out = function + ".";
+    out += (kind == VarKind::Block ? "x" : "d") + std::to_string(number);
+  }
+  if (!context.empty()) {
+    out += "[";
+    for (std::size_t i = 0; i < context.size(); ++i) {
+      if (i) out += ".";
+      out += "f" + std::to_string(context[i]);
+    }
+    out += "]";
+  }
+  return out;
+}
+
+namespace {
+
+class ConstraintParser {
+ public:
+  ConstraintParser(std::string_view text, std::string_view defaultScope)
+      : text_(text), scope_(defaultScope) {}
+
+  Dnf run() {
+    Dnf result = parseOr();
+    skipSpace();
+    if (pos_ < text_.size()) fail("trailing input");
+    return result;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError("constraint parse error at offset " +
+                     std::to_string(pos_) + " in \"" + std::string(text_) +
+                     "\": " + message);
+  }
+
+  void skipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() {
+    skipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool consume(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consumeWord(std::string_view word) {
+    skipSpace();
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Dnf parseOr() {
+    Dnf result = parseAnd();
+    while (consume('|')) {
+      Dnf rhs = parseAnd();
+      for (auto& set : rhs) result.push_back(std::move(set));
+    }
+    return result;
+  }
+
+  Dnf parseAnd() {
+    Dnf result = parsePrimary();
+    while (consume('&')) {
+      result = conjoin(result, parsePrimary());
+    }
+    return result;
+  }
+
+  Dnf parsePrimary() {
+    if (consume('(')) {
+      Dnf inner = parseOr();
+      if (!consume(')')) fail("expected ')'");
+      return inner;
+    }
+    return Dnf{ConjunctiveSet{parseComparison()}};
+  }
+
+  SymConstraint parseComparison() {
+    SymConstraint c;
+    c.lhs = parseLinExpr();
+    c.rel = parseRelation();
+    c.rhs = parseLinExpr();
+    return c;
+  }
+
+  lp::Relation parseRelation() {
+    skipSpace();
+    if (consumeWord("<=")) return lp::Relation::LessEq;
+    if (consumeWord(">=")) return lp::Relation::GreaterEq;
+    if (consumeWord("==")) return lp::Relation::Equal;
+    if (consume('=')) return lp::Relation::Equal;
+    fail("expected a relation (<=, >=, = or ==)");
+  }
+
+  std::vector<SymTerm> parseLinExpr() {
+    std::vector<SymTerm> terms;
+    bool negate = false;
+    if (consume('-')) {
+      negate = true;
+    } else {
+      consume('+');
+    }
+    terms.push_back(parseTerm(negate));
+    while (true) {
+      const char c = peek();
+      if (c == '+') {
+        ++pos_;
+        terms.push_back(parseTerm(false));
+      } else if (c == '-') {
+        ++pos_;
+        terms.push_back(parseTerm(true));
+      } else {
+        break;
+      }
+    }
+    return terms;
+  }
+
+  /// number | number [*] ref | ref [* number]
+  SymTerm parseTerm(bool negate) {
+    SymTerm term;
+    skipSpace();
+    const char c = peek();
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      term.coeff = parseNumber();
+      consume('*');
+      if (startsVarRef()) {
+        term.var = parseVarRef();
+      }
+    } else {
+      term.var = parseVarRef();
+      if (consume('*')) {
+        term.coeff = parseNumber();
+      }
+    }
+    if (negate) term.coeff = -term.coeff;
+    return term;
+  }
+
+  std::int64_t parseNumber() {
+    skipSpace();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (start == pos_) fail("expected a number");
+    return std::strtoll(std::string(text_.substr(start, pos_ - start)).c_str(),
+                        nullptr, 10);
+  }
+
+  [[nodiscard]] bool startsVarRef() {
+    const char c = peek();
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '@';
+  }
+
+  std::string parseIdent() {
+    skipSpace();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (start == pos_) fail("expected an identifier");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  /// Splits "x8" / "d3" / "f1" into kind + number; returns false when the
+  /// word does not have that shape.
+  static bool splitVarWord(const std::string& word, VarKind* kind,
+                           int* number) {
+    if (word.size() < 2) return false;
+    switch (word[0]) {
+      case 'x': *kind = VarKind::Block; break;
+      case 'd': *kind = VarKind::Edge; break;
+      case 'f': *kind = VarKind::CallEdge; break;
+      default: return false;
+    }
+    for (std::size_t i = 1; i < word.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(word[i]))) return false;
+    }
+    *number = std::atoi(word.c_str() + 1);
+    return true;
+  }
+
+  VarRef parseVarRef() {
+    VarRef ref;
+    if (consume('@')) {
+      // @L with the default scope.
+      if (scope_.empty()) fail("unqualified '@line' needs a default scope");
+      ref.kind = VarKind::LineBlock;
+      ref.function = std::string(scope_);
+      ref.number = static_cast<int>(parseNumber());
+      parseContextSuffix(ref);
+      return ref;
+    }
+    std::string first = parseIdent();
+    if (consume('@')) {
+      // scope@L
+      ref.kind = VarKind::LineBlock;
+      ref.function = std::move(first);
+      ref.number = static_cast<int>(parseNumber());
+      parseContextSuffix(ref);
+      return ref;
+    }
+    VarKind kind;
+    int number;
+    if (consume('.')) {
+      // scope.xN
+      const std::string word = parseIdent();
+      if (!splitVarWord(word, &kind, &number) || kind == VarKind::CallEdge) {
+        fail("expected xN or dN after '" + first + ".'");
+      }
+      ref.function = std::move(first);
+      ref.kind = kind;
+      ref.number = number;
+    } else {
+      if (!splitVarWord(first, &kind, &number)) {
+        fail("expected a variable like x3, d2, f1 or fn.x3, got '" + first +
+             "'");
+      }
+      ref.kind = kind;
+      ref.number = number;
+      if (kind != VarKind::CallEdge) {
+        if (scope_.empty()) {
+          fail("unqualified '" + first + "' needs a default scope");
+        }
+        ref.function = std::string(scope_);
+      }
+    }
+    parseContextSuffix(ref);
+    return ref;
+  }
+
+  void parseContextSuffix(VarRef& ref) {
+    if (!consume('[')) return;
+    while (true) {
+      const std::string label = parseIdent();
+      VarKind k;
+      int n;
+      if (!splitVarWord(label, &k, &n) || k != VarKind::CallEdge) {
+        fail("context labels must look like f3");
+      }
+      ref.context.push_back(n);
+      if (consume(']')) break;
+      if (!consume('.')) fail("expected '.' or ']' in context suffix");
+    }
+  }
+
+  std::string_view text_;
+  std::string_view scope_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Dnf parseConstraint(std::string_view text, std::string_view defaultScope) {
+  return ConstraintParser(text, defaultScope).run();
+}
+
+Dnf conjoin(const Dnf& a, const Dnf& b) {
+  Dnf result;
+  result.reserve(a.size() * b.size());
+  for (const auto& sa : a) {
+    for (const auto& sb : b) {
+      ConjunctiveSet combined = sa;
+      combined.insert(combined.end(), sb.begin(), sb.end());
+      result.push_back(std::move(combined));
+    }
+  }
+  return result;
+}
+
+}  // namespace cinderella::ipet

@@ -1,0 +1,51 @@
+#include "cinderella/ipet/idl.hpp"
+
+namespace cinderella::ipet::idl {
+
+namespace {
+std::string s(std::string_view v) { return std::string(v); }
+std::string n(std::int64_t v) { return std::to_string(v); }
+}  // namespace
+
+std::string executesExactly(std::string_view a, std::int64_t count) {
+  return s(a) + " = " + n(count);
+}
+
+std::string executesBetween(std::string_view a, std::int64_t lo,
+                            std::int64_t hi) {
+  return s(a) + " >= " + n(lo) + " & " + s(a) + " <= " + n(hi);
+}
+
+std::string mutuallyExclusive(std::string_view a, std::string_view b) {
+  return "(" + s(a) + " = 0) | (" + s(b) + " = 0)";
+}
+
+std::string executeTogether(std::string_view a, std::string_view b) {
+  return "(" + s(a) + " = 0 & " + s(b) + " = 0) | (" + s(a) + " >= 1 & " +
+         s(b) + " >= 1)";
+}
+
+std::string sameCount(std::string_view a, std::string_view b) {
+  return s(a) + " = " + s(b);
+}
+
+std::string implies(std::string_view a, std::string_view b) {
+  return "(" + s(a) + " = 0) | (" + s(b) + " >= 1)";
+}
+
+std::string atMostPerExecution(std::string_view inner, std::string_view outer,
+                               std::int64_t k) {
+  return s(inner) + " <= " + n(k) + " " + s(outer);
+}
+
+std::string atLeastPerExecution(std::string_view inner,
+                                std::string_view outer, std::int64_t k) {
+  return s(inner) + " >= " + n(k) + " " + s(outer);
+}
+
+std::string oneOf(std::string_view a, std::string_view b) {
+  return "(" + s(a) + " = 0 & " + s(b) + " = 1) | (" + s(a) + " = 1 & " +
+         s(b) + " = 0)";
+}
+
+}  // namespace cinderella::ipet::idl

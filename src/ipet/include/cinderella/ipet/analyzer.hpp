@@ -1,0 +1,265 @@
+// The IPET analyzer — the paper's core contribution (Section III).
+//
+// Given a laid-out VISA module and a root function, the analyzer:
+//   1. expands the call tree into *contexts* (one copy of a function's
+//      variable space per call site, the paper's "separate set of x_i
+//      variables for this instance of the call"),
+//   2. derives structural constraints from flow conservation at every
+//      basic block of every context, with d(entry of root) = 1,
+//   3. attaches loop-bound constraints `lo*entries <= x_body <=
+//      hi*entries` from `__loopbound` annotations or setLoopBound(),
+//   4. conjoins user functionality constraints (disjunctions expand the
+//      problem into a set of conjunctive constraint sets; null sets are
+//      pruned by an LP feasibility probe),
+//   5. solves one ILP per surviving set for the maximum (worst case,
+//      block costs = all-miss) and one for the minimum (best case, block
+//      costs = all-hit), and returns the enclosing interval.
+//
+// The optional first-iteration split (Section IV's proposed refinement)
+// charges a loop block's cache misses only once per loop entry when the
+// loop provably fits the instruction cache and contains no calls.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cinderella/cfg/cfg.hpp"
+#include "cinderella/cfg/loops.hpp"
+#include "cinderella/codegen/codegen.hpp"
+#include "cinderella/ilp/branch_and_bound.hpp"
+#include "cinderella/ipet/constraint_lang.hpp"
+#include "cinderella/march/cost_model.hpp"
+#include "cinderella/vm/module.hpp"
+
+namespace cinderella::ipet {
+
+/// How the worst-case bound accounts for instruction-cache misses.
+enum class CacheMode {
+  /// Paper Section IV baseline: every line fetch of every block execution
+  /// is assumed to miss.
+  AllMiss,
+  /// Paper Section IV refinement: blocks of a loop that provably fits
+  /// the cache (including called functions) miss at most once per loop
+  /// entry.
+  FirstIterationSplit,
+  /// The authors' follow-up work (announced as "currently working on the
+  /// modeling of cache memory" in Section IV): a cache conflict graph
+  /// per cache set with inter-l-block flow variables, bounding misses by
+  /// conflicting-predecessor transitions.
+  ConflictGraph,
+};
+
+[[nodiscard]] const char* cacheModeStr(CacheMode mode);
+
+struct AnalyzerOptions {
+  CacheMode cacheMode = CacheMode::AllMiss;
+  /// true (default): one copy of a function's variable space per call
+  /// site (the paper's "separate set of x_i variables is used for this
+  /// instance of the call"), enabling context-qualified constraints like
+  /// x8[f1].  false: the paper's base formulation — one variable space
+  /// per function whose entry count is the sum of all its call-edge
+  /// counts (eq 12, "d2 = f1 + f2").  Cheaper, but context-qualified
+  /// references are rejected and caller-specific facts cannot be stated.
+  bool contextSensitive = true;
+  /// Per cache set, the maximum number of conflict-graph nodes before
+  /// the analysis falls back to all-miss for that set (keeps the ILP
+  /// tractable).
+  int conflictGraphNodeCap = 24;
+  /// Skip the LP feasibility probe that prunes null constraint sets
+  /// before the ILP stage (used by the pruning ablation bench).
+  bool disableNullSetPruning = false;
+  ilp::IlpOptions ilpOptions;
+  march::MachineParams machine;
+  /// Guards against disjunction blow-up and call-tree blow-up.
+  int maxConstraintSets = 1 << 14;
+  int maxContexts = 1 << 14;
+};
+
+struct Interval {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+
+  [[nodiscard]] bool encloses(const Interval& other) const {
+    return lo <= other.lo && other.hi <= hi;
+  }
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+struct SolveStats {
+  /// Constraint sets after DNF combination (paper Table I "Sets").
+  int constraintSets = 0;
+  /// Sets detected as null (infeasible) and pruned before the ILP.
+  int prunedNullSets = 0;
+  /// ILPs actually solved (2 per surviving set: max and min).
+  int ilpSolves = 0;
+  /// LP relaxations across all ILPs.
+  int lpCalls = 0;
+  /// True when every root relaxation was already integral (paper §VI-A).
+  bool allFirstRelaxationsIntegral = true;
+  int totalPivots = 0;
+  /// ConflictGraph mode: flow variables added and sets that exceeded the
+  /// node cap (falling back to all-miss).
+  int cacheFlowVars = 0;
+  int cacheFallbackSets = 0;
+};
+
+struct BlockCountRow {
+  int function = 0;
+  int block = 0;
+  std::int64_t count = 0;
+};
+
+struct Estimate {
+  /// Estimated bound [t_min, t_max] in cycles.
+  Interval bound;
+  SolveStats stats;
+  /// Extreme-case block execution counts, aggregated over contexts.
+  std::vector<BlockCountRow> worstCounts;
+  std::vector<BlockCountRow> bestCounts;
+};
+
+/// One analysis context: a function instance reached by a specific call
+/// string from the root.
+struct Context {
+  int id = 0;
+  int function = 0;
+  int parent = -1;          ///< Context id of the caller (-1 for root).
+  int parentEdgeLocal = -1; ///< Call-edge id within the parent's CFG.
+  std::string key;          ///< "" for root, else "f3" / "f3.f7" ...
+};
+
+/// Structural flow constraint of one block (for tests and dumps):
+/// x[block] = sum(in d) = sum(out d).
+struct FlowConstraint {
+  int block = 0;
+  std::vector<int> inEdges;
+  std::vector<int> outEdges;
+};
+
+class Analyzer {
+ public:
+  /// `compiled` must outlive the analyzer.
+  Analyzer(const codegen::CompileResult& compiled,
+           std::string_view rootFunction, AnalyzerOptions options = {});
+
+  /// Adds a functionality constraint (see constraint_lang.hpp).  The
+  /// default scope for unqualified x/d references is `defaultScope`, or
+  /// the root function when empty.
+  void addConstraint(std::string_view text, std::string_view defaultScope = {});
+
+  /// Programmatic alternative to `__loopbound` for the loop whose
+  /// statement starts at `line` of `function`.
+  void setLoopBound(std::string_view function, int line, std::int64_t lo,
+                    std::int64_t hi);
+
+  /// Runs the full analysis.  Throws AnalysisError for unbounded loops,
+  /// unsatisfiable constraints, or recursion.
+  [[nodiscard]] Estimate estimate() const;
+
+  // --- Introspection (tests, examples, annotated dumps). ---
+  [[nodiscard]] const vm::Module& module() const { return *module_; }
+  [[nodiscard]] const cfg::ControlFlowGraph& cfgOf(int function) const {
+    return cfgs_[static_cast<std::size_t>(function)];
+  }
+  [[nodiscard]] int rootFunction() const { return root_; }
+  [[nodiscard]] const std::vector<Context>& contexts() const {
+    return contexts_;
+  }
+  /// Flow constraints of one function's CFG (paper Figs 2-4 content).
+  [[nodiscard]] std::vector<FlowConstraint> flowConstraints(
+      int function) const;
+  /// Static label of a call edge (paper's f-numbers), or 0 if not a call
+  /// edge.
+  [[nodiscard]] int fLabel(int function, int edgeId) const;
+  /// Static best/worst cost of a block (the paper's c_i interval).
+  [[nodiscard]] march::BlockCost blockCost(int function, int block) const;
+  [[nodiscard]] const march::CostModel& costModel() const { return model_; }
+  /// Human-readable structural constraint listing of one function.
+  [[nodiscard]] std::string structuralConstraintsStr(int function) const;
+
+  /// The worst-case ILPs in CPLEX LP format, one per constraint set —
+  /// ready for lp_solve/CBC/CPLEX, the way the paper handed its systems
+  /// to an off-the-shelf ILP package.
+  [[nodiscard]] std::string exportWorstCaseIlp() const;
+
+ private:
+  struct LoopBoundSite {
+    int function = 0;
+    int header = -1;  ///< Header block id.
+    int body = -1;    ///< First body block id (the paper's x2 in eq 14/15).
+    std::int64_t lo = -1;
+    std::int64_t hi = -1;
+    int line = 0;
+  };
+
+  void buildContexts();
+  void assignFLabels();
+  void resolveLoopBounds();
+
+  /// Base LP problem: variables + structural + loop-bound constraints +
+  /// cache-mode variables.  Objective not set.
+  struct BaseProblem {
+    lp::Problem problem;
+    /// Objective coefficient per variable for the worst (max) case...
+    std::vector<double> worstCoeff;
+    /// ...and the best (min) case.
+    std::vector<double> bestCoeff;
+    /// ConflictGraph bookkeeping for SolveStats.
+    int cacheFlowVars = 0;
+    int cacheFallbackSets = 0;
+  };
+  [[nodiscard]] BaseProblem buildBaseProblem() const;
+
+  /// Adds the Section-IV first-iteration split variables/constraints to
+  /// `base` (see buildBaseProblem for the scheme).
+  void applyFirstIterationSplit(BaseProblem* base) const;
+
+  /// Replaces the all-miss worst costs with the cache-conflict-graph
+  /// formulation (see cacheMode == ConflictGraph).
+  void applyConflictGraphCache(BaseProblem* base) const;
+
+  /// DNF cross-product of all user constraints (paper III-D).
+  [[nodiscard]] Dnf combineUserConstraints() const;
+
+  /// base problem + one conjunctive constraint set, resolved to LP rows.
+  [[nodiscard]] lp::Problem materializeSet(const BaseProblem& base,
+                                           const ConjunctiveSet& set) const;
+
+  [[nodiscard]] int xVar(int context, int block) const;
+  [[nodiscard]] int dVar(int context, int edge) const;
+
+  /// Resolves a symbolic reference to a sum of LP variables.
+  [[nodiscard]] lp::LinearExpr resolve(const VarRef& ref) const;
+
+  const vm::Module* module_;
+  const std::vector<codegen::LoopAnnotation>* loopAnnotations_;
+  AnalyzerOptions options_;
+  march::CostModel model_;
+  int root_ = -1;
+
+  std::vector<cfg::ControlFlowGraph> cfgs_;
+  std::vector<std::vector<cfg::NaturalLoop>> loops_;  // per function
+  std::vector<Context> contexts_;
+  /// Per context: the (context, local call-edge id) pairs whose d
+  /// variables feed its entry edge.  Empty for the root.
+  std::vector<std::vector<std::pair<int, int>>> entryFeeds_;
+  std::vector<int> xBase_;  // per context
+  std::vector<int> dBase_;  // per context
+  int numFlowVars_ = 0;
+  /// fLabel_[fn][edge] = static f label (0 when not a call edge).
+  std::vector<std::vector<int>> fLabel_;
+  /// label -> (function, edgeId).
+  std::map<int, std::pair<int, int>> fLabelSite_;
+
+  std::vector<LoopBoundSite> loopBounds_;
+  /// API-provided bounds keyed by (function name, line).
+  std::map<std::pair<std::string, int>, std::pair<std::int64_t, std::int64_t>>
+      apiLoopBounds_;
+
+  std::vector<Dnf> userConstraints_;
+};
+
+}  // namespace cinderella::ipet

@@ -1,0 +1,28 @@
+// Annotated source listings — the paper's Fig. 5 output, where
+// cinderella "reads the source files and outputs the annotated source
+// files, where all the x_i and f_i variables are labelled alongside with
+// the source code".
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "cinderella/ipet/analyzer.hpp"
+
+namespace cinderella::ipet {
+
+/// Produces an annotated listing of `source`: every line that starts a
+/// basic block of some analysed function is prefixed with that block's
+/// x-label, and call edges are listed with their f-labels.
+[[nodiscard]] std::string annotateSource(const Analyzer& analyzer,
+                                         std::string_view source);
+
+/// The paper's Section-V per-estimation output: "cinderella outputs the
+/// estimated bound (in units of clock cycles), the basic blocks costs
+/// and their counts."  One row per block with a nonzero extreme-case
+/// count: cost interval [best, worst], worst/best-case counts, and the
+/// block's worst-case contribution.
+[[nodiscard]] std::string formatEstimateReport(const Analyzer& analyzer,
+                                               const Estimate& estimate);
+
+}  // namespace cinderella::ipet

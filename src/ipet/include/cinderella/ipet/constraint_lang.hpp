@@ -1,0 +1,81 @@
+// The functionality-constraint language (paper Section III-C).
+//
+// Users express path information as linear constraints over the paper's
+// variables, combined with `&` (conjunction) and `|` (disjunction):
+//
+//     x2 <= 10 x1                      loop bound
+//     (x3 = 0 & x5 = 1) | (x3 = 1 & x5 = 0)   mutual exclusion, eq (16)
+//     x3 = x8                          equal execution, eq (17)
+//     clear_data.x0 = check_data.x8[f1]        caller/callee, eq (18)
+//
+// Variable references:
+//     [scope.]xN          execution count of basic block N of `scope`
+//     [scope.]dN          count of CFG edge N of `scope`
+//     fN                  count of the call edge with static label N
+//     scope@L  or  @L     sum of x over the basic blocks of `scope` that
+//                         *start* on source line L (line-stable naming,
+//                         robust against block renumbering)
+//     ref[f3.f7]          restrict to the call-string context f3.f7;
+//                         without a context suffix a reference denotes
+//                         the SUM over all contexts of its function.
+//
+// `scope` defaults to the function passed to `parseConstraint`.
+// Multiplication may be written `10 x1`, `10*x1` or `x1 * 10`.
+//
+// A parsed constraint is normalized to disjunctive normal form: a vector
+// of conjunctive constraint sets — exactly the paper's "set of constraint
+// sets, at least one of which must be satisfied".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cinderella/lp/problem.hpp"
+
+namespace cinderella::ipet {
+
+/// Which class of IPET variable a reference names.
+enum class VarKind { Block, Edge, CallEdge, LineBlock };
+
+struct VarRef {
+  VarKind kind = VarKind::Block;
+  /// Function name; empty only for CallEdge refs (f-labels are global).
+  std::string function;
+  /// Block id, edge id, global f-label number, or source line.
+  int number = 0;
+  /// Call-string context filter (f-label numbers); empty = all contexts.
+  std::vector<int> context;
+
+  [[nodiscard]] std::string str() const;
+  friend bool operator==(const VarRef&, const VarRef&) = default;
+};
+
+/// coeff * var, or a plain constant when `var` is empty.
+struct SymTerm {
+  std::int64_t coeff = 1;
+  std::optional<VarRef> var;
+};
+
+/// sum(lhs) rel sum(rhs).
+struct SymConstraint {
+  std::vector<SymTerm> lhs;
+  lp::Relation rel = lp::Relation::Equal;
+  std::vector<SymTerm> rhs;
+};
+
+using ConjunctiveSet = std::vector<SymConstraint>;
+/// Disjunction of conjunctive sets (the paper's set of constraint sets).
+using Dnf = std::vector<ConjunctiveSet>;
+
+/// Parses one functionality constraint.  `defaultScope` supplies the
+/// function name for unqualified x/d references.  Throws ParseError.
+[[nodiscard]] Dnf parseConstraint(std::string_view text,
+                                  std::string_view defaultScope = {});
+
+/// Cross-product conjunction of two DNFs: (A|B) & (C|D) = AC|AD|BC|BD.
+[[nodiscard]] Dnf conjoin(const Dnf& a, const Dnf& b);
+
+}  // namespace cinderella::ipet

@@ -1,0 +1,56 @@
+// IDL-style annotation helpers.
+//
+// The paper (Section III-C) compares its functionality-constraint
+// language against the IDL path-information language of Park's thesis
+// and claims "every construct in IDL can be translated to a disjunctive
+// form constraint".  This header is that translation, packaged as an
+// API: each helper emits constraint text for Analyzer::addConstraint.
+//
+// References are any variable reference the constraint language accepts
+// ("x3", "f.x3", "@12", "f@12", "f1", "f.x3[f1]").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cinderella::ipet::idl {
+
+/// A executes exactly `n` times per run.
+[[nodiscard]] std::string executesExactly(std::string_view a, std::int64_t n);
+
+/// A executes between `lo` and `hi` times per run.
+[[nodiscard]] std::string executesBetween(std::string_view a, std::int64_t lo,
+                                          std::int64_t hi);
+
+/// A and B never both execute in the same run (IDL "exclusive").
+[[nodiscard]] std::string mutuallyExclusive(std::string_view a,
+                                            std::string_view b);
+
+/// A and B execute together: either both at least once or neither
+/// (IDL "samepath").
+[[nodiscard]] std::string executeTogether(std::string_view a,
+                                          std::string_view b);
+
+/// A and B execute the same number of times (paper eq 17).
+[[nodiscard]] std::string sameCount(std::string_view a, std::string_view b);
+
+/// If A executes at all, then B executes at least once.
+[[nodiscard]] std::string implies(std::string_view a, std::string_view b);
+
+/// Inner executes at most `k` times for each execution of Outer
+/// (IDL-style nested-scope bound; paper eqs 14/15 generalised).
+[[nodiscard]] std::string atMostPerExecution(std::string_view inner,
+                                             std::string_view outer,
+                                             std::int64_t k);
+
+/// Inner executes at least `k` times for each execution of Outer.
+[[nodiscard]] std::string atLeastPerExecution(std::string_view inner,
+                                              std::string_view outer,
+                                              std::int64_t k);
+
+/// Exactly one of A and B executes, exactly once (the paper's eq 16
+/// shape: (a=0 & b=1) | (a=1 & b=0)).
+[[nodiscard]] std::string oneOf(std::string_view a, std::string_view b);
+
+}  // namespace cinderella::ipet::idl

@@ -1,0 +1,54 @@
+#include "cinderella/lang/ast.hpp"
+
+namespace cinderella::lang {
+
+const char* typeName(Type type) {
+  switch (type) {
+    case Type::Int: return "int";
+    case Type::Float: return "float";
+    case Type::Void: return "void";
+  }
+  return "?";
+}
+
+const char* binaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Add: return "+";
+    case BinaryOp::Sub: return "-";
+    case BinaryOp::Mul: return "*";
+    case BinaryOp::Div: return "/";
+    case BinaryOp::Rem: return "%";
+    case BinaryOp::BitAnd: return "&";
+    case BinaryOp::BitOr: return "|";
+    case BinaryOp::BitXor: return "^";
+    case BinaryOp::Shl: return "<<";
+    case BinaryOp::Shr: return ">>";
+    case BinaryOp::Eq: return "==";
+    case BinaryOp::Ne: return "!=";
+    case BinaryOp::Lt: return "<";
+    case BinaryOp::Le: return "<=";
+    case BinaryOp::Gt: return ">";
+    case BinaryOp::Ge: return ">=";
+    case BinaryOp::LogAnd: return "&&";
+    case BinaryOp::LogOr: return "||";
+  }
+  return "?";
+}
+
+std::unique_ptr<Expr> makeIntLit(std::int64_t value, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::IntLit;
+  e->intValue = value;
+  e->type = Type::Int;
+  e->loc = loc;
+  return e;
+}
+
+int Program::findFunction(std::string_view name) const {
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    if (functions[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace cinderella::lang

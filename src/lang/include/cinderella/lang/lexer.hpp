@@ -1,0 +1,15 @@
+// Hand-written lexer for MiniC.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "cinderella/lang/token.hpp"
+
+namespace cinderella::lang {
+
+/// Tokenizes `source`; throws ParseError on malformed input.  The final
+/// token always has kind End.
+[[nodiscard]] std::vector<Token> lex(std::string_view source);
+
+}  // namespace cinderella::lang

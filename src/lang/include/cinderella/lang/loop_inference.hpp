@@ -1,0 +1,30 @@
+// Automatic trip-count inference for counted loops — the paper's
+// Section VII future work: "explore the possibility of using symbolic
+// analysis techniques to automatically derive some of the functionality
+// constraints".
+//
+// A `for` loop is inferable when it has the canonical counted shape
+//     for (i = C0; i REL C1; i = i STEP K)
+// with integer-literal C0/C1/K, REL in {<, <=, >, >=, !=}, STEP matching
+// the direction, and the induction variable never written inside the
+// body.  The inferred trip count is exact, so it doubles as both the
+// lower and upper loop bound.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "cinderella/lang/ast.hpp"
+
+namespace cinderella::lang {
+
+/// Inferred [lo, hi] body-execution bounds of the counted loop
+/// `forStmt`, or nullopt when the loop is not provably counted.  The
+/// count is exact (lo == hi) unless the body contains a `return`, which
+/// can leave the loop early (then lo == 0).  Requires a resolved AST
+/// (run `analyze` first).
+[[nodiscard]] std::optional<std::pair<std::int64_t, std::int64_t>>
+inferTripCount(const Stmt& forStmt);
+
+}  // namespace cinderella::lang

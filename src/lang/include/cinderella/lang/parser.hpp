@@ -1,0 +1,15 @@
+// Recursive-descent parser for MiniC.
+#pragma once
+
+#include <string_view>
+
+#include "cinderella/lang/ast.hpp"
+
+namespace cinderella::lang {
+
+/// Parses a MiniC translation unit.  Throws ParseError on syntax errors.
+/// The returned Program is unresolved; run `analyze` (sema.hpp) before
+/// code generation.
+[[nodiscard]] Program parse(std::string_view source);
+
+}  // namespace cinderella::lang

@@ -1,0 +1,15 @@
+// Semantic analysis for MiniC: name resolution, type checking with
+// implicit int<->float conversions, call resolution, and rejection of
+// programs outside the paper's model (recursion, void misuse).
+#pragma once
+
+#include "cinderella/lang/ast.hpp"
+
+namespace cinderella::lang {
+
+/// Resolves and type-checks `program` in place.  Throws ParseError on
+/// semantic errors and AnalysisError when the program violates the
+/// analysable-program model (e.g. recursion).
+void analyze(Program& program);
+
+}  // namespace cinderella::lang

@@ -1,0 +1,292 @@
+#include "cinderella/lang/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "cinderella/support/error.hpp"
+
+namespace cinderella::lang {
+
+const char* tokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::End: return "end of input";
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::IntLiteral: return "integer literal";
+    case TokenKind::FloatLiteral: return "float literal";
+    case TokenKind::KwInt: return "'int'";
+    case TokenKind::KwFloat: return "'float'";
+    case TokenKind::KwVoid: return "'void'";
+    case TokenKind::KwIf: return "'if'";
+    case TokenKind::KwElse: return "'else'";
+    case TokenKind::KwWhile: return "'while'";
+    case TokenKind::KwFor: return "'for'";
+    case TokenKind::KwReturn: return "'return'";
+    case TokenKind::KwLoopBound: return "'__loopbound'";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::LBrace: return "'{'";
+    case TokenKind::RBrace: return "'}'";
+    case TokenKind::LBracket: return "'['";
+    case TokenKind::RBracket: return "']'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Semicolon: return "';'";
+    case TokenKind::Assign: return "'='";
+    case TokenKind::Plus: return "'+'";
+    case TokenKind::Minus: return "'-'";
+    case TokenKind::Star: return "'*'";
+    case TokenKind::Slash: return "'/'";
+    case TokenKind::Percent: return "'%'";
+    case TokenKind::Amp: return "'&'";
+    case TokenKind::Pipe: return "'|'";
+    case TokenKind::Caret: return "'^'";
+    case TokenKind::Tilde: return "'~'";
+    case TokenKind::Shl: return "'<<'";
+    case TokenKind::Shr: return "'>>'";
+    case TokenKind::AmpAmp: return "'&&'";
+    case TokenKind::PipePipe: return "'||'";
+    case TokenKind::Bang: return "'!'";
+    case TokenKind::Eq: return "'=='";
+    case TokenKind::Ne: return "'!='";
+    case TokenKind::Lt: return "'<'";
+    case TokenKind::Le: return "'<='";
+    case TokenKind::Gt: return "'>'";
+    case TokenKind::Ge: return "'>='";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& keywords() {
+  static const std::unordered_map<std::string_view, TokenKind> map = {
+      {"int", TokenKind::KwInt},         {"float", TokenKind::KwFloat},
+      {"void", TokenKind::KwVoid},       {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},       {"while", TokenKind::KwWhile},
+      {"for", TokenKind::KwFor},         {"return", TokenKind::KwReturn},
+      {"__loopbound", TokenKind::KwLoopBound},
+  };
+  return map;
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] bool atEnd() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < text_.size() ? text_[i] : '\0';
+  }
+  char advance() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+  [[nodiscard]] SourceLoc loc() const { return {line_, column_}; }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+[[noreturn]] void fail(SourceLoc loc, const std::string& message) {
+  throw ParseError("lex error at " + loc.str() + ": " + message);
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) {
+  std::vector<Token> tokens;
+  Cursor cur(source);
+
+  auto push = [&](TokenKind kind, SourceLoc loc) {
+    Token t;
+    t.kind = kind;
+    t.loc = loc;
+    tokens.push_back(std::move(t));
+  };
+
+  while (!cur.atEnd()) {
+    const SourceLoc loc = cur.loc();
+    const char c = cur.peek();
+
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      cur.advance();
+      continue;
+    }
+    // Comments.
+    if (c == '/' && cur.peek(1) == '/') {
+      while (!cur.atEnd() && cur.peek() != '\n') cur.advance();
+      continue;
+    }
+    if (c == '/' && cur.peek(1) == '*') {
+      cur.advance();
+      cur.advance();
+      while (!(cur.peek() == '*' && cur.peek(1) == '/')) {
+        if (cur.atEnd()) fail(loc, "unterminated block comment");
+        cur.advance();
+      }
+      cur.advance();
+      cur.advance();
+      continue;
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (std::isalnum(static_cast<unsigned char>(cur.peek())) ||
+             cur.peek() == '_') {
+        word.push_back(cur.advance());
+      }
+      const auto it = keywords().find(word);
+      Token t;
+      t.kind = (it != keywords().end()) ? it->second : TokenKind::Identifier;
+      t.loc = loc;
+      t.text = std::move(word);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string digits;
+      bool isFloat = false;
+      bool isHex = false;
+      if (c == '0' && (cur.peek(1) == 'x' || cur.peek(1) == 'X')) {
+        digits.push_back(cur.advance());
+        digits.push_back(cur.advance());
+        isHex = true;
+        while (std::isxdigit(static_cast<unsigned char>(cur.peek()))) {
+          digits.push_back(cur.advance());
+        }
+        if (digits.size() == 2) fail(loc, "malformed hex literal");
+      } else {
+        while (std::isdigit(static_cast<unsigned char>(cur.peek()))) {
+          digits.push_back(cur.advance());
+        }
+        if (cur.peek() == '.' &&
+            std::isdigit(static_cast<unsigned char>(cur.peek(1)))) {
+          isFloat = true;
+          digits.push_back(cur.advance());
+          while (std::isdigit(static_cast<unsigned char>(cur.peek()))) {
+            digits.push_back(cur.advance());
+          }
+        }
+        if (cur.peek() == 'e' || cur.peek() == 'E') {
+          std::size_t look = 1;
+          if (cur.peek(1) == '+' || cur.peek(1) == '-') look = 2;
+          if (std::isdigit(static_cast<unsigned char>(cur.peek(look)))) {
+            isFloat = true;
+            digits.push_back(cur.advance());
+            if (cur.peek() == '+' || cur.peek() == '-') {
+              digits.push_back(cur.advance());
+            }
+            while (std::isdigit(static_cast<unsigned char>(cur.peek()))) {
+              digits.push_back(cur.advance());
+            }
+          }
+        }
+      }
+      Token t;
+      t.loc = loc;
+      if (isFloat) {
+        t.kind = TokenKind::FloatLiteral;
+        t.floatValue = std::strtod(digits.c_str(), nullptr);
+      } else {
+        t.kind = TokenKind::IntLiteral;
+        t.intValue = std::strtoll(digits.c_str(), nullptr, isHex ? 16 : 10);
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+
+    cur.advance();
+    switch (c) {
+      case '(': push(TokenKind::LParen, loc); break;
+      case ')': push(TokenKind::RParen, loc); break;
+      case '{': push(TokenKind::LBrace, loc); break;
+      case '}': push(TokenKind::RBrace, loc); break;
+      case '[': push(TokenKind::LBracket, loc); break;
+      case ']': push(TokenKind::RBracket, loc); break;
+      case ',': push(TokenKind::Comma, loc); break;
+      case ';': push(TokenKind::Semicolon, loc); break;
+      case '+': push(TokenKind::Plus, loc); break;
+      case '-': push(TokenKind::Minus, loc); break;
+      case '*': push(TokenKind::Star, loc); break;
+      case '/': push(TokenKind::Slash, loc); break;
+      case '%': push(TokenKind::Percent, loc); break;
+      case '^': push(TokenKind::Caret, loc); break;
+      case '~': push(TokenKind::Tilde, loc); break;
+      case '&':
+        if (cur.peek() == '&') {
+          cur.advance();
+          push(TokenKind::AmpAmp, loc);
+        } else {
+          push(TokenKind::Amp, loc);
+        }
+        break;
+      case '|':
+        if (cur.peek() == '|') {
+          cur.advance();
+          push(TokenKind::PipePipe, loc);
+        } else {
+          push(TokenKind::Pipe, loc);
+        }
+        break;
+      case '!':
+        if (cur.peek() == '=') {
+          cur.advance();
+          push(TokenKind::Ne, loc);
+        } else {
+          push(TokenKind::Bang, loc);
+        }
+        break;
+      case '=':
+        if (cur.peek() == '=') {
+          cur.advance();
+          push(TokenKind::Eq, loc);
+        } else {
+          push(TokenKind::Assign, loc);
+        }
+        break;
+      case '<':
+        if (cur.peek() == '=') {
+          cur.advance();
+          push(TokenKind::Le, loc);
+        } else if (cur.peek() == '<') {
+          cur.advance();
+          push(TokenKind::Shl, loc);
+        } else {
+          push(TokenKind::Lt, loc);
+        }
+        break;
+      case '>':
+        if (cur.peek() == '=') {
+          cur.advance();
+          push(TokenKind::Ge, loc);
+        } else if (cur.peek() == '>') {
+          cur.advance();
+          push(TokenKind::Shr, loc);
+        } else {
+          push(TokenKind::Gt, loc);
+        }
+        break;
+      default:
+        fail(loc, std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Token end;
+  end.kind = TokenKind::End;
+  end.loc = cur.loc();
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace cinderella::lang

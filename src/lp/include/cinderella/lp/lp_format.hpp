@@ -1,0 +1,28 @@
+// CPLEX-LP-format writer.
+//
+// The paper's tool handed its constraint systems to an off-the-shelf
+// ILP package; this writer provides the same interop: any Problem can be
+// exported and solved/inspected with lp_solve, CBC, glpsol, CPLEX, or
+// Gurobi (all read this format).
+#pragma once
+
+#include <string>
+
+#include "cinderella/lp/problem.hpp"
+
+namespace cinderella::lp {
+
+struct LpFormatOptions {
+  /// Declare every variable integral (the IPET use case).
+  bool integer = true;
+  /// Emit a comment header naming the producer.
+  bool header = true;
+};
+
+/// Renders `problem` in LP format.  Variable names are sanitized to the
+/// format's identifier rules (alphanumeric plus _ . [] are kept; other
+/// characters become '_'; a leading digit gets a 'v' prefix).
+[[nodiscard]] std::string toLpFormat(const Problem& problem,
+                                     const LpFormatOptions& options = {});
+
+}  // namespace cinderella::lp

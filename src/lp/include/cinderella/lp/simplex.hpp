@@ -1,0 +1,43 @@
+// Two-phase primal simplex solver over a dense tableau.
+//
+// Sized for IPET workloads: hundreds of variables and constraints.  Uses
+// Bland's rule (lexicographically smallest entering/leaving index) so the
+// method provably terminates even on degenerate flow problems, which IPET
+// constraint systems almost always are.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cinderella/lp/problem.hpp"
+
+namespace cinderella::lp {
+
+enum class SolveStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+
+[[nodiscard]] const char* solveStatusStr(SolveStatus status);
+
+struct Solution {
+  SolveStatus status = SolveStatus::Infeasible;
+  /// Objective value in the problem's own sense (valid when Optimal).
+  double objective = 0.0;
+  /// Value of every original variable (valid when Optimal).
+  std::vector<double> values;
+  /// Total simplex pivots across both phases.
+  int pivots = 0;
+};
+
+struct SimplexOptions {
+  /// Hard cap on pivots across both phases; exceeded => IterationLimit.
+  int maxPivots = 200000;
+  /// Pivot-element magnitude below which a column is treated as zero.
+  double pivotTol = 1e-9;
+  /// Feasibility/optimality tolerance on reduced costs and residuals.
+  double tol = 1e-7;
+};
+
+/// Solves `problem` and returns its optimum, or the failure status.
+[[nodiscard]] Solution solve(const Problem& problem,
+                             const SimplexOptions& options = {});
+
+}  // namespace cinderella::lp

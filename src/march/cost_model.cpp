@@ -1,0 +1,194 @@
+#include "cinderella/march/cost_model.hpp"
+
+#include <algorithm>
+
+#include "cinderella/support/error.hpp"
+
+namespace cinderella::march {
+
+using vm::Instr;
+using vm::Opcode;
+
+CostModel::CostModel(MachineParams params) : params_(params) {
+  CIN_REQUIRE(params_.cacheLineBytes > 0);
+  CIN_REQUIRE(params_.cacheSizeBytes % params_.cacheLineBytes == 0);
+}
+
+MachineParams i960kbParams() { return MachineParams{}; }
+
+MachineParams dsp3210Params() {
+  MachineParams params;
+  params.name = "dsp3210";
+  // DSP datapath: single-cycle MAC, fast float add/multiply, no divider.
+  params.costs.mul = 2;
+  params.costs.fadd = 2;
+  params.costs.fmul = 2;
+  params.costs.fdiv = 18;
+  params.costs.divide = 24;
+  params.costs.fcmp = 2;
+  params.costs.convert = 2;
+  params.costs.loadTotal = 2;
+  // Larger on-chip instruction memory, pricier external fetches.
+  params.cacheSizeBytes = 1024;
+  params.cacheLineBytes = 16;
+  params.missPenalty = 12;
+  params.branchTakenPenalty = 2;
+  return params;
+}
+
+int CostModel::baseCycles(const Instr& instr) const {
+  const OpCosts& c = params_.costs;
+  switch (instr.op) {
+    case Opcode::MovI:
+    case Opcode::MovF:
+    case Opcode::Mov:
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Neg:
+    case Opcode::Not:
+    case Opcode::AddI:
+    case Opcode::FrameAddr:
+    case Opcode::CmpEq:
+    case Opcode::CmpNe:
+    case Opcode::CmpLt:
+    case Opcode::CmpLe:
+    case Opcode::CmpGt:
+    case Opcode::CmpGe:
+      return c.alu;
+    case Opcode::Shl:
+    case Opcode::Shr:
+      return c.shiftOp;
+    case Opcode::Mul:
+    case Opcode::MulI:
+      return c.mul;
+    case Opcode::Div:
+    case Opcode::Rem:
+      return c.divide;
+    case Opcode::FNeg:
+      return c.fneg;
+    case Opcode::FAdd:
+    case Opcode::FSub:
+      return c.fadd;
+    case Opcode::FMul:
+      return c.fmul;
+    case Opcode::FDiv:
+      return c.fdiv;
+    case Opcode::CvtIF:
+    case Opcode::CvtFI:
+      return c.convert;
+    case Opcode::FCmpEq:
+    case Opcode::FCmpNe:
+    case Opcode::FCmpLt:
+    case Opcode::FCmpLe:
+    case Opcode::FCmpGt:
+    case Opcode::FCmpGe:
+      return c.fcmp;
+    case Opcode::Ld:
+      return c.loadTotal;
+    case Opcode::St:
+      return c.store;
+    case Opcode::Br:
+    case Opcode::Bt:
+    case Opcode::Bf:
+      return c.branch;
+    case Opcode::Call:
+      return c.call;
+    case Opcode::Ret:
+      return c.ret;
+    case Opcode::Halt:
+      return c.halt;
+  }
+  return c.alu;
+}
+
+bool CostModel::readsResultOf(const Instr& prev, const Instr& next) {
+  const int rd = prev.rd;
+  if (rd < 0) return false;
+  if (next.rs1 == rd || next.rs2 == rd) return true;
+  return std::find(next.args.begin(), next.args.end(), rd) != next.args.end();
+}
+
+std::int64_t CostModel::pipelineCycles(const vm::Function& fn, int first,
+                                       int last) const {
+  CIN_REQUIRE(first >= 0 && last < static_cast<int>(fn.code.size()) &&
+              first <= last);
+  std::int64_t cycles = 0;
+  for (int i = first; i <= last; ++i) {
+    const Instr& in = fn.code[static_cast<std::size_t>(i)];
+    std::int64_t effective = baseCycles(in);
+    if (i > first) {
+      const Instr& prev = fn.code[static_cast<std::size_t>(i - 1)];
+      if (readsResultOf(prev, in)) {
+        effective +=
+            (prev.op == Opcode::Ld) ? params_.loadUseStall : params_.hazardStall;
+      } else {
+        // Independent neighbours overlap in the pipeline; an instruction
+        // still occupies at least one issue slot.
+        effective = std::max<std::int64_t>(1, effective - params_.overlapCredit);
+      }
+    }
+    cycles += effective;
+  }
+  return cycles;
+}
+
+int CostModel::linesTouched(const vm::Function& fn, int first,
+                            int last) const {
+  CIN_REQUIRE(fn.baseAddr >= 0 && "module must be laid out");
+  const int firstAddr = fn.instrAddr(first);
+  const int lastAddr = fn.instrAddr(last) + vm::kInstrBytes - 1;
+  return lastAddr / params_.cacheLineBytes -
+         firstAddr / params_.cacheLineBytes + 1;
+}
+
+BlockCost CostModel::blockCost(const vm::Function& fn, int first,
+                               int last) const {
+  const std::int64_t pipe = pipelineCycles(fn, first, last);
+  const Instr& term = fn.code[static_cast<std::size_t>(last)];
+
+  BlockCost cost;
+  cost.best = pipe;
+  cost.worst = pipe + static_cast<std::int64_t>(linesTouched(fn, first, last)) *
+                          params_.missPenalty;
+
+  switch (term.op) {
+    case Opcode::Bt:
+    case Opcode::Bf:
+      // Outcome unknown statically: worst taken, best fall-through.
+      cost.worst += params_.branchTakenPenalty;
+      break;
+    case Opcode::Br:
+    case Opcode::Call:
+    case Opcode::Ret:
+      // Always-taken transfers flush deterministically.
+      cost.best += params_.branchTakenPenalty;
+      cost.worst += params_.branchTakenPenalty;
+      break;
+    default:
+      break;
+  }
+  return cost;
+}
+
+std::int64_t CostModel::worstCyclesAllHit(const vm::Function& fn, int first,
+                                          int last) const {
+  std::int64_t worst = pipelineCycles(fn, first, last);
+  const Instr& term = fn.code[static_cast<std::size_t>(last)];
+  switch (term.op) {
+    case Opcode::Bt:
+    case Opcode::Bf:
+    case Opcode::Br:
+    case Opcode::Call:
+    case Opcode::Ret:
+      worst += params_.branchTakenPenalty;
+      break;
+    default:
+      break;
+  }
+  return worst;
+}
+
+}  // namespace cinderella::march

@@ -1,0 +1,36 @@
+#include "cinderella/march/icache.hpp"
+
+#include "cinderella/support/error.hpp"
+
+namespace cinderella::march {
+
+ICache::ICache(const MachineParams& params)
+    : lineBytes_(params.cacheLineBytes),
+      tags_(static_cast<std::size_t>(params.numSets()), -1) {
+  CIN_REQUIRE(!tags_.empty());
+}
+
+bool ICache::access(int byteAddr) {
+  CIN_REQUIRE(byteAddr >= 0);
+  const std::int64_t line = byteAddr / lineBytes_;
+  const std::size_t set =
+      static_cast<std::size_t>(line) % tags_.size();
+  if (tags_[set] == line) {
+    ++hits_;
+    return true;
+  }
+  tags_[set] = line;
+  ++misses_;
+  return false;
+}
+
+void ICache::flush() {
+  for (auto& tag : tags_) tag = -1;
+}
+
+void ICache::resetStats() {
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace cinderella::march

@@ -1,0 +1,120 @@
+// Micro-architectural timing model (paper Section IV).
+//
+// The model mirrors the paper's "simple hardware model" for the i960KB:
+//   - per-instruction base cycles from a cost table,
+//   - pipeline effects resolved only between *adjacent instructions
+//     within a basic block*: independent neighbours overlap by one cycle,
+//     a use of the previous result stalls (more for loads),
+//   - conditional-branch outcomes are not predicted: the worst case
+//     charges the taken-flush penalty, the best case charges none,
+//   - a direct-mapped instruction cache: the worst case assumes every
+//     cache line fetched by the block misses, the best case assumes all
+//     hit.
+//
+// The same per-block pipeline arithmetic is reused by the cycle-accurate
+// simulator (src/sim) with *dynamic* cache and branch behaviour, which
+// guarantees the static interval [best, worst] brackets every simulated
+// execution — the paper's soundness property.
+#pragma once
+
+#include <cstdint>
+
+#include "cinderella/vm/module.hpp"
+
+namespace cinderella::march {
+
+/// Base cycles per instruction class, taken from the target's manual the
+/// way the paper reads the i960KB handbook.
+struct OpCosts {
+  int alu = 1;     ///< moves, add/sub, logic, compares, address arithmetic
+  int shiftOp = 2;
+  int mul = 5;
+  int divide = 35;
+  int fneg = 2;
+  int fadd = 8;    ///< also fsub
+  int fmul = 12;
+  int fdiv = 32;
+  int convert = 5; ///< int <-> float
+  int fcmp = 6;
+  int loadTotal = 3;
+  int store = 2;
+  int branch = 2;
+  int call = 6;
+  int ret = 5;
+  int halt = 1;
+};
+
+struct MachineParams {
+  /// A short name for reports ("i960kb", "dsp3210", ...).
+  const char* name = "i960kb";
+  OpCosts costs;
+  // Pipeline.
+  int overlapCredit = 1;    ///< Cycles saved per independent adjacent pair.
+  int hazardStall = 1;      ///< Extra cycles when an ALU result is used next.
+  int loadUseStall = 2;     ///< Extra cycles when a load result is used next.
+  int branchTakenPenalty = 3;  ///< Flush cost of any taken branch.
+  // Instruction cache (i960KB: 512-byte direct-mapped).
+  int cacheSizeBytes = 512;
+  int cacheLineBytes = 16;
+  int missPenalty = 8;      ///< Cycles per instruction-cache line miss.
+
+  [[nodiscard]] int numSets() const { return cacheSizeBytes / cacheLineBytes; }
+};
+
+/// The paper's target: Intel i960KB — 4-stage pipeline, FPU, 512-byte
+/// direct-mapped instruction cache.
+[[nodiscard]] MachineParams i960kbParams();
+
+/// The paper's announced port (Section VII): AT&T DSP3210 for the VCOS
+/// operating system — single-cycle-MAC DSP datapath, larger on-chip
+/// instruction memory, slower external fetches.
+[[nodiscard]] MachineParams dsp3210Params();
+
+/// Static best/worst execution cycles of one basic block.
+struct BlockCost {
+  std::int64_t best = 0;
+  std::int64_t worst = 0;
+};
+
+class CostModel {
+ public:
+  explicit CostModel(MachineParams params = {});
+
+  [[nodiscard]] const MachineParams& params() const { return params_; }
+
+  /// Base cycle count of one instruction (no pipeline/cache effects).
+  [[nodiscard]] int baseCycles(const vm::Instr& instr) const;
+
+  /// Pipeline-adjusted cycles of the straight-line instruction range
+  /// [first, last] of `fn` — base cycles plus hazard stalls minus overlap
+  /// credits, exactly as both the static analysis and the simulator
+  /// account them.  Excludes cache misses and branch-taken penalties.
+  [[nodiscard]] std::int64_t pipelineCycles(const vm::Function& fn, int first,
+                                            int last) const;
+
+  /// Number of distinct instruction-cache lines the range touches.
+  [[nodiscard]] int linesTouched(const vm::Function& fn, int first,
+                                 int last) const;
+
+  /// Static [best, worst] cycles of the block spanning [first, last].
+  /// Worst: every touched line misses and a terminating conditional
+  /// branch is taken.  Best: all lines hit and conditional fall-through.
+  /// Unconditional transfers (Br/Call/Ret) pay the flush in both bounds.
+  [[nodiscard]] BlockCost blockCost(const vm::Function& fn, int first,
+                                    int last) const;
+
+  /// Worst-case cycles of the block when all its lines are known to hit
+  /// (used by the first-iteration-split refinement): like blockCost's
+  /// worst but without the miss term.
+  [[nodiscard]] std::int64_t worstCyclesAllHit(const vm::Function& fn,
+                                               int first, int last) const;
+
+ private:
+  /// True when `next` reads the destination register of `prev`.
+  [[nodiscard]] static bool readsResultOf(const vm::Instr& prev,
+                                          const vm::Instr& next);
+
+  MachineParams params_;
+};
+
+}  // namespace cinderella::march

@@ -1,0 +1,35 @@
+// Dynamic direct-mapped instruction cache, used by the simulator to
+// produce "measured" timings the way the paper's QT960 board did.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cinderella/march/cost_model.hpp"
+
+namespace cinderella::march {
+
+class ICache {
+ public:
+  explicit ICache(const MachineParams& params);
+
+  /// Simulates a fetch of the given byte address.  Returns true on hit;
+  /// on miss the line is filled.
+  bool access(int byteAddr);
+
+  /// Invalidates the whole cache (the paper flushes before worst-case
+  /// measurement runs).
+  void flush();
+
+  [[nodiscard]] std::int64_t hits() const { return hits_; }
+  [[nodiscard]] std::int64_t misses() const { return misses_; }
+  void resetStats();
+
+ private:
+  int lineBytes_;
+  std::vector<std::int64_t> tags_;  // -1 = invalid
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+}  // namespace cinderella::march

@@ -1,0 +1,95 @@
+// Cycle-accurate VISA simulator — the repo's stand-in for the paper's
+// Intel QT960 evaluation board.
+//
+// Timing is charged per basic block using the *same* pipeline arithmetic
+// as the static cost model (march::CostModel::pipelineCycles), plus
+// dynamic instruction-cache misses and dynamic branch-flush penalties.
+// Because blocks are entered only at their leaders, every simulated run
+// satisfies
+//     sum_i bestCost(B_i) * count(B_i)  <=  cycles  <=
+//     sum_i worstCost(B_i) * count(B_i),
+// which is the bracketing the paper's evaluation relies on.
+//
+// The simulator also maintains per-basic-block execution counters — the
+// paper's Experiment 1 "insert a counter into each basic block".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cinderella/cfg/cfg.hpp"
+#include "cinderella/march/cost_model.hpp"
+#include "cinderella/march/icache.hpp"
+#include "cinderella/vm/module.hpp"
+
+namespace cinderella::sim {
+
+/// Replaces the initial contents of a named global before a run (how
+/// benchmark harnesses install worst-case / best-case data sets).
+struct GlobalPatch {
+  std::string name;
+  std::vector<std::uint64_t> words;
+};
+
+[[nodiscard]] std::uint64_t encodeInt(std::int64_t value);
+[[nodiscard]] std::uint64_t encodeFloat(double value);
+[[nodiscard]] std::int64_t decodeInt(std::uint64_t raw);
+[[nodiscard]] double decodeFloat(std::uint64_t raw);
+
+struct SimOptions {
+  /// Invalidate the instruction cache before the run (the paper flushes
+  /// the cache before each worst-case measurement).
+  bool coldCache = true;
+  /// Safety valve against runaway programs.
+  std::int64_t maxInstructions = 500'000'000;
+  int stackWords = 1 << 20;
+  std::vector<GlobalPatch> patches;
+};
+
+struct SimResult {
+  std::int64_t cycles = 0;
+  std::int64_t instructions = 0;
+  /// Raw return value of the root call (decode with decodeInt/Float).
+  std::uint64_t returnValue = 0;
+  bool returnedValue = false;
+  /// blockCounts[fn][block] = times the block was executed.
+  std::vector<std::vector<std::int64_t>> blockCounts;
+  std::int64_t cacheHits = 0;
+  std::int64_t cacheMisses = 0;
+};
+
+class Simulator {
+ public:
+  /// Precomputes CFGs and per-block pipeline costs for every function.
+  explicit Simulator(const vm::Module& module,
+                     march::CostModel model = march::CostModel{});
+
+  /// Runs `function` with the given integer arguments.  Global memory is
+  /// re-initialized from the module image (plus patches) on every run;
+  /// the instruction cache persists across runs unless coldCache is set,
+  /// enabling warm-cache (best-case) measurements.
+  SimResult run(int function, std::span<const std::int64_t> args,
+                const SimOptions& options = {});
+
+  /// Overload taking pre-encoded raw argument words.
+  SimResult runRaw(int function, std::span<const std::uint64_t> args,
+                   const SimOptions& options = {});
+
+  [[nodiscard]] const cfg::ControlFlowGraph& cfgOf(int function) const {
+    return cfgs_[static_cast<std::size_t>(function)];
+  }
+  [[nodiscard]] const vm::Module& module() const { return module_; }
+  [[nodiscard]] const march::CostModel& costModel() const { return model_; }
+
+ private:
+  const vm::Module& module_;
+  march::CostModel model_;
+  std::vector<cfg::ControlFlowGraph> cfgs_;
+  /// pipeCost_[fn][block]: precomputed pipeline cycles per block.
+  std::vector<std::vector<std::int64_t>> pipeCost_;
+  march::ICache icache_;
+};
+
+}  // namespace cinderella::sim

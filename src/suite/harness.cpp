@@ -1,0 +1,95 @@
+#include "cinderella/suite/harness.hpp"
+
+#include "cinderella/codegen/codegen.hpp"
+#include "cinderella/support/error.hpp"
+
+namespace cinderella::suite {
+
+namespace {
+
+/// Sum of blockCounts * per-block cost, selecting worst or best costs.
+std::int64_t accumulate(const sim::SimResult& run,
+                        const ipet::Analyzer& analyzer, bool worst) {
+  std::int64_t total = 0;
+  for (std::size_t f = 0; f < run.blockCounts.size(); ++f) {
+    for (std::size_t b = 0; b < run.blockCounts[f].size(); ++b) {
+      const std::int64_t count = run.blockCounts[f][b];
+      if (count == 0) continue;
+      const march::BlockCost cost =
+          analyzer.blockCost(static_cast<int>(f), static_cast<int>(b));
+      total += count * (worst ? cost.worst : cost.best);
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+BenchmarkEvaluation evaluate(const Benchmark& benchmark,
+                             const EvalOptions& options) {
+  BenchmarkEvaluation eval;
+  eval.name = benchmark.name;
+  eval.description = benchmark.description;
+  eval.sourceLines = benchmark.sourceLines();
+
+  const codegen::CompileResult compiled =
+      codegen::compileSource(benchmark.source);
+  const auto rootIndex = compiled.module.findFunction(benchmark.rootFunction);
+  if (!rootIndex) {
+    throw AnalysisError("benchmark root '" + benchmark.rootFunction +
+                        "' not found");
+  }
+
+  // --- Estimated bound (the tool under evaluation). ---
+  ipet::AnalyzerOptions aopt;
+  aopt.cacheMode = options.cacheMode;
+  aopt.machine = options.machine;
+  ipet::Analyzer analyzer(compiled, benchmark.rootFunction, aopt);
+  for (const auto& c : benchmark.constraints) {
+    analyzer.addConstraint(c.text, c.scope);
+  }
+  const ipet::Estimate estimate = analyzer.estimate();
+  eval.estimated = estimate.bound;
+  eval.stats = estimate.stats;
+
+  // --- Experiment 1: calculated bound from instrumented runs. ---
+  march::CostModel model(options.machine);
+  sim::Simulator simulator(compiled.module, model);
+
+  sim::SimOptions worstRun;
+  worstRun.coldCache = true;
+  worstRun.patches = benchmark.worstData;
+  const sim::SimResult worst = simulator.run(*rootIndex, {}, worstRun);
+
+  sim::SimOptions bestRunCold;
+  bestRunCold.coldCache = true;
+  bestRunCold.patches = benchmark.bestData;
+  (void)simulator.run(*rootIndex, {}, bestRunCold);  // prime the cache
+  sim::SimOptions bestRunWarm;
+  bestRunWarm.coldCache = false;
+  bestRunWarm.patches = benchmark.bestData;
+  const sim::SimResult best = simulator.run(*rootIndex, {}, bestRunWarm);
+
+  eval.calculated.hi = accumulate(worst, analyzer, /*worst=*/true);
+  eval.calculated.lo = accumulate(best, analyzer, /*worst=*/false);
+
+  // --- Experiment 2: measured bound from the simulator's cycle counts.
+  eval.measured.hi = worst.cycles;
+  eval.measured.lo = best.cycles;
+
+  auto ratio = [](std::int64_t num, std::int64_t den) {
+    return den == 0 ? 0.0
+                    : static_cast<double>(num) / static_cast<double>(den);
+  };
+  eval.pessCalcLo = ratio(eval.calculated.lo - eval.estimated.lo,
+                          eval.calculated.lo);
+  eval.pessCalcHi = ratio(eval.estimated.hi - eval.calculated.hi,
+                          eval.calculated.hi);
+  eval.pessMeasLo = ratio(eval.measured.lo - eval.estimated.lo,
+                          eval.measured.lo);
+  eval.pessMeasHi = ratio(eval.estimated.hi - eval.measured.hi,
+                          eval.measured.hi);
+  return eval;
+}
+
+}  // namespace cinderella::suite

@@ -1,0 +1,47 @@
+// The paper's evaluation procedures.
+//
+// Experiment 1 (Table II): "calculated bound" — instrument every basic
+// block with a counter, run the program on hand-identified extreme data
+// sets, and sum counter * static block cost.  Compares path-analysis
+// accuracy in isolation.
+//
+// Experiment 2 (Table III): "measured bound" — actually run the program
+// (here: on the cycle-accurate simulator standing in for the QT960
+// board), cache flushed for the worst case, warm for the best case.
+// Compares against real micro-architectural behaviour.
+#pragma once
+
+#include "cinderella/ipet/analyzer.hpp"
+#include "cinderella/suite/suite.hpp"
+
+namespace cinderella::suite {
+
+struct EvalOptions {
+  /// Cache treatment for the worst-case bound (ablation benches).
+  ipet::CacheMode cacheMode = ipet::CacheMode::AllMiss;
+  march::MachineParams machine;
+};
+
+struct BenchmarkEvaluation {
+  std::string name;
+  std::string description;
+  int sourceLines = 0;
+
+  ipet::Interval estimated;   ///< IPET bound [t_min, t_max].
+  ipet::Interval calculated;  ///< Experiment-1 counter-based bound.
+  ipet::Interval measured;    ///< Experiment-2 simulated bound.
+  ipet::SolveStats stats;
+
+  /// Pessimism vs the calculated bound: [(C_l-E_l)/C_l, (E_u-C_u)/C_u].
+  double pessCalcLo = 0.0;
+  double pessCalcHi = 0.0;
+  /// Pessimism vs the measured bound: [(M_l-E_l)/M_l, (E_u-M_u)/M_u].
+  double pessMeasLo = 0.0;
+  double pessMeasHi = 0.0;
+};
+
+/// Runs the complete evaluation pipeline on one benchmark.
+[[nodiscard]] BenchmarkEvaluation evaluate(const Benchmark& benchmark,
+                                           const EvalOptions& options = {});
+
+}  // namespace cinderella::suite

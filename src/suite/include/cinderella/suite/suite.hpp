@@ -1,0 +1,73 @@
+// The paper's benchmark set (Table I), re-implemented in MiniC.
+//
+// Each benchmark bundles:
+//   - annotated MiniC source (`__loopbound` on every loop),
+//   - the root function to analyse,
+//   - functionality constraints beyond loop bounds (paper Section III-C);
+//     these play the role of the path information a user of cinderella
+//     supplies after studying the program,
+//   - worst-case and best-case input data sets, identified the way the
+//     paper's Experiment 1 does ("identify the initial data set that
+//     corresponds to the longest/shortest running time").
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cinderella/sim/simulator.hpp"
+
+namespace cinderella::suite {
+
+struct Constraint {
+  std::string text;
+  /// Default scope for unqualified references; empty = root function.
+  std::string scope;
+};
+
+struct Benchmark {
+  std::string name;
+  std::string description;
+  std::string source;
+  std::string rootFunction;
+  std::vector<Constraint> constraints;
+  std::vector<sim::GlobalPatch> worstData;
+  std::vector<sim::GlobalPatch> bestData;
+
+  /// Number of newline-separated source lines (Table I "Lines").
+  [[nodiscard]] int sourceLines() const;
+};
+
+/// All Table-I benchmarks, in the paper's order.
+[[nodiscard]] const std::vector<Benchmark>& allBenchmarks();
+
+/// Lookup by name; throws AnalysisError when unknown.
+[[nodiscard]] const Benchmark& benchmarkByName(std::string_view name);
+
+/// 1-based line number of the first source line containing `needle`;
+/// throws AnalysisError when absent.  Keeps generated constraints robust
+/// against layout edits.
+[[nodiscard]] int lineOf(std::string_view source, std::string_view needle);
+
+/// Helpers for building data-set patches.
+[[nodiscard]] sim::GlobalPatch patchInts(std::string name,
+                                         const std::vector<std::int64_t>& v);
+[[nodiscard]] sim::GlobalPatch patchFloats(std::string name,
+                                           const std::vector<double>& v);
+
+// Individual builders (one translation unit each).
+[[nodiscard]] Benchmark makeCheckData();
+[[nodiscard]] Benchmark makePiksrt();
+[[nodiscard]] Benchmark makeFft();
+[[nodiscard]] Benchmark makeDes();
+[[nodiscard]] Benchmark makeLine();
+[[nodiscard]] Benchmark makeCircle();
+[[nodiscard]] Benchmark makeJpegFdct();
+[[nodiscard]] Benchmark makeJpegIdct();
+[[nodiscard]] Benchmark makeRecon();
+[[nodiscard]] Benchmark makeFullsearch();
+[[nodiscard]] Benchmark makeWhetstone();
+[[nodiscard]] Benchmark makeDhry();
+[[nodiscard]] Benchmark makeMatgen();
+
+}  // namespace cinderella::suite

@@ -1,0 +1,54 @@
+// check_data — the running example from Park's thesis used throughout
+// the paper (Fig. 5).  Scans data[] for a negative entry; stops early
+// when one is found.
+#include "cinderella/suite/suite.hpp"
+
+namespace cinderella::suite {
+
+Benchmark makeCheckData() {
+  Benchmark b;
+  b.name = "check_data";
+  b.description = "Example from Park's thesis";
+  b.rootFunction = "check_data";
+  // Line numbers are load-bearing: constraints below reference them.
+  b.source =
+      "int data[10];\n"                       // 1
+      "\n"                                    // 2
+      "int check_data() {\n"                  // 3
+      "  int i; int morecheck; int wrongone;\n"
+      "  morecheck = 1; i = 0; wrongone = -1;\n"  // 5
+      "  while (morecheck) {\n"               // 6
+      "    __loopbound(1, 10);\n"             // 7
+      "    if (data[i] < 0) {\n"              // 8
+      "      wrongone = i; morecheck = 0;\n"  // 9
+      "    } else {\n"                        // 10
+      "      if (i + 1 >= 10) {\n"            // 11
+      "        morecheck = 0;\n"              // 12
+      "      }\n"                             // 13
+      "      i = i + 1;\n"                    // 14
+      "    }\n"                               // 15
+      "  }\n"                                 // 16
+      "  if (wrongone >= 0) {\n"              // 17
+      "    return 0;\n"                       // 18
+      "  } else {\n"                          // 19
+      "    return 1;\n"                       // 20
+      "  }\n"                                 // 21
+      "}\n";                                  // 22
+
+  // Paper eq (16): the early-exit assignment (line 9) and the
+  // end-of-data assignment (line 12) are mutually exclusive and one of
+  // them happens exactly once; when the end of data is reached the loop
+  // body ran all 10 times.
+  b.constraints.push_back(
+      {"(@9 = 0 & @12 = 1 & @8 = 10) | (@9 = 1 & @12 = 0)", ""});
+  // Paper eq (17): finding a wrong entry and returning 0 coincide.
+  b.constraints.push_back({"@9 = @18", ""});
+
+  // Worst case: no negative entries — the scan runs to the end.
+  b.worstData.push_back(patchInts("data", std::vector<std::int64_t>(10, 1)));
+  // Best case: the very first entry is negative.
+  b.bestData.push_back(patchInts("data", {-1}));
+  return b;
+}
+
+}  // namespace cinderella::suite

@@ -1,0 +1,104 @@
+// circle — midpoint circle rasterizer with 8-way symmetry, standing in
+// for the circle-drawing routine from Gupta's thesis (Table I).  The
+// helper plot8() exercises function calls (f-edges / contexts).
+#include <algorithm>
+
+#include "cinderella/support/error.hpp"
+
+#include "cinderella/suite/suite.hpp"
+
+namespace cinderella::suite {
+
+namespace {
+
+/// Replicates the midpoint decision sequence to derive the path facts a
+/// user would supply: for every legal radius, how many loop iterations
+/// and how many "diagonal step" (else-branch) iterations can occur.
+void circleFacts(int maxRadius, int* maxIterations, int* maxElseSteps,
+                 int* minElseSteps) {
+  *maxIterations = 0;
+  *maxElseSteps = 0;
+  *minElseSteps = maxRadius + 1;
+  for (int r = 0; r <= maxRadius; ++r) {
+    int x = 0;
+    int y = r;
+    int d = 3 - 2 * r;
+    int iterations = 0;
+    int elseSteps = 0;
+    while (x <= y) {
+      ++iterations;
+      if (d < 0) {
+        d = d + 4 * x + 6;
+      } else {
+        d = d + 4 * (x - y) + 10;
+        --y;
+        ++elseSteps;
+      }
+      ++x;
+    }
+    *maxIterations = std::max(*maxIterations, iterations);
+    *maxElseSteps = std::max(*maxElseSteps, elseSteps);
+    *minElseSteps = std::min(*minElseSteps, elseSteps);
+  }
+}
+
+}  // namespace
+
+Benchmark makeCircle() {
+  Benchmark b;
+  b.name = "circle";
+  b.description = "Circle drawing routine in Gupta's thesis";
+  b.rootFunction = "circle";
+  b.source =
+      "int grad;\n"                                   // 1
+      "int frame[4096];\n"                            // 2
+      "\n"                                            // 3
+      "void plot8(int x, int y) {\n"                  // 4
+      "  frame[(32 + y) * 64 + 32 + x] = 1;\n"        // 5
+      "  frame[(32 + y) * 64 + 32 - x] = 1;\n"        // 6
+      "  frame[(32 - y) * 64 + 32 + x] = 1;\n"        // 7
+      "  frame[(32 - y) * 64 + 32 - x] = 1;\n"        // 8
+      "  frame[(32 + x) * 64 + 32 + y] = 1;\n"        // 9
+      "  frame[(32 + x) * 64 + 32 - y] = 1;\n"        // 10
+      "  frame[(32 - x) * 64 + 32 + y] = 1;\n"        // 11
+      "  frame[(32 - x) * 64 + 32 - y] = 1;\n"        // 12
+      "}\n"                                           // 13
+      "\n"                                            // 14
+      "void circle() {\n"                             // 15
+      "  int x; int y; int d; int r;\n"               // 16
+      "  r = grad;\n"                                 // 17
+      "  x = 0;\n"                                    // 18
+      "  y = r;\n"                                    // 19
+      "  d = 3 - 2 * r;\n"                            // 20
+      "  while (x <= y) {\n"                          // 21
+      "    __loopbound(1, 23);\n"                     // 22
+      "    plot8(x, y);\n"                            // 23
+      "    if (d < 0) {\n"                            // 24
+      "      d = d + 4 * x + 6;\n"                    // 25
+      "    } else {\n"                                // 26
+      "      d = d + 4 * (x - y) + 10;\n"             // 27
+      "      y = y - 1;\n"                            // 28
+      "    }\n"                                       // 29
+      "    x = x + 1;\n"                              // 30
+      "  }\n"                                         // 31
+      "}\n";                                          // 32
+
+  int maxIterations = 0;
+  int maxElseSteps = 0;
+  int minElseSteps = 0;
+  circleFacts(/*maxRadius=*/31, &maxIterations, &maxElseSteps, &minElseSteps);
+  // The annotated loop bound (1, 23) is exactly the max over legal radii.
+  CIN_REQUIRE(maxIterations == 23);
+  // Path facts: the y-stepping branch runs between minElseSteps and
+  // maxElseSteps times over all legal radii.
+  b.constraints.push_back({"@27 <= " + std::to_string(maxElseSteps), ""});
+  b.constraints.push_back({"@27 >= " + std::to_string(minElseSteps), ""});
+
+  // Worst case: the largest radius (max iterations).
+  b.worstData.push_back(patchInts("grad", {31}));
+  // Best case: radius 0 — a single iteration.
+  b.bestData.push_back(patchInts("grad", {0}));
+  return b;
+}
+
+}  // namespace cinderella::suite

@@ -1,0 +1,210 @@
+// des — the Data Encryption Standard (one 64-bit block through the full
+// 16-round cipher including the key schedule), in the bit-array style of
+// paper-era reference implementations.  The permutation/S-box tables are
+// the FIPS 46 standard tables, emitted into the MiniC source from the
+// canonical 1-based form.
+#include <string>
+#include <vector>
+
+#include "cinderella/suite/suite.hpp"
+
+namespace cinderella::suite {
+
+namespace {
+
+std::string intArrayDecl(const std::string& name, const int* values,
+                         int count, int bias) {
+  std::string out = "int " + name + "[" + std::to_string(count) + "] = {";
+  for (int i = 0; i < count; ++i) {
+    if (i) out += ",";
+    if (i % 16 == 0) out += "\n  ";
+    out += std::to_string(values[i] + bias);
+  }
+  out += "};\n";
+  return out;
+}
+
+// FIPS 46-3 tables, 1-based as printed in the standard.
+constexpr int kIP[64] = {
+    58, 50, 42, 34, 26, 18, 10, 2, 60, 52, 44, 36, 28, 20, 12, 4,
+    62, 54, 46, 38, 30, 22, 14, 6, 64, 56, 48, 40, 32, 24, 16, 8,
+    57, 49, 41, 33, 25, 17, 9,  1, 59, 51, 43, 35, 27, 19, 11, 3,
+    61, 53, 45, 37, 29, 21, 13, 5, 63, 55, 47, 39, 31, 23, 15, 7};
+constexpr int kFP[64] = {
+    40, 8, 48, 16, 56, 24, 64, 32, 39, 7, 47, 15, 55, 23, 63, 31,
+    38, 6, 46, 14, 54, 22, 62, 30, 37, 5, 45, 13, 53, 21, 61, 29,
+    36, 4, 44, 12, 52, 20, 60, 28, 35, 3, 43, 11, 51, 19, 59, 27,
+    34, 2, 42, 10, 50, 18, 58, 26, 33, 1, 41, 9,  49, 17, 57, 25};
+constexpr int kE[48] = {
+    32, 1,  2,  3,  4,  5,  4,  5,  6,  7,  8,  9,  8,  9,  10, 11,
+    12, 13, 12, 13, 14, 15, 16, 17, 16, 17, 18, 19, 20, 21, 20, 21,
+    22, 23, 24, 25, 24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1};
+constexpr int kP[32] = {16, 7,  20, 21, 29, 12, 28, 17, 1,  15, 23,
+                        26, 5,  18, 31, 10, 2,  8,  24, 14, 32, 27,
+                        3,  9,  19, 13, 30, 6,  22, 11, 4,  25};
+constexpr int kPC1[56] = {57, 49, 41, 33, 25, 17, 9,  1,  58, 50, 42, 34,
+                          26, 18, 10, 2,  59, 51, 43, 35, 27, 19, 11, 3,
+                          60, 52, 44, 36, 63, 55, 47, 39, 31, 23, 15, 7,
+                          62, 54, 46, 38, 30, 22, 14, 6,  61, 53, 45, 37,
+                          29, 21, 13, 5,  28, 20, 12, 4};
+constexpr int kPC2[48] = {14, 17, 11, 24, 1,  5,  3,  28, 15, 6,  21, 10,
+                          23, 19, 12, 4,  26, 8,  16, 7,  27, 20, 13, 2,
+                          41, 52, 31, 37, 47, 55, 30, 40, 51, 45, 33, 48,
+                          44, 49, 39, 56, 34, 53, 46, 42, 50, 36, 29, 32};
+constexpr int kShifts[16] = {1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1};
+constexpr int kSbox[512] = {
+    // S1
+    14, 4, 13, 1, 2, 15, 11, 8, 3, 10, 6, 12, 5, 9, 0, 7,
+    0, 15, 7, 4, 14, 2, 13, 1, 10, 6, 12, 11, 9, 5, 3, 8,
+    4, 1, 14, 8, 13, 6, 2, 11, 15, 12, 9, 7, 3, 10, 5, 0,
+    15, 12, 8, 2, 4, 9, 1, 7, 5, 11, 3, 14, 10, 0, 6, 13,
+    // S2
+    15, 1, 8, 14, 6, 11, 3, 4, 9, 7, 2, 13, 12, 0, 5, 10,
+    3, 13, 4, 7, 15, 2, 8, 14, 12, 0, 1, 10, 6, 9, 11, 5,
+    0, 14, 7, 11, 10, 4, 13, 1, 5, 8, 12, 6, 9, 3, 2, 15,
+    13, 8, 10, 1, 3, 15, 4, 2, 11, 6, 7, 12, 0, 5, 14, 9,
+    // S3
+    10, 0, 9, 14, 6, 3, 15, 5, 1, 13, 12, 7, 11, 4, 2, 8,
+    13, 7, 0, 9, 3, 4, 6, 10, 2, 8, 5, 14, 12, 11, 15, 1,
+    13, 6, 4, 9, 8, 15, 3, 0, 11, 1, 2, 12, 5, 10, 14, 7,
+    1, 10, 13, 0, 6, 9, 8, 7, 4, 15, 14, 3, 11, 5, 2, 12,
+    // S4
+    7, 13, 14, 3, 0, 6, 9, 10, 1, 2, 8, 5, 11, 12, 4, 15,
+    13, 8, 11, 5, 6, 15, 0, 3, 4, 7, 2, 12, 1, 10, 14, 9,
+    10, 6, 9, 0, 12, 11, 7, 13, 15, 1, 3, 14, 5, 2, 8, 4,
+    3, 15, 0, 6, 10, 1, 13, 8, 9, 4, 5, 11, 12, 7, 2, 14,
+    // S5
+    2, 12, 4, 1, 7, 10, 11, 6, 8, 5, 3, 15, 13, 0, 14, 9,
+    14, 11, 2, 12, 4, 7, 13, 1, 5, 0, 15, 10, 3, 9, 8, 6,
+    4, 2, 1, 11, 10, 13, 7, 8, 15, 9, 12, 5, 6, 3, 0, 14,
+    11, 8, 12, 7, 1, 14, 2, 13, 6, 15, 0, 9, 10, 4, 5, 3,
+    // S6
+    12, 1, 10, 15, 9, 2, 6, 8, 0, 13, 3, 4, 14, 7, 5, 11,
+    10, 15, 4, 2, 7, 12, 9, 5, 6, 1, 13, 14, 0, 11, 3, 8,
+    9, 14, 15, 5, 2, 8, 12, 3, 7, 0, 4, 10, 1, 13, 11, 6,
+    4, 3, 2, 12, 9, 5, 15, 10, 11, 14, 1, 7, 6, 0, 8, 13,
+    // S7
+    4, 11, 2, 14, 15, 0, 8, 13, 3, 12, 9, 7, 5, 10, 6, 1,
+    13, 0, 11, 7, 4, 9, 1, 10, 14, 3, 5, 12, 2, 15, 8, 6,
+    1, 4, 11, 13, 12, 3, 7, 14, 10, 15, 6, 8, 0, 5, 9, 2,
+    6, 11, 13, 8, 1, 4, 10, 7, 9, 5, 0, 15, 14, 2, 3, 12,
+    // S8
+    13, 2, 8, 4, 6, 15, 11, 1, 10, 9, 3, 14, 5, 0, 12, 7,
+    1, 15, 13, 8, 10, 3, 7, 4, 12, 5, 6, 11, 0, 14, 9, 2,
+    7, 11, 4, 1, 9, 12, 14, 2, 0, 6, 10, 13, 15, 3, 5, 8,
+    2, 1, 14, 7, 4, 10, 8, 13, 15, 12, 9, 0, 3, 5, 6, 11};
+
+}  // namespace
+
+Benchmark makeDes() {
+  Benchmark b;
+  b.name = "des";
+  b.description = "Data Encryption Standard";
+  b.rootFunction = "des";
+
+  std::string source;
+  source += "int keybits[64];\n";
+  source += "int plain[64];\n";
+  source += "int cipher[64];\n";
+  source += "int subkeys[768];\n";
+  source += intArrayDecl("IP", kIP, 64, -1);
+  source += intArrayDecl("FP", kFP, 64, -1);
+  source += intArrayDecl("EXP", kE, 48, -1);
+  source += intArrayDecl("PERM", kP, 32, -1);
+  source += intArrayDecl("PC1", kPC1, 56, -1);
+  source += intArrayDecl("PC2", kPC2, 48, -1);
+  source += intArrayDecl("SHIFTS", kShifts, 16, 0);
+  source += intArrayDecl("SBOX", kSbox, 512, 0);
+  source += R"(
+void key_schedule() {
+  int cd[56]; int tmp[56];
+  int i; int r; int s;
+  for (i = 0; i < 56; i = i + 1) {
+    __loopbound(56, 56);
+    cd[i] = keybits[PC1[i]];
+  }
+  for (r = 0; r < 16; r = r + 1) {
+    __loopbound(16, 16);
+    s = SHIFTS[r];
+    for (i = 0; i < 28; i = i + 1) {
+      __loopbound(28, 28);
+      tmp[i] = cd[(i + s) % 28];
+      tmp[28 + i] = cd[28 + (i + s) % 28];
+    }
+    for (i = 0; i < 56; i = i + 1) {
+      __loopbound(56, 56);
+      cd[i] = tmp[i];
+    }
+    for (i = 0; i < 48; i = i + 1) {
+      __loopbound(48, 48);
+      subkeys[r * 48 + i] = cd[PC2[i]];
+    }
+  }
+}
+
+void des() {
+  int lh[32]; int rh[32]; int er[48]; int sout[32]; int t[64];
+  int i; int rnd; int row; int col; int v; int bx;
+  key_schedule();
+  for (i = 0; i < 64; i = i + 1) {
+    __loopbound(64, 64);
+    t[i] = plain[IP[i]];
+  }
+  for (i = 0; i < 32; i = i + 1) {
+    __loopbound(32, 32);
+    lh[i] = t[i];
+    rh[i] = t[32 + i];
+  }
+  for (rnd = 0; rnd < 16; rnd = rnd + 1) {
+    __loopbound(16, 16);
+    for (i = 0; i < 48; i = i + 1) {
+      __loopbound(48, 48);
+      er[i] = rh[EXP[i]] ^ subkeys[rnd * 48 + i];
+    }
+    for (bx = 0; bx < 8; bx = bx + 1) {
+      __loopbound(8, 8);
+      row = 2 * er[bx * 6] + er[bx * 6 + 5];
+      col = 8 * er[bx * 6 + 1] + 4 * er[bx * 6 + 2]
+          + 2 * er[bx * 6 + 3] + er[bx * 6 + 4];
+      v = SBOX[bx * 64 + row * 16 + col];
+      sout[bx * 4] = (v / 8) % 2;
+      sout[bx * 4 + 1] = (v / 4) % 2;
+      sout[bx * 4 + 2] = (v / 2) % 2;
+      sout[bx * 4 + 3] = v % 2;
+    }
+    for (i = 0; i < 32; i = i + 1) {
+      __loopbound(32, 32);
+      v = lh[i] ^ sout[PERM[i]];
+      lh[i] = rh[i];
+      rh[i] = v;
+    }
+  }
+  for (i = 0; i < 32; i = i + 1) {
+    __loopbound(32, 32);
+    t[i] = rh[i];
+    t[32 + i] = lh[i];
+  }
+  for (i = 0; i < 64; i = i + 1) {
+    __loopbound(64, 64);
+    cipher[i] = t[FP[i]];
+  }
+}
+)";
+  b.source = std::move(source);
+
+  // DES is branch-free at the bit level: any key/plaintext exercises the
+  // same path.  Distinct data sets are kept for the cache experiments.
+  std::vector<std::int64_t> keyWorst(64), plainWorst(64);
+  std::vector<std::int64_t> keyBest(64, 0), plainBest(64, 0);
+  for (int i = 0; i < 64; ++i) {
+    keyWorst[static_cast<std::size_t>(i)] = (i * 5 + 1) % 2;
+    plainWorst[static_cast<std::size_t>(i)] = (i * 3 + 1) % 2;
+  }
+  b.worstData.push_back(patchInts("keybits", keyWorst));
+  b.worstData.push_back(patchInts("plain", plainWorst));
+  b.bestData.push_back(patchInts("keybits", keyBest));
+  b.bestData.push_back(patchInts("plain", plainBest));
+  return b;
+}
+
+}  // namespace cinderella::suite

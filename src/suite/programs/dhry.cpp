@@ -1,0 +1,150 @@
+// dhry — a Dhrystone-flavoured control/integer mix: a 20-pass main loop
+// over procedure calls, global/array traffic, a string comparison with
+// early exit, and branches steered by a run-constant boolean.  This is
+// the benchmark the paper uses to showcase disjunctive functionality
+// constraints: three two-way disjunctions expand to 8 constraint sets of
+// which 5 are detected as null and pruned (Table I: 8 -> 3).
+#include "cinderella/suite/suite.hpp"
+
+namespace cinderella::suite {
+
+Benchmark makeDhry() {
+  Benchmark b;
+  b.name = "dhry";
+  b.description = "Dhrystone benchmark";
+  b.rootFunction = "dhry";
+  b.source = R"(int IntGlob;
+int BoolGlob;
+int Array1[50];
+int Array2[2500];
+int Str1[30];
+int Str2[30];
+
+int func1(int c1, int c2) {
+  if (c1 == c2) {
+    return 0;
+  } else {
+    return 1;
+  }
+}
+
+int func2() {
+  int i; int differ;
+  i = 0; differ = 0;
+  while (i < 30 &&
+         differ == 0) {
+    __loopbound(1, 30);
+    if (Str1[i] != Str2[i]) {
+      differ = 1; /* str-differ */
+    }
+    i = i + 1;
+  }
+  return differ;
+}
+
+void proc7() {
+  IntGlob = IntGlob + 2;
+}
+
+void proc8(int v) {
+  int i;
+  Array1[v + 5] = v;
+  Array1[v + 6] = Array1[v + 5];
+  Array1[v + 35] = v;
+  for (i = v + 5; i < v + 10; i = i + 1) {
+    __loopbound(5, 5);
+    Array2[50 * (v + 5) + i] = v;
+  }
+  Array2[50 * (v + 5) + v + 34] = Array1[v + 5];
+  IntGlob = 5;
+}
+
+void dhry() {
+  int run; int a; int c;
+  for (run = 0; run < 20; run = run + 1) {
+    __loopbound(20, 20);
+    Array1[run] = IntGlob + run;
+    c = func1(run % 4, 1);
+    if (c == 0) {
+      IntGlob = IntGlob + c;
+    }
+    if (BoolGlob == 1) {
+      IntGlob = IntGlob + 1; /* alpha-then */
+      a = func2();
+      if (a == 0) {
+        IntGlob = IntGlob + 2; /* gamma-equal */
+      } else {
+        IntGlob = IntGlob + 3; /* gamma-differ */
+      }
+    } else {
+      IntGlob = IntGlob - 1; /* alpha-else */
+    }
+    if (BoolGlob == 1) {
+      proc8(5); /* beta-then */
+    } else {
+      proc7(); /* beta-else */
+    }
+  }
+}
+)";
+
+  const auto at = [&](const char* marker) {
+    return "@" + std::to_string(lineOf(b.source, marker));
+  };
+  const std::string alphaThen = at("alpha-then");
+  const std::string alphaElse = at("alpha-else");
+  const std::string betaThen = at("beta-then");
+  const std::string betaElse = at("beta-else");
+  const std::string gammaEq = at("gamma-equal");
+  const std::string gammaNe = at("gamma-differ");
+  const std::string strDiffer = at("str-differ");
+
+  // BoolGlob never changes during a run, so the alpha branch goes the
+  // same way all 20 passes...
+  b.constraints.push_back(
+      {"(" + alphaThen + " = 20 & " + alphaElse + " = 0) | (" + alphaThen +
+           " = 0 & " + alphaElse + " = 20)",
+       ""});
+  // ...and so does the beta branch...
+  b.constraints.push_back(
+      {"(" + betaThen + " = 20 & " + betaElse + " = 0) | (" + betaThen +
+           " = 0 & " + betaElse + " = 20)",
+       ""});
+  // ...and the strings are also run-constant, so func2's verdict (gamma)
+  // is the same on every call; the second disjunct is tagged with
+  // alpha-then >= 1 so it is null when func2 is never called.
+  b.constraints.push_back(
+      {"(" + gammaEq + " = " + alphaThen + " & " + gammaNe + " = 0) | (" +
+           gammaEq + " = 0 & " + gammaNe + " = " + alphaThen + " & " +
+           alphaThen + " >= 1)",
+       ""});
+  // Conjunctive facts: alpha and beta test the same condition; a call of
+  // func2 stores `differ` exactly once iff its verdict is "differ" (the
+  // scan stops right after the store), so the store count equals the
+  // gamma-differ count; and the comparison loop can run at most 30 times
+  // per call over at most 20 calls.
+  b.constraints.push_back({alphaThen + " = " + betaThen, ""});
+  b.constraints.push_back({"func2" + strDiffer + " = dhry" + gammaNe, ""});
+  b.constraints.push_back(
+      {"func2@" + std::to_string(lineOf(b.source, "differ == 0)")) +
+           " <= 600",
+       ""});
+  // func1's verdict is driven by run % 4 == 1: exactly 5 of 20 passes.
+  b.constraints.push_back({at("IntGlob = IntGlob + c") + " = 5", ""});
+
+  // Worst case: BoolGlob set (func2 + proc8 path) with the strings
+  // differing only in the last element (full scan plus the differ store).
+  {
+    std::vector<std::int64_t> s1(30, 7);
+    std::vector<std::int64_t> s2(30, 7);
+    s2[29] = 8;
+    b.worstData.push_back(patchInts("BoolGlob", {1}));
+    b.worstData.push_back(patchInts("Str1", s1));
+    b.worstData.push_back(patchInts("Str2", s2));
+  }
+  // Best case: BoolGlob clear — the cheap alpha-else/beta-else path.
+  b.bestData.push_back(patchInts("BoolGlob", {0}));
+  return b;
+}
+
+}  // namespace cinderella::suite

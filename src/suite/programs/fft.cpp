@@ -1,0 +1,175 @@
+// fft — 64-point in-place radix-2 decimation-in-time FFT (the classic
+// Cooley-Tukey / Numerical-Recipes shape), with the twiddle factors in a
+// precomputed table as embedded DSP code of the era would.  Control flow
+// is input-independent, so all aggregate path facts are exact constants
+// derived below by replaying the index arithmetic.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cinderella/suite/suite.hpp"
+
+namespace cinderella::suite {
+
+namespace {
+
+constexpr int kN = 64;
+
+struct BitrevFacts {
+  int swaps = 0;       // executions of the swap body
+  int carryBody = 0;   // executions of the carry-loop body
+  int carryCond2 = 0;  // evaluations of the second && condition
+};
+
+/// Replays the bit-reversal index walk of the MiniC code exactly.
+BitrevFacts bitrevFacts() {
+  BitrevFacts facts;
+  int j = 0;
+  for (int i = 0; i < kN; ++i) {
+    if (j > i) ++facts.swaps;
+    int m = kN / 2;
+    while (true) {
+      if (!(m >= 1)) break;
+      ++facts.carryCond2;
+      if (!(j >= m)) break;
+      ++facts.carryBody;
+      j -= m;
+      m /= 2;
+    }
+    j += m;
+  }
+  return facts;
+}
+
+std::string floatArrayDecl(const std::string& name,
+                           const std::vector<double>& values) {
+  std::string out =
+      "float " + name + "[" + std::to_string(values.size()) + "] = {";
+  char buf[64];
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out += ",";
+    if (i % 4 == 0) out += "\n  ";
+    std::snprintf(buf, sizeof(buf), "%.17g", values[i]);
+    std::string lit = buf;
+    // MiniC float literals need a decimal point or exponent.
+    if (lit.find('.') == std::string::npos &&
+        lit.find('e') == std::string::npos) {
+      lit += ".0";
+    }
+    // Negative literals are fine: the global initializer grammar accepts
+    // a leading minus.
+    out += lit;
+  }
+  out += "};\n";
+  return out;
+}
+
+}  // namespace
+
+Benchmark makeFft() {
+  Benchmark b;
+  b.name = "fft";
+  b.description = "Fast Fourier Transform";
+  b.rootFunction = "fft";
+
+  // Twiddle table: for each stage (mmax = 1,2,4,...,32) the mmax factors
+  // exp(-i*pi*m/mmax), laid out consecutively.
+  std::vector<double> wre;
+  std::vector<double> wim;
+  for (int mmax = 1; mmax < kN; mmax *= 2) {
+    for (int m = 0; m < mmax; ++m) {
+      const double angle = -M_PI * m / mmax;
+      wre.push_back(std::cos(angle));
+      wim.push_back(std::sin(angle));
+    }
+  }
+
+  std::string source;
+  source += "float re[64];\n";
+  source += "float im[64];\n";
+  source += floatArrayDecl("wre", wre);
+  source += floatArrayDecl("wim", wim);
+  source += R"(
+void fft() {
+  int i; int j; int m; int mmax; int istep; int m2; int tw; int idx;
+  float tempr; float tempi; float wr; float wi;
+  j = 0;
+  for (i = 0; i < 64; i = i + 1) {
+    __loopbound(64, 64);
+    if (j > i) {
+      tempr = re[j]; re[j] = re[i]; re[i] = tempr;
+      tempi = im[j]; im[j] = im[i]; im[i] = tempi;
+    }
+    m = 32;
+    while (m >= 1 &&
+           j >= m) {
+      __loopbound(0, 6);
+      j = j - m;
+      m = m / 2;
+    }
+    j = j + m;
+  }
+  mmax = 1;
+  tw = 0;
+  while (mmax < 64) {
+    __loopbound(6, 6);
+    istep = 2 * mmax;
+    m2 = 0;
+    while (m2 < mmax) {
+      __loopbound(1, 32);
+      wr = wre[tw + m2];
+      wi = wim[tw + m2];
+      i = m2;
+      while (i < 64) {
+        __loopbound(1, 32);
+        idx = i + mmax;
+        tempr = wr * re[idx] - wi * im[idx];
+        tempi = wr * im[idx] + wi * re[idx];
+        re[idx] = re[i] - tempr;
+        im[idx] = im[i] - tempi;
+        re[i] = re[i] + tempr;
+        im[i] = im[i] + tempi;
+        i = i + istep;
+      }
+      m2 = m2 + 1;
+    }
+    tw = tw + mmax;
+    mmax = istep;
+  }
+}
+)";
+  b.source = std::move(source);
+
+  const int swapLine = lineOf(b.source, "tempr = re[j];");
+  const int cond2Line = lineOf(b.source, "j >= m) {");
+  const int carryBodyLine = lineOf(b.source, "j = j - m;");
+  const int midBodyLine = lineOf(b.source, "wr = wre[tw + m2];");
+  const int innerBodyLine = lineOf(b.source, "idx = i + mmax;");
+
+  const BitrevFacts facts = bitrevFacts();
+  auto eq = [](int line, int value) {
+    return "@" + std::to_string(line) + " = " + std::to_string(value);
+  };
+  // Exact aggregate execution counts (input-independent index walk).
+  b.constraints.push_back({eq(swapLine, facts.swaps), ""});
+  b.constraints.push_back({eq(cond2Line, facts.carryCond2), ""});
+  b.constraints.push_back({eq(carryBodyLine, facts.carryBody), ""});
+  // Danielson-Lanczos totals: sum(mmax) = 63 butterflies groups and
+  // 6 stages x 32 butterflies = 192 inner iterations.
+  b.constraints.push_back({eq(midBodyLine, 63), ""});
+  b.constraints.push_back({eq(innerBodyLine, 192), ""});
+
+  // Input data (any signal exercises the same path).
+  std::vector<double> impulse(kN, 0.0);
+  impulse[1] = 1.0;
+  std::vector<double> sine(kN);
+  for (int i = 0; i < kN; ++i) sine[static_cast<std::size_t>(i)] = std::sin(2 * M_PI * 5 * i / kN);
+  b.worstData.push_back(patchFloats("re", sine));
+  b.worstData.push_back(patchFloats("im", std::vector<double>(kN, 0.0)));
+  b.bestData.push_back(patchFloats("re", impulse));
+  b.bestData.push_back(patchFloats("im", std::vector<double>(kN, 0.0)));
+  return b;
+}
+
+}  // namespace cinderella::suite

@@ -1,0 +1,77 @@
+// fullsearch — MPEG-2 encoder exhaustive block-matching motion search:
+// evaluates the 16x16 SAD at every offset of a 16x16 search window and
+// keeps the best match.  dist1() is the paper-era sum-of-absolute-
+// differences kernel.
+#include "cinderella/suite/suite.hpp"
+
+namespace cinderella::suite {
+
+Benchmark makeFullsearch() {
+  Benchmark b;
+  b.name = "fullsearch";
+  b.description = "MPEG2 encoder frame search routine";
+  b.rootFunction = "fullsearch";
+  b.source =
+      "int ref[1024];\n"  // 32x32 reference window        // 1
+      "int cur[256];\n"   // 16x16 current block           // 2
+      "int motx; int moty;\n"                              // 3
+      "\n"                                                 // 4
+      "int dist1(int dx, int dy) {\n"                      // 5
+      "  int i; int j; int s; int d;\n"                    // 6
+      "  s = 0;\n"                                         // 7
+      "  for (i = 0; i < 16; i = i + 1) {\n"               // 8
+      "    __loopbound(16, 16);\n"                         // 9
+      "    for (j = 0; j < 16; j = j + 1) {\n"             // 10
+      "      __loopbound(16, 16);\n"                       // 11
+      "      d = cur[i * 16 + j] - ref[(i + dy) * 32 + (j + dx)];\n"  // 12
+      "      if (d < 0) {\n"                               // 13
+      "        d = 0 - d;\n"                               // 14
+      "      }\n"                                          // 15
+      "      s = s + d;\n"                                 // 16
+      "    }\n"                                            // 17
+      "  }\n"                                              // 18
+      "  return s;\n"                                      // 19
+      "}\n"                                                // 20
+      "\n"                                                 // 21
+      "void fullsearch() {\n"                              // 22
+      "  int dx; int dy; int d; int dmin;\n"               // 23
+      "  dmin = 1000000;\n"                                // 24
+      "  motx = 0; moty = 0;\n"                            // 25
+      "  for (dy = 0; dy < 16; dy = dy + 1) {\n"           // 26
+      "    __loopbound(16, 16);\n"                         // 27
+      "    for (dx = 0; dx < 16; dx = dx + 1) {\n"         // 28
+      "      __loopbound(16, 16);\n"                       // 29
+      "      d = dist1(dx, dy);\n"                         // 30
+      "      if (d < dmin) {\n"                            // 31
+      "        dmin = d; motx = dx; moty = dy;\n"          // 32
+      "      }\n"                                          // 33
+      "    }\n"                                            // 34
+      "  }\n"                                              // 35
+      "}\n";                                               // 36
+
+  // Path fact: dmin starts far above any attainable SAD (pel values are
+  // 8-bit), so the very first candidate always improves the minimum.
+  b.constraints.push_back({"fullsearch@32 >= 1", ""});
+
+  // Worst case: every difference is negative (abs branch taken on all
+  // 65,536 pels) and the SAD strictly decreases along the scan order, so
+  // every one of the 256 candidates improves the minimum.
+  {
+    std::vector<std::int64_t> ref(1024);
+    for (int i = 0; i < 1024; ++i) ref[static_cast<std::size_t>(i)] = 2000 - i;
+    b.worstData.push_back(patchInts("ref", ref));
+    b.worstData.push_back(
+        patchInts("cur", std::vector<std::int64_t>(256, 0)));
+  }
+  // Best case: the current block dominates the window (no abs anywhere)
+  // and all SADs tie, so only the mandatory first update fires.
+  {
+    b.bestData.push_back(
+        patchInts("ref", std::vector<std::int64_t>(1024, 0)));
+    b.bestData.push_back(
+        patchInts("cur", std::vector<std::int64_t>(256, 255)));
+  }
+  return b;
+}
+
+}  // namespace cinderella::suite

@@ -1,0 +1,129 @@
+// jpeg_fdct_islow — the libjpeg accurate integer forward DCT
+// (jfdctint.c, Loeffler/Ligtenberg/Moshovitz), operating on an 8x8
+// block.  Branch-free, so the extreme-case path is data-independent.
+#include "cinderella/suite/suite.hpp"
+
+namespace cinderella::suite {
+
+Benchmark makeJpegFdct() {
+  Benchmark b;
+  b.name = "jpeg_fdct_islow";
+  b.description = "JPEG forward discrete cosine transform";
+  b.rootFunction = "jpeg_fdct_islow";
+  b.source = R"(int block[64];
+
+void jpeg_fdct_islow() {
+  int tmp0; int tmp1; int tmp2; int tmp3;
+  int tmp4; int tmp5; int tmp6; int tmp7;
+  int tmp10; int tmp11; int tmp12; int tmp13;
+  int z1; int z2; int z3; int z4; int z5;
+  int ctr; int p;
+
+  ctr = 0;
+  while (ctr < 8) {
+    __loopbound(8, 8);
+    p = ctr * 8;
+    tmp0 = block[p + 0] + block[p + 7];
+    tmp7 = block[p + 0] - block[p + 7];
+    tmp1 = block[p + 1] + block[p + 6];
+    tmp6 = block[p + 1] - block[p + 6];
+    tmp2 = block[p + 2] + block[p + 5];
+    tmp5 = block[p + 2] - block[p + 5];
+    tmp3 = block[p + 3] + block[p + 4];
+    tmp4 = block[p + 3] - block[p + 4];
+
+    tmp10 = tmp0 + tmp3;
+    tmp13 = tmp0 - tmp3;
+    tmp11 = tmp1 + tmp2;
+    tmp12 = tmp1 - tmp2;
+
+    block[p + 0] = (tmp10 + tmp11) << 2;
+    block[p + 4] = (tmp10 - tmp11) << 2;
+
+    z1 = (tmp12 + tmp13) * 4433;
+    block[p + 2] = (z1 + tmp13 * 6270 + 1024) >> 11;
+    block[p + 6] = (z1 - tmp12 * 15137 + 1024) >> 11;
+
+    z1 = tmp4 + tmp7;
+    z2 = tmp5 + tmp6;
+    z3 = tmp4 + tmp6;
+    z4 = tmp5 + tmp7;
+    z5 = (z3 + z4) * 9633;
+
+    tmp4 = tmp4 * 2446;
+    tmp5 = tmp5 * 16819;
+    tmp6 = tmp6 * 25172;
+    tmp7 = tmp7 * 12299;
+    z1 = 0 - z1 * 7373;
+    z2 = 0 - z2 * 20995;
+    z3 = 0 - z3 * 16069;
+    z4 = 0 - z4 * 3196;
+    z3 = z3 + z5;
+    z4 = z4 + z5;
+
+    block[p + 7] = (tmp4 + z1 + z3 + 1024) >> 11;
+    block[p + 5] = (tmp5 + z2 + z4 + 1024) >> 11;
+    block[p + 3] = (tmp6 + z2 + z3 + 1024) >> 11;
+    block[p + 1] = (tmp7 + z1 + z4 + 1024) >> 11;
+    ctr = ctr + 1;
+  }
+
+  ctr = 0;
+  while (ctr < 8) {
+    __loopbound(8, 8);
+    tmp0 = block[ctr] + block[56 + ctr];
+    tmp7 = block[ctr] - block[56 + ctr];
+    tmp1 = block[8 + ctr] + block[48 + ctr];
+    tmp6 = block[8 + ctr] - block[48 + ctr];
+    tmp2 = block[16 + ctr] + block[40 + ctr];
+    tmp5 = block[16 + ctr] - block[40 + ctr];
+    tmp3 = block[24 + ctr] + block[32 + ctr];
+    tmp4 = block[24 + ctr] - block[32 + ctr];
+
+    tmp10 = tmp0 + tmp3;
+    tmp13 = tmp0 - tmp3;
+    tmp11 = tmp1 + tmp2;
+    tmp12 = tmp1 - tmp2;
+
+    block[ctr] = (tmp10 + tmp11 + 2) >> 2;
+    block[32 + ctr] = (tmp10 - tmp11 + 2) >> 2;
+
+    z1 = (tmp12 + tmp13) * 4433;
+    block[16 + ctr] = (z1 + tmp13 * 6270 + 16384) >> 15;
+    block[48 + ctr] = (z1 - tmp12 * 15137 + 16384) >> 15;
+
+    z1 = tmp4 + tmp7;
+    z2 = tmp5 + tmp6;
+    z3 = tmp4 + tmp6;
+    z4 = tmp5 + tmp7;
+    z5 = (z3 + z4) * 9633;
+
+    tmp4 = tmp4 * 2446;
+    tmp5 = tmp5 * 16819;
+    tmp6 = tmp6 * 25172;
+    tmp7 = tmp7 * 12299;
+    z1 = 0 - z1 * 7373;
+    z2 = 0 - z2 * 20995;
+    z3 = 0 - z3 * 16069;
+    z4 = 0 - z4 * 3196;
+    z3 = z3 + z5;
+    z4 = z4 + z5;
+
+    block[56 + ctr] = (tmp4 + z1 + z3 + 16384) >> 15;
+    block[40 + ctr] = (tmp5 + z2 + z4 + 16384) >> 15;
+    block[24 + ctr] = (tmp6 + z2 + z3 + 16384) >> 15;
+    block[8 + ctr] = (tmp7 + z1 + z4 + 16384) >> 15;
+    ctr = ctr + 1;
+  }
+}
+)";
+
+  // Branch-free kernel: the data sets only vary the values, not the path.
+  std::vector<std::int64_t> ramp(64);
+  for (int i = 0; i < 64; ++i) ramp[static_cast<std::size_t>(i)] = (i * 7) % 256 - 128;
+  b.worstData.push_back(patchInts("block", ramp));
+  b.bestData.push_back(patchInts("block", std::vector<std::int64_t>(64, 0)));
+  return b;
+}
+
+}  // namespace cinderella::suite

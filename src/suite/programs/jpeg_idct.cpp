@@ -1,0 +1,162 @@
+// jpeg_idct_islow — the libjpeg accurate integer inverse DCT
+// (jidctint.c).  The column pass short-circuits when all AC terms of a
+// column are zero (common for quantized blocks), which is the
+// data-dependent path the analysis must bound.
+#include "cinderella/suite/suite.hpp"
+
+namespace cinderella::suite {
+
+Benchmark makeJpegIdct() {
+  Benchmark b;
+  b.name = "jpeg_idct_islow";
+  b.description = "JPEG inverse discrete cosine transform";
+  b.rootFunction = "jpeg_idct_islow";
+  b.source = R"(int coef[64];
+int out[64];
+int ws[64];
+
+void jpeg_idct_islow() {
+  int tmp0; int tmp1; int tmp2; int tmp3;
+  int tmp10; int tmp11; int tmp12; int tmp13;
+  int z1; int z2; int z3; int z4; int z5;
+  int ctr; int dcval; int p; int acbits;
+
+  ctr = 0;
+  while (ctr < 8) {
+    __loopbound(8, 8);
+    acbits = coef[8 + ctr] | coef[16 + ctr] | coef[24 + ctr]
+           | coef[32 + ctr] | coef[40 + ctr] | coef[48 + ctr]
+           | coef[56 + ctr];
+    if (acbits == 0) {
+      dcval = coef[ctr] << 2;
+      ws[ctr] = dcval;
+      ws[8 + ctr] = dcval;
+      ws[16 + ctr] = dcval;
+      ws[24 + ctr] = dcval;
+      ws[32 + ctr] = dcval;
+      ws[40 + ctr] = dcval;
+      ws[48 + ctr] = dcval;
+      ws[56 + ctr] = dcval;
+    } else {
+      z2 = coef[16 + ctr];
+      z3 = coef[48 + ctr];
+      z1 = (z2 + z3) * 4433;
+      tmp2 = z1 - z3 * 15137;
+      tmp3 = z1 + z2 * 6270;
+      z2 = coef[ctr];
+      z3 = coef[32 + ctr];
+      tmp0 = (z2 + z3) << 13;
+      tmp1 = (z2 - z3) << 13;
+      tmp10 = tmp0 + tmp3;
+      tmp13 = tmp0 - tmp3;
+      tmp11 = tmp1 + tmp2;
+      tmp12 = tmp1 - tmp2;
+      tmp0 = coef[56 + ctr];
+      tmp1 = coef[40 + ctr];
+      tmp2 = coef[24 + ctr];
+      tmp3 = coef[8 + ctr];
+      z1 = tmp0 + tmp3;
+      z2 = tmp1 + tmp2;
+      z3 = tmp0 + tmp2;
+      z4 = tmp1 + tmp3;
+      z5 = (z3 + z4) * 9633;
+      tmp0 = tmp0 * 2446;
+      tmp1 = tmp1 * 16819;
+      tmp2 = tmp2 * 25172;
+      tmp3 = tmp3 * 12299;
+      z1 = 0 - z1 * 7373;
+      z2 = 0 - z2 * 20995;
+      z3 = 0 - z3 * 16069;
+      z4 = 0 - z4 * 3196;
+      z3 = z3 + z5;
+      z4 = z4 + z5;
+      tmp0 = tmp0 + z1 + z3;
+      tmp1 = tmp1 + z2 + z4;
+      tmp2 = tmp2 + z2 + z3;
+      tmp3 = tmp3 + z1 + z4;
+      ws[ctr] = (tmp10 + tmp3 + 1024) >> 11;
+      ws[56 + ctr] = (tmp10 - tmp3 + 1024) >> 11;
+      ws[8 + ctr] = (tmp11 + tmp2 + 1024) >> 11;
+      ws[48 + ctr] = (tmp11 - tmp2 + 1024) >> 11;
+      ws[16 + ctr] = (tmp12 + tmp1 + 1024) >> 11;
+      ws[40 + ctr] = (tmp12 - tmp1 + 1024) >> 11;
+      ws[24 + ctr] = (tmp13 + tmp0 + 1024) >> 11;
+      ws[32 + ctr] = (tmp13 - tmp0 + 1024) >> 11;
+    }
+    ctr = ctr + 1;
+  }
+
+  ctr = 0;
+  while (ctr < 8) {
+    __loopbound(8, 8);
+    p = ctr * 8;
+    z2 = ws[p + 2];
+    z3 = ws[p + 6];
+    z1 = (z2 + z3) * 4433;
+    tmp2 = z1 - z3 * 15137;
+    tmp3 = z1 + z2 * 6270;
+    z2 = ws[p + 0];
+    z3 = ws[p + 4];
+    tmp0 = (z2 + z3) << 13;
+    tmp1 = (z2 - z3) << 13;
+    tmp10 = tmp0 + tmp3;
+    tmp13 = tmp0 - tmp3;
+    tmp11 = tmp1 + tmp2;
+    tmp12 = tmp1 - tmp2;
+    tmp0 = ws[p + 7];
+    tmp1 = ws[p + 5];
+    tmp2 = ws[p + 3];
+    tmp3 = ws[p + 1];
+    z1 = tmp0 + tmp3;
+    z2 = tmp1 + tmp2;
+    z3 = tmp0 + tmp2;
+    z4 = tmp1 + tmp3;
+    z5 = (z3 + z4) * 9633;
+    tmp0 = tmp0 * 2446;
+    tmp1 = tmp1 * 16819;
+    tmp2 = tmp2 * 25172;
+    tmp3 = tmp3 * 12299;
+    z1 = 0 - z1 * 7373;
+    z2 = 0 - z2 * 20995;
+    z3 = 0 - z3 * 16069;
+    z4 = 0 - z4 * 3196;
+    z3 = z3 + z5;
+    z4 = z4 + z5;
+    tmp0 = tmp0 + z1 + z3;
+    tmp1 = tmp1 + z2 + z4;
+    tmp2 = tmp2 + z2 + z3;
+    tmp3 = tmp3 + z1 + z4;
+    out[p + 0] = (tmp10 + tmp3 + 131072) >> 18;
+    out[p + 7] = (tmp10 - tmp3 + 131072) >> 18;
+    out[p + 1] = (tmp11 + tmp2 + 131072) >> 18;
+    out[p + 6] = (tmp11 - tmp2 + 131072) >> 18;
+    out[p + 2] = (tmp12 + tmp1 + 131072) >> 18;
+    out[p + 5] = (tmp12 - tmp1 + 131072) >> 18;
+    out[p + 3] = (tmp13 + tmp0 + 131072) >> 18;
+    out[p + 4] = (tmp13 - tmp0 + 131072) >> 18;
+    ctr = ctr + 1;
+  }
+}
+)";
+
+  // The AC zero-test is a branch-free bitwise OR (as in libjpeg), so the
+  // only data-dependent decision per column is shortcut vs full IDCT —
+  // no functionality constraints are needed.
+
+  // Worst case: nonzero AC terms — every column takes the full path.
+  {
+    std::vector<std::int64_t> coef(64, 0);
+    coef[0] = 1024;
+    for (int c = 0; c < 8; ++c) coef[static_cast<std::size_t>(56 + c)] = 99;
+    b.worstData.push_back(patchInts("coef", coef));
+  }
+  // Best case: a DC-only block — every column short-circuits.
+  {
+    std::vector<std::int64_t> coef(64, 0);
+    coef[0] = 512;
+    b.bestData.push_back(patchInts("coef", coef));
+  }
+  return b;
+}
+
+}  // namespace cinderella::suite

@@ -1,0 +1,59 @@
+// line — Bresenham line rasterizer on a 64x64 frame buffer, standing in
+// for the line-drawing routine from Gupta's thesis (Table I).  Uses the
+// counted-loop formulation common in embedded rasterizers, so the trip
+// count is max(|dx|,|dy|)+1.
+#include "cinderella/suite/suite.hpp"
+
+namespace cinderella::suite {
+
+Benchmark makeLine() {
+  Benchmark b;
+  b.name = "line";
+  b.description = "Line drawing routine in Gupta's thesis";
+  b.rootFunction = "line";
+  b.source =
+      "int gx0; int gy0; int gx1; int gy1;\n"   // 1
+      "int frame[4096];\n"                      // 2
+      "\n"                                      // 3
+      "void line() {\n"                         // 4
+      "  int x0; int y0; int x1; int y1;\n"     // 5
+      "  int dx; int dy; int sx; int sy;\n"     // 6
+      "  int err; int e2; int n; int k;\n"      // 7
+      "  x0 = gx0; y0 = gy0; x1 = gx1; y1 = gy1;\n"  // 8
+      "  if (x1 > x0) { dx = x1 - x0; sx = 1; }\n"   // 9
+      "  else { dx = x0 - x1; sx = 0 - 1; }\n"       // 10
+      "  if (y1 > y0) { dy = y1 - y0; sy = 1; }\n"   // 11
+      "  else { dy = y0 - y1; sy = 0 - 1; }\n"       // 12
+      "  if (dx > dy) { n = dx + 1; }\n"              // 13
+      "  else { n = dy + 1; }\n"                      // 14
+      "  err = dx - dy;\n"                            // 15
+      "  for (k = 0; k < n; k = k + 1) {\n"           // 16
+      "    __loopbound(1, 64);\n"                     // 17
+      "    frame[y0 * 64 + x0] = 1;\n"                // 18
+      "    e2 = 2 * err;\n"                           // 19
+      "    if (e2 > 0 - dy) {\n"                      // 20
+      "      err = err - dy;\n"                       // 21
+      "      x0 = x0 + sx;\n"                         // 22
+      "    }\n"                                       // 23
+      "    if (e2 < dx) {\n"                          // 24
+      "      err = err + dx;\n"                       // 25
+      "      y0 = y0 + sy;\n"                         // 26
+      "    }\n"                                       // 27
+      "  }\n"                                         // 28
+      "}\n";                                          // 29
+
+  // Worst case: the full diagonal — 64 steps, and the error update takes
+  // both half-steps every iteration.
+  b.worstData.push_back(patchInts("gx0", {0}));
+  b.worstData.push_back(patchInts("gy0", {0}));
+  b.worstData.push_back(patchInts("gx1", {63}));
+  b.worstData.push_back(patchInts("gy1", {63}));
+  // Best case: a single point.
+  b.bestData.push_back(patchInts("gx0", {5}));
+  b.bestData.push_back(patchInts("gy0", {5}));
+  b.bestData.push_back(patchInts("gx1", {5}));
+  b.bestData.push_back(patchInts("gy1", {5}));
+  return b;
+}
+
+}  // namespace cinderella::suite

@@ -1,0 +1,77 @@
+// matgen — the matrix-generation routine from the Linpack benchmark
+// (Table I): fills a 10x10 matrix with a multiplicative LCG, tracks the
+// maximum, and forms row sums into the right-hand side vector.
+#include "cinderella/suite/suite.hpp"
+
+namespace cinderella::suite {
+
+namespace {
+
+/// Replicates the LCG to count how many times the running maximum is
+/// updated — a data-independent fact (the seed is a program constant).
+int countNormaUpdates() {
+  long init = 1325;
+  long norma = 0;
+  int updates = 0;
+  for (int j = 0; j < 10; ++j) {
+    for (int i = 0; i < 10; ++i) {
+      init = 3125 * init % 65536;
+      const long v = init - 32768;
+      if (v > norma) {
+        norma = v;
+        ++updates;
+      }
+    }
+  }
+  return updates;
+}
+
+}  // namespace
+
+Benchmark makeMatgen() {
+  Benchmark b;
+  b.name = "matgen";
+  b.description = "Matrix routine in Linpack benchmark";
+  b.rootFunction = "matgen";
+  b.source =
+      "int a[100];\n"                                // 1
+      "int bvec[10];\n"                              // 2
+      "int norma;\n"                                 // 3
+      "\n"                                           // 4
+      "void matgen() {\n"                            // 5
+      "  int init; int i; int j;\n"                  // 6
+      "  init = 1325;\n"                             // 7
+      "  norma = 0;\n"                               // 8
+      "  for (j = 0; j < 10; j = j + 1) {\n"         // 9
+      "    __loopbound(10, 10);\n"                   // 10
+      "    for (i = 0; i < 10; i = i + 1) {\n"       // 11
+      "      __loopbound(10, 10);\n"                 // 12
+      "      init = 3125 * init % 65536;\n"          // 13
+      "      a[10 * j + i] = init - 32768;\n"        // 14
+      "      if (a[10 * j + i] > norma) {\n"         // 15
+      "        norma = a[10 * j + i];\n"             // 16
+      "      }\n"                                    // 17
+      "    }\n"                                      // 18
+      "  }\n"                                        // 19
+      "  for (i = 0; i < 10; i = i + 1) {\n"         // 20
+      "    __loopbound(10, 10);\n"                   // 21
+      "    bvec[i] = 0;\n"                           // 22
+      "  }\n"                                        // 23
+      "  for (j = 0; j < 10; j = j + 1) {\n"         // 24
+      "    __loopbound(10, 10);\n"                   // 25
+      "    for (i = 0; i < 10; i = i + 1) {\n"       // 26
+      "      __loopbound(10, 10);\n"                 // 27
+      "      bvec[i] = bvec[i] + a[10 * j + i];\n"   // 28
+      "    }\n"                                      // 29
+      "  }\n"                                        // 30
+      "}\n";                                         // 31
+
+  // The generator sequence is a program constant, so the number of
+  // running-maximum updates is an exact path fact.
+  b.constraints.push_back(
+      {"@16 = " + std::to_string(countNormaUpdates()), ""});
+  // No input data: worst and best runs are identical modulo cache state.
+  return b;
+}
+
+}  // namespace cinderella::suite

@@ -1,0 +1,49 @@
+// piksrt — straight insertion sort of 10 elements (Numerical Recipes),
+// as in the paper's Table I.
+#include "cinderella/suite/suite.hpp"
+
+namespace cinderella::suite {
+
+Benchmark makePiksrt() {
+  Benchmark b;
+  b.name = "piksrt";
+  b.description = "Insertion Sort";
+  b.rootFunction = "piksrt";
+  b.source =
+      "int arr[10];\n"                          // 1
+      "\n"                                      // 2
+      "void piksrt() {\n"                       // 3
+      "  int i; int j; int a;\n"                // 4
+      "  for (j = 1; j < 10; j = j + 1) {\n"    // 5
+      "    __loopbound(9, 9);\n"                // 6
+      "    a = arr[j];\n"                       // 7
+      "    i = j - 1;\n"                        // 8
+      "    while (i >= 0 &&\n"                  // 9
+      "           arr[i] > a) {\n"              // 10
+      "      __loopbound(0, 9);\n"              // 11
+      "      arr[i + 1] = arr[i];\n"            // 12
+      "      i = i - 1;\n"                      // 13
+      "    }\n"                                 // 14
+      "    arr[i + 1] = a;\n"                   // 15
+      "  }\n"                                   // 16
+      "}\n";                                    // 17
+
+  // Path facts a user of cinderella would supply after studying the
+  // sift-down loop: in the pass with outer index j, the arr[i] > a test
+  // runs at most j times (j-1 shifts plus the failing test, or j shifts
+  // ending on i < 0), and at least once.  Summed over j = 1..9:
+  //   total inner-body executions <= 1+2+...+9 = 45,
+  //   total arr[i] > a evaluations in [9, 45].
+  b.constraints.push_back({"@12 <= 45", ""});
+  b.constraints.push_back({"@10 >= 9", ""});
+  b.constraints.push_back({"@10 <= 45", ""});
+
+  // Worst case: reverse-sorted input (every element sifts to the front).
+  b.worstData.push_back(
+      patchInts("arr", {10, 9, 8, 7, 6, 5, 4, 3, 2, 1}));
+  // Best case: already sorted (the inner loop never runs).
+  b.bestData.push_back(patchInts("arr", {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
+  return b;
+}
+
+}  // namespace cinderella::suite

@@ -1,0 +1,72 @@
+// recon — MPEG-2 decoder motion-compensated reconstruction (the
+// form_component_prediction kernel): copies or interpolates a 16x16
+// prediction block from the reference picture, selected by the
+// horizontal/vertical half-pel flags.
+#include "cinderella/suite/suite.hpp"
+
+namespace cinderella::suite {
+
+Benchmark makeRecon() {
+  Benchmark b;
+  b.name = "recon";
+  b.description = "MPEG2 decoder reconstruction routine";
+  b.rootFunction = "recon";
+  b.source =
+      "int src[1089];\n"  // 33x33 reference window      // 1
+      "int dst[256];\n"   // 16x16 prediction            // 2
+      "int xh; int yh;\n" // half-pel flags              // 3
+      "\n"                                               // 4
+      "void recon() {\n"                                 // 5
+      "  int i; int j;\n"                                // 6
+      "  if (xh == 0 &&\n"                               // 7
+      "      yh == 0) {\n"                               // 8
+      "    for (i = 0; i < 16; i = i + 1) {\n"           // 9
+      "      __loopbound(16, 16);\n"                     // 10
+      "      for (j = 0; j < 16; j = j + 1) {\n"         // 11
+      "        __loopbound(16, 16);\n"                   // 12
+      "        dst[i * 16 + j] = src[i * 33 + j];\n"     // 13
+      "      }\n"                                        // 14
+      "    }\n"                                          // 15
+      "  } else {\n"                                     // 16
+      "    if (xh != 0 &&\n"                             // 17
+      "        yh == 0) {\n"                             // 18
+      "      for (i = 0; i < 16; i = i + 1) {\n"         // 19
+      "        __loopbound(16, 16);\n"                   // 20
+      "        for (j = 0; j < 16; j = j + 1) {\n"       // 21
+      "          __loopbound(16, 16);\n"                 // 22
+      "          dst[i * 16 + j] = (src[i * 33 + j] + src[i * 33 + j + 1] + 1) / 2;\n"  // 23
+      "        }\n"                                      // 24
+      "      }\n"                                        // 25
+      "    } else {\n"                                   // 26
+      "      if (xh == 0) {\n"                           // 27
+      "        for (i = 0; i < 16; i = i + 1) {\n"       // 28
+      "          __loopbound(16, 16);\n"                 // 29
+      "          for (j = 0; j < 16; j = j + 1) {\n"     // 30
+      "            __loopbound(16, 16);\n"               // 31
+      "            dst[i * 16 + j] = (src[i * 33 + j] + src[(i + 1) * 33 + j] + 1) / 2;\n"  // 32
+      "          }\n"                                    // 33
+      "        }\n"                                      // 34
+      "      } else {\n"                                 // 35
+      "        for (i = 0; i < 16; i = i + 1) {\n"       // 36
+      "          __loopbound(16, 16);\n"                 // 37
+      "          for (j = 0; j < 16; j = j + 1) {\n"     // 38
+      "            __loopbound(16, 16);\n"               // 39
+      "            dst[i * 16 + j] = (src[i * 33 + j] + src[i * 33 + j + 1]\n"            // 40
+      "                + src[(i + 1) * 33 + j] + src[(i + 1) * 33 + j + 1] + 2) / 4;\n"   // 41
+      "          }\n"                                    // 42
+      "        }\n"                                      // 43
+      "      }\n"                                        // 44
+      "    }\n"                                          // 45
+      "  }\n"                                            // 46
+      "}\n";                                             // 47
+
+  // Worst case: both half-pel flags set — the 4-tap interpolation path.
+  b.worstData.push_back(patchInts("xh", {1}));
+  b.worstData.push_back(patchInts("yh", {1}));
+  // Best case: full-pel — the plain copy path.
+  b.bestData.push_back(patchInts("xh", {0}));
+  b.bestData.push_back(patchInts("yh", {0}));
+  return b;
+}
+
+}  // namespace cinderella::suite

@@ -1,0 +1,227 @@
+// whetstone — the classic synthetic floating-point benchmark, scaled to
+// one pass.  The standard-library functions (sin, cos, atan, exp, log,
+// sqrt) are implemented as fixed-iteration MiniC routines, the way
+// paper-era embedded runtimes shipped them, so every module has a
+// statically analysable path.
+#include "cinderella/suite/suite.hpp"
+
+namespace cinderella::suite {
+
+Benchmark makeWhetstone() {
+  Benchmark b;
+  b.name = "whetstone";
+  b.description = "Whetstone benchmark";
+  b.rootFunction = "whetstone";
+  b.source = R"(float e1[4];
+float t; float t1; float t2;
+float pz;
+int jg; int kg; int lg;
+
+float my_sin(float x) {
+  float s; float term; float x2; int k;
+  s = x; term = x; x2 = x * x;
+  for (k = 1; k < 6; k = k + 1) {
+    __loopbound(5, 5);
+    term = 0.0 - term * x2 / ((2 * k) * (2 * k + 1));
+    s = s + term;
+  }
+  return s;
+}
+
+float my_cos(float x) {
+  float s; float term; float x2; int k;
+  s = 1.0; term = 1.0; x2 = x * x;
+  for (k = 1; k < 6; k = k + 1) {
+    __loopbound(5, 5);
+    term = 0.0 - term * x2 / ((2 * k - 1) * (2 * k));
+    s = s + term;
+  }
+  return s;
+}
+
+float my_atan(float x) {
+  float s; float p; float x2; int k;
+  s = x; p = x; x2 = x * x;
+  for (k = 1; k < 8; k = k + 1) {
+    __loopbound(7, 7);
+    p = 0.0 - p * x2;
+    s = s + p / (2 * k + 1);
+  }
+  return s;
+}
+
+float my_exp(float x) {
+  float s; float term; int k;
+  s = 1.0; term = 1.0;
+  for (k = 1; k < 11; k = k + 1) {
+    __loopbound(10, 10);
+    term = term * x / k;
+    s = s + term;
+  }
+  return s;
+}
+
+float my_log(float x) {
+  float y; float y2; float s; float p; int k;
+  y = (x - 1.0) / (x + 1.0);
+  y2 = y * y;
+  s = 0.0; p = y;
+  for (k = 0; k < 8; k = k + 1) {
+    __loopbound(8, 8);
+    s = s + p / (2 * k + 1);
+    p = p * y2;
+  }
+  return 2.0 * s;
+}
+
+float my_sqrt(float x) {
+  float g; int it;
+  g = x + 1.0;
+  for (it = 0; it < 5; it = it + 1) {
+    __loopbound(5, 5);
+    g = 0.5 * (g + x / g);
+  }
+  return g;
+}
+
+void pa0() {
+  int jl;
+  for (jl = 0; jl < 6; jl = jl + 1) {
+    __loopbound(6, 6);
+    e1[0] = (e1[0] + e1[1] + e1[2] - e1[3]) * t;
+    e1[1] = (e1[0] + e1[1] - e1[2] + e1[3]) * t;
+    e1[2] = (e1[0] - e1[1] + e1[2] + e1[3]) * t;
+    e1[3] = (0.0 - e1[0] + e1[1] + e1[2] + e1[3]) / t2;
+  }
+}
+
+void p3(float x, float y) {
+  float x1; float y1;
+  x1 = t * (x + y);
+  y1 = t * (x1 + y);
+  pz = (x1 + y1) / t2;
+}
+
+void whetstone() {
+  int i;
+  float x; float y; float x1; float x2; float x3; float x4;
+  t = 0.499975;
+  t1 = 0.50025;
+  t2 = 2.0;
+
+  x1 = 1.0; x2 = 0.0 - 1.0; x3 = 0.0 - 1.0; x4 = 0.0 - 1.0;
+  for (i = 0; i < 10; i = i + 1) {
+    __loopbound(10, 10);
+    x1 = (x1 + x2 + x3 - x4) * t;
+    x2 = (x1 + x2 - x3 + x4) * t;
+    x3 = (x1 - x2 + x3 + x4) * t;
+    x4 = (0.0 - x1 + x2 + x3 + x4) * t;
+  }
+
+  e1[0] = 1.0; e1[1] = 0.0 - 1.0; e1[2] = 0.0 - 1.0; e1[3] = 0.0 - 1.0;
+  for (i = 0; i < 12; i = i + 1) {
+    __loopbound(12, 12);
+    e1[0] = (e1[0] + e1[1] + e1[2] - e1[3]) * t;
+    e1[1] = (e1[0] + e1[1] - e1[2] + e1[3]) * t;
+    e1[2] = (e1[0] - e1[1] + e1[2] + e1[3]) * t;
+    e1[3] = (0.0 - e1[0] + e1[1] + e1[2] + e1[3]) / t2;
+  }
+
+  for (i = 0; i < 14; i = i + 1) {
+    __loopbound(14, 14);
+    pa0();
+  }
+
+  jg = 1;
+  for (i = 0; i < 16; i = i + 1) {
+    __loopbound(16, 16);
+    if (jg == 1) {
+      jg = 2; /* n4-a-then */
+    } else {
+      jg = 3; /* n4-a-else */
+    }
+    if (jg > 2) {
+      jg = 0; /* n4-b-then */
+    } else {
+      jg = 1; /* n4-b-else */
+    }
+    if (jg < 1) {
+      jg = 1; /* n4-c-then */
+    } else {
+      jg = 0; /* n4-c-else */
+    }
+  }
+
+  jg = 1; kg = 2; lg = 3;
+  for (i = 0; i < 18; i = i + 1) {
+    __loopbound(18, 18);
+    jg = jg * (kg - jg) * (lg - kg);
+    kg = lg * kg - (lg - jg) * kg;
+    lg = (lg - kg) * (kg + jg);
+    e1[lg - 2] = jg + kg + lg;
+    e1[kg - 2] = jg * kg * lg;
+  }
+
+  x = 0.5; y = 0.5;
+  for (i = 0; i < 8; i = i + 1) {
+    __loopbound(8, 8);
+    x = t * my_atan(t2 * my_sin(x) * my_cos(x)
+        / (my_cos(x + y) + my_cos(x - y) - 1.0));
+    y = t * my_atan(t2 * my_sin(y) * my_cos(y)
+        / (my_cos(x + y) + my_cos(x - y) - 1.0));
+  }
+
+  x = 1.0; y = 1.0; pz = 1.0;
+  for (i = 0; i < 20; i = i + 1) {
+    __loopbound(20, 20);
+    p3(x, y);
+  }
+
+  jg = 2; kg = 3;
+  for (i = 0; i < 22; i = i + 1) {
+    __loopbound(22, 22);
+    jg = jg + kg;
+    kg = jg + kg;
+    jg = kg - jg;
+    kg = kg - jg - jg;
+  }
+
+  x = 0.75;
+  for (i = 0; i < 12; i = i + 1) {
+    __loopbound(12, 12);
+    x = my_sqrt(my_exp(my_log(x) / t1));
+  }
+}
+)";
+
+  // Whetstone's N4 conditional-jump module is deterministic (jg depends
+  // only on its own previous value), so every branch count is an exact
+  // constant; replay the module to derive them.
+  {
+    int aThen = 0, aElse = 0, bThen = 0, bElse = 0, cThen = 0, cElse = 0;
+    int jg = 1;
+    for (int i = 0; i < 16; ++i) {
+      if (jg == 1) { jg = 2; ++aThen; } else { jg = 3; ++aElse; }
+      if (jg > 2) { jg = 0; ++bThen; } else { jg = 1; ++bElse; }
+      if (jg < 1) { jg = 1; ++cThen; } else { jg = 0; ++cElse; }
+    }
+    auto fact = [&](const char* marker, int count) {
+      b.constraints.push_back(
+          {"@" + std::to_string(lineOf(b.source, marker)) + " = " +
+               std::to_string(count),
+           ""});
+    };
+    fact("n4-a-then", aThen);
+    fact("n4-a-else", aElse);
+    fact("n4-b-then", bThen);
+    fact("n4-b-else", bElse);
+    fact("n4-c-then", cThen);
+    fact("n4-c-else", cElse);
+  }
+
+  // Control flow is otherwise input-independent; whetstone reads no
+  // input data at all.
+  return b;
+}
+
+}  // namespace cinderella::suite

@@ -1,0 +1,79 @@
+#include "cinderella/suite/suite.hpp"
+
+#include "cinderella/support/error.hpp"
+#include "cinderella/support/text.hpp"
+
+namespace cinderella::suite {
+
+int Benchmark::sourceLines() const {
+  int lines = 0;
+  for (const auto& line : splitLines(source)) {
+    // Count non-blank lines, like the paper's "Lines" column counts
+    // statements rather than raw file length.
+    for (const char c : line) {
+      if (c != ' ' && c != '\t') {
+        ++lines;
+        break;
+      }
+    }
+  }
+  return lines;
+}
+
+int lineOf(std::string_view source, std::string_view needle) {
+  const auto lines = splitLines(source);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].find(needle) != std::string::npos) {
+      return static_cast<int>(i) + 1;
+    }
+  }
+  throw AnalysisError("lineOf: \"" + std::string(needle) +
+                      "\" not found in benchmark source");
+}
+
+sim::GlobalPatch patchInts(std::string name,
+                           const std::vector<std::int64_t>& v) {
+  sim::GlobalPatch patch;
+  patch.name = std::move(name);
+  patch.words.reserve(v.size());
+  for (const std::int64_t x : v) patch.words.push_back(sim::encodeInt(x));
+  return patch;
+}
+
+sim::GlobalPatch patchFloats(std::string name, const std::vector<double>& v) {
+  sim::GlobalPatch patch;
+  patch.name = std::move(name);
+  patch.words.reserve(v.size());
+  for (const double x : v) patch.words.push_back(sim::encodeFloat(x));
+  return patch;
+}
+
+const std::vector<Benchmark>& allBenchmarks() {
+  static const std::vector<Benchmark> benchmarks = [] {
+    std::vector<Benchmark> all;
+    all.push_back(makeCheckData());
+    all.push_back(makeFft());
+    all.push_back(makePiksrt());
+    all.push_back(makeDes());
+    all.push_back(makeLine());
+    all.push_back(makeCircle());
+    all.push_back(makeJpegFdct());
+    all.push_back(makeJpegIdct());
+    all.push_back(makeRecon());
+    all.push_back(makeFullsearch());
+    all.push_back(makeWhetstone());
+    all.push_back(makeDhry());
+    all.push_back(makeMatgen());
+    return all;
+  }();
+  return benchmarks;
+}
+
+const Benchmark& benchmarkByName(std::string_view name) {
+  for (const auto& b : allBenchmarks()) {
+    if (b.name == name) return b;
+  }
+  throw AnalysisError("unknown benchmark '" + std::string(name) + "'");
+}
+
+}  // namespace cinderella::suite

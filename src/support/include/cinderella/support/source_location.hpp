@@ -1,0 +1,28 @@
+// Lightweight source positions for MiniC programs and constraint strings.
+#pragma once
+
+#include <string>
+
+namespace cinderella {
+
+/// A 1-based line/column position in an input text.  Line 0 means
+/// "unknown" (used for synthesized nodes).
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+
+  [[nodiscard]] bool isKnown() const { return line > 0; }
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+/// Half-open range of source lines covered by a construct.
+struct SourceRange {
+  SourceLoc begin;
+  SourceLoc end;
+
+  friend bool operator==(const SourceRange&, const SourceRange&) = default;
+};
+
+}  // namespace cinderella

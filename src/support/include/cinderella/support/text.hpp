@@ -1,0 +1,55 @@
+// Small text utilities used by dumpers and table writers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cinderella {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> splitLines(std::string_view text);
+
+/// Returns `s` left-padded with spaces to at least `width` characters.
+std::string padLeft(std::string_view s, std::size_t width);
+
+/// Returns `s` right-padded with spaces to at least `width` characters.
+std::string padRight(std::string_view s, std::size_t width);
+
+/// Formats an integer with thousands separators: 1234567 -> "1,234,567".
+std::string withThousands(std::int64_t value);
+
+/// Formats a cycle interval "[lo, hi]" with thousands separators.
+std::string intervalStr(std::int64_t lo, std::int64_t hi);
+
+/// Fixed-point formatting with `digits` decimals (no locale dependence).
+std::string fixed(double value, int digits);
+
+/// A minimal deterministic xorshift64* generator for property tests and
+/// workload generators.  Never seeded from the clock.
+class Xorshift64 {
+ public:
+  explicit Xorshift64(std::uint64_t seed) : state_(seed ? seed : 0x9E3779B97F4A7C15ULL) {}
+
+  std::uint64_t next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace cinderella

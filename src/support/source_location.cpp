@@ -1,0 +1,10 @@
+#include "cinderella/support/source_location.hpp"
+
+namespace cinderella {
+
+std::string SourceLoc::str() const {
+  if (!isKnown()) return "<unknown>";
+  return std::to_string(line) + ":" + std::to_string(column);
+}
+
+}  // namespace cinderella

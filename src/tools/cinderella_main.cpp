@@ -1,0 +1,11 @@
+#include <iostream>
+
+#include "cinderella/tools/tool.hpp"
+
+int main(int argc, char** argv) {
+  cinderella::tools::ToolOptions options;
+  if (!cinderella::tools::parseArgs(argc, argv, &options, std::cerr)) {
+    return 1;
+  }
+  return cinderella::tools::runTool(options, std::cout, std::cerr);
+}

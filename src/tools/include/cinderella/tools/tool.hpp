@@ -1,0 +1,54 @@
+// The `cinderella` command-line tool, mirroring the workflow of the
+// paper's Section V: read the program, derive structural constraints,
+// ask for loop bounds (here: annotations or a constraint file), print
+// the annotated source, estimate the bound, and re-estimate as more
+// functionality constraints are supplied.
+//
+// The driver logic lives in a library function so it can be unit-tested
+// without spawning processes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cinderella::tools {
+
+struct ToolOptions {
+  /// Path to a MiniC source file; empty when `benchmark` is used.
+  std::string sourcePath;
+  /// Name of a built-in Table-I benchmark to analyse instead of a file.
+  std::string benchmark;
+  /// Root function (default: "main", or the benchmark's root).
+  std::string root;
+  /// Extra functionality constraints, one per entry (from --constraint
+  /// and from --constraints-file lines).
+  std::vector<std::string> constraints;
+  /// Print the annotated source listing (paper Fig. 5).
+  bool annotate = false;
+  /// Print the structural constraints (paper Figs 2-4 content).
+  bool dumpStructural = false;
+  /// Cache treatment: "allmiss" (default), "firstiter", or "ccg".
+  std::string cacheMode = "allmiss";
+  /// Print the per-block cost/count report after estimation.
+  bool report = false;
+  /// Print the worst-case ILPs in CPLEX LP format.
+  bool lpDump = false;
+  /// Print the module control-flow graphs in Graphviz dot format.
+  bool dot = false;
+  /// Also run the explicit-enumeration baseline and compare.
+  bool compareExplicit = false;
+  /// Also run the program on the simulator and check enclosure
+  /// (requires a benchmark, which carries its data sets).
+  bool simulate = false;
+};
+
+/// Parses argv into options.  Returns false (after printing usage to
+/// `err`) when the command line is invalid or --help was requested.
+bool parseArgs(int argc, const char* const* argv, ToolOptions* options,
+               std::ostream& err);
+
+/// Runs the tool; returns the process exit code.
+int runTool(const ToolOptions& options, std::ostream& out, std::ostream& err);
+
+}  // namespace cinderella::tools

@@ -1,0 +1,258 @@
+#include "cinderella/tools/tool.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "cinderella/cfg/dot.hpp"
+#include "cinderella/codegen/codegen.hpp"
+#include "cinderella/explicitpath/enumerator.hpp"
+#include "cinderella/ipet/analyzer.hpp"
+#include "cinderella/ipet/annotate.hpp"
+#include "cinderella/sim/simulator.hpp"
+#include "cinderella/suite/suite.hpp"
+#include "cinderella/support/error.hpp"
+#include "cinderella/support/text.hpp"
+
+namespace cinderella::tools {
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: cinderella [options] [source.mc]
+
+Bounds the running time of an annotated MiniC program using implicit
+path enumeration (Li & Malik, DAC'95).
+
+input (one of):
+  <source.mc>              analyse a MiniC source file
+  --benchmark <name>       analyse a built-in Table-I benchmark
+                           (check_data, fft, piksrt, des, line, circle,
+                            jpeg_fdct_islow, jpeg_idct_islow, recon,
+                            fullsearch, whetstone, dhry, matgen)
+
+options:
+  --root <function>        root function to analyse (default: main)
+  --constraint "<text>"    add a functionality constraint (repeatable)
+  --constraints-file <f>   read constraints, one per line ('#' comments)
+  --annotate               print the annotated source (paper Fig. 5)
+  --structural             print the derived structural constraints
+  --cache <mode>           allmiss (default), firstiter (Section-IV
+                           refinement) or ccg (cache conflict graph)
+  --first-iter-split       alias for --cache firstiter
+  --report                 print per-block costs and extreme counts
+  --lp-dump                print the worst-case ILPs in CPLEX LP format
+  --dot                    print the CFGs in Graphviz dot format
+  --explicit               also run explicit path enumeration and compare
+  --simulate               run extreme-case data sets on the simulator
+                           and verify the bound encloses them
+                           (built-in benchmarks only)
+  --help                   show this message
+)";
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+bool parseArgs(int argc, const char* const* argv, ToolOptions* options,
+               std::ostream& err) {
+  auto needValue = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      err << "cinderella: " << flag << " needs an argument\n" << kUsage;
+      return nullptr;
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      err << kUsage;
+      return false;
+    } else if (arg == "--benchmark") {
+      const char* v = needValue(i, "--benchmark");
+      if (!v) return false;
+      options->benchmark = v;
+    } else if (arg == "--root") {
+      const char* v = needValue(i, "--root");
+      if (!v) return false;
+      options->root = v;
+    } else if (arg == "--constraint") {
+      const char* v = needValue(i, "--constraint");
+      if (!v) return false;
+      options->constraints.push_back(v);
+    } else if (arg == "--constraints-file") {
+      const char* v = needValue(i, "--constraints-file");
+      if (!v) return false;
+      for (const auto& line : splitLines(readFile(v))) {
+        const auto first = line.find_first_not_of(" \t");
+        if (first == std::string::npos || line[first] == '#') continue;
+        options->constraints.push_back(line);
+      }
+    } else if (arg == "--annotate") {
+      options->annotate = true;
+    } else if (arg == "--structural") {
+      options->dumpStructural = true;
+    } else if (arg == "--first-iter-split") {
+      options->cacheMode = "firstiter";
+    } else if (arg == "--cache") {
+      const char* v = needValue(i, "--cache");
+      if (!v) return false;
+      options->cacheMode = v;
+      if (options->cacheMode != "allmiss" &&
+          options->cacheMode != "firstiter" && options->cacheMode != "ccg") {
+        err << "cinderella: --cache must be allmiss, firstiter or ccg\n";
+        return false;
+      }
+    } else if (arg == "--report") {
+      options->report = true;
+    } else if (arg == "--lp-dump") {
+      options->lpDump = true;
+    } else if (arg == "--dot") {
+      options->dot = true;
+    } else if (arg == "--explicit") {
+      options->compareExplicit = true;
+    } else if (arg == "--simulate") {
+      options->simulate = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      err << "cinderella: unknown option '" << arg << "'\n" << kUsage;
+      return false;
+    } else if (options->sourcePath.empty()) {
+      options->sourcePath = arg;
+    } else {
+      err << "cinderella: multiple source files given\n" << kUsage;
+      return false;
+    }
+  }
+
+  if (options->sourcePath.empty() && options->benchmark.empty()) {
+    err << "cinderella: no input (give a source file or --benchmark)\n"
+        << kUsage;
+    return false;
+  }
+  if (!options->sourcePath.empty() && !options->benchmark.empty()) {
+    err << "cinderella: give either a source file or --benchmark, not both\n";
+    return false;
+  }
+  if (options->simulate && options->benchmark.empty()) {
+    err << "cinderella: --simulate needs --benchmark (data sets)\n";
+    return false;
+  }
+  return true;
+}
+
+int runTool(const ToolOptions& options, std::ostream& out,
+            std::ostream& err) {
+  try {
+    std::string source;
+    std::string root = options.root;
+    std::vector<suite::Constraint> constraints;
+    const suite::Benchmark* bench = nullptr;
+
+    if (!options.benchmark.empty()) {
+      bench = &suite::benchmarkByName(options.benchmark);
+      source = bench->source;
+      if (root.empty()) root = bench->rootFunction;
+      constraints = bench->constraints;
+    } else {
+      source = readFile(options.sourcePath);
+      if (root.empty()) root = "main";
+    }
+    for (const auto& text : options.constraints) {
+      constraints.push_back({text, ""});
+    }
+
+    const codegen::CompileResult compiled = codegen::compileSource(source);
+
+    ipet::AnalyzerOptions aopt;
+    if (options.cacheMode == "firstiter") {
+      aopt.cacheMode = ipet::CacheMode::FirstIterationSplit;
+    } else if (options.cacheMode == "ccg") {
+      aopt.cacheMode = ipet::CacheMode::ConflictGraph;
+    }
+    ipet::Analyzer analyzer(compiled, root, aopt);
+    for (const auto& c : constraints) {
+      analyzer.addConstraint(c.text, c.scope);
+    }
+
+    if (options.annotate) {
+      out << ipet::annotateSource(analyzer, source) << "\n";
+    }
+    if (options.dumpStructural) {
+      for (int f = 0; f < compiled.module.numFunctions(); ++f) {
+        out << analyzer.structuralConstraintsStr(f);
+      }
+      out << "\n";
+    }
+
+    if (options.dot) {
+      out << cfg::moduleToDot(compiled.module) << "\n";
+    }
+    if (options.lpDump) {
+      out << analyzer.exportWorstCaseIlp() << "\n";
+    }
+
+    const ipet::Estimate estimate = analyzer.estimate();
+    if (options.report) {
+      out << ipet::formatEstimateReport(analyzer, estimate) << "\n";
+    }
+    out << "estimated bound: "
+        << intervalStr(estimate.bound.lo, estimate.bound.hi)
+        << " cycles\n";
+    out << "constraint sets: " << estimate.stats.constraintSets << " ("
+        << estimate.stats.prunedNullSets << " null, pruned); ILP solves: "
+        << estimate.stats.ilpSolves
+        << "; LP calls: " << estimate.stats.lpCalls
+        << "; first relaxation integral: "
+        << (estimate.stats.allFirstRelaxationsIntegral ? "yes" : "no")
+        << "\n";
+
+    if (options.compareExplicit) {
+      explicitpath::EnumOptions eo;
+      const explicitpath::EnumResult ex =
+          explicitpath::enumeratePaths(compiled, root, eo);
+      out << "explicit enumeration: " << ex.pathsExplored << " paths"
+          << (ex.complete ? "" : " (CAPPED, bounds partial)") << ", bound "
+          << intervalStr(ex.best, ex.worst) << "\n";
+      if (ex.complete) {
+        out << "implicit == explicit: "
+            << ((estimate.bound.lo == ex.best && estimate.bound.hi == ex.worst)
+                    ? "yes"
+                    : "NO")
+            << "\n";
+      }
+    }
+
+    if (options.simulate && bench != nullptr) {
+      sim::Simulator simulator(compiled.module);
+      const int fn = *compiled.module.findFunction(root);
+      sim::SimOptions worstRun;
+      worstRun.patches = bench->worstData;
+      const sim::SimResult worst = simulator.run(fn, {}, worstRun);
+      sim::SimOptions bestRun;
+      bestRun.patches = bench->bestData;
+      (void)simulator.run(fn, {}, bestRun);
+      bestRun.coldCache = false;
+      const sim::SimResult best = simulator.run(fn, {}, bestRun);
+      out << "simulated: worst-case data " << withThousands(worst.cycles)
+          << " cycles (cold cache), best-case data "
+          << withThousands(best.cycles) << " cycles (warm cache)\n";
+      const bool enclosed = estimate.bound.lo <= best.cycles &&
+                            worst.cycles <= estimate.bound.hi;
+      out << "bound encloses simulation: " << (enclosed ? "yes" : "NO")
+          << "\n";
+      if (!enclosed) return 2;
+    }
+    return 0;
+  } catch (const Error& e) {
+    err << "cinderella: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace cinderella::tools

@@ -1,0 +1,400 @@
+#include "cinderella/vm/asm.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cinderella/support/error.hpp"
+#include "cinderella/support/text.hpp"
+
+namespace cinderella::vm {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw ParseError("asm error at line " + std::to_string(line) + ": " +
+                   message);
+}
+
+/// Cursor over one line of assembly.
+class LineCursor {
+ public:
+  LineCursor(std::string_view text, int line) : text_(text), line_(line) {}
+
+  void skipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool atEnd() {
+    skipSpace();
+    return pos_ >= text_.size();
+  }
+
+  [[nodiscard]] char peek() {
+    skipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool consume(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) {
+      fail(line_, std::string("expected '") + c + "'");
+    }
+  }
+
+  std::string word() {
+    skipSpace();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '.' || text_[pos_] == '=' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (start == pos_) fail(line_, "expected a word");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::int64_t integer() {
+    const std::string w = word();
+    char* end = nullptr;
+    const std::int64_t value = std::strtoll(w.c_str(), &end, 0);
+    if (end == w.c_str() || *end != '\0') {
+      fail(line_, "expected an integer, got '" + w + "'");
+    }
+    return value;
+  }
+
+  double floating() {
+    const std::string w = word();
+    char* end = nullptr;
+    const double value = std::strtod(w.c_str(), &end);
+    if (end == w.c_str() || *end != '\0') {
+      fail(line_, "expected a number, got '" + w + "'");
+    }
+    return value;
+  }
+
+  int reg() {
+    skipSpace();
+    if (peek() != 'r') fail(line_, "expected a register (rN)");
+    ++pos_;
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (start == pos_) fail(line_, "expected a register number");
+    return std::atoi(std::string(text_.substr(start, pos_ - start)).c_str());
+  }
+
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_;
+};
+
+/// A branch or call operand that may reference a not-yet-seen label.
+struct PendingRef {
+  int instrIndex = 0;
+  std::string label;   // branch label (empty when callee is used)
+  std::string callee;  // function name (empty when label is used)
+  int line = 0;
+};
+
+const std::map<std::string, Opcode>& opcodeTable() {
+  static const std::map<std::string, Opcode> table = [] {
+    std::map<std::string, Opcode> t;
+    for (int op = 0; op <= static_cast<int>(Opcode::Halt); ++op) {
+      t[opcodeName(static_cast<Opcode>(op))] = static_cast<Opcode>(op);
+    }
+    return t;
+  }();
+  return table;
+}
+
+class Assembler {
+ public:
+  explicit Assembler(std::string_view source) : source_(source) {}
+
+  Module run() {
+    const auto lines = splitLines(source_);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      std::string line = lines[i];
+      const auto comment = line.find(';');
+      if (comment != std::string::npos) line.erase(comment);
+      LineCursor cur(line, static_cast<int>(i) + 1);
+      if (cur.atEnd()) continue;
+      parseLine(cur);
+    }
+    finishFunction();
+    resolveCallees();
+    module_.layout();
+    return std::move(module_);
+  }
+
+ private:
+  void parseLine(LineCursor& cur) {
+    // Label?
+    std::string first = cur.word();
+    if (cur.consume(':')) {
+      if (!inFunction_) fail(cur.line(), "label outside a function");
+      labels_[first] = static_cast<int>(fn_.code.size());
+      if (cur.atEnd()) return;
+      first = cur.word();
+    }
+
+    if (first == "global") {
+      finishFunction();  // a global directive ends the current function
+      const std::string name = cur.word();
+      const std::int64_t size = cur.integer();
+      bool isFloat = false;
+      if (!cur.atEnd()) {
+        const std::string kind = cur.word();
+        if (kind != "float" && kind != "int") {
+          fail(cur.line(), "expected 'float' or 'int'");
+        }
+        isFloat = (kind == "float");
+      }
+      if (size <= 0) fail(cur.line(), "global size must be positive");
+      module_.addGlobal(name, static_cast<int>(size), isFloat);
+      return;
+    }
+
+    if (first == "func") {
+      finishFunction();
+      fn_ = Function{};
+      fn_.name = cur.word();
+      labels_.clear();
+      inFunction_ = true;
+      while (!cur.atEnd()) {
+        const std::string attr = cur.word();
+        if (attr.rfind("params=", 0) == 0) {
+          fn_.numParams = std::atoi(attr.c_str() + 7);
+        } else if (attr.rfind("frame=", 0) == 0) {
+          fn_.frameWords = std::atoi(attr.c_str() + 6);
+        } else if (attr.rfind("regs=", 0) == 0) {
+          fn_.numRegs = std::atoi(attr.c_str() + 5);
+        } else {
+          fail(cur.line(), "unknown function attribute '" + attr + "'");
+        }
+      }
+      return;
+    }
+
+    if (!inFunction_) fail(cur.line(), "instruction outside a function");
+    parseInstr(first, cur);
+  }
+
+  /// `@label` or `@N`.
+  void parseTarget(LineCursor& cur, Instr* instr) {
+    cur.expect('@');
+    const std::string target = cur.word();
+    if (!target.empty() &&
+        std::isdigit(static_cast<unsigned char>(target[0]))) {
+      instr->imm = std::atoll(target.c_str());
+    } else {
+      pending_.push_back({static_cast<int>(fn_.code.size()), target, "",
+                          cur.line()});
+    }
+  }
+
+  void parseInstr(const std::string& mnemonic, LineCursor& cur) {
+    const auto it = opcodeTable().find(mnemonic);
+    if (it == opcodeTable().end()) {
+      fail(cur.line(), "unknown mnemonic '" + mnemonic + "'");
+    }
+    Instr instr;
+    instr.op = it->second;
+    instr.loc = {cur.line(), 1};
+
+    switch (instr.op) {
+      case Opcode::MovI:
+        instr.rd = cur.reg();
+        cur.expect(',');
+        instr.imm = cur.integer();
+        break;
+      case Opcode::MovF:
+        instr.rd = cur.reg();
+        cur.expect(',');
+        instr.fimm = cur.floating();
+        break;
+      case Opcode::Mov:
+      case Opcode::Neg:
+      case Opcode::Not:
+      case Opcode::FNeg:
+      case Opcode::CvtIF:
+      case Opcode::CvtFI:
+        instr.rd = cur.reg();
+        cur.expect(',');
+        instr.rs1 = cur.reg();
+        break;
+      case Opcode::AddI:
+      case Opcode::MulI:
+        instr.rd = cur.reg();
+        cur.expect(',');
+        instr.rs1 = cur.reg();
+        cur.expect(',');
+        instr.imm = cur.integer();
+        break;
+      case Opcode::Ld:
+        instr.rd = cur.reg();
+        cur.expect(',');
+        cur.expect('[');
+        if (cur.peek() == 'r') {
+          instr.rs1 = cur.reg();
+          if (cur.consume('+')) instr.imm = cur.integer();
+        } else {
+          instr.rs1 = -1;
+          instr.imm = cur.integer();
+        }
+        cur.expect(']');
+        break;
+      case Opcode::St:
+        cur.expect('[');
+        if (cur.peek() == 'r') {
+          instr.rs1 = cur.reg();
+          if (cur.consume('+')) instr.imm = cur.integer();
+        } else {
+          instr.rs1 = -1;
+          instr.imm = cur.integer();
+        }
+        cur.expect(']');
+        cur.expect(',');
+        instr.rs2 = cur.reg();
+        break;
+      case Opcode::FrameAddr:
+        instr.rd = cur.reg();
+        cur.expect(',');
+        // Accept both "fp+N" and a bare offset.
+        if (cur.peek() == 'f') {
+          const std::string fp = cur.word();  // "fp+N" parses as one word
+          const auto plus = fp.find('+');
+          if (fp.rfind("fp", 0) != 0 || plus == std::string::npos) {
+            fail(cur.line(), "expected fp+offset");
+          }
+          instr.imm = std::atoll(fp.c_str() + plus + 1);
+        } else {
+          instr.imm = cur.integer();
+        }
+        break;
+      case Opcode::Br:
+        parseTarget(cur, &instr);
+        break;
+      case Opcode::Bt:
+      case Opcode::Bf:
+        instr.rs1 = cur.reg();
+        cur.expect(',');
+        parseTarget(cur, &instr);
+        break;
+      case Opcode::Call: {
+        instr.rd = cur.reg();
+        cur.expect(',');
+        const std::string callee = cur.word();
+        if (callee.rfind("fn", 0) == 0 &&
+            std::isdigit(static_cast<unsigned char>(callee[2]))) {
+          instr.imm = std::atoll(callee.c_str() + 2);
+        } else {
+          pending_.push_back({static_cast<int>(fn_.code.size()), "", callee,
+                              cur.line()});
+        }
+        cur.expect('(');
+        while (!cur.consume(')')) {
+          instr.args.push_back(cur.reg());
+          if (cur.peek() == ',') cur.consume(',');
+        }
+        break;
+      }
+      case Opcode::Ret:
+        if (!cur.atEnd()) instr.rs1 = cur.reg();
+        break;
+      case Opcode::Halt:
+        break;
+      default:
+        // Three-register ALU form.
+        instr.rd = cur.reg();
+        cur.expect(',');
+        instr.rs1 = cur.reg();
+        cur.expect(',');
+        instr.rs2 = cur.reg();
+        break;
+    }
+    if (!cur.atEnd()) fail(cur.line(), "trailing operands");
+    fn_.code.push_back(std::move(instr));
+  }
+
+  void finishFunction() {
+    if (!inFunction_) return;
+    // Resolve branch labels within the function.
+    std::vector<PendingRef> stillPending;
+    for (const auto& ref : pending_) {
+      if (ref.label.empty()) {
+        stillPending.push_back(ref);  // call by name: module level
+        continue;
+      }
+      const auto it = labels_.find(ref.label);
+      if (it == labels_.end()) {
+        fail(ref.line, "undefined label '" + ref.label + "'");
+      }
+      fn_.code[static_cast<std::size_t>(ref.instrIndex)].imm = it->second;
+    }
+    // Register file size: highest register mentioned + 1 (at least the
+    // declared regs / params).
+    int maxReg = fn_.numRegs - 1;
+    for (const auto& in : fn_.code) {
+      maxReg = std::max({maxReg, in.rd, in.rs1, in.rs2});
+      for (const int a : in.args) maxReg = std::max(maxReg, a);
+    }
+    fn_.numRegs = std::max(maxReg + 1, fn_.numParams);
+
+    // Patch up module-level call refs to carry the function index.
+    const int fnIndex = module_.numFunctions();
+    for (auto& ref : stillPending) {
+      ref.instrIndex += 0;  // instruction index stays function-local
+      moduleCalls_.push_back({fnIndex, ref});
+    }
+    module_.addFunction(std::move(fn_));
+    pending_.clear();
+    inFunction_ = false;
+  }
+
+  void resolveCallees() {
+    for (const auto& [fnIndex, ref] : moduleCalls_) {
+      const auto callee = module_.findFunction(ref.callee);
+      if (!callee) fail(ref.line, "undefined function '" + ref.callee + "'");
+      module_.function(fnIndex)
+          .code[static_cast<std::size_t>(ref.instrIndex)]
+          .imm = *callee;
+    }
+  }
+
+  std::string_view source_;
+  Module module_;
+  Function fn_;
+  bool inFunction_ = false;
+  std::map<std::string, int> labels_;
+  std::vector<PendingRef> pending_;
+  std::vector<std::pair<int, PendingRef>> moduleCalls_;
+};
+
+}  // namespace
+
+Module assemble(std::string_view source) { return Assembler(source).run(); }
+
+}  // namespace cinderella::vm

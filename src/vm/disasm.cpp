@@ -1,0 +1,102 @@
+#include "cinderella/vm/disasm.hpp"
+
+#include <sstream>
+
+#include "cinderella/support/text.hpp"
+
+namespace cinderella::vm {
+
+namespace {
+std::string reg(int r) { return "r" + std::to_string(r); }
+}  // namespace
+
+std::string disasmInstr(const Instr& in) {
+  std::ostringstream out;
+  out << opcodeName(in.op);
+  switch (in.op) {
+    case Opcode::MovI:
+      out << " " << reg(in.rd) << ", " << in.imm;
+      break;
+    case Opcode::MovF:
+      out << " " << reg(in.rd) << ", " << in.fimm;
+      break;
+    case Opcode::Mov:
+    case Opcode::Neg:
+    case Opcode::Not:
+    case Opcode::FNeg:
+    case Opcode::CvtIF:
+    case Opcode::CvtFI:
+      out << " " << reg(in.rd) << ", " << reg(in.rs1);
+      break;
+    case Opcode::AddI:
+    case Opcode::MulI:
+      out << " " << reg(in.rd) << ", " << reg(in.rs1) << ", " << in.imm;
+      break;
+    case Opcode::Ld:
+      out << " " << reg(in.rd) << ", [";
+      if (in.rs1 >= 0) {
+        out << reg(in.rs1) << "+";
+      }
+      out << in.imm << "]";
+      break;
+    case Opcode::St:
+      out << " [";
+      if (in.rs1 >= 0) {
+        out << reg(in.rs1) << "+";
+      }
+      out << in.imm << "], " << reg(in.rs2);
+      break;
+    case Opcode::FrameAddr:
+      out << " " << reg(in.rd) << ", fp+" << in.imm;
+      break;
+    case Opcode::Br:
+      out << " @" << in.imm;
+      break;
+    case Opcode::Bt:
+    case Opcode::Bf:
+      out << " " << reg(in.rs1) << ", @" << in.imm;
+      break;
+    case Opcode::Call: {
+      out << " " << reg(in.rd) << ", fn" << in.imm << "(";
+      for (std::size_t i = 0; i < in.args.size(); ++i) {
+        if (i) out << ", ";
+        out << reg(in.args[i]);
+      }
+      out << ")";
+      break;
+    }
+    case Opcode::Ret:
+      if (in.rs1 >= 0) out << " " << reg(in.rs1);
+      break;
+    case Opcode::Halt:
+      break;
+    default:
+      out << " " << reg(in.rd) << ", " << reg(in.rs1) << ", " << reg(in.rs2);
+      break;
+  }
+  return out.str();
+}
+
+std::string disasmFunction(const Module& module, int functionIndex) {
+  const Function& fn = module.function(functionIndex);
+  std::ostringstream out;
+  out << fn.name << " (params=" << fn.numParams << ", regs=" << fn.numRegs
+      << ", frame=" << fn.frameWords << " words)\n";
+  for (std::size_t i = 0; i < fn.code.size(); ++i) {
+    out << padLeft(std::to_string(i), 5) << ": "
+        << disasmInstr(fn.code[i]);
+    if (fn.code[i].loc.isKnown()) out << "   ; line " << fn.code[i].loc.line;
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string disasmModule(const Module& module) {
+  std::ostringstream out;
+  for (int i = 0; i < module.numFunctions(); ++i) {
+    out << disasmFunction(module, i) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace cinderella::vm

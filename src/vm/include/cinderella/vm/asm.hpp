@@ -1,0 +1,36 @@
+// A textual assembler for VISA, the inverse of the disassembler.
+//
+// The paper performs its analysis "on the assembly language program so
+// as to capture all the effects of the compiler"; this assembler lets
+// users (and tests) write such programs directly, without the MiniC
+// frontend.  Syntax, one item per line (';' starts a comment):
+//
+//     global data 16            ; 16-word int global
+//     global coef 4 float       ; float global
+//     func scan params=1 frame=0
+//       movi r1, 0
+//     loop:
+//       cmplt r2, r1, r0
+//       bf r2, @done
+//       addi r1, r1, 1
+//       br @loop
+//     done:
+//       ret r1
+//
+// Branch targets may be `@label` or absolute `@N` instruction indices;
+// call targets may be `fnN` indices or function names (forward
+// references allowed).  Register-file sizes are derived from the highest
+// register mentioned.
+#pragma once
+
+#include <string_view>
+
+#include "cinderella/vm/module.hpp"
+
+namespace cinderella::vm {
+
+/// Assembles a module; throws ParseError on malformed input.  The
+/// returned module is laid out.
+[[nodiscard]] Module assemble(std::string_view source);
+
+}  // namespace cinderella::vm

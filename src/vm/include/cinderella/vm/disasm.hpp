@@ -1,0 +1,20 @@
+// Disassembler for VISA code — debugging aid and annotated dumps.
+#pragma once
+
+#include <string>
+
+#include "cinderella/vm/module.hpp"
+
+namespace cinderella::vm {
+
+/// One instruction, e.g. "add r3, r1, r2" or "bt r4, @12".
+[[nodiscard]] std::string disasmInstr(const Instr& instr);
+
+/// Whole function with instruction indices and byte addresses.
+[[nodiscard]] std::string disasmFunction(const Module& module,
+                                         int functionIndex);
+
+/// Whole module.
+[[nodiscard]] std::string disasmModule(const Module& module);
+
+}  // namespace cinderella::vm

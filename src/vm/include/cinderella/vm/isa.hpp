@@ -1,0 +1,77 @@
+// VISA: a 32-bit-RISC-flavoured virtual instruction set.
+//
+// VISA plays the role the Intel i960KB plays in the paper: the machine
+// level at which timing analysis happens.  It is register-based
+// three-address code with an unbounded per-function virtual register
+// file (register pressure does not affect the paper's timing model, so
+// no allocator is needed), word-addressed data memory and a linear code
+// layout in which every instruction occupies four bytes — the unit the
+// direct-mapped instruction cache model operates on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cinderella/support/source_location.hpp"
+
+namespace cinderella::vm {
+
+/// Bytes occupied by one instruction in the laid-out code image.
+inline constexpr int kInstrBytes = 4;
+
+enum class Opcode : std::uint8_t {
+  // Moves / immediates.
+  MovI,   // rd <- imm
+  MovF,   // rd <- fimm
+  Mov,    // rd <- rs1
+  // Integer ALU (two registers).
+  Add, Sub, Mul, Div, Rem,
+  And, Or, Xor, Shl, Shr,
+  Neg, Not,                 // rd <- -rs1 / ~rs1
+  // Integer ALU with immediate (addressing arithmetic and constants).
+  AddI,   // rd <- rs1 + imm
+  MulI,   // rd <- rs1 * imm
+  // Floating point (registers hold IEEE double bits).
+  FAdd, FSub, FMul, FDiv, FNeg,
+  CvtIF,  // rd <- double(rs1 as int)
+  CvtFI,  // rd <- int(trunc(rs1 as double))
+  // Comparisons produce 0/1 in rd.
+  CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe,
+  FCmpEq, FCmpNe, FCmpLt, FCmpLe, FCmpGt, FCmpGe,
+  // Memory (word-addressed; address = reg + imm words).
+  Ld,        // rd <- mem[rs1 + imm]
+  St,        // mem[rs1 + imm] <- rs2
+  FrameAddr, // rd <- fp + imm (address of a stack-frame slot)
+  // Control flow. `imm` is the target instruction index within the same
+  // function (Br/Bt/Bf) or the callee function index (Call).
+  Br,
+  Bt,   // taken when rs1 != 0
+  Bf,   // taken when rs1 == 0
+  Call, // rd <- call functions[imm](args...)
+  Ret,  // return rs1 (rs1 < 0 => void)
+  Halt, // stop the machine (only in synthetic drivers)
+};
+
+[[nodiscard]] const char* opcodeName(Opcode op);
+
+/// True for Br/Bt/Bf/Call/Ret/Halt — instructions that may end a basic
+/// block.
+[[nodiscard]] bool isControlFlow(Opcode op);
+/// True for Bt/Bf.
+[[nodiscard]] bool isConditionalBranch(Opcode op);
+
+struct Instr {
+  Opcode op = Opcode::Halt;
+  int rd = -1;
+  int rs1 = -1;
+  int rs2 = -1;
+  std::int64_t imm = 0;
+  double fimm = 0.0;
+  /// Argument registers for Call.
+  std::vector<int> args;
+  /// Source line this instruction was generated from (for annotation).
+  SourceLoc loc;
+};
+
+}  // namespace cinderella::vm

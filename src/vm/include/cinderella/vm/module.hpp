@@ -1,0 +1,95 @@
+// Program containers: functions, globals, and the laid-out module.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cinderella/vm/isa.hpp"
+
+namespace cinderella::vm {
+
+/// One compiled function.  Parameters arrive in registers r0..r(numParams-1).
+struct Function {
+  std::string name;
+  int numParams = 0;
+  /// Size of the virtual register file (>= numParams).
+  int numRegs = 0;
+  /// Words of stack-frame storage (local arrays and spilled locals).
+  int frameWords = 0;
+  std::vector<Instr> code;
+  /// Byte address of code[0] in the module image; set by Module::layout().
+  int baseAddr = -1;
+
+  /// Byte address of instruction `index`.
+  [[nodiscard]] int instrAddr(int index) const {
+    return baseAddr + index * kInstrBytes;
+  }
+};
+
+/// A named region of global data memory (scalar => size 1).
+struct GlobalVar {
+  std::string name;
+  int offset = 0;  // word offset in global memory
+  int size = 1;    // words
+  bool isFloat = false;
+};
+
+/// A compiled translation unit.
+class Module {
+ public:
+  /// Adds a function and returns its index.
+  int addFunction(Function fn);
+
+  /// Adds a global of `size` words, returning its descriptor.  Initial
+  /// values default to zero.
+  const GlobalVar& addGlobal(std::string name, int size, bool isFloat);
+
+  [[nodiscard]] int numFunctions() const {
+    return static_cast<int>(functions_.size());
+  }
+  [[nodiscard]] const Function& function(int index) const {
+    return functions_[static_cast<std::size_t>(index)];
+  }
+  [[nodiscard]] Function& function(int index) {
+    return functions_[static_cast<std::size_t>(index)];
+  }
+  [[nodiscard]] const std::vector<Function>& functions() const {
+    return functions_;
+  }
+
+  [[nodiscard]] std::optional<int> findFunction(std::string_view name) const;
+  [[nodiscard]] const GlobalVar* findGlobal(std::string_view name) const;
+  [[nodiscard]] const std::vector<GlobalVar>& globals() const {
+    return globals_;
+  }
+  [[nodiscard]] int globalWords() const { return globalWords_; }
+
+  /// Initial contents of global memory (raw 64-bit words; floats stored
+  /// as IEEE double bits).
+  [[nodiscard]] const std::vector<std::uint64_t>& globalInit() const {
+    return globalInit_;
+  }
+  void setGlobalWord(int offset, std::uint64_t raw);
+
+  /// Assigns consecutive byte addresses to all functions' code.  Must be
+  /// called after the last function is added and before any timing
+  /// analysis or simulation.
+  void layout();
+  [[nodiscard]] bool isLaidOut() const { return laidOut_; }
+
+  /// Total code bytes after layout.
+  [[nodiscard]] int codeBytes() const { return codeBytes_; }
+
+ private:
+  std::vector<Function> functions_;
+  std::vector<GlobalVar> globals_;
+  std::vector<std::uint64_t> globalInit_;
+  int globalWords_ = 0;
+  int codeBytes_ = 0;
+  bool laidOut_ = false;
+};
+
+}  // namespace cinderella::vm

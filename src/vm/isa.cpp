@@ -1,0 +1,74 @@
+#include "cinderella/vm/isa.hpp"
+
+namespace cinderella::vm {
+
+const char* opcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::MovI: return "movi";
+    case Opcode::MovF: return "movf";
+    case Opcode::Mov: return "mov";
+    case Opcode::Add: return "add";
+    case Opcode::Sub: return "sub";
+    case Opcode::Mul: return "mul";
+    case Opcode::Div: return "div";
+    case Opcode::Rem: return "rem";
+    case Opcode::And: return "and";
+    case Opcode::Or: return "or";
+    case Opcode::Xor: return "xor";
+    case Opcode::Shl: return "shl";
+    case Opcode::Shr: return "shr";
+    case Opcode::Neg: return "neg";
+    case Opcode::Not: return "not";
+    case Opcode::AddI: return "addi";
+    case Opcode::MulI: return "muli";
+    case Opcode::FAdd: return "fadd";
+    case Opcode::FSub: return "fsub";
+    case Opcode::FMul: return "fmul";
+    case Opcode::FDiv: return "fdiv";
+    case Opcode::FNeg: return "fneg";
+    case Opcode::CvtIF: return "cvtif";
+    case Opcode::CvtFI: return "cvtfi";
+    case Opcode::CmpEq: return "cmpeq";
+    case Opcode::CmpNe: return "cmpne";
+    case Opcode::CmpLt: return "cmplt";
+    case Opcode::CmpLe: return "cmple";
+    case Opcode::CmpGt: return "cmpgt";
+    case Opcode::CmpGe: return "cmpge";
+    case Opcode::FCmpEq: return "fcmpeq";
+    case Opcode::FCmpNe: return "fcmpne";
+    case Opcode::FCmpLt: return "fcmplt";
+    case Opcode::FCmpLe: return "fcmple";
+    case Opcode::FCmpGt: return "fcmpgt";
+    case Opcode::FCmpGe: return "fcmpge";
+    case Opcode::Ld: return "ld";
+    case Opcode::St: return "st";
+    case Opcode::FrameAddr: return "faddr";
+    case Opcode::Br: return "br";
+    case Opcode::Bt: return "bt";
+    case Opcode::Bf: return "bf";
+    case Opcode::Call: return "call";
+    case Opcode::Ret: return "ret";
+    case Opcode::Halt: return "halt";
+  }
+  return "?";
+}
+
+bool isControlFlow(Opcode op) {
+  switch (op) {
+    case Opcode::Br:
+    case Opcode::Bt:
+    case Opcode::Bf:
+    case Opcode::Call:
+    case Opcode::Ret:
+    case Opcode::Halt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool isConditionalBranch(Opcode op) {
+  return op == Opcode::Bt || op == Opcode::Bf;
+}
+
+}  // namespace cinderella::vm

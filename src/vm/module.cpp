@@ -1,0 +1,57 @@
+#include "cinderella/vm/module.hpp"
+
+#include "cinderella/support/error.hpp"
+
+namespace cinderella::vm {
+
+int Module::addFunction(Function fn) {
+  CIN_REQUIRE(!laidOut_);
+  CIN_REQUIRE(fn.numRegs >= fn.numParams);
+  functions_.push_back(std::move(fn));
+  return static_cast<int>(functions_.size()) - 1;
+}
+
+const GlobalVar& Module::addGlobal(std::string name, int size, bool isFloat) {
+  CIN_REQUIRE(size > 0);
+  CIN_REQUIRE(findGlobal(name) == nullptr);
+  GlobalVar g;
+  g.name = std::move(name);
+  g.offset = globalWords_;
+  g.size = size;
+  g.isFloat = isFloat;
+  globalWords_ += size;
+  globalInit_.resize(static_cast<std::size_t>(globalWords_), 0);
+  globals_.push_back(std::move(g));
+  return globals_.back();
+}
+
+std::optional<int> Module::findFunction(std::string_view name) const {
+  for (std::size_t i = 0; i < functions_.size(); ++i) {
+    if (functions_[i].name == name) return static_cast<int>(i);
+  }
+  return std::nullopt;
+}
+
+const GlobalVar* Module::findGlobal(std::string_view name) const {
+  for (const auto& g : globals_) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+void Module::setGlobalWord(int offset, std::uint64_t raw) {
+  CIN_REQUIRE(offset >= 0 && offset < globalWords_);
+  globalInit_[static_cast<std::size_t>(offset)] = raw;
+}
+
+void Module::layout() {
+  int addr = 0;
+  for (auto& fn : functions_) {
+    fn.baseAddr = addr;
+    addr += static_cast<int>(fn.code.size()) * kInstrBytes;
+  }
+  codeBytes_ = addr;
+  laidOut_ = true;
+}
+
+}  // namespace cinderella::vm

@@ -1,0 +1,47 @@
+// Graphviz export tests.
+#include <gtest/gtest.h>
+
+#include "cinderella/cfg/dot.hpp"
+#include "cinderella/codegen/codegen.hpp"
+
+namespace cinderella::cfg {
+namespace {
+
+TEST(Dot, FunctionGraphIsWellFormed) {
+  const auto c = codegen::compileSource(
+      "int f(int x) { if (x) { x = 1; } else { x = 2; } return x; }");
+  const ControlFlowGraph cfg = buildCfg(c.module, 0);
+  const std::string dot = toDot(c.module, cfg);
+  EXPECT_EQ(dot.rfind("digraph cfg {", 0), 0u);
+  EXPECT_NE(dot.find("B0"), std::string::npos);
+  EXPECT_NE(dot.find("entry ->"), std::string::npos);
+  EXPECT_NE(dot.find("-> exit"), std::string::npos);
+  EXPECT_NE(dot.find("d0"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+  // Balanced braces.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST(Dot, ModuleGraphClustersAndCallEdges) {
+  const auto c = codegen::compileSource(
+      "int g(int v) { return v + 1; }\n"
+      "int f(int x) { return g(x) + g(x); }");
+  const std::string dot = moduleToDot(c.module);
+  EXPECT_NE(dot.find("cluster_0"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_1"), std::string::npos);
+  // Two dotted inter-cluster call edges into g's entry.
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = dot.find("-> f0_B0 [style=dotted", pos)) !=
+         std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+}  // namespace
+}  // namespace cinderella::cfg

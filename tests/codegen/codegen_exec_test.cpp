@@ -1,0 +1,272 @@
+// End-to-end execution tests: MiniC source -> VISA -> simulator result.
+// These pin down the compiler and the interpreter together.
+#include <gtest/gtest.h>
+
+#include "cinderella/codegen/codegen.hpp"
+#include "cinderella/sim/simulator.hpp"
+#include "cinderella/support/error.hpp"
+
+namespace cinderella {
+namespace {
+
+std::int64_t runInt(std::string_view source, std::string_view fn,
+                    std::vector<std::int64_t> args = {},
+                    std::vector<sim::GlobalPatch> patches = {}) {
+  const codegen::CompileResult c = codegen::compileSource(source);
+  sim::Simulator simulator(c.module);
+  sim::SimOptions options;
+  options.patches = std::move(patches);
+  const sim::SimResult r =
+      simulator.run(*c.module.findFunction(fn), args, options);
+  return sim::decodeInt(r.returnValue);
+}
+
+double runFloat(std::string_view source, std::string_view fn,
+                std::vector<std::int64_t> args = {}) {
+  const codegen::CompileResult c = codegen::compileSource(source);
+  sim::Simulator simulator(c.module);
+  const sim::SimResult r = simulator.run(*c.module.findFunction(fn), args);
+  return sim::decodeFloat(r.returnValue);
+}
+
+TEST(Exec, ReturnsConstant) {
+  EXPECT_EQ(runInt("int f() { return 42; }", "f"), 42);
+}
+
+TEST(Exec, IntegerArithmetic) {
+  EXPECT_EQ(runInt("int f() { return 7 + 3 * 4 - 10 / 3; }", "f"), 16);
+  EXPECT_EQ(runInt("int f() { return 17 % 5; }", "f"), 2);
+  EXPECT_EQ(runInt("int f() { return -7 / 2; }", "f"), -3);  // trunc toward 0
+  EXPECT_EQ(runInt("int f() { return -7 % 3; }", "f"), -1);
+}
+
+TEST(Exec, BitwiseOps) {
+  EXPECT_EQ(runInt("int f() { return (12 & 10) | (1 ^ 3); }", "f"), 10);
+  EXPECT_EQ(runInt("int f() { return 1 << 10; }", "f"), 1024);
+  EXPECT_EQ(runInt("int f() { return -16 >> 2; }", "f"), -4);  // arithmetic
+  EXPECT_EQ(runInt("int f() { return ~0; }", "f"), -1);
+}
+
+TEST(Exec, Comparisons) {
+  EXPECT_EQ(runInt("int f() { return (1 < 2) + (2 <= 2) + (3 > 4) + "
+                   "(4 >= 5) + (5 == 5) + (6 != 6); }",
+                   "f"),
+            3);
+}
+
+TEST(Exec, UnaryOperators) {
+  EXPECT_EQ(runInt("int f(int x) { return -x; }", "f", {11}), -11);
+  EXPECT_EQ(runInt("int f(int x) { return !x; }", "f", {0}), 1);
+  EXPECT_EQ(runInt("int f(int x) { return !x; }", "f", {7}), 0);
+}
+
+TEST(Exec, Parameters) {
+  EXPECT_EQ(runInt("int f(int a, int b, int c) { return a * 100 + b * 10 + c; }",
+                   "f", {1, 2, 3}),
+            123);
+}
+
+TEST(Exec, IfElse) {
+  const char* src = "int f(int x) { if (x > 0) { return 1; } else { return 2; } }";
+  EXPECT_EQ(runInt(src, "f", {5}), 1);
+  EXPECT_EQ(runInt(src, "f", {-5}), 2);
+}
+
+TEST(Exec, IfWithoutElse) {
+  const char* src = "int f(int x) { int r; r = 0; if (x) { r = 9; } return r; }";
+  EXPECT_EQ(runInt(src, "f", {1}), 9);
+  EXPECT_EQ(runInt(src, "f", {0}), 0);
+}
+
+TEST(Exec, WhileLoop) {
+  EXPECT_EQ(runInt("int f(int n) { int s; s = 0; while (n > 0) { "
+                   "__loopbound(0, 100); s = s + n; n = n - 1; } return s; }",
+                   "f", {10}),
+            55);
+}
+
+TEST(Exec, ForLoop) {
+  EXPECT_EQ(runInt("int f() { int i; int s; s = 0; "
+                   "for (i = 1; i <= 5; i = i + 1) { __loopbound(5, 5); "
+                   "s = s + i * i; } return s; }",
+                   "f"),
+            55);
+}
+
+TEST(Exec, NestedLoops) {
+  EXPECT_EQ(runInt("int f() { int i; int j; int s; s = 0; "
+                   "for (i = 0; i < 4; i = i + 1) { __loopbound(4, 4); "
+                   "for (j = 0; j < i; j = j + 1) { __loopbound(0, 3); "
+                   "s = s + 1; } } return s; }",
+                   "f"),
+            6);
+}
+
+TEST(Exec, ShortCircuitAndSkipsRhs) {
+  // Out-of-bounds access on the rhs must not happen when lhs is false.
+  const char* src =
+      "int t[4];\n"
+      "int f(int i) { if (i < 4 && t[i] == 0) { return 1; } return 0; }";
+  EXPECT_EQ(runInt(src, "f", {100}), 0);  // would fault without shortcut
+  EXPECT_EQ(runInt(src, "f", {2}), 1);
+}
+
+TEST(Exec, ShortCircuitOrSkipsRhs) {
+  const char* src =
+      "int t[4];\n"
+      "int f(int i) { if (i >= 4 || t[i] == 0) { return 1; } return 0; }";
+  EXPECT_EQ(runInt(src, "f", {100}), 1);
+}
+
+TEST(Exec, LogicalResultIsZeroOne) {
+  EXPECT_EQ(runInt("int f(int a, int b) { return a && b; }", "f", {5, 7}), 1);
+  EXPECT_EQ(runInt("int f(int a, int b) { return a || b; }", "f", {0, 9}), 1);
+  EXPECT_EQ(runInt("int f(int a, int b) { return a && b; }", "f", {5, 0}), 0);
+}
+
+TEST(Exec, GlobalScalarReadWrite) {
+  EXPECT_EQ(runInt("int g = 7;\nint f() { g = g + 1; return g * 10; }", "f"),
+            80);
+}
+
+TEST(Exec, GlobalArrayInitializer) {
+  EXPECT_EQ(runInt("int t[5] = {10, 20, 30};\n"
+                   "int f() { return t[0] + t[1] + t[2] + t[3] + t[4]; }",
+                   "f"),
+            60);  // trailing elements default to zero
+}
+
+TEST(Exec, GlobalArrayIndexing) {
+  EXPECT_EQ(runInt("int t[8];\nint f() { int i; "
+                   "for (i = 0; i < 8; i = i + 1) { __loopbound(8, 8); "
+                   "t[i] = i * i; } return t[7] - t[3]; }",
+                   "f"),
+            40);
+}
+
+TEST(Exec, LocalArray) {
+  EXPECT_EQ(runInt("int f() { int t[4]; int i; "
+                   "for (i = 0; i < 4; i = i + 1) { __loopbound(4, 4); "
+                   "t[i] = i + 1; } return t[0] + t[3]; }",
+                   "f"),
+            5);
+}
+
+TEST(Exec, LocalArraysInDifferentFramesDoNotAlias) {
+  const char* src =
+      "int g(int x) { int t[4]; t[0] = x * 2; return t[0]; }\n"
+      "int f() { int t[4]; t[0] = 5; return g(10) + t[0]; }";
+  EXPECT_EQ(runInt(src, "f"), 25);
+}
+
+TEST(Exec, FunctionCallsAndReturnValues) {
+  const char* src =
+      "int add(int a, int b) { return a + b; }\n"
+      "int twice(int x) { return add(x, x); }\n"
+      "int f() { return twice(add(2, 3)); }";
+  EXPECT_EQ(runInt(src, "f"), 10);
+}
+
+TEST(Exec, VoidFunctionSideEffects) {
+  const char* src =
+      "int acc;\n"
+      "void bump(int k) { acc = acc + k; }\n"
+      "int f() { bump(3); bump(4); return acc; }";
+  EXPECT_EQ(runInt(src, "f"), 7);
+}
+
+TEST(Exec, FallOffEndOfNonVoidReturnsZero) {
+  EXPECT_EQ(runInt("int f(int x) { if (x) { return 5; } }", "f", {0}), 0);
+}
+
+TEST(Exec, FloatArithmetic) {
+  EXPECT_DOUBLE_EQ(runFloat("float f() { return 1.5 * 4.0 - 0.5; }", "f"),
+                   5.5);
+  EXPECT_DOUBLE_EQ(runFloat("float f() { return 7.0 / 2.0; }", "f"), 3.5);
+}
+
+TEST(Exec, IntFloatConversions) {
+  EXPECT_DOUBLE_EQ(runFloat("float f() { return 3 + 0.25; }", "f"), 3.25);
+  EXPECT_EQ(runInt("int f() { int a; a = 7.9; return a; }", "f"), 7);
+  EXPECT_EQ(runInt("int f() { int a; a = -7.9; return a; }", "f"), -7);
+}
+
+TEST(Exec, FloatComparisons) {
+  EXPECT_EQ(runInt("int f(int x) { float y; y = x / 4.0; "
+                   "if (y >= 2.5) { return 1; } return 0; }",
+                   "f", {10}),
+            1);
+  EXPECT_EQ(runInt("int f(int x) { float y; y = x / 4.0; "
+                   "if (y >= 2.5) { return 1; } return 0; }",
+                   "f", {9}),
+            0);
+}
+
+TEST(Exec, FloatGlobals) {
+  EXPECT_DOUBLE_EQ(
+      runFloat("float k = 0.5;\nfloat t[2] = {1.25, 2.25};\n"
+               "float f() { return (t[0] + t[1]) * k; }",
+               "f"),
+      1.75);
+}
+
+TEST(Exec, GlobalPatchOverridesInit) {
+  EXPECT_EQ(runInt("int g = 1;\nint f() { return g; }", "f", {},
+                   {{"g", {sim::encodeInt(99)}}}),
+            99);
+}
+
+TEST(Exec, DivisionByZeroFaults) {
+  const codegen::CompileResult c =
+      codegen::compileSource("int f(int x) { return 10 / x; }");
+  sim::Simulator simulator(c.module);
+  EXPECT_THROW(simulator.run(0, std::vector<std::int64_t>{0}),
+               SimulationError);
+}
+
+TEST(Exec, OutOfBoundsLoadFaults) {
+  const codegen::CompileResult c =
+      codegen::compileSource("int t[4];\nint f(int i) { return t[i]; }");
+  sim::Simulator simulator(c.module);
+  EXPECT_THROW(simulator.run(0, std::vector<std::int64_t>{-999999}),
+               SimulationError);
+}
+
+TEST(Exec, InstructionLimitFaults) {
+  const codegen::CompileResult c = codegen::compileSource(
+      "int f() { int s; s = 0; while (1) { __loopbound(0, 1000); "
+      "s = s + 1; } return s; }");
+  sim::Simulator simulator(c.module);
+  sim::SimOptions options;
+  options.maxInstructions = 1000;
+  EXPECT_THROW(simulator.run(0, {}, options), SimulationError);
+}
+
+TEST(Exec, UnknownPatchNameFaults) {
+  const codegen::CompileResult c =
+      codegen::compileSource("int f() { return 0; }");
+  sim::Simulator simulator(c.module);
+  sim::SimOptions options;
+  options.patches.push_back({"nope", {0}});
+  EXPECT_THROW(simulator.run(0, {}, options), SimulationError);
+}
+
+TEST(Exec, BlockCountersMatchControlFlow) {
+  const codegen::CompileResult c = codegen::compileSource(
+      "int f() { int i; int s; s = 0; for (i = 0; i < 6; i = i + 1) { "
+      "__loopbound(6, 6); s = s + i; } return s; }");
+  sim::Simulator simulator(c.module);
+  const sim::SimResult r = simulator.run(0, {});
+  EXPECT_EQ(sim::decodeInt(r.returnValue), 15);
+  // Sum of all block executions must cover entry + 6 iterations + exit.
+  std::int64_t total = 0;
+  for (const auto& counts : r.blockCounts) {
+    for (const std::int64_t n : counts) total += n;
+  }
+  EXPECT_GT(total, 12);
+  EXPECT_GT(r.cycles, 0);
+  EXPECT_GT(r.instructions, 0);
+}
+
+}  // namespace
+}  // namespace cinderella

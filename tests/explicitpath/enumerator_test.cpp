@@ -1,0 +1,146 @@
+// Explicit path enumeration tests: exact path counts on known shapes,
+// agreement with IPET, and cap behaviour.
+#include <gtest/gtest.h>
+
+#include "cinderella/codegen/codegen.hpp"
+#include "cinderella/explicitpath/enumerator.hpp"
+#include "cinderella/ipet/analyzer.hpp"
+#include "cinderella/support/error.hpp"
+
+namespace cinderella::explicitpath {
+namespace {
+
+TEST(Explicit, StraightLineHasOnePath) {
+  const auto c = codegen::compileSource("int f() { return 3; }");
+  const EnumResult r = enumeratePaths(c, "f");
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.pathsExplored, 1u);
+  // One path, but best (all-hit) and worst (all-miss) costs still differ
+  // by the cache-miss term.
+  EXPECT_LE(r.best, r.worst);
+}
+
+TEST(Explicit, SequentialConditionalsMultiply) {
+  // N independent if-statements -> 2^N paths.
+  std::string body;
+  for (int i = 0; i < 5; ++i) {
+    body += "if (x > " + std::to_string(i) + ") { s = s + 1; }\n";
+  }
+  const std::string src =
+      "int f(int x) { int s; s = 0;\n" + body + "return s; }";
+  const auto c = codegen::compileSource(src);
+  const EnumResult r = enumeratePaths(c, "f");
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.pathsExplored, 32u);
+}
+
+TEST(Explicit, LoopBoundLimitsPaths) {
+  // A loop running exactly 0..3 times with a branch-free body: one path
+  // per trip count.
+  const char* src =
+      "int f(int x) { int s; s = 0; while (x > 0) { __loopbound(0, 3); "
+      "s = s + x; x = x - 1; } return s; }";
+  const auto c = codegen::compileSource(src);
+  const EnumResult r = enumeratePaths(c, "f");
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.pathsExplored, 4u);  // 0, 1, 2 or 3 iterations
+}
+
+TEST(Explicit, LowerLoopBoundPrunesShortPaths) {
+  const char* src =
+      "int f(int x) { int s; s = 0; while (x > 0) { __loopbound(2, 3); "
+      "s = s + x; x = x - 1; } return s; }";
+  const auto c = codegen::compileSource(src);
+  const EnumResult r = enumeratePaths(c, "f");
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.pathsExplored, 2u);  // exactly 2 or 3 iterations
+}
+
+TEST(Explicit, BranchInLoopMultipliesPerIteration) {
+  // 3 iterations, 2-way branch each: 2^3 paths.
+  const char* src =
+      "int f(int x) { int i; int s; s = 0; "
+      "for (i = 0; i < 3; i = i + 1) { __loopbound(3, 3); "
+      "if (x > i) { s = s + 2; } else { s = s + 1; } } return s; }";
+  const auto c = codegen::compileSource(src);
+  const EnumResult r = enumeratePaths(c, "f");
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.pathsExplored, 8u);
+}
+
+TEST(Explicit, CallsComposePaths) {
+  // The callee has 2 paths and is called twice: 4 combined paths.
+  const char* src =
+      "int g(int v) { if (v > 0) { return 1; } return 0; }\n"
+      "int f(int x) { return g(x) + g(x - 1); }";
+  const auto c = codegen::compileSource(src);
+  const EnumResult r = enumeratePaths(c, "f");
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.pathsExplored, 4u);
+}
+
+TEST(Explicit, AgreesWithIpetOnLoopOnlyPrograms) {
+  // With loop bounds as the only path information, a complete explicit
+  // enumeration and IPET compute the same extreme costs.
+  const char* sources[] = {
+      "int f(int x) { int s; s = 0; while (x > 0) { __loopbound(0, 6); "
+      "s = s + x; x = x - 1; } return s; }",
+      "int f(int x) { int i; int s; s = 0; for (i = 0; i < 4; i = i + 1) { "
+      "__loopbound(4, 4); if (x > i) { s = s + x; } else { s = s - 1; } } "
+      "return s; }",
+      "int g(int v) { if (v > 2) { return v * v; } return v; }\n"
+      "int f(int x) { int i; int s; s = 0; for (i = 0; i < 3; i = i + 1) { "
+      "__loopbound(3, 3); s = s + g(i + x); } return s; }",
+  };
+  for (const char* src : sources) {
+    const auto c = codegen::compileSource(src);
+    const EnumResult ex = enumeratePaths(c, "f");
+    ASSERT_TRUE(ex.complete) << src;
+    ipet::Analyzer analyzer(c, "f");
+    const ipet::Estimate est = analyzer.estimate();
+    EXPECT_EQ(est.bound.hi, ex.worst) << src;
+    EXPECT_EQ(est.bound.lo, ex.best) << src;
+  }
+}
+
+TEST(Explicit, PathCapReportsIncomplete) {
+  std::string body;
+  for (int i = 0; i < 20; ++i) {
+    body += "if (x > " + std::to_string(i) + ") { s = s + 1; }\n";
+  }
+  const std::string src =
+      "int f(int x) { int s; s = 0;\n" + body + "return s; }";
+  const auto c = codegen::compileSource(src);
+  EnumOptions options;
+  options.maxPaths = 100;  // far fewer than 2^20
+  const EnumResult r = enumeratePaths(c, "f", options);
+  EXPECT_FALSE(r.complete);
+  EXPECT_GE(r.pathsExplored, 100u);
+}
+
+TEST(Explicit, MissingLoopBoundThrows) {
+  const auto c = codegen::compileSource(
+      "int f(int x) { while (x > 0) { x = x - 1; } return 0; }");
+  EXPECT_THROW((void)enumeratePaths(c, "f"), AnalysisError);
+}
+
+TEST(Explicit, UnknownRootThrows) {
+  const auto c = codegen::compileSource("int f() { return 0; }");
+  EXPECT_THROW((void)enumeratePaths(c, "nope"), AnalysisError);
+}
+
+TEST(Explicit, NestedLoopsRespectBothBounds) {
+  const char* src =
+      "int f(int x) { int i; int s; s = 0; "
+      "for (i = 0; i < 2; i = i + 1) { __loopbound(2, 2); "
+      "int j; j = x; while (j > 0) { __loopbound(0, 2); "
+      "s = s + 1; j = j - 1; } } return s; }";
+  const auto c = codegen::compileSource(src);
+  const EnumResult r = enumeratePaths(c, "f");
+  EXPECT_TRUE(r.complete);
+  // Inner loop: 3 choices per outer iteration -> 9 paths.
+  EXPECT_EQ(r.pathsExplored, 9u);
+}
+
+}  // namespace
+}  // namespace cinderella::explicitpath

@@ -1,0 +1,261 @@
+// Semantic spot-checks of the benchmark programs themselves: the suite
+// must be real code computing real results, not just timing fodder.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cinderella/codegen/codegen.hpp"
+#include "cinderella/sim/simulator.hpp"
+#include "cinderella/suite/suite.hpp"
+
+namespace cinderella::suite {
+namespace {
+
+sim::SimResult run(const Benchmark& bench, sim::Simulator& simulator,
+                   const std::vector<sim::GlobalPatch>& patches) {
+  sim::SimOptions options;
+  options.patches = patches;
+  return simulator.run(
+      *simulator.module().findFunction(bench.rootFunction), {}, options);
+}
+
+TEST(Semantics, CheckDataVerdicts) {
+  const auto& bench = benchmarkByName("check_data");
+  const auto compiled = codegen::compileSource(bench.source);
+  sim::Simulator simulator(compiled.module);
+  EXPECT_EQ(sim::decodeInt(run(bench, simulator, bench.worstData).returnValue),
+            1);  // all entries valid
+  EXPECT_EQ(sim::decodeInt(run(bench, simulator, bench.bestData).returnValue),
+            0);  // first entry negative
+}
+
+TEST(Semantics, PiksrtSortsReverseInput) {
+  const auto& bench = benchmarkByName("piksrt");
+  // Sorting needs access to memory after the run; re-create a sorted
+  // check by running a probe function... simplest: run and verify via a
+  // checksum program is overkill — instead rely on the inner-loop count:
+  // reverse-sorted input must do exactly 45 shifts.
+  const auto compiled = codegen::compileSource(bench.source);
+  sim::Simulator simulator(compiled.module);
+  const auto worst = run(bench, simulator, bench.worstData);
+  const auto best = run(bench, simulator, bench.bestData);
+  // The shift block (line 12) executes 45 times on reverse input and
+  // never on sorted input.
+  const auto& cfg = simulator.cfgOf(0);
+  int shiftBlock = -1;
+  for (const auto& b : cfg.blocks()) {
+    if (b.firstLine == 12) shiftBlock = b.id;
+  }
+  ASSERT_GE(shiftBlock, 0);
+  EXPECT_EQ(worst.blockCounts[0][static_cast<std::size_t>(shiftBlock)], 45);
+  EXPECT_EQ(best.blockCounts[0][static_cast<std::size_t>(shiftBlock)], 0);
+}
+
+TEST(Semantics, FftImpulseHasFlatSpectrum) {
+  // FFT of a unit impulse at index 0 is all-ones across the spectrum.
+  const auto& bench = benchmarkByName("fft");
+  const auto compiled = codegen::compileSource(bench.source);
+
+  // Wrap the benchmark with a probe returning sum(|re[k] - 1|) scaled.
+  std::string probe = bench.source;
+  probe +=
+      "float probe() {\n"
+      "  int k; float err; float d;\n"
+      "  fft();\n"
+      "  err = 0.0;\n"
+      "  for (k = 0; k < 64; k = k + 1) {\n"
+      "    __loopbound(64, 64);\n"
+      "    d = re[k] - 1.0;\n"
+      "    if (d < 0.0) { d = 0.0 - d; }\n"
+      "    err = err + d;\n"
+      "    d = im[k];\n"
+      "    if (d < 0.0) { d = 0.0 - d; }\n"
+      "    err = err + d;\n"
+      "  }\n"
+      "  return err;\n"
+      "}\n";
+  const auto probeCompiled = codegen::compileSource(probe);
+  sim::Simulator simulator(probeCompiled.module);
+  sim::SimOptions options;
+  std::vector<std::uint64_t> impulse(64, sim::encodeFloat(0.0));
+  impulse[0] = sim::encodeFloat(1.0);
+  options.patches.push_back({"re", impulse});
+  options.patches.push_back(
+      {"im", std::vector<std::uint64_t>(64, sim::encodeFloat(0.0))});
+  const auto r = simulator.run(
+      *probeCompiled.module.findFunction("probe"), {}, options);
+  EXPECT_LT(sim::decodeFloat(r.returnValue), 1e-9);
+}
+
+TEST(Semantics, MatgenMatchesHostLcg) {
+  // The generated matrix must equal the host-side replica of the LCG.
+  const auto& bench = benchmarkByName("matgen");
+  std::string probe = bench.source;
+  probe +=
+      "int probe(int idx) {\n"
+      "  matgen();\n"
+      "  return a[idx];\n"
+      "}\n";
+  const auto compiled = codegen::compileSource(probe);
+  sim::Simulator simulator(compiled.module);
+
+  long init = 1325;
+  std::vector<long> expected(100);
+  for (int j = 0; j < 10; ++j) {
+    for (int i = 0; i < 10; ++i) {
+      init = 3125 * init % 65536;
+      expected[static_cast<std::size_t>(10 * j + i)] = init - 32768;
+    }
+  }
+  for (const int idx : {0, 7, 42, 99}) {
+    const auto r = simulator.run(*compiled.module.findFunction("probe"),
+                                 std::vector<std::int64_t>{idx});
+    EXPECT_EQ(sim::decodeInt(r.returnValue),
+              expected[static_cast<std::size_t>(idx)])
+        << "a[" << idx << "]";
+  }
+}
+
+TEST(Semantics, JpegFdctDcCoefficientIsBlockSum) {
+  // For the LLM integer FDCT, output[0] equals the block sum: pass 1
+  // scales the row DC by << PASS1_BITS, pass 2 descales by >> PASS1_BITS
+  // (jfdctint's "scaled by 8" convention: DCT[0] = sum/8, scaled -> sum).
+  const auto& bench = benchmarkByName("jpeg_fdct_islow");
+  std::string probe = bench.source;
+  probe +=
+      "int probe() {\n"
+      "  jpeg_fdct_islow();\n"
+      "  return block[0];\n"
+      "}\n";
+  const auto compiled = codegen::compileSource(probe);
+  sim::Simulator simulator(compiled.module);
+  sim::SimOptions options;
+  std::vector<std::uint64_t> data(64);
+  std::int64_t sum = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::int64_t v = (i % 16) - 8;
+    data[static_cast<std::size_t>(i)] = sim::encodeInt(v);
+    sum += v;
+  }
+  options.patches.push_back({"block", data});
+  const auto r =
+      simulator.run(*compiled.module.findFunction("probe"), {}, options);
+  EXPECT_EQ(sim::decodeInt(r.returnValue), sum);
+}
+
+TEST(Semantics, JpegIdctDcOnlyBlockIsConstant) {
+  const auto& bench = benchmarkByName("jpeg_idct_islow");
+  std::string probe = bench.source;
+  probe +=
+      "int probe(int i) {\n"
+      "  jpeg_idct_islow();\n"
+      "  return out[i];\n"
+      "}\n";
+  const auto compiled = codegen::compileSource(probe);
+  sim::Simulator simulator(compiled.module);
+  sim::SimOptions options;
+  options.patches = bench.bestData;  // DC-only block
+  const auto first = simulator.run(*compiled.module.findFunction("probe"),
+                                   std::vector<std::int64_t>{0}, options);
+  for (const int idx : {1, 17, 63}) {
+    const auto r = simulator.run(*compiled.module.findFunction("probe"),
+                                 std::vector<std::int64_t>{idx}, options);
+    EXPECT_EQ(r.returnValue, first.returnValue) << "out[" << idx << "]";
+  }
+}
+
+TEST(Semantics, FullsearchFindsThePlantedMatch) {
+  // Plant an exact copy of the current block at offset (3, 5); the
+  // search must report it.
+  const auto& bench = benchmarkByName("fullsearch");
+  std::string probe = bench.source;
+  probe +=
+      "int probe() {\n"
+      "  fullsearch();\n"
+      "  return moty * 100 + motx;\n"
+      "}\n";
+  const auto compiled = codegen::compileSource(probe);
+  sim::Simulator simulator(compiled.module);
+  sim::SimOptions options;
+  std::vector<std::uint64_t> ref(1024), cur(256);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      ref[static_cast<std::size_t>(y * 32 + x)] =
+          sim::encodeInt((x * 7 + y * 13) % 251);
+    }
+  }
+  const int dx = 3;
+  const int dy = 5;
+  for (int i = 0; i < 16; ++i) {
+    for (int j = 0; j < 16; ++j) {
+      cur[static_cast<std::size_t>(i * 16 + j)] =
+          ref[static_cast<std::size_t>((i + dy) * 32 + (j + dx))];
+    }
+  }
+  options.patches.push_back({"ref", ref});
+  options.patches.push_back({"cur", cur});
+  const auto r =
+      simulator.run(*compiled.module.findFunction("probe"), {}, options);
+  EXPECT_EQ(sim::decodeInt(r.returnValue), dy * 100 + dx);
+}
+
+TEST(Semantics, WhetstoneProcedureModuleConverges) {
+  // The N8 module iterates pz = p3(1, 1) twenty times; with the classic
+  // t/t2 parameters the value converges near t (0.5-ish) and must be
+  // finite and positive.
+  const auto& bench = benchmarkByName("whetstone");
+  std::string probe = bench.source;
+  probe +=
+      "float probe() {\n"
+      "  whetstone();\n"
+      "  return pz;\n"
+      "}\n";
+  const auto compiled = codegen::compileSource(probe);
+  sim::Simulator simulator(compiled.module);
+  const auto r = simulator.run(*compiled.module.findFunction("probe"), {});
+  const double pz = sim::decodeFloat(r.returnValue);
+  EXPECT_TRUE(std::isfinite(pz));
+  EXPECT_GT(pz, 0.0);
+  EXPECT_LT(pz, 10.0);
+}
+
+TEST(Semantics, DesChangesWithKeyAndPlaintext) {
+  // Without official test vectors for this bit-ordering, check the
+  // cipher is key- and plaintext-sensitive and non-trivial.
+  const auto& bench = benchmarkByName("des");
+  std::string probe = bench.source;
+  probe +=
+      "int probe() {\n"
+      "  int i; int acc;\n"
+      "  des();\n"
+      "  acc = 0;\n"
+      "  for (i = 0; i < 64; i = i + 1) {\n"
+      "    __loopbound(64, 64);\n"
+      "    acc = acc * 2 + cipher[i];\n"
+      "  }\n"
+      "  return acc;\n"
+      "}\n";
+  const auto compiled = codegen::compileSource(probe);
+  sim::Simulator simulator(compiled.module);
+  const int probeFn = *compiled.module.findFunction("probe");
+
+  auto cipherFor = [&](std::int64_t keyBit0, std::int64_t plainBit0) {
+    sim::SimOptions options;
+    std::vector<std::uint64_t> key(64, sim::encodeInt(0));
+    std::vector<std::uint64_t> plain(64, sim::encodeInt(0));
+    key[1] = sim::encodeInt(keyBit0);
+    plain[1] = sim::encodeInt(plainBit0);
+    options.patches.push_back({"keybits", key});
+    options.patches.push_back({"plain", plain});
+    return simulator.run(probeFn, {}, options).returnValue;
+  };
+
+  const auto base = cipherFor(0, 0);
+  EXPECT_NE(base, cipherFor(1, 0));  // key sensitivity
+  EXPECT_NE(base, cipherFor(0, 1));  // plaintext sensitivity
+  EXPECT_NE(base, 0u);               // non-degenerate output
+}
+
+}  // namespace
+}  // namespace cinderella::suite

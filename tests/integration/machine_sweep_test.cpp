@@ -1,0 +1,96 @@
+// Machine-model sweep: the analysis must stay sound when the hardware
+// model changes — the property that made the paper's DSP3210 port
+// (Section VII) a matter of swapping parameter tables.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cinderella/suite/harness.hpp"
+#include "cinderella/suite/suite.hpp"
+
+namespace cinderella::suite {
+namespace {
+
+march::MachineParams stressParams() {
+  // A deliberately awkward machine: tiny cache with long lines, huge
+  // miss penalty, deep flush.
+  march::MachineParams params;
+  params.name = "stress";
+  params.cacheSizeBytes = 128;
+  params.cacheLineBytes = 32;
+  params.missPenalty = 40;
+  params.branchTakenPenalty = 7;
+  params.loadUseStall = 4;
+  params.costs.mul = 9;
+  params.costs.divide = 60;
+  return params;
+}
+
+march::MachineParams paramsByName(const std::string& name) {
+  if (name == "i960kb") return march::i960kbParams();
+  if (name == "dsp3210") return march::dsp3210Params();
+  return stressParams();
+}
+
+class MachineSweepTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {
+};
+
+TEST_P(MachineSweepTest, EstimateEnclosesMeasurementOnEveryMachine) {
+  const auto& [benchName, machineName] = GetParam();
+  EvalOptions options;
+  options.machine = paramsByName(machineName);
+  const BenchmarkEvaluation e =
+      evaluate(benchmarkByName(benchName), options);
+  EXPECT_LE(e.estimated.lo, e.measured.lo);
+  EXPECT_GE(e.estimated.hi, e.measured.hi);
+  EXPECT_LE(e.calculated.lo, e.measured.lo);
+  EXPECT_GE(e.calculated.hi, e.measured.hi);
+  EXPECT_TRUE(e.stats.allFirstRelaxationsIntegral);
+}
+
+TEST_P(MachineSweepTest, CacheRefinementsStaySound) {
+  const auto& [benchName, machineName] = GetParam();
+  for (const ipet::CacheMode mode :
+       {ipet::CacheMode::FirstIterationSplit,
+        ipet::CacheMode::ConflictGraph}) {
+    EvalOptions options;
+    options.machine = paramsByName(machineName);
+    options.cacheMode = mode;
+    const BenchmarkEvaluation e =
+        evaluate(benchmarkByName(benchName), options);
+    EXPECT_GE(e.estimated.hi, e.measured.hi)
+        << benchName << " on " << machineName << " with "
+        << ipet::cacheModeStr(mode);
+    EXPECT_LE(e.estimated.lo, e.measured.lo);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Machines, MachineSweepTest,
+    ::testing::Combine(
+        ::testing::Values("check_data", "piksrt", "circle", "recon", "dhry"),
+        ::testing::Values("i960kb", "dsp3210", "stress")),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_on_" + std::get<1>(info.param);
+    });
+
+TEST(MachineSweep, DspPresetShiftsFloatHeavyBounds) {
+  // fft is float-heavy: on the DSP preset its WCET must drop by a lot
+  // more than the integer-heavy insertion sort's.
+  EvalOptions dsp;
+  dsp.machine = march::dsp3210Params();
+  const auto fftI960 = evaluate(benchmarkByName("fft"));
+  const auto fftDsp = evaluate(benchmarkByName("fft"), dsp);
+  const auto srtI960 = evaluate(benchmarkByName("piksrt"));
+  const auto srtDsp = evaluate(benchmarkByName("piksrt"), dsp);
+  const double fftRatio = static_cast<double>(fftDsp.estimated.hi) /
+                          static_cast<double>(fftI960.estimated.hi);
+  const double srtRatio = static_cast<double>(srtDsp.estimated.hi) /
+                          static_cast<double>(srtI960.estimated.hi);
+  EXPECT_LT(fftRatio, srtRatio);
+  EXPECT_LT(fftRatio, 1.0);
+}
+
+}  // namespace
+}  // namespace cinderella::suite

@@ -1,0 +1,120 @@
+// The paper's Fig. 6 scenario end-to-end: task() calls check_data() and
+// runs clear_data() only when the check fails.  The user expresses the
+// caller/callee relationship of eq (18) — "x12 = x8.f1" — with a
+// context-qualified constraint, and the bound tightens accordingly.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cinderella/codegen/codegen.hpp"
+#include "cinderella/ipet/analyzer.hpp"
+#include "cinderella/sim/simulator.hpp"
+#include "cinderella/suite/suite.hpp"
+
+namespace cinderella::ipet {
+namespace {
+
+class PaperFig6 : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto& bench = suite::benchmarkByName("check_data");
+    source_ = bench.source;
+    // Append clear_data() and task() below check_data's 22 lines.
+    source_ +=
+        "\n"                                        // 23
+        "void clear_data() {\n"                     // 24
+        "  int i;\n"                                // 25
+        "  for (i = 0; i < 10; i = i + 1) {\n"      // 26
+        "    __loopbound(10, 10);\n"                // 27
+        "    data[i] = 0;\n"                        // 28
+        "  }\n"                                     // 29
+        "}\n"                                       // 30
+        "void task() {\n"                           // 31
+        "  int status;\n"                           // 32
+        "  status = check_data();\n"                // 33
+        "  if (!status) {\n"                        // 34
+        "    clear_data();\n"                       // 35
+        "  }\n"                                     // 36
+        "}\n";                                      // 37
+    compiled_ = codegen::compileSource(source_);
+  }
+
+  std::string source_;
+  codegen::CompileResult compiled_;
+};
+
+TEST_F(PaperFig6, ContextQualifiedConstraintAccepted) {
+  Analyzer analyzer(compiled_, "task");
+  // Paper eq (18): clear_data runs exactly as often as check_data
+  // returns 0 *at this call site* (f1 is task's call to check_data).
+  analyzer.addConstraint("clear_data.x0 = check_data@18[f1]", "task");
+  EXPECT_NO_THROW((void)analyzer.estimate());
+}
+
+TEST_F(PaperFig6, ConstraintTightensTaskBound) {
+  Analyzer plain(compiled_, "task");
+  const Estimate freeBound = plain.estimate();
+
+  Analyzer constrained(compiled_, "task");
+  // check_data's own path facts (paper eqs 16/17) in the f1 context...
+  constrained.addConstraint(
+      "(check_data@9[f1] = 0 & check_data@12[f1] = 1 & check_data@8[f1] = 10)"
+      " | (check_data@9[f1] = 1 & check_data@12[f1] = 0)",
+      "task");
+  constrained.addConstraint("check_data@9[f1] = check_data@18[f1]", "task");
+  // ...plus eq (18).
+  constrained.addConstraint("clear_data.x0 = check_data@18[f1]", "task");
+  const Estimate tight = constrained.estimate();
+
+  EXPECT_LE(tight.bound.hi, freeBound.bound.hi);
+  EXPECT_GE(tight.bound.lo, freeBound.bound.lo);
+
+  // The worst case is now coherent: either the scan fails early and the
+  // clear loop runs, or the scan completes and it does not — both are
+  // representable, and the ILP's choice must enclose both simulations.
+  sim::Simulator simulator(compiled_.module);
+  const int task = *compiled_.module.findFunction("task");
+  sim::SimOptions bad;
+  bad.patches.push_back(suite::patchInts("data", {-1}));
+  const auto failing = simulator.run(task, {}, bad);
+  sim::SimOptions good;
+  good.patches.push_back(
+      suite::patchInts("data", std::vector<std::int64_t>(10, 1)));
+  const auto passing = simulator.run(task, {}, good);
+  EXPECT_GE(tight.bound.hi, failing.cycles);
+  EXPECT_GE(tight.bound.hi, passing.cycles);
+  EXPECT_LE(tight.bound.lo, failing.cycles);
+  EXPECT_LE(tight.bound.lo, passing.cycles);
+}
+
+TEST_F(PaperFig6, WithoutEq18TheIlpMixesIncompatiblePaths) {
+  // Without eq (18) the ILP may pair "scan runs all 10 iterations" with
+  // "clear_data also runs" — infeasible in reality.  With it, the worst
+  // case must be at most the free bound, and strictly less when the
+  // check_data facts are also present.
+  Analyzer plain(compiled_, "task");
+  Analyzer constrained(compiled_, "task");
+  constrained.addConstraint(
+      "(check_data@9[f1] = 0 & check_data@12[f1] = 1 & check_data@8[f1] = 10)"
+      " | (check_data@9[f1] = 1 & check_data@12[f1] = 0)",
+      "task");
+  constrained.addConstraint("clear_data.x0 = check_data@18[f1]", "task");
+  constrained.addConstraint("check_data@9[f1] = check_data@18[f1]", "task");
+  EXPECT_LT(constrained.estimate().bound.hi, plain.estimate().bound.hi);
+}
+
+TEST_F(PaperFig6, CheckDataHasItsOwnContext) {
+  Analyzer analyzer(compiled_, "task");
+  int checkDataContexts = 0;
+  const int checkData = *compiled_.module.findFunction("check_data");
+  for (const auto& ctx : analyzer.contexts()) {
+    if (ctx.function == checkData) {
+      ++checkDataContexts;
+      EXPECT_FALSE(ctx.key.empty());
+    }
+  }
+  EXPECT_EQ(checkDataContexts, 1);
+}
+
+}  // namespace
+}  // namespace cinderella::ipet

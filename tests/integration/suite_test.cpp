@@ -1,0 +1,156 @@
+// Integration tests over the paper's benchmark suite (Table I):
+// the estimated bound must enclose both the calculated bound
+// (Experiment 1) and the measured bound (Experiment 2), path-analysis
+// pessimism must be at the paper's near-zero level, and the solver
+// statistics must reproduce the paper's observations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "cinderella/suite/harness.hpp"
+#include "cinderella/suite/suite.hpp"
+#include "cinderella/support/error.hpp"
+
+namespace cinderella::suite {
+namespace {
+
+class SuiteTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static const BenchmarkEvaluation& eval(const std::string& name) {
+    // Evaluations are expensive; cache them across test cases.
+    static std::map<std::string, BenchmarkEvaluation> cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+      it = cache.emplace(name, evaluate(benchmarkByName(name))).first;
+    }
+    return it->second;
+  }
+};
+
+TEST_P(SuiteTest, EstimatedEnclosesCalculated) {
+  const auto& e = eval(GetParam());
+  EXPECT_LE(e.estimated.lo, e.calculated.lo);
+  EXPECT_GE(e.estimated.hi, e.calculated.hi);
+}
+
+TEST_P(SuiteTest, EstimatedEnclosesMeasured) {
+  const auto& e = eval(GetParam());
+  EXPECT_LE(e.estimated.lo, e.measured.lo);
+  EXPECT_GE(e.estimated.hi, e.measured.hi);
+}
+
+TEST_P(SuiteTest, CalculatedEnclosesMeasured) {
+  // counts * worst-cost >= actual cycles of the same run (and dually for
+  // best): the cost model's per-block bracketing, aggregated.
+  const auto& e = eval(GetParam());
+  EXPECT_LE(e.calculated.lo, e.measured.lo);
+  EXPECT_GE(e.calculated.hi, e.measured.hi);
+}
+
+TEST_P(SuiteTest, PathAnalysisPessimismIsNearZero) {
+  // Paper Table II: pessimism within [0.00, 0.02] on every benchmark.
+  const auto& e = eval(GetParam());
+  EXPECT_GE(e.pessCalcLo, -1e-9);
+  EXPECT_GE(e.pessCalcHi, -1e-9);
+  EXPECT_LE(e.pessCalcLo, 0.02 + 1e-9);
+  EXPECT_LE(e.pessCalcHi, 0.02 + 1e-9);
+}
+
+TEST_P(SuiteTest, FirstLpRelaxationIsIntegral) {
+  // Paper Section VI-A: "the branch-and-bound ILP solver finds that the
+  // solution of the very first linear program call it makes is integer
+  // valued".
+  const auto& e = eval(GetParam());
+  EXPECT_TRUE(e.stats.allFirstRelaxationsIntegral);
+}
+
+TEST_P(SuiteTest, BoundsArePositiveAndOrdered) {
+  const auto& e = eval(GetParam());
+  EXPECT_GT(e.estimated.lo, 0);
+  EXPECT_LE(e.estimated.lo, e.estimated.hi);
+  EXPECT_LE(e.measured.lo, e.measured.hi);
+}
+
+TEST_P(SuiteTest, FirstIterationSplitIsSoundAndNoLooser) {
+  const Benchmark& bench = benchmarkByName(GetParam());
+  EvalOptions options;
+  options.cacheMode = ipet::CacheMode::FirstIterationSplit;
+  const BenchmarkEvaluation refined = evaluate(bench, options);
+  const auto& plain = eval(GetParam());
+  EXPECT_LE(refined.estimated.hi, plain.estimated.hi);
+  EXPECT_GE(refined.estimated.hi, refined.measured.hi);
+  EXPECT_LE(refined.estimated.lo, refined.measured.lo);
+}
+
+TEST_P(SuiteTest, ConflictGraphCacheIsSoundAndNoLooser) {
+  const Benchmark& bench = benchmarkByName(GetParam());
+  EvalOptions options;
+  options.cacheMode = ipet::CacheMode::ConflictGraph;
+  const BenchmarkEvaluation refined = evaluate(bench, options);
+  const auto& plain = eval(GetParam());
+  // Never looser than all-miss, and still encloses the measurement.
+  EXPECT_LE(refined.estimated.hi, plain.estimated.hi);
+  EXPECT_GE(refined.estimated.hi, refined.measured.hi);
+  EXPECT_LE(refined.estimated.lo, refined.measured.lo);
+  // The best-case bound is cache-mode independent.
+  EXPECT_EQ(refined.estimated.lo, plain.estimated.lo);
+}
+
+std::vector<std::string> benchmarkNames() {
+  std::vector<std::string> names;
+  for (const auto& b : allBenchmarks()) names.push_back(b.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SuiteTest,
+                         ::testing::ValuesIn(benchmarkNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(SuiteTable1, ConstraintSetCountsMatchPaperShape) {
+  // check_data: one 2-way disjunction -> 2 sets, none null.
+  {
+    const auto e = evaluate(benchmarkByName("check_data"));
+    EXPECT_EQ(e.stats.constraintSets, 2);
+    EXPECT_EQ(e.stats.prunedNullSets, 0);
+  }
+  // dhry: three 2-way disjunctions -> 8 sets, 5 detected null (paper
+  // Table I reports 8 -> 3).
+  {
+    const auto e = evaluate(benchmarkByName("dhry"));
+    EXPECT_EQ(e.stats.constraintSets, 8);
+    EXPECT_EQ(e.stats.prunedNullSets, 5);
+  }
+  // Everything else: a single conjunctive set.
+  for (const auto& b : allBenchmarks()) {
+    if (b.name == "check_data" || b.name == "dhry") continue;
+    const auto e = evaluate(b);
+    EXPECT_EQ(e.stats.constraintSets, 1) << b.name;
+  }
+}
+
+TEST(SuiteTable1, AllThirteenBenchmarksPresent) {
+  EXPECT_EQ(allBenchmarks().size(), 13u);
+  for (const char* name :
+       {"check_data", "fft", "piksrt", "des", "line", "circle",
+        "jpeg_fdct_islow", "jpeg_idct_islow", "recon", "fullsearch",
+        "whetstone", "dhry", "matgen"}) {
+    EXPECT_NO_THROW((void)benchmarkByName(name));
+  }
+  EXPECT_THROW((void)benchmarkByName("unknown"), cinderella::Error);
+}
+
+TEST(SuiteTable3, MicroArchPessimismHasPaperShape) {
+  // Experiment 2's signature result: the measured bound sits well inside
+  // the estimated bound, i.e. micro-architectural pessimism is large
+  // compared to path pessimism, mainly on the worst-case side.
+  double maxUpper = 0.0;
+  for (const auto& b : allBenchmarks()) {
+    const auto e = evaluate(b);
+    maxUpper = std::max(maxUpper, e.pessMeasHi);
+  }
+  EXPECT_GT(maxUpper, 0.5);
+}
+
+}  // namespace
+}  // namespace cinderella::suite

@@ -1,0 +1,152 @@
+// Tests for the functionality-constraint language parser and its DNF
+// normalization.
+#include <gtest/gtest.h>
+
+#include "cinderella/ipet/constraint_lang.hpp"
+#include "cinderella/support/error.hpp"
+
+namespace cinderella::ipet {
+namespace {
+
+TEST(ConstraintLang, SimpleEquality) {
+  const Dnf d = parseConstraint("x3 = x8", "f");
+  ASSERT_EQ(d.size(), 1u);
+  ASSERT_EQ(d[0].size(), 1u);
+  const SymConstraint& c = d[0][0];
+  EXPECT_EQ(c.rel, lp::Relation::Equal);
+  ASSERT_EQ(c.lhs.size(), 1u);
+  ASSERT_TRUE(c.lhs[0].var.has_value());
+  EXPECT_EQ(c.lhs[0].var->kind, VarKind::Block);
+  EXPECT_EQ(c.lhs[0].var->function, "f");
+  EXPECT_EQ(c.lhs[0].var->number, 3);
+  EXPECT_EQ(c.rhs[0].var->number, 8);
+}
+
+TEST(ConstraintLang, LoopBoundForms) {
+  // The paper's eq (14)/(15): 1x1 <= x2, x2 <= 10x1.
+  const Dnf d = parseConstraint("1 x1 <= x2", "f");
+  const SymConstraint& c = d[0][0];
+  EXPECT_EQ(c.rel, lp::Relation::LessEq);
+  EXPECT_EQ(c.lhs[0].coeff, 1);
+  const Dnf d2 = parseConstraint("x2 <= 10 x1", "f");
+  EXPECT_EQ(d2[0][0].rhs[0].coeff, 10);
+}
+
+TEST(ConstraintLang, MultiplicationSpellings) {
+  for (const char* text : {"10 x1 >= x2", "10*x1 >= x2", "x1 * 10 >= x2"}) {
+    const Dnf d = parseConstraint(text, "f");
+    const auto& terms = d[0][0].lhs;
+    ASSERT_EQ(terms.size(), 1u) << text;
+    EXPECT_EQ(terms[0].coeff, 10) << text;
+  }
+}
+
+TEST(ConstraintLang, SumsAndConstants) {
+  const Dnf d = parseConstraint("x1 + 2 x2 - 3 <= x4 + 5", "f");
+  const SymConstraint& c = d[0][0];
+  ASSERT_EQ(c.lhs.size(), 3u);
+  EXPECT_EQ(c.lhs[2].coeff, -3);
+  EXPECT_FALSE(c.lhs[2].var.has_value());
+  ASSERT_EQ(c.rhs.size(), 2u);
+  EXPECT_EQ(c.rhs[1].coeff, 5);
+}
+
+TEST(ConstraintLang, LeadingSign) {
+  const Dnf d = parseConstraint("-x1 + x2 >= 0", "f");
+  EXPECT_EQ(d[0][0].lhs[0].coeff, -1);
+}
+
+TEST(ConstraintLang, ScopedAndUnscopedRefs) {
+  const Dnf d = parseConstraint("check_data.x8 = other.d2 + x1", "f");
+  const SymConstraint& c = d[0][0];
+  EXPECT_EQ(c.lhs[0].var->function, "check_data");
+  EXPECT_EQ(c.rhs[0].var->function, "other");
+  EXPECT_EQ(c.rhs[0].var->kind, VarKind::Edge);
+  EXPECT_EQ(c.rhs[1].var->function, "f");  // default scope
+}
+
+TEST(ConstraintLang, CallEdgeRefs) {
+  const Dnf d = parseConstraint("f1 = f2 + f3", "");
+  const SymConstraint& c = d[0][0];
+  EXPECT_EQ(c.lhs[0].var->kind, VarKind::CallEdge);
+  EXPECT_EQ(c.lhs[0].var->number, 1);
+  EXPECT_TRUE(c.lhs[0].var->function.empty());
+}
+
+TEST(ConstraintLang, ContextSuffix) {
+  // The paper's x8.f1 — ours spells it x8[f1].
+  const Dnf d = parseConstraint("check_data.x8[f1] = x12", "task");
+  const VarRef& ref = *d[0][0].lhs[0].var;
+  EXPECT_EQ(ref.context, (std::vector<int>{1}));
+  const Dnf d2 = parseConstraint("g.x2[f3.f7] >= 1", "");
+  EXPECT_EQ(d2[0][0].lhs[0].var->context, (std::vector<int>{3, 7}));
+}
+
+TEST(ConstraintLang, LineRefs) {
+  const Dnf d = parseConstraint("@12 <= check_data@9", "piksrt");
+  const SymConstraint& c = d[0][0];
+  EXPECT_EQ(c.lhs[0].var->kind, VarKind::LineBlock);
+  EXPECT_EQ(c.lhs[0].var->function, "piksrt");
+  EXPECT_EQ(c.lhs[0].var->number, 12);
+  EXPECT_EQ(c.rhs[0].var->function, "check_data");
+}
+
+TEST(ConstraintLang, ConjunctionStaysOneSet) {
+  const Dnf d = parseConstraint("x1 = 1 & x2 = 2 & x3 <= 3", "f");
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].size(), 3u);
+}
+
+TEST(ConstraintLang, DisjunctionSplitsSets) {
+  // The paper's eq (16).
+  const Dnf d = parseConstraint("(x3 = 0 & x5 = 1) | (x3 = 1 & x5 = 0)", "f");
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[0].size(), 2u);
+  EXPECT_EQ(d[1].size(), 2u);
+}
+
+TEST(ConstraintLang, NestedParenthesesDistribute) {
+  // (A | B) & (C | D) -> 4 sets.
+  const Dnf d =
+      parseConstraint("(x1 = 0 | x1 = 1) & (x2 = 0 | x2 = 1)", "f");
+  EXPECT_EQ(d.size(), 4u);
+  for (const auto& set : d) EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(ConstraintLang, ConjoinCrossProduct) {
+  const Dnf a = parseConstraint("x1 = 0 | x1 = 1", "f");
+  const Dnf b = parseConstraint("x2 = 0 | x2 = 1 | x2 = 2", "f");
+  EXPECT_EQ(conjoin(a, b).size(), 6u);
+}
+
+TEST(ConstraintLang, DoubleEqualsAccepted) {
+  EXPECT_EQ(parseConstraint("x1 == 3", "f")[0][0].rel, lp::Relation::Equal);
+}
+
+TEST(ConstraintLang, ErrorsAreReported) {
+  EXPECT_THROW(parseConstraint("", "f"), ParseError);
+  EXPECT_THROW(parseConstraint("x1", "f"), ParseError);          // no relation
+  EXPECT_THROW(parseConstraint("x1 < x2", "f"), ParseError);     // strict <
+  EXPECT_THROW(parseConstraint("x1 = x2 extra", "f"), ParseError);
+  EXPECT_THROW(parseConstraint("(x1 = 1", "f"), ParseError);     // unbalanced
+  EXPECT_THROW(parseConstraint("x1 = q9z", "f"), ParseError);    // bad ref
+  EXPECT_THROW(parseConstraint("x1 = 1", ""), ParseError);       // no scope
+  EXPECT_THROW(parseConstraint("x1[g3] = 1", "f"), ParseError);  // bad label
+}
+
+TEST(ConstraintLang, VarRefStrRoundTrip) {
+  VarRef ref;
+  ref.kind = VarKind::Block;
+  ref.function = "g";
+  ref.number = 4;
+  ref.context = {1, 2};
+  EXPECT_EQ(ref.str(), "g.x4[f1.f2]");
+  VarRef line;
+  line.kind = VarKind::LineBlock;
+  line.function = "g";
+  line.number = 12;
+  EXPECT_EQ(line.str(), "g@12");
+}
+
+}  // namespace
+}  // namespace cinderella::ipet

@@ -1,0 +1,120 @@
+// Tests for the IDL-style constraint helpers: each construct must parse
+// and must constrain a real analysis the way its IDL meaning dictates.
+#include <gtest/gtest.h>
+
+#include "cinderella/codegen/codegen.hpp"
+#include "cinderella/ipet/analyzer.hpp"
+#include "cinderella/ipet/constraint_lang.hpp"
+#include "cinderella/ipet/idl.hpp"
+
+namespace cinderella::ipet {
+namespace {
+
+// Two independent conditional blocks inside an 8-iteration loop; the
+// then-branches sit on lines 7 and 10.
+constexpr const char* kTwoBranches =
+    "int t[8];\n"                            // 1
+    "int f() {\n"                            // 2
+    "  int i; int s; s = 0;\n"               // 3
+    "  for (i = 0; i < 8; i = i + 1) {\n"    // 4
+    "    __loopbound(8, 8);\n"               // 5
+    "    if (t[i] > 0) {\n"                  // 6
+    "      s = s + t[i] * t[i];\n"           // 7
+    "    }\n"                                // 8
+    "    if (t[i] < 0) {\n"                  // 9
+    "      s = s - t[i] * t[i] * t[i];\n"    // 10
+    "    }\n"                                // 11
+    "  }\n"                                  // 12
+    "  return s;\n"                          // 13
+    "}\n";
+
+std::int64_t worstWith(const std::vector<std::string>& constraints) {
+  const auto c = codegen::compileSource(kTwoBranches);
+  Analyzer analyzer(c, "f");
+  for (const auto& text : constraints) analyzer.addConstraint(text);
+  return analyzer.estimate().bound.hi;
+}
+
+TEST(Idl, AllConstructsParse) {
+  for (const std::string& text : {
+           idl::executesExactly("@7", 3),
+           idl::executesBetween("@7", 1, 5),
+           idl::mutuallyExclusive("@7", "@10"),
+           idl::executeTogether("@7", "@10"),
+           idl::sameCount("@7", "@10"),
+           idl::implies("@7", "@10"),
+           idl::atMostPerExecution("@7", "@6", 2),
+           idl::atLeastPerExecution("@7", "@6", 0),
+           idl::oneOf("@7", "@10"),
+       }) {
+    EXPECT_NO_THROW((void)parseConstraint(text, "f")) << text;
+  }
+}
+
+TEST(Idl, ExecutesExactlyPinsTheCount) {
+  const std::int64_t freeBound = worstWith({});
+  const std::int64_t pinned = worstWith({idl::executesExactly("@7", 2)});
+  EXPECT_LT(pinned, freeBound);
+  // Pinning to the maximum is a no-op for the bound.
+  EXPECT_EQ(worstWith({idl::executesExactly("@7", 8)}),
+            worstWith({idl::executesBetween("@7", 8, 8)}));
+}
+
+TEST(Idl, MutuallyExclusiveDropsOneBranch) {
+  const std::int64_t freeBound = worstWith({});
+  const std::int64_t exclusive =
+      worstWith({idl::mutuallyExclusive("@7", "@10")});
+  // Both branches on all 8 iterations is no longer feasible.
+  EXPECT_LT(exclusive, freeBound);
+}
+
+TEST(Idl, ExclusiveIsLooserThanOneOf) {
+  // oneOf additionally pins the surviving branch to exactly one run.
+  EXPECT_LE(worstWith({idl::oneOf("@7", "@10")}),
+            worstWith({idl::mutuallyExclusive("@7", "@10")}));
+}
+
+TEST(Idl, SameCountCouplesBranches) {
+  const std::int64_t coupled = worstWith({idl::sameCount("@7", "@10")});
+  // With equal counts, the ILP can still take both 8 times: same as free.
+  EXPECT_EQ(coupled, worstWith({}));
+  // But together with a cap on one branch it caps the other too.
+  EXPECT_LT(worstWith({idl::sameCount("@7", "@10"),
+                       idl::executesBetween("@7", 0, 1)}),
+            coupled);
+}
+
+TEST(Idl, ImpliesPrunesAsymmetricSets) {
+  // "@7 executes => @10 executes" combined with "@10 never executes"
+  // forces @7 to zero.
+  const std::int64_t bound = worstWith(
+      {idl::implies("@7", "@10"), idl::executesExactly("@10", 0)});
+  EXPECT_EQ(bound, worstWith({idl::executesExactly("@7", 0),
+                              idl::executesExactly("@10", 0)}));
+}
+
+TEST(Idl, PerExecutionBoundsScaleWithOuter) {
+  // At most 1 then-branch per 2 loop-body executions: <= 4 of 8.
+  // (@6 is the loop-body entry block, executed 8 times.)
+  const std::int64_t scaled =
+      worstWith({idl::atMostPerExecution("2 @7", "@6", 1)});
+  EXPECT_EQ(scaled, worstWith({idl::executesBetween("@7", 0, 4)}));
+}
+
+TEST(Idl, TogetherAllowsBothOrNeither) {
+  const auto c = codegen::compileSource(kTwoBranches);
+  Analyzer analyzer(c, "f");
+  analyzer.addConstraint(idl::executeTogether("@7", "@10"));
+  const Estimate e = analyzer.estimate();
+  EXPECT_EQ(e.stats.constraintSets, 2);
+  // Worst case picks the "both" set (more work), best picks "neither".
+  Analyzer both(c, "f");
+  both.addConstraint("@7 >= 1 & @10 >= 1");
+  EXPECT_EQ(e.bound.hi, both.estimate().bound.hi);
+  Analyzer neither(c, "f");
+  neither.addConstraint("@7 = 0 & @10 = 0");
+  EXPECT_EQ(e.bound.lo, neither.estimate().bound.lo);
+}
+
+}  // namespace
+}  // namespace cinderella::ipet

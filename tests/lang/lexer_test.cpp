@@ -1,0 +1,129 @@
+// Unit tests for the MiniC lexer.
+#include <gtest/gtest.h>
+
+#include "cinderella/lang/lexer.hpp"
+#include "cinderella/support/error.hpp"
+
+namespace cinderella::lang {
+namespace {
+
+std::vector<TokenKind> kinds(std::string_view source) {
+  std::vector<TokenKind> out;
+  for (const auto& t : lex(source)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEnd) {
+  const auto tokens = lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::End);
+}
+
+TEST(Lexer, Keywords) {
+  EXPECT_EQ(kinds("int float void if else while for return __loopbound"),
+            (std::vector<TokenKind>{
+                TokenKind::KwInt, TokenKind::KwFloat, TokenKind::KwVoid,
+                TokenKind::KwIf, TokenKind::KwElse, TokenKind::KwWhile,
+                TokenKind::KwFor, TokenKind::KwReturn, TokenKind::KwLoopBound,
+                TokenKind::End}));
+}
+
+TEST(Lexer, IdentifiersAreNotKeywords) {
+  const auto tokens = lex("intx _if while2");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::Identifier);
+  EXPECT_EQ(tokens[0].text, "intx");
+  EXPECT_EQ(tokens[1].kind, TokenKind::Identifier);
+  EXPECT_EQ(tokens[1].text, "_if");
+  EXPECT_EQ(tokens[2].kind, TokenKind::Identifier);
+  EXPECT_EQ(tokens[2].text, "while2");
+}
+
+TEST(Lexer, IntLiterals) {
+  const auto tokens = lex("0 42 123456789 0x1F");
+  EXPECT_EQ(tokens[0].intValue, 0);
+  EXPECT_EQ(tokens[1].intValue, 42);
+  EXPECT_EQ(tokens[2].intValue, 123456789);
+  EXPECT_EQ(tokens[3].intValue, 31);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(tokens[static_cast<std::size_t>(i)].kind,
+              TokenKind::IntLiteral);
+  }
+}
+
+TEST(Lexer, FloatLiterals) {
+  const auto tokens = lex("1.5 0.25 2e3 1.5e-2");
+  EXPECT_EQ(tokens[0].kind, TokenKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(tokens[0].floatValue, 1.5);
+  EXPECT_DOUBLE_EQ(tokens[1].floatValue, 0.25);
+  EXPECT_DOUBLE_EQ(tokens[2].floatValue, 2000.0);
+  EXPECT_DOUBLE_EQ(tokens[3].floatValue, 0.015);
+}
+
+TEST(Lexer, IntegerFollowedByDotWithoutDigitsIsInt) {
+  // "5." would be a malformed float; our grammar keeps 5 as int and then
+  // fails on the stray dot — there is no '.' operator token.
+  EXPECT_THROW(lex("5."), ParseError);
+}
+
+TEST(Lexer, TwoCharacterOperators) {
+  EXPECT_EQ(kinds("== != <= >= << >> && ||"),
+            (std::vector<TokenKind>{
+                TokenKind::Eq, TokenKind::Ne, TokenKind::Le, TokenKind::Ge,
+                TokenKind::Shl, TokenKind::Shr, TokenKind::AmpAmp,
+                TokenKind::PipePipe, TokenKind::End}));
+}
+
+TEST(Lexer, SingleCharacterOperators) {
+  EXPECT_EQ(kinds("+ - * / % & | ^ ~ ! < > = ( ) { } [ ] , ;"),
+            (std::vector<TokenKind>{
+                TokenKind::Plus, TokenKind::Minus, TokenKind::Star,
+                TokenKind::Slash, TokenKind::Percent, TokenKind::Amp,
+                TokenKind::Pipe, TokenKind::Caret, TokenKind::Tilde,
+                TokenKind::Bang, TokenKind::Lt, TokenKind::Gt,
+                TokenKind::Assign, TokenKind::LParen, TokenKind::RParen,
+                TokenKind::LBrace, TokenKind::RBrace, TokenKind::LBracket,
+                TokenKind::RBracket, TokenKind::Comma, TokenKind::Semicolon,
+                TokenKind::End}));
+}
+
+TEST(Lexer, LineCommentsAreSkipped) {
+  const auto tokens = lex("a // comment with * tokens\nb");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[1].loc.line, 2);
+}
+
+TEST(Lexer, BlockCommentsAreSkipped) {
+  const auto tokens = lex("a /* multi\nline\ncomment */ b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[1].loc.line, 3);
+}
+
+TEST(Lexer, UnterminatedBlockCommentFails) {
+  EXPECT_THROW(lex("a /* never closed"), ParseError);
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  const auto tokens = lex("a\n  b\n    c");
+  EXPECT_EQ(tokens[0].loc.line, 1);
+  EXPECT_EQ(tokens[0].loc.column, 1);
+  EXPECT_EQ(tokens[1].loc.line, 2);
+  EXPECT_EQ(tokens[1].loc.column, 3);
+  EXPECT_EQ(tokens[2].loc.line, 3);
+  EXPECT_EQ(tokens[2].loc.column, 5);
+}
+
+TEST(Lexer, RejectsUnknownCharacters) {
+  EXPECT_THROW(lex("a $ b"), ParseError);
+  EXPECT_THROW(lex("a # b"), ParseError);
+}
+
+TEST(Lexer, MalformedHexFails) {
+  EXPECT_THROW(lex("0x"), ParseError);
+}
+
+}  // namespace
+}  // namespace cinderella::lang

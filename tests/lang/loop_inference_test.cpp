@@ -1,0 +1,150 @@
+// Automatic trip-count inference tests (paper Section VII future work),
+// both at the AST level and end-to-end through the analyzer.
+#include <gtest/gtest.h>
+
+#include "cinderella/codegen/codegen.hpp"
+#include "cinderella/ipet/analyzer.hpp"
+#include "cinderella/lang/loop_inference.hpp"
+#include "cinderella/lang/parser.hpp"
+#include "cinderella/lang/sema.hpp"
+#include "cinderella/sim/simulator.hpp"
+#include "cinderella/support/error.hpp"
+
+namespace cinderella::lang {
+namespace {
+
+/// Parses a function whose first statement chain contains exactly one
+/// `for` loop and returns the inference on it.
+std::optional<std::pair<std::int64_t, std::int64_t>> inferFirstLoop(
+    const std::string& body) {
+  static std::vector<std::unique_ptr<Program>> keepAlive;
+  auto program = std::make_unique<Program>(
+      parse("int glob;\nint t[100];\nvoid f(int x) {\n" + body + "\n}"));
+  analyze(*program);
+  const Stmt* loop = nullptr;
+  const auto find = [&](auto&& self, const Stmt& s) -> void {
+    if (s.kind == StmtKind::For && loop == nullptr) {
+      loop = &s;
+      return;
+    }
+    for (const auto& child : s.body) self(self, *child);
+  };
+  find(find, *program->functions[0].body);
+  if (loop == nullptr) return std::nullopt;
+  auto result = inferTripCount(*loop);
+  keepAlive.push_back(std::move(program));  // symbols referenced by Stmt
+  return result;
+}
+
+TEST(LoopInference, CanonicalUpwardLoop) {
+  const auto r =
+      inferFirstLoop("int i; for (i = 0; i < 10; i = i + 1) { glob = i; }");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->first, 10);
+  EXPECT_EQ(r->second, 10);
+}
+
+TEST(LoopInference, InclusiveBoundAndStride) {
+  const auto le =
+      inferFirstLoop("int i; for (i = 1; i <= 10; i = i + 1) { glob = i; }");
+  ASSERT_TRUE(le.has_value());
+  EXPECT_EQ(le->second, 10);
+  const auto stride =
+      inferFirstLoop("int i; for (i = 0; i < 10; i = i + 3) { glob = i; }");
+  ASSERT_TRUE(stride.has_value());
+  EXPECT_EQ(stride->second, 4);  // 0, 3, 6, 9
+}
+
+TEST(LoopInference, DownwardLoops) {
+  const auto gt =
+      inferFirstLoop("int i; for (i = 9; i > 0; i = i - 1) { glob = i; }");
+  ASSERT_TRUE(gt.has_value());
+  EXPECT_EQ(gt->second, 9);
+  const auto ge =
+      inferFirstLoop("int i; for (i = 9; i >= 0; i = i - 2) { glob = i; }");
+  ASSERT_TRUE(ge.has_value());
+  EXPECT_EQ(ge->second, 5);  // 9, 7, 5, 3, 1
+}
+
+TEST(LoopInference, NotEqualCondition) {
+  const auto r =
+      inferFirstLoop("int i; for (i = 0; i != 8; i = i + 2) { glob = i; }");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->second, 4);
+  // A stride that never lands on the limit is rejected (non-terminating).
+  EXPECT_FALSE(inferFirstLoop(
+      "int i; for (i = 0; i != 7; i = i + 2) { glob = i; }").has_value());
+}
+
+TEST(LoopInference, ZeroTripLoops) {
+  const auto r =
+      inferFirstLoop("int i; for (i = 5; i < 5; i = i + 1) { glob = i; }");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->second, 0);
+}
+
+TEST(LoopInference, RejectsNonCanonicalShapes) {
+  // Non-constant limit.
+  EXPECT_FALSE(inferFirstLoop(
+      "int i; for (i = 0; i < x; i = i + 1) { glob = i; }").has_value());
+  // Induction variable written in the body.
+  EXPECT_FALSE(inferFirstLoop(
+      "int i; for (i = 0; i < 9; i = i + 1) { i = i + 1; }").has_value());
+  // Wrong step direction.
+  EXPECT_FALSE(inferFirstLoop(
+      "int i; for (i = 0; i < 9; i = i - 1) { glob = i; }").has_value());
+  // Multiplicative step.
+  EXPECT_FALSE(inferFirstLoop(
+      "int i; for (i = 1; i < 9; i = i * 2) { glob = i; }").has_value());
+  // Global induction variable (a call could rewrite it).
+  EXPECT_FALSE(inferFirstLoop(
+      "for (glob = 0; glob < 9; glob = glob + 1) { x = glob; }").has_value());
+}
+
+TEST(LoopInference, ReturnInBodyWeakensLowerBound) {
+  const auto r = inferFirstLoop(
+      "int i; for (i = 0; i < 10; i = i + 1) { if (t[i] < 0) { return; } }");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->first, 0);
+  EXPECT_EQ(r->second, 10);
+}
+
+TEST(LoopInference, AnalyzerAcceptsUnannotatedCountedLoop) {
+  // End to end: no __loopbound, no setLoopBound — inference supplies it.
+  const char* source =
+      "int f() { int i; int s; s = 0; for (i = 0; i < 16; i = i + 1) { "
+      "s = s + i * i; } return s; }";
+  const auto c = codegen::compileSource(source);
+  ipet::Analyzer analyzer(c, "f");
+  const ipet::Estimate e = analyzer.estimate();
+  sim::Simulator simulator(c.module);
+  const auto r = simulator.run(0, {});
+  EXPECT_LE(e.bound.lo, r.cycles);
+  EXPECT_GE(e.bound.hi, r.cycles);
+  EXPECT_EQ(sim::decodeInt(r.returnValue), 1240);
+}
+
+TEST(LoopInference, AnnotationTakesPrecedence) {
+  // A (looser) explicit annotation wins over inference.
+  const char* annotated =
+      "int f() { int i; int s; s = 0; for (i = 0; i < 4; i = i + 1) { "
+      "__loopbound(0, 9); s = s + 1; } return s; }";
+  const char* inferred =
+      "int f() { int i; int s; s = 0; for (i = 0; i < 4; i = i + 1) { "
+      "s = s + 1; } return s; }";
+  const auto ca = codegen::compileSource(annotated);
+  const auto ci = codegen::compileSource(inferred);
+  const auto ea = ipet::Analyzer(ca, "f").estimate();
+  const auto ei = ipet::Analyzer(ci, "f").estimate();
+  EXPECT_GT(ea.bound.hi, ei.bound.hi);  // 9 iterations allowed vs exactly 4
+}
+
+TEST(LoopInference, DataDependentWhileStillNeedsAnnotation) {
+  const auto c = codegen::compileSource(
+      "int f(int x) { while (x > 0) { x = x - 1; } return x; }");
+  ipet::Analyzer analyzer(c, "f");
+  EXPECT_THROW((void)analyzer.estimate(), AnalysisError);
+}
+
+}  // namespace
+}  // namespace cinderella::lang

@@ -1,0 +1,141 @@
+// Unit tests for MiniC semantic analysis.
+#include <gtest/gtest.h>
+
+#include "cinderella/lang/parser.hpp"
+#include "cinderella/lang/sema.hpp"
+#include "cinderella/support/error.hpp"
+
+namespace cinderella::lang {
+namespace {
+
+Program analyzed(std::string_view source) {
+  Program p = parse(source);
+  analyze(p);
+  return p;
+}
+
+TEST(Sema, ResolvesGlobalsAndLocals) {
+  const Program p = analyzed(
+      "int g;\n"
+      "void f() { int a; a = g; g = a; }");
+  const auto& body = p.functions[0].body->body;
+  EXPECT_EQ(body[1]->targetSymbol->storage, Storage::Local);
+  EXPECT_EQ(body[2]->targetSymbol->storage, Storage::Global);
+}
+
+TEST(Sema, UnknownVariableFails) {
+  EXPECT_THROW(analyzed("void f() { x = 1; }"), ParseError);
+}
+
+TEST(Sema, UnknownFunctionFails) {
+  EXPECT_THROW(analyzed("void f() { g(); }"), ParseError);
+}
+
+TEST(Sema, ForwardCallsResolve) {
+  const Program p = analyzed(
+      "void f() { g(); }\n"
+      "void g() { }");
+  EXPECT_EQ(p.functions[0].body->body[0]->value->calleeIndex, 1);
+}
+
+TEST(Sema, DirectRecursionFails) {
+  EXPECT_THROW(analyzed("void f() { f(); }"), AnalysisError);
+}
+
+TEST(Sema, MutualRecursionFails) {
+  EXPECT_THROW(analyzed("void f() { g(); }\nvoid g() { f(); }"),
+               AnalysisError);
+}
+
+TEST(Sema, DuplicateGlobalFails) {
+  EXPECT_THROW(analyzed("int a;\nint a;"), ParseError);
+}
+
+TEST(Sema, DuplicateFunctionFails) {
+  EXPECT_THROW(analyzed("void f() { }\nvoid f() { }"), ParseError);
+}
+
+TEST(Sema, DuplicateParamFails) {
+  EXPECT_THROW(analyzed("void f(int a, int a) { }"), ParseError);
+}
+
+TEST(Sema, ShadowingInNestedBlocksIsAllowed) {
+  EXPECT_NO_THROW(analyzed(
+      "void f() { int a; a = 1; { int a; a = 2; } a = 3; }"));
+}
+
+TEST(Sema, DuplicateLocalInSameScopeFails) {
+  EXPECT_THROW(analyzed("void f() { int a; int a; }"), ParseError);
+}
+
+TEST(Sema, ArityMismatchFails) {
+  EXPECT_THROW(analyzed("int g(int x) { return x; }\nvoid f() { g(); }"),
+               ParseError);
+}
+
+TEST(Sema, ImplicitIntToFloatInsertsCast) {
+  const Program p = analyzed("float f() { return 1 + 0.5; }");
+  const Expr& e = *p.functions[0].body->body[0]->value;
+  EXPECT_EQ(e.type, Type::Float);
+  EXPECT_EQ(e.lhs->kind, ExprKind::Cast);
+}
+
+TEST(Sema, AssignmentCoercesToTargetType) {
+  const Program p = analyzed("void f() { float x; x = 3; }");
+  const Stmt& s = *p.functions[0].body->body[1];
+  EXPECT_EQ(s.value->kind, ExprKind::Cast);
+  EXPECT_EQ(s.value->type, Type::Float);
+}
+
+TEST(Sema, RemainderOnFloatFails) {
+  EXPECT_THROW(analyzed("float f(float x) { return x % 2.0; }"), ParseError);
+}
+
+TEST(Sema, BitwiseOnFloatFails) {
+  EXPECT_THROW(analyzed("void f(float x) { int a; a = x & 1; }"), ParseError);
+}
+
+TEST(Sema, FloatConditionFails) {
+  EXPECT_THROW(analyzed("void f(float x) { if (x) { } }"), ParseError);
+}
+
+TEST(Sema, FloatComparisonYieldsIntCondition) {
+  EXPECT_NO_THROW(analyzed("void f(float x) { if (x > 0.5) { } }"));
+}
+
+TEST(Sema, ArrayUsedWithoutIndexFails) {
+  EXPECT_THROW(analyzed("int t[3];\nint f() { return t; }"), ParseError);
+}
+
+TEST(Sema, IndexingScalarFails) {
+  EXPECT_THROW(analyzed("int a;\nint f() { return a[0]; }"), ParseError);
+}
+
+TEST(Sema, FloatArrayIndexFails) {
+  EXPECT_THROW(analyzed("int t[3];\nint f(float x) { return t[x]; }"),
+               ParseError);
+}
+
+TEST(Sema, WholeArrayAssignmentFails) {
+  EXPECT_THROW(analyzed("int t[3];\nvoid f() { t = 1; }"), ParseError);
+}
+
+TEST(Sema, VoidFunctionReturningValueFails) {
+  EXPECT_THROW(analyzed("void f() { return 1; }"), ParseError);
+}
+
+TEST(Sema, NonVoidReturnWithoutValueFails) {
+  EXPECT_THROW(analyzed("int f() { return; }"), ParseError);
+}
+
+TEST(Sema, VoidCallInExpressionFails) {
+  EXPECT_THROW(analyzed("void g() { }\nint f() { return g() + 1; }"),
+               ParseError);
+}
+
+TEST(Sema, FunctionNameShadowingGlobalFails) {
+  EXPECT_THROW(analyzed("int f;\nvoid f() { }"), ParseError);
+}
+
+}  // namespace
+}  // namespace cinderella::lang

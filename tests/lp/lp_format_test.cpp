@@ -1,0 +1,78 @@
+// LP-format writer tests.
+#include <gtest/gtest.h>
+
+#include "cinderella/codegen/codegen.hpp"
+#include "cinderella/ipet/analyzer.hpp"
+#include "cinderella/lp/lp_format.hpp"
+
+namespace cinderella::lp {
+namespace {
+
+Problem sample() {
+  Problem p;
+  const int x = p.addVar("x1");
+  const int y = p.addVar("f.x2[f1]");
+  LinearExpr obj;
+  obj.add(x, 3.0);
+  obj.add(y, 1.0);
+  p.setObjective(obj, Sense::Maximize);
+  LinearExpr c1;
+  c1.add(x, 1.0);
+  c1.add(y, -2.0);
+  p.addConstraint(std::move(c1), Relation::LessEq, 5.0);
+  LinearExpr c2;
+  c2.add(x, 1.0);
+  p.addConstraint(std::move(c2), Relation::Equal, 2.0);
+  return p;
+}
+
+TEST(LpFormat, HasAllSections) {
+  const std::string text = toLpFormat(sample());
+  EXPECT_NE(text.find("Maximize"), std::string::npos);
+  EXPECT_NE(text.find("Subject To"), std::string::npos);
+  EXPECT_NE(text.find("General"), std::string::npos);
+  EXPECT_NE(text.find("End"), std::string::npos);
+}
+
+TEST(LpFormat, WritesObjectiveAndConstraints) {
+  const std::string text = toLpFormat(sample());
+  EXPECT_NE(text.find("obj: 3 x1 + f.x2[f1]"), std::string::npos);
+  EXPECT_NE(text.find("c0: x1 - 2 f.x2[f1] <= 5"), std::string::npos);
+  EXPECT_NE(text.find("c1: x1 = 2"), std::string::npos);
+}
+
+TEST(LpFormat, ContinuousModeOmitsGeneral) {
+  LpFormatOptions options;
+  options.integer = false;
+  const std::string text = toLpFormat(sample(), options);
+  EXPECT_EQ(text.find("General"), std::string::npos);
+}
+
+TEST(LpFormat, SanitizesHostileNames) {
+  Problem p;
+  const int a = p.addVar("1bad name");
+  LinearExpr obj;
+  obj.add(a, 1.0);
+  p.setObjective(obj, Sense::Minimize);
+  const std::string text = toLpFormat(p);
+  EXPECT_NE(text.find("v1bad_name"), std::string::npos);
+}
+
+TEST(LpFormat, MinimizationHeader) {
+  Problem p;
+  const int a = p.addVar("a");
+  LinearExpr obj;
+  obj.add(a, 1.0);
+  p.setObjective(obj, Sense::Minimize);
+  EXPECT_NE(toLpFormat(p).find("Minimize"), std::string::npos);
+}
+
+TEST(LpFormat, EmptyObjectiveRendersZero) {
+  Problem p;
+  (void)p.addVar("a");
+  p.setObjective(LinearExpr{}, Sense::Maximize);
+  EXPECT_NE(toLpFormat(p).find("obj: 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cinderella::lp

@@ -1,0 +1,208 @@
+// Unit tests for the micro-architectural cost model and I-cache.
+#include <gtest/gtest.h>
+
+#include "cinderella/cfg/cfg.hpp"
+#include "cinderella/codegen/codegen.hpp"
+#include "cinderella/march/cost_model.hpp"
+#include "cinderella/march/icache.hpp"
+
+namespace cinderella::march {
+namespace {
+
+using vm::Instr;
+using vm::Opcode;
+
+vm::Function makeFunction(std::vector<Instr> code) {
+  vm::Function fn;
+  fn.name = "t";
+  fn.numRegs = 16;
+  fn.code = std::move(code);
+  fn.baseAddr = 0;
+  return fn;
+}
+
+TEST(CostModel, BaseCyclesOrdering) {
+  const CostModel model;
+  const Instr add{.op = Opcode::Add, .rd = 0, .rs1 = 1, .rs2 = 2};
+  const Instr mul{.op = Opcode::Mul, .rd = 0, .rs1 = 1, .rs2 = 2};
+  const Instr div{.op = Opcode::Div, .rd = 0, .rs1 = 1, .rs2 = 2};
+  const Instr fdiv{.op = Opcode::FDiv, .rd = 0, .rs1 = 1, .rs2 = 2};
+  EXPECT_LT(model.baseCycles(add), model.baseCycles(mul));
+  EXPECT_LT(model.baseCycles(mul), model.baseCycles(div));
+  EXPECT_GT(model.baseCycles(fdiv), model.baseCycles(mul));
+}
+
+TEST(CostModel, IndependentNeighboursOverlap) {
+  const CostModel model;
+  // Two independent multiplies: the second gets overlap credit.
+  const vm::Function fn = makeFunction({
+      {.op = Opcode::Mul, .rd = 0, .rs1 = 1, .rs2 = 2},
+      {.op = Opcode::Mul, .rd = 3, .rs1 = 4, .rs2 = 5},
+  });
+  const std::int64_t base = 2 * model.baseCycles(fn.code[0]);
+  EXPECT_EQ(model.pipelineCycles(fn, 0, 1),
+            base - model.params().overlapCredit);
+}
+
+TEST(CostModel, OverlapCreditCannotDropBelowOneCycle) {
+  const CostModel model;
+  // Single-cycle neighbours cannot overlap below one issue slot each.
+  const vm::Function fn = makeFunction({
+      {.op = Opcode::Add, .rd = 0, .rs1 = 1, .rs2 = 2},
+      {.op = Opcode::Add, .rd = 3, .rs1 = 4, .rs2 = 5},
+  });
+  EXPECT_EQ(model.pipelineCycles(fn, 0, 1), 2);
+}
+
+TEST(CostModel, HazardStallsDependent) {
+  const CostModel model;
+  const vm::Function fn = makeFunction({
+      {.op = Opcode::Add, .rd = 0, .rs1 = 1, .rs2 = 2},
+      {.op = Opcode::Add, .rd = 3, .rs1 = 0, .rs2 = 5},  // reads r0
+  });
+  const std::int64_t base = 2 * model.baseCycles(fn.code[0]);
+  EXPECT_EQ(model.pipelineCycles(fn, 0, 1), base + model.params().hazardStall);
+}
+
+TEST(CostModel, LoadUseStallIsLarger) {
+  const CostModel model;
+  // Consumer is a multiply so the overlap credit is not floored away.
+  const vm::Function independent = makeFunction({
+      {.op = Opcode::Ld, .rd = 0, .rs1 = 1, .imm = 0},
+      {.op = Opcode::Mul, .rd = 3, .rs1 = 4, .rs2 = 5},
+  });
+  const vm::Function dependent = makeFunction({
+      {.op = Opcode::Ld, .rd = 0, .rs1 = 1, .imm = 0},
+      {.op = Opcode::Mul, .rd = 3, .rs1 = 0, .rs2 = 5},
+  });
+  EXPECT_EQ(model.pipelineCycles(dependent, 0, 1) -
+                model.pipelineCycles(independent, 0, 1),
+            model.params().loadUseStall + model.params().overlapCredit);
+}
+
+TEST(CostModel, CallArgumentsCountAsUses) {
+  const CostModel model;
+  const vm::Function fn = makeFunction({
+      {.op = Opcode::Add, .rd = 0, .rs1 = 1, .rs2 = 2},
+      {.op = Opcode::Call, .rd = 3, .imm = 0, .args = {0}},
+  });
+  const std::int64_t base =
+      model.baseCycles(fn.code[0]) + model.baseCycles(fn.code[1]);
+  EXPECT_EQ(model.pipelineCycles(fn, 0, 1), base + model.params().hazardStall);
+}
+
+TEST(CostModel, EffectiveCycleFloorIsOne) {
+  MachineParams params;
+  params.overlapCredit = 10;  // exaggerate
+  const CostModel model(params);
+  const vm::Function fn = makeFunction({
+      {.op = Opcode::MovI, .rd = 0, .imm = 1},
+      {.op = Opcode::MovI, .rd = 1, .imm = 2},
+  });
+  EXPECT_EQ(model.pipelineCycles(fn, 0, 1), 1 + 1);  // floor at 1 each
+}
+
+TEST(CostModel, LinesTouchedSpansCacheLines) {
+  const CostModel model;  // 16-byte lines, 4-byte instructions
+  vm::Function fn = makeFunction(std::vector<Instr>(
+      10, Instr{.op = Opcode::MovI, .rd = 0, .imm = 0}));
+  EXPECT_EQ(model.linesTouched(fn, 0, 0), 1);
+  EXPECT_EQ(model.linesTouched(fn, 0, 3), 1);
+  EXPECT_EQ(model.linesTouched(fn, 0, 4), 2);
+  EXPECT_EQ(model.linesTouched(fn, 3, 4), 2);  // straddles a boundary
+  EXPECT_EQ(model.linesTouched(fn, 0, 9), 3);
+}
+
+TEST(CostModel, LinesTouchedRespectsBaseAddr) {
+  const CostModel model;
+  vm::Function fn = makeFunction(std::vector<Instr>(
+      4, Instr{.op = Opcode::MovI, .rd = 0, .imm = 0}));
+  fn.baseAddr = 12;  // last instruction of a line, then a new line
+  EXPECT_EQ(model.linesTouched(fn, 0, 1), 2);
+}
+
+TEST(CostModel, BlockCostBracketsAndBranchPenalty) {
+  const CostModel model;
+  const vm::Function fn = makeFunction({
+      {.op = Opcode::Add, .rd = 0, .rs1 = 1, .rs2 = 2},
+      {.op = Opcode::Bt, .rs1 = 0, .imm = 0},
+  });
+  const BlockCost cost = model.blockCost(fn, 0, 1);
+  EXPECT_LT(cost.best, cost.worst);
+  // Worst includes one line miss + taken penalty; best has neither.
+  EXPECT_EQ(cost.worst - cost.best,
+            model.params().missPenalty + model.params().branchTakenPenalty);
+}
+
+TEST(CostModel, UnconditionalTransferPenalizesBothBounds) {
+  const CostModel model;
+  const vm::Function fn = makeFunction({
+      {.op = Opcode::Br, .imm = 0},
+  });
+  const BlockCost cost = model.blockCost(fn, 0, 0);
+  EXPECT_EQ(cost.worst - cost.best, model.params().missPenalty);
+}
+
+TEST(CostModel, WorstAllHitDropsOnlyMissTerm) {
+  const CostModel model;
+  const vm::Function fn = makeFunction({
+      {.op = Opcode::Add, .rd = 0, .rs1 = 1, .rs2 = 2},
+      {.op = Opcode::Bf, .rs1 = 0, .imm = 0},
+  });
+  const BlockCost cost = model.blockCost(fn, 0, 1);
+  EXPECT_EQ(cost.worst - model.worstCyclesAllHit(fn, 0, 1),
+            static_cast<std::int64_t>(model.linesTouched(fn, 0, 1)) *
+                model.params().missPenalty);
+}
+
+TEST(ICache, DirectMappedHitsAndConflicts) {
+  MachineParams params;
+  ICache cache(params);
+  EXPECT_FALSE(cache.access(0));    // cold miss
+  EXPECT_TRUE(cache.access(4));     // same 16-byte line
+  EXPECT_TRUE(cache.access(12));
+  EXPECT_FALSE(cache.access(16));   // next line
+  // Address 0 + cacheSize maps to the same set: conflict evicts line 0.
+  EXPECT_FALSE(cache.access(params.cacheSizeBytes));
+  EXPECT_FALSE(cache.access(0));
+  EXPECT_EQ(cache.misses(), 4);
+  EXPECT_EQ(cache.hits(), 2);
+}
+
+TEST(ICache, FlushInvalidatesEverything) {
+  MachineParams params;
+  ICache cache(params);
+  EXPECT_FALSE(cache.access(32));
+  EXPECT_TRUE(cache.access(32));
+  cache.flush();
+  EXPECT_FALSE(cache.access(32));
+}
+
+TEST(ICache, ResetStatsKeepsContents) {
+  MachineParams params;
+  ICache cache(params);
+  (void)cache.access(64);
+  cache.resetStats();
+  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(cache.misses(), 0);
+  EXPECT_TRUE(cache.access(64));  // still cached
+}
+
+TEST(CostModel, StaticBoundsBracketSimulatedBlocks) {
+  // For every block of a real compiled function, best <= worst.
+  const auto c = codegen::compileSource(
+      "int t[8];\n"
+      "int f(int x) { int i; int s; s = 0; for (i = 0; i < 8; i = i + 1) { "
+      "__loopbound(8, 8); if (t[i] > x) { s = s + t[i]; } } return s; }");
+  const CostModel model;
+  const vm::Function& fn = c.module.function(0);
+  const auto g = cfg::buildCfg(c.module, 0);
+  for (const auto& b : g.blocks()) {
+    const BlockCost cost = model.blockCost(fn, b.firstInstr, b.lastInstr);
+    EXPECT_LE(cost.best, cost.worst);
+    EXPECT_GT(cost.best, 0);
+  }
+}
+
+}  // namespace
+}  // namespace cinderella::march

@@ -1,0 +1,45 @@
+// Machine-parameter preset tests (paper Section VII: the tool was ported
+// from the i960KB to the AT&T DSP3210 by swapping the hardware model).
+#include <gtest/gtest.h>
+
+#include "cinderella/march/cost_model.hpp"
+
+namespace cinderella::march {
+namespace {
+
+using vm::Instr;
+using vm::Opcode;
+
+TEST(Presets, DefaultIsI960kb) {
+  const MachineParams def;
+  const MachineParams i960 = i960kbParams();
+  EXPECT_STREQ(i960.name, "i960kb");
+  EXPECT_EQ(def.cacheSizeBytes, i960.cacheSizeBytes);
+  EXPECT_EQ(def.costs.mul, i960.costs.mul);
+}
+
+TEST(Presets, Dsp3210HasDspCostShape) {
+  const MachineParams dsp = dsp3210Params();
+  const MachineParams i960 = i960kbParams();
+  EXPECT_STREQ(dsp.name, "dsp3210");
+  // Single-cycle-MAC style datapath: multiply and float ops much cheaper.
+  EXPECT_LT(dsp.costs.mul, i960.costs.mul);
+  EXPECT_LT(dsp.costs.fmul, i960.costs.fmul);
+  EXPECT_LT(dsp.costs.fadd, i960.costs.fadd);
+  // More on-chip instruction memory, pricier external fetch.
+  EXPECT_GT(dsp.cacheSizeBytes, i960.cacheSizeBytes);
+  EXPECT_GT(dsp.missPenalty, i960.missPenalty);
+  EXPECT_EQ(dsp.numSets(), dsp.cacheSizeBytes / dsp.cacheLineBytes);
+}
+
+TEST(Presets, CostModelUsesTheTable) {
+  const CostModel i960{i960kbParams()};
+  const CostModel dsp{dsp3210Params()};
+  const Instr fmul{.op = Opcode::FMul, .rd = 0, .rs1 = 1, .rs2 = 2};
+  EXPECT_EQ(i960.baseCycles(fmul), i960kbParams().costs.fmul);
+  EXPECT_EQ(dsp.baseCycles(fmul), dsp3210Params().costs.fmul);
+  EXPECT_LT(dsp.baseCycles(fmul), i960.baseCycles(fmul));
+}
+
+}  // namespace
+}  // namespace cinderella::march

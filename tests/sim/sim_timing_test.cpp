@@ -1,0 +1,165 @@
+// Simulator timing-model tests: the dynamic cycle count must always lie
+// inside the static per-block bounds, cache behaviour must match the
+// model, and warm runs must never be slower than cold runs.
+#include <gtest/gtest.h>
+
+#include "cinderella/cfg/cfg.hpp"
+#include "cinderella/codegen/codegen.hpp"
+#include "cinderella/march/cost_model.hpp"
+#include "cinderella/sim/simulator.hpp"
+
+namespace cinderella::sim {
+namespace {
+
+/// Sum of count * static block cost for one simulated run.
+struct StaticSums {
+  std::int64_t best = 0;
+  std::int64_t worst = 0;
+};
+
+StaticSums staticSums(const Simulator& simulator, const SimResult& run) {
+  StaticSums sums;
+  const vm::Module& module = simulator.module();
+  for (int f = 0; f < module.numFunctions(); ++f) {
+    const auto& cfg = simulator.cfgOf(f);
+    for (int b = 0; b < cfg.numBlocks(); ++b) {
+      const std::int64_t count =
+          run.blockCounts[static_cast<std::size_t>(f)]
+                         [static_cast<std::size_t>(b)];
+      if (count == 0) continue;
+      const auto& block = cfg.block(b);
+      const march::BlockCost cost = simulator.costModel().blockCost(
+          module.function(f), block.firstInstr, block.lastInstr);
+      sums.best += count * cost.best;
+      sums.worst += count * cost.worst;
+    }
+  }
+  return sums;
+}
+
+void expectBracketed(std::string_view source, std::string_view fn,
+                     std::vector<std::int64_t> args) {
+  const auto c = codegen::compileSource(source);
+  Simulator simulator(c.module);
+  const SimResult r = simulator.run(*c.module.findFunction(fn), args);
+  const StaticSums sums = staticSums(simulator, r);
+  EXPECT_LE(sums.best, r.cycles) << source;
+  EXPECT_GE(sums.worst, r.cycles) << source;
+}
+
+TEST(SimTiming, StraightLineBracketed) {
+  expectBracketed("int f() { int a; a = 1; a = a * 9; return a; }", "f", {});
+}
+
+TEST(SimTiming, BranchyBracketed) {
+  const char* src =
+      "int f(int x) { int s; s = 0; if (x > 3) { s = x * x; } else { "
+      "s = x + 1; } if (s % 2 == 0) { s = s / 2; } return s; }";
+  for (std::int64_t x : {0, 1, 5, 100}) {
+    expectBracketed(src, "f", {x});
+  }
+}
+
+TEST(SimTiming, LoopsAndCallsBracketed) {
+  const char* src =
+      "int sq(int v) { return v * v; }\n"
+      "int f(int n) { int i; int s; s = 0; "
+      "for (i = 0; i < n; i = i + 1) { __loopbound(0, 50); "
+      "s = s + sq(i); } return s; }";
+  for (std::int64_t n : {0, 1, 7, 50}) {
+    expectBracketed(src, "f", {n});
+  }
+}
+
+TEST(SimTiming, WarmCacheNeverSlower) {
+  const char* src =
+      "int t[32];\n"
+      "int f() { int i; int s; s = 0; for (i = 0; i < 32; i = i + 1) { "
+      "__loopbound(32, 32); s = s + t[i]; } return s; }";
+  const auto c = codegen::compileSource(src);
+  Simulator simulator(c.module);
+  const SimResult cold = simulator.run(0, {});
+  SimOptions warmOpt;
+  warmOpt.coldCache = false;
+  const SimResult warm = simulator.run(0, {}, warmOpt);
+  EXPECT_LE(warm.cycles, cold.cycles);
+  EXPECT_LT(warm.cacheMisses, cold.cacheMisses);
+}
+
+TEST(SimTiming, ColdCacheRunsAreReproducible) {
+  const char* src =
+      "int f() { int i; int s; s = 0; for (i = 0; i < 16; i = i + 1) { "
+      "__loopbound(16, 16); s = s + i * i; } return s; }";
+  const auto c = codegen::compileSource(src);
+  Simulator simulator(c.module);
+  const SimResult a = simulator.run(0, {});
+  const SimResult b = simulator.run(0, {});
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.cacheMisses, b.cacheMisses);
+}
+
+TEST(SimTiming, CacheMissesBoundedByLinesTouched) {
+  // In a straight-line program every line misses at most once.
+  std::string body;
+  for (int i = 0; i < 50; ++i) body += "s = s + " + std::to_string(i) + ";";
+  const std::string src = "int f() { int s; s = 0; " + body + " return s; }";
+  const auto c = codegen::compileSource(src);
+  Simulator simulator(c.module);
+  const SimResult r = simulator.run(0, {});
+  const march::MachineParams& params = simulator.costModel().params();
+  const int totalLines =
+      (c.module.codeBytes() + params.cacheLineBytes - 1) /
+      params.cacheLineBytes;
+  EXPECT_LE(r.cacheMisses, totalLines);
+  EXPECT_GT(r.cacheMisses, 0);
+}
+
+TEST(SimTiming, TightLoopHitsAfterFirstIteration) {
+  const char* src =
+      "int f() { int i; int s; s = 0; for (i = 0; i < 100; i = i + 1) { "
+      "__loopbound(100, 100); s = s + i; } return s; }";
+  const auto c = codegen::compileSource(src);
+  Simulator simulator(c.module);
+  const SimResult r = simulator.run(0, {});
+  // The loop fits the cache easily: misses ~ lines, hits ~ instructions.
+  EXPECT_LT(r.cacheMisses, 20);
+  EXPECT_GT(r.cacheHits, r.instructions - 100);
+}
+
+TEST(SimTiming, ConflictingFunctionsEvictEachOther) {
+  // Two functions laid out 512 bytes apart collide in the direct-mapped
+  // cache; alternating calls keep evicting.
+  std::string filler;
+  for (int i = 0; i < 128; ++i) filler += "a = a + 1;";  // ~512 bytes
+  const std::string src =
+      "int pad(int a) { " + filler + " return a; }\n" +
+      "int g(int a) { return a + 1; }\n" +
+      "int f() { int i; int s; s = 0; for (i = 0; i < 10; i = i + 1) { "
+      "__loopbound(10, 10); s = pad(s); s = g(s); } return s; }";
+  const auto c = codegen::compileSource(src);
+  Simulator simulator(c.module);
+  const SimResult r = simulator.run(*c.module.findFunction("f"), {});
+  // Misses grow with iterations (capacity/conflict misses), unlike the
+  // tight-loop case above where they stay near the static line count.
+  EXPECT_GT(r.cacheMisses, 50);
+}
+
+TEST(SimTiming, ReturnValueIndependentOfCacheState) {
+  const char* src =
+      "int f(int n) { int i; int s; s = 0; for (i = 0; i < n; i = i + 1) { "
+      "__loopbound(0, 64); s = s + i; } return s; }";
+  const auto c = codegen::compileSource(src);
+  Simulator simulator(c.module);
+  const SimResult cold = simulator.run(0, std::vector<std::int64_t>{10});
+  SimOptions warmOpt;
+  warmOpt.coldCache = false;
+  const SimResult warm =
+      simulator.run(0, std::vector<std::int64_t>{10}, warmOpt);
+  EXPECT_EQ(decodeInt(cold.returnValue), 45);
+  EXPECT_EQ(decodeInt(warm.returnValue), 45);
+  EXPECT_EQ(cold.instructions, warm.instructions);
+}
+
+}  // namespace
+}  // namespace cinderella::sim

@@ -1,0 +1,80 @@
+// Support utility tests.
+#include <gtest/gtest.h>
+
+#include "cinderella/support/error.hpp"
+#include "cinderella/support/text.hpp"
+
+namespace cinderella {
+namespace {
+
+TEST(Text, SplitLines) {
+  EXPECT_EQ(splitLines("a\nb\nc"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(splitLines("a\n"), (std::vector<std::string>{"a", ""}));
+  EXPECT_EQ(splitLines(""), (std::vector<std::string>{""}));
+}
+
+TEST(Text, Padding) {
+  EXPECT_EQ(padLeft("ab", 5), "   ab");
+  EXPECT_EQ(padRight("ab", 5), "ab   ");
+  EXPECT_EQ(padLeft("abcdef", 3), "abcdef");
+}
+
+TEST(Text, WithThousands) {
+  EXPECT_EQ(withThousands(0), "0");
+  EXPECT_EQ(withThousands(999), "999");
+  EXPECT_EQ(withThousands(1000), "1,000");
+  EXPECT_EQ(withThousands(1234567), "1,234,567");
+  EXPECT_EQ(withThousands(-42000), "-42,000");
+}
+
+TEST(Text, IntervalStr) {
+  EXPECT_EQ(intervalStr(32, 1039), "[32, 1,039]");
+}
+
+TEST(Text, Fixed) {
+  EXPECT_EQ(fixed(0.123456, 2), "0.12");
+  EXPECT_EQ(fixed(2.0, 2), "2.00");
+}
+
+TEST(Rng, DeterministicAndInRange) {
+  Xorshift64 a(42);
+  Xorshift64 b(42);
+  for (int i = 0; i < 100; ++i) {
+    const std::int64_t va = a.range(-5, 5);
+    EXPECT_EQ(va, b.range(-5, 5));
+    EXPECT_GE(va, -5);
+    EXPECT_LE(va, 5);
+  }
+  Xorshift64 c(43);
+  bool different = false;
+  Xorshift64 a2(42);
+  for (int i = 0; i < 10; ++i) {
+    if (a2.next() != c.next()) different = true;
+  }
+  EXPECT_TRUE(different);
+}
+
+TEST(Rng, UnitIntervalAndZeroSeed) {
+  Xorshift64 rng(0);  // remapped to a nonzero state internally
+  for (int i = 0; i < 100; ++i) {
+    const double u = rng.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Error, RequireMacroThrows) {
+  EXPECT_THROW(CIN_REQUIRE(1 == 2), Error);
+  EXPECT_NO_THROW(CIN_REQUIRE(2 == 2));
+}
+
+TEST(Error, HierarchyIsCatchable) {
+  try {
+    throw AnalysisError("x");
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "x");
+  }
+}
+
+}  // namespace
+}  // namespace cinderella

@@ -1,0 +1,177 @@
+// Tests for the `cinderella` command-line driver (library form).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cinderella/tools/tool.hpp"
+
+namespace cinderella::tools {
+namespace {
+
+bool parse(std::vector<const char*> args, ToolOptions* options,
+           std::string* errText = nullptr) {
+  args.insert(args.begin(), "cinderella");
+  std::ostringstream err;
+  const bool ok = parseArgs(static_cast<int>(args.size()), args.data(),
+                            options, err);
+  if (errText) *errText = err.str();
+  return ok;
+}
+
+TEST(ToolArgs, RequiresAnInput) {
+  ToolOptions o;
+  std::string err;
+  EXPECT_FALSE(parse({}, &o, &err));
+  EXPECT_NE(err.find("usage"), std::string::npos);
+}
+
+TEST(ToolArgs, ParsesBenchmarkAndFlags) {
+  ToolOptions o;
+  ASSERT_TRUE(parse({"--benchmark", "check_data", "--annotate",
+                     "--structural", "--first-iter-split", "--explicit"},
+                    &o));
+  EXPECT_EQ(o.benchmark, "check_data");
+  EXPECT_TRUE(o.annotate);
+  EXPECT_TRUE(o.dumpStructural);
+  EXPECT_EQ(o.cacheMode, "firstiter");
+  EXPECT_TRUE(o.compareExplicit);
+}
+
+TEST(ToolArgs, ParsesSourceRootAndConstraints) {
+  ToolOptions o;
+  ASSERT_TRUE(parse({"prog.mc", "--root", "f", "--constraint", "x1 = 2",
+                     "--constraint", "@4 <= 3"},
+                    &o));
+  EXPECT_EQ(o.sourcePath, "prog.mc");
+  EXPECT_EQ(o.root, "f");
+  ASSERT_EQ(o.constraints.size(), 2u);
+  EXPECT_EQ(o.constraints[1], "@4 <= 3");
+}
+
+TEST(ToolArgs, RejectsConflictsAndUnknownFlags) {
+  ToolOptions o;
+  EXPECT_FALSE(parse({"a.mc", "--benchmark", "fft"}, &o));
+  o = {};
+  EXPECT_FALSE(parse({"--frobnicate"}, &o));
+  o = {};
+  EXPECT_FALSE(parse({"a.mc", "b.mc"}, &o));
+  o = {};
+  EXPECT_FALSE(parse({"a.mc", "--simulate"}, &o));  // needs --benchmark
+  o = {};
+  EXPECT_FALSE(parse({"--root"}, &o));  // missing value
+}
+
+TEST(ToolRun, AnalyzesABenchmarkEndToEnd) {
+  ToolOptions o;
+  o.benchmark = "check_data";
+  o.annotate = true;
+  o.dumpStructural = true;
+  o.simulate = true;
+  std::ostringstream out, err;
+  EXPECT_EQ(runTool(o, out, err), 0);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("estimated bound: [53, 1,044] cycles"),
+            std::string::npos);
+  EXPECT_NE(text.find("while (morecheck)"), std::string::npos);
+  EXPECT_NE(text.find("structural constraints of check_data"),
+            std::string::npos);
+  EXPECT_NE(text.find("bound encloses simulation: yes"), std::string::npos);
+}
+
+TEST(ToolRun, AnalyzesASourceFile) {
+  const std::string path = ::testing::TempDir() + "/tool_test_prog.mc";
+  {
+    std::ofstream file(path);
+    file << "int main() {\n"
+            "  int i; int s; s = 0;\n"
+            "  for (i = 0; i < 5; i = i + 1) {\n"
+            "    __loopbound(5, 5);\n"
+            "    s = s + i;\n"
+            "  }\n"
+            "  return s;\n"
+            "}\n";
+  }
+  ToolOptions o;
+  o.sourcePath = path;
+  o.compareExplicit = true;
+  std::ostringstream out, err;
+  EXPECT_EQ(runTool(o, out, err), 0);
+  EXPECT_NE(out.str().find("estimated bound:"), std::string::npos);
+  EXPECT_NE(out.str().find("implicit == explicit: yes"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ToolRun, ExtraConstraintTightensFromCommandLine) {
+  ToolOptions plain;
+  plain.benchmark = "check_data";
+  std::ostringstream outPlain, err;
+  // Strip the benchmark's own constraints by analysing the raw source.
+  // Instead, compare with vs without an extra constraint.
+  ToolOptions tightened = plain;
+  tightened.constraints.push_back("@8 <= 5");  // loop body at most 5 times
+  std::ostringstream outTight;
+  EXPECT_EQ(runTool(plain, outPlain, err), 0);
+  EXPECT_EQ(runTool(tightened, outTight, err), 0);
+  EXPECT_NE(outPlain.str(), outTight.str());
+}
+
+TEST(ToolRun, ReportsMissingFile) {
+  ToolOptions o;
+  o.sourcePath = "/nonexistent/path.mc";
+  std::ostringstream out, err;
+  EXPECT_EQ(runTool(o, out, err), 1);
+  EXPECT_NE(err.str().find("cannot open"), std::string::npos);
+}
+
+TEST(ToolArgs, ParsesCacheModeAndExports) {
+  ToolOptions o;
+  ASSERT_TRUE(parse({"--benchmark", "fft", "--cache", "ccg", "--report",
+                     "--lp-dump", "--dot"},
+                    &o));
+  EXPECT_EQ(o.cacheMode, "ccg");
+  EXPECT_TRUE(o.report);
+  EXPECT_TRUE(o.lpDump);
+  EXPECT_TRUE(o.dot);
+  o = {};
+  EXPECT_FALSE(parse({"--benchmark", "fft", "--cache", "bogus"}, &o));
+}
+
+TEST(ToolRun, ReportAndExportsAppearInOutput) {
+  ToolOptions o;
+  o.benchmark = "piksrt";
+  o.report = true;
+  o.lpDump = true;
+  o.dot = true;
+  std::ostringstream out, err;
+  EXPECT_EQ(runTool(o, out, err), 0);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("cost[best,worst]"), std::string::npos);
+  EXPECT_NE(text.find("Maximize"), std::string::npos);
+  EXPECT_NE(text.find("digraph module"), std::string::npos);
+}
+
+TEST(ToolRun, CcgModeTightensBound) {
+  ToolOptions allMiss;
+  allMiss.benchmark = "check_data";
+  ToolOptions ccg = allMiss;
+  ccg.cacheMode = "ccg";
+  std::ostringstream outA, outC, err;
+  EXPECT_EQ(runTool(allMiss, outA, err), 0);
+  EXPECT_EQ(runTool(ccg, outC, err), 0);
+  EXPECT_NE(outA.str().find("[53, 1,044]"), std::string::npos);
+  EXPECT_NE(outC.str().find("[53, 492]"), std::string::npos);
+}
+
+TEST(ToolRun, ReportsBadConstraint) {
+  ToolOptions o;
+  o.benchmark = "piksrt";
+  o.constraints.push_back("this is not a constraint");
+  std::ostringstream out, err;
+  EXPECT_EQ(runTool(o, out, err), 1);
+  EXPECT_FALSE(err.str().empty());
+}
+
+}  // namespace
+}  // namespace cinderella::tools

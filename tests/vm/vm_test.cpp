@@ -1,0 +1,102 @@
+// Module container and disassembler tests.
+#include <gtest/gtest.h>
+
+#include "cinderella/support/error.hpp"
+#include "cinderella/vm/disasm.hpp"
+#include "cinderella/vm/module.hpp"
+
+namespace cinderella::vm {
+namespace {
+
+Function tinyFunction(std::string name, int instrs) {
+  Function fn;
+  fn.name = std::move(name);
+  fn.numRegs = 4;
+  for (int i = 0; i < instrs; ++i) {
+    fn.code.push_back({.op = Opcode::MovI, .rd = 0, .imm = i});
+  }
+  fn.code.push_back({.op = Opcode::Ret, .rs1 = -1});
+  return fn;
+}
+
+TEST(Module, LayoutAssignsConsecutiveAddresses) {
+  Module m;
+  m.addFunction(tinyFunction("a", 3));  // 4 instructions total
+  m.addFunction(tinyFunction("b", 1));  // 2 instructions total
+  m.layout();
+  EXPECT_EQ(m.function(0).baseAddr, 0);
+  EXPECT_EQ(m.function(1).baseAddr, 4 * kInstrBytes);
+  EXPECT_EQ(m.codeBytes(), 6 * kInstrBytes);
+  EXPECT_EQ(m.function(1).instrAddr(1), 5 * kInstrBytes);
+}
+
+TEST(Module, FindFunctionAndGlobals) {
+  Module m;
+  m.addFunction(tinyFunction("alpha", 1));
+  const GlobalVar& g = m.addGlobal("buf", 16, false);
+  EXPECT_EQ(g.offset, 0);
+  const GlobalVar& h = m.addGlobal("x", 1, true);
+  EXPECT_EQ(h.offset, 16);
+  EXPECT_TRUE(h.isFloat);
+  EXPECT_EQ(m.globalWords(), 17);
+  EXPECT_EQ(*m.findFunction("alpha"), 0);
+  EXPECT_FALSE(m.findFunction("beta").has_value());
+  EXPECT_NE(m.findGlobal("buf"), nullptr);
+  EXPECT_EQ(m.findGlobal("nope"), nullptr);
+}
+
+TEST(Module, DuplicateGlobalRejected) {
+  Module m;
+  m.addGlobal("g", 1, false);
+  EXPECT_THROW(m.addGlobal("g", 2, false), Error);
+}
+
+TEST(Module, SetGlobalWordBoundsChecked) {
+  Module m;
+  m.addGlobal("g", 2, false);
+  m.setGlobalWord(1, 42);
+  EXPECT_EQ(m.globalInit()[1], 42u);
+  EXPECT_THROW(m.setGlobalWord(2, 0), Error);
+}
+
+TEST(Disasm, FormatsCommonInstructions) {
+  EXPECT_EQ(disasmInstr({.op = Opcode::MovI, .rd = 2, .imm = 7}),
+            "movi r2, 7");
+  EXPECT_EQ(disasmInstr({.op = Opcode::Add, .rd = 1, .rs1 = 2, .rs2 = 3}),
+            "add r1, r2, r3");
+  EXPECT_EQ(disasmInstr({.op = Opcode::Ld, .rd = 1, .rs1 = 2, .imm = 5}),
+            "ld r1, [r2+5]");
+  EXPECT_EQ(disasmInstr({.op = Opcode::St, .rs1 = 2, .rs2 = 4, .imm = 0}),
+            "st [r2+0], r4");
+  EXPECT_EQ(disasmInstr({.op = Opcode::Bt, .rs1 = 3, .imm = 12}),
+            "bt r3, @12");
+  EXPECT_EQ(disasmInstr({.op = Opcode::Call, .rd = 5, .imm = 1,
+                         .args = {0, 2}}),
+            "call r5, fn1(r0, r2)");
+  EXPECT_EQ(disasmInstr({.op = Opcode::Ret, .rs1 = -1}), "ret");
+}
+
+TEST(Disasm, FunctionDumpHasHeaderAndLines) {
+  Module m;
+  Function fn = tinyFunction("main", 2);
+  fn.code[0].loc = {7, 3};
+  m.addFunction(std::move(fn));
+  m.layout();
+  const std::string dump = disasmFunction(m, 0);
+  EXPECT_NE(dump.find("main"), std::string::npos);
+  EXPECT_NE(dump.find("line 7"), std::string::npos);
+  EXPECT_NE(dump.find("ret"), std::string::npos);
+}
+
+TEST(Isa, ControlFlowClassification) {
+  EXPECT_TRUE(isControlFlow(Opcode::Br));
+  EXPECT_TRUE(isControlFlow(Opcode::Call));
+  EXPECT_TRUE(isControlFlow(Opcode::Ret));
+  EXPECT_FALSE(isControlFlow(Opcode::Add));
+  EXPECT_TRUE(isConditionalBranch(Opcode::Bt));
+  EXPECT_TRUE(isConditionalBranch(Opcode::Bf));
+  EXPECT_FALSE(isConditionalBranch(Opcode::Br));
+}
+
+}  // namespace
+}  // namespace cinderella::vm
