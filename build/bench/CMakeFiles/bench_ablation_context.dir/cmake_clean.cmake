@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_context.dir/bench_ablation_context.cpp.o"
+  "CMakeFiles/bench_ablation_context.dir/bench_ablation_context.cpp.o.d"
+  "bench_ablation_context"
+  "bench_ablation_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_firstiter.dir/bench_ablation_firstiter.cpp.o"
+  "CMakeFiles/bench_ablation_firstiter.dir/bench_ablation_firstiter.cpp.o.d"
+  "bench_ablation_firstiter"
+  "bench_ablation_firstiter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_firstiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pruning.dir/bench_ablation_pruning.cpp.o"
+  "CMakeFiles/bench_ablation_pruning.dir/bench_ablation_pruning.cpp.o.d"
+  "bench_ablation_pruning"
+  "bench_ablation_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

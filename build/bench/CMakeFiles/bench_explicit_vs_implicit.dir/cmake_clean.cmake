@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_explicit_vs_implicit.dir/bench_explicit_vs_implicit.cpp.o"
+  "CMakeFiles/bench_explicit_vs_implicit.dir/bench_explicit_vs_implicit.cpp.o.d"
+  "bench_explicit_vs_implicit"
+  "bench_explicit_vs_implicit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_explicit_vs_implicit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

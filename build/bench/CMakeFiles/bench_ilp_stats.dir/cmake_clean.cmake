@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ilp_stats.dir/bench_ilp_stats.cpp.o"
+  "CMakeFiles/bench_ilp_stats.dir/bench_ilp_stats.cpp.o.d"
+  "bench_ilp_stats"
+  "bench_ilp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ilp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_solvers.dir/bench_solvers.cpp.o"
+  "CMakeFiles/bench_solvers.dir/bench_solvers.cpp.o.d"
+  "bench_solvers"
+  "bench_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotate.dir/annotate.cpp.o"
+  "CMakeFiles/annotate.dir/annotate.cpp.o.d"
+  "annotate"
+  "annotate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

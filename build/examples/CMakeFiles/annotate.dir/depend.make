@@ -1,0 +1,2 @@
+# Empty dependencies file for annotate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler.dir/scheduler.cpp.o"
+  "CMakeFiles/scheduler.dir/scheduler.cpp.o.d"
+  "scheduler"
+  "scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

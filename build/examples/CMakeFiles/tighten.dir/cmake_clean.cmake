@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tighten.dir/tighten.cpp.o"
+  "CMakeFiles/tighten.dir/tighten.cpp.o.d"
+  "tighten"
+  "tighten.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tighten.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

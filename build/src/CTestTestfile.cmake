@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("lp")
+subdirs("ilp")
+subdirs("vm")
+subdirs("lang")
+subdirs("codegen")
+subdirs("cfg")
+subdirs("march")
+subdirs("sim")
+subdirs("ipet")
+subdirs("explicitpath")
+subdirs("suite")
+subdirs("tools")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfg/callgraph.cpp" "src/cfg/CMakeFiles/cin_cfg.dir/callgraph.cpp.o" "gcc" "src/cfg/CMakeFiles/cin_cfg.dir/callgraph.cpp.o.d"
+  "/root/repo/src/cfg/cfg.cpp" "src/cfg/CMakeFiles/cin_cfg.dir/cfg.cpp.o" "gcc" "src/cfg/CMakeFiles/cin_cfg.dir/cfg.cpp.o.d"
+  "/root/repo/src/cfg/dominators.cpp" "src/cfg/CMakeFiles/cin_cfg.dir/dominators.cpp.o" "gcc" "src/cfg/CMakeFiles/cin_cfg.dir/dominators.cpp.o.d"
+  "/root/repo/src/cfg/dot.cpp" "src/cfg/CMakeFiles/cin_cfg.dir/dot.cpp.o" "gcc" "src/cfg/CMakeFiles/cin_cfg.dir/dot.cpp.o.d"
+  "/root/repo/src/cfg/loops.cpp" "src/cfg/CMakeFiles/cin_cfg.dir/loops.cpp.o" "gcc" "src/cfg/CMakeFiles/cin_cfg.dir/loops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/cin_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cin_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cin_cfg.dir/callgraph.cpp.o"
+  "CMakeFiles/cin_cfg.dir/callgraph.cpp.o.d"
+  "CMakeFiles/cin_cfg.dir/cfg.cpp.o"
+  "CMakeFiles/cin_cfg.dir/cfg.cpp.o.d"
+  "CMakeFiles/cin_cfg.dir/dominators.cpp.o"
+  "CMakeFiles/cin_cfg.dir/dominators.cpp.o.d"
+  "CMakeFiles/cin_cfg.dir/dot.cpp.o"
+  "CMakeFiles/cin_cfg.dir/dot.cpp.o.d"
+  "CMakeFiles/cin_cfg.dir/loops.cpp.o"
+  "CMakeFiles/cin_cfg.dir/loops.cpp.o.d"
+  "libcin_cfg.a"
+  "libcin_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cin_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cin_codegen.dir/codegen.cpp.o"
+  "CMakeFiles/cin_codegen.dir/codegen.cpp.o.d"
+  "libcin_codegen.a"
+  "libcin_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cin_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cin_codegen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/explicitpath/enumerator.cpp" "src/explicitpath/CMakeFiles/cin_explicitpath.dir/enumerator.cpp.o" "gcc" "src/explicitpath/CMakeFiles/cin_explicitpath.dir/enumerator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/cin_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/cin_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/march/CMakeFiles/cin_march.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/cin_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cin_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/cin_lang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cin_explicitpath.dir/enumerator.cpp.o"
+  "CMakeFiles/cin_explicitpath.dir/enumerator.cpp.o.d"
+  "libcin_explicitpath.a"
+  "libcin_explicitpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cin_explicitpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cin_ilp.dir/branch_and_bound.cpp.o"
+  "CMakeFiles/cin_ilp.dir/branch_and_bound.cpp.o.d"
+  "libcin_ilp.a"
+  "libcin_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cin_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

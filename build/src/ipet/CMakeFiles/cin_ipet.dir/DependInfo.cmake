@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ipet/analyzer.cpp" "src/ipet/CMakeFiles/cin_ipet.dir/analyzer.cpp.o" "gcc" "src/ipet/CMakeFiles/cin_ipet.dir/analyzer.cpp.o.d"
+  "/root/repo/src/ipet/annotate.cpp" "src/ipet/CMakeFiles/cin_ipet.dir/annotate.cpp.o" "gcc" "src/ipet/CMakeFiles/cin_ipet.dir/annotate.cpp.o.d"
+  "/root/repo/src/ipet/constraint_lang.cpp" "src/ipet/CMakeFiles/cin_ipet.dir/constraint_lang.cpp.o" "gcc" "src/ipet/CMakeFiles/cin_ipet.dir/constraint_lang.cpp.o.d"
+  "/root/repo/src/ipet/idl.cpp" "src/ipet/CMakeFiles/cin_ipet.dir/idl.cpp.o" "gcc" "src/ipet/CMakeFiles/cin_ipet.dir/idl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/cin_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/cin_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/march/CMakeFiles/cin_march.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/cin_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/cin_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/cin_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cin_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/cin_lang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

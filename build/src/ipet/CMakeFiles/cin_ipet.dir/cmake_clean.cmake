@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cin_ipet.dir/analyzer.cpp.o"
+  "CMakeFiles/cin_ipet.dir/analyzer.cpp.o.d"
+  "CMakeFiles/cin_ipet.dir/annotate.cpp.o"
+  "CMakeFiles/cin_ipet.dir/annotate.cpp.o.d"
+  "CMakeFiles/cin_ipet.dir/constraint_lang.cpp.o"
+  "CMakeFiles/cin_ipet.dir/constraint_lang.cpp.o.d"
+  "CMakeFiles/cin_ipet.dir/idl.cpp.o"
+  "CMakeFiles/cin_ipet.dir/idl.cpp.o.d"
+  "libcin_ipet.a"
+  "libcin_ipet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cin_ipet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

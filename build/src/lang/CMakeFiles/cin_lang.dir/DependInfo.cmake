@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/ast.cpp" "src/lang/CMakeFiles/cin_lang.dir/ast.cpp.o" "gcc" "src/lang/CMakeFiles/cin_lang.dir/ast.cpp.o.d"
+  "/root/repo/src/lang/lexer.cpp" "src/lang/CMakeFiles/cin_lang.dir/lexer.cpp.o" "gcc" "src/lang/CMakeFiles/cin_lang.dir/lexer.cpp.o.d"
+  "/root/repo/src/lang/loop_inference.cpp" "src/lang/CMakeFiles/cin_lang.dir/loop_inference.cpp.o" "gcc" "src/lang/CMakeFiles/cin_lang.dir/loop_inference.cpp.o.d"
+  "/root/repo/src/lang/parser.cpp" "src/lang/CMakeFiles/cin_lang.dir/parser.cpp.o" "gcc" "src/lang/CMakeFiles/cin_lang.dir/parser.cpp.o.d"
+  "/root/repo/src/lang/sema.cpp" "src/lang/CMakeFiles/cin_lang.dir/sema.cpp.o" "gcc" "src/lang/CMakeFiles/cin_lang.dir/sema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cin_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cin_lang.dir/ast.cpp.o"
+  "CMakeFiles/cin_lang.dir/ast.cpp.o.d"
+  "CMakeFiles/cin_lang.dir/lexer.cpp.o"
+  "CMakeFiles/cin_lang.dir/lexer.cpp.o.d"
+  "CMakeFiles/cin_lang.dir/loop_inference.cpp.o"
+  "CMakeFiles/cin_lang.dir/loop_inference.cpp.o.d"
+  "CMakeFiles/cin_lang.dir/parser.cpp.o"
+  "CMakeFiles/cin_lang.dir/parser.cpp.o.d"
+  "CMakeFiles/cin_lang.dir/sema.cpp.o"
+  "CMakeFiles/cin_lang.dir/sema.cpp.o.d"
+  "libcin_lang.a"
+  "libcin_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cin_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

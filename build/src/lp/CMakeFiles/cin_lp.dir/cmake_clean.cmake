@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cin_lp.dir/lp_format.cpp.o"
+  "CMakeFiles/cin_lp.dir/lp_format.cpp.o.d"
+  "CMakeFiles/cin_lp.dir/problem.cpp.o"
+  "CMakeFiles/cin_lp.dir/problem.cpp.o.d"
+  "CMakeFiles/cin_lp.dir/simplex.cpp.o"
+  "CMakeFiles/cin_lp.dir/simplex.cpp.o.d"
+  "libcin_lp.a"
+  "libcin_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cin_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

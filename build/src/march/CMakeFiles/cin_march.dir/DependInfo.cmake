@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/march/cost_model.cpp" "src/march/CMakeFiles/cin_march.dir/cost_model.cpp.o" "gcc" "src/march/CMakeFiles/cin_march.dir/cost_model.cpp.o.d"
+  "/root/repo/src/march/icache.cpp" "src/march/CMakeFiles/cin_march.dir/icache.cpp.o" "gcc" "src/march/CMakeFiles/cin_march.dir/icache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/cin_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cin_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cin_march.dir/cost_model.cpp.o"
+  "CMakeFiles/cin_march.dir/cost_model.cpp.o.d"
+  "CMakeFiles/cin_march.dir/icache.cpp.o"
+  "CMakeFiles/cin_march.dir/icache.cpp.o.d"
+  "libcin_march.a"
+  "libcin_march.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cin_march.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cin_sim.dir/simulator.cpp.o"
+  "CMakeFiles/cin_sim.dir/simulator.cpp.o.d"
+  "libcin_sim.a"
+  "libcin_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cin_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/suite/harness.cpp" "src/suite/CMakeFiles/cin_suite.dir/harness.cpp.o" "gcc" "src/suite/CMakeFiles/cin_suite.dir/harness.cpp.o.d"
+  "/root/repo/src/suite/programs/check_data.cpp" "src/suite/CMakeFiles/cin_suite.dir/programs/check_data.cpp.o" "gcc" "src/suite/CMakeFiles/cin_suite.dir/programs/check_data.cpp.o.d"
+  "/root/repo/src/suite/programs/circle.cpp" "src/suite/CMakeFiles/cin_suite.dir/programs/circle.cpp.o" "gcc" "src/suite/CMakeFiles/cin_suite.dir/programs/circle.cpp.o.d"
+  "/root/repo/src/suite/programs/des.cpp" "src/suite/CMakeFiles/cin_suite.dir/programs/des.cpp.o" "gcc" "src/suite/CMakeFiles/cin_suite.dir/programs/des.cpp.o.d"
+  "/root/repo/src/suite/programs/dhry.cpp" "src/suite/CMakeFiles/cin_suite.dir/programs/dhry.cpp.o" "gcc" "src/suite/CMakeFiles/cin_suite.dir/programs/dhry.cpp.o.d"
+  "/root/repo/src/suite/programs/fft.cpp" "src/suite/CMakeFiles/cin_suite.dir/programs/fft.cpp.o" "gcc" "src/suite/CMakeFiles/cin_suite.dir/programs/fft.cpp.o.d"
+  "/root/repo/src/suite/programs/fullsearch.cpp" "src/suite/CMakeFiles/cin_suite.dir/programs/fullsearch.cpp.o" "gcc" "src/suite/CMakeFiles/cin_suite.dir/programs/fullsearch.cpp.o.d"
+  "/root/repo/src/suite/programs/jpeg_fdct.cpp" "src/suite/CMakeFiles/cin_suite.dir/programs/jpeg_fdct.cpp.o" "gcc" "src/suite/CMakeFiles/cin_suite.dir/programs/jpeg_fdct.cpp.o.d"
+  "/root/repo/src/suite/programs/jpeg_idct.cpp" "src/suite/CMakeFiles/cin_suite.dir/programs/jpeg_idct.cpp.o" "gcc" "src/suite/CMakeFiles/cin_suite.dir/programs/jpeg_idct.cpp.o.d"
+  "/root/repo/src/suite/programs/line.cpp" "src/suite/CMakeFiles/cin_suite.dir/programs/line.cpp.o" "gcc" "src/suite/CMakeFiles/cin_suite.dir/programs/line.cpp.o.d"
+  "/root/repo/src/suite/programs/matgen.cpp" "src/suite/CMakeFiles/cin_suite.dir/programs/matgen.cpp.o" "gcc" "src/suite/CMakeFiles/cin_suite.dir/programs/matgen.cpp.o.d"
+  "/root/repo/src/suite/programs/piksrt.cpp" "src/suite/CMakeFiles/cin_suite.dir/programs/piksrt.cpp.o" "gcc" "src/suite/CMakeFiles/cin_suite.dir/programs/piksrt.cpp.o.d"
+  "/root/repo/src/suite/programs/recon.cpp" "src/suite/CMakeFiles/cin_suite.dir/programs/recon.cpp.o" "gcc" "src/suite/CMakeFiles/cin_suite.dir/programs/recon.cpp.o.d"
+  "/root/repo/src/suite/programs/whetstone.cpp" "src/suite/CMakeFiles/cin_suite.dir/programs/whetstone.cpp.o" "gcc" "src/suite/CMakeFiles/cin_suite.dir/programs/whetstone.cpp.o.d"
+  "/root/repo/src/suite/suite.cpp" "src/suite/CMakeFiles/cin_suite.dir/suite.cpp.o" "gcc" "src/suite/CMakeFiles/cin_suite.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codegen/CMakeFiles/cin_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipet/CMakeFiles/cin_ipet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/explicitpath/CMakeFiles/cin_explicitpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cin_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/cin_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/cin_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/cin_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/cin_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/march/CMakeFiles/cin_march.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/cin_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

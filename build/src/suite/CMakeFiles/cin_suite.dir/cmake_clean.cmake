@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cin_suite.dir/harness.cpp.o"
+  "CMakeFiles/cin_suite.dir/harness.cpp.o.d"
+  "CMakeFiles/cin_suite.dir/programs/check_data.cpp.o"
+  "CMakeFiles/cin_suite.dir/programs/check_data.cpp.o.d"
+  "CMakeFiles/cin_suite.dir/programs/circle.cpp.o"
+  "CMakeFiles/cin_suite.dir/programs/circle.cpp.o.d"
+  "CMakeFiles/cin_suite.dir/programs/des.cpp.o"
+  "CMakeFiles/cin_suite.dir/programs/des.cpp.o.d"
+  "CMakeFiles/cin_suite.dir/programs/dhry.cpp.o"
+  "CMakeFiles/cin_suite.dir/programs/dhry.cpp.o.d"
+  "CMakeFiles/cin_suite.dir/programs/fft.cpp.o"
+  "CMakeFiles/cin_suite.dir/programs/fft.cpp.o.d"
+  "CMakeFiles/cin_suite.dir/programs/fullsearch.cpp.o"
+  "CMakeFiles/cin_suite.dir/programs/fullsearch.cpp.o.d"
+  "CMakeFiles/cin_suite.dir/programs/jpeg_fdct.cpp.o"
+  "CMakeFiles/cin_suite.dir/programs/jpeg_fdct.cpp.o.d"
+  "CMakeFiles/cin_suite.dir/programs/jpeg_idct.cpp.o"
+  "CMakeFiles/cin_suite.dir/programs/jpeg_idct.cpp.o.d"
+  "CMakeFiles/cin_suite.dir/programs/line.cpp.o"
+  "CMakeFiles/cin_suite.dir/programs/line.cpp.o.d"
+  "CMakeFiles/cin_suite.dir/programs/matgen.cpp.o"
+  "CMakeFiles/cin_suite.dir/programs/matgen.cpp.o.d"
+  "CMakeFiles/cin_suite.dir/programs/piksrt.cpp.o"
+  "CMakeFiles/cin_suite.dir/programs/piksrt.cpp.o.d"
+  "CMakeFiles/cin_suite.dir/programs/recon.cpp.o"
+  "CMakeFiles/cin_suite.dir/programs/recon.cpp.o.d"
+  "CMakeFiles/cin_suite.dir/programs/whetstone.cpp.o"
+  "CMakeFiles/cin_suite.dir/programs/whetstone.cpp.o.d"
+  "CMakeFiles/cin_suite.dir/suite.cpp.o"
+  "CMakeFiles/cin_suite.dir/suite.cpp.o.d"
+  "libcin_suite.a"
+  "libcin_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cin_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

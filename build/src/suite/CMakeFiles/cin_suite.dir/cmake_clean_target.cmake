@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcin_suite.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cin_support.dir/source_location.cpp.o"
+  "CMakeFiles/cin_support.dir/source_location.cpp.o.d"
+  "CMakeFiles/cin_support.dir/text.cpp.o"
+  "CMakeFiles/cin_support.dir/text.cpp.o.d"
+  "libcin_support.a"
+  "libcin_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cin_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cin_tool.dir/tool.cpp.o"
+  "CMakeFiles/cin_tool.dir/tool.cpp.o.d"
+  "libcin_tool.a"
+  "libcin_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cin_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

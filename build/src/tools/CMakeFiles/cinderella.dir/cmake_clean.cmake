@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cinderella.dir/cinderella_main.cpp.o"
+  "CMakeFiles/cinderella.dir/cinderella_main.cpp.o.d"
+  "cinderella"
+  "cinderella.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cinderella.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

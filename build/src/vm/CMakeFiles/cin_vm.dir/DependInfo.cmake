@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/asm.cpp" "src/vm/CMakeFiles/cin_vm.dir/asm.cpp.o" "gcc" "src/vm/CMakeFiles/cin_vm.dir/asm.cpp.o.d"
+  "/root/repo/src/vm/disasm.cpp" "src/vm/CMakeFiles/cin_vm.dir/disasm.cpp.o" "gcc" "src/vm/CMakeFiles/cin_vm.dir/disasm.cpp.o.d"
+  "/root/repo/src/vm/isa.cpp" "src/vm/CMakeFiles/cin_vm.dir/isa.cpp.o" "gcc" "src/vm/CMakeFiles/cin_vm.dir/isa.cpp.o.d"
+  "/root/repo/src/vm/module.cpp" "src/vm/CMakeFiles/cin_vm.dir/module.cpp.o" "gcc" "src/vm/CMakeFiles/cin_vm.dir/module.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cin_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cin_vm.dir/asm.cpp.o"
+  "CMakeFiles/cin_vm.dir/asm.cpp.o.d"
+  "CMakeFiles/cin_vm.dir/disasm.cpp.o"
+  "CMakeFiles/cin_vm.dir/disasm.cpp.o.d"
+  "CMakeFiles/cin_vm.dir/isa.cpp.o"
+  "CMakeFiles/cin_vm.dir/isa.cpp.o.d"
+  "CMakeFiles/cin_vm.dir/module.cpp.o"
+  "CMakeFiles/cin_vm.dir/module.cpp.o.d"
+  "libcin_vm.a"
+  "libcin_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cin_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfg_test.dir/cfg/cfg_test.cpp.o"
+  "CMakeFiles/cfg_test.dir/cfg/cfg_test.cpp.o.d"
+  "CMakeFiles/cfg_test.dir/cfg/dot_test.cpp.o"
+  "CMakeFiles/cfg_test.dir/cfg/dot_test.cpp.o.d"
+  "cfg_test"
+  "cfg_test.pdb"
+  "cfg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

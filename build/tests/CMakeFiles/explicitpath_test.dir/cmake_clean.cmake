@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explicitpath_test.dir/explicitpath/enumerator_test.cpp.o"
+  "CMakeFiles/explicitpath_test.dir/explicitpath/enumerator_test.cpp.o.d"
+  "explicitpath_test"
+  "explicitpath_test.pdb"
+  "explicitpath_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explicitpath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test.dir/integration/benchmark_semantics_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/benchmark_semantics_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/machine_sweep_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/machine_sweep_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/paper_fig6_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/paper_fig6_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/random_program_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/random_program_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/suite_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/suite_test.cpp.o.d"
+  "integration_test"
+  "integration_test.pdb"
+  "integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipet_test.dir/ipet/analyzer_test.cpp.o"
+  "CMakeFiles/ipet_test.dir/ipet/analyzer_test.cpp.o.d"
+  "CMakeFiles/ipet_test.dir/ipet/annotate_test.cpp.o"
+  "CMakeFiles/ipet_test.dir/ipet/annotate_test.cpp.o.d"
+  "CMakeFiles/ipet_test.dir/ipet/constraint_lang_test.cpp.o"
+  "CMakeFiles/ipet_test.dir/ipet/constraint_lang_test.cpp.o.d"
+  "CMakeFiles/ipet_test.dir/ipet/idl_test.cpp.o"
+  "CMakeFiles/ipet_test.dir/ipet/idl_test.cpp.o.d"
+  "ipet_test"
+  "ipet_test.pdb"
+  "ipet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

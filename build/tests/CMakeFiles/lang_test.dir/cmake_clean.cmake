@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_test.dir/lang/lexer_test.cpp.o"
+  "CMakeFiles/lang_test.dir/lang/lexer_test.cpp.o.d"
+  "CMakeFiles/lang_test.dir/lang/loop_inference_test.cpp.o"
+  "CMakeFiles/lang_test.dir/lang/loop_inference_test.cpp.o.d"
+  "CMakeFiles/lang_test.dir/lang/parser_test.cpp.o"
+  "CMakeFiles/lang_test.dir/lang/parser_test.cpp.o.d"
+  "CMakeFiles/lang_test.dir/lang/robustness_test.cpp.o"
+  "CMakeFiles/lang_test.dir/lang/robustness_test.cpp.o.d"
+  "CMakeFiles/lang_test.dir/lang/sema_test.cpp.o"
+  "CMakeFiles/lang_test.dir/lang/sema_test.cpp.o.d"
+  "lang_test"
+  "lang_test.pdb"
+  "lang_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/march_test.dir/march/cost_model_test.cpp.o"
+  "CMakeFiles/march_test.dir/march/cost_model_test.cpp.o.d"
+  "CMakeFiles/march_test.dir/march/presets_test.cpp.o"
+  "CMakeFiles/march_test.dir/march/presets_test.cpp.o.d"
+  "march_test"
+  "march_test.pdb"
+  "march_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/march_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_test.dir/vm/asm_test.cpp.o"
+  "CMakeFiles/vm_test.dir/vm/asm_test.cpp.o.d"
+  "CMakeFiles/vm_test.dir/vm/vm_test.cpp.o"
+  "CMakeFiles/vm_test.dir/vm/vm_test.cpp.o.d"
+  "vm_test"
+  "vm_test.pdb"
+  "vm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
