@@ -64,18 +64,14 @@ int main(int argc, char** argv) {
   printTable();
   for (const char* name : {"check_data", "piksrt", "line", "fft"}) {
     const auto& bench = suite::benchmarkByName(name);
-    benchmark::RegisterBenchmark((std::string("allmiss/") + name).c_str(),
-                                 BM_CacheMode, &bench,
-                                 ipet::CacheMode::AllMiss)
-        ->Unit(benchmark::kMillisecond);
-    benchmark::RegisterBenchmark((std::string("firstiter/") + name).c_str(),
-                                 BM_CacheMode, &bench,
-                                 ipet::CacheMode::FirstIterationSplit)
-        ->Unit(benchmark::kMillisecond);
-    benchmark::RegisterBenchmark((std::string("ccg/") + name).c_str(),
-                                 BM_CacheMode, &bench,
-                                 ipet::CacheMode::ConflictGraph)
-        ->Unit(benchmark::kMillisecond);
+    for (const ipet::CacheMode mode :
+         {ipet::CacheMode::AllMiss, ipet::CacheMode::FirstIterationSplit,
+          ipet::CacheMode::ConflictGraph}) {
+      benchmark::RegisterBenchmark(
+          (std::string(ipet::cacheModeStr(mode)) + "/" + name).c_str(),
+          BM_CacheMode, &bench, mode)
+          ->Unit(benchmark::kMillisecond);
+    }
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

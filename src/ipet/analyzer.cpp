@@ -9,6 +9,7 @@
 #include "cinderella/lp/lp_format.hpp"
 #include "cinderella/cfg/dominators.hpp"
 #include "cinderella/support/error.hpp"
+#include "cinderella/support/thread_pool.hpp"
 
 namespace cinderella::ipet {
 
@@ -468,6 +469,17 @@ const char* cacheModeStr(CacheMode mode) {
   return "?";
 }
 
+std::optional<CacheMode> parseCacheMode(std::string_view text) {
+  if (text == "allmiss" || text == "all-miss") return CacheMode::AllMiss;
+  if (text == "firstiter" || text == "first-iteration-split") {
+    return CacheMode::FirstIterationSplit;
+  }
+  if (text == "ccg" || text == "conflict-graph") {
+    return CacheMode::ConflictGraph;
+  }
+  return std::nullopt;
+}
+
 void Analyzer::applyFirstIterationSplit(BaseProblem* base) const {
   lp::Problem& p = base->problem;
   const int numSets = options_.machine.numSets();
@@ -910,47 +922,176 @@ std::string Analyzer::exportWorstCaseIlp() const {
   return out;
 }
 
-Estimate Analyzer::estimate() const {
+Estimate Analyzer::estimate(const SolveControl& control) const {
+  const auto startTime = std::chrono::steady_clock::now();
   BaseProblem base = buildBaseProblem();
 
   // Combine all user constraints into one DNF (paper III-D).
   const Dnf combined = combineUserConstraints();
 
-  Estimate result;
-  result.stats.constraintSets = static_cast<int>(combined.size());
-  result.stats.cacheFlowVars = base.cacheFlowVars;
-  result.stats.cacheFallbackSets = base.cacheFallbackSets;
+  ilp::IlpOptions ilpOptions = options_.ilpOptions;
+  if (control.maxNodes > 0) ilpOptions.maxNodes = control.maxNodes;
 
-  // Materialize each conjunctive set into an LP problem.
-  std::vector<lp::Problem> problems;
-  for (const auto& set : combined) {
-    lp::Problem p = materializeSet(base, set);
+  auto cancelled = [&control] {
+    return control.cancel != nullptr &&
+           control.cancel->load(std::memory_order_relaxed);
+  };
+  auto expired = [&control, startTime] {
+    return control.deadline.count() != 0 &&
+           std::chrono::steady_clock::now() - startTime >= control.deadline;
+  };
 
-    // Null-set pruning: a cheap LP feasibility probe (paper III-D).
-    if (!options_.disableNullSetPruning) {
-      lp::Problem probe = p;
-      probe.setObjective(lp::LinearExpr{}, lp::Sense::Maximize);
-      const lp::Solution sol = lp::solve(probe, options_.ilpOptions.lpOptions);
-      if (sol.status == lp::SolveStatus::Infeasible) {
-        ++result.stats.prunedNullSets;
-        continue;
-      }
-    }
-    problems.push_back(std::move(p));
-  }
-
-  if (problems.empty()) {
-    throw AnalysisError(
-        "all functionality constraint sets are infeasible (null)");
-  }
-
-  auto makeObjective = [&](const std::vector<double>& coeff) {
+  auto makeObjective = [](const std::vector<double>& coeff) {
     lp::LinearExpr obj;
     for (std::size_t v = 0; v < coeff.size(); ++v) {
       if (coeff[v] != 0.0) obj.add(static_cast<int>(v), coeff[v]);
     }
     return obj;
   };
+
+  // One independent task per conjunctive constraint set: materialize,
+  // LP-probe for nullness, then solve the max (worst) and min (best)
+  // ILPs.  Outcomes are keyed by set index so the merge below is
+  // deterministic regardless of completion order or thread count.
+  struct SetOutcome {
+    bool pruned = false;
+    bool skipped = false;  ///< deadline/cancellation hit before solving
+    bool haveWorst = false;
+    bool haveBest = false;
+    std::int64_t worstBound = 0;
+    std::int64_t bestBound = 0;
+    std::vector<double> worstValues;
+    std::vector<double> bestValues;
+    int ilpSolves = 0;
+    int lpCalls = 0;
+    int totalPivots = 0;
+    bool firstRelaxationsIntegral = true;
+    std::exception_ptr error;
+  };
+  std::vector<SetOutcome> outcomes(combined.size());
+
+  auto solveSet = [&](std::size_t index) noexcept {
+    SetOutcome& out = outcomes[index];
+    try {
+      if (cancelled() || expired()) {
+        out.skipped = true;
+        return;
+      }
+      lp::Problem p = materializeSet(base, combined[index]);
+
+      // Null-set pruning: a cheap LP feasibility probe (paper III-D).
+      if (!options_.disableNullSetPruning) {
+        lp::Problem probe = p;
+        probe.setObjective(lp::LinearExpr{}, lp::Sense::Maximize);
+        const lp::Solution sol = lp::solve(probe, ilpOptions.lpOptions);
+        if (sol.status == lp::SolveStatus::Infeasible) {
+          out.pruned = true;
+          return;
+        }
+      }
+
+      // Worst case: maximize all-miss costs.
+      p.setObjective(makeObjective(base.worstCoeff), lp::Sense::Maximize);
+      ilp::IlpSolution worst = ilp::solve(p, ilpOptions);
+      ++out.ilpSolves;
+      out.lpCalls += worst.stats.lpCalls;
+      out.totalPivots += worst.stats.totalPivots;
+      out.firstRelaxationsIntegral &= worst.stats.firstRelaxationIntegral;
+      if (worst.status == ilp::IlpStatus::Unbounded) {
+        throw AnalysisError(
+            "worst-case ILP is unbounded — a loop is missing its bound");
+      }
+      if (worst.status == ilp::IlpStatus::Optimal) {
+        out.haveWorst = true;
+        out.worstBound =
+            static_cast<std::int64_t>(std::llround(worst.objective));
+        out.worstValues = std::move(worst.values);
+      }
+
+      // Best case: minimize all-hit costs.
+      p.setObjective(makeObjective(base.bestCoeff), lp::Sense::Minimize);
+      ilp::IlpSolution best = ilp::solve(p, ilpOptions);
+      ++out.ilpSolves;
+      out.lpCalls += best.stats.lpCalls;
+      out.totalPivots += best.stats.totalPivots;
+      out.firstRelaxationsIntegral &= best.stats.firstRelaxationIntegral;
+      if (best.status == ilp::IlpStatus::Optimal) {
+        out.haveBest = true;
+        out.bestBound =
+            static_cast<std::int64_t>(std::llround(best.objective));
+        out.bestValues = std::move(best.values);
+      }
+    } catch (...) {
+      out.error = std::current_exception();
+    }
+  };
+
+  const int requested = control.threads > 0
+                            ? control.threads
+                            : support::ThreadPool::hardwareThreads();
+  const int workers =
+      std::min(requested, static_cast<int>(combined.size()));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < outcomes.size(); ++i) solveSet(i);
+  } else {
+    support::ThreadPool pool(workers);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      pool.submit([&solveSet, i] { solveSet(i); });
+    }
+    pool.wait();
+  }
+
+  // Deterministic merge in set-index order.  The first error (by index)
+  // wins, mirroring the sequential solve order.
+  for (const auto& out : outcomes) {
+    if (out.error) std::rethrow_exception(out.error);
+  }
+  if (cancelled()) throw AnalysisError("estimate() cancelled");
+  for (const auto& out : outcomes) {
+    if (out.skipped) {
+      throw AnalysisError("estimate() exceeded its solve deadline");
+    }
+  }
+
+  Estimate result;
+  result.stats.constraintSets = static_cast<int>(combined.size());
+  result.stats.cacheFlowVars = base.cacheFlowVars;
+  result.stats.cacheFallbackSets = base.cacheFallbackSets;
+
+  bool haveWorst = false;
+  bool haveBest = false;
+  const std::vector<double>* worstValues = nullptr;
+  const std::vector<double>* bestValues = nullptr;
+
+  for (const auto& out : outcomes) {
+    if (out.pruned) {
+      ++result.stats.prunedNullSets;
+      continue;
+    }
+    result.stats.ilpSolves += out.ilpSolves;
+    result.stats.lpCalls += out.lpCalls;
+    result.stats.totalPivots += out.totalPivots;
+    result.stats.allFirstRelaxationsIntegral &= out.firstRelaxationsIntegral;
+    if (out.haveWorst && (!haveWorst || out.worstBound > result.bound.hi)) {
+      result.bound.hi = out.worstBound;
+      worstValues = &out.worstValues;
+      haveWorst = true;
+    }
+    if (out.haveBest && (!haveBest || out.bestBound < result.bound.lo)) {
+      result.bound.lo = out.bestBound;
+      bestValues = &out.bestValues;
+      haveBest = true;
+    }
+  }
+
+  if (result.stats.prunedNullSets == static_cast<int>(outcomes.size())) {
+    throw AnalysisError(
+        "all functionality constraint sets are infeasible (null)");
+  }
+  if (!haveWorst || !haveBest) {
+    throw AnalysisError("no feasible constraint set yielded a bound (all "
+                        "sets integer-infeasible)");
+  }
 
   auto aggregateCounts = [&](const std::vector<double>& values) {
     std::vector<BlockCountRow> rows;
@@ -969,60 +1110,8 @@ Estimate Analyzer::estimate() const {
     return rows;
   };
 
-  bool haveWorst = false;
-  bool haveBest = false;
-  std::vector<double> worstValues;
-  std::vector<double> bestValues;
-
-  for (auto& p : problems) {
-    // Worst case: maximize all-miss costs.
-    p.setObjective(makeObjective(base.worstCoeff), lp::Sense::Maximize);
-    ilp::IlpSolution worst = ilp::solve(p, options_.ilpOptions);
-    ++result.stats.ilpSolves;
-    result.stats.lpCalls += worst.stats.lpCalls;
-    result.stats.totalPivots += worst.stats.totalPivots;
-    result.stats.allFirstRelaxationsIntegral &=
-        worst.stats.firstRelaxationIntegral;
-    if (worst.status == ilp::IlpStatus::Unbounded) {
-      throw AnalysisError(
-          "worst-case ILP is unbounded — a loop is missing its bound");
-    }
-    if (worst.status == ilp::IlpStatus::Optimal) {
-      const std::int64_t value =
-          static_cast<std::int64_t>(std::llround(worst.objective));
-      if (!haveWorst || value > result.bound.hi) {
-        result.bound.hi = value;
-        worstValues = worst.values;
-      }
-      haveWorst = true;
-    }
-
-    // Best case: minimize all-hit costs.
-    p.setObjective(makeObjective(base.bestCoeff), lp::Sense::Minimize);
-    ilp::IlpSolution best = ilp::solve(p, options_.ilpOptions);
-    ++result.stats.ilpSolves;
-    result.stats.lpCalls += best.stats.lpCalls;
-    result.stats.totalPivots += best.stats.totalPivots;
-    result.stats.allFirstRelaxationsIntegral &=
-        best.stats.firstRelaxationIntegral;
-    if (best.status == ilp::IlpStatus::Optimal) {
-      const std::int64_t value =
-          static_cast<std::int64_t>(std::llround(best.objective));
-      if (!haveBest || value < result.bound.lo) {
-        result.bound.lo = value;
-        bestValues = best.values;
-      }
-      haveBest = true;
-    }
-  }
-
-  if (!haveWorst || !haveBest) {
-    throw AnalysisError("no feasible constraint set yielded a bound (all "
-                        "sets integer-infeasible)");
-  }
-
-  result.worstCounts = aggregateCounts(worstValues);
-  result.bestCounts = aggregateCounts(bestValues);
+  result.worstCounts = aggregateCounts(*worstValues);
+  result.bestCounts = aggregateCounts(*bestValues);
   return result;
 }
 

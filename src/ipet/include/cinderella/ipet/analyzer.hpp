@@ -20,8 +20,11 @@
 // loop provably fits the instruction cache and contains no calls.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -54,6 +57,11 @@ enum class CacheMode {
 
 [[nodiscard]] const char* cacheModeStr(CacheMode mode);
 
+/// Inverse of cacheModeStr, also accepting the CLI short spellings
+/// ("allmiss", "firstiter", "ccg").  Returns nullopt for anything else,
+/// so callers can reject unknown mode strings with their own message.
+[[nodiscard]] std::optional<CacheMode> parseCacheMode(std::string_view text);
+
 struct AnalyzerOptions {
   CacheMode cacheMode = CacheMode::AllMiss;
   /// true (default): one copy of a function's variable space per call
@@ -76,6 +84,30 @@ struct AnalyzerOptions {
   /// Guards against disjunction blow-up and call-tree blow-up.
   int maxConstraintSets = 1 << 14;
   int maxContexts = 1 << 14;
+};
+
+/// Per-run solve policy for Analyzer::estimate().
+///
+/// AnalyzerOptions (constructor-time) describes the *model* — cache
+/// treatment, context sensitivity, machine parameters.  SolveControl
+/// describes how one estimate() call may spend resources: how many
+/// threads solve the per-constraint-set ILPs, how long the call may run,
+/// and how to abort it.  The result is bit-identical for every thread
+/// count: per-set results are merged in set-index order, never in
+/// completion order.
+struct SolveControl {
+  /// Worker threads for the per-set LP probes and ILP solves.
+  /// 1 = solve in the calling thread; 0 = one per hardware thread.
+  int threads = 1;
+  /// Wall-clock budget for the whole estimate() call; zero = unlimited,
+  /// negative = already expired.  When exceeded, estimate() throws
+  /// AnalysisError instead of returning a partial (unsound) bound.
+  std::chrono::milliseconds deadline{0};
+  /// Overrides IlpOptions::maxNodes for every ILP when positive.
+  int maxNodes = 0;
+  /// Optional cooperative cancellation: set to true from any thread to
+  /// make estimate() stop early and throw AnalysisError.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct Interval {
@@ -156,8 +188,12 @@ class Analyzer {
                     std::int64_t hi);
 
   /// Runs the full analysis.  Throws AnalysisError for unbounded loops,
-  /// unsatisfiable constraints, or recursion.
-  [[nodiscard]] Estimate estimate() const;
+  /// unsatisfiable constraints, or recursion.  The overload taking a
+  /// SolveControl dispatches the per-constraint-set solves across
+  /// `control.threads` workers; results are identical for every thread
+  /// count.  The no-arg form is a shim for `estimate(SolveControl{})`.
+  [[nodiscard]] Estimate estimate() const { return estimate(SolveControl{}); }
+  [[nodiscard]] Estimate estimate(const SolveControl& control) const;
 
   // --- Introspection (tests, examples, annotated dumps). ---
   [[nodiscard]] const vm::Module& module() const { return *module_; }

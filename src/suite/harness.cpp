@@ -48,7 +48,7 @@ BenchmarkEvaluation evaluate(const Benchmark& benchmark,
   for (const auto& c : benchmark.constraints) {
     analyzer.addConstraint(c.text, c.scope);
   }
-  const ipet::Estimate estimate = analyzer.estimate();
+  const ipet::Estimate estimate = analyzer.estimate(options.solve);
   eval.estimated = estimate.bound;
   eval.stats = estimate.stats;
 

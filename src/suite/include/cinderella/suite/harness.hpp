@@ -20,6 +20,9 @@ struct EvalOptions {
   /// Cache treatment for the worst-case bound (ablation benches).
   ipet::CacheMode cacheMode = ipet::CacheMode::AllMiss;
   march::MachineParams machine;
+  /// Per-run solve policy (threads, deadline, cancellation) for the
+  /// estimate step; the default is single-threaded and unlimited.
+  ipet::SolveControl solve;
 };
 
 struct BenchmarkEvaluation {

@@ -1,0 +1,78 @@
+// Work-stealing thread pool used by the parallel solve engine.
+//
+// The IPET estimator solves one ILP per conjunctive constraint set (two,
+// in fact: max and min) — an embarrassingly parallel fan-out.  This pool
+// runs those coarse-grained tasks: each worker owns a deque, pops its own
+// work LIFO from the back, and steals FIFO from the front of a sibling's
+// deque when its own runs dry.  Submissions are distributed round-robin
+// so a burst of per-set tasks spreads across workers up front and
+// stealing only smooths out imbalance (some sets solve much faster than
+// others, e.g. pruned null sets).
+//
+// Tasks must not throw: an exception escaping a task terminates the
+// process.  Callers that need error propagation capture a
+// std::exception_ptr inside the task (see Analyzer::estimate).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cinderella::support {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; `threads <= 0` means hardwareThreads().
+  explicit ThreadPool(int threads = 0);
+
+  /// Drains every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.  Safe to call from any thread, including from
+  /// inside a running task.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.  The pool
+  /// stays usable afterwards.
+  void wait();
+
+  [[nodiscard]] int numThreads() const {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// std::thread::hardware_concurrency(), clamped to at least 1.
+  [[nodiscard]] static int hardwareThreads();
+
+ private:
+  struct WorkDeque {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  /// Pops from the back of the caller's own deque, else steals from the
+  /// front of a sibling's.  Returns false when every deque looked empty.
+  bool popOrSteal(std::size_t self, std::function<void()>* task);
+  void workerLoop(std::size_t self);
+
+  std::vector<std::unique_ptr<WorkDeque>> queues_;
+  std::vector<std::thread> workers_;
+
+  /// Guards the counters below; the per-deque mutexes guard only tasks.
+  std::mutex mutex_;
+  std::condition_variable workCv_;  ///< Wakes workers on submit/stop.
+  std::condition_variable idleCv_;  ///< Wakes wait() on completion.
+  std::size_t available_ = 0;   ///< Tasks queued but not yet claimed.
+  std::size_t unfinished_ = 0;  ///< Tasks submitted but not yet finished.
+  std::size_t nextQueue_ = 0;   ///< Round-robin submission target.
+  bool stop_ = false;
+};
+
+}  // namespace cinderella::support

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "cinderella/ipet/analyzer.hpp"
+
 namespace cinderella::tools {
 
 struct ToolOptions {
@@ -28,8 +30,12 @@ struct ToolOptions {
   bool annotate = false;
   /// Print the structural constraints (paper Figs 2-4 content).
   bool dumpStructural = false;
-  /// Cache treatment: "allmiss" (default), "firstiter", or "ccg".
-  std::string cacheMode = "allmiss";
+  /// Cache treatment (--cache allmiss|firstiter|ccg); unknown spellings
+  /// are rejected by parseArgs via ipet::parseCacheMode.
+  ipet::CacheMode cacheMode = ipet::CacheMode::AllMiss;
+  /// Worker threads for the per-constraint-set solves (--jobs N);
+  /// 0 = one per hardware thread.
+  int jobs = 1;
   /// Print the per-block cost/count report after estimation.
   bool report = false;
   /// Print the worst-case ILPs in CPLEX LP format.

@@ -1,5 +1,6 @@
 #include "cinderella/tools/tool.hpp"
 
+#include <cstdlib>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -39,6 +40,9 @@ options:
   --cache <mode>           allmiss (default), firstiter (Section-IV
                            refinement) or ccg (cache conflict graph)
   --first-iter-split       alias for --cache firstiter
+  --jobs <N>               solve the per-constraint-set ILPs on N worker
+                           threads (default 1; 0 = all hardware threads);
+                           the bound is identical for every N
   --report                 print per-block costs and extreme counts
   --lp-dump                print the worst-case ILPs in CPLEX LP format
   --dot                    print the CFGs in Graphviz dot format
@@ -99,16 +103,28 @@ bool parseArgs(int argc, const char* const* argv, ToolOptions* options,
     } else if (arg == "--structural") {
       options->dumpStructural = true;
     } else if (arg == "--first-iter-split") {
-      options->cacheMode = "firstiter";
+      options->cacheMode = ipet::CacheMode::FirstIterationSplit;
     } else if (arg == "--cache") {
       const char* v = needValue(i, "--cache");
       if (!v) return false;
-      options->cacheMode = v;
-      if (options->cacheMode != "allmiss" &&
-          options->cacheMode != "firstiter" && options->cacheMode != "ccg") {
-        err << "cinderella: --cache must be allmiss, firstiter or ccg\n";
+      const auto mode = ipet::parseCacheMode(v);
+      if (!mode) {
+        err << "cinderella: unknown --cache mode '" << v
+            << "' (must be allmiss, firstiter or ccg)\n";
         return false;
       }
+      options->cacheMode = *mode;
+    } else if (arg == "--jobs") {
+      const char* v = needValue(i, "--jobs");
+      if (!v) return false;
+      char* end = nullptr;
+      const long jobs = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || jobs < 0 || jobs > 1024) {
+        err << "cinderella: --jobs needs an integer in [0, 1024] "
+               "(0 = all hardware threads)\n";
+        return false;
+      }
+      options->jobs = static_cast<int>(jobs);
     } else if (arg == "--report") {
       options->report = true;
     } else if (arg == "--lp-dump") {
@@ -170,11 +186,7 @@ int runTool(const ToolOptions& options, std::ostream& out,
     const codegen::CompileResult compiled = codegen::compileSource(source);
 
     ipet::AnalyzerOptions aopt;
-    if (options.cacheMode == "firstiter") {
-      aopt.cacheMode = ipet::CacheMode::FirstIterationSplit;
-    } else if (options.cacheMode == "ccg") {
-      aopt.cacheMode = ipet::CacheMode::ConflictGraph;
-    }
+    aopt.cacheMode = options.cacheMode;
     ipet::Analyzer analyzer(compiled, root, aopt);
     for (const auto& c : constraints) {
       analyzer.addConstraint(c.text, c.scope);
@@ -197,7 +209,9 @@ int runTool(const ToolOptions& options, std::ostream& out,
       out << analyzer.exportWorstCaseIlp() << "\n";
     }
 
-    const ipet::Estimate estimate = analyzer.estimate();
+    ipet::SolveControl control;
+    control.threads = options.jobs;
+    const ipet::Estimate estimate = analyzer.estimate(control);
     if (options.report) {
       out << ipet::formatEstimateReport(analyzer, estimate) << "\n";
     }

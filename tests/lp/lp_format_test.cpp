@@ -1,9 +1,11 @@
-// LP-format writer tests.
+// LP-format writer and reader tests.
 #include <gtest/gtest.h>
 
 #include "cinderella/codegen/codegen.hpp"
 #include "cinderella/ipet/analyzer.hpp"
 #include "cinderella/lp/lp_format.hpp"
+#include "cinderella/lp/simplex.hpp"
+#include "cinderella/support/error.hpp"
 
 namespace cinderella::lp {
 namespace {
@@ -72,6 +74,111 @@ TEST(LpFormat, EmptyObjectiveRendersZero) {
   (void)p.addVar("a");
   p.setObjective(LinearExpr{}, Sense::Maximize);
   EXPECT_NE(toLpFormat(p).find("obj: 0"), std::string::npos);
+}
+
+// --- Reader. ---------------------------------------------------------------
+
+TEST(LpParse, WriterOutputRoundTripsExactly) {
+  // write -> parse -> write must reproduce the text: the parser numbers
+  // variables in order of first appearance, which matches the writer.
+  const std::string text = toLpFormat(sample());
+  const Problem parsed = parseLpFormat(text);
+  EXPECT_EQ(toLpFormat(parsed), text);
+}
+
+TEST(LpParse, ParsedProblemStructure) {
+  const Problem p = parseLpFormat(toLpFormat(sample()));
+  EXPECT_EQ(p.numVars(), 2);
+  EXPECT_EQ(p.varName(0), "x1");
+  EXPECT_EQ(p.varName(1), "f.x2[f1]");
+  EXPECT_EQ(p.sense(), Sense::Maximize);
+  ASSERT_EQ(p.constraints().size(), 2u);
+  EXPECT_EQ(p.constraints()[0].rel, Relation::LessEq);
+  EXPECT_EQ(p.constraints()[0].rhs, 5.0);
+  EXPECT_EQ(p.constraints()[1].rel, Relation::Equal);
+  EXPECT_EQ(p.constraints()[1].rhs, 2.0);
+}
+
+TEST(LpParse, AcceptsVariablesOnBothSidesAndConstantsOnTheLeft) {
+  const Problem p = parseLpFormat(
+      "Minimize\n obj: x + y\nSubject To\n"
+      " r0: 2 x + 3 <= 5 + y\n"
+      " r1: - x >= -4\n"
+      "End\n");
+  EXPECT_EQ(p.sense(), Sense::Minimize);
+  ASSERT_EQ(p.constraints().size(), 2u);
+  // 2x + 3 <= 5 + y  =>  2x - y <= 2
+  EXPECT_EQ(p.constraints()[0].rhs, 2.0);
+  ASSERT_EQ(p.constraints()[0].expr.terms().size(), 2u);
+  EXPECT_EQ(p.constraints()[0].expr.terms()[0].coeff, 2.0);
+  EXPECT_EQ(p.constraints()[0].expr.terms()[1].coeff, -1.0);
+  EXPECT_EQ(p.constraints()[1].rhs, -4.0);
+  EXPECT_EQ(p.constraints()[1].rel, Relation::GreaterEq);
+}
+
+TEST(LpParse, AcceptsCommentsMixedCaseAndUnlabelledRows) {
+  const Problem p = parseLpFormat(
+      "\\ a comment line\n"
+      "MAXIMIZE\n 3 a + 2 b\n"
+      "subject to\n a + b <= 7 \\ trailing comment\n"
+      "Integer\n a\n b\nEnd\n");
+  EXPECT_EQ(p.numVars(), 2);
+  ASSERT_EQ(p.constraints().size(), 1u);
+  EXPECT_EQ(p.constraints()[0].rhs, 7.0);
+}
+
+TEST(LpParse, GeneralSectionDeclaresUnreferencedVariables) {
+  const Problem p = parseLpFormat(
+      "Maximize\n obj: x\nSubject To\n c0: x <= 3\n"
+      "General\n x\n unused\nEnd\n");
+  EXPECT_EQ(p.numVars(), 2);
+  EXPECT_EQ(p.varName(1), "unused");
+}
+
+TEST(LpParse, ParsesConcatenatedProblems) {
+  const std::string text =
+      "\\ constraint set 0 of 2\n"
+      "Maximize\n obj: x\nSubject To\n c0: x <= 3\nEnd\n"
+      "\\ constraint set 1 of 2\n"
+      "Maximize\n obj: y\nSubject To\n c0: y <= 4\nEnd\n";
+  const std::vector<Problem> problems = parseLpFormatAll(text);
+  ASSERT_EQ(problems.size(), 2u);
+  EXPECT_EQ(problems[0].constraints()[0].rhs, 3.0);
+  EXPECT_EQ(problems[1].constraints()[0].rhs, 4.0);
+}
+
+TEST(LpParse, RejectsMalformedInput) {
+  EXPECT_THROW((void)parseLpFormat(""), ParseError);
+  EXPECT_THROW((void)parseLpFormat("Frobnicate\n obj: x\nEnd\n"), ParseError);
+  EXPECT_THROW((void)parseLpFormat("Maximize\n obj: x\nSubject To\n x <= 3\n"),
+               ParseError);  // missing End
+  EXPECT_THROW(
+      (void)parseLpFormat("Maximize\n obj: x\nSubject To\n x ? 3\nEnd\n"),
+      ParseError);
+  EXPECT_THROW((void)parseLpFormat("Maximize\n obj: x\nSubject To\n"
+                                   " x <= 3\nBounds\n x <= 9\nEnd\n"),
+               ParseError);  // Bounds unsupported
+  // One problem per parseLpFormat call.
+  EXPECT_THROW(
+      (void)parseLpFormat("Maximize\n obj: x\nSubject To\n x <= 1\nEnd\n"
+                          "Maximize\n obj: y\nSubject To\n y <= 1\nEnd\n"),
+      ParseError);
+  EXPECT_THROW((void)parseLpFormatAll("\\ only a comment\n"), ParseError);
+}
+
+TEST(LpParse, ParsedProblemSolvesLikeTheOriginal) {
+  // sample() is unbounded (nothing caps f.x2[f1] from above), so cap it to
+  // get a problem both sides can solve to optimality.
+  Problem original = sample();
+  LinearExpr cap;
+  cap.add(1, 1.0);
+  original.addConstraint(std::move(cap), Relation::LessEq, 10.0);
+  const Problem parsed = parseLpFormat(toLpFormat(original));
+  const Solution a = solve(original);
+  const Solution b = solve(parsed);
+  ASSERT_EQ(a.status, SolveStatus::Optimal);
+  ASSERT_EQ(b.status, SolveStatus::Optimal);
+  EXPECT_DOUBLE_EQ(a.objective, b.objective);
 }
 
 }  // namespace

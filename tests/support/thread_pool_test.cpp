@@ -1,0 +1,120 @@
+// Work-stealing thread pool tests.  These (and the parallel-estimate
+// integration tests) are the ones CI runs under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "cinderella/support/thread_pool.hpp"
+
+namespace cinderella::support {
+namespace {
+
+TEST(ThreadPool, HardwareThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardwareThreads(), 1);
+}
+
+TEST(ThreadPool, SpawnsRequestedWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.numThreads(), 3);
+  ThreadPool defaulted(0);
+  EXPECT_EQ(defaulted.numThreads(), ThreadPool::hardwareThreads());
+}
+
+TEST(ThreadPool, RunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 50);
+  }
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait();
+}
+
+TEST(ThreadPool, TasksMaySubmitTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&pool, &counter] {
+      for (int j = 0; j < 8; ++j) {
+        pool.submit([&counter] { counter.fetch_add(1); });
+      }
+    });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 16 * 8);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(10));
+        counter.fetch_add(1);
+      });
+    }
+    // No wait(): the destructor must finish the queue before joining.
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, UnbalancedTasksAllComplete) {
+  // One long task per worker plus many short ones: the short tasks can
+  // only finish in time if idle workers steal them from busy deques.
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.submit([&counter] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      counter.fetch_add(1);
+    });
+  }
+  for (int i = 0; i < 400; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 404);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial) {
+  constexpr int kChunks = 64;
+  constexpr int kChunkSize = 1000;
+  ThreadPool pool(8);
+  std::vector<long> partial(kChunks, 0);
+  for (int c = 0; c < kChunks; ++c) {
+    pool.submit([c, &partial] {
+      long sum = 0;
+      for (int i = 0; i < kChunkSize; ++i) sum += c * kChunkSize + i;
+      partial[static_cast<std::size_t>(c)] = sum;
+    });
+  }
+  pool.wait();
+  long total = 0;
+  for (const long p : partial) total += p;
+  const long n = static_cast<long>(kChunks) * kChunkSize;
+  EXPECT_EQ(total, n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace cinderella::support

@@ -35,8 +35,23 @@ TEST(ToolArgs, ParsesBenchmarkAndFlags) {
   EXPECT_EQ(o.benchmark, "check_data");
   EXPECT_TRUE(o.annotate);
   EXPECT_TRUE(o.dumpStructural);
-  EXPECT_EQ(o.cacheMode, "firstiter");
+  EXPECT_EQ(o.cacheMode, ipet::CacheMode::FirstIterationSplit);
   EXPECT_TRUE(o.compareExplicit);
+}
+
+TEST(ToolArgs, ParsesJobs) {
+  ToolOptions o;
+  ASSERT_TRUE(parse({"--benchmark", "dhry", "--jobs", "4"}, &o));
+  EXPECT_EQ(o.jobs, 4);
+  o = {};
+  ASSERT_TRUE(parse({"--benchmark", "dhry", "--jobs", "0"}, &o));
+  EXPECT_EQ(o.jobs, 0);  // 0 = all hardware threads
+  o = {};
+  EXPECT_FALSE(parse({"--benchmark", "dhry", "--jobs", "-2"}, &o));
+  o = {};
+  EXPECT_FALSE(parse({"--benchmark", "dhry", "--jobs", "many"}, &o));
+  o = {};
+  EXPECT_FALSE(parse({"--benchmark", "dhry", "--jobs"}, &o));
 }
 
 TEST(ToolArgs, ParsesSourceRootAndConstraints) {
@@ -130,12 +145,14 @@ TEST(ToolArgs, ParsesCacheModeAndExports) {
   ASSERT_TRUE(parse({"--benchmark", "fft", "--cache", "ccg", "--report",
                      "--lp-dump", "--dot"},
                     &o));
-  EXPECT_EQ(o.cacheMode, "ccg");
+  EXPECT_EQ(o.cacheMode, ipet::CacheMode::ConflictGraph);
   EXPECT_TRUE(o.report);
   EXPECT_TRUE(o.lpDump);
   EXPECT_TRUE(o.dot);
   o = {};
-  EXPECT_FALSE(parse({"--benchmark", "fft", "--cache", "bogus"}, &o));
+  std::string err;
+  EXPECT_FALSE(parse({"--benchmark", "fft", "--cache", "bogus"}, &o, &err));
+  EXPECT_NE(err.find("unknown --cache mode 'bogus'"), std::string::npos);
 }
 
 TEST(ToolRun, ReportAndExportsAppearInOutput) {
@@ -152,11 +169,22 @@ TEST(ToolRun, ReportAndExportsAppearInOutput) {
   EXPECT_NE(text.find("digraph module"), std::string::npos);
 }
 
+TEST(ToolRun, JobsFlagDoesNotChangeOutput) {
+  ToolOptions serial;
+  serial.benchmark = "dhry";  // 8 constraint sets, 3 surviving
+  ToolOptions parallel = serial;
+  parallel.jobs = 4;
+  std::ostringstream outSerial, outParallel, err;
+  EXPECT_EQ(runTool(serial, outSerial, err), 0);
+  EXPECT_EQ(runTool(parallel, outParallel, err), 0);
+  EXPECT_EQ(outSerial.str(), outParallel.str());
+}
+
 TEST(ToolRun, CcgModeTightensBound) {
   ToolOptions allMiss;
   allMiss.benchmark = "check_data";
   ToolOptions ccg = allMiss;
-  ccg.cacheMode = "ccg";
+  ccg.cacheMode = ipet::CacheMode::ConflictGraph;
   std::ostringstream outA, outC, err;
   EXPECT_EQ(runTool(allMiss, outA, err), 0);
   EXPECT_EQ(runTool(ccg, outC, err), 0);
