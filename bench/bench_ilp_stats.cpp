@@ -11,7 +11,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <vector>
 
+#include "cinderella/obs/json.hpp"
+#include "cinderella/obs/report.hpp"
 #include "cinderella/suite/harness.hpp"
 
 namespace {
@@ -19,11 +22,15 @@ namespace {
 using namespace cinderella;
 
 void printStats() {
+  std::vector<suite::BenchmarkEvaluation> evals;
+  for (const auto& bench : suite::allBenchmarks()) {
+    evals.push_back(suite::evaluate(bench));
+  }
+
   std::printf("ILP SOLVER STATISTICS (paper Sections III-D, VI-A)\n");
   std::printf("%-18s %6s %8s %8s %8s %10s %12s\n", "Function", "Sets",
               "NonNull", "ILPs", "LPcalls", "Pivots", "RootIntegral");
-  for (const auto& bench : suite::allBenchmarks()) {
-    const suite::BenchmarkEvaluation e = suite::evaluate(bench);
+  for (const auto& e : evals) {
     std::printf("%-18s %6d %8d %8d %8d %10d %12s\n", e.name.c_str(),
                 e.stats.constraintSets,
                 e.stats.constraintSets - e.stats.prunedNullSets,
@@ -32,6 +39,20 @@ void printStats() {
   }
   std::printf("\nClaim check: LPcalls == ILPs on every row means each ILP\n"
               "was solved by its very first LP relaxation (no branching).\n\n");
+
+  // Machine-readable mirror of the table: one JSON object per line, for
+  // scripts tracking solver-statistics trajectories across commits.
+  for (const auto& e : evals) {
+    obs::JsonWriter w;
+    w.beginObject().key("bench").value("ilp_stats").key("name").value(e.name);
+    w.key("bound");
+    obs::boundToJson(&w, e.estimated);
+    w.key("stats");
+    obs::statsToJson(&w, e.stats);
+    w.endObject();
+    std::printf("%s\n", w.str().c_str());
+  }
+  std::printf("\n");
 }
 
 void BM_IlpSolve(benchmark::State& state, const suite::Benchmark* bench) {

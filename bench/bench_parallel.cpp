@@ -19,6 +19,7 @@
 
 #include "cinderella/codegen/codegen.hpp"
 #include "cinderella/ipet/analyzer.hpp"
+#include "cinderella/obs/json.hpp"
 #include "cinderella/suite/suite.hpp"
 #include "cinderella/support/thread_pool.hpp"
 
@@ -82,6 +83,7 @@ void printScalingTable() {
     std::printf("%-22s %6d", w.label, serial.stats.constraintSets);
     bool identical = true;
     double serialMs = 0.0;
+    std::vector<std::string> jsonLines;
     for (const int threads : kThreadSweep) {
       // Best of three runs: estimate() is short enough that a single
       // sample is dominated by scheduler noise.
@@ -94,8 +96,23 @@ void printScalingTable() {
       if (threads == 1) serialMs = best;
       identical = identical && bound == serial.bound.hi;
       std::printf(" | %8.2f %6.2fx", best, serialMs / best);
+      // Machine-readable mirror of this cell, printed after the table.
+      obs::JsonWriter j;
+      j.beginObject()
+          .key("bench").value("parallel")
+          .key("workload").value(w.label)
+          .key("sets").value(serial.stats.constraintSets)
+          .key("threads").value(threads)
+          .key("ms").value(best)
+          .key("bound").value(bound)
+          .key("identical").value(bound == serial.bound.hi)
+          .endObject();
+      jsonLines.push_back(j.str());
     }
     std::printf(" | %s\n", identical ? "yes" : "NO");
+    for (const std::string& line : jsonLines) {
+      std::printf("%s\n", line.c_str());
+    }
   }
   std::printf(
       "\nSpeedup is relative to threads=1 on this host; meaningful scaling\n"

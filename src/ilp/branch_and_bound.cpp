@@ -1,5 +1,6 @@
 #include "cinderella/ilp/branch_and_bound.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <optional>
@@ -7,6 +8,7 @@
 #include <vector>
 
 #include "cinderella/support/error.hpp"
+#include "cinderella/support/metrics_sink.hpp"
 
 namespace cinderella::ilp {
 
@@ -72,7 +74,30 @@ lp::Problem withCuts(const lp::Problem& base,
 }  // namespace
 
 IlpSolution solve(const lp::Problem& problem, const IlpOptions& options) {
+  // Observability is off on the default path: one relaxed atomic load.
+  support::MetricsSink* const sink = support::metricsSink();
+  const auto solveStart = sink != nullptr
+                              ? std::chrono::steady_clock::now()
+                              : std::chrono::steady_clock::time_point{};
+
   IlpSolution result;
+
+  // Reports solver metrics on every exit path.
+  struct MetricsReport {
+    support::MetricsSink* sink;
+    std::chrono::steady_clock::time_point start;
+    const IlpSolution& result;
+    ~MetricsReport() {
+      if (sink == nullptr) return;
+      sink->add("ilp.solves", 1);
+      sink->observe("ilp.nodes", result.stats.nodesExpanded);
+      sink->observe("ilp.pivots", result.stats.totalPivots);
+      sink->observe("ilp.micros",
+                    std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count());
+    }
+  } metricsReport{sink, solveStart, result};
   const bool maximize = (problem.sense() == lp::Sense::Maximize);
   const double worst = maximize ? -std::numeric_limits<double>::infinity()
                                 : std::numeric_limits<double>::infinity();
@@ -89,7 +114,7 @@ IlpSolution solve(const lp::Problem& problem, const IlpOptions& options) {
 
   bool rootNode = true;
   while (!stack.empty()) {
-    if (result.stats.lpCalls >= options.maxNodes) {
+    if (result.stats.nodesExpanded >= options.maxNodes) {
       hitLimit = true;
       break;
     }
@@ -103,6 +128,7 @@ IlpSolution solve(const lp::Problem& problem, const IlpOptions& options) {
 
     const lp::Problem sub = withCuts(problem, node.cuts);
     const lp::Solution relax = lp::solve(sub, options.lpOptions);
+    ++result.stats.nodesExpanded;
     ++result.stats.lpCalls;
     result.stats.totalPivots += relax.pivots;
 

@@ -20,7 +20,13 @@ enum class IlpStatus { Optimal, Infeasible, Unbounded, Limit };
 [[nodiscard]] const char* ilpStatusStr(IlpStatus status);
 
 struct IlpStats {
-  /// Number of LP relaxations solved (branch-and-bound nodes evaluated).
+  /// Branch-and-bound nodes expanded (subproblems whose relaxation was
+  /// solved).  This — never lpCalls — is what IlpOptions::maxNodes
+  /// budgets, so node accounting and LP-call accounting cannot drift
+  /// apart if a node ever solves more (or fewer) than one LP.
+  int nodesExpanded = 0;
+  /// Number of LP relaxations solved.  Today every expanded node solves
+  /// exactly one relaxation, so nodesExpanded == lpCalls.
   int lpCalls = 0;
   /// True when the root relaxation was already integral (paper's claim).
   bool firstRelaxationIntegral = false;
@@ -37,7 +43,8 @@ struct IlpSolution {
 };
 
 struct IlpOptions {
-  /// Maximum branch-and-bound nodes before giving up with Limit.
+  /// Maximum branch-and-bound nodes expanded (IlpStats::nodesExpanded)
+  /// before giving up with Limit.
   int maxNodes = 100000;
   /// |x - round(x)| below this counts as integral.
   double intTol = 1e-6;

@@ -8,6 +8,7 @@
 #include "cinderella/cfg/callgraph.hpp"
 #include "cinderella/lp/lp_format.hpp"
 #include "cinderella/cfg/dominators.hpp"
+#include "cinderella/obs/trace.hpp"
 #include "cinderella/support/error.hpp"
 #include "cinderella/support/thread_pool.hpp"
 
@@ -924,10 +925,30 @@ std::string Analyzer::exportWorstCaseIlp() const {
 
 Estimate Analyzer::estimate(const SolveControl& control) const {
   const auto startTime = std::chrono::steady_clock::now();
-  BaseProblem base = buildBaseProblem();
+  obs::Tracer* const tracer = control.tracer;
+  obs::Span estimateSpan(tracer, "estimate", "ipet");
+
+  const auto microsSince = [](std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+
+  BaseProblem base = [&] {
+    obs::Span span(tracer, "build-base-problem", "ipet");
+    return buildBaseProblem();
+  }();
 
   // Combine all user constraints into one DNF (paper III-D).
-  const Dnf combined = combineUserConstraints();
+  const Dnf combined = [&] {
+    obs::Span span(tracer, "combine-constraints", "ipet");
+    return combineUserConstraints();
+  }();
+
+  estimateSpan.arg("sets", static_cast<int>(combined.size()))
+      .arg("cache-mode", std::string(cacheModeStr(options_.cacheMode)))
+      .arg("contexts", static_cast<int>(contexts_.size()))
+      .arg("flow-vars", numFlowVars_);
 
   ilp::IlpOptions ilpOptions = options_.ilpOptions;
   if (control.maxNodes > 0) ilpOptions.maxNodes = control.maxNodes;
@@ -954,7 +975,6 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
   // ILPs.  Outcomes are keyed by set index so the merge below is
   // deterministic regardless of completion order or thread count.
   struct SetOutcome {
-    bool pruned = false;
     bool skipped = false;  ///< deadline/cancellation hit before solving
     bool haveWorst = false;
     bool haveBest = false;
@@ -962,67 +982,104 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
     std::int64_t bestBound = 0;
     std::vector<double> worstValues;
     std::vector<double> bestValues;
-    int ilpSolves = 0;
-    int lpCalls = 0;
-    int totalPivots = 0;
-    bool firstRelaxationsIntegral = true;
+    /// Per-set observability record; every field except the wall-clock
+    /// timings is deterministic across thread counts.
+    SetSolveRecord record;
     std::exception_ptr error;
   };
   std::vector<SetOutcome> outcomes(combined.size());
 
   auto solveSet = [&](std::size_t index) noexcept {
     SetOutcome& out = outcomes[index];
+    SetSolveRecord& rec = out.record;
+    rec.setIndex = static_cast<int>(index);
+    rec.userConstraints = static_cast<int>(combined[index].size());
+    const auto setStart = std::chrono::steady_clock::now();
+    // This span is also the thread-pool task lifetime: one task per set.
+    obs::Span setSpan(tracer, "set-solve", "solve");
+    setSpan.arg("set", static_cast<int>(index));
     try {
       if (cancelled() || expired()) {
         out.skipped = true;
+        setSpan.arg("verdict", std::string("skipped"));
+        rec.wallMicros = microsSince(setStart);
         return;
       }
       lp::Problem p = materializeSet(base, combined[index]);
 
       // Null-set pruning: a cheap LP feasibility probe (paper III-D).
       if (!options_.disableNullSetPruning) {
+        obs::Span probeSpan(tracer, "lp-probe", "solve");
+        probeSpan.arg("set", static_cast<int>(index));
+        const auto probeStart = std::chrono::steady_clock::now();
         lp::Problem probe = p;
         probe.setObjective(lp::LinearExpr{}, lp::Sense::Maximize);
         const lp::Solution sol = lp::solve(probe, ilpOptions.lpOptions);
-        if (sol.status == lp::SolveStatus::Infeasible) {
-          out.pruned = true;
+        rec.probePivots = sol.pivots;
+        rec.probeMicros = microsSince(probeStart);
+        const bool null = (sol.status == lp::SolveStatus::Infeasible);
+        probeSpan.arg("pivots", sol.pivots)
+            .arg("verdict", std::string(null ? "null" : "feasible"));
+        if (null) {
+          rec.pruned = true;
+          setSpan.arg("verdict", std::string("pruned"));
+          rec.wallMicros = microsSince(setStart);
           return;
         }
       }
 
+      // One ILP per objective; fills `slot` and traces the solve.
+      auto runIlp = [&](lp::Problem& problem, const char* spanName,
+                        IlpSolveRecord* slot) {
+        obs::Span ilpSpan(tracer, spanName, "solve");
+        ilpSpan.arg("set", static_cast<int>(index));
+        const auto ilpStart = std::chrono::steady_clock::now();
+        ilp::IlpSolution solution = ilp::solve(problem, ilpOptions);
+        slot->solved = true;
+        slot->feasible = (solution.status == ilp::IlpStatus::Optimal);
+        slot->nodes = solution.stats.nodesExpanded;
+        slot->lpCalls = solution.stats.lpCalls;
+        slot->pivots = solution.stats.totalPivots;
+        slot->firstRelaxationIntegral =
+            solution.stats.firstRelaxationIntegral;
+        slot->wallMicros = microsSince(ilpStart);
+        if (slot->feasible) {
+          slot->objective =
+              static_cast<std::int64_t>(std::llround(solution.objective));
+        }
+        ilpSpan.arg("verdict", std::string(ilp::ilpStatusStr(solution.status)))
+            .arg("nodes", solution.stats.nodesExpanded)
+            .arg("lp-calls", solution.stats.lpCalls)
+            .arg("pivots", solution.stats.totalPivots);
+        if (slot->feasible) ilpSpan.arg("objective", slot->objective);
+        return solution;
+      };
+
       // Worst case: maximize all-miss costs.
       p.setObjective(makeObjective(base.worstCoeff), lp::Sense::Maximize);
-      ilp::IlpSolution worst = ilp::solve(p, ilpOptions);
-      ++out.ilpSolves;
-      out.lpCalls += worst.stats.lpCalls;
-      out.totalPivots += worst.stats.totalPivots;
-      out.firstRelaxationsIntegral &= worst.stats.firstRelaxationIntegral;
+      ilp::IlpSolution worst = runIlp(p, "ilp-worst", &rec.worst);
       if (worst.status == ilp::IlpStatus::Unbounded) {
         throw AnalysisError(
             "worst-case ILP is unbounded — a loop is missing its bound");
       }
       if (worst.status == ilp::IlpStatus::Optimal) {
         out.haveWorst = true;
-        out.worstBound =
-            static_cast<std::int64_t>(std::llround(worst.objective));
+        out.worstBound = rec.worst.objective;
         out.worstValues = std::move(worst.values);
       }
 
       // Best case: minimize all-hit costs.
       p.setObjective(makeObjective(base.bestCoeff), lp::Sense::Minimize);
-      ilp::IlpSolution best = ilp::solve(p, ilpOptions);
-      ++out.ilpSolves;
-      out.lpCalls += best.stats.lpCalls;
-      out.totalPivots += best.stats.totalPivots;
-      out.firstRelaxationsIntegral &= best.stats.firstRelaxationIntegral;
+      ilp::IlpSolution best = runIlp(p, "ilp-best", &rec.best);
       if (best.status == ilp::IlpStatus::Optimal) {
         out.haveBest = true;
-        out.bestBound =
-            static_cast<std::int64_t>(std::llround(best.objective));
+        out.bestBound = rec.best.objective;
         out.bestValues = std::move(best.values);
       }
+      rec.wallMicros = microsSince(setStart);
     } catch (...) {
       out.error = std::current_exception();
+      rec.wallMicros = microsSince(setStart);
     }
   };
 
@@ -1031,15 +1088,22 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
                             : support::ThreadPool::hardwareThreads();
   const int workers =
       std::min(requested, static_cast<int>(combined.size()));
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < outcomes.size(); ++i) solveSet(i);
-  } else {
-    support::ThreadPool pool(workers);
-    for (std::size_t i = 0; i < outcomes.size(); ++i) {
-      pool.submit([&solveSet, i] { solveSet(i); });
+  estimateSpan.arg("workers", workers);
+  {
+    obs::Span dispatchSpan(tracer, "solve-sets", "ipet");
+    dispatchSpan.arg("workers", workers)
+        .arg("sets", static_cast<int>(combined.size()));
+    if (workers <= 1) {
+      for (std::size_t i = 0; i < outcomes.size(); ++i) solveSet(i);
+    } else {
+      support::ThreadPool pool(workers);
+      for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        pool.submit([&solveSet, i] { solveSet(i); });
+      }
+      pool.wait();
     }
-    pool.wait();
   }
+  obs::Span mergeSpan(tracer, "merge", "ipet");
 
   // Deterministic merge in set-index order.  The first error (by index)
   // wins, mirroring the sequential solve order.
@@ -1057,6 +1121,7 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
   result.stats.constraintSets = static_cast<int>(combined.size());
   result.stats.cacheFlowVars = base.cacheFlowVars;
   result.stats.cacheFallbackSets = base.cacheFallbackSets;
+  result.setRecords.reserve(outcomes.size());
 
   bool haveWorst = false;
   bool haveBest = false;
@@ -1064,14 +1129,21 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
   const std::vector<double>* bestValues = nullptr;
 
   for (const auto& out : outcomes) {
-    if (out.pruned) {
+    const SetSolveRecord& rec = out.record;
+    result.setRecords.push_back(rec);
+    if (rec.pruned) {
       ++result.stats.prunedNullSets;
       continue;
     }
-    result.stats.ilpSolves += out.ilpSolves;
-    result.stats.lpCalls += out.lpCalls;
-    result.stats.totalPivots += out.totalPivots;
-    result.stats.allFirstRelaxationsIntegral &= out.firstRelaxationsIntegral;
+    for (const IlpSolveRecord* ilpRec : {&rec.worst, &rec.best}) {
+      if (!ilpRec->solved) continue;
+      ++result.stats.ilpSolves;
+      result.stats.lpCalls += ilpRec->lpCalls;
+      result.stats.nodesExpanded += ilpRec->nodes;
+      result.stats.totalPivots += ilpRec->pivots;
+      result.stats.allFirstRelaxationsIntegral &=
+          ilpRec->firstRelaxationIntegral;
+    }
     if (out.haveWorst && (!haveWorst || out.worstBound > result.bound.hi)) {
       result.bound.hi = out.worstBound;
       worstValues = &out.worstValues;

@@ -37,6 +37,10 @@
 #include "cinderella/march/cost_model.hpp"
 #include "cinderella/vm/module.hpp"
 
+namespace cinderella::obs {
+class Tracer;
+}  // namespace cinderella::obs
+
 namespace cinderella::ipet {
 
 /// How the worst-case bound accounts for instruction-cache misses.
@@ -108,6 +112,13 @@ struct SolveControl {
   /// Optional cooperative cancellation: set to true from any thread to
   /// make estimate() stop early and throw AnalysisError.
   const std::atomic<bool>* cancel = nullptr;
+  /// Optional span tracer (see obs/trace.hpp).  When set, estimate()
+  /// emits spans for the base-problem build, the DNF combination, every
+  /// per-set LP probe and worst/best ILP solve (which are also the
+  /// thread-pool task lifetimes), and the merge.  Null (the default)
+  /// costs nothing and emits nothing.  Tracing never affects the
+  /// returned Estimate.
+  obs::Tracer* tracer = nullptr;
 };
 
 struct Interval {
@@ -129,6 +140,11 @@ struct SolveStats {
   int ilpSolves = 0;
   /// LP relaxations across all ILPs.
   int lpCalls = 0;
+  /// Branch-and-bound nodes expanded across all ILPs (the quantity
+  /// IlpOptions::maxNodes budgets; equals lpCalls while every node costs
+  /// exactly one relaxation, but tracked separately so budget and
+  /// LP-call accounting cannot drift apart).
+  int nodesExpanded = 0;
   /// True when every root relaxation was already integral (paper §VI-A).
   bool allFirstRelaxationsIntegral = true;
   int totalPivots = 0;
@@ -144,10 +160,48 @@ struct BlockCountRow {
   std::int64_t count = 0;
 };
 
+/// Outcome of one ILP (the worst-case max or the best-case min) of one
+/// constraint set.  All fields except wallMicros are deterministic:
+/// identical for every SolveControl::threads value.
+struct IlpSolveRecord {
+  /// False when the solve never ran (the set was pruned as null).
+  bool solved = false;
+  /// True when the ILP reached an optimal integral point.
+  bool feasible = false;
+  /// Rounded objective (cycles); valid when feasible.
+  std::int64_t objective = 0;
+  int nodes = 0;    ///< Branch-and-bound nodes expanded.
+  int lpCalls = 0;  ///< LP relaxations solved.
+  int pivots = 0;   ///< Simplex pivots across those relaxations.
+  bool firstRelaxationIntegral = false;
+  /// Wall-clock µs of this solve (not deterministic).
+  std::int64_t wallMicros = 0;
+};
+
+/// Per-constraint-set solve record (paper Table I granularity): how the
+/// LP feasibility probe and the two ILPs of set `setIndex` went.
+struct SetSolveRecord {
+  int setIndex = 0;
+  /// Constraints in this conjunctive set beyond the structural base.
+  int userConstraints = 0;
+  /// True when the LP probe proved the set null; worst/best never ran.
+  bool pruned = false;
+  int probePivots = 0;            ///< Pivots of the feasibility probe.
+  std::int64_t probeMicros = 0;   ///< Probe wall µs (not deterministic).
+  IlpSolveRecord worst;
+  IlpSolveRecord best;
+  /// Wall-clock µs for the whole set task (not deterministic).
+  std::int64_t wallMicros = 0;
+};
+
 struct Estimate {
   /// Estimated bound [t_min, t_max] in cycles.
   Interval bound;
   SolveStats stats;
+  /// One record per constraint set, in set-index order.  The aggregate
+  /// counters (ilpSolves, lpCalls, nodesExpanded, totalPivots,
+  /// prunedNullSets) of `stats` are exactly the sums over these records.
+  std::vector<SetSolveRecord> setRecords;
   /// Extreme-case block execution counts, aggregated over contexts.
   std::vector<BlockCountRow> worstCounts;
   std::vector<BlockCountRow> bestCounts;

@@ -1,10 +1,12 @@
 #include "cinderella/lp/simplex.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
 #include "cinderella/support/error.hpp"
+#include "cinderella/support/metrics_sink.hpp"
 
 namespace cinderella::lp {
 
@@ -266,6 +268,12 @@ class Tableau {
 }  // namespace
 
 Solution solve(const Problem& problem, const SimplexOptions& options) {
+  // Observability is off on the default path: one relaxed atomic load.
+  support::MetricsSink* const sink = support::metricsSink();
+  const auto solveStart = sink != nullptr
+                              ? std::chrono::steady_clock::now()
+                              : std::chrono::steady_clock::time_point{};
+
   // Normalize to maximization; flip back at the end.
   const bool minimize = (problem.sense() == Sense::Minimize);
   std::vector<double> objective(static_cast<std::size_t>(problem.numVars()),
@@ -281,6 +289,15 @@ Solution solve(const Problem& problem, const SimplexOptions& options) {
   Solution solution = tableau.run(objective, constant);
   if (solution.status == SolveStatus::Optimal && minimize) {
     solution.objective = -solution.objective;
+  }
+
+  if (sink != nullptr) {
+    sink->add("lp.solves", 1);
+    sink->observe("lp.pivots", solution.pivots);
+    sink->observe("lp.micros",
+                  std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - solveStart)
+                      .count());
   }
   return solution;
 }

@@ -1,0 +1,63 @@
+// Minimal JSON emission and syntax checking for the observability
+// subsystem.  No external JSON dependency is available in this build, so
+// trace files, solve reports and the machine-readable bench lines are
+// produced through this writer and validated (in tests and CI helpers)
+// with the linter below.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cinderella::obs {
+
+/// Escapes `text` for inclusion inside a JSON string literal (quotes not
+/// added).  Control characters become \uXXXX escapes.
+[[nodiscard]] std::string jsonEscape(std::string_view text);
+
+/// Incremental compact-JSON builder with automatic comma placement.
+///
+///   JsonWriter w;
+///   w.beginObject().key("bound").beginArray().value(53).value(1044)
+///    .endArray().endObject();
+///   w.str();  // {"bound":[53,1044]}
+///
+/// The writer trusts its caller to produce a structurally valid document
+/// (keys only inside objects, matched begin/end); it is an emission
+/// helper, not a schema validator.
+class JsonWriter {
+ public:
+  JsonWriter& beginObject();
+  JsonWriter& endObject();
+  JsonWriter& beginArray();
+  JsonWriter& endArray();
+  JsonWriter& key(std::string_view name);
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(int number) { return value(static_cast<std::int64_t>(number)); }
+  JsonWriter& value(bool flag);
+  /// Finite doubles only; written with enough digits to round-trip.
+  JsonWriter& value(double number);
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  void separate();
+
+  std::string out_;
+  /// One entry per open container: true when the next element needs a
+  /// leading comma.
+  std::vector<bool> needComma_;
+  bool afterKey_ = false;
+};
+
+/// Syntax-checks one complete JSON document (RFC 8259 grammar; no schema,
+/// no duplicate-key detection).  Returns the empty string when `text` is
+/// valid JSON, else a short "offset N: reason" diagnostic.  Used by the
+/// trace/report tests so emission bugs fail loudly without a parser
+/// dependency.
+[[nodiscard]] std::string jsonLint(std::string_view text);
+
+}  // namespace cinderella::obs

@@ -1,0 +1,118 @@
+// Metrics registry: named counters and log-scale histograms fed by the
+// low-level solvers through the support::MetricsSink seam.
+//
+// The registry is the sink implementation obs installs while a run is
+// being observed (see ScopedMetricsSink).  lp::solve reports pivots,
+// ilp::solve reports nodes/LP calls, the thread pool reports task and
+// steal counts; all of them go through one virtual call per *solve* (not
+// per pivot), and nothing at all when no sink is installed.
+//
+// Histograms use fixed power-of-two buckets so merging and serialising
+// snapshots needs no configuration: bucket 0 counts zero-valued samples
+// and bucket i (i >= 1) counts samples in [2^(i-1), 2^i).  That spans
+// 1 .. 2^30+ — wide enough for pivot counts, branch-and-bound nodes and
+// microsecond latencies alike.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "cinderella/support/metrics_sink.hpp"
+
+namespace cinderella::obs {
+
+class JsonWriter;
+
+/// Monotonic counter; add() is safe from any thread.
+class Counter {
+ public:
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket log2 histogram; observe() is safe from any thread.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 32;
+
+  /// Bucket index of `value`: 0 for values <= 0, else 1 + floor(log2 v),
+  /// clamped to kBuckets - 1.
+  [[nodiscard]] static int bucketOf(std::int64_t value);
+
+  /// Inclusive lower bound of `bucket`: 0, then 2^(bucket-1).
+  [[nodiscard]] static std::int64_t bucketLowerBound(int bucket);
+
+  void observe(std::int64_t value);
+
+  [[nodiscard]] std::int64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// Largest observed sample (0 before any observation).
+  [[nodiscard]] std::int64_t max() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::array<std::int64_t, kBuckets> bucketCounts() const;
+
+ private:
+  std::array<std::atomic<std::int64_t>, kBuckets> buckets_{};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Named counters + histograms behind the support::MetricsSink
+/// interface.  Lookup takes the registry mutex; the returned references
+/// stay valid for the registry's lifetime, so hot callers may cache
+/// them.  Metric values themselves are lock-free atomics.
+class MetricsRegistry : public support::MetricsSink {
+ public:
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  // support::MetricsSink:
+  void add(std::string_view counter, std::int64_t delta) override;
+  void observe(std::string_view histogram, std::int64_t value) override;
+
+  /// Serialises a snapshot as {"counters":{...},"histograms":{...}} into
+  /// an open writer position (caller supplies surrounding structure).
+  void toJson(JsonWriter* w) const;
+  [[nodiscard]] std::string json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Installs a sink for the current scope and restores the previous one
+/// on destruction (exception-safe).
+class ScopedMetricsSink {
+ public:
+  explicit ScopedMetricsSink(support::MetricsSink* sink)
+      : previous_(support::setMetricsSink(sink)) {}
+  ~ScopedMetricsSink() { support::setMetricsSink(previous_); }
+
+  ScopedMetricsSink(const ScopedMetricsSink&) = delete;
+  ScopedMetricsSink& operator=(const ScopedMetricsSink&) = delete;
+
+ private:
+  support::MetricsSink* previous_;
+};
+
+}  // namespace cinderella::obs

@@ -1,0 +1,161 @@
+// Low-overhead span tracer for the IPET pipeline.
+//
+// A Tracer collects *complete* spans — name, category, start timestamp,
+// duration, thread id, key/value attributes — from every stage of an
+// estimate() call: frontend/codegen, base-problem build, DNF
+// combination, per-set LP probes and ILP solves, and the merge.  The
+// collected spans serialize to Chrome trace-event JSON ("ph":"X"
+// complete events) loadable in chrome://tracing or Perfetto.
+//
+// Cost model:
+//   - tracing off: pipeline code holds a null Tracer* and every Span is
+//     a disabled no-op (one pointer test per call, no clock reads, no
+//     allocation, no events);
+//   - tracing on: a Span reads the steady clock twice and takes the
+//     tracer mutex once, at destruction.  Spans are created per solver
+//     stage (a handful per constraint set), never inside simplex/B&B
+//     inner loops, so contention is negligible.
+//
+// Thread safety: Tracer::record()/threadId() may be called from any
+// thread; a Span must be ended on the thread that uses it (the usual
+// RAII scope), which is also the thread id it reports.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace cinderella::obs {
+
+/// One completed span.  Timestamps are microseconds since the owning
+/// tracer's construction (its epoch), so a whole trace starts near 0.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  std::int64_t startMicros = 0;
+  std::int64_t durMicros = 0;
+  /// Small dense id assigned per thread in order of first appearance.
+  int tid = 0;
+  std::vector<std::pair<std::string, std::string>> stringArgs;
+  std::vector<std::pair<std::string, std::int64_t>> intArgs;
+};
+
+class Tracer {
+ public:
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Microseconds since this tracer's epoch.
+  [[nodiscard]] std::int64_t nowMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// Dense id of the calling thread (0 for the first thread seen).
+  [[nodiscard]] int threadId();
+
+  /// Appends a completed span; thread-safe.
+  void record(TraceEvent event);
+
+  /// Snapshot of every recorded span, ordered by (startMicros, tid).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// The whole trace as a Chrome trace-event JSON document:
+  /// {"traceEvents":[...complete events...]}.
+  [[nodiscard]] std::string chromeTraceJson() const;
+  void writeChromeTrace(std::ostream& out) const;
+
+ private:
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::map<std::thread::id, int> threadIds_;
+};
+
+/// RAII span.  Constructed against a possibly-null tracer; when the
+/// tracer is null the span is disabled and every member is a no-op, so
+/// instrumented code needs no `if (tracing)` branches of its own.  The
+/// span records itself when destroyed (or at an explicit end()),
+/// including when the scope unwinds through an exception.
+class Span {
+ public:
+  /// Disabled span.
+  Span() = default;
+
+  Span(Tracer* tracer, std::string name, std::string category = {}) {
+    if (tracer == nullptr) return;
+    tracer_ = tracer;
+    event_.name = std::move(name);
+    event_.category = std::move(category);
+    event_.startMicros = tracer->nowMicros();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept {
+    if (this != &other) {
+      end();
+      tracer_ = other.tracer_;
+      event_ = std::move(other.event_);
+      other.tracer_ = nullptr;
+    }
+    return *this;
+  }
+
+  ~Span() { end(); }
+
+  /// Attaches a key/value attribute (rendered into the event's "args").
+  Span& arg(std::string key, std::string value) {
+    if (tracer_ != nullptr) {
+      event_.stringArgs.emplace_back(std::move(key), std::move(value));
+    }
+    return *this;
+  }
+  /// String literals must land here, not on the bool overload (a raw
+  /// `const char*` converts to bool by a standard conversion, which
+  /// would otherwise beat std::string's user-defined one).
+  Span& arg(std::string key, const char* value) {
+    return arg(std::move(key), std::string(value));
+  }
+  Span& arg(std::string key, std::int64_t value) {
+    if (tracer_ != nullptr) {
+      event_.intArgs.emplace_back(std::move(key), value);
+    }
+    return *this;
+  }
+  Span& arg(std::string key, int value) {
+    return arg(std::move(key), static_cast<std::int64_t>(value));
+  }
+  Span& arg(std::string key, bool value) {
+    return arg(std::move(key), std::string(value ? "true" : "false"));
+  }
+
+  /// Records the span now; idempotent, and the destructor becomes a
+  /// no-op afterwards.
+  void end() {
+    if (tracer_ == nullptr) return;
+    event_.durMicros = tracer_->nowMicros() - event_.startMicros;
+    event_.tid = tracer_->threadId();
+    tracer_->record(std::move(event_));
+    tracer_ = nullptr;
+  }
+
+  [[nodiscard]] bool enabled() const { return tracer_ != nullptr; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  TraceEvent event_;
+};
+
+}  // namespace cinderella::obs

@@ -1,0 +1,321 @@
+#include "cinderella/obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "cinderella/support/error.hpp"
+
+namespace cinderella::obs {
+
+std::string jsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::separate() {
+  if (afterKey_) {
+    afterKey_ = false;
+    return;
+  }
+  if (!needComma_.empty()) {
+    if (needComma_.back()) out_ += ',';
+    needComma_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::beginObject() {
+  separate();
+  out_ += '{';
+  needComma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::endObject() {
+  CIN_REQUIRE(!needComma_.empty());
+  needComma_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::beginArray() {
+  separate();
+  out_ += '[';
+  needComma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::endArray() {
+  CIN_REQUIRE(!needComma_.empty());
+  needComma_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  separate();
+  out_ += '"';
+  out_ += jsonEscape(name);
+  out_ += "\":";
+  afterKey_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  separate();
+  out_ += '"';
+  out_ += jsonEscape(text);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  separate();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  separate();
+  out_ += flag ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  CIN_REQUIRE(std::isfinite(number));
+  separate();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", number);
+  out_ += buf;
+  return *this;
+}
+
+namespace {
+
+/// Recursive-descent JSON syntax checker over a string view.
+class Linter {
+ public:
+  explicit Linter(std::string_view text) : text_(text) {}
+
+  std::string run() {
+    skipWs();
+    if (!value()) return error_;
+    skipWs();
+    if (pos_ != text_.size()) fail("trailing content");
+    return error_;
+  }
+
+ private:
+  bool fail(const std::string& reason) {
+    if (error_.empty()) {
+      error_ = "offset " + std::to_string(pos_) + ": " + reason;
+    }
+    return false;
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] bool atEnd() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return fail("invalid literal");
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (atEnd() || peek() != '"') return fail("expected string");
+    ++pos_;
+    while (!atEnd()) {
+      const char c = text_[pos_];
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (atEnd()) return fail("dangling escape");
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (atEnd() || !std::isxdigit(static_cast<unsigned char>(peek()))) {
+              return fail("bad \\u escape");
+            }
+          }
+          ++pos_;
+        } else if (e == '"' || e == '\\' || e == '/' || e == 'b' || e == 'f' ||
+                   e == 'n' || e == 'r' || e == 't') {
+          ++pos_;
+        } else {
+          return fail("bad escape character");
+        }
+      } else {
+        ++pos_;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (!atEnd() && peek() == '-') ++pos_;
+    if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      return fail("expected digit");
+    }
+    if (peek() == '0') {
+      ++pos_;
+    } else {
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    if (!atEnd() && peek() == '.') {
+      ++pos_;
+      if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("expected fraction digit");
+      }
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!atEnd() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("expected exponent digit");
+      }
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    return pos_ > start;
+  }
+
+  bool value() {
+    if (atEnd()) return fail("expected value");
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skipWs();
+    if (!atEnd() && peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (!string()) return false;
+      skipWs();
+      if (atEnd() || peek() != ':') return fail("expected ':'");
+      ++pos_;
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (atEnd()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skipWs();
+    if (!atEnd() && peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (atEnd()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::string jsonLint(std::string_view text) { return Linter(text).run(); }
+
+}  // namespace cinderella::obs

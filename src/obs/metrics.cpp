@@ -1,0 +1,113 @@
+#include "cinderella/obs/metrics.hpp"
+
+#include <bit>
+
+#include "cinderella/obs/json.hpp"
+
+namespace cinderella::obs {
+
+int Histogram::bucketOf(std::int64_t value) {
+  if (value <= 0) return 0;
+  const int width = std::bit_width(static_cast<std::uint64_t>(value));
+  return width < kBuckets ? width : kBuckets - 1;
+}
+
+std::int64_t Histogram::bucketLowerBound(int bucket) {
+  return bucket <= 0 ? 0 : std::int64_t{1} << (bucket - 1);
+}
+
+void Histogram::observe(std::int64_t value) {
+  buckets_[static_cast<std::size_t>(bucketOf(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::int64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::array<std::int64_t, Histogram::kBuckets> Histogram::bucketCounts() const {
+  std::array<std::int64_t, kBuckets> out{};
+  for (int i = 0; i < kBuckets; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::add(std::string_view name, std::int64_t delta) {
+  counter(name).add(delta);
+}
+
+void MetricsRegistry::observe(std::string_view name, std::int64_t value) {
+  histogram(name).observe(value);
+}
+
+void MetricsRegistry::toJson(JsonWriter* w) const {
+  // Copy the name -> metric pointers under the lock, then read the
+  // atomics outside it; metrics are never removed, so the pointers stay
+  // valid.
+  std::map<std::string, const Counter*> counters;
+  std::map<std::string, const Histogram*> histograms;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, c] : counters_) counters[name] = c.get();
+    for (const auto& [name, h] : histograms_) histograms[name] = h.get();
+  }
+
+  w->beginObject();
+  w->key("counters").beginObject();
+  for (const auto& [name, c] : counters) w->key(name).value(c->value());
+  w->endObject();
+  w->key("histograms").beginObject();
+  for (const auto& [name, h] : histograms) {
+    w->key(name).beginObject();
+    w->key("count").value(h->count());
+    w->key("sum").value(h->sum());
+    w->key("max").value(h->max());
+    // Sparse bucket dump: [[lowerBound, count], ...] for non-empty
+    // buckets only.
+    w->key("buckets").beginArray();
+    const auto counts = h->bucketCounts();
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      if (counts[static_cast<std::size_t>(b)] == 0) continue;
+      w->beginArray()
+          .value(Histogram::bucketLowerBound(b))
+          .value(counts[static_cast<std::size_t>(b)])
+          .endArray();
+    }
+    w->endArray();
+    w->endObject();
+  }
+  w->endObject();
+  w->endObject();
+}
+
+std::string MetricsRegistry::json() const {
+  JsonWriter w;
+  toJson(&w);
+  return w.str();
+}
+
+}  // namespace cinderella::obs

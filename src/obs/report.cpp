@@ -1,0 +1,146 @@
+#include "cinderella/obs/report.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "cinderella/obs/json.hpp"
+#include "cinderella/obs/metrics.hpp"
+#include "cinderella/support/text.hpp"
+
+namespace cinderella::obs {
+
+void boundToJson(JsonWriter* w, const ipet::Interval& bound) {
+  w->beginObject()
+      .key("lo")
+      .value(bound.lo)
+      .key("hi")
+      .value(bound.hi)
+      .endObject();
+}
+
+void statsToJson(JsonWriter* w, const ipet::SolveStats& stats) {
+  w->beginObject()
+      .key("constraintSets")
+      .value(stats.constraintSets)
+      .key("prunedNullSets")
+      .value(stats.prunedNullSets)
+      .key("ilpSolves")
+      .value(stats.ilpSolves)
+      .key("lpCalls")
+      .value(stats.lpCalls)
+      .key("nodesExpanded")
+      .value(stats.nodesExpanded)
+      .key("totalPivots")
+      .value(stats.totalPivots)
+      .key("allFirstRelaxationsIntegral")
+      .value(stats.allFirstRelaxationsIntegral)
+      .key("cacheFlowVars")
+      .value(stats.cacheFlowVars)
+      .key("cacheFallbackSets")
+      .value(stats.cacheFallbackSets)
+      .endObject();
+}
+
+namespace {
+
+void ilpRecordToJson(JsonWriter* w, const ipet::IlpSolveRecord& record,
+                     const ReportOptions& options) {
+  w->beginObject()
+      .key("solved")
+      .value(record.solved)
+      .key("feasible")
+      .value(record.feasible)
+      .key("objective")
+      .value(record.objective)
+      .key("nodes")
+      .value(record.nodes)
+      .key("lpCalls")
+      .value(record.lpCalls)
+      .key("pivots")
+      .value(record.pivots)
+      .key("firstRelaxationIntegral")
+      .value(record.firstRelaxationIntegral);
+  if (options.includeTimings) w->key("wallMicros").value(record.wallMicros);
+  w->endObject();
+}
+
+}  // namespace
+
+void setRecordToJson(JsonWriter* w, const ipet::SetSolveRecord& record,
+                     const ReportOptions& options) {
+  w->beginObject()
+      .key("set")
+      .value(record.setIndex)
+      .key("userConstraints")
+      .value(record.userConstraints)
+      .key("pruned")
+      .value(record.pruned)
+      .key("probePivots")
+      .value(record.probePivots);
+  if (options.includeTimings) w->key("probeMicros").value(record.probeMicros);
+  w->key("worst");
+  ilpRecordToJson(w, record.worst, options);
+  w->key("best");
+  ilpRecordToJson(w, record.best, options);
+  if (options.includeTimings) w->key("wallMicros").value(record.wallMicros);
+  w->endObject();
+}
+
+std::string reportJson(std::string_view program,
+                       const ipet::Estimate& estimate,
+                       const MetricsRegistry* metrics,
+                       const ReportOptions& options) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("program").value(program);
+  w.key("bound");
+  boundToJson(&w, estimate.bound);
+  w.key("stats");
+  statsToJson(&w, estimate.stats);
+  w.key("sets").beginArray();
+  for (const ipet::SetSolveRecord& record : estimate.setRecords) {
+    setRecordToJson(&w, record, options);
+  }
+  w.endArray();
+  if (metrics != nullptr) {
+    w.key("metrics");
+    metrics->toJson(&w);
+  }
+  w.endObject();
+  return w.str();
+}
+
+void writeReportJson(std::string_view program, const ipet::Estimate& estimate,
+                     const MetricsRegistry* metrics, std::ostream& out,
+                     const ReportOptions& options) {
+  out << reportJson(program, estimate, metrics, options) << "\n";
+}
+
+std::string formatSolveTable(const ipet::Estimate& estimate) {
+  std::ostringstream out;
+  out << "per-set solve records (" << estimate.stats.constraintSets
+      << " sets, " << estimate.stats.prunedNullSets << " pruned):\n";
+  out << padLeft("set", 4) << padLeft("cons", 6) << padLeft("probe", 7)
+      << padLeft("worst", 14) << padLeft("best", 14) << padLeft("LPs", 5)
+      << padLeft("nodes", 7) << padLeft("pivots", 8) << padLeft("us", 9)
+      << "\n";
+  for (const ipet::SetSolveRecord& rec : estimate.setRecords) {
+    const auto objective = [](const ipet::IlpSolveRecord& r) {
+      if (!r.solved) return std::string("-");
+      if (!r.feasible) return std::string("infeas");
+      return withThousands(r.objective);
+    };
+    out << padLeft(std::to_string(rec.setIndex), 4)
+        << padLeft(std::to_string(rec.userConstraints), 6)
+        << padLeft(rec.pruned ? "null" : "ok", 7)
+        << padLeft(objective(rec.worst), 14)
+        << padLeft(objective(rec.best), 14)
+        << padLeft(std::to_string(rec.worst.lpCalls + rec.best.lpCalls), 5)
+        << padLeft(std::to_string(rec.worst.nodes + rec.best.nodes), 7)
+        << padLeft(std::to_string(rec.worst.pivots + rec.best.pivots), 8)
+        << padLeft(std::to_string(rec.wallMicros), 9) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace cinderella::obs

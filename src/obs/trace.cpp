@@ -1,0 +1,76 @@
+#include "cinderella/obs/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "cinderella/obs/json.hpp"
+
+namespace cinderella::obs {
+
+int Tracer::threadId() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = threadIds_.try_emplace(
+      std::this_thread::get_id(), static_cast<int>(threadIds_.size()));
+  (void)inserted;
+  return it->second;
+}
+
+void Tracer::record(TraceEvent event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> snapshot;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    snapshot = events_;
+  }
+  std::stable_sort(snapshot.begin(), snapshot.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.startMicros != b.startMicros) {
+                       return a.startMicros < b.startMicros;
+                     }
+                     return a.tid < b.tid;
+                   });
+  return snapshot;
+}
+
+std::string Tracer::chromeTraceJson() const {
+  JsonWriter w;
+  w.beginObject().key("traceEvents").beginArray();
+  for (const TraceEvent& e : events()) {
+    w.beginObject()
+        .key("name")
+        .value(e.name)
+        .key("cat")
+        .value(e.category.empty() ? std::string_view("cinderella")
+                                  : std::string_view(e.category))
+        .key("ph")
+        .value("X")
+        .key("ts")
+        .value(e.startMicros)
+        .key("dur")
+        .value(e.durMicros)
+        .key("pid")
+        .value(1)
+        .key("tid")
+        .value(e.tid);
+    if (!e.stringArgs.empty() || !e.intArgs.empty()) {
+      w.key("args").beginObject();
+      for (const auto& [key, value] : e.stringArgs) w.key(key).value(value);
+      for (const auto& [key, value] : e.intArgs) w.key(key).value(value);
+      w.endObject();
+    }
+    w.endObject();
+  }
+  w.endArray().key("displayTimeUnit").value("ms").endObject();
+  return w.str();
+}
+
+void Tracer::writeChromeTrace(std::ostream& out) const {
+  out << chromeTraceJson() << "\n";
+}
+
+}  // namespace cinderella::obs

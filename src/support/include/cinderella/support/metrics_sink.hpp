@@ -1,0 +1,41 @@
+// Injectable metrics sink — the seam between the low-level solvers and
+// the observability subsystem.
+//
+// `src/lp`, `src/ilp` and the thread pool sit below `src/obs` in the
+// dependency order, so they cannot talk to obs::MetricsRegistry
+// directly.  Instead they report through this minimal interface: a
+// process-wide pointer that obs (or a test) installs.  When nothing is
+// installed — the default — every instrumentation site costs exactly one
+// relaxed atomic load followed by a never-taken branch, so the solvers
+// pay nothing for observability they are not using.
+//
+// The installed sink must be thread-safe: the parallel solve engine
+// reports from every worker concurrently.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace cinderella::support {
+
+class MetricsSink {
+ public:
+  virtual ~MetricsSink() = default;
+
+  /// Adds `delta` to the named monotonic counter.
+  virtual void add(std::string_view counter, std::int64_t delta) = 0;
+
+  /// Records one sample of the named distribution (pivots, nodes, µs).
+  virtual void observe(std::string_view histogram, std::int64_t value) = 0;
+};
+
+/// The currently installed sink, or nullptr when observability is off.
+/// One relaxed atomic load; call once per instrumentation site.
+[[nodiscard]] MetricsSink* metricsSink() noexcept;
+
+/// Installs `sink` (nullptr to disable) and returns the previous sink.
+/// Callers are responsible for restoring the previous sink; see
+/// obs::ScopedMetricsSink for the RAII form.
+MetricsSink* setMetricsSink(MetricsSink* sink) noexcept;
+
+}  // namespace cinderella::support

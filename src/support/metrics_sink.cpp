@@ -1,0 +1,19 @@
+#include "cinderella/support/metrics_sink.hpp"
+
+#include <atomic>
+
+namespace cinderella::support {
+
+namespace {
+std::atomic<MetricsSink*> gSink{nullptr};
+}  // namespace
+
+MetricsSink* metricsSink() noexcept {
+  return gSink.load(std::memory_order_relaxed);
+}
+
+MetricsSink* setMetricsSink(MetricsSink* sink) noexcept {
+  return gSink.exchange(sink, std::memory_order_acq_rel);
+}
+
+}  // namespace cinderella::support

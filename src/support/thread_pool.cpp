@@ -1,6 +1,7 @@
 #include "cinderella/support/thread_pool.hpp"
 
 #include "cinderella/support/error.hpp"
+#include "cinderella/support/metrics_sink.hpp"
 
 namespace cinderella::support {
 
@@ -51,6 +52,7 @@ void ThreadPool::submit(std::function<void()> task) {
     ++unfinished_;
   }
   workCv_.notify_one();
+  if (MetricsSink* const sink = metricsSink()) sink->add("pool.tasks", 1);
 }
 
 void ThreadPool::wait() {
@@ -70,12 +72,14 @@ bool ThreadPool::popOrSteal(std::size_t self, std::function<void()>* task) {
   }
   for (std::size_t i = 1; i < queues_.size(); ++i) {
     WorkDeque& victim = *queues_[(self + i) % queues_.size()];
-    const std::lock_guard<std::mutex> lock(victim.mutex);
-    if (!victim.tasks.empty()) {
+    {
+      const std::lock_guard<std::mutex> lock(victim.mutex);
+      if (victim.tasks.empty()) continue;
       *task = std::move(victim.tasks.front());
       victim.tasks.pop_front();
-      return true;
     }
+    if (MetricsSink* const sink = metricsSink()) sink->add("pool.steals", 1);
+    return true;
   }
   return false;
 }

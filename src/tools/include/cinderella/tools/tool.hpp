@@ -47,6 +47,12 @@ struct ToolOptions {
   /// Also run the program on the simulator and check enclosure
   /// (requires a benchmark, which carries its data sets).
   bool simulate = false;
+  /// Write a Chrome trace-event JSON file of the whole run (--trace-out).
+  std::string traceOut;
+  /// Write a structured solve report as JSON (--report-json).
+  std::string reportJson;
+  /// Print the per-constraint-set solve table (--verbose-solve).
+  bool verboseSolve = false;
 };
 
 /// Parses argv into options.  Returns false (after printing usage to

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
@@ -10,6 +12,9 @@
 #include "cinderella/explicitpath/enumerator.hpp"
 #include "cinderella/ipet/analyzer.hpp"
 #include "cinderella/ipet/annotate.hpp"
+#include "cinderella/obs/metrics.hpp"
+#include "cinderella/obs/report.hpp"
+#include "cinderella/obs/trace.hpp"
 #include "cinderella/sim/simulator.hpp"
 #include "cinderella/suite/suite.hpp"
 #include "cinderella/support/error.hpp"
@@ -50,6 +55,15 @@ options:
   --simulate               run extreme-case data sets on the simulator
                            and verify the bound encloses them
                            (built-in benchmarks only)
+
+observability:
+  --trace-out <file>       write a Chrome trace-event JSON timeline of
+                           the run (load in chrome://tracing or Perfetto)
+  --report-json <file>     write a structured solve report: the bound,
+                           aggregate stats, one record per constraint
+                           set, and solver metrics
+  --verbose-solve          print a per-constraint-set solve table
+
   --help                   show this message
 )";
 
@@ -135,6 +149,16 @@ bool parseArgs(int argc, const char* const* argv, ToolOptions* options,
       options->compareExplicit = true;
     } else if (arg == "--simulate") {
       options->simulate = true;
+    } else if (arg == "--trace-out") {
+      const char* v = needValue(i, "--trace-out");
+      if (!v) return false;
+      options->traceOut = v;
+    } else if (arg == "--report-json") {
+      const char* v = needValue(i, "--report-json");
+      if (!v) return false;
+      options->reportJson = v;
+    } else if (arg == "--verbose-solve") {
+      options->verboseSolve = true;
     } else if (!arg.empty() && arg[0] == '-') {
       err << "cinderella: unknown option '" << arg << "'\n" << kUsage;
       return false;
@@ -183,14 +207,27 @@ int runTool(const ToolOptions& options, std::ostream& out,
       constraints.push_back({text, ""});
     }
 
-    const codegen::CompileResult compiled = codegen::compileSource(source);
+    // Observability: a tracer only when --trace-out asked for one (a null
+    // tracer keeps every Span disabled), and a metrics registry installed
+    // as the process-wide sink only while --report-json needs a snapshot.
+    std::unique_ptr<obs::Tracer> tracer;
+    if (!options.traceOut.empty()) tracer = std::make_unique<obs::Tracer>();
+    obs::MetricsRegistry metrics;
+    std::optional<obs::ScopedMetricsSink> scopedSink;
+    if (!options.reportJson.empty()) scopedSink.emplace(&metrics);
 
+    obs::Span frontendSpan(tracer.get(), "frontend", "ipet");
+    const codegen::CompileResult compiled = codegen::compileSource(source);
+    frontendSpan.end();
+
+    obs::Span setupSpan(tracer.get(), "analyzer-setup", "ipet");
     ipet::AnalyzerOptions aopt;
     aopt.cacheMode = options.cacheMode;
     ipet::Analyzer analyzer(compiled, root, aopt);
     for (const auto& c : constraints) {
       analyzer.addConstraint(c.text, c.scope);
     }
+    setupSpan.end();
 
     if (options.annotate) {
       out << ipet::annotateSource(analyzer, source) << "\n";
@@ -211,7 +248,30 @@ int runTool(const ToolOptions& options, std::ostream& out,
 
     ipet::SolveControl control;
     control.threads = options.jobs;
+    control.tracer = tracer.get();
     const ipet::Estimate estimate = analyzer.estimate(control);
+
+    if (tracer != nullptr) {
+      std::ofstream traceFile(options.traceOut);
+      if (!traceFile) {
+        throw Error("cannot write trace to '" + options.traceOut + "'");
+      }
+      tracer->writeChromeTrace(traceFile);
+    }
+    if (!options.reportJson.empty()) {
+      scopedSink.reset();  // stop collecting; the snapshot is final
+      const std::string program =
+          !options.benchmark.empty() ? options.benchmark : options.sourcePath;
+      std::ofstream reportFile(options.reportJson);
+      if (!reportFile) {
+        throw Error("cannot write report to '" + options.reportJson + "'");
+      }
+      obs::writeReportJson(program, estimate, &metrics, reportFile);
+    }
+
+    if (options.verboseSolve) {
+      out << obs::formatSolveTable(estimate) << "\n";
+    }
     if (options.report) {
       out << ipet::formatEstimateReport(analyzer, estimate) << "\n";
     }

@@ -38,6 +38,7 @@ TEST(Ilp, IntegralRelaxationNeedsOneLp) {
   EXPECT_NEAR(s.objective, 21.0, 1e-6);
   EXPECT_TRUE(s.stats.firstRelaxationIntegral);
   EXPECT_EQ(s.stats.lpCalls, 1);
+  EXPECT_EQ(s.stats.nodesExpanded, 1);
 }
 
 TEST(Ilp, FractionalRelaxationBranches) {
@@ -59,6 +60,8 @@ TEST(Ilp, FractionalRelaxationBranches) {
   EXPECT_NEAR(s.objective, 2.0, 1e-6);
   EXPECT_FALSE(s.stats.firstRelaxationIntegral);
   EXPECT_GT(s.stats.lpCalls, 1);
+  // Each expanded node solves exactly one LP relaxation today.
+  EXPECT_EQ(s.stats.nodesExpanded, s.stats.lpCalls);
 }
 
 TEST(Ilp, KnapsackClassic) {

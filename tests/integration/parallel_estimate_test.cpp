@@ -46,6 +46,7 @@ void expectIdentical(const ipet::Estimate& a, const ipet::Estimate& b) {
   EXPECT_EQ(a.stats.prunedNullSets, b.stats.prunedNullSets);
   EXPECT_EQ(a.stats.ilpSolves, b.stats.ilpSolves);
   EXPECT_EQ(a.stats.lpCalls, b.stats.lpCalls);
+  EXPECT_EQ(a.stats.nodesExpanded, b.stats.nodesExpanded);
   EXPECT_EQ(a.stats.totalPivots, b.stats.totalPivots);
   EXPECT_EQ(a.stats.allFirstRelaxationsIntegral,
             b.stats.allFirstRelaxationsIntegral);
@@ -62,6 +63,21 @@ void expectIdentical(const ipet::Estimate& a, const ipet::Estimate& b) {
     EXPECT_EQ(a.bestCounts[i].function, b.bestCounts[i].function);
     EXPECT_EQ(a.bestCounts[i].block, b.bestCounts[i].block);
     EXPECT_EQ(a.bestCounts[i].count, b.bestCounts[i].count);
+  }
+  // Per-set solve records: every field except the wall-clock timings is
+  // part of the determinism contract.
+  ASSERT_EQ(a.setRecords.size(), b.setRecords.size());
+  for (std::size_t i = 0; i < a.setRecords.size(); ++i) {
+    const ipet::SetSolveRecord& ra = a.setRecords[i];
+    const ipet::SetSolveRecord& rb = b.setRecords[i];
+    EXPECT_EQ(ra.setIndex, rb.setIndex);
+    EXPECT_EQ(ra.userConstraints, rb.userConstraints);
+    EXPECT_EQ(ra.pruned, rb.pruned);
+    EXPECT_EQ(ra.probePivots, rb.probePivots);
+    EXPECT_EQ(ra.worst.objective, rb.worst.objective);
+    EXPECT_EQ(ra.best.objective, rb.best.objective);
+    EXPECT_EQ(ra.worst.nodes, rb.worst.nodes);
+    EXPECT_EQ(ra.best.nodes, rb.best.nodes);
   }
 }
 

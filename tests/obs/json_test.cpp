@@ -1,0 +1,69 @@
+// JsonWriter emission and jsonLint syntax checking.
+#include <gtest/gtest.h>
+
+#include "cinderella/obs/json.hpp"
+
+namespace cinderella::obs {
+namespace {
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(jsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonWriter, CommasAndNestingAreAutomatic) {
+  JsonWriter w;
+  w.beginObject()
+      .key("bound")
+      .beginArray()
+      .value(53)
+      .value(std::int64_t{1044})
+      .endArray()
+      .key("ok")
+      .value(true)
+      .key("name")
+      .value("piksrt")
+      .endObject();
+  EXPECT_EQ(w.str(), R"({"bound":[53,1044],"ok":true,"name":"piksrt"})");
+  EXPECT_EQ(jsonLint(w.str()), "");
+}
+
+TEST(JsonWriter, NestedObjectsInsideArrays) {
+  JsonWriter w;
+  w.beginArray();
+  for (int i = 0; i < 2; ++i) {
+    w.beginObject().key("i").value(i).endObject();
+  }
+  w.endArray();
+  EXPECT_EQ(w.str(), R"([{"i":0},{"i":1}])");
+  EXPECT_EQ(jsonLint(w.str()), "");
+}
+
+TEST(JsonLint, AcceptsValidDocuments) {
+  EXPECT_EQ(jsonLint("{}"), "");
+  EXPECT_EQ(jsonLint("[]"), "");
+  EXPECT_EQ(jsonLint("[1, -2.5, 1e9, \"x\", true, false, null]"), "");
+  EXPECT_EQ(jsonLint("  {\"a\": {\"b\": [1]}}  "), "");
+}
+
+TEST(JsonLint, RejectsInvalidDocuments) {
+  EXPECT_NE(jsonLint(""), "");
+  EXPECT_NE(jsonLint("{"), "");
+  EXPECT_NE(jsonLint("{\"a\":1,}"), "");
+  EXPECT_NE(jsonLint("[1 2]"), "");
+  EXPECT_NE(jsonLint("{\"a\" 1}"), "");
+  EXPECT_NE(jsonLint("\"unterminated"), "");
+  EXPECT_NE(jsonLint("01"), "");
+  EXPECT_NE(jsonLint("{} trailing"), "");
+  EXPECT_NE(jsonLint("\"bad \\q escape\""), "");
+}
+
+TEST(JsonLint, ReportsAnOffset) {
+  EXPECT_EQ(jsonLint("[1,]").substr(0, 7), "offset ");
+}
+
+}  // namespace
+}  // namespace cinderella::obs

@@ -1,0 +1,131 @@
+// Counters, log2-bucket histograms, the registry-as-sink, and the
+// ScopedMetricsSink install/restore discipline.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "cinderella/obs/json.hpp"
+#include "cinderella/obs/metrics.hpp"
+#include "cinderella/support/metrics_sink.hpp"
+
+namespace cinderella::obs {
+namespace {
+
+TEST(Counter, Accumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.add(3);
+  c.add(4);
+  EXPECT_EQ(c.value(), 7);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  // Bucket 0 holds v <= 0; bucket i (i >= 1) holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::bucketOf(-5), 0);
+  EXPECT_EQ(Histogram::bucketOf(0), 0);
+  EXPECT_EQ(Histogram::bucketOf(1), 1);
+  EXPECT_EQ(Histogram::bucketOf(2), 2);
+  EXPECT_EQ(Histogram::bucketOf(3), 2);
+  EXPECT_EQ(Histogram::bucketOf(4), 3);
+  EXPECT_EQ(Histogram::bucketOf(7), 3);
+  EXPECT_EQ(Histogram::bucketOf(8), 4);
+  EXPECT_EQ(Histogram::bucketOf(1023), 10);
+  EXPECT_EQ(Histogram::bucketOf(1024), 11);
+  // Huge values clamp into the last bucket instead of overflowing.
+  EXPECT_EQ(Histogram::bucketOf(std::int64_t{1} << 62),
+            Histogram::kBuckets - 1);
+
+  EXPECT_EQ(Histogram::bucketLowerBound(0), 0);
+  EXPECT_EQ(Histogram::bucketLowerBound(1), 1);
+  EXPECT_EQ(Histogram::bucketLowerBound(2), 2);
+  EXPECT_EQ(Histogram::bucketLowerBound(3), 4);
+  EXPECT_EQ(Histogram::bucketLowerBound(11), 1024);
+}
+
+TEST(Histogram, EveryBucketLowerBoundMapsIntoItsOwnBucket) {
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    EXPECT_EQ(Histogram::bucketOf(Histogram::bucketLowerBound(b)), b) << b;
+  }
+}
+
+TEST(Histogram, ObserveTracksCountSumMaxAndBuckets) {
+  Histogram h;
+  for (const std::int64_t v : {0, 1, 3, 3, 100}) h.observe(v);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_EQ(h.sum(), 107);
+  EXPECT_EQ(h.max(), 100);
+  const auto buckets = h.bucketCounts();
+  EXPECT_EQ(buckets[0], 1);                           // the 0
+  EXPECT_EQ(buckets[1], 1);                           // the 1
+  EXPECT_EQ(buckets[2], 2);                           // the two 3s
+  EXPECT_EQ(buckets[Histogram::bucketOf(100)], 1);    // the 100
+}
+
+TEST(MetricsRegistry, ActsAsASink) {
+  MetricsRegistry registry;
+  support::MetricsSink& sink = registry;
+  sink.add("lp.solves", 1);
+  sink.add("lp.solves", 2);
+  sink.observe("lp.pivots", 17);
+  EXPECT_EQ(registry.counter("lp.solves").value(), 3);
+  EXPECT_EQ(registry.histogram("lp.pivots").count(), 1);
+  EXPECT_EQ(registry.histogram("lp.pivots").sum(), 17);
+}
+
+TEST(MetricsRegistry, LookupIsStableAcrossThreads) {
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 1000; ++i) {
+        registry.add("shared", 1);
+        registry.observe("samples", i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(registry.counter("shared").value(), 4000);
+  EXPECT_EQ(registry.histogram("samples").count(), 4000);
+}
+
+TEST(MetricsRegistry, JsonSnapshotIsValid) {
+  MetricsRegistry registry;
+  registry.add("ilp.solves", 2);
+  registry.observe("ilp.nodes", 1);
+  registry.observe("ilp.nodes", 5);
+  const std::string json = registry.json();
+  EXPECT_EQ(jsonLint(json), "") << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"ilp.solves\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"ilp.nodes\""), std::string::npos);
+}
+
+TEST(ScopedMetricsSink, InstallsAndRestores) {
+  ASSERT_EQ(support::metricsSink(), nullptr);
+  MetricsRegistry outer;
+  {
+    ScopedMetricsSink installOuter(&outer);
+    EXPECT_EQ(support::metricsSink(), &outer);
+    MetricsRegistry inner;
+    {
+      ScopedMetricsSink installInner(&inner);
+      EXPECT_EQ(support::metricsSink(), &inner);
+      support::metricsSink()->add("depth", 2);
+    }
+    EXPECT_EQ(support::metricsSink(), &outer);
+    EXPECT_EQ(inner.counter("depth").value(), 2);
+  }
+  EXPECT_EQ(support::metricsSink(), nullptr);
+}
+
+TEST(MetricsSink, OffPathReportsNothing) {
+  ASSERT_EQ(support::metricsSink(), nullptr);
+  // Instrumented code does `if (auto* sink = metricsSink()) ...`; with no
+  // sink installed this must stay null so the branch is never taken.
+  EXPECT_EQ(support::metricsSink(), nullptr);
+}
+
+}  // namespace
+}  // namespace cinderella::obs

@@ -1,0 +1,139 @@
+// Span/Tracer semantics: RAII recording, nesting, exception safety, the
+// disabled (null-tracer) no-op path, and Chrome trace-event emission.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "cinderella/obs/json.hpp"
+#include "cinderella/obs/trace.hpp"
+
+namespace cinderella::obs {
+namespace {
+
+TEST(Span, RecordsOnDestruction) {
+  Tracer tracer;
+  {
+    Span span(&tracer, "work", "test");
+    span.arg("answer", 42).arg("mode", "unit").arg("flag", true);
+  }
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "work");
+  EXPECT_EQ(events[0].category, "test");
+  EXPECT_GE(events[0].startMicros, 0);
+  EXPECT_GE(events[0].durMicros, 0);
+  ASSERT_EQ(events[0].intArgs.size(), 1u);
+  EXPECT_EQ(events[0].intArgs[0].first, "answer");
+  EXPECT_EQ(events[0].intArgs[0].second, 42);
+  ASSERT_EQ(events[0].stringArgs.size(), 2u);
+  EXPECT_EQ(events[0].stringArgs[1].second, "true");
+}
+
+TEST(Span, NestedSpansRecordInnerFirstAndEncloseDurations) {
+  Tracer tracer;
+  {
+    Span outer(&tracer, "outer");
+    { Span inner(&tracer, "inner"); }
+  }
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  // Both spans may start inside the same microsecond, so look the pair
+  // up by name instead of relying on the (start, tid) sort order.
+  const auto& outer = events[0].name == "outer" ? events[0] : events[1];
+  const auto& inner = events[0].name == "inner" ? events[0] : events[1];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_LE(outer.startMicros, inner.startMicros);
+  EXPECT_LE(inner.startMicros + inner.durMicros,
+            outer.startMicros + outer.durMicros);
+}
+
+TEST(Span, RecordsWhenScopeUnwindsThroughAnException) {
+  Tracer tracer;
+  try {
+    Span span(&tracer, "doomed");
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "doomed");
+}
+
+TEST(Span, EndIsIdempotent) {
+  Tracer tracer;
+  Span span(&tracer, "once");
+  span.end();
+  span.end();
+  EXPECT_EQ(tracer.events().size(), 1u);
+  EXPECT_FALSE(span.enabled());
+}
+
+TEST(Span, NullTracerDisablesEverything) {
+  Span span(nullptr, "ghost");
+  span.arg("k", 1).arg("s", "v");
+  span.end();
+  EXPECT_FALSE(span.enabled());
+
+  Span defaulted;
+  EXPECT_FALSE(defaulted.enabled());
+}
+
+TEST(Span, MoveTransfersOwnership) {
+  Tracer tracer;
+  {
+    Span a(&tracer, "moved");
+    Span b(std::move(a));
+    EXPECT_FALSE(a.enabled());  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(b.enabled());
+  }
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "moved");
+}
+
+TEST(Tracer, AssignsDenseThreadIds) {
+  Tracer tracer;
+  { Span main(&tracer, "main-thread"); }
+  std::thread worker([&] { Span span(&tracer, "worker-thread"); });
+  worker.join();
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  int mainTid = -1;
+  int workerTid = -1;
+  for (const auto& e : events) {
+    (e.name == "main-thread" ? mainTid : workerTid) = e.tid;
+  }
+  EXPECT_EQ(mainTid, 0);  // first thread seen
+  EXPECT_EQ(workerTid, 1);
+}
+
+TEST(Tracer, ChromeTraceJsonIsValidAndComplete) {
+  Tracer tracer;
+  {
+    Span span(&tracer, "solve \"x\"", "ilp");
+    span.arg("set", 3).arg("verdict", "feasible");
+  }
+  const std::string json = tracer.chromeTraceJson();
+  EXPECT_EQ(jsonLint(json), "") << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"solve \\\"x\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"ilp\""), std::string::npos);
+  EXPECT_NE(json.find("\"set\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"verdict\":\"feasible\""), std::string::npos);
+
+  std::ostringstream out;
+  tracer.writeChromeTrace(out);
+  EXPECT_EQ(out.str(), json + "\n");
+}
+
+TEST(Tracer, EmptyTraceIsStillValidJson) {
+  Tracer tracer;
+  EXPECT_EQ(jsonLint(tracer.chromeTraceJson()), "");
+}
+
+}  // namespace
+}  // namespace cinderella::obs

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "cinderella/obs/json.hpp"
 #include "cinderella/tools/tool.hpp"
 
 namespace cinderella::tools {
@@ -190,6 +191,90 @@ TEST(ToolRun, CcgModeTightensBound) {
   EXPECT_EQ(runTool(ccg, outC, err), 0);
   EXPECT_NE(outA.str().find("[53, 1,044]"), std::string::npos);
   EXPECT_NE(outC.str().find("[53, 492]"), std::string::npos);
+}
+
+TEST(ToolArgs, ParsesObservabilityFlags) {
+  ToolOptions o;
+  ASSERT_TRUE(parse({"--benchmark", "piksrt", "--trace-out", "t.json",
+                     "--report-json", "r.json", "--verbose-solve"},
+                    &o));
+  EXPECT_EQ(o.traceOut, "t.json");
+  EXPECT_EQ(o.reportJson, "r.json");
+  EXPECT_TRUE(o.verboseSolve);
+  o = {};
+  EXPECT_FALSE(parse({"--benchmark", "piksrt", "--trace-out"}, &o));
+  o = {};
+  EXPECT_FALSE(parse({"--benchmark", "piksrt", "--report-json"}, &o));
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(ToolRun, TraceAndReportFilesAreValidJson) {
+  const std::string tracePath = ::testing::TempDir() + "/tool_trace.json";
+  const std::string reportPath = ::testing::TempDir() + "/tool_report.json";
+  ToolOptions o;
+  o.benchmark = "dhry";
+  o.jobs = 4;
+  o.traceOut = tracePath;
+  o.reportJson = reportPath;
+  std::ostringstream out, err;
+  EXPECT_EQ(runTool(o, out, err), 0);
+
+  const std::string trace = slurp(tracePath);
+  EXPECT_EQ(obs::jsonLint(trace), "");
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ilp-worst\""), std::string::npos);
+  EXPECT_NE(trace.find("\"frontend\""), std::string::npos);
+
+  const std::string report = slurp(reportPath);
+  EXPECT_EQ(obs::jsonLint(report), "");
+  EXPECT_NE(report.find("\"program\":\"dhry\""), std::string::npos);
+  EXPECT_NE(report.find("\"sets\""), std::string::npos);
+  EXPECT_NE(report.find("\"metrics\""), std::string::npos);
+
+  std::remove(tracePath.c_str());
+  std::remove(reportPath.c_str());
+}
+
+TEST(ToolRun, ObservabilityFlagsDoNotChangeStdout) {
+  ToolOptions plain;
+  plain.benchmark = "piksrt";
+  ToolOptions observed = plain;
+  observed.traceOut = ::testing::TempDir() + "/tool_obs_trace.json";
+  observed.reportJson = ::testing::TempDir() + "/tool_obs_report.json";
+  std::ostringstream outPlain, outObserved, err;
+  EXPECT_EQ(runTool(plain, outPlain, err), 0);
+  EXPECT_EQ(runTool(observed, outObserved, err), 0);
+  EXPECT_EQ(outPlain.str(), outObserved.str());
+  std::remove(observed.traceOut.c_str());
+  std::remove(observed.reportJson.c_str());
+}
+
+TEST(ToolRun, VerboseSolvePrintsThePerSetTable) {
+  ToolOptions o;
+  o.benchmark = "dhry";
+  o.verboseSolve = true;
+  std::ostringstream out, err;
+  EXPECT_EQ(runTool(o, out, err), 0);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("per-set solve records"), std::string::npos);
+  EXPECT_NE(text.find("worst"), std::string::npos);
+  EXPECT_NE(text.find("estimated bound:"), std::string::npos);
+}
+
+TEST(ToolRun, UnwritableTracePathFails) {
+  ToolOptions o;
+  o.benchmark = "piksrt";
+  o.traceOut = "/nonexistent-dir/trace.json";
+  std::ostringstream out, err;
+  EXPECT_EQ(runTool(o, out, err), 1);
+  EXPECT_NE(err.str().find("cannot write trace"), std::string::npos);
 }
 
 TEST(ToolRun, ReportsBadConstraint) {
