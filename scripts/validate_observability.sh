@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Observability smoke test: run the CLI with tracing and reporting on
+# for a spread of suite benchmarks, then validate both emitted files as
+# JSON with a real parser.  Used locally and by the `observability` CI
+# job so the benchmark list and flags live in exactly one place.
+#
+# usage: scripts/validate_observability.sh [path-to-cinderella] [out-dir]
+set -euo pipefail
+
+CLI="${1:-./build/src/tools/cinderella}"
+OUT="${2:-$(mktemp -d)}"
+BENCHMARKS=(check_data dhry des jpeg_fdct_islow)
+
+if [[ ! -x "$CLI" ]]; then
+  echo "validate_observability: CLI not found at $CLI" >&2
+  echo "build it with: cmake --build build -j --target cinderella" >&2
+  exit 1
+fi
+
+for b in "${BENCHMARKS[@]}"; do
+  "$CLI" --benchmark "$b" --jobs 4 \
+    --trace-out "$OUT/trace-$b.json" --report-json "$OUT/report-$b.json" \
+    --verbose-solve
+  python3 -m json.tool "$OUT/trace-$b.json" > /dev/null
+  python3 -m json.tool "$OUT/report-$b.json" > /dev/null
+  echo "validate_observability: $b ok"
+done
+
+echo "validate_observability: all ${#BENCHMARKS[@]} benchmarks emitted valid JSON"

@@ -1,0 +1,58 @@
+// Delta-debugging minimizer for failing MiniC programs.
+//
+// The shrinker is predicate-driven: it knows nothing about oracles,
+// only that some caller-supplied `stillFails` predicate holds for the
+// original program, and it greedily applies source-level reductions
+// that keep the predicate true.  The fuzzer instantiates the predicate
+// as "compiles and fails the differential oracle with the same first
+// discrepancy kind"; tests instantiate whatever they need.
+//
+// Reductions operate on the generator's line discipline (one statement
+// per line, regions opened by a trailing `{` and closed by a leading
+// `}`), which every generated program and every corpus reproducer
+// follows:
+//
+//   1. delete a whole region (an if/else, for or while statement),
+//   2. unwrap a region (keep its body, drop the header/footer and any
+//      `__loopbound` annotation that belonged to the dropped loop),
+//   3. delete a single statement line,
+//   4. reduce a counted loop's trip count to 1 (rewriting both the
+//      loop condition and its `__loopbound` annotation).
+//
+// Candidates are enumerated in a fixed order and applied greedily until
+// a full round accepts nothing, so the result is a deterministic
+// function of (source, predicate): same seed + same failure implies a
+// byte-identical minimized program.
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace cinderella::fuzz {
+
+using FailurePredicate = std::function<bool(const std::string&)>;
+
+struct ShrinkOptions {
+  /// Full candidate rounds before giving up (each accepted reduction
+  /// strictly shrinks the program, so this is a safety valve only).
+  int maxRounds = 64;
+  /// Total predicate evaluations allowed across all rounds.
+  int maxCandidates = 20'000;
+};
+
+struct ShrinkResult {
+  std::string source;
+  int rounds = 0;
+  int candidatesTried = 0;
+  int accepted = 0;
+};
+
+/// Minimizes `source` while `stillFails` stays true.  `stillFails` must
+/// be true for `source` itself (returns it unchanged otherwise, with
+/// rounds == 0).  The predicate is responsible for rejecting candidates
+/// that no longer compile.
+[[nodiscard]] ShrinkResult shrink(const std::string& source,
+                                  const FailurePredicate& stillFails,
+                                  const ShrinkOptions& options = {});
+
+}  // namespace cinderella::fuzz

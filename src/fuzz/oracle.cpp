@@ -1,0 +1,275 @@
+#include "cinderella/fuzz/oracle.hpp"
+
+#include <optional>
+#include <utility>
+
+#include "cinderella/codegen/codegen.hpp"
+#include "cinderella/explicitpath/enumerator.hpp"
+#include "cinderella/sim/simulator.hpp"
+#include "cinderella/support/error.hpp"
+#include "cinderella/support/text.hpp"
+
+namespace cinderella::fuzz {
+
+const char* checkKindStr(CheckKind kind) {
+  switch (kind) {
+    case CheckKind::Frontend: return "frontend";
+    case CheckKind::Analysis: return "analysis";
+    case CheckKind::ExplicitWorst: return "explicit-worst";
+    case CheckKind::ExplicitBest: return "explicit-best";
+    case CheckKind::SimAboveBound: return "sim-above-bound";
+    case CheckKind::SimBelowBound: return "sim-below-bound";
+    case CheckKind::SimFault: return "sim-fault";
+    case CheckKind::CacheNotTighter: return "cache-not-tighter";
+    case CheckKind::ConstraintMoved: return "constraint-moved";
+    case CheckKind::JobsMismatch: return "jobs-mismatch";
+  }
+  return "?";
+}
+
+std::string OracleReport::summary() const {
+  if (discrepancies.empty()) return "ok";
+  const Discrepancy& first = discrepancies.front();
+  return std::string(checkKindStr(first.kind)) + ": " + first.detail;
+}
+
+std::vector<std::string> embeddedConstraints(std::string_view source) {
+  static constexpr std::string_view kPrefix = "//! constraint: ";
+  std::vector<std::string> out;
+  for (const auto& line : splitLines(source)) {
+    if (line.rfind(kPrefix, 0) == 0) {
+      out.push_back(line.substr(kPrefix.size()));
+    }
+  }
+  return out;
+}
+
+DifferentialOracle::DifferentialOracle(OracleOptions options)
+    : options_(std::move(options)) {
+  CIN_REQUIRE(!options_.cacheModes.empty());
+}
+
+namespace {
+
+/// Deterministic comparison surface of an Estimate: everything except
+/// the wall-clock timings must be identical across thread counts.
+bool sameDeterministicResult(const ipet::Estimate& a, const ipet::Estimate& b,
+                             std::string* why) {
+  const auto fail = [&](const std::string& message) {
+    *why = message;
+    return false;
+  };
+  if (a.bound != b.bound) return fail("bound differs");
+  const ipet::SolveStats& sa = a.stats;
+  const ipet::SolveStats& sb = b.stats;
+  if (sa.constraintSets != sb.constraintSets ||
+      sa.prunedNullSets != sb.prunedNullSets ||
+      sa.ilpSolves != sb.ilpSolves || sa.lpCalls != sb.lpCalls ||
+      sa.nodesExpanded != sb.nodesExpanded ||
+      sa.totalPivots != sb.totalPivots) {
+    return fail("solve stats differ");
+  }
+  if (a.worstCounts.size() != b.worstCounts.size() ||
+      a.bestCounts.size() != b.bestCounts.size()) {
+    return fail("count-row sets differ");
+  }
+  for (std::size_t i = 0; i < a.worstCounts.size(); ++i) {
+    const auto& ra = a.worstCounts[i];
+    const auto& rb = b.worstCounts[i];
+    if (ra.function != rb.function || ra.block != rb.block ||
+        ra.count != rb.count) {
+      return fail("worst counts differ");
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+OracleReport DifferentialOracle::check(const GeneratedProgram& program,
+                                       std::uint64_t inputSeed) const {
+  OracleReport report;
+  const auto add = [&](CheckKind kind, std::string detail) {
+    report.discrepancies.push_back({kind, std::move(detail)});
+  };
+
+  // 1. Frontend: a generated program that fails to compile is a
+  //    generator bug, reported rather than thrown so the fuzzer can
+  //    shrink it like any other failure.
+  std::optional<codegen::CompileResult> compiled;
+  try {
+    compiled.emplace(codegen::compileSource(program.source));
+  } catch (const Error& e) {
+    add(CheckKind::Frontend, e.what());
+    return report;
+  }
+  const auto fnIndex = compiled->module.findFunction(program.root);
+  if (!fnIndex) {
+    add(CheckKind::Frontend, "root function '" + program.root + "' missing");
+    return report;
+  }
+
+  // 2. One estimate per cache mode (jobs = 1, no user constraints).
+  std::vector<ipet::Estimate> estimates;
+  for (const ipet::CacheMode mode : options_.cacheModes) {
+    try {
+      ipet::AnalyzerOptions aopt;
+      aopt.cacheMode = mode;
+      ipet::Analyzer analyzer(*compiled, program.root, aopt);
+      estimates.push_back(analyzer.estimate());
+    } catch (const Error& e) {
+      add(CheckKind::Analysis,
+          std::string(ipet::cacheModeStr(mode)) + ": " + e.what());
+      return report;
+    }
+  }
+
+  // 3. Internal consistency before any fault injection is applied.
+  //    Refined cache modes may only tighten the worst-case bound.
+  for (std::size_t m = 1; m < estimates.size(); ++m) {
+    if (estimates[m].bound.hi > estimates[0].bound.hi) {
+      add(CheckKind::CacheNotTighter,
+          std::string(ipet::cacheModeStr(options_.cacheModes[m])) + " hi " +
+              std::to_string(estimates[m].bound.hi) + " > " +
+              std::to_string(estimates[0].bound.hi) + " (" +
+              ipet::cacheModeStr(options_.cacheModes[0]) + ")");
+    }
+  }
+
+  //    Redundant constraints must not move the reference bound, and the
+  //    constrained analyzer doubles as the jobs-determinism subject (its
+  //    disjunctions give the thread pool more than one set to race on).
+  try {
+    ipet::AnalyzerOptions aopt;
+    aopt.cacheMode = options_.cacheModes[0];
+    ipet::Analyzer analyzer(*compiled, program.root, aopt);
+    for (const auto& text : program.constraints) {
+      analyzer.addConstraint(text);
+    }
+    const ipet::Estimate single = analyzer.estimate();
+    if (!program.constraints.empty() &&
+        single.bound != estimates[0].bound) {
+      add(CheckKind::ConstraintMoved,
+          "redundant constraints moved the bound from " +
+              intervalStr(estimates[0].bound.lo, estimates[0].bound.hi) +
+              " to " + intervalStr(single.bound.lo, single.bound.hi));
+    }
+    for (const int jobs : options_.extraJobs) {
+      ipet::SolveControl control;
+      control.threads = jobs;
+      const ipet::Estimate threaded = analyzer.estimate(control);
+      std::string why;
+      if (!sameDeterministicResult(single, threaded, &why)) {
+        add(CheckKind::JobsMismatch,
+            "jobs=" + std::to_string(jobs) + ": " + why);
+      }
+    }
+  } catch (const Error& e) {
+    add(CheckKind::Analysis, std::string("constrained: ") + e.what());
+  }
+
+  // Fault injection (tests only): perturb the bounds *after* the
+  // consistency checks so the injected error is attributed to the
+  // differential oracles below, exactly like a real analyzer bug.
+  for (auto& est : estimates) est.bound.hi += options_.injectBoundHiDelta;
+  report.bound = estimates[0].bound;
+
+  // 4. Exact agreement vs complete explicit enumeration.  Valid against
+  //    the all-miss estimate only: the enumerator charges static worst
+  //    (all-miss) and best (all-hit) block costs, the same cost basis.
+  if (options_.compareExplicit) {
+    std::optional<std::size_t> allMiss;
+    for (std::size_t m = 0; m < options_.cacheModes.size(); ++m) {
+      if (options_.cacheModes[m] == ipet::CacheMode::AllMiss) allMiss = m;
+    }
+    if (allMiss) {
+      try {
+        explicitpath::EnumOptions eo;
+        eo.maxPaths = options_.maxExplicitPaths;
+        eo.maxSteps = options_.maxExplicitSteps;
+        const explicitpath::EnumResult ex =
+            explicitpath::enumeratePaths(*compiled, program.root, eo);
+        report.explicitComplete = ex.complete;
+        report.pathsExplored = ex.pathsExplored;
+        if (ex.complete) {
+          const std::int64_t worst =
+              ex.worst + options_.injectExplicitWorstDelta;
+          const ipet::Interval& bound = estimates[*allMiss].bound;
+          if (bound.hi != worst) {
+            add(CheckKind::ExplicitWorst,
+                "ipet hi " + std::to_string(bound.hi) +
+                    " != explicit worst " + std::to_string(worst));
+          }
+          if (bound.lo != ex.best) {
+            add(CheckKind::ExplicitBest,
+                "ipet lo " + std::to_string(bound.lo) +
+                    " != explicit best " + std::to_string(ex.best));
+          }
+        }
+      } catch (const Error& e) {
+        add(CheckKind::Analysis, std::string("explicit: ") + e.what());
+      }
+    }
+  }
+
+  // 5. Bracketing: every simulated run must land inside every mode's
+  //    interval.  Random arguments and random int-array contents; the
+  //    generator guarantees no fault paths, so a SimulationError is a
+  //    finding, not noise.
+  if (options_.simTrials > 0) {
+    sim::Simulator simulator(compiled->module);
+    Xorshift64 rng(inputSeed ? inputSeed : 1);
+    const int numParams = compiled->module.function(*fnIndex).numParams;
+    for (int trial = 0; trial < options_.simTrials; ++trial) {
+      std::vector<std::int64_t> args;
+      for (int a = 0; a < numParams; ++a) args.push_back(rng.range(-20, 20));
+      sim::SimOptions simOptions;
+      simOptions.maxInstructions = options_.maxSimInstructions;
+      for (const auto& global : compiled->module.globals()) {
+        if (global.isFloat) continue;
+        std::vector<std::uint64_t> words(
+            static_cast<std::size_t>(global.size));
+        for (auto& w : words) w = sim::encodeInt(rng.range(-50, 50));
+        simOptions.patches.push_back({global.name, std::move(words)});
+      }
+      try {
+        const sim::SimResult run =
+            simulator.run(*fnIndex, args, simOptions);
+        ++report.simRuns;
+        for (std::size_t m = 0; m < estimates.size(); ++m) {
+          const ipet::Interval& bound = estimates[m].bound;
+          const char* mode = ipet::cacheModeStr(options_.cacheModes[m]);
+          if (run.cycles > bound.hi) {
+            add(CheckKind::SimAboveBound,
+                std::string(mode) + ": simulated " +
+                    std::to_string(run.cycles) + " cycles > hi " +
+                    std::to_string(bound.hi));
+          }
+          if (run.cycles < bound.lo) {
+            add(CheckKind::SimBelowBound,
+                std::string(mode) + ": simulated " +
+                    std::to_string(run.cycles) + " cycles < lo " +
+                    std::to_string(bound.lo));
+          }
+        }
+      } catch (const Error& e) {
+        add(CheckKind::SimFault, e.what());
+        break;  // further trials would fault the same way
+      }
+    }
+  }
+
+  return report;
+}
+
+OracleReport DifferentialOracle::checkSource(std::string_view source,
+                                             std::string_view root,
+                                             std::uint64_t inputSeed) const {
+  GeneratedProgram program;
+  program.source = std::string(source);
+  program.root = std::string(root);
+  program.constraints = embeddedConstraints(source);
+  return check(program, inputSeed);
+}
+
+}  // namespace cinderella::fuzz

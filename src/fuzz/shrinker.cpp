@@ -1,0 +1,187 @@
+#include "cinderella/fuzz/shrinker.hpp"
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "cinderella/support/text.hpp"
+
+namespace cinderella::fuzz {
+
+namespace {
+
+std::string_view trimmed(std::string_view line) {
+  const auto first = line.find_first_not_of(" \t");
+  if (first == std::string_view::npos) return {};
+  const auto last = line.find_last_not_of(" \t");
+  return line.substr(first, last - first + 1);
+}
+
+bool opensRegion(std::string_view line) {
+  const auto t = trimmed(line);
+  return !t.empty() && t.back() == '{';
+}
+
+bool closesRegion(std::string_view line) {
+  const auto t = trimmed(line);
+  return !t.empty() && t.front() == '}';
+}
+
+/// Index of the line closing the region opened at `start`, or -1 when
+/// the braces are unbalanced.  A `} else {` line continues the region.
+int regionEnd(const std::vector<std::string>& lines, int start) {
+  int depth = 1;
+  for (int j = start + 1; j < static_cast<int>(lines.size()); ++j) {
+    const auto& line = lines[static_cast<std::size_t>(j)];
+    if (closesRegion(line)) --depth;
+    if (depth == 0 && !opensRegion(line)) return j;
+    if (opensRegion(line)) ++depth;
+  }
+  return -1;
+}
+
+std::vector<std::string> toLines(const std::string& source) {
+  std::vector<std::string> lines = splitLines(source);
+  while (!lines.empty() && trimmed(lines.back()).empty()) lines.pop_back();
+  return lines;
+}
+
+std::string joinLines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+/// Replaces the first `< K` (K > 1) of `line` with `< 1`; empty when no
+/// reducible trip count is present.
+std::string reduceTrip(const std::string& line, std::int64_t* oldTrips) {
+  const auto lt = line.find("< ");
+  if (lt == std::string::npos) return {};
+  std::size_t pos = lt + 2;
+  std::size_t end = pos;
+  while (end < line.size() && line[end] >= '0' && line[end] <= '9') ++end;
+  if (end == pos) return {};
+  const std::int64_t trips = std::stoll(line.substr(pos, end - pos));
+  if (trips <= 1) return {};
+  *oldTrips = trips;
+  return line.substr(0, pos) + "1" + line.substr(end);
+}
+
+/// Rewrites `__loopbound(K, K);` to `__loopbound(1, 1);` when it names
+/// exactly the given trip count; empty otherwise.
+std::string reduceLoopbound(const std::string& line, std::int64_t trips) {
+  const auto t = trimmed(line);
+  const std::string wanted = "__loopbound(" + std::to_string(trips) + ", " +
+                             std::to_string(trips) + ");";
+  if (t != wanted) return {};
+  const auto indent = line.substr(0, line.size() - t.size());
+  return indent + "__loopbound(1, 1);";
+}
+
+struct Candidate {
+  std::vector<std::string> lines;
+};
+
+/// All reductions applicable to `lines`, in the fixed order the greedy
+/// loop tries them: per start line, region delete, then trip reduction,
+/// then unwrap, then single-line delete.
+std::vector<Candidate> candidates(const std::vector<std::string>& lines) {
+  std::vector<Candidate> out;
+  const int n = static_cast<int>(lines.size());
+  for (int i = 0; i < n; ++i) {
+    const auto& line = lines[static_cast<std::size_t>(i)];
+    const auto t = trimmed(line);
+    if (opensRegion(line) && !closesRegion(line)) {
+      const int end = regionEnd(lines, i);
+      if (end < 0) continue;
+      // Delete the whole region (statement or entire unused function).
+      Candidate del;
+      del.lines.assign(lines.begin(), lines.begin() + i);
+      del.lines.insert(del.lines.end(), lines.begin() + end + 1, lines.end());
+      out.push_back(std::move(del));
+
+      // Reduce a counted loop to a single trip.
+      std::int64_t trips = 0;
+      const std::string reducedHeader = reduceTrip(line, &trips);
+      if (!reducedHeader.empty() && i + 1 <= end) {
+        const std::string reducedBound =
+            reduceLoopbound(lines[static_cast<std::size_t>(i + 1)], trips);
+        if (!reducedBound.empty()) {
+          Candidate reduce;
+          reduce.lines = lines;
+          reduce.lines[static_cast<std::size_t>(i)] = reducedHeader;
+          reduce.lines[static_cast<std::size_t>(i + 1)] = reducedBound;
+          out.push_back(std::move(reduce));
+        }
+      }
+
+      // Unwrap: keep the first sub-block's statements (up to the `}` or
+      // `} else {` at region depth), dropping the loop's annotation.
+      int firstBlockEnd = end;
+      int depth = 1;
+      for (int j = i + 1; j < end; ++j) {
+        const auto& inner = lines[static_cast<std::size_t>(j)];
+        if (closesRegion(inner)) --depth;
+        if (depth == 0) {
+          firstBlockEnd = j;
+          break;
+        }
+        if (opensRegion(inner)) ++depth;
+      }
+      Candidate unwrap;
+      unwrap.lines.assign(lines.begin(), lines.begin() + i);
+      for (int j = i + 1; j < firstBlockEnd; ++j) {
+        const auto inner = trimmed(lines[static_cast<std::size_t>(j)]);
+        if (j == i + 1 && inner.rfind("__loopbound(", 0) == 0) continue;
+        unwrap.lines.push_back(lines[static_cast<std::size_t>(j)]);
+      }
+      unwrap.lines.insert(unwrap.lines.end(), lines.begin() + end + 1,
+                          lines.end());
+      out.push_back(std::move(unwrap));
+      continue;
+    }
+    if (!t.empty() && t.back() == ';' && t.rfind("return", 0) != 0 &&
+        t.rfind("__loopbound(", 0) != 0) {
+      Candidate del;
+      del.lines.assign(lines.begin(), lines.begin() + i);
+      del.lines.insert(del.lines.end(), lines.begin() + i + 1, lines.end());
+      out.push_back(std::move(del));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const std::string& source,
+                    const FailurePredicate& stillFails,
+                    const ShrinkOptions& options) {
+  ShrinkResult result;
+  result.source = source;
+  if (!stillFails(source)) return result;
+
+  std::vector<std::string> lines = toLines(source);
+  for (int round = 0; round < options.maxRounds; ++round) {
+    bool acceptedThisRound = false;
+    for (const Candidate& candidate : candidates(lines)) {
+      if (result.candidatesTried >= options.maxCandidates) break;
+      ++result.candidatesTried;
+      const std::string text = joinLines(candidate.lines);
+      if (stillFails(text)) {
+        lines = candidate.lines;
+        ++result.accepted;
+        acceptedThisRound = true;
+        break;  // restart the scan on the reduced program
+      }
+    }
+    ++result.rounds;
+    if (!acceptedThisRound) break;
+  }
+  result.source = joinLines(lines);
+  return result;
+}
+
+}  // namespace cinderella::fuzz

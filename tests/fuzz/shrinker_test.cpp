@@ -1,0 +1,132 @@
+// Shrinker behaviour: deterministic minimization, and the acceptance
+// property that a planted analyzer/enumerator disagreement shrinks to a
+// reproducer under 30 lines.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cinderella/codegen/codegen.hpp"
+#include "cinderella/fuzz/fuzzer.hpp"
+#include "cinderella/fuzz/generator.hpp"
+#include "cinderella/fuzz/oracle.hpp"
+#include "cinderella/fuzz/shrinker.hpp"
+#include "cinderella/support/error.hpp"
+#include "cinderella/support/text.hpp"
+
+namespace cinderella::fuzz {
+namespace {
+
+bool compiles(const std::string& source) {
+  try {
+    (void)codegen::compileSource(source);
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+int lineCount(const std::string& source) {
+  int lines = 0;
+  for (const auto& line : splitLines(source)) {
+    if (!line.empty()) ++lines;
+  }
+  return lines;
+}
+
+TEST(ShrinkerTest, ReturnsInputWhenPredicateAlreadyFalse) {
+  const std::string source = "int f(int x0, int x1) { return x0; }\n";
+  const ShrinkResult result =
+      shrink(source, [](const std::string&) { return false; });
+  EXPECT_EQ(result.source, source);
+  EXPECT_EQ(result.accepted, 0);
+  EXPECT_EQ(result.rounds, 0);
+}
+
+TEST(ShrinkerTest, StructuralPredicateKeepsTheLoop) {
+  ProgramGenerator gen;
+  // Find a seed whose program contains a for loop, then shrink under
+  // "compiles and still contains a for loop".
+  GeneratedProgram program;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    program = gen.generate(seed);
+    if (program.source.find("for (") != std::string::npos) break;
+  }
+  ASSERT_NE(program.source.find("for ("), std::string::npos);
+
+  const auto predicate = [](const std::string& candidate) {
+    return compiles(candidate) &&
+           candidate.find("for (") != std::string::npos;
+  };
+  const ShrinkResult result = shrink(program.source, predicate);
+  EXPECT_NE(result.source.find("for ("), std::string::npos);
+  EXPECT_TRUE(compiles(result.source));
+  EXPECT_LE(result.source.size(), program.source.size());
+  EXPECT_GT(result.accepted, 0) << result.source;
+}
+
+// Same seed + same failure => byte-identical minimized program.  The
+// planted failure is the fault-injected explicit off-by-one, i.e. the
+// scratch-branch scenario the subsystem exists to catch.
+TEST(ShrinkerTest, DeterministicForPlantedOffByOne) {
+  ProgramGenerator gen;
+  OracleOptions oopt;
+  oopt.injectExplicitWorstDelta = 1;
+  const DifferentialOracle oracle(oopt);
+  const GeneratedProgram program = gen.generate(3);
+  const OracleReport report = oracle.check(program, 4);
+  ASSERT_FALSE(report.ok());
+
+  const auto predicate = sameFailurePredicate(oracle, program, report, 4);
+  const ShrinkResult first = shrink(program.source, predicate);
+  const ShrinkResult second = shrink(program.source, predicate);
+  EXPECT_EQ(first.source, second.source);
+  EXPECT_EQ(first.rounds, second.rounds);
+  EXPECT_EQ(first.candidatesTried, second.candidatesTried);
+  EXPECT_EQ(first.accepted, second.accepted);
+}
+
+TEST(ShrinkerTest, PlantedOffByOneShrinksUnderThirtyLines) {
+  ProgramGenerator gen;
+  OracleOptions oopt;
+  oopt.injectExplicitWorstDelta = 1;
+  const DifferentialOracle oracle(oopt);
+  for (const std::uint64_t seed : {1ull, 5ull, 9ull}) {
+    const GeneratedProgram program = gen.generate(seed);
+    const OracleReport report = oracle.check(program, seed ^ 1);
+    ASSERT_FALSE(report.ok()) << "seed " << seed;
+
+    const auto predicate =
+        sameFailurePredicate(oracle, program, report, seed ^ 1);
+    const ShrinkResult result = shrink(program.source, predicate);
+    EXPECT_TRUE(compiles(result.source)) << result.source;
+    EXPECT_TRUE(predicate(result.source)) << result.source;
+    EXPECT_LT(lineCount(result.source), 30)
+        << "seed " << seed << "\n" << result.source;
+  }
+}
+
+TEST(ShrinkerTest, ReducesLoopTripCounts) {
+  const std::string source =
+      "int f(int x0, int x1) {\n"
+      "  int acc; acc = x0;\n"
+      "  int i0;\n"
+      "  for (i0 = 0; i0 < 7; i0 = i0 + 1) {\n"
+      "    __loopbound(7, 7);\n"
+      "    acc = acc + 1;\n"
+      "  }\n"
+      "  return acc;\n"
+      "}\n";
+  // Predicate pins the loop in place; the only accepted reduction is
+  // the trip-count rewrite (delete/unwrap would drop the for line).
+  const auto predicate = [](const std::string& candidate) {
+    return compiles(candidate) &&
+           candidate.find("for (") != std::string::npos;
+  };
+  const ShrinkResult result = shrink(source, predicate);
+  EXPECT_NE(result.source.find("i0 < 1;"), std::string::npos) << result.source;
+  EXPECT_NE(result.source.find("__loopbound(1, 1);"), std::string::npos)
+      << result.source;
+}
+
+}  // namespace
+}  // namespace cinderella::fuzz

@@ -1,197 +1,84 @@
-// Property sweep over randomly generated MiniC programs:
-//   1. the IPET bound encloses the simulated cycle count for several
-//      random inputs (soundness of the whole pipeline), and
-//   2. on programs whose only path information is loop bounds, IPET and
-//      complete explicit enumeration agree exactly (the paper's implicit
-//      == explicit equivalence).
+// Property sweep over randomly generated MiniC programs, now driven by
+// the fuzz subsystem (src/fuzz/): each seed runs the full differential
+// oracle — exact agreement between IPET and complete explicit
+// enumeration, simulation bracketing across every cache mode, cache
+// refinement monotonicity, redundant-constraint neutrality, and
+// thread-count determinism.  See fuzz/oracle.hpp for the oracle
+// definitions; tests/fuzz/ covers the subsystem's own machinery.
 #include <gtest/gtest.h>
 
 #include <string>
 
-#include "cinderella/codegen/codegen.hpp"
-#include "cinderella/explicitpath/enumerator.hpp"
-#include "cinderella/ipet/analyzer.hpp"
-#include "cinderella/sim/simulator.hpp"
-#include "cinderella/support/text.hpp"
+#include "cinderella/fuzz/generator.hpp"
+#include "cinderella/fuzz/oracle.hpp"
 
 namespace cinderella {
 namespace {
 
-/// Generates a random but well-formed MiniC program: counted loops with
-/// exact bounds, data-dependent branches, masked array accesses (never
-/// out of bounds), and no division (no fault paths).
-class ProgramGenerator {
- public:
-  explicit ProgramGenerator(std::uint64_t seed) : rng_(seed) {}
-
-  std::string generate() {
-    body_.clear();
-    nextLocal_ = 0;
-    emit("int t[8];");
-    emit("int f(int x0, int x1) {");
-    emit("  int acc; acc = x0;");
-    const int statements = static_cast<int>(rng_.range(2, 6));
-    for (int i = 0; i < statements; ++i) genStatement(1, 2);
-    emit("  return acc;");
-    emit("}");
-    std::string out;
-    for (const auto& line : body_) out += line + "\n";
-    return out;
-  }
-
- private:
-  void emit(std::string line) { body_.push_back(std::move(line)); }
-
-  std::string indent(int depth) { return std::string(depth * 2, ' '); }
-
-  std::string var() {
-    switch (rng_.range(0, 2)) {
-      case 0: return "x0";
-      case 1: return "x1";
-      default: return "acc";
-    }
-  }
-
-  std::string expr(int depth) {
-    if (depth <= 0 || rng_.range(0, 2) == 0) {
-      if (rng_.range(0, 1) == 0) return var();
-      return std::to_string(rng_.range(-9, 9));
-    }
-    switch (rng_.range(0, 4)) {
-      case 0: return "(" + expr(depth - 1) + " + " + expr(depth - 1) + ")";
-      case 1: return "(" + expr(depth - 1) + " - " + expr(depth - 1) + ")";
-      case 2: return "(" + expr(depth - 1) + " * " + expr(depth - 1) + ")";
-      case 3: return "(" + expr(depth - 1) + " ^ " + expr(depth - 1) + ")";
-      default: return "t[(" + expr(depth - 1) + ") & 7]";
-    }
-  }
-
-  std::string condition() {
-    const char* rel[] = {"<", "<=", ">", ">=", "==", "!="};
-    return expr(1) + " " + rel[rng_.range(0, 5)] + " " + expr(1);
-  }
-
-  void genStatement(int depth, int loopBudget) {
-    const int kind = static_cast<int>(rng_.range(0, 5));
-    if (kind <= 2) {  // assignment
-      if (rng_.range(0, 3) == 0) {
-        emit(indent(depth) + "t[(" + expr(1) + ") & 7] = " + expr(2) + ";");
-      } else {
-        emit(indent(depth) + var() + " = " + expr(2) + ";");
-      }
-      return;
-    }
-    if (kind == 3) {  // if / if-else
-      emit(indent(depth) + "if (" + condition() + ") {");
-      genStatement(depth + 1, loopBudget);
-      if (rng_.range(0, 1)) {
-        emit(indent(depth) + "} else {");
-        genStatement(depth + 1, loopBudget);
-      }
-      emit(indent(depth) + "}");
-      return;
-    }
-    // counted loop with an exact bound
-    if (loopBudget <= 0) {
-      emit(indent(depth) + "acc = acc + 1;");
-      return;
-    }
-    const int trips = static_cast<int>(rng_.range(1, 4));
-    const std::string iv = "i" + std::to_string(nextLocal_++);
-    emit(indent(depth) + "int " + iv + ";");
-    emit(indent(depth) + "for (" + iv + " = 0; " + iv + " < " +
-         std::to_string(trips) + "; " + iv + " = " + iv + " + 1) {");
-    emit(indent(depth + 1) + "__loopbound(" + std::to_string(trips) + ", " +
-         std::to_string(trips) + ");");
-    genStatement(depth + 1, loopBudget - 1);
-    emit(indent(depth) + "}");
-  }
-
-  Xorshift64 rng_;
-  std::vector<std::string> body_;
-  int nextLocal_ = 0;
-};
-
 class RandomProgramTest : public ::testing::TestWithParam<std::uint64_t> {};
 
-TEST_P(RandomProgramTest, BoundEnclosesSimulationAndMatchesExplicit) {
-  ProgramGenerator gen(GetParam());
-  const std::string source = gen.generate();
-  SCOPED_TRACE(source);
+TEST_P(RandomProgramTest, PassesTheFullDifferentialOracle) {
+  fuzz::ProgramGenerator gen;
+  const fuzz::GeneratedProgram program = gen.generate(GetParam());
+  SCOPED_TRACE(program.source);
 
-  const codegen::CompileResult c = codegen::compileSource(source);
-  ipet::Analyzer analyzer(c, "f");
-  const ipet::Estimate est = analyzer.estimate();
-  EXPECT_LE(est.bound.lo, est.bound.hi);
-
-  // Soundness against several random inputs.
-  Xorshift64 rng(GetParam() * 977 + 1);
-  sim::Simulator simulator(c.module);
-  for (int trial = 0; trial < 5; ++trial) {
-    const std::vector<std::int64_t> args = {rng.range(-20, 20),
-                                            rng.range(-20, 20)};
-    sim::SimOptions options;
-    std::vector<std::uint64_t> data(8);
-    for (auto& w : data) w = sim::encodeInt(rng.range(-50, 50));
-    options.patches.push_back({"t", data});
-    const sim::SimResult r = simulator.run(0, args, options);
-    EXPECT_LE(est.bound.lo, r.cycles);
-    EXPECT_GE(est.bound.hi, r.cycles);
-  }
-
-  // Exact agreement with complete explicit enumeration.
-  explicitpath::EnumOptions eo;
-  eo.maxPaths = 2'000'000;
-  const explicitpath::EnumResult ex = explicitpath::enumeratePaths(c, "f", eo);
-  if (ex.complete) {
-    EXPECT_EQ(est.bound.hi, ex.worst);
-    EXPECT_EQ(est.bound.lo, ex.best);
-  }
+  const fuzz::DifferentialOracle oracle;
+  const fuzz::OracleReport report =
+      oracle.check(program, GetParam() * 977 + 1);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_LE(report.bound.lo, report.bound.hi);
+  EXPECT_GT(report.simRuns, 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest,
                          ::testing::Range<std::uint64_t>(1, 41));
 
-class RandomCacheModeTest : public ::testing::TestWithParam<std::uint64_t> {};
+// Programs carrying redundant-by-construction functionality constraints
+// (disjunctions with a null branch included): the constrained bound
+// must equal the unconstrained one and all other oracles still hold.
+class RandomConstrainedTest : public ::testing::TestWithParam<std::uint64_t> {
+};
 
-TEST_P(RandomCacheModeTest, RefinedCacheModesRemainSound) {
-  ProgramGenerator gen(GetParam());
-  const std::string source = gen.generate();
-  SCOPED_TRACE(source);
-  const codegen::CompileResult c = codegen::compileSource(source);
+TEST_P(RandomConstrainedTest, ConstraintsNeverMoveTheBound) {
+  fuzz::GeneratorOptions options;
+  options.emitConstraints = true;
+  fuzz::ProgramGenerator gen(options);
+  const fuzz::GeneratedProgram program = gen.generate(GetParam());
+  SCOPED_TRACE(program.source);
 
-  std::int64_t allMissHi = 0;
-  for (const ipet::CacheMode mode :
-       {ipet::CacheMode::AllMiss, ipet::CacheMode::FirstIterationSplit,
-        ipet::CacheMode::ConflictGraph}) {
-    ipet::AnalyzerOptions options;
-    options.cacheMode = mode;
-    ipet::Analyzer analyzer(c, "f", options);
-    const ipet::Estimate est = analyzer.estimate();
-    if (mode == ipet::CacheMode::AllMiss) {
-      allMissHi = est.bound.hi;
-    } else {
-      EXPECT_LE(est.bound.hi, allMissHi) << ipet::cacheModeStr(mode);
-    }
-
-    sim::Simulator simulator(c.module);
-    Xorshift64 rng(GetParam() * 31 + 7);
-    for (int trial = 0; trial < 3; ++trial) {
-      const std::vector<std::int64_t> args = {rng.range(-20, 20),
-                                              rng.range(-20, 20)};
-      sim::SimOptions simOptions;
-      std::vector<std::uint64_t> data(8);
-      for (auto& w : data) w = sim::encodeInt(rng.range(-50, 50));
-      simOptions.patches.push_back({"t", data});
-      const sim::SimResult r = simulator.run(0, args, simOptions);
-      EXPECT_LE(est.bound.lo, r.cycles) << ipet::cacheModeStr(mode);
-      EXPECT_GE(est.bound.hi, r.cycles) << ipet::cacheModeStr(mode);
-    }
-  }
+  const fuzz::DifferentialOracle oracle;
+  const fuzz::OracleReport report =
+      oracle.check(program, GetParam() * 31 + 7);
+  EXPECT_TRUE(report.ok()) << report.summary();
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, RandomCacheModeTest,
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomConstrainedTest,
                          ::testing::Range<std::uint64_t>(100, 125));
+
+// Deeper nesting and larger trip counts: explicit enumeration may hit
+// its caps here (the oracle then skips exact agreement), but bracketing
+// and determinism must survive the bigger path spaces.
+class RandomDeepLoopTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomDeepLoopTest, DeepNestingStaysSoundAndDeterministic) {
+  fuzz::GeneratorOptions options;
+  options.maxLoopDepth = 3;
+  options.maxLoopBound = 6;
+  options.maxTopStatements = 8;
+  fuzz::ProgramGenerator gen(options);
+  const fuzz::GeneratedProgram program = gen.generate(GetParam());
+  SCOPED_TRACE(program.source);
+
+  fuzz::OracleOptions oopt;
+  oopt.extraJobs = {2, 4};
+  const fuzz::DifferentialOracle oracle(oopt);
+  const fuzz::OracleReport report =
+      oracle.check(program, GetParam() * 131 + 3);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDeepLoopTest,
+                         ::testing::Range<std::uint64_t>(200, 215));
 
 }  // namespace
 }  // namespace cinderella
