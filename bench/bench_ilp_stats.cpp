@@ -10,12 +10,15 @@
 // benchmark per ILP-heavy analysis.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <vector>
 
 #include "cinderella/obs/json.hpp"
 #include "cinderella/obs/report.hpp"
 #include "cinderella/suite/harness.hpp"
+#include "cinderella/support/checked_math.hpp"
 
 namespace {
 
@@ -55,6 +58,87 @@ void printStats() {
   std::printf("\n");
 }
 
+// Cost of the fault-tolerant solve engine's exact objective
+// recomputation: checked int64 accumulation (with the __int128
+// promotion retry) versus the raw double accumulation it replaced.
+// Emitted as a JSON line so the <5% overhead budget claimed in
+// EXPERIMENTS.md is tracked alongside the solver statistics.
+void printCheckedArithOverhead() {
+  constexpr std::size_t kTerms = 1 << 14;
+  constexpr int kReps = 200;
+  std::vector<std::int64_t> coeff(kTerms), value(kTerms);
+  std::uint64_t state = 0x1234'5678'9ABC'DEF0ULL;
+  const auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<std::int64_t>(state % 1000);
+  };
+  for (std::size_t i = 0; i < kTerms; ++i) {
+    coeff[i] = next();
+    value[i] = next();
+  }
+
+  using clock = std::chrono::steady_clock;
+  const auto rawStart = clock::now();
+  for (int r = 0; r < kReps; ++r) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < kTerms; ++i) {
+      total += static_cast<double>(coeff[i]) * static_cast<double>(value[i]);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  const double rawNs =
+      std::chrono::duration<double, std::nano>(clock::now() - rawStart)
+          .count() /
+      (kReps * static_cast<double>(kTerms));
+
+  const auto checkedStart = clock::now();
+  for (int r = 0; r < kReps; ++r) {
+    support::CheckedSum sum = support::accumulateProducts(
+        kTerms, [&](std::size_t i) { return coeff[i]; },
+        [&](std::size_t i) { return value[i]; });
+    benchmark::DoNotOptimize(sum);
+  }
+  const double checkedNs =
+      std::chrono::duration<double, std::nano>(clock::now() - checkedStart)
+          .count() /
+      (kReps * static_cast<double>(kTerms));
+
+  // Promotion path: plant one overflowing term so every repetition pays
+  // the full __int128 re-accumulation.
+  coeff[0] = std::int64_t{1} << 62;
+  value[0] = 4;
+  const auto promotedStart = clock::now();
+  for (int r = 0; r < kReps; ++r) {
+    support::CheckedSum sum = support::accumulateProducts(
+        kTerms, [&](std::size_t i) { return coeff[i]; },
+        [&](std::size_t i) { return value[i]; });
+    benchmark::DoNotOptimize(sum);
+  }
+  const double promotedNs =
+      std::chrono::duration<double, std::nano>(clock::now() - promotedStart)
+          .count() /
+      (kReps * static_cast<double>(kTerms));
+
+  obs::JsonWriter w;
+  w.beginObject()
+      .key("bench")
+      .value("checked_arith")
+      .key("terms")
+      .value(static_cast<std::int64_t>(kTerms))
+      .key("rawNsPerTerm")
+      .value(rawNs)
+      .key("checkedNsPerTerm")
+      .value(checkedNs)
+      .key("promotedNsPerTerm")
+      .value(promotedNs)
+      .key("overheadPct")
+      .value(rawNs > 0.0 ? (checkedNs - rawNs) / rawNs * 100.0 : 0.0)
+      .endObject();
+  std::printf("%s\n\n", w.str().c_str());
+}
+
 void BM_IlpSolve(benchmark::State& state, const suite::Benchmark* bench) {
   const codegen::CompileResult compiled =
       codegen::compileSource(bench->source);
@@ -71,6 +155,7 @@ void BM_IlpSolve(benchmark::State& state, const suite::Benchmark* bench) {
 
 int main(int argc, char** argv) {
   printStats();
+  printCheckedArithOverhead();
   for (const auto& bench : suite::allBenchmarks()) {
     benchmark::RegisterBenchmark(("ilp/" + bench.name).c_str(), BM_IlpSolve,
                                  &bench)

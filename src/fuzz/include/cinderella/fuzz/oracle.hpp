@@ -46,6 +46,8 @@ enum class CheckKind {
   CacheNotTighter, ///< refined cache mode loosened the worst bound
   ConstraintMoved, ///< redundant constraints changed the bound
   JobsMismatch,    ///< threaded solve differed from single-thread
+  DegradedThrow,   ///< estimate threw under fault injection
+  DegradedUnsound, ///< sound-claiming degraded interval lost the clean one
 };
 
 [[nodiscard]] const char* checkKindStr(CheckKind kind);
@@ -82,6 +84,16 @@ struct OracleOptions {
   /// emulates an unsound analyzer and must be caught by the bracketing
   /// (or exact-agreement) oracle.
   std::int64_t injectBoundHiDelta = 0;
+
+  // --- Degradation drill (support::FaultInjector). ---
+  /// When > 0, re-run the reference-mode estimate with a process-wide
+  /// FaultInjector firing at this rate at every site (LP pivots, pool
+  /// tasks, deadline clock).  The run must not throw, and whenever it
+  /// claims soundness its interval must enclose the clean one.
+  double faultRate = 0.0;
+  std::uint64_t faultSeed = 1;
+  /// Thread count of the drill run (>1 exercises the lost-task path).
+  int faultJobs = 2;
 };
 
 struct OracleReport {
@@ -91,6 +103,10 @@ struct OracleReport {
   bool explicitComplete = false;
   std::uint64_t pathsExplored = 0;
   int simRuns = 0;
+  /// Degradation drill (faultRate > 0): issues absorbed by the faulted
+  /// run and whether it still claimed a sound interval.
+  int faultIssues = 0;
+  bool faultRunSound = false;
 
   [[nodiscard]] bool ok() const { return discrepancies.empty(); }
   /// "ok" or "<kind>: <detail>" of the first discrepancy.

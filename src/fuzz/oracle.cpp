@@ -7,6 +7,7 @@
 #include "cinderella/explicitpath/enumerator.hpp"
 #include "cinderella/sim/simulator.hpp"
 #include "cinderella/support/error.hpp"
+#include "cinderella/support/fault_injector.hpp"
 #include "cinderella/support/text.hpp"
 
 namespace cinderella::fuzz {
@@ -23,6 +24,8 @@ const char* checkKindStr(CheckKind kind) {
     case CheckKind::CacheNotTighter: return "cache-not-tighter";
     case CheckKind::ConstraintMoved: return "constraint-moved";
     case CheckKind::JobsMismatch: return "jobs-mismatch";
+    case CheckKind::DegradedThrow: return "degraded-throw";
+    case CheckKind::DegradedUnsound: return "degraded-unsound";
   }
   return "?";
 }
@@ -166,6 +169,45 @@ OracleReport DifferentialOracle::check(const GeneratedProgram& program,
     }
   } catch (const Error& e) {
     add(CheckKind::Analysis, std::string("constrained: ") + e.what());
+  }
+
+  //    Degradation drill: the same analysis under a process-wide fault
+  //    injector.  The estimate must survive (never throw), and whenever
+  //    it claims soundness its interval must enclose the clean one —
+  //    that is exactly what "degrades to a sound bound" means.
+  if (options_.faultRate > 0.0) {
+    support::FaultPlan plan;
+    plan.seed = options_.faultSeed;
+    plan.lpPivotRate = options_.faultRate;
+    plan.threadTaskRate = options_.faultRate;
+    plan.deadlineClockRate = options_.faultRate;
+    support::FaultInjector injector(plan);
+    const support::ScopedFaultInjector scoped(&injector);
+    try {
+      ipet::AnalyzerOptions aopt;
+      aopt.cacheMode = options_.cacheModes[0];
+      ipet::Analyzer analyzer(*compiled, program.root, aopt);
+      for (const auto& text : program.constraints) {
+        analyzer.addConstraint(text);
+      }
+      ipet::SolveControl control;
+      control.threads = options_.faultJobs;
+      const ipet::Estimate degraded = analyzer.estimate(control);
+      report.faultIssues = static_cast<int>(degraded.issues.size());
+      report.faultRunSound = degraded.sound();
+      if (degraded.sound() && !degraded.bound.encloses(estimates[0].bound)) {
+        add(CheckKind::DegradedUnsound,
+            "degraded " + intervalStr(degraded.bound.lo, degraded.bound.hi) +
+                " claims soundness but loses clean " +
+                intervalStr(estimates[0].bound.lo, estimates[0].bound.hi));
+      }
+    } catch (const std::exception& e) {
+      add(CheckKind::DegradedThrow,
+          std::string("estimate threw under fault injection: ") + e.what());
+    } catch (...) {
+      add(CheckKind::DegradedThrow,
+          "estimate threw a non-std exception under fault injection");
+    }
   }
 
   // Fault injection (tests only): perturb the bounds *after* the

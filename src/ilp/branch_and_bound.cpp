@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "cinderella/support/checked_math.hpp"
 #include "cinderella/support/error.hpp"
 #include "cinderella/support/metrics_sink.hpp"
 
@@ -22,6 +23,8 @@ const char* ilpStatusStr(IlpStatus status) {
       return "unbounded";
     case IlpStatus::Limit:
       return "limit";
+    case IlpStatus::Interrupted:
+      return "interrupted";
   }
   return "?";
 }
@@ -71,6 +74,62 @@ lp::Problem withCuts(const lp::Problem& base,
   return p;
 }
 
+/// True when `x` is an integer within `tol`; *out receives the rounding.
+bool asInteger(double x, double tol, std::int64_t* out) {
+  const double r = std::round(x);
+  if (std::abs(x - r) > tol) return false;
+  // Beyond 2^63 a double cannot be narrowed; treat as non-integral so the
+  // caller keeps the (already inexact) double objective instead.
+  if (r < -9.2e18 || r > 9.2e18) return false;
+  *out = static_cast<std::int64_t>(r);
+  return true;
+}
+
+/// Recomputes the incumbent objective exactly from integral coefficients
+/// and the rounded incumbent point.  The LP path accumulates the
+/// objective in doubles, which silently loses precision past 2^53; IPET
+/// objectives (cycle costs x execution counts) are exact integers, so
+/// this checked integer pass restores them.  Fills objectiveExact /
+/// objectiveIsExact / objectiveSaturated and counts __int128 promotions.
+void recomputeExactObjective(const lp::Problem& problem,
+                             const IlpOptions& options, IlpSolution* result) {
+  const auto& terms = problem.objective().terms();
+  std::vector<std::int64_t> coeffs(terms.size());
+  std::vector<std::int64_t> values(terms.size());
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    if (!asInteger(terms[i].coeff, options.intTol, &coeffs[i])) return;
+    const auto var = static_cast<std::size_t>(terms[i].var);
+    if (!asInteger(result->values[var], options.intTol, &values[i])) return;
+  }
+  std::int64_t constant = 0;
+  if (!asInteger(problem.objective().constant(), options.intTol, &constant)) {
+    return;
+  }
+
+  support::CheckedSum sum = support::accumulateProducts(
+      terms.size(), [&](std::size_t i) { return coeffs[i]; },
+      [&](std::size_t i) { return values[i]; });
+  if (sum.promoted) ++result->stats.checkedPromotions;
+  if (!sum.saturated) {
+    std::int64_t withConstant = 0;
+    if (support::addOverflow(sum.value, constant, &withConstant)) {
+      ++result->stats.checkedPromotions;
+      const __int128 wide =
+          static_cast<__int128>(sum.value) + static_cast<__int128>(constant);
+      const bool high = wide > std::numeric_limits<std::int64_t>::max();
+      sum.value = high ? std::numeric_limits<std::int64_t>::max()
+                       : std::numeric_limits<std::int64_t>::min();
+      sum.saturated = true;
+    } else {
+      sum.value = withConstant;
+    }
+  }
+  result->objectiveExact = sum.value;
+  result->objectiveIsExact = true;
+  result->objectiveSaturated = sum.saturated;
+  if (!sum.saturated) result->objective = static_cast<double>(sum.value);
+}
+
 }  // namespace
 
 IlpSolution solve(const lp::Problem& problem, const IlpOptions& options) {
@@ -105,6 +164,7 @@ IlpSolution solve(const lp::Problem& problem, const IlpOptions& options) {
   std::vector<double> incumbentValues;
   bool haveIncumbent = false;
   bool hitLimit = false;
+  bool interrupted = false;
 
   auto better = [&](double a, double b) { return maximize ? a > b : a < b; };
 
@@ -116,6 +176,10 @@ IlpSolution solve(const lp::Problem& problem, const IlpOptions& options) {
   while (!stack.empty()) {
     if (result.stats.nodesExpanded >= options.maxNodes) {
       hitLimit = true;
+      break;
+    }
+    if (options.interrupt && options.interrupt()) {
+      interrupted = true;
       break;
     }
     Node node = std::move(stack.back());
@@ -131,6 +195,14 @@ IlpSolution solve(const lp::Problem& problem, const IlpOptions& options) {
     ++result.stats.nodesExpanded;
     ++result.stats.lpCalls;
     result.stats.totalPivots += relax.pivots;
+    if (relax.blandRestart) ++result.stats.blandRestarts;
+    if (rootNode && relax.status == lp::SolveStatus::Optimal) {
+      // The root relaxation bounds the ILP optimum from the relaxed
+      // side; the analyzer's degradation ladder falls back to it when
+      // the integer search cannot finish.
+      result.relaxationBound = relax.objective;
+      result.haveRelaxationBound = true;
+    }
 
     if (relax.status == lp::SolveStatus::IterationLimit) {
       hitLimit = true;
@@ -186,11 +258,16 @@ IlpSolution solve(const lp::Problem& problem, const IlpOptions& options) {
   }
 
   if (haveIncumbent) {
-    result.status = hitLimit ? IlpStatus::Limit : IlpStatus::Optimal;
+    result.status = interrupted  ? IlpStatus::Interrupted
+                    : hitLimit   ? IlpStatus::Limit
+                                 : IlpStatus::Optimal;
     result.objective = incumbentObjective;
     result.values = std::move(incumbentValues);
+    recomputeExactObjective(problem, options, &result);
   } else {
-    result.status = hitLimit ? IlpStatus::Limit : IlpStatus::Infeasible;
+    result.status = interrupted  ? IlpStatus::Interrupted
+                    : hitLimit   ? IlpStatus::Limit
+                                 : IlpStatus::Infeasible;
   }
   return result;
 }

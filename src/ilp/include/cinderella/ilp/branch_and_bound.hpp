@@ -8,6 +8,8 @@
 // integer valued solution"; the stats let benchmarks verify that claim.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "cinderella/lp/problem.hpp"
@@ -15,7 +17,7 @@
 
 namespace cinderella::ilp {
 
-enum class IlpStatus { Optimal, Infeasible, Unbounded, Limit };
+enum class IlpStatus { Optimal, Infeasible, Unbounded, Limit, Interrupted };
 
 [[nodiscard]] const char* ilpStatusStr(IlpStatus status);
 
@@ -32,13 +34,35 @@ struct IlpStats {
   bool firstRelaxationIntegral = false;
   /// Total simplex pivots summed over all LP calls.
   int totalPivots = 0;
+  /// Incumbent-objective recomputations whose 64-bit fast path
+  /// overflowed and were redone in __int128 (see checked_math.hpp).
+  int checkedPromotions = 0;
+  /// LP calls that fell back to Bland's rule after Dantzig cycled.
+  int blandRestarts = 0;
 };
 
 struct IlpSolution {
   IlpStatus status = IlpStatus::Infeasible;
   double objective = 0.0;
-  /// Integral assignment for every variable (valid when Optimal).
+  /// Integral assignment for every variable (valid when Optimal; also
+  /// filled on Limit/Interrupted when an incumbent was found).
   std::vector<double> values;
+  /// Incumbent objective recomputed exactly in checked 64-bit integer
+  /// arithmetic (promoting to __int128 on overflow), valid when
+  /// objectiveIsExact.  `objective` is a double and silently loses
+  /// precision past 2^53; this does not.
+  std::int64_t objectiveExact = 0;
+  /// True when every objective coefficient was integral so the exact
+  /// recomputation applies.
+  bool objectiveIsExact = false;
+  /// The exact objective left 64-bit range; objectiveExact is saturated
+  /// to the nearest representable bound.
+  bool objectiveSaturated = false;
+  /// Root LP-relaxation objective — a sound bound on the ILP optimum
+  /// (upper for Maximize, lower for Minimize).  Valid when
+  /// haveRelaxationBound; the degradation ladder falls back to it.
+  double relaxationBound = 0.0;
+  bool haveRelaxationBound = false;
   IlpStats stats;
 };
 
@@ -48,6 +72,10 @@ struct IlpOptions {
   int maxNodes = 100000;
   /// |x - round(x)| below this counts as integral.
   double intTol = 1e-6;
+  /// Polled once per node; returning true stops the search with
+  /// IlpStatus::Interrupted (incumbent, if any, is preserved).  Used by
+  /// the analyzer's deadline so a set never runs past its budget.
+  std::function<bool()> interrupt;
   lp::SimplexOptions lpOptions;
 };
 

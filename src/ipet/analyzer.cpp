@@ -1,7 +1,10 @@
 #include "cinderella/ipet/analyzer.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <limits>
+#include <mutex>
 #include <set>
 #include <sstream>
 
@@ -10,6 +13,7 @@
 #include "cinderella/cfg/dominators.hpp"
 #include "cinderella/obs/trace.hpp"
 #include "cinderella/support/error.hpp"
+#include "cinderella/support/fault_injector.hpp"
 #include "cinderella/support/thread_pool.hpp"
 
 namespace cinderella::ipet {
@@ -466,6 +470,20 @@ const char* cacheModeStr(CacheMode mode) {
       return "first-iteration-split";
     case CacheMode::ConflictGraph:
       return "conflict-graph";
+  }
+  return "?";
+}
+
+const char* setVerdictStr(SetVerdict verdict) {
+  switch (verdict) {
+    case SetVerdict::Exact:
+      return "exact";
+    case SetVerdict::Relaxed:
+      return "relaxed";
+    case SetVerdict::Structural:
+      return "structural";
+    case SetVerdict::Failed:
+      return "failed";
   }
   return "?";
 }
@@ -958,9 +976,25 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
            control.cancel->load(std::memory_order_relaxed);
   };
   auto expired = [&control, startTime] {
+    // Fault-injection seam: a DeadlineClock fault makes the deadline
+    // report "expired" spuriously, driving the partial-result path
+    // without real waiting.
+    if (support::FaultInjector* const injector = support::faultInjector()) {
+      if (injector->shouldFault(support::FaultSite::DeadlineClock)) {
+        return true;
+      }
+    }
     return control.deadline.count() != 0 &&
            std::chrono::steady_clock::now() - startTime >= control.deadline;
   };
+  // A deadline (or cancellation) also stops a running ILP between nodes,
+  // so a single slow set cannot blow the whole budget.
+  if (control.deadline.count() != 0 || control.cancel != nullptr ||
+      support::faultInjector() != nullptr) {
+    ilpOptions.interrupt = [cancelled, expired] {
+      return cancelled() || expired();
+    };
+  }
 
   auto makeObjective = [](const std::vector<double>& coeff) {
     lp::LinearExpr obj;
@@ -970,14 +1004,80 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
     return obj;
   };
 
+  // Sound integer rounding for relaxation bounds.  A max-ILP's LP
+  // relaxation over-estimates its optimum, so flooring (plus the LP
+  // tolerance) keeps the upper bound sound; symmetrically for min.
+  constexpr double kRelaxTol = 1e-6;
+  constexpr double kInt64Edge = 9.2e18;  // doubles beyond here can't narrow
+  auto soundUpper = [&](double v) {
+    if (v >= kInt64Edge) return std::numeric_limits<std::int64_t>::max();
+    if (v <= -kInt64Edge) return std::numeric_limits<std::int64_t>::min();
+    return static_cast<std::int64_t>(std::floor(v + kRelaxTol));
+  };
+  auto soundLower = [&](double v) {
+    if (v >= kInt64Edge) return std::numeric_limits<std::int64_t>::max();
+    if (v <= -kInt64Edge) return std::numeric_limits<std::int64_t>::min();
+    return static_cast<std::int64_t>(std::ceil(v - kRelaxTol));
+  };
+
+  // Structural fallback: the base problem's own LP relaxation.  Every
+  // constraint set's feasible region is contained in the base region, so
+  // its max (min) relaxation bounds every set's worst (best) ILP from
+  // the sound side.  Computed lazily at most once per estimate() and
+  // shared across worker threads.
+  struct Structural {
+    std::once_flag once;
+    bool haveWorst = false;
+    bool haveBest = false;
+    std::int64_t worst = 0;
+    std::int64_t best = 0;
+  };
+  Structural structural;
+  auto ensureStructural = [&]() -> const Structural& {
+    std::call_once(structural.once, [&] {
+      obs::Span span(tracer, "structural-fallback", "solve");
+      auto solveOne = [&](const std::vector<double>& coeff, lp::Sense sense,
+                          bool* have, std::int64_t* bound) {
+        try {
+          lp::Problem p = base.problem;
+          p.setObjective(makeObjective(coeff), sense);
+          const lp::Solution sol = lp::solve(p, ilpOptions.lpOptions);
+          if (sol.status == lp::SolveStatus::Optimal) {
+            *bound = sense == lp::Sense::Maximize ? soundUpper(sol.objective)
+                                                  : soundLower(sol.objective);
+            *have = true;
+          }
+        } catch (...) {
+          // Even the fallback can fault (e.g. under injection); the set
+          // that needed it is then marked Failed.
+        }
+      };
+      solveOne(base.worstCoeff, lp::Sense::Maximize, &structural.haveWorst,
+               &structural.worst);
+      solveOne(base.bestCoeff, lp::Sense::Minimize, &structural.haveBest,
+               &structural.best);
+    });
+    return structural;
+  };
+
   // One independent task per conjunctive constraint set: materialize,
   // LP-probe for nullness, then solve the max (worst) and min (best)
   // ILPs.  Outcomes are keyed by set index so the merge below is
   // deterministic regardless of completion order or thread count.
+  //
+  // Fault isolation: a set hitting the deadline, node budget, numeric
+  // breakdown, or an injected fault never aborts the whole estimate.  It
+  // walks the degradation ladder instead — its own LP-relaxation bound
+  // (Relaxed), then the shared base-problem bound (Structural), then
+  // Failed — so completed sets are never lost.  Only user/model errors
+  // (AnalysisError) still abort.
   struct SetOutcome {
-    bool skipped = false;  ///< deadline/cancellation hit before solving
+    bool started = false;  ///< task ran at all (false: lost to a fault)
+    bool skipped = false;  ///< cancellation observed before solving
     bool haveWorst = false;
     bool haveBest = false;
+    bool worstExact = false;  ///< bound is a proven ILP optimum
+    bool bestExact = false;
     std::int64_t worstBound = 0;
     std::int64_t bestBound = 0;
     std::vector<double> worstValues;
@@ -985,12 +1085,47 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
     /// Per-set observability record; every field except the wall-clock
     /// timings is deterministic across thread counts.
     SetSolveRecord record;
-    std::exception_ptr error;
+    std::vector<SolveIssue> issues;
+    std::exception_ptr error;  ///< user/model error — rethrown at merge
   };
   std::vector<SetOutcome> outcomes(combined.size());
+  std::atomic<bool> sawDeadline{false};
+
+  auto noteIssue = [](SetOutcome& out, ErrorCode code, const char* phase,
+                      std::string detail) {
+    if (out.record.issue == ErrorCode::None) out.record.issue = code;
+    out.issues.push_back(
+        {out.record.setIndex, code, phase, std::move(detail)});
+  };
+  auto raiseVerdict = [](SetOutcome& out, SetVerdict verdict) {
+    if (static_cast<int>(verdict) > static_cast<int>(out.record.verdict)) {
+      out.record.verdict = verdict;
+    }
+  };
+  // Last ladder rung before Failed: the shared structural bound.
+  auto applyStructural = [&](SetOutcome& out, bool worstSide) {
+    const Structural& s = ensureStructural();
+    const bool have = worstSide ? s.haveWorst : s.haveBest;
+    if (!have) {
+      raiseVerdict(out, SetVerdict::Failed);
+      return;
+    }
+    raiseVerdict(out, SetVerdict::Structural);
+    IlpSolveRecord& slot = worstSide ? out.record.worst : out.record.best;
+    slot.degraded = true;
+    slot.fallbackBound = worstSide ? s.worst : s.best;
+    if (worstSide) {
+      out.haveWorst = true;
+      out.worstBound = s.worst;
+    } else {
+      out.haveBest = true;
+      out.bestBound = s.best;
+    }
+  };
 
   auto solveSet = [&](std::size_t index) noexcept {
     SetOutcome& out = outcomes[index];
+    out.started = true;
     SetSolveRecord& rec = out.record;
     rec.setIndex = static_cast<int>(index);
     rec.userConstraints = static_cast<int>(combined[index].size());
@@ -999,9 +1134,21 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
     obs::Span setSpan(tracer, "set-solve", "solve");
     setSpan.arg("set", static_cast<int>(index));
     try {
-      if (cancelled() || expired()) {
+      if (cancelled()) {
         out.skipped = true;
         setSpan.arg("verdict", std::string("skipped"));
+        rec.wallMicros = microsSince(setStart);
+        return;
+      }
+      if (expired()) {
+        // Degrade instead of aborting: this set falls back to the shared
+        // structural bound; already-completed sets stay untouched.
+        sawDeadline.store(true, std::memory_order_relaxed);
+        noteIssue(out, ErrorCode::DeadlineExpired, "set",
+                  "deadline expired before this set was solved");
+        applyStructural(out, /*worstSide=*/true);
+        applyStructural(out, /*worstSide=*/false);
+        setSpan.arg("verdict", std::string(setVerdictStr(rec.verdict)));
         rec.wallMicros = microsSince(setStart);
         return;
       }
@@ -1012,19 +1159,30 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
         obs::Span probeSpan(tracer, "lp-probe", "solve");
         probeSpan.arg("set", static_cast<int>(index));
         const auto probeStart = std::chrono::steady_clock::now();
-        lp::Problem probe = p;
-        probe.setObjective(lp::LinearExpr{}, lp::Sense::Maximize);
-        const lp::Solution sol = lp::solve(probe, ilpOptions.lpOptions);
-        rec.probePivots = sol.pivots;
-        rec.probeMicros = microsSince(probeStart);
-        const bool null = (sol.status == lp::SolveStatus::Infeasible);
-        probeSpan.arg("pivots", sol.pivots)
-            .arg("verdict", std::string(null ? "null" : "feasible"));
-        if (null) {
-          rec.pruned = true;
-          setSpan.arg("verdict", std::string("pruned"));
-          rec.wallMicros = microsSince(setStart);
-          return;
+        try {
+          lp::Problem probe = p;
+          probe.setObjective(lp::LinearExpr{}, lp::Sense::Maximize);
+          const lp::Solution sol = lp::solve(probe, ilpOptions.lpOptions);
+          rec.probePivots = sol.pivots;
+          rec.probeMicros = microsSince(probeStart);
+          const bool null = (sol.status == lp::SolveStatus::Infeasible);
+          probeSpan.arg("pivots", sol.pivots)
+              .arg("verdict", std::string(null ? "null" : "feasible"));
+          if (null) {
+            rec.pruned = true;
+            setSpan.arg("verdict", std::string("pruned"));
+            rec.wallMicros = microsSince(setStart);
+            return;
+          }
+        } catch (const InjectedFaultError& e) {
+          // Pruning is only an optimization; fall through to the ILPs.
+          rec.probeMicros = microsSince(probeStart);
+          noteIssue(out, ErrorCode::InjectedFault, "probe", e.what());
+          probeSpan.arg("verdict", std::string("faulted"));
+        } catch (const SolverError& e) {
+          rec.probeMicros = microsSince(probeStart);
+          noteIssue(out, ErrorCode::Internal, "probe", e.what());
+          probeSpan.arg("verdict", std::string("faulted"));
         }
       }
 
@@ -1042,10 +1200,16 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
         slot->pivots = solution.stats.totalPivots;
         slot->firstRelaxationIntegral =
             solution.stats.firstRelaxationIntegral;
+        slot->checkedPromotions = solution.stats.checkedPromotions;
+        slot->blandRestarts = solution.stats.blandRestarts;
         slot->wallMicros = microsSince(ilpStart);
         if (slot->feasible) {
+          // Prefer the checked integer recomputation: the double
+          // objective silently loses precision past 2^53.
           slot->objective =
-              static_cast<std::int64_t>(std::llround(solution.objective));
+              solution.objectiveIsExact
+                  ? solution.objectiveExact
+                  : static_cast<std::int64_t>(std::llround(solution.objective));
         }
         ilpSpan.arg("verdict", std::string(ilp::ilpStatusStr(solution.status)))
             .arg("nodes", solution.stats.nodesExpanded)
@@ -1055,30 +1219,150 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
         return solution;
       };
 
+      // Degrades one side to the set's own root LP-relaxation bound
+      // after the integer solve died mid-flight; Structural beyond that.
+      auto relaxFromOwnLp = [&](lp::Problem& problem, bool worstSide) {
+        try {
+          const lp::Solution sol = lp::solve(problem, ilpOptions.lpOptions);
+          rec.fallbackPivots += sol.pivots;
+          if (sol.status == lp::SolveStatus::Infeasible) {
+            return;  // provably empty set: nothing to bound, and soundly so
+          }
+          if (sol.status == lp::SolveStatus::Optimal) {
+            const std::int64_t bound = worstSide ? soundUpper(sol.objective)
+                                                 : soundLower(sol.objective);
+            IlpSolveRecord& slot = worstSide ? rec.worst : rec.best;
+            slot.degraded = true;
+            slot.fallbackBound = bound;
+            raiseVerdict(out, SetVerdict::Relaxed);
+            if (worstSide) {
+              out.haveWorst = true;
+              out.worstBound = bound;
+            } else {
+              out.haveBest = true;
+              out.bestBound = bound;
+            }
+            return;
+          }
+        } catch (...) {
+          // fall through to the structural rung
+        }
+        applyStructural(out, worstSide);
+      };
+
+      // Classifies a finished-but-not-optimal ILP side and walks the
+      // ladder.  Returns via out/rec side effects.
+      auto settleSide = [&](ilp::IlpSolution& solution, IlpSolveRecord* slot,
+                            bool worstSide, const char* phase) {
+        if (solution.status == ilp::IlpStatus::Optimal) {
+          if (worstSide) {
+            out.haveWorst = true;
+            out.worstExact = !solution.objectiveSaturated;
+            out.worstBound = slot->objective;
+            out.worstValues = std::move(solution.values);
+          } else {
+            out.haveBest = true;
+            out.bestExact = !solution.objectiveSaturated;
+            out.bestBound = slot->objective;
+            out.bestValues = std::move(solution.values);
+          }
+          if (solution.objectiveSaturated) {
+            // The true objective lies beyond int64; the saturated value
+            // is reported as a (representation-limited) relaxed bound.
+            noteIssue(out, ErrorCode::NumericOverflow, phase,
+                      "objective exceeds 64-bit range; bound saturated");
+            raiseVerdict(out, SetVerdict::Relaxed);
+            slot->degraded = true;
+            slot->fallbackBound = slot->objective;
+          }
+          return;
+        }
+        if (solution.status == ilp::IlpStatus::Infeasible) {
+          return;  // genuinely empty on this side; contributes nothing
+        }
+        // Limit or Interrupted: classify the budget that ran out.
+        ErrorCode code = ErrorCode::PivotLimit;
+        if (solution.status == ilp::IlpStatus::Interrupted) {
+          code = cancelled() ? ErrorCode::Cancelled : ErrorCode::DeadlineExpired;
+          if (code == ErrorCode::DeadlineExpired) {
+            sawDeadline.store(true, std::memory_order_relaxed);
+          }
+        } else if (solution.stats.nodesExpanded >= ilpOptions.maxNodes) {
+          code = ErrorCode::NodeBudgetExhausted;
+        }
+        noteIssue(out, code, phase,
+                  std::string("integer solve stopped: ") +
+                      ilp::ilpStatusStr(solution.status));
+        if (solution.haveRelaxationBound) {
+          const std::int64_t bound = worstSide
+                                         ? soundUpper(solution.relaxationBound)
+                                         : soundLower(solution.relaxationBound);
+          slot->degraded = true;
+          slot->fallbackBound = bound;
+          raiseVerdict(out, SetVerdict::Relaxed);
+          if (worstSide) {
+            out.haveWorst = true;
+            out.worstBound = bound;
+          } else {
+            out.haveBest = true;
+            out.bestBound = bound;
+          }
+        } else {
+          applyStructural(out, worstSide);
+        }
+      };
+
       // Worst case: maximize all-miss costs.
       p.setObjective(makeObjective(base.worstCoeff), lp::Sense::Maximize);
-      ilp::IlpSolution worst = runIlp(p, "ilp-worst", &rec.worst);
-      if (worst.status == ilp::IlpStatus::Unbounded) {
-        throw AnalysisError(
-            "worst-case ILP is unbounded — a loop is missing its bound");
-      }
-      if (worst.status == ilp::IlpStatus::Optimal) {
-        out.haveWorst = true;
-        out.worstBound = rec.worst.objective;
-        out.worstValues = std::move(worst.values);
+      try {
+        ilp::IlpSolution worst = runIlp(p, "ilp-worst", &rec.worst);
+        if (worst.status == ilp::IlpStatus::Unbounded) {
+          throw AnalysisError(
+              "worst-case ILP is unbounded — a loop is missing its bound");
+        }
+        settleSide(worst, &rec.worst, /*worstSide=*/true, "ilp-worst");
+      } catch (const InjectedFaultError& e) {
+        noteIssue(out, ErrorCode::InjectedFault, "ilp-worst", e.what());
+        relaxFromOwnLp(p, /*worstSide=*/true);
+      } catch (const SolverError& e) {
+        noteIssue(out, ErrorCode::Internal, "ilp-worst", e.what());
+        relaxFromOwnLp(p, /*worstSide=*/true);
       }
 
       // Best case: minimize all-hit costs.
       p.setObjective(makeObjective(base.bestCoeff), lp::Sense::Minimize);
-      ilp::IlpSolution best = runIlp(p, "ilp-best", &rec.best);
-      if (best.status == ilp::IlpStatus::Optimal) {
-        out.haveBest = true;
-        out.bestBound = rec.best.objective;
-        out.bestValues = std::move(best.values);
+      try {
+        ilp::IlpSolution best = runIlp(p, "ilp-best", &rec.best);
+        settleSide(best, &rec.best, /*worstSide=*/false, "ilp-best");
+      } catch (const InjectedFaultError& e) {
+        noteIssue(out, ErrorCode::InjectedFault, "ilp-best", e.what());
+        relaxFromOwnLp(p, /*worstSide=*/false);
+      } catch (const SolverError& e) {
+        noteIssue(out, ErrorCode::Internal, "ilp-best", e.what());
+        relaxFromOwnLp(p, /*worstSide=*/false);
       }
+
+      setSpan.arg("verdict", std::string(setVerdictStr(rec.verdict)));
+      rec.wallMicros = microsSince(setStart);
+    } catch (const AnalysisError&) {
+      // User/model error (unbounded ILP, bad constraint): still aborts
+      // the whole estimate — degradation must not mask a broken model.
+      out.error = std::current_exception();
+      rec.wallMicros = microsSince(setStart);
+    } catch (const std::exception& e) {
+      // Anything else is absorbed: degrade the unresolved sides.
+      noteIssue(out,
+                dynamic_cast<const InjectedFaultError*>(&e) != nullptr
+                    ? ErrorCode::InjectedFault
+                    : ErrorCode::Internal,
+                "set", e.what());
+      if (!out.haveWorst) applyStructural(out, /*worstSide=*/true);
+      if (!out.haveBest) applyStructural(out, /*worstSide=*/false);
       rec.wallMicros = microsSince(setStart);
     } catch (...) {
-      out.error = std::current_exception();
+      noteIssue(out, ErrorCode::Internal, "set", "unknown exception");
+      if (!out.haveWorst) applyStructural(out, /*worstSide=*/true);
+      if (!out.haveBest) applyStructural(out, /*worstSide=*/false);
       rec.wallMicros = microsSince(setStart);
     }
   };
@@ -1105,22 +1389,36 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
   }
   obs::Span mergeSpan(tracer, "merge", "ipet");
 
-  // Deterministic merge in set-index order.  The first error (by index)
-  // wins, mirroring the sequential solve order.
+  // Lost-task recovery: a task dropped by a pool fault never set
+  // `started`.  The hole is detected here (pool.wait() already returned)
+  // and the set degrades to the structural bound.
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    SetOutcome& out = outcomes[i];
+    if (out.started) continue;
+    out.record.setIndex = static_cast<int>(i);
+    out.record.userConstraints = static_cast<int>(combined[i].size());
+    noteIssue(out, ErrorCode::TaskLost, "dispatch",
+              "solve task was lost before it ran");
+    applyStructural(out, /*worstSide=*/true);
+    applyStructural(out, /*worstSide=*/false);
+  }
+
+  // Deterministic merge in set-index order.  The first user/model error
+  // (by index) wins, mirroring the sequential solve order; solver faults
+  // never surface as exceptions.
   for (const auto& out : outcomes) {
     if (out.error) std::rethrow_exception(out.error);
   }
   if (cancelled()) throw AnalysisError("estimate() cancelled");
   for (const auto& out : outcomes) {
-    if (out.skipped) {
-      throw AnalysisError("estimate() exceeded its solve deadline");
-    }
+    if (out.skipped) throw AnalysisError("estimate() cancelled");
   }
 
   Estimate result;
   result.stats.constraintSets = static_cast<int>(combined.size());
   result.stats.cacheFlowVars = base.cacheFlowVars;
   result.stats.cacheFallbackSets = base.cacheFallbackSets;
+  result.timedOut = sawDeadline.load(std::memory_order_relaxed);
   result.setRecords.reserve(outcomes.size());
 
   bool haveWorst = false;
@@ -1128,12 +1426,26 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
   const std::vector<double>* worstValues = nullptr;
   const std::vector<double>* bestValues = nullptr;
 
-  for (const auto& out : outcomes) {
+  for (auto& out : outcomes) {
     const SetSolveRecord& rec = out.record;
     result.setRecords.push_back(rec);
+    for (auto& issue : out.issues) result.issues.push_back(std::move(issue));
     if (rec.pruned) {
       ++result.stats.prunedNullSets;
       continue;
+    }
+    switch (rec.verdict) {
+      case SetVerdict::Exact:
+        break;
+      case SetVerdict::Relaxed:
+        ++result.stats.relaxedSets;
+        break;
+      case SetVerdict::Structural:
+        ++result.stats.structuralSets;
+        break;
+      case SetVerdict::Failed:
+        ++result.stats.failedSets;
+        break;
     }
     for (const IlpSolveRecord* ilpRec : {&rec.worst, &rec.best}) {
       if (!ilpRec->solved) continue;
@@ -1141,17 +1453,21 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
       result.stats.lpCalls += ilpRec->lpCalls;
       result.stats.nodesExpanded += ilpRec->nodes;
       result.stats.totalPivots += ilpRec->pivots;
+      result.stats.checkedPromotions += ilpRec->checkedPromotions;
+      result.stats.blandRestarts += ilpRec->blandRestarts;
       result.stats.allFirstRelaxationsIntegral &=
           ilpRec->firstRelaxationIntegral;
     }
+    // The interval must cover every set, so degraded (non-exact) bounds
+    // compete with exact ones; only an exact winner has a witness point.
     if (out.haveWorst && (!haveWorst || out.worstBound > result.bound.hi)) {
       result.bound.hi = out.worstBound;
-      worstValues = &out.worstValues;
+      worstValues = out.worstExact ? &out.worstValues : nullptr;
       haveWorst = true;
     }
     if (out.haveBest && (!haveBest || out.bestBound < result.bound.lo)) {
       result.bound.lo = out.bestBound;
-      bestValues = &out.bestValues;
+      bestValues = out.bestExact ? &out.bestValues : nullptr;
       haveBest = true;
     }
   }
@@ -1161,8 +1477,17 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
         "all functionality constraint sets are infeasible (null)");
   }
   if (!haveWorst || !haveBest) {
-    throw AnalysisError("no feasible constraint set yielded a bound (all "
-                        "sets integer-infeasible)");
+    if (result.stats.failedSets == 0 && !result.timedOut) {
+      throw AnalysisError("no feasible constraint set yielded a bound (all "
+                          "sets integer-infeasible)");
+    }
+    // Every fallback rung failed on some side.  Return the trivially
+    // sound extremes rather than throwing; failedSets > 0 already marks
+    // the estimate unsound.
+    if (!haveWorst) {
+      result.bound.hi = std::numeric_limits<std::int64_t>::max();
+    }
+    if (!haveBest) result.bound.lo = 0;
   }
 
   auto aggregateCounts = [&](const std::vector<double>& values) {
@@ -1182,8 +1507,8 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
     return rows;
   };
 
-  result.worstCounts = aggregateCounts(*worstValues);
-  result.bestCounts = aggregateCounts(*bestValues);
+  if (worstValues != nullptr) result.worstCounts = aggregateCounts(*worstValues);
+  if (bestValues != nullptr) result.bestCounts = aggregateCounts(*bestValues);
   return result;
 }
 

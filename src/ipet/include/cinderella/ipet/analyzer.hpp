@@ -35,6 +35,7 @@
 #include "cinderella/ilp/branch_and_bound.hpp"
 #include "cinderella/ipet/constraint_lang.hpp"
 #include "cinderella/march/cost_model.hpp"
+#include "cinderella/support/error.hpp"
 #include "cinderella/vm/module.hpp"
 
 namespace cinderella::obs {
@@ -104,8 +105,10 @@ struct SolveControl {
   /// 1 = solve in the calling thread; 0 = one per hardware thread.
   int threads = 1;
   /// Wall-clock budget for the whole estimate() call; zero = unlimited,
-  /// negative = already expired.  When exceeded, estimate() throws
-  /// AnalysisError instead of returning a partial (unsound) bound.
+  /// negative = already expired.  When exceeded, completed sets are
+  /// kept, remaining sets degrade to a sound structural bound, and the
+  /// result carries Estimate::timedOut plus per-set verdicts — the call
+  /// never throws for a deadline.
   std::chrono::milliseconds deadline{0};
   /// Overrides IlpOptions::maxNodes for every ILP when positive.
   int maxNodes = 0;
@@ -152,12 +155,55 @@ struct SolveStats {
   /// node cap (falling back to all-miss).
   int cacheFlowVars = 0;
   int cacheFallbackSets = 0;
+  /// Degradation tallies: sets whose final verdict was Relaxed /
+  /// Structural / Failed (exact and pruned sets are the remainder).
+  int relaxedSets = 0;
+  int structuralSets = 0;
+  int failedSets = 0;
+  /// Incumbent objectives redone in __int128 after 64-bit overflow,
+  /// summed over all ILP solves (equals the sum over setRecords).
+  int checkedPromotions = 0;
+  /// LP solves that re-ran under Bland's rule after Dantzig hit the
+  /// pivot limit, summed over all ILP solves.
+  int blandRestarts = 0;
 };
 
 struct BlockCountRow {
   int function = 0;
   int block = 0;
   std::int64_t count = 0;
+};
+
+/// How a constraint set's contribution to the final bound was obtained
+/// — the degradation ladder, ordered from best to worst.  Every rung
+/// except Failed yields a *sound* bound: the LP relaxation of a
+/// maximization ILP is an upper bound on its optimum (and of a
+/// minimization, a lower bound), and the base problem's relaxation
+/// bounds every set because each set's feasible region is contained in
+/// the base region.
+enum class SetVerdict {
+  /// Both ILPs finished with a proven integral optimum (or the probe
+  /// proved the set null).
+  Exact = 0,
+  /// At least one side fell back to the set's own LP-relaxation bound.
+  Relaxed = 1,
+  /// At least one side fell back to the shared base-problem relaxation.
+  Structural = 2,
+  /// At least one side could not be bounded at all; the enclosing
+  /// Estimate is no longer sound (see Estimate::sound).
+  Failed = 3,
+};
+
+[[nodiscard]] const char* setVerdictStr(SetVerdict verdict);
+
+/// One machine-readable fault record: what went wrong, where, and for
+/// which constraint set (-1 when not tied to a single set).
+struct SolveIssue {
+  int setIndex = -1;
+  ErrorCode code = ErrorCode::None;
+  /// Solve phase: "set", "probe", "ilp-worst", "ilp-best", "dispatch".
+  std::string phase;
+  std::string detail;
 };
 
 /// Outcome of one ILP (the worst-case max or the best-case min) of one
@@ -174,6 +220,14 @@ struct IlpSolveRecord {
   int lpCalls = 0;  ///< LP relaxations solved.
   int pivots = 0;   ///< Simplex pivots across those relaxations.
   bool firstRelaxationIntegral = false;
+  /// Objective recomputations promoted to __int128 in this solve.
+  int checkedPromotions = 0;
+  /// LP calls that re-ran under Bland's rule in this solve.
+  int blandRestarts = 0;
+  /// This side finished without an exact optimum and contributed
+  /// `fallbackBound` (a sound relaxation/structural bound) instead.
+  bool degraded = false;
+  std::int64_t fallbackBound = 0;
   /// Wall-clock µs of this solve (not deterministic).
   std::int64_t wallMicros = 0;
 };
@@ -188,6 +242,14 @@ struct SetSolveRecord {
   bool pruned = false;
   int probePivots = 0;            ///< Pivots of the feasibility probe.
   std::int64_t probeMicros = 0;   ///< Probe wall µs (not deterministic).
+  /// Where this set landed on the degradation ladder.
+  SetVerdict verdict = SetVerdict::Exact;
+  /// Primary cause when verdict != Exact (or when a non-degrading fault,
+  /// e.g. a probe failure, was absorbed); None on the clean path.
+  ErrorCode issue = ErrorCode::None;
+  /// Pivots spent on degradation-fallback LP solves.  Deliberately NOT
+  /// part of SolveStats::totalPivots, which sums only the ILP solves.
+  int fallbackPivots = 0;
   IlpSolveRecord worst;
   IlpSolveRecord best;
   /// Wall-clock µs for the whole set task (not deterministic).
@@ -203,8 +265,21 @@ struct Estimate {
   /// prunedNullSets) of `stats` are exactly the sums over these records.
   std::vector<SetSolveRecord> setRecords;
   /// Extreme-case block execution counts, aggregated over contexts.
+  /// Empty when the corresponding side of `bound` came from a degraded
+  /// (relaxed/structural) solve, which has no integral witness.
   std::vector<BlockCountRow> worstCounts;
   std::vector<BlockCountRow> bestCounts;
+  /// True when the deadline (or an injected clock fault) expired before
+  /// every set was solved exactly; the bound is still sound unless a
+  /// set Failed.
+  bool timedOut = false;
+  /// Every fault absorbed during the solve, in set-index order
+  /// (dispatch-level issues carry setIndex of the affected set).
+  std::vector<SolveIssue> issues;
+  /// True when every non-exact set still contributed a sound bound —
+  /// i.e. no set Failed.  A sound degraded estimate still brackets the
+  /// true [BCET, WCET] interval; an unsound one guarantees nothing.
+  [[nodiscard]] bool sound() const { return stats.failedSets == 0; }
 };
 
 /// One analysis context: a function instance reached by a specific call

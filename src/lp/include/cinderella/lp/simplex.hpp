@@ -1,9 +1,13 @@
 // Two-phase primal simplex solver over a dense tableau.
 //
-// Sized for IPET workloads: hundreds of variables and constraints.  Uses
-// Bland's rule (lexicographically smallest entering/leaving index) so the
-// method provably terminates even on degenerate flow problems, which IPET
-// constraint systems almost always are.
+// Sized for IPET workloads: hundreds of variables and constraints.  The
+// default pivot rule is Dantzig (most negative reduced cost), which is
+// fast in practice but can cycle on degenerate flow problems — which
+// IPET constraint systems almost always are.  When a Dantzig run hits
+// its pivot budget, solve() automatically re-solves once under Bland's
+// rule (lexicographically smallest entering index), which provably
+// terminates; only if Bland also exhausts the budget does the caller see
+// IterationLimit.
 #pragma once
 
 #include <string>
@@ -17,14 +21,28 @@ enum class SolveStatus { Optimal, Infeasible, Unbounded, IterationLimit };
 
 [[nodiscard]] const char* solveStatusStr(SolveStatus status);
 
+/// Entering-column selection strategy.
+enum class PivotRule {
+  /// Most negative reduced cost; fast, but may cycle on degeneracy.
+  Dantzig,
+  /// Smallest-index negative reduced cost; provably terminating.
+  Bland,
+};
+
+[[nodiscard]] const char* pivotRuleStr(PivotRule rule);
+
 struct Solution {
   SolveStatus status = SolveStatus::Infeasible;
   /// Objective value in the problem's own sense (valid when Optimal).
   double objective = 0.0;
   /// Value of every original variable (valid when Optimal).
   std::vector<double> values;
-  /// Total simplex pivots across both phases.
+  /// Total simplex pivots across both phases (summed over both attempts
+  /// when the Bland re-solve kicked in).
   int pivots = 0;
+  /// True when the Dantzig run hit maxPivots and the solve was redone
+  /// from scratch under Bland's rule.
+  bool blandRestart = false;
 };
 
 struct SimplexOptions {
@@ -34,6 +52,11 @@ struct SimplexOptions {
   double pivotTol = 1e-9;
   /// Feasibility/optimality tolerance on reduced costs and residuals.
   double tol = 1e-7;
+  /// Entering-column rule for the first attempt.
+  PivotRule pivotRule = PivotRule::Dantzig;
+  /// On IterationLimit under Dantzig, re-solve once under Bland's rule
+  /// (cycling is the usual culprit; Bland cannot cycle).
+  bool blandRetry = true;
 };
 
 /// Solves `problem` and returns its optimum, or the failure status.

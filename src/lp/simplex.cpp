@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "cinderella/support/error.hpp"
+#include "cinderella/support/fault_injector.hpp"
 #include "cinderella/support/metrics_sink.hpp"
 
 namespace cinderella::lp {
@@ -20,6 +21,16 @@ const char* solveStatusStr(SolveStatus status) {
       return "unbounded";
     case SolveStatus::IterationLimit:
       return "iteration-limit";
+  }
+  return "?";
+}
+
+const char* pivotRuleStr(PivotRule rule) {
+  switch (rule) {
+    case PivotRule::Dantzig:
+      return "dantzig";
+    case PivotRule::Bland:
+      return "bland";
   }
   return "?";
 }
@@ -179,6 +190,13 @@ class Tableau {
   }
 
   void pivot(int row, int col) {
+    // Fault-injection seam: emulate a numeric breakdown mid-solve.  The
+    // analyzer's degradation ladder catches this as a SolverError.
+    if (support::FaultInjector* const injector = support::faultInjector()) {
+      if (injector->shouldFault(support::FaultSite::LpPivot)) {
+        throw InjectedFaultError("injected fault at simplex pivot");
+      }
+    }
     const double p = get(row, col);
     CIN_REQUIRE(std::abs(p) > opt_.pivotTol);
     const double inv = 1.0 / p;
@@ -199,12 +217,25 @@ class Tableau {
     const int colLimit = allowArtificialEntering ? n_ : artificialBegin_;
     while (true) {
       if (pivots_ >= opt_.maxPivots) return SolveStatus::IterationLimit;
-      // Bland's rule: smallest-index column with negative reduced cost.
+      // Entering column per the configured rule.  Dantzig: most negative
+      // reduced cost (smallest index on ties, for determinism).  Bland:
+      // smallest-index column with negative reduced cost.
       int enter = -1;
-      for (int j = 0; j < colLimit; ++j) {
-        if (get(m_, j) < -opt_.tol) {
-          enter = j;
-          break;
+      if (opt_.pivotRule == PivotRule::Dantzig) {
+        double best = -opt_.tol;
+        for (int j = 0; j < colLimit; ++j) {
+          const double rc = get(m_, j);
+          if (rc < best) {
+            best = rc;
+            enter = j;
+          }
+        }
+      } else {
+        for (int j = 0; j < colLimit; ++j) {
+          if (get(m_, j) < -opt_.tol) {
+            enter = j;
+            break;
+          }
         }
       }
       if (enter < 0) return SolveStatus::Optimal;
@@ -287,6 +318,20 @@ Solution solve(const Problem& problem, const SimplexOptions& options) {
 
   Tableau tableau(problem, options);
   Solution solution = tableau.run(objective, constant);
+  if (solution.status == SolveStatus::IterationLimit &&
+      options.pivotRule == PivotRule::Dantzig && options.blandRetry) {
+    // Dantzig exhausted its budget — on degenerate IPET systems that is
+    // usually cycling, not genuine size.  Re-solve once under Bland's
+    // rule, which cannot cycle; only its failure is reported upward.
+    SimplexOptions retryOptions = options;
+    retryOptions.pivotRule = PivotRule::Bland;
+    const int dantzigPivots = solution.pivots;
+    Tableau retryTableau(problem, retryOptions);
+    solution = retryTableau.run(objective, constant);
+    solution.pivots += dantzigPivots;
+    solution.blandRestart = true;
+    if (sink != nullptr) sink->add("lp.blandRestarts", 1);
+  }
   if (solution.status == SolveStatus::Optimal && minimize) {
     solution.objective = -solution.objective;
   }

@@ -38,6 +38,16 @@ void statsToJson(JsonWriter* w, const ipet::SolveStats& stats) {
       .value(stats.cacheFlowVars)
       .key("cacheFallbackSets")
       .value(stats.cacheFallbackSets)
+      .key("relaxedSets")
+      .value(stats.relaxedSets)
+      .key("structuralSets")
+      .value(stats.structuralSets)
+      .key("failedSets")
+      .value(stats.failedSets)
+      .key("checkedPromotions")
+      .value(stats.checkedPromotions)
+      .key("blandRestarts")
+      .value(stats.blandRestarts)
       .endObject();
 }
 
@@ -59,7 +69,16 @@ void ilpRecordToJson(JsonWriter* w, const ipet::IlpSolveRecord& record,
       .key("pivots")
       .value(record.pivots)
       .key("firstRelaxationIntegral")
-      .value(record.firstRelaxationIntegral);
+      .value(record.firstRelaxationIntegral)
+      .key("degraded")
+      .value(record.degraded);
+  if (record.degraded) w->key("fallbackBound").value(record.fallbackBound);
+  if (record.checkedPromotions != 0) {
+    w->key("checkedPromotions").value(record.checkedPromotions);
+  }
+  if (record.blandRestarts != 0) {
+    w->key("blandRestarts").value(record.blandRestarts);
+  }
   if (options.includeTimings) w->key("wallMicros").value(record.wallMicros);
   w->endObject();
 }
@@ -76,7 +95,14 @@ void setRecordToJson(JsonWriter* w, const ipet::SetSolveRecord& record,
       .key("pruned")
       .value(record.pruned)
       .key("probePivots")
-      .value(record.probePivots);
+      .value(record.probePivots)
+      .key("verdict")
+      .value(ipet::setVerdictStr(record.verdict))
+      .key("issue")
+      .value(errorCodeStr(record.issue));
+  if (record.fallbackPivots != 0) {
+    w->key("fallbackPivots").value(record.fallbackPivots);
+  }
   if (options.includeTimings) w->key("probeMicros").value(record.probeMicros);
   w->key("worst");
   ilpRecordToJson(w, record.worst, options);
@@ -95,8 +121,26 @@ std::string reportJson(std::string_view program,
   w.key("program").value(program);
   w.key("bound");
   boundToJson(&w, estimate.bound);
+  w.key("sound").value(estimate.sound());
+  w.key("timedOut").value(estimate.timedOut);
   w.key("stats");
   statsToJson(&w, estimate.stats);
+  if (!estimate.issues.empty()) {
+    w.key("issues").beginArray();
+    for (const ipet::SolveIssue& issue : estimate.issues) {
+      w.beginObject()
+          .key("set")
+          .value(issue.setIndex)
+          .key("code")
+          .value(errorCodeStr(issue.code))
+          .key("phase")
+          .value(issue.phase)
+          .key("detail")
+          .value(issue.detail)
+          .endObject();
+    }
+    w.endArray();
+  }
   w.key("sets").beginArray();
   for (const ipet::SetSolveRecord& record : estimate.setRecords) {
     setRecordToJson(&w, record, options);
@@ -121,11 +165,12 @@ std::string formatSolveTable(const ipet::Estimate& estimate) {
   out << "per-set solve records (" << estimate.stats.constraintSets
       << " sets, " << estimate.stats.prunedNullSets << " pruned):\n";
   out << padLeft("set", 4) << padLeft("cons", 6) << padLeft("probe", 7)
-      << padLeft("worst", 14) << padLeft("best", 14) << padLeft("LPs", 5)
-      << padLeft("nodes", 7) << padLeft("pivots", 8) << padLeft("us", 9)
-      << "\n";
+      << padLeft("verdict", 11) << padLeft("worst", 14) << padLeft("best", 14)
+      << padLeft("LPs", 5) << padLeft("nodes", 7) << padLeft("pivots", 8)
+      << padLeft("us", 9) << "\n";
   for (const ipet::SetSolveRecord& rec : estimate.setRecords) {
     const auto objective = [](const ipet::IlpSolveRecord& r) {
+      if (r.degraded) return "~" + withThousands(r.fallbackBound);
       if (!r.solved) return std::string("-");
       if (!r.feasible) return std::string("infeas");
       return withThousands(r.objective);
@@ -133,6 +178,7 @@ std::string formatSolveTable(const ipet::Estimate& estimate) {
     out << padLeft(std::to_string(rec.setIndex), 4)
         << padLeft(std::to_string(rec.userConstraints), 6)
         << padLeft(rec.pruned ? "null" : "ok", 7)
+        << padLeft(rec.pruned ? "-" : ipet::setVerdictStr(rec.verdict), 11)
         << padLeft(objective(rec.worst), 14)
         << padLeft(objective(rec.best), 14)
         << padLeft(std::to_string(rec.worst.lpCalls + rec.best.lpCalls), 5)

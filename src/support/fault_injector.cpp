@@ -1,0 +1,81 @@
+#include "cinderella/support/fault_injector.hpp"
+
+namespace cinderella::support {
+
+namespace {
+
+std::atomic<FaultInjector*> gInjector{nullptr};
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* faultSiteStr(FaultSite site) {
+  switch (site) {
+    case FaultSite::LpPivot:
+      return "lp-pivot";
+    case FaultSite::ThreadPoolTask:
+      return "thread-pool-task";
+    case FaultSite::DeadlineClock:
+      return "deadline-clock";
+  }
+  return "?";
+}
+
+double FaultPlan::rate(FaultSite site) const {
+  switch (site) {
+    case FaultSite::LpPivot:
+      return lpPivotRate;
+    case FaultSite::ThreadPoolTask:
+      return threadTaskRate;
+    case FaultSite::DeadlineClock:
+      return deadlineClockRate;
+  }
+  return 0.0;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(plan) {}
+
+bool FaultInjector::shouldFault(FaultSite site) {
+  const double rate = plan_.rate(site);
+  const auto index = static_cast<std::size_t>(site);
+  const std::uint64_t call =
+      calls_[index].fetch_add(1, std::memory_order_relaxed);
+  if (rate <= 0.0) return false;
+  // Map the (seed, site, call) hash onto [0, 1) and compare against the
+  // site's rate; rate >= 1 faults every opportunity.
+  const std::uint64_t h =
+      splitmix64(plan_.seed ^ (0x51ED2700F7B3E5D1ULL *
+                               (static_cast<std::uint64_t>(site) + 1)) ^
+                 (call * 0xD6E8FEB86659FD93ULL));
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // 2^-53
+  if (u >= rate) return false;
+  injected_[index].fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::int64_t FaultInjector::calls(FaultSite site) const {
+  return static_cast<std::int64_t>(
+      calls_[static_cast<std::size_t>(site)].load(std::memory_order_relaxed));
+}
+
+std::int64_t FaultInjector::injected(FaultSite site) const {
+  return injected_[static_cast<std::size_t>(site)].load(
+      std::memory_order_relaxed);
+}
+
+FaultInjector* faultInjector() noexcept {
+  return gInjector.load(std::memory_order_relaxed);
+}
+
+FaultInjector* setFaultInjector(FaultInjector* injector) noexcept {
+  return gInjector.exchange(injector, std::memory_order_acq_rel);
+}
+
+}  // namespace cinderella::support

@@ -1,0 +1,85 @@
+// Checked 64-bit integer arithmetic with __int128 promotion — the
+// numeric core of the fault-tolerant solve engine.
+//
+// Cycle costs and flow counts are integers, so the analyzer's objective
+// values are exact integers too; accumulating them in doubles silently
+// loses precision past 2^53 and wrapping std::int64_t is undefined
+// behaviour.  These helpers make both failure modes explicit: the fast
+// path is plain 64-bit arithmetic with compiler-builtin overflow checks,
+// and on the first overflow the caller retries the whole accumulation in
+// __int128, saturating (with a flag) only when even 128 bits cannot be
+// narrowed back to 64.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace cinderella::support {
+
+/// True iff a + b overflowed; on success *out holds the sum.
+[[nodiscard]] inline bool addOverflow(std::int64_t a, std::int64_t b,
+                                      std::int64_t* out) {
+  return __builtin_add_overflow(a, b, out);
+}
+
+/// True iff a * b overflowed; on success *out holds the product.
+[[nodiscard]] inline bool mulOverflow(std::int64_t a, std::int64_t b,
+                                      std::int64_t* out) {
+  return __builtin_mul_overflow(a, b, out);
+}
+
+/// Result of an exact integer accumulation (see accumulateProducts).
+struct CheckedSum {
+  std::int64_t value = 0;
+  /// The 64-bit fast path overflowed and the sum was redone in __int128.
+  bool promoted = false;
+  /// Even the __int128 total does not fit std::int64_t; `value` is
+  /// saturated to the nearest representable bound.
+  bool saturated = false;
+};
+
+/// Sum of coeffs[i] * values[i] over n terms, exact.  Runs the 64-bit
+/// checked fast path first and retries in __int128 on overflow;
+/// saturates to ±INT64_MAX/MIN with `saturated` set when the true total
+/// leaves 64-bit range.  (A product of two int64 always fits __int128,
+/// and IPET systems have far fewer than 2^64 terms, so the __int128
+/// accumulation itself cannot wrap.)
+template <typename CoeffFn, typename ValueFn>
+[[nodiscard]] CheckedSum accumulateProducts(std::size_t n, CoeffFn coeff,
+                                            ValueFn value) {
+  CheckedSum result;
+  bool overflowed = false;
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::int64_t term = 0;
+    if (mulOverflow(coeff(i), value(i), &term) ||
+        addOverflow(total, term, &total)) {
+      overflowed = true;
+      break;
+    }
+  }
+  if (!overflowed) {
+    result.value = total;
+    return result;
+  }
+
+  result.promoted = true;
+  __int128 wide = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    wide += static_cast<__int128>(coeff(i)) * static_cast<__int128>(value(i));
+  }
+  constexpr __int128 kMax = std::numeric_limits<std::int64_t>::max();
+  constexpr __int128 kMin = std::numeric_limits<std::int64_t>::min();
+  if (wide > kMax) {
+    result.value = std::numeric_limits<std::int64_t>::max();
+    result.saturated = true;
+  } else if (wide < kMin) {
+    result.value = std::numeric_limits<std::int64_t>::min();
+    result.saturated = true;
+  } else {
+    result.value = static_cast<std::int64_t>(wide);
+  }
+  return result;
+}
+
+}  // namespace cinderella::support

@@ -43,6 +43,52 @@ class SimulationError : public Error {
   using Error::Error;
 };
 
+/// Thrown by a fault-injection site (see fault_injector.hpp).  A
+/// SolverError subclass so every degradation path treats an injected
+/// fault exactly like the real numeric breakdown it emulates.
+class InjectedFaultError : public SolverError {
+ public:
+  using SolverError::SolverError;
+};
+
+/// Machine-readable cause attached to a degraded or failed solve (see
+/// ipet::SolveIssue).  Stable strings via errorCodeStr for reports.
+enum class ErrorCode {
+  None,
+  DeadlineExpired,    ///< SolveControl::deadline ran out.
+  Cancelled,          ///< SolveControl::cancel was set.
+  NodeBudgetExhausted,///< Branch-and-bound hit its maxNodes budget.
+  PivotLimit,         ///< Simplex hit maxPivots even after Bland retry.
+  NumericOverflow,    ///< Objective exceeded 64-bit range (saturated).
+  InjectedFault,      ///< A FaultInjector site fired.
+  TaskLost,           ///< A per-set solve task never ran.
+  Internal,           ///< Invariant violation or unexpected exception.
+};
+
+[[nodiscard]] inline const char* errorCodeStr(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::None:
+      return "none";
+    case ErrorCode::DeadlineExpired:
+      return "deadline-expired";
+    case ErrorCode::Cancelled:
+      return "cancelled";
+    case ErrorCode::NodeBudgetExhausted:
+      return "node-budget-exhausted";
+    case ErrorCode::PivotLimit:
+      return "pivot-limit";
+    case ErrorCode::NumericOverflow:
+      return "numeric-overflow";
+    case ErrorCode::InjectedFault:
+      return "injected-fault";
+    case ErrorCode::TaskLost:
+      return "task-lost";
+    case ErrorCode::Internal:
+      return "internal";
+  }
+  return "?";
+}
+
 namespace detail {
 [[noreturn]] inline void throwRequireFailed(const char* cond, const char* file,
                                             int line) {

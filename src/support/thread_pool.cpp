@@ -1,6 +1,7 @@
 #include "cinderella/support/thread_pool.hpp"
 
 #include "cinderella/support/error.hpp"
+#include "cinderella/support/fault_injector.hpp"
 #include "cinderella/support/metrics_sink.hpp"
 
 namespace cinderella::support {
@@ -96,7 +97,13 @@ void ThreadPool::workerLoop(std::size_t self) {
     // A claimed slot guarantees a task exists, but a sibling that also
     // claimed one may empty the deque we scan first; retry until found.
     while (!popOrSteal(self, &task)) std::this_thread::yield();
-    task();
+    // Fault-injection seam: drop the claimed task on the floor (it still
+    // counts as finished, so wait() returns).  Emulates a lost solve task;
+    // callers must detect the hole themselves — see analyzer.cpp.
+    FaultInjector* const injector = faultInjector();
+    const bool dropped =
+        injector != nullptr && injector->shouldFault(FaultSite::ThreadPoolTask);
+    if (!dropped) task();
     task = nullptr;  // destroy the closure before reporting completion
     {
       const std::lock_guard<std::mutex> lock(mutex_);

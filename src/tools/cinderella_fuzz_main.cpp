@@ -39,6 +39,12 @@ options:
                         JSON summary as summary.json
   --constraints         also generate redundant functionality
                         constraints (exercises DNF + null-set pruning)
+  --fault-rate <R>      degradation drill: re-run each estimate under a
+                        deterministic fault injector firing at rate R in
+                        [0,1] at every site (LP pivots, pool tasks,
+                        deadline clock); the degraded interval must stay
+                        sound (default 0 = off)
+  --fault-seed <S>      seed of the fault injector (default 1)
   --no-shrink           keep failing programs unminimized
   --no-explicit         skip the explicit-enumeration oracle
   --help                show this message
@@ -66,6 +72,14 @@ bool parseInt(const char* text, int lo, int hi, int* out) {
   const long v = std::strtol(text, &end, 10);
   if (end == text || *end != '\0' || v < lo || v > hi) return false;
   *out = static_cast<int>(v);
+  return true;
+}
+
+bool parseRate(const char* text, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || !(v >= 0.0) || !(v <= 1.0)) return false;
+  *out = v;
   return true;
 }
 
@@ -107,6 +121,15 @@ int parseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = value();
       if (!v) return 2;
       options->outDir = v;
+    } else if (arg == "--fault-rate") {
+      const char* v = value();
+      if (!v || !parseRate(v, &options->fuzz.oracle.faultRate)) {
+        std::cerr << "cinderella-fuzz: --fault-rate needs a value in [0,1]\n";
+        return 2;
+      }
+    } else if (arg == "--fault-seed") {
+      const char* v = value();
+      if (!v || !parseUint64(v, &options->fuzz.oracle.faultSeed)) return 2;
     } else if (arg == "--constraints") {
       options->fuzz.generator.emitConstraints = true;
     } else if (arg == "--no-shrink") {

@@ -8,6 +8,7 @@
 // without spawning processes.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -36,6 +37,13 @@ struct ToolOptions {
   /// Worker threads for the per-constraint-set solves (--jobs N);
   /// 0 = one per hardware thread.
   int jobs = 1;
+  /// Solve deadline in milliseconds (--deadline-ms); 0 = none.  Sets
+  /// still unsolved at expiry degrade to sound fallback bounds instead
+  /// of aborting the run.
+  std::int64_t deadlineMs = 0;
+  /// --degraded forbid: exit with code 3 when any constraint set fell
+  /// back to a non-exact (relaxed/structural/failed) bound.
+  bool forbidDegraded = false;
   /// Print the per-block cost/count report after estimation.
   bool report = false;
   /// Print the worst-case ILPs in CPLEX LP format.

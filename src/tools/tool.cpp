@@ -1,5 +1,6 @@
 #include "cinderella/tools/tool.hpp"
 
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
@@ -48,6 +49,13 @@ options:
   --jobs <N>               solve the per-constraint-set ILPs on N worker
                            threads (default 1; 0 = all hardware threads);
                            the bound is identical for every N
+  --deadline-ms <N>        solve deadline in milliseconds; sets still
+                           unsolved at expiry degrade to sound fallback
+                           bounds (LP relaxation or structural interval)
+                           and the run is flagged as timed out
+  --degraded <mode>        allow (default) accepts degraded per-set
+                           bounds; forbid exits with code 3 when any
+                           constraint set is not solved exactly
   --report                 print per-block costs and extreme counts
   --lp-dump                print the worst-case ILPs in CPLEX LP format
   --dot                    print the CFGs in Graphviz dot format
@@ -65,6 +73,13 @@ observability:
   --verbose-solve          print a per-constraint-set solve table
 
   --help                   show this message
+
+exit codes:
+  0  success
+  1  usage, input or analysis error
+  2  --simulate measured a run outside the estimated bound (unsound)
+  3  --degraded forbid and at least one set was not solved exactly
+  4  internal error (unexpected exception; please report)
 )";
 
 std::string readFile(const std::string& path) {
@@ -139,6 +154,29 @@ bool parseArgs(int argc, const char* const* argv, ToolOptions* options,
         return false;
       }
       options->jobs = static_cast<int>(jobs);
+    } else if (arg == "--deadline-ms") {
+      const char* v = needValue(i, "--deadline-ms");
+      if (!v) return false;
+      char* end = nullptr;
+      const long long ms = std::strtoll(v, &end, 10);
+      if (end == v || *end != '\0' || ms < 1 || ms > 86'400'000) {
+        err << "cinderella: --deadline-ms needs an integer in "
+               "[1, 86400000] (milliseconds)\n";
+        return false;
+      }
+      options->deadlineMs = ms;
+    } else if (arg == "--degraded") {
+      const char* v = needValue(i, "--degraded");
+      if (!v) return false;
+      const std::string mode = v;
+      if (mode == "forbid") {
+        options->forbidDegraded = true;
+      } else if (mode == "allow") {
+        options->forbidDegraded = false;
+      } else {
+        err << "cinderella: --degraded must be 'allow' or 'forbid'\n";
+        return false;
+      }
     } else if (arg == "--report") {
       options->report = true;
     } else if (arg == "--lp-dump") {
@@ -249,6 +287,9 @@ int runTool(const ToolOptions& options, std::ostream& out,
     ipet::SolveControl control;
     control.threads = options.jobs;
     control.tracer = tracer.get();
+    if (options.deadlineMs > 0) {
+      control.deadline = std::chrono::milliseconds(options.deadlineMs);
+    }
     const ipet::Estimate estimate = analyzer.estimate(control);
 
     if (tracer != nullptr) {
@@ -285,6 +326,23 @@ int runTool(const ToolOptions& options, std::ostream& out,
         << "; first relaxation integral: "
         << (estimate.stats.allFirstRelaxationsIntegral ? "yes" : "no")
         << "\n";
+
+    const int degradedSets = estimate.stats.relaxedSets +
+                             estimate.stats.structuralSets +
+                             estimate.stats.failedSets;
+    if (degradedSets != 0 || estimate.timedOut) {
+      out << "degraded: " << estimate.stats.relaxedSets << " relaxed, "
+          << estimate.stats.structuralSets << " structural, "
+          << estimate.stats.failedSets << " failed set(s)"
+          << (estimate.timedOut ? "; deadline expired" : "") << "; bound is "
+          << (estimate.sound() ? "sound but possibly loose"
+                               : "NOT guaranteed sound")
+          << "\n";
+      if (options.forbidDegraded) {
+        err << "cinderella: degraded result rejected (--degraded forbid)\n";
+        return 3;
+      }
+    }
 
     if (options.compareExplicit) {
       explicitpath::EnumOptions eo;
@@ -326,6 +384,14 @@ int runTool(const ToolOptions& options, std::ostream& out,
   } catch (const Error& e) {
     err << "cinderella: " << e.what() << "\n";
     return 1;
+  } catch (const std::exception& e) {
+    // Anything that is not a cinderella::Error escaping this far is a
+    // bug in the tool itself, not a problem with the user's input.
+    err << "cinderella: internal error: " << e.what() << "\n";
+    return 4;
+  } catch (...) {
+    err << "cinderella: internal error: unknown exception\n";
+    return 4;
   }
 }
 

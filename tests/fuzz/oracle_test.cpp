@@ -104,6 +104,27 @@ TEST(OracleTest, FlagsSimulatorFaults) {
   EXPECT_TRUE(hasKind(report, CheckKind::SimFault)) << report.summary();
 }
 
+// The degradation drill: re-running each estimate under an aggressive
+// fault injector must neither throw nor produce a sound-claiming
+// interval that loses the clean bound — across generated programs.
+TEST(OracleTest, DegradationDrillStaysClean) {
+  GeneratorOptions gopt;
+  gopt.emitConstraints = true;
+  ProgramGenerator gen(gopt);
+  OracleOptions options;
+  options.faultRate = 0.05;
+  options.faultSeed = 9;
+  const DifferentialOracle oracle(options);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const GeneratedProgram program = gen.generate(seed);
+    const OracleReport report = oracle.check(program, seed ^ 1);
+    EXPECT_FALSE(hasKind(report, CheckKind::DegradedThrow))
+        << "seed " << seed << ": " << report.summary();
+    EXPECT_FALSE(hasKind(report, CheckKind::DegradedUnsound))
+        << "seed " << seed << ": " << report.summary();
+  }
+}
+
 TEST(OracleTest, SummaryNamesTheFirstDiscrepancy) {
   OracleReport report;
   EXPECT_EQ(report.summary(), "ok");

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include "cinderella/ilp/branch_and_bound.hpp"
 #include "cinderella/support/text.hpp"
@@ -173,6 +175,126 @@ TEST(Ilp, SolutionValuesAreIntegral) {
   for (const double v : s.values) {
     EXPECT_DOUBLE_EQ(v, std::round(v));
   }
+}
+
+// ---------------------------------------------------------------------
+// Checked exact objectives: llround(double) silently loses precision
+// past 2^53, so the solver recomputes integral objectives in checked
+// int64 with an __int128 promotion retry.
+
+TEST(Ilp, ExactObjectiveSurvivesIntermediateOverflow) {
+  // max 2^62 a + 2^62 b - 2^62 c with a = b = c = 1: the partial sum
+  // 2^62 + 2^62 wraps int64, but the true optimum 2^62 fits — the
+  // __int128 retry must deliver it exactly.
+  const double big = std::ldexp(1.0, 62);
+  Problem p;
+  const int a = p.addVar("a");
+  const int b = p.addVar("b");
+  const int c = p.addVar("c");
+  for (const int v : {a, b, c}) {
+    LinearExpr fix;
+    fix.add(v, 1.0);
+    p.addConstraint(std::move(fix), Relation::Equal, 1.0);
+  }
+  LinearExpr obj;
+  obj.add(a, big);
+  obj.add(b, big);
+  obj.add(c, -big);
+  p.setObjective(obj, Sense::Maximize);
+
+  const IlpSolution s = ilp::solve(p);
+  ASSERT_EQ(s.status, IlpStatus::Optimal);
+  EXPECT_TRUE(s.objectiveIsExact);
+  EXPECT_FALSE(s.objectiveSaturated);
+  EXPECT_EQ(s.objectiveExact, std::int64_t{1} << 62);
+  EXPECT_GE(s.stats.checkedPromotions, 1);
+}
+
+TEST(Ilp, ExactObjectiveSaturatesPastInt64) {
+  // max 2^62 (a + b + c) with a = b = c = 1: the true optimum 3 * 2^62
+  // exceeds INT64_MAX, so the exact objective saturates with a flag.
+  const double big = std::ldexp(1.0, 62);
+  Problem p;
+  const int a = p.addVar("a");
+  const int b = p.addVar("b");
+  const int c = p.addVar("c");
+  for (const int v : {a, b, c}) {
+    LinearExpr fix;
+    fix.add(v, 1.0);
+    p.addConstraint(std::move(fix), Relation::Equal, 1.0);
+  }
+  LinearExpr obj;
+  obj.add(a, big);
+  obj.add(b, big);
+  obj.add(c, big);
+  p.setObjective(obj, Sense::Maximize);
+
+  const IlpSolution s = ilp::solve(p);
+  ASSERT_EQ(s.status, IlpStatus::Optimal);
+  EXPECT_TRUE(s.objectiveSaturated);
+  EXPECT_EQ(s.objectiveExact, std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(Ilp, ExactObjectiveMatchesDoubleOnSmallInstances) {
+  Problem p;
+  const int x = p.addVar("x");
+  LinearExpr c;
+  c.add(x, 1.0);
+  p.addConstraint(std::move(c), Relation::LessEq, 7.0);
+  LinearExpr obj;
+  obj.add(x, 3.0);
+  p.setObjective(obj, Sense::Maximize);
+
+  const IlpSolution s = ilp::solve(p);
+  ASSERT_EQ(s.status, IlpStatus::Optimal);
+  EXPECT_TRUE(s.objectiveIsExact);
+  EXPECT_EQ(s.objectiveExact, 21);
+  EXPECT_EQ(s.stats.checkedPromotions, 0);
+}
+
+TEST(Ilp, InterruptStopsTheSearch) {
+  // An interrupt that fires immediately must stop the solve before any
+  // node is expanded and report Interrupted rather than an answer.
+  Problem p;
+  const int x = p.addVar("x");
+  const int y = p.addVar("y");
+  LinearExpr c;
+  c.add(x, 2.0);
+  c.add(y, 2.0);
+  p.addConstraint(std::move(c), Relation::LessEq, 5.0);
+  LinearExpr obj;
+  obj.add(x, 1.0);
+  obj.add(y, 1.0);
+  p.setObjective(obj, Sense::Maximize);
+
+  IlpOptions options;
+  options.interrupt = [] { return true; };
+  const IlpSolution s = ilp::solve(p, options);
+  EXPECT_EQ(s.status, IlpStatus::Interrupted);
+  EXPECT_EQ(s.stats.nodesExpanded, 0);
+}
+
+TEST(Ilp, RootRelaxationBoundIsRecorded) {
+  // max x + y s.t. 2x + 2y <= 5: root LP gives 2.5, ILP 2 — the
+  // recorded relaxation bound must be the LP optimum, a sound
+  // over-estimate the analyzer can degrade to.
+  Problem p;
+  const int x = p.addVar("x");
+  const int y = p.addVar("y");
+  LinearExpr c;
+  c.add(x, 2.0);
+  c.add(y, 2.0);
+  p.addConstraint(std::move(c), Relation::LessEq, 5.0);
+  LinearExpr obj;
+  obj.add(x, 1.0);
+  obj.add(y, 1.0);
+  p.setObjective(obj, Sense::Maximize);
+
+  const IlpSolution s = ilp::solve(p);
+  ASSERT_EQ(s.status, IlpStatus::Optimal);
+  ASSERT_TRUE(s.haveRelaxationBound);
+  EXPECT_NEAR(s.relaxationBound, 2.5, 1e-6);
+  EXPECT_GE(s.relaxationBound, s.objective);
 }
 
 // ---------------------------------------------------------------------

@@ -52,6 +52,14 @@ void expectIdentical(const ipet::Estimate& a, const ipet::Estimate& b) {
             b.stats.allFirstRelaxationsIntegral);
   EXPECT_EQ(a.stats.cacheFlowVars, b.stats.cacheFlowVars);
   EXPECT_EQ(a.stats.cacheFallbackSets, b.stats.cacheFallbackSets);
+  EXPECT_EQ(a.stats.relaxedSets, b.stats.relaxedSets);
+  EXPECT_EQ(a.stats.structuralSets, b.stats.structuralSets);
+  EXPECT_EQ(a.stats.failedSets, b.stats.failedSets);
+  EXPECT_EQ(a.stats.checkedPromotions, b.stats.checkedPromotions);
+  EXPECT_EQ(a.stats.blandRestarts, b.stats.blandRestarts);
+  EXPECT_EQ(a.timedOut, b.timedOut);
+  EXPECT_EQ(a.issues.size(), b.issues.size());
+  EXPECT_EQ(a.sound(), b.sound());
   ASSERT_EQ(a.worstCounts.size(), b.worstCounts.size());
   for (std::size_t i = 0; i < a.worstCounts.size(); ++i) {
     EXPECT_EQ(a.worstCounts[i].function, b.worstCounts[i].function);
@@ -74,10 +82,15 @@ void expectIdentical(const ipet::Estimate& a, const ipet::Estimate& b) {
     EXPECT_EQ(ra.userConstraints, rb.userConstraints);
     EXPECT_EQ(ra.pruned, rb.pruned);
     EXPECT_EQ(ra.probePivots, rb.probePivots);
+    EXPECT_EQ(ra.verdict, rb.verdict);
+    EXPECT_EQ(ra.issue, rb.issue);
+    EXPECT_EQ(ra.fallbackPivots, rb.fallbackPivots);
     EXPECT_EQ(ra.worst.objective, rb.worst.objective);
     EXPECT_EQ(ra.best.objective, rb.best.objective);
     EXPECT_EQ(ra.worst.nodes, rb.worst.nodes);
     EXPECT_EQ(ra.best.nodes, rb.best.nodes);
+    EXPECT_EQ(ra.worst.degraded, rb.worst.degraded);
+    EXPECT_EQ(ra.best.degraded, rb.best.degraded);
   }
 }
 
@@ -128,12 +141,28 @@ TEST(ParallelEstimate, CancellationAborts) {
   EXPECT_THROW((void)prep.analyzer.estimate(control), AnalysisError);
 }
 
-TEST(ParallelEstimate, ExpiredDeadlineAborts) {
+TEST(ParallelEstimate, ExpiredDeadlineDegradesToSoundBounds) {
+  // An already-expired deadline no longer aborts: every set degrades to
+  // the shared structural (base-relaxation) bound, which must enclose
+  // the exact interval, and the result is flagged timedOut.
   Prepared prep("dhry");
+  const ipet::Estimate exact = prep.analyzer.estimate();
+
   ipet::SolveControl control;
   control.threads = 2;
   control.deadline = std::chrono::milliseconds(-1);  // already expired
-  EXPECT_THROW((void)prep.analyzer.estimate(control), AnalysisError);
+  const ipet::Estimate degraded = prep.analyzer.estimate(control);
+  EXPECT_TRUE(degraded.timedOut);
+  EXPECT_TRUE(degraded.sound());
+  EXPECT_TRUE(degraded.bound.encloses(exact.bound));
+  EXPECT_FALSE(degraded.issues.empty());
+  for (const ipet::SolveIssue& issue : degraded.issues) {
+    EXPECT_EQ(issue.code, ErrorCode::DeadlineExpired);
+  }
+  for (const ipet::SetSolveRecord& rec : degraded.setRecords) {
+    EXPECT_EQ(rec.verdict, ipet::SetVerdict::Structural);
+    EXPECT_FALSE(rec.worst.solved);  // no ILP ran after expiry
+  }
 }
 
 TEST(ParallelEstimate, MaxNodesOverrideStillSolves) {

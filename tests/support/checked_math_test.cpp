@@ -1,0 +1,86 @@
+// Checked 64-bit arithmetic tests: overflow detection, the __int128
+// promotion-and-retry path, and saturation at the int64 boundary.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "cinderella/support/checked_math.hpp"
+
+namespace cinderella::support {
+namespace {
+
+constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+
+CheckedSum accumulate(const std::vector<std::int64_t>& coeffs,
+                      const std::vector<std::int64_t>& values) {
+  return accumulateProducts(
+      coeffs.size(), [&](std::size_t i) { return coeffs[i]; },
+      [&](std::size_t i) { return values[i]; });
+}
+
+TEST(CheckedMath, AddDetectsOverflowAtTheBoundary) {
+  std::int64_t out = 0;
+  EXPECT_FALSE(addOverflow(kMax - 1, 1, &out));
+  EXPECT_EQ(out, kMax);
+  EXPECT_TRUE(addOverflow(kMax, 1, &out));
+  EXPECT_TRUE(addOverflow(kMin, -1, &out));
+  EXPECT_FALSE(addOverflow(kMin, kMax, &out));
+  EXPECT_EQ(out, -1);
+}
+
+TEST(CheckedMath, MulDetectsOverflow) {
+  std::int64_t out = 0;
+  EXPECT_FALSE(mulOverflow(3'000'000'000, 3, &out));
+  EXPECT_EQ(out, 9'000'000'000);
+  EXPECT_TRUE(mulOverflow(std::int64_t{1} << 32, std::int64_t{1} << 32, &out));
+  EXPECT_TRUE(mulOverflow(kMin, -1, &out));  // the classic -INT64_MIN trap
+}
+
+TEST(CheckedMath, SmallSumsStayOnTheFastPath) {
+  const CheckedSum sum = accumulate({2, 3, -5}, {10, 100, 1});
+  EXPECT_EQ(sum.value, 20 + 300 - 5);
+  EXPECT_FALSE(sum.promoted);
+  EXPECT_FALSE(sum.saturated);
+}
+
+TEST(CheckedMath, EmptySumIsZero) {
+  const CheckedSum sum = accumulate({}, {});
+  EXPECT_EQ(sum.value, 0);
+  EXPECT_FALSE(sum.promoted);
+}
+
+TEST(CheckedMath, IntermediateOverflowPromotesAndRecovers) {
+  // 2^62 + 2^62 - 2^62 overflows int64 mid-sum but the true total fits:
+  // the promotion retry must recover the exact value, not saturate.
+  const std::int64_t big = std::int64_t{1} << 62;
+  const CheckedSum sum = accumulate({1, 1, -1}, {big, big, big});
+  EXPECT_EQ(sum.value, big);
+  EXPECT_TRUE(sum.promoted);
+  EXPECT_FALSE(sum.saturated);
+}
+
+TEST(CheckedMath, SaturatesWhenEvenInt128TotalLeavesInt64Range) {
+  const std::int64_t big = std::int64_t{1} << 62;
+  const CheckedSum high = accumulate({1, 1, 1}, {big, big, big});
+  EXPECT_EQ(high.value, kMax);
+  EXPECT_TRUE(high.promoted);
+  EXPECT_TRUE(high.saturated);
+
+  const CheckedSum low = accumulate({-1, -1, -1}, {big, big, big});
+  EXPECT_EQ(low.value, kMin);
+  EXPECT_TRUE(low.saturated);
+}
+
+TEST(CheckedMath, ProductOfExtremesPromotes) {
+  // A single term can overflow on the multiply alone.
+  const CheckedSum sum = accumulate({kMax}, {2});
+  EXPECT_TRUE(sum.promoted);
+  EXPECT_TRUE(sum.saturated);
+  EXPECT_EQ(sum.value, kMax);
+}
+
+}  // namespace
+}  // namespace cinderella::support

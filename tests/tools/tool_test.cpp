@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "cinderella/obs/json.hpp"
+#include "cinderella/support/fault_injector.hpp"
 #include "cinderella/tools/tool.hpp"
 
 namespace cinderella::tools {
@@ -275,6 +276,63 @@ TEST(ToolRun, UnwritableTracePathFails) {
   std::ostringstream out, err;
   EXPECT_EQ(runTool(o, out, err), 1);
   EXPECT_NE(err.str().find("cannot write trace"), std::string::npos);
+}
+
+TEST(ToolArgs, ParsesDeadlineAndDegradedPolicy) {
+  ToolOptions o;
+  ASSERT_TRUE(parse({"--benchmark", "dhry", "--deadline-ms", "250",
+                     "--degraded", "forbid"},
+                    &o));
+  EXPECT_EQ(o.deadlineMs, 250);
+  EXPECT_TRUE(o.forbidDegraded);
+  o = {};
+  ASSERT_TRUE(parse({"--benchmark", "dhry", "--degraded", "allow"}, &o));
+  EXPECT_FALSE(o.forbidDegraded);
+  o = {};
+  EXPECT_FALSE(parse({"--benchmark", "dhry", "--deadline-ms", "0"}, &o));
+  o = {};
+  EXPECT_FALSE(parse({"--benchmark", "dhry", "--deadline-ms", "-5"}, &o));
+  o = {};
+  EXPECT_FALSE(parse({"--benchmark", "dhry", "--deadline-ms", "soon"}, &o));
+  o = {};
+  std::string err;
+  EXPECT_FALSE(parse({"--benchmark", "dhry", "--degraded", "maybe"}, &o,
+                     &err));
+  EXPECT_NE(err.find("--degraded"), std::string::npos);
+}
+
+TEST(ToolRun, GenerousDeadlineChangesNothing) {
+  ToolOptions plain;
+  plain.benchmark = "piksrt";
+  ToolOptions bounded = plain;
+  bounded.deadlineMs = 60'000;
+  std::ostringstream outPlain, outBounded, err;
+  EXPECT_EQ(runTool(plain, outPlain, err), 0);
+  EXPECT_EQ(runTool(bounded, outBounded, err), 0);
+  EXPECT_EQ(outPlain.str(), outBounded.str());
+  EXPECT_EQ(outBounded.str().find("degraded:"), std::string::npos);
+}
+
+TEST(ToolRun, DegradedRunSummarizesAndForbidExitsThree) {
+  // A fault-injected deadline clock degrades every set; the tool must
+  // summarize the degradation on stdout and, under --degraded forbid,
+  // reject the result with exit code 3.
+  support::FaultPlan plan;
+  plan.deadlineClockRate = 1.0;
+  support::FaultInjector injector{plan};
+  support::ScopedFaultInjector install(&injector);
+
+  ToolOptions o;
+  o.benchmark = "check_data";
+  std::ostringstream out, err;
+  EXPECT_EQ(runTool(o, out, err), 0);
+  EXPECT_NE(out.str().find("degraded:"), std::string::npos);
+  EXPECT_NE(out.str().find("deadline expired"), std::string::npos);
+
+  o.forbidDegraded = true;
+  std::ostringstream outForbid, errForbid;
+  EXPECT_EQ(runTool(o, outForbid, errForbid), 3);
+  EXPECT_NE(errForbid.str().find("--degraded forbid"), std::string::npos);
 }
 
 TEST(ToolRun, ReportsBadConstraint) {
