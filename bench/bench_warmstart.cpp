@@ -1,0 +1,206 @@
+// Warm-start A/B for the incremental solve engine (SolveControl::
+// warmStart): every Table-I benchmark analyzed twice, once with the
+// full warm chain (structural seed -> probe -> ILP root -> shared
+// min/max root -> branch-and-bound children) and once cold.
+//
+// Two claims are checked and emitted as JSON lines:
+//   - the bounds are bit-identical either way (warm starting is purely
+//     a performance feature, never an accuracy trade);
+//   - on the multi-set benchmarks the warm engine does strictly less
+//     simplex work — the committed snapshot (BENCH_warmstart.json)
+//     tracks a >= 2x reduction in total simplex pivots.
+//
+// "Total simplex pivots" counts every simplex iteration an estimate()
+// call performs: ILP relaxations (stats.totalPivots), the per-set
+// feasibility probes, degradation-ladder fallback LPs, and the shared
+// structural seed.  Basis-installation eliminations are refactorization
+// work, not simplex iterations; they are reported separately
+// (installPivots) and never mixed into the ratio.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "cinderella/codegen/codegen.hpp"
+#include "cinderella/ipet/analyzer.hpp"
+#include "cinderella/obs/json.hpp"
+#include "cinderella/suite/suite.hpp"
+
+namespace {
+
+using namespace cinderella;
+
+struct RunStats {
+  ipet::Interval bound;
+  ipet::SolveStats stats;
+  int probePivots = 0;
+  int fallbackPivots = 0;
+  std::int64_t wallMicros = 0;
+
+  /// Every simplex iteration the estimate performed (see file comment).
+  [[nodiscard]] int simplexPivots() const {
+    return stats.totalPivots + probePivots + fallbackPivots +
+           stats.seedPivots;
+  }
+};
+
+RunStats runOnce(const suite::Benchmark& bench, bool warm) {
+  const codegen::CompileResult compiled =
+      codegen::compileSource(bench.source);
+  ipet::Analyzer analyzer(compiled, bench.rootFunction);
+  for (const auto& c : bench.constraints) {
+    analyzer.addConstraint(c.text, c.scope);
+  }
+  ipet::SolveControl control;
+  control.warmStart = warm;
+  const auto start = std::chrono::steady_clock::now();
+  const ipet::Estimate estimate = analyzer.estimate(control);
+  RunStats out;
+  out.wallMicros = std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  out.bound = estimate.bound;
+  out.stats = estimate.stats;
+  for (const ipet::SetSolveRecord& rec : estimate.setRecords) {
+    out.probePivots += rec.probePivots;
+    out.fallbackPivots += rec.fallbackPivots;
+  }
+  return out;
+}
+
+void sideToJson(obs::JsonWriter* w, const RunStats& r) {
+  w->beginObject()
+      .key("wallMicros")
+      .value(r.wallMicros)
+      .key("simplexPivots")
+      .value(r.simplexPivots())
+      .key("ilpPivots")
+      .value(r.stats.totalPivots)
+      .key("probePivots")
+      .value(r.probePivots)
+      .key("seedPivots")
+      .value(r.stats.seedPivots)
+      .key("installPivots")
+      .value(r.stats.installPivots)
+      .key("dualPivots")
+      .value(r.stats.dualPivots)
+      .key("lpCalls")
+      .value(r.stats.lpCalls)
+      .key("warmStarts")
+      .value(r.stats.warmStarts)
+      .key("coldStarts")
+      .value(r.stats.coldStarts)
+      .key("warmFailures")
+      .value(r.stats.warmFailures)
+      .key("dedupedSets")
+      .value(r.stats.dedupedSets)
+      .key("dominatedSets")
+      .value(r.stats.dominatedSets)
+      .endObject();
+}
+
+/// Prints the per-benchmark A/B table and JSON lines; exits nonzero if
+/// any benchmark's bounds differ between the two modes.
+void printWarmColdTable() {
+  std::printf("WARM-START A/B (SolveControl::warmStart on vs off)\n");
+  std::printf("%-18s %6s %12s %12s %7s %9s %9s\n", "Function", "Sets",
+              "coldPivots", "warmPivots", "ratio", "coldUs", "warmUs");
+
+  bool identical = true;
+  int totalCold = 0;
+  int totalWarm = 0;
+  for (const auto& bench : suite::allBenchmarks()) {
+    const RunStats warm = runOnce(bench, /*warm=*/true);
+    const RunStats cold = runOnce(bench, /*warm=*/false);
+    const bool same = warm.bound.lo == cold.bound.lo &&
+                      warm.bound.hi == cold.bound.hi;
+    identical = identical && same;
+    totalCold += cold.simplexPivots();
+    totalWarm += warm.simplexPivots();
+    const double ratio =
+        warm.simplexPivots() > 0
+            ? static_cast<double>(cold.simplexPivots()) /
+                  static_cast<double>(warm.simplexPivots())
+            : 0.0;
+    std::printf("%-18s %6d %12d %12d %6.2fx %9lld %9lld%s\n",
+                bench.name.c_str(), warm.stats.constraintSets,
+                cold.simplexPivots(), warm.simplexPivots(), ratio,
+                static_cast<long long>(cold.wallMicros),
+                static_cast<long long>(warm.wallMicros),
+                same ? "" : "  BOUNDS DIFFER");
+
+    obs::JsonWriter w;
+    w.beginObject()
+        .key("bench")
+        .value("warmstart")
+        .key("name")
+        .value(bench.name)
+        .key("constraintSets")
+        .value(warm.stats.constraintSets)
+        .key("boundsIdentical")
+        .value(same)
+        .key("bound");
+    w.beginObject()
+        .key("lo")
+        .value(warm.bound.lo)
+        .key("hi")
+        .value(warm.bound.hi)
+        .endObject();
+    w.key("warm");
+    sideToJson(&w, warm);
+    w.key("cold");
+    sideToJson(&w, cold);
+    w.key("pivotReduction").value(ratio).endObject();
+    std::printf("%s\n", w.str().c_str());
+  }
+  std::printf("\nsuite total: cold %d pivots, warm %d pivots (%.2fx)\n\n",
+              totalCold, totalWarm,
+              totalWarm > 0 ? static_cast<double>(totalCold) / totalWarm
+                            : 0.0);
+  if (!identical) {
+    std::fprintf(stderr, "warm/cold bounds diverged — solver bug\n");
+    std::exit(1);
+  }
+}
+
+const suite::Benchmark* findBenchmark(const char* name) {
+  for (const auto& bench : suite::allBenchmarks()) {
+    if (bench.name == name) return &bench;
+  }
+  return nullptr;
+}
+
+void BM_EstimateWarm(benchmark::State& state, const char* name) {
+  const suite::Benchmark* bench = findBenchmark(name);
+  for (auto _ : state) {
+    const RunStats r = runOnce(*bench, /*warm=*/true);
+    benchmark::DoNotOptimize(r.bound.hi);
+  }
+  state.counters["pivots"] =
+      static_cast<double>(runOnce(*bench, true).simplexPivots());
+}
+
+void BM_EstimateCold(benchmark::State& state, const char* name) {
+  const suite::Benchmark* bench = findBenchmark(name);
+  for (auto _ : state) {
+    const RunStats r = runOnce(*bench, /*warm=*/false);
+    benchmark::DoNotOptimize(r.bound.hi);
+  }
+  state.counters["pivots"] =
+      static_cast<double>(runOnce(*bench, false).simplexPivots());
+}
+
+BENCHMARK_CAPTURE(BM_EstimateWarm, dhry, "dhry");
+BENCHMARK_CAPTURE(BM_EstimateCold, dhry, "dhry");
+BENCHMARK_CAPTURE(BM_EstimateWarm, check_data, "check_data");
+BENCHMARK_CAPTURE(BM_EstimateCold, check_data, "check_data");
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printWarmColdTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -167,10 +167,18 @@ GeneratedProgram ProgramGenerator::generate(std::uint64_t seed) {
   // machinery (parsing, DNF expansion, null-set pruning, per-set
   // solving) is exercised on every shape.
   if (options_.emitConstraints && rng_.range(0, 1) == 0) {
-    switch (rng_.range(0, 2)) {
+    switch (rng_.range(0, 5)) {
       case 0: out.constraints.push_back("x0 = 1"); break;
       case 1: out.constraints.push_back("x0 = 1 | x0 = 0"); break;
-      default: out.constraints.push_back("x0 >= 1 & 2 x0 <= 2"); break;
+      case 2: out.constraints.push_back("x0 >= 1 & 2 x0 <= 2"); break;
+      // Overlapping disjuncts: after DNF expansion the sets below are
+      // duplicates or supersets of each other, exercising the
+      // incremental engine's canonicalization, dedup, and domination
+      // pruning (the bound still must not move).
+      case 3: out.constraints.push_back("x0 = 1 | x0 = 1"); break;
+      default:
+        out.constraints.push_back("x0 = 1 | (x0 = 1 & x0 <= 1)");
+        break;
     }
   }
   return out;

@@ -46,6 +46,7 @@ enum class CheckKind {
   CacheNotTighter, ///< refined cache mode loosened the worst bound
   ConstraintMoved, ///< redundant constraints changed the bound
   JobsMismatch,    ///< threaded solve differed from single-thread
+  WarmColdMismatch,///< warm-started solve bound differed from cold
   DegradedThrow,   ///< estimate threw under fault injection
   DegradedUnsound, ///< sound-claiming degraded interval lost the clean one
 };

@@ -24,6 +24,7 @@ const char* checkKindStr(CheckKind kind) {
     case CheckKind::CacheNotTighter: return "cache-not-tighter";
     case CheckKind::ConstraintMoved: return "constraint-moved";
     case CheckKind::JobsMismatch: return "jobs-mismatch";
+    case CheckKind::WarmColdMismatch: return "warm-cold-mismatch";
     case CheckKind::DegradedThrow: return "degraded-throw";
     case CheckKind::DegradedUnsound: return "degraded-unsound";
   }
@@ -165,6 +166,19 @@ OracleReport DifferentialOracle::check(const GeneratedProgram& program,
       if (!sameDeterministicResult(single, threaded, &why)) {
         add(CheckKind::JobsMismatch,
             "jobs=" + std::to_string(jobs) + ": " + why);
+      }
+    }
+
+    // Warm-start A/B: the incremental engine (dedup, seed basis,
+    // dual-simplex warm starts) must leave the interval bit-identical.
+    {
+      ipet::SolveControl coldControl;
+      coldControl.warmStart = false;
+      const ipet::Estimate cold = analyzer.estimate(coldControl);
+      if (cold.bound != single.bound) {
+        add(CheckKind::WarmColdMismatch,
+            "warm " + intervalStr(single.bound.lo, single.bound.hi) +
+                " != cold " + intervalStr(cold.bound.lo, cold.bound.hi));
       }
     }
   } catch (const Error& e) {

@@ -43,6 +43,10 @@ struct Node {
   std::vector<BoundCut> cuts;
   /// LP bound inherited from the parent (for best-first pruning).
   double parentBound = 0.0;
+  /// Final basis of the parent's relaxation.  The child's rows extend
+  /// the parent's rows by one cut, so the basis installs directly and a
+  /// few dual pivots repair the violated cut (empty = solve cold).
+  lp::Basis parentBasis;
 };
 
 /// Index of the variable whose value is farthest from an integer, or
@@ -63,15 +67,16 @@ std::optional<int> mostFractional(const std::vector<double>& values,
   return best;
 }
 
-lp::Problem withCuts(const lp::Problem& base,
-                     const std::vector<BoundCut>& cuts) {
-  lp::Problem p = base;
+/// Rewrites `work` (a copy of the base problem) to carry exactly `cuts`
+/// on top of the base rows, reusing the allocation across nodes.
+void applyCuts(lp::Problem* work, std::size_t baseRows,
+               const std::vector<BoundCut>& cuts) {
+  work->truncateConstraints(baseRows);
   for (const auto& cut : cuts) {
     lp::LinearExpr e;
     e.add(cut.var, 1.0);
-    p.addConstraint(std::move(e), cut.rel, cut.bound);
+    work->addConstraint(std::move(e), cut.rel, cut.bound);
   }
-  return p;
 }
 
 /// True when `x` is an integer within `tol`; *out receives the rounding.
@@ -169,9 +174,16 @@ IlpSolution solve(const lp::Problem& problem, const IlpOptions& options) {
   auto better = [&](double a, double b) { return maximize ? a > b : a < b; };
 
   std::vector<Node> stack;
-  stack.push_back(Node{{}, maximize ? std::numeric_limits<double>::infinity()
-                                    : -std::numeric_limits<double>::infinity()});
+  stack.push_back(
+      Node{{},
+           maximize ? std::numeric_limits<double>::infinity()
+                    : -std::numeric_limits<double>::infinity(),
+           (options.warmStart && options.rootBasis != nullptr)
+               ? *options.rootBasis
+               : lp::Basis{}});
 
+  lp::Problem work = problem;
+  const std::size_t baseRows = problem.constraints().size();
   bool rootNode = true;
   while (!stack.empty()) {
     if (result.stats.nodesExpanded >= options.maxNodes) {
@@ -190,18 +202,33 @@ IlpSolution solve(const lp::Problem& problem, const IlpOptions& options) {
       continue;
     }
 
-    const lp::Problem sub = withCuts(problem, node.cuts);
-    const lp::Solution relax = lp::solve(sub, options.lpOptions);
+    applyCuts(&work, baseRows, node.cuts);
+    const lp::Basis* const warmBasis =
+        (options.warmStart && !node.parentBasis.empty()) ? &node.parentBasis
+                                                         : nullptr;
+    lp::Basis finalBasis;
+    const lp::Solution relax =
+        lp::solveWarm(work, options.lpOptions, warmBasis, &finalBasis);
     ++result.stats.nodesExpanded;
     ++result.stats.lpCalls;
     result.stats.totalPivots += relax.pivots;
+    result.stats.dualPivots += relax.dualPivots;
+    result.stats.installPivots += relax.installPivots;
     if (relax.blandRestart) ++result.stats.blandRestarts;
+    if (relax.warmUsed) {
+      ++result.stats.warmStarts;
+    } else {
+      ++result.stats.coldStarts;
+    }
+    if (relax.warmFailed) ++result.stats.warmFailures;
     if (rootNode && relax.status == lp::SolveStatus::Optimal) {
       // The root relaxation bounds the ILP optimum from the relaxed
       // side; the analyzer's degradation ladder falls back to it when
       // the integer search cannot finish.
       result.relaxationBound = relax.objective;
       result.haveRelaxationBound = true;
+      result.rootBasis = finalBasis;
+      result.haveRootBasis = true;
     }
 
     if (relax.status == lp::SolveStatus::IterationLimit) {
@@ -247,12 +274,18 @@ IlpSolution solve(const lp::Problem& problem, const IlpOptions& options) {
 
     const int var = *fractional;
     const double value = relax.values[static_cast<std::size_t>(var)];
-    Node down = node;
+    Node down;
+    down.cuts = node.cuts;
     down.cuts.push_back({var, lp::Relation::LessEq, std::floor(value)});
     down.parentBound = relax.objective;
-    Node up = node;
+    Node up;
+    up.cuts = std::move(node.cuts);
     up.cuts.push_back({var, lp::Relation::GreaterEq, std::ceil(value)});
     up.parentBound = relax.objective;
+    if (options.warmStart) {
+      down.parentBasis = finalBasis;
+      up.parentBasis = std::move(finalBasis);
+    }
     stack.push_back(std::move(down));
     stack.push_back(std::move(up));
   }

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <limits>
+#include <map>
 #include <mutex>
 #include <set>
 #include <sstream>
@@ -887,35 +891,90 @@ Dnf Analyzer::combineUserConstraints() const {
   return combined;
 }
 
+lp::Constraint Analyzer::resolveSymConstraint(const SymConstraint& sc) const {
+  lp::LinearExpr expr;
+  double rhs = 0.0;
+  for (const auto& term : sc.lhs) {
+    if (term.var) {
+      const lp::LinearExpr vars = resolve(*term.var);
+      for (const auto& t : vars.terms()) {
+        expr.add(t.var, static_cast<double>(term.coeff) * t.coeff);
+      }
+    } else {
+      rhs -= static_cast<double>(term.coeff);
+    }
+  }
+  for (const auto& term : sc.rhs) {
+    if (term.var) {
+      const lp::LinearExpr vars = resolve(*term.var);
+      for (const auto& t : vars.terms()) {
+        expr.add(t.var, -static_cast<double>(term.coeff) * t.coeff);
+      }
+    } else {
+      rhs += static_cast<double>(term.coeff);
+    }
+  }
+  return lp::Constraint{std::move(expr), sc.rel, rhs};
+}
+
 lp::Problem Analyzer::materializeSet(const BaseProblem& base,
                                      const ConjunctiveSet& set) const {
   lp::Problem p = base.problem;
-  for (const auto& sc : set) {
-    lp::LinearExpr expr;
-    double rhs = 0.0;
-    for (const auto& term : sc.lhs) {
-      if (term.var) {
-        const lp::LinearExpr vars = resolve(*term.var);
-        for (const auto& t : vars.terms()) {
-          expr.add(t.var, static_cast<double>(term.coeff) * t.coeff);
-        }
-      } else {
-        rhs -= static_cast<double>(term.coeff);
-      }
-    }
-    for (const auto& term : sc.rhs) {
-      if (term.var) {
-        const lp::LinearExpr vars = resolve(*term.var);
-        for (const auto& t : vars.terms()) {
-          expr.add(t.var, -static_cast<double>(term.coeff) * t.coeff);
-        }
-      } else {
-        rhs += static_cast<double>(term.coeff);
-      }
-    }
-    p.addConstraint(std::move(expr), sc.rel, rhs);
-  }
+  for (const auto& sc : set) p.addConstraint(resolveSymConstraint(sc));
   return p;
+}
+
+namespace {
+
+/// Exact byte encoding of a double for canonical row keys (+0.0 and
+/// -0.0 collapse so negation round-trips cannot split a key).
+void appendDoubleBits(std::string* out, double v) {
+  if (v == 0.0) v = 0.0;
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(bits));
+  out->append(buf);
+}
+
+}  // namespace
+
+std::vector<std::string> Analyzer::canonicalSetRows(
+    const ConjunctiveSet& set) const {
+  std::vector<std::string> rows;
+  rows.reserve(set.size());
+  for (const auto& sc : set) {
+    lp::Constraint c = resolveSymConstraint(sc);
+    // Same canonicalization Problem::addConstraint applies: merged and
+    // sorted terms (LinearExpr::add already merges), zero coefficients
+    // dropped, the expression constant folded into the rhs.
+    c.expr.canonicalize();
+    double rhs = c.rhs - c.expr.constant();
+    // `expr >= rhs` and `-expr <= -rhs` are the same half-space; encode
+    // both as LessEq so they share a key.
+    double sign = 1.0;
+    lp::Relation rel = c.rel;
+    if (rel == lp::Relation::GreaterEq) {
+      sign = -1.0;
+      rel = lp::Relation::LessEq;
+    }
+    std::string row;
+    row.push_back(rel == lp::Relation::Equal ? 'E' : 'L');
+    for (const auto& t : c.expr.terms()) {
+      row += std::to_string(t.var);
+      row.push_back(':');
+      appendDoubleBits(&row, sign * t.coeff);
+      row.push_back(';');
+    }
+    row.push_back('#');
+    appendDoubleBits(&row, sign * rhs);
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  return rows;
 }
 
 std::string Analyzer::exportWorstCaseIlp() const {
@@ -968,6 +1027,81 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
       .arg("contexts", static_cast<int>(contexts_.size()))
       .arg("flow-vars", numFlowVars_);
 
+  // Incremental pre-pass (gated by control.warmStart): canonicalize
+  // every expanded set, deduplicate identical ones, and prune sets whose
+  // canonical rows are a proper superset of another set's.  A superset
+  // of rows carves a sub-region, so the covering set's worst bound is >=
+  // and its best bound is <= the skipped set's — dropping the skipped
+  // set cannot change the merged interval.  Computed on the main thread
+  // before dispatch so the schedule is identical across thread counts.
+  struct SetPlan {
+    int sharedWith = -1;  ///< scheduled set whose solve covers this one
+    bool dominated = false;
+  };
+  std::vector<SetPlan> plan(combined.size());
+  int scheduledSets = static_cast<int>(combined.size());
+  if (control.warmStart && combined.size() > 1) {
+    obs::Span dedupSpan(tracer, "dedup-sets", "ipet");
+    std::vector<std::vector<std::string>> keys(combined.size());
+    for (std::size_t i = 0; i < combined.size(); ++i) {
+      keys[i] = canonicalSetRows(combined[i]);
+    }
+    // Identical sets: the first occurrence is the representative.
+    std::map<std::vector<std::string>, int> firstByKey;
+    std::vector<int> reps;
+    for (std::size_t i = 0; i < combined.size(); ++i) {
+      const auto [it, inserted] =
+          firstByKey.try_emplace(keys[i], static_cast<int>(i));
+      if (inserted) {
+        reps.push_back(static_cast<int>(i));
+      } else {
+        plan[i].sharedWith = it->second;
+      }
+    }
+    // Proper-subset domination among the representatives, smallest row
+    // count first so a dominator is always scheduled itself.  Quadratic
+    // in representatives, so capped.
+    if (reps.size() <= 256) {
+      std::stable_sort(reps.begin(), reps.end(), [&](int a, int b) {
+        return keys[static_cast<std::size_t>(a)].size() <
+               keys[static_cast<std::size_t>(b)].size();
+      });
+      std::vector<int> kept;
+      for (const int i : reps) {
+        const auto& rows = keys[static_cast<std::size_t>(i)];
+        int dominator = -1;
+        for (const int j : kept) {
+          const auto& sub = keys[static_cast<std::size_t>(j)];
+          if (sub.size() < rows.size() &&
+              std::includes(rows.begin(), rows.end(), sub.begin(),
+                            sub.end())) {
+            dominator = j;
+            break;
+          }
+        }
+        if (dominator >= 0) {
+          plan[static_cast<std::size_t>(i)].sharedWith = dominator;
+          plan[static_cast<std::size_t>(i)].dominated = true;
+        } else {
+          kept.push_back(i);
+        }
+      }
+    }
+    // Resolve chains (duplicate -> dominated representative -> its
+    // dominator) so every skipped set points at a set that runs.
+    for (auto& pl : plan) {
+      while (pl.sharedWith >= 0 &&
+             plan[static_cast<std::size_t>(pl.sharedWith)].sharedWith >= 0) {
+        const SetPlan& next = plan[static_cast<std::size_t>(pl.sharedWith)];
+        pl.dominated = pl.dominated || next.dominated;
+        pl.sharedWith = next.sharedWith;
+      }
+      if (pl.sharedWith >= 0) --scheduledSets;
+    }
+    dedupSpan.arg("scheduled", scheduledSets);
+  }
+  estimateSpan.arg("scheduled", scheduledSets);
+
   ilp::IlpOptions ilpOptions = options_.ilpOptions;
   if (control.maxNodes > 0) ilpOptions.maxNodes = control.maxNodes;
 
@@ -1003,6 +1137,32 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
     }
     return obj;
   };
+
+  // Shared warm-start seed: the structural rows are common to every set,
+  // so one cold solve of the base problem hands every set's feasibility
+  // probe a basis that only the set's own appended rows can violate —
+  // and with the worst objective priced in, all base columns keep
+  // nonnegative reduced costs, so a few dual pivots repair them.  Solved
+  // pre-dispatch on the main thread so the result cannot depend on
+  // worker interleaving.
+  lp::Basis seedBasis;
+  int seedPivots = 0;
+  if (control.warmStart && scheduledSets > 1) {
+    obs::Span seedSpan(tracer, "structural-seed", "solve");
+    try {
+      lp::Problem p = base.problem;
+      p.setObjective(makeObjective(base.worstCoeff), lp::Sense::Maximize);
+      const lp::Solution sol =
+          lp::solveWarm(p, ilpOptions.lpOptions, nullptr, &seedBasis);
+      seedPivots = sol.pivots;
+      seedSpan.arg("pivots", sol.pivots)
+          .arg("status", std::string(lp::solveStatusStr(sol.status)));
+    } catch (...) {
+      // The seed is purely an optimization; every consumer solves cold
+      // when it is empty.
+      seedBasis = lp::Basis{};
+    }
+  }
 
   // Sound integer rounding for relaxation bounds.  A max-ILP's LP
   // relaxation over-estimates its optimum, so flooring (plus the LP
@@ -1154,6 +1314,14 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
       }
       lp::Problem p = materializeSet(base, combined[index]);
 
+      // Basis handed from stage to stage: seed -> probe -> worst root ->
+      // best root; branch-and-bound nodes chain internally from their
+      // parents.  Every link is optional — an empty basis means the next
+      // stage solves cold.
+      lp::Basis probeBasis;
+      ilp::IlpOptions setOptions = ilpOptions;
+      setOptions.warmStart = ilpOptions.warmStart && control.warmStart;
+
       // Null-set pruning: a cheap LP feasibility probe (paper III-D).
       if (!options_.disableNullSetPruning) {
         obs::Span probeSpan(tracer, "lp-probe", "solve");
@@ -1162,7 +1330,14 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
         try {
           lp::Problem probe = p;
           probe.setObjective(lp::LinearExpr{}, lp::Sense::Maximize);
-          const lp::Solution sol = lp::solve(probe, ilpOptions.lpOptions);
+          // A zero objective is trivially dual feasible, so the warm
+          // path is pure dual simplex: repair the set's appended rows or
+          // certify the set null.
+          const lp::Solution sol = lp::solveWarm(
+              probe, ilpOptions.lpOptions,
+              (setOptions.warmStart && !seedBasis.empty()) ? &seedBasis
+                                                           : nullptr,
+              &probeBasis);
           rec.probePivots = sol.pivots;
           rec.probeMicros = microsSince(probeStart);
           const bool null = (sol.status == lp::SolveStatus::Infeasible);
@@ -1192,7 +1367,7 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
         obs::Span ilpSpan(tracer, spanName, "solve");
         ilpSpan.arg("set", static_cast<int>(index));
         const auto ilpStart = std::chrono::steady_clock::now();
-        ilp::IlpSolution solution = ilp::solve(problem, ilpOptions);
+        ilp::IlpSolution solution = ilp::solve(problem, setOptions);
         slot->solved = true;
         slot->feasible = (solution.status == ilp::IlpStatus::Optimal);
         slot->nodes = solution.stats.nodesExpanded;
@@ -1202,6 +1377,11 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
             solution.stats.firstRelaxationIntegral;
         slot->checkedPromotions = solution.stats.checkedPromotions;
         slot->blandRestarts = solution.stats.blandRestarts;
+        slot->warmStarts = solution.stats.warmStarts;
+        slot->coldStarts = solution.stats.coldStarts;
+        slot->dualPivots = solution.stats.dualPivots;
+        slot->warmFailures = solution.stats.warmFailures;
+        slot->installPivots = solution.stats.installPivots;
         slot->wallMicros = microsSince(ilpStart);
         if (slot->feasible) {
           // Prefer the checked integer recomputation: the double
@@ -1312,10 +1492,24 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
         }
       };
 
+      // Final basis of the worst ILP's root relaxation; the best ILP
+      // over the same rows warm-starts from it (min and max share one
+      // basis as each other's seed — only the objective is repriced).
+      lp::Basis sharedRoot;
+      auto pickRootSeed = [&]() -> const lp::Basis* {
+        if (!setOptions.warmStart) return nullptr;
+        if (!sharedRoot.empty()) return &sharedRoot;
+        if (!probeBasis.empty()) return &probeBasis;
+        if (!seedBasis.empty()) return &seedBasis;
+        return nullptr;
+      };
+
       // Worst case: maximize all-miss costs.
       p.setObjective(makeObjective(base.worstCoeff), lp::Sense::Maximize);
       try {
+        setOptions.rootBasis = pickRootSeed();
         ilp::IlpSolution worst = runIlp(p, "ilp-worst", &rec.worst);
+        if (worst.haveRootBasis) sharedRoot = std::move(worst.rootBasis);
         if (worst.status == ilp::IlpStatus::Unbounded) {
           throw AnalysisError(
               "worst-case ILP is unbounded — a loop is missing its bound");
@@ -1332,6 +1526,7 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
       // Best case: minimize all-hit costs.
       p.setObjective(makeObjective(base.bestCoeff), lp::Sense::Minimize);
       try {
+        setOptions.rootBasis = pickRootSeed();
         ilp::IlpSolution best = runIlp(p, "ilp-best", &rec.best);
         settleSide(best, &rec.best, /*worstSide=*/false, "ilp-best");
       } catch (const InjectedFaultError& e) {
@@ -1370,18 +1565,21 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
   const int requested = control.threads > 0
                             ? control.threads
                             : support::ThreadPool::hardwareThreads();
-  const int workers =
-      std::min(requested, static_cast<int>(combined.size()));
+  const int workers = std::min(requested, std::max(1, scheduledSets));
   estimateSpan.arg("workers", workers);
   {
     obs::Span dispatchSpan(tracer, "solve-sets", "ipet");
     dispatchSpan.arg("workers", workers)
-        .arg("sets", static_cast<int>(combined.size()));
+        .arg("sets", static_cast<int>(combined.size()))
+        .arg("scheduled", scheduledSets);
     if (workers <= 1) {
-      for (std::size_t i = 0; i < outcomes.size(); ++i) solveSet(i);
+      for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (plan[i].sharedWith < 0) solveSet(i);
+      }
     } else {
       support::ThreadPool pool(workers);
       for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (plan[i].sharedWith >= 0) continue;
         pool.submit([&solveSet, i] { solveSet(i); });
       }
       pool.wait();
@@ -1389,18 +1587,33 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
   }
   obs::Span mergeSpan(tracer, "merge", "ipet");
 
-  // Lost-task recovery: a task dropped by a pool fault never set
-  // `started`.  The hole is detected here (pool.wait() already returned)
-  // and the set degrades to the structural bound.
+  // Lost-task recovery: a scheduled task dropped by a pool fault never
+  // set `started`.  The hole is detected here (pool.wait() already
+  // returned) and the set degrades to the structural bound.
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     SetOutcome& out = outcomes[i];
-    if (out.started) continue;
+    if (out.started || plan[i].sharedWith >= 0) continue;
     out.record.setIndex = static_cast<int>(i);
     out.record.userConstraints = static_cast<int>(combined[i].size());
     noteIssue(out, ErrorCode::TaskLost, "dispatch",
               "solve task was lost before it ran");
     applyStructural(out, /*worstSide=*/true);
     applyStructural(out, /*worstSide=*/false);
+  }
+
+  // Fill the records of deduplicated / dominated sets from their
+  // representative's outcome.  A null representative proves the skipped
+  // set null too (its region is contained in the representative's), so
+  // the all-sets-null diagnostic below still fires correctly.
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (plan[i].sharedWith < 0) continue;
+    SetOutcome& out = outcomes[i];
+    out.record.setIndex = static_cast<int>(i);
+    out.record.userConstraints = static_cast<int>(combined[i].size());
+    out.record.sharedWith = plan[i].sharedWith;
+    out.record.dominated = plan[i].dominated;
+    out.record.pruned =
+        outcomes[static_cast<std::size_t>(plan[i].sharedWith)].record.pruned;
   }
 
   // Deterministic merge in set-index order.  The first user/model error
@@ -1418,6 +1631,7 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
   result.stats.constraintSets = static_cast<int>(combined.size());
   result.stats.cacheFlowVars = base.cacheFlowVars;
   result.stats.cacheFallbackSets = base.cacheFallbackSets;
+  result.stats.seedPivots = seedPivots;
   result.timedOut = sawDeadline.load(std::memory_order_relaxed);
   result.setRecords.reserve(outcomes.size());
 
@@ -1432,6 +1646,16 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
     for (auto& issue : out.issues) result.issues.push_back(std::move(issue));
     if (rec.pruned) {
       ++result.stats.prunedNullSets;
+      continue;
+    }
+    if (rec.sharedWith >= 0) {
+      // Skipped set with a live representative: the representative's
+      // contribution to the interval already covers it.
+      if (rec.dominated) {
+        ++result.stats.dominatedSets;
+      } else {
+        ++result.stats.dedupedSets;
+      }
       continue;
     }
     switch (rec.verdict) {
@@ -1455,6 +1679,11 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
       result.stats.totalPivots += ilpRec->pivots;
       result.stats.checkedPromotions += ilpRec->checkedPromotions;
       result.stats.blandRestarts += ilpRec->blandRestarts;
+      result.stats.warmStarts += ilpRec->warmStarts;
+      result.stats.coldStarts += ilpRec->coldStarts;
+      result.stats.dualPivots += ilpRec->dualPivots;
+      result.stats.warmFailures += ilpRec->warmFailures;
+      result.stats.installPivots += ilpRec->installPivots;
       result.stats.allFirstRelaxationsIntegral &=
           ilpRec->firstRelaxationIntegral;
     }

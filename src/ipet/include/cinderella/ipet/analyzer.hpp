@@ -115,6 +115,15 @@ struct SolveControl {
   /// Optional cooperative cancellation: set to true from any thread to
   /// make estimate() stop early and throw AnalysisError.
   const std::atomic<bool>* cancel = nullptr;
+  /// Incremental solve engine (default on): canonicalize and hash the
+  /// expanded constraint sets to skip duplicate and superset-dominated
+  /// sets, factor the shared structural rows into one seed basis, and
+  /// warm-start every LP from the nearest related basis (probe from the
+  /// structural seed, ILP root from the probe, best from worst's root,
+  /// branch-and-bound children from their parent) with a dual-simplex
+  /// repair phase.  Bounds are bit-identical with this off (CLI
+  /// --no-warm-start); off exists for A/B measurement and bisection.
+  bool warmStart = true;
   /// Optional span tracer (see obs/trace.hpp).  When set, estimate()
   /// emits spans for the base-problem build, the DNF combination, every
   /// per-set LP probe and worst/best ILP solve (which are also the
@@ -166,6 +175,30 @@ struct SolveStats {
   /// LP solves that re-ran under Bland's rule after Dantzig hit the
   /// pivot limit, summed over all ILP solves.
   int blandRestarts = 0;
+  /// Sets skipped because an identical set (after row canonicalization)
+  /// was solved instead (SetSolveRecord::sharedWith names it).  Skipped
+  /// sets whose representative proved null count under prunedNullSets,
+  /// not here.
+  int dedupedSets = 0;
+  /// Sets skipped because a solved set's rows are a proper subset of
+  /// theirs: the dominating set's feasible region contains the skipped
+  /// set's region, so the merged interval already covers it.
+  int dominatedSets = 0;
+  /// Warm-start tallies summed over the ILP solves (equal to the sums
+  /// over setRecords): LP calls served from a warm basis, LP calls
+  /// solved cold, dual-simplex repair pivots (included in totalPivots),
+  /// and warm bases that had to fall back cold.
+  int warmStarts = 0;
+  int coldStarts = 0;
+  int dualPivots = 0;
+  int warmFailures = 0;
+  /// Basis-installation eliminations across warm-started LP calls
+  /// (refactorization work; NOT included in totalPivots).
+  int installPivots = 0;
+  /// Pivots spent computing the shared structural seed basis (one LP per
+  /// estimate() when the incremental engine is on).  Like probe and
+  /// fallback pivots, deliberately not part of totalPivots.
+  int seedPivots = 0;
 };
 
 struct BlockCountRow {
@@ -224,6 +257,15 @@ struct IlpSolveRecord {
   int checkedPromotions = 0;
   /// LP calls that re-ran under Bland's rule in this solve.
   int blandRestarts = 0;
+  /// LP calls served from a warm basis / solved cold in this solve.
+  int warmStarts = 0;
+  int coldStarts = 0;
+  /// Dual-simplex repair pivots in this solve (included in `pivots`).
+  int dualPivots = 0;
+  /// Warm bases that could not be used (those calls fell back cold).
+  int warmFailures = 0;
+  /// Basis-installation eliminations in this solve (not in `pivots`).
+  int installPivots = 0;
   /// This side finished without an exact optimum and contributed
   /// `fallbackBound` (a sound relaxation/structural bound) instead.
   bool degraded = false;
@@ -238,6 +280,14 @@ struct SetSolveRecord {
   int setIndex = 0;
   /// Constraints in this conjunctive set beyond the structural base.
   int userConstraints = 0;
+  /// >= 0 when this set was never solved because set `sharedWith`
+  /// covers it: an identical set after row canonicalization
+  /// (dominated == false) or a solved set whose rows are a proper
+  /// subset of this one's (dominated == true, so this set's region is
+  /// contained in the solved one's and the merged interval already
+  /// covers it).  `pruned` is set when the covering set proved null.
+  int sharedWith = -1;
+  bool dominated = false;
   /// True when the LP probe proved the set null; worst/best never ran.
   bool pruned = false;
   int probePivots = 0;            ///< Pivots of the feasibility probe.
@@ -392,6 +442,19 @@ class Analyzer {
   /// base problem + one conjunctive constraint set, resolved to LP rows.
   [[nodiscard]] lp::Problem materializeSet(const BaseProblem& base,
                                            const ConjunctiveSet& set) const;
+
+  /// One symbolic user constraint resolved to an LP row.
+  [[nodiscard]] lp::Constraint resolveSymConstraint(
+      const SymConstraint& sc) const;
+
+  /// Canonical fingerprints of a set's resolved rows: each row
+  /// canonicalized (merged/sorted terms, constant folded into the rhs,
+  /// GreaterEq negated into LessEq) and byte-encoded, the row list
+  /// sorted with duplicates removed.  Identical vectors => identical
+  /// feasible regions; a proper subset => a superset region.  Powers
+  /// constraint-set deduplication and domination pruning.
+  [[nodiscard]] std::vector<std::string> canonicalSetRows(
+      const ConjunctiveSet& set) const;
 
   [[nodiscard]] int xVar(int context, int block) const;
   [[nodiscard]] int dVar(int context, int edge) const;

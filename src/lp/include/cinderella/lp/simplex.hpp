@@ -1,13 +1,22 @@
-// Two-phase primal simplex solver over a dense tableau.
+// Two-phase primal simplex solver over a sparse-row tableau, with an
+// incremental warm-start path.
 //
 // Sized for IPET workloads: hundreds of variables and constraints.  The
 // default pivot rule is Dantzig (most negative reduced cost), which is
 // fast in practice but can cycle on degenerate flow problems — which
 // IPET constraint systems almost always are.  When a Dantzig run hits
-// its pivot budget, solve() automatically re-solves once under Bland's
-// rule (lexicographically smallest entering index), which provably
-// terminates; only if Bland also exhausts the budget does the caller see
+// its pivot budget, the solver switches to Bland's rule in place
+// (continuing from the current basis, not from scratch) with a fresh
+// budget; only if Bland also exhausts the budget does the caller see
 // IterationLimit.
+//
+// Warm starts: solveWarm() can resume from a Basis snapshot taken from a
+// related solve (same constraint-row prefix, possibly extra appended
+// rows).  A basis that became primal-infeasible after a bound tightening
+// is repaired by a dual-simplex phase — classically a handful of pivots
+// instead of a full two-phase solve.  Warm starts never change results:
+// any basis that cannot be installed or proves unusable falls back to
+// the cold two-phase path.
 #pragma once
 
 #include <string>
@@ -31,18 +40,48 @@ enum class PivotRule {
 
 [[nodiscard]] const char* pivotRuleStr(PivotRule rule);
 
+/// A simplex basis snapshot: which column is basic in each constraint
+/// row.  Columns are identified by stable ids that survive appending
+/// rows to the problem — original variable v is column v, the
+/// slack/surplus of row r is column numVars + 2r, and the artificial of
+/// row r is column numVars + 2r + 1 — so a basis extracted from a parent
+/// problem can seed any child that shares the parent's constraint-row
+/// prefix (e.g. the same set plus one branch-and-bound cut).
+struct Basis {
+  int numVars = 0;
+  /// Basic column id per constraint row, in row order.
+  std::vector<int> basicCol;
+
+  [[nodiscard]] bool empty() const { return basicCol.empty(); }
+};
+
 struct Solution {
   SolveStatus status = SolveStatus::Infeasible;
   /// Objective value in the problem's own sense (valid when Optimal).
   double objective = 0.0;
   /// Value of every original variable (valid when Optimal).
   std::vector<double> values;
-  /// Total simplex pivots across both phases (summed over both attempts
-  /// when the Bland re-solve kicked in).
+  /// Total simplex iterations across all phases (primal and dual,
+  /// including the continued Bland pivots when the in-place restart
+  /// kicked in, and any iterations wasted on a failed warm attempt).
+  /// Basis-installation eliminations are counted in installPivots, not
+  /// here, so warm and cold pivot totals compare like for like.
   int pivots = 0;
-  /// True when the Dantzig run hit maxPivots and the solve was redone
-  /// from scratch under Bland's rule.
+  /// Pivots spent in the dual-simplex repair phase of a warm start.
+  int dualPivots = 0;
+  /// Gauss-Jordan eliminations spent installing a warm basis
+  /// (refactorization work, bounded by the row count; not simplex
+  /// iterations and excluded from `pivots`).
+  int installPivots = 0;
+  /// True when the Dantzig run hit maxPivots and the solve continued
+  /// from the same basis under Bland's rule.
   bool blandRestart = false;
+  /// True when the solve ran from the supplied warm basis (no cold
+  /// two-phase rebuild).
+  bool warmUsed = false;
+  /// True when a warm basis was supplied but could not be used and the
+  /// solve fell back to the cold path.
+  bool warmFailed = false;
 };
 
 struct SimplexOptions {
@@ -54,7 +93,7 @@ struct SimplexOptions {
   double tol = 1e-7;
   /// Entering-column rule for the first attempt.
   PivotRule pivotRule = PivotRule::Dantzig;
-  /// On IterationLimit under Dantzig, re-solve once under Bland's rule
+  /// On IterationLimit under Dantzig, continue once under Bland's rule
   /// (cycling is the usual culprit; Bland cannot cycle).
   bool blandRetry = true;
 };
@@ -62,5 +101,17 @@ struct SimplexOptions {
 /// Solves `problem` and returns its optimum, or the failure status.
 [[nodiscard]] Solution solve(const Problem& problem,
                              const SimplexOptions& options = {});
+
+/// Solves `problem`, optionally warm-starting from `warmBasis` (a basis
+/// extracted from a solve whose constraint rows are a prefix of this
+/// problem's rows).  When the warm basis cannot be installed or leaves
+/// the solver in a state that is neither primal- nor dual-feasible, the
+/// solve silently falls back to the cold two-phase path
+/// (Solution::warmFailed reports that).  When `finalBasis` is non-null
+/// and the solve is Optimal, it receives the final basis for chaining
+/// into subsequent warm starts.  Bounds are bit-identical to solve().
+[[nodiscard]] Solution solveWarm(const Problem& problem,
+                                 const SimplexOptions& options,
+                                 const Basis* warmBasis, Basis* finalBasis);
 
 }  // namespace cinderella::lp

@@ -1,0 +1,131 @@
+// Sparse-row simplex tableau in standard form, shared by the cold
+// two-phase path and the incremental warm-start path.
+//
+// Rows are kept as sorted (column, value) entry lists — IPET constraint
+// matrices are flow matrices with a handful of nonzeros per row, so the
+// dense tableau this replaces spent most of its time streaming zeros.
+// The objective (reduced-cost) row is kept dense: every entering-column
+// scan reads all of it anyway.
+//
+// Column ids are stable under row appends (see lp::Basis in
+// simplex.hpp): original variable v is column v, the slack/surplus of
+// row r is column numVars + 2r, the artificial of row r is column
+// numVars + 2r + 1.  A Basis extracted from a parent tableau therefore
+// remains meaningful in any tableau whose constraint rows extend the
+// parent's rows, which is exactly what branch-and-bound cuts and
+// set-over-structural-core materialization produce.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cinderella/lp/problem.hpp"
+#include "cinderella/lp/simplex.hpp"
+
+namespace cinderella::lp {
+
+class Tableau {
+ public:
+  Tableau(const Problem& problem, const SimplexOptions& options);
+
+  /// Cold two-phase solve: phase 1 drives artificials to zero (when any
+  /// exist), phase 2 optimizes `objective` (dense over the original
+  /// variables, maximization) plus `constant`.
+  [[nodiscard]] Solution run(const std::vector<double>& objective,
+                             double constant);
+
+  /// Warm solve: installs `from` (plus natural slack/surplus basics for
+  /// rows beyond the snapshot), repairs primal infeasibility with a
+  /// dual-simplex phase, then runs primal phase 2.  Returns nullopt when
+  /// the basis cannot be used soundly — singular or missing target
+  /// columns, a state that is neither primal- nor dual-feasible, or an
+  /// artificial left basic at a nonzero level — in which case the caller
+  /// must fall back to a cold solve on a fresh tableau.  A returned
+  /// Infeasible/IterationLimit solution is a genuine result.
+  [[nodiscard]] std::optional<Solution> runWarm(
+      const std::vector<double>& objective, double constant,
+      const Basis& from);
+
+  /// Snapshot of the current basis (chain into later runWarm calls).
+  [[nodiscard]] Basis extractBasis() const;
+
+  /// Simplex iterations (primal + dual); basis-installation
+  /// eliminations are counted separately in installPivots().
+  [[nodiscard]] int totalPivots() const { return pivots_; }
+  [[nodiscard]] int dualPivots() const { return dualPivots_; }
+  [[nodiscard]] int installPivots() const { return installPivots_; }
+  [[nodiscard]] bool blandRestart() const { return blandRestart_; }
+
+  // Introspection for tests.
+  [[nodiscard]] int numRows() const { return m_; }
+  [[nodiscard]] double rowRhs(int row) const;
+  [[nodiscard]] int basicColumn(int row) const;
+
+  /// Stable column ids (also documented on lp::Basis).
+  [[nodiscard]] static int slackColumn(int numVars, int row) {
+    return numVars + 2 * row;
+  }
+  [[nodiscard]] static int artificialColumn(int numVars, int row) {
+    return numVars + 2 * row + 1;
+  }
+
+ private:
+  struct Entry {
+    int col = 0;
+    double val = 0.0;
+  };
+  using SparseRow = std::vector<Entry>;
+
+  [[nodiscard]] bool isArtificialColumn(int col) const {
+    return col >= numOriginal_ && ((col - numOriginal_) % 2) == 1;
+  }
+  [[nodiscard]] static double rowCoeff(const SparseRow& row, int col);
+  static void setRowCoeff(SparseRow* row, int col, double val);
+  /// dst -= factor * src, eliminating `eliminateCol` exactly and
+  /// dropping entries below the drop tolerance.
+  void subtractScaled(SparseRow* dst, double factor, const SparseRow& src,
+                      int eliminateCol);
+
+  void pivot(int row, int col);
+  /// Installs the objective row for `coeff(col)` and prices out the
+  /// current basis so reduced costs are consistent.
+  template <typename CoeffFn>
+  void setObjectiveRow(CoeffFn coeff);
+  [[nodiscard]] double objectiveValue() const { return objRhs_; }
+
+  /// When the pivot budget is exhausted under Dantzig with blandRetry,
+  /// switches to Bland's rule in place (keeping the current basis) with
+  /// a fresh budget and returns true; returns false when the limit is
+  /// final.
+  bool extendBudgetWithBland();
+
+  [[nodiscard]] SolveStatus optimize(bool allowArtificialEntering);
+  [[nodiscard]] SolveStatus dualSimplex();
+  bool evictArtificials();
+  /// Gauss-Jordan refactorization to the target basis; false when the
+  /// target is singular/unreachable at the pivot tolerance.
+  bool installBasis(const Basis& from);
+  void fillSolutionValues(Solution* solution) const;
+
+  SimplexOptions opt_;
+  PivotRule rule_ = PivotRule::Dantzig;
+  int pivotBudget_ = 0;
+  int numOriginal_ = 0;
+  int m_ = 0;
+  int numCols_ = 0;
+  std::vector<SparseRow> rows_;
+  std::vector<double> rhs_;
+  std::vector<double> obj_;
+  double objRhs_ = 0.0;
+  /// Which stable column ids actually exist in this tableau (a LessEq
+  /// row has no artificial, an Equal row has no slack).
+  std::vector<unsigned char> colExists_;
+  std::vector<int> basis_;
+  SparseRow scratch_;
+  int pivots_ = 0;
+  int dualPivots_ = 0;
+  int installPivots_ = 0;
+  bool blandRestart_ = false;
+};
+
+}  // namespace cinderella::lp

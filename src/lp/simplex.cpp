@@ -1,12 +1,9 @@
 #include "cinderella/lp/simplex.hpp"
 
-#include <algorithm>
 #include <chrono>
-#include <cmath>
-#include <limits>
+#include <vector>
 
-#include "cinderella/support/error.hpp"
-#include "cinderella/support/fault_injector.hpp"
+#include "cinderella/lp/tableau.hpp"
 #include "cinderella/support/metrics_sink.hpp"
 
 namespace cinderella::lp {
@@ -35,270 +32,8 @@ const char* pivotRuleStr(PivotRule rule) {
   return "?";
 }
 
-namespace {
-
-// Dense tableau in standard form:
-//   rows 0..m-1: constraint rows (all equalities after slack insertion)
-//   row m:       objective row (reduced costs; maximization)
-// Column layout: [original | slack/surplus | artificial | rhs].
-class Tableau {
- public:
-  Tableau(const Problem& p, const SimplexOptions& opt)
-      : opt_(opt), numOriginal_(p.numVars()) {
-    const auto& cons = p.constraints();
-    m_ = static_cast<int>(cons.size());
-
-    // Count auxiliary columns.
-    int numSlack = 0;
-    int numArtificial = 0;
-    for (const auto& c : cons) {
-      const bool rhsNeg = (c.rhs < 0);
-      Relation rel = c.rel;
-      if (rhsNeg && rel != Relation::Equal) {
-        rel = (rel == Relation::LessEq) ? Relation::GreaterEq
-                                        : Relation::LessEq;
-      }
-      if (rel != Relation::Equal) ++numSlack;
-      // `<=` rows get a slack that can serve as the initial basis; `>=`
-      // and `=` rows need an artificial variable.
-      if (rel != Relation::LessEq) ++numArtificial;
-    }
-    slackBegin_ = numOriginal_;
-    artificialBegin_ = slackBegin_ + numSlack;
-    n_ = artificialBegin_ + numArtificial;
-    rhsCol_ = n_;
-
-    a_.assign(static_cast<std::size_t>(m_ + 1) * (n_ + 1), 0.0);
-    basis_.assign(static_cast<std::size_t>(m_), -1);
-
-    int nextSlack = slackBegin_;
-    int nextArtificial = artificialBegin_;
-    for (int i = 0; i < m_; ++i) {
-      const Constraint& c = cons[static_cast<std::size_t>(i)];
-      double sign = 1.0;
-      Relation rel = c.rel;
-      if (c.rhs < 0) {
-        sign = -1.0;
-        if (rel == Relation::LessEq) {
-          rel = Relation::GreaterEq;
-        } else if (rel == Relation::GreaterEq) {
-          rel = Relation::LessEq;
-        }
-      }
-      for (const auto& t : c.expr.terms()) at(i, t.var) = sign * t.coeff;
-      at(i, rhsCol_) = sign * c.rhs;
-
-      if (rel == Relation::LessEq) {
-        at(i, nextSlack) = 1.0;
-        basis_[static_cast<std::size_t>(i)] = nextSlack;
-        ++nextSlack;
-      } else if (rel == Relation::GreaterEq) {
-        at(i, nextSlack) = -1.0;
-        ++nextSlack;
-        at(i, nextArtificial) = 1.0;
-        basis_[static_cast<std::size_t>(i)] = nextArtificial;
-        ++nextArtificial;
-      } else {
-        at(i, nextArtificial) = 1.0;
-        basis_[static_cast<std::size_t>(i)] = nextArtificial;
-        ++nextArtificial;
-      }
-    }
-  }
-
-  /// Runs both phases.  On Optimal, fills `solution` values/objective for
-  /// a maximization objective given by `objective` (dense, size n of
-  /// original variables) plus `constant`.
-  Solution run(const std::vector<double>& objective, double constant) {
-    Solution solution;
-
-    if (artificialBegin_ < n_) {
-      // Phase 1: maximize -(sum of artificials).
-      setObjectiveRow([&](int col) {
-        return (col >= artificialBegin_ && col < n_) ? -1.0 : 0.0;
-      });
-      const SolveStatus st = optimize(/*allowArtificialEntering=*/true);
-      if (st == SolveStatus::IterationLimit) {
-        solution.status = st;
-        solution.pivots = pivots_;
-        return solution;
-      }
-      CIN_REQUIRE(st != SolveStatus::Unbounded);  // phase-1 obj is <= 0
-      if (objectiveValue() < -opt_.tol) {
-        solution.status = SolveStatus::Infeasible;
-        solution.pivots = pivots_;
-        return solution;
-      }
-      if (!evictArtificials()) {
-        // Rows whose artificial could not be pivoted out are redundant
-        // (all real coefficients zero); they can be ignored because their
-        // rhs is zero at this point.
-      }
-    }
-
-    // Phase 2: the real objective.
-    setObjectiveRow([&](int col) {
-      return (col < numOriginal_) ? objective[static_cast<std::size_t>(col)]
-                                  : 0.0;
-    });
-    const SolveStatus st = optimize(/*allowArtificialEntering=*/false);
-    solution.status = st;
-    solution.pivots = pivots_;
-    if (st != SolveStatus::Optimal) return solution;
-
-    solution.values.assign(static_cast<std::size_t>(numOriginal_), 0.0);
-    for (int i = 0; i < m_; ++i) {
-      const int b = basis_[static_cast<std::size_t>(i)];
-      if (b < numOriginal_) {
-        solution.values[static_cast<std::size_t>(b)] = at(i, rhsCol_);
-      }
-    }
-    // Clamp tiny negatives introduced by rounding.
-    for (double& v : solution.values) {
-      if (v < 0 && v > -opt_.tol) v = 0;
-    }
-    solution.objective = objectiveValue() + constant;
-    return solution;
-  }
-
- private:
-  double& at(int row, int col) {
-    return a_[static_cast<std::size_t>(row) * (n_ + 1) +
-              static_cast<std::size_t>(col)];
-  }
-  [[nodiscard]] double get(int row, int col) const {
-    return a_[static_cast<std::size_t>(row) * (n_ + 1) +
-              static_cast<std::size_t>(col)];
-  }
-
-  // The objective row is kept as (c_B B^-1 A - c); after pricing out the
-  // basis its rhs entry accumulates c_B B^-1 b, which IS the objective.
-  [[nodiscard]] double objectiveValue() const { return get(m_, rhsCol_); }
-
-  /// Installs the objective row for `coeff(col)` and prices out the
-  /// current basis so reduced costs are consistent.
-  template <typename CoeffFn>
-  void setObjectiveRow(CoeffFn coeff) {
-    for (int j = 0; j <= n_; ++j) at(m_, j) = 0.0;
-    for (int j = 0; j < n_; ++j) at(m_, j) = -coeff(j);
-    for (int i = 0; i < m_; ++i) {
-      const int b = basis_[static_cast<std::size_t>(i)];
-      const double c = coeff(b);
-      if (c == 0.0) continue;
-      for (int j = 0; j <= n_; ++j) at(m_, j) += c * get(i, j);
-    }
-  }
-
-  void pivot(int row, int col) {
-    // Fault-injection seam: emulate a numeric breakdown mid-solve.  The
-    // analyzer's degradation ladder catches this as a SolverError.
-    if (support::FaultInjector* const injector = support::faultInjector()) {
-      if (injector->shouldFault(support::FaultSite::LpPivot)) {
-        throw InjectedFaultError("injected fault at simplex pivot");
-      }
-    }
-    const double p = get(row, col);
-    CIN_REQUIRE(std::abs(p) > opt_.pivotTol);
-    const double inv = 1.0 / p;
-    for (int j = 0; j <= n_; ++j) at(row, j) *= inv;
-    at(row, col) = 1.0;
-    for (int i = 0; i <= m_; ++i) {
-      if (i == row) continue;
-      const double factor = get(i, col);
-      if (factor == 0.0) continue;
-      for (int j = 0; j <= n_; ++j) at(i, j) -= factor * get(row, j);
-      at(i, col) = 0.0;
-    }
-    basis_[static_cast<std::size_t>(row)] = col;
-    ++pivots_;
-  }
-
-  SolveStatus optimize(bool allowArtificialEntering) {
-    const int colLimit = allowArtificialEntering ? n_ : artificialBegin_;
-    while (true) {
-      if (pivots_ >= opt_.maxPivots) return SolveStatus::IterationLimit;
-      // Entering column per the configured rule.  Dantzig: most negative
-      // reduced cost (smallest index on ties, for determinism).  Bland:
-      // smallest-index column with negative reduced cost.
-      int enter = -1;
-      if (opt_.pivotRule == PivotRule::Dantzig) {
-        double best = -opt_.tol;
-        for (int j = 0; j < colLimit; ++j) {
-          const double rc = get(m_, j);
-          if (rc < best) {
-            best = rc;
-            enter = j;
-          }
-        }
-      } else {
-        for (int j = 0; j < colLimit; ++j) {
-          if (get(m_, j) < -opt_.tol) {
-            enter = j;
-            break;
-          }
-        }
-      }
-      if (enter < 0) return SolveStatus::Optimal;
-
-      // Ratio test; Bland tie-break on the leaving basic variable index.
-      int leave = -1;
-      double bestRatio = std::numeric_limits<double>::infinity();
-      for (int i = 0; i < m_; ++i) {
-        const double aij = get(i, enter);
-        if (aij <= opt_.pivotTol) continue;
-        const double ratio = get(i, rhsCol_) / aij;
-        if (ratio < bestRatio - opt_.tol ||
-            (ratio < bestRatio + opt_.tol &&
-             (leave < 0 || basis_[static_cast<std::size_t>(i)] <
-                               basis_[static_cast<std::size_t>(leave)]))) {
-          bestRatio = ratio;
-          leave = i;
-        }
-      }
-      if (leave < 0) return SolveStatus::Unbounded;
-      pivot(leave, enter);
-    }
-  }
-
-  /// After phase 1, pivots zero-level artificial variables out of the
-  /// basis wherever a nonzero real coefficient exists in their row.
-  /// Returns false when some artificial stayed basic (redundant row).
-  bool evictArtificials() {
-    bool allEvicted = true;
-    for (int i = 0; i < m_; ++i) {
-      const int b = basis_[static_cast<std::size_t>(i)];
-      if (b < artificialBegin_) continue;
-      int enter = -1;
-      for (int j = 0; j < artificialBegin_; ++j) {
-        if (std::abs(get(i, j)) > opt_.pivotTol) {
-          enter = j;
-          break;
-        }
-      }
-      if (enter >= 0) {
-        pivot(i, enter);
-      } else {
-        allEvicted = false;
-      }
-    }
-    return allEvicted;
-  }
-
-  SimplexOptions opt_;
-  int numOriginal_ = 0;
-  int m_ = 0;
-  int n_ = 0;
-  int rhsCol_ = 0;
-  int slackBegin_ = 0;
-  int artificialBegin_ = 0;
-  std::vector<double> a_;
-  std::vector<int> basis_;
-  int pivots_ = 0;
-};
-
-}  // namespace
-
-Solution solve(const Problem& problem, const SimplexOptions& options) {
+Solution solveWarm(const Problem& problem, const SimplexOptions& options,
+                   const Basis* warmBasis, Basis* finalBasis) {
   // Observability is off on the default path: one relaxed atomic load.
   support::MetricsSink* const sink = support::metricsSink();
   const auto solveStart = sink != nullptr
@@ -313,24 +48,42 @@ Solution solve(const Problem& problem, const SimplexOptions& options) {
     objective[static_cast<std::size_t>(t.var)] =
         minimize ? -t.coeff : t.coeff;
   }
-  const double constant =
-      minimize ? -problem.objective().constant() : problem.objective().constant();
+  const double constant = minimize ? -problem.objective().constant()
+                                   : problem.objective().constant();
 
-  Tableau tableau(problem, options);
-  Solution solution = tableau.run(objective, constant);
-  if (solution.status == SolveStatus::IterationLimit &&
-      options.pivotRule == PivotRule::Dantzig && options.blandRetry) {
-    // Dantzig exhausted its budget — on degenerate IPET systems that is
-    // usually cycling, not genuine size.  Re-solve once under Bland's
-    // rule, which cannot cycle; only its failure is reported upward.
-    SimplexOptions retryOptions = options;
-    retryOptions.pivotRule = PivotRule::Bland;
-    const int dantzigPivots = solution.pivots;
-    Tableau retryTableau(problem, retryOptions);
-    solution = retryTableau.run(objective, constant);
-    solution.pivots += dantzigPivots;
-    solution.blandRestart = true;
-    if (sink != nullptr) sink->add("lp.blandRestarts", 1);
+  Solution solution;
+  int wastedWarmPivots = 0;
+  int wastedInstallPivots = 0;
+  bool warmFailed = false;
+  bool solved = false;
+  if (warmBasis != nullptr && !warmBasis->empty()) {
+    Tableau warm(problem, options);
+    if (std::optional<Solution> warmSolution =
+            warm.runWarm(objective, constant, *warmBasis)) {
+      solution = std::move(*warmSolution);
+      if (finalBasis != nullptr &&
+          solution.status == SolveStatus::Optimal) {
+        *finalBasis = warm.extractBasis();
+      }
+      solved = true;
+    } else {
+      // The basis was unusable; the cold re-solve below still pays for
+      // the pivots spent discovering that.
+      wastedWarmPivots = warm.totalPivots();
+      wastedInstallPivots = warm.installPivots();
+      warmFailed = true;
+    }
+  }
+
+  if (!solved) {
+    Tableau cold(problem, options);
+    solution = cold.run(objective, constant);
+    solution.pivots += wastedWarmPivots;
+    solution.installPivots += wastedInstallPivots;
+    solution.warmFailed = warmFailed;
+    if (finalBasis != nullptr && solution.status == SolveStatus::Optimal) {
+      *finalBasis = cold.extractBasis();
+    }
   }
   if (solution.status == SolveStatus::Optimal && minimize) {
     solution.objective = -solution.objective;
@@ -338,13 +91,26 @@ Solution solve(const Problem& problem, const SimplexOptions& options) {
 
   if (sink != nullptr) {
     sink->add("lp.solves", 1);
+    if (solution.blandRestart) sink->add("lp.blandRestarts", 1);
+    if (solution.warmUsed) sink->add("lp.warmStarts", 1);
+    if (solution.warmFailed) sink->add("lp.warmFailures", 1);
     sink->observe("lp.pivots", solution.pivots);
+    if (solution.dualPivots > 0) {
+      sink->observe("lp.dualPivots", solution.dualPivots);
+    }
+    if (solution.installPivots > 0) {
+      sink->observe("lp.installPivots", solution.installPivots);
+    }
     sink->observe("lp.micros",
                   std::chrono::duration_cast<std::chrono::microseconds>(
                       std::chrono::steady_clock::now() - solveStart)
                       .count());
   }
   return solution;
+}
+
+Solution solve(const Problem& problem, const SimplexOptions& options) {
+  return solveWarm(problem, options, nullptr, nullptr);
 }
 
 }  // namespace cinderella::lp

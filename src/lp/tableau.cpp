@@ -1,0 +1,613 @@
+#include "cinderella/lp/tableau.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cinderella/support/error.hpp"
+#include "cinderella/support/fault_injector.hpp"
+
+namespace cinderella::lp {
+
+namespace {
+
+/// Entries whose magnitude falls below this after a row combination are
+/// dropped from the sparse row.  Well below pivotTol, so a dropped entry
+/// can never have been a pivot candidate.
+constexpr double kDropTol = 1e-12;
+
+}  // namespace
+
+double Tableau::rowCoeff(const SparseRow& row, int col) {
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), col,
+      [](const Entry& e, int c) { return e.col < c; });
+  return (it != row.end() && it->col == col) ? it->val : 0.0;
+}
+
+void Tableau::setRowCoeff(SparseRow* row, int col, double val) {
+  const auto it = std::lower_bound(
+      row->begin(), row->end(), col,
+      [](const Entry& e, int c) { return e.col < c; });
+  if (it != row->end() && it->col == col) {
+    if (val == 0.0) {
+      row->erase(it);
+    } else {
+      it->val = val;
+    }
+  } else if (val != 0.0) {
+    row->insert(it, Entry{col, val});
+  }
+}
+
+void Tableau::subtractScaled(SparseRow* dst, double factor,
+                             const SparseRow& src, int eliminateCol) {
+  scratch_.clear();
+  auto a = dst->begin();
+  const auto aEnd = dst->end();
+  auto b = src.begin();
+  const auto bEnd = src.end();
+  while (a != aEnd || b != bEnd) {
+    if (b == bEnd || (a != aEnd && a->col < b->col)) {
+      if (a->col != eliminateCol) scratch_.push_back(*a);
+      ++a;
+    } else if (a == aEnd || b->col < a->col) {
+      if (b->col != eliminateCol) {
+        const double v = -factor * b->val;
+        if (std::abs(v) > kDropTol) scratch_.push_back(Entry{b->col, v});
+      }
+      ++b;
+    } else {
+      if (a->col != eliminateCol) {
+        const double v = a->val - factor * b->val;
+        if (std::abs(v) > kDropTol) scratch_.push_back(Entry{a->col, v});
+      }
+      ++a;
+      ++b;
+    }
+  }
+  dst->swap(scratch_);
+}
+
+Tableau::Tableau(const Problem& p, const SimplexOptions& opt)
+    : opt_(opt), rule_(opt.pivotRule), pivotBudget_(opt.maxPivots),
+      numOriginal_(p.numVars()) {
+  const auto& cons = p.constraints();
+  m_ = static_cast<int>(cons.size());
+  numCols_ = numOriginal_ + 2 * m_;
+
+  rows_.resize(static_cast<std::size_t>(m_));
+  rhs_.assign(static_cast<std::size_t>(m_), 0.0);
+  obj_.assign(static_cast<std::size_t>(numCols_), 0.0);
+  colExists_.assign(static_cast<std::size_t>(numCols_), 0);
+  basis_.assign(static_cast<std::size_t>(m_), -1);
+  for (int v = 0; v < numOriginal_; ++v) {
+    colExists_[static_cast<std::size_t>(v)] = 1;
+  }
+
+  for (int i = 0; i < m_; ++i) {
+    const Constraint& c = cons[static_cast<std::size_t>(i)];
+    double sign = 1.0;
+    Relation rel = c.rel;
+    if (c.rhs < 0) {
+      sign = -1.0;
+      if (rel == Relation::LessEq) {
+        rel = Relation::GreaterEq;
+      } else if (rel == Relation::GreaterEq) {
+        rel = Relation::LessEq;
+      }
+    }
+
+    SparseRow& row = rows_[static_cast<std::size_t>(i)];
+    for (const auto& t : c.expr.terms()) {
+      setRowCoeff(&row, t.var, sign * t.coeff);
+    }
+    rhs_[static_cast<std::size_t>(i)] = sign * c.rhs;
+
+    const int slack = slackColumn(numOriginal_, i);
+    const int artificial = artificialColumn(numOriginal_, i);
+    if (rel == Relation::LessEq) {
+      setRowCoeff(&row, slack, 1.0);
+      colExists_[static_cast<std::size_t>(slack)] = 1;
+      basis_[static_cast<std::size_t>(i)] = slack;
+    } else if (rel == Relation::GreaterEq) {
+      setRowCoeff(&row, slack, -1.0);
+      colExists_[static_cast<std::size_t>(slack)] = 1;
+      setRowCoeff(&row, artificial, 1.0);
+      colExists_[static_cast<std::size_t>(artificial)] = 1;
+      basis_[static_cast<std::size_t>(i)] = artificial;
+    } else {
+      setRowCoeff(&row, artificial, 1.0);
+      colExists_[static_cast<std::size_t>(artificial)] = 1;
+      basis_[static_cast<std::size_t>(i)] = artificial;
+    }
+  }
+}
+
+double Tableau::rowRhs(int row) const {
+  return rhs_[static_cast<std::size_t>(row)];
+}
+
+int Tableau::basicColumn(int row) const {
+  return basis_[static_cast<std::size_t>(row)];
+}
+
+Basis Tableau::extractBasis() const {
+  Basis b;
+  b.numVars = numOriginal_;
+  b.basicCol = basis_;
+  return b;
+}
+
+void Tableau::pivot(int row, int col) {
+  // Fault-injection seam: emulate a numeric breakdown mid-solve.  The
+  // analyzer's degradation ladder catches this as a SolverError.
+  if (support::FaultInjector* const injector = support::faultInjector()) {
+    if (injector->shouldFault(support::FaultSite::LpPivot)) {
+      throw InjectedFaultError("injected fault at simplex pivot");
+    }
+  }
+  SparseRow& pr = rows_[static_cast<std::size_t>(row)];
+  const double p = rowCoeff(pr, col);
+  CIN_REQUIRE(std::abs(p) > opt_.pivotTol);
+  const double inv = 1.0 / p;
+  for (Entry& e : pr) e.val *= inv;
+  setRowCoeff(&pr, col, 1.0);
+  rhs_[static_cast<std::size_t>(row)] *= inv;
+
+  for (int i = 0; i < m_; ++i) {
+    if (i == row) continue;
+    SparseRow& target = rows_[static_cast<std::size_t>(i)];
+    const double factor = rowCoeff(target, col);
+    if (factor == 0.0) continue;
+    subtractScaled(&target, factor, pr, col);
+    rhs_[static_cast<std::size_t>(i)] -=
+        factor * rhs_[static_cast<std::size_t>(row)];
+  }
+
+  const double objFactor = obj_[static_cast<std::size_t>(col)];
+  if (objFactor != 0.0) {
+    for (const Entry& e : pr) {
+      obj_[static_cast<std::size_t>(e.col)] -= objFactor * e.val;
+    }
+    obj_[static_cast<std::size_t>(col)] = 0.0;
+    objRhs_ -= objFactor * rhs_[static_cast<std::size_t>(row)];
+  }
+
+  basis_[static_cast<std::size_t>(row)] = col;
+}
+
+template <typename CoeffFn>
+void Tableau::setObjectiveRow(CoeffFn coeff) {
+  std::fill(obj_.begin(), obj_.end(), 0.0);
+  objRhs_ = 0.0;
+  for (int j = 0; j < numCols_; ++j) {
+    if (colExists_[static_cast<std::size_t>(j)]) {
+      obj_[static_cast<std::size_t>(j)] = -coeff(j);
+    }
+  }
+  for (int i = 0; i < m_; ++i) {
+    const int b = basis_[static_cast<std::size_t>(i)];
+    const double c = coeff(b);
+    if (c == 0.0) continue;
+    for (const Entry& e : rows_[static_cast<std::size_t>(i)]) {
+      obj_[static_cast<std::size_t>(e.col)] += c * e.val;
+    }
+    objRhs_ += c * rhs_[static_cast<std::size_t>(i)];
+  }
+}
+
+bool Tableau::extendBudgetWithBland() {
+  if (rule_ != PivotRule::Dantzig || !opt_.blandRetry || blandRestart_) {
+    return false;
+  }
+  // Dantzig exhausted its budget — on degenerate IPET systems that is
+  // usually cycling, not genuine size.  Continue from the current basis
+  // under Bland's rule, which cannot cycle, with a fresh budget; only
+  // its failure is reported upward.
+  blandRestart_ = true;
+  rule_ = PivotRule::Bland;
+  pivotBudget_ += opt_.maxPivots;
+  return true;
+}
+
+SolveStatus Tableau::optimize(bool allowArtificialEntering) {
+  while (true) {
+    if (pivots_ >= pivotBudget_ && !extendBudgetWithBland()) {
+      return SolveStatus::IterationLimit;
+    }
+    // Entering column per the configured rule.  Dantzig: most negative
+    // reduced cost (smallest index on ties, for determinism).  Bland:
+    // smallest-index column with negative reduced cost.
+    int enter = -1;
+    if (rule_ == PivotRule::Dantzig) {
+      double best = -opt_.tol;
+      for (int j = 0; j < numCols_; ++j) {
+        if (!colExists_[static_cast<std::size_t>(j)]) continue;
+        if (!allowArtificialEntering && isArtificialColumn(j)) continue;
+        const double rc = obj_[static_cast<std::size_t>(j)];
+        if (rc < best) {
+          best = rc;
+          enter = j;
+        }
+      }
+    } else {
+      for (int j = 0; j < numCols_; ++j) {
+        if (!colExists_[static_cast<std::size_t>(j)]) continue;
+        if (!allowArtificialEntering && isArtificialColumn(j)) continue;
+        if (obj_[static_cast<std::size_t>(j)] < -opt_.tol) {
+          enter = j;
+          break;
+        }
+      }
+    }
+    if (enter < 0) return SolveStatus::Optimal;
+
+    // Ratio test; Bland tie-break on the leaving basic variable index.
+    int leave = -1;
+    double bestRatio = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < m_; ++i) {
+      const double aij = rowCoeff(rows_[static_cast<std::size_t>(i)], enter);
+      if (aij <= opt_.pivotTol) continue;
+      const double ratio = rhs_[static_cast<std::size_t>(i)] / aij;
+      if (ratio < bestRatio - opt_.tol ||
+          (ratio < bestRatio + opt_.tol &&
+           (leave < 0 || basis_[static_cast<std::size_t>(i)] <
+                             basis_[static_cast<std::size_t>(leave)]))) {
+        bestRatio = ratio;
+        leave = i;
+      }
+    }
+    if (leave < 0) return SolveStatus::Unbounded;
+    pivot(leave, enter);
+    ++pivots_;
+  }
+}
+
+SolveStatus Tableau::dualSimplex() {
+  while (true) {
+    if (pivots_ >= pivotBudget_ && !extendBudgetWithBland()) {
+      return SolveStatus::IterationLimit;
+    }
+    // Leaving row: most negative rhs under Dantzig (ties: smallest row);
+    // smallest-index violated row under Bland.
+    int leave = -1;
+    if (rule_ == PivotRule::Dantzig) {
+      double mostNegative = -opt_.tol;
+      for (int i = 0; i < m_; ++i) {
+        if (rhs_[static_cast<std::size_t>(i)] < mostNegative) {
+          mostNegative = rhs_[static_cast<std::size_t>(i)];
+          leave = i;
+        }
+      }
+    } else {
+      for (int i = 0; i < m_; ++i) {
+        if (rhs_[static_cast<std::size_t>(i)] < -opt_.tol) {
+          leave = i;
+          break;
+        }
+      }
+    }
+    if (leave < 0) return SolveStatus::Optimal;
+
+    // Entering column: minimum dual ratio |rc_j / a_rj| over columns
+    // with a negative coefficient in the leaving row (ties: smallest
+    // column id).  No candidate means the row is unsatisfiable: the
+    // problem is primal infeasible (dual unbounded).
+    int enter = -1;
+    double bestRatio = std::numeric_limits<double>::infinity();
+    for (const Entry& e : rows_[static_cast<std::size_t>(leave)]) {
+      if (e.val >= -opt_.pivotTol) continue;
+      if (isArtificialColumn(e.col)) continue;
+      const double ratio = obj_[static_cast<std::size_t>(e.col)] / (-e.val);
+      if (ratio < bestRatio - opt_.tol ||
+          (ratio < bestRatio + opt_.tol && (enter < 0 || e.col < enter))) {
+        bestRatio = ratio;
+        enter = e.col;
+      }
+    }
+    if (enter < 0) return SolveStatus::Infeasible;
+    pivot(leave, enter);
+    ++pivots_;
+    ++dualPivots_;
+  }
+}
+
+bool Tableau::evictArtificials() {
+  bool allEvicted = true;
+  for (int i = 0; i < m_; ++i) {
+    const int b = basis_[static_cast<std::size_t>(i)];
+    if (!isArtificialColumn(b)) continue;
+    // Entries are sorted, so this picks the smallest-index real column.
+    int enter = -1;
+    for (const Entry& e : rows_[static_cast<std::size_t>(i)]) {
+      if (isArtificialColumn(e.col)) continue;
+      if (std::abs(e.val) > opt_.pivotTol) {
+        enter = e.col;
+        break;
+      }
+    }
+    if (enter >= 0) {
+      pivot(i, enter);
+      ++pivots_;
+    } else {
+      allEvicted = false;
+    }
+  }
+  return allEvicted;
+}
+
+Solution Tableau::run(const std::vector<double>& objective, double constant) {
+  Solution solution;
+
+  bool anyArtificial = false;
+  for (int i = 0; i < m_ && !anyArtificial; ++i) {
+    anyArtificial = colExists_[static_cast<std::size_t>(
+        artificialColumn(numOriginal_, i))] != 0;
+  }
+  if (anyArtificial) {
+    // Phase 1: maximize -(sum of artificials).
+    setObjectiveRow([&](int col) {
+      return isArtificialColumn(col) ? -1.0 : 0.0;
+    });
+    const SolveStatus st = optimize(/*allowArtificialEntering=*/true);
+    if (st == SolveStatus::IterationLimit) {
+      solution.status = st;
+      solution.pivots = pivots_;
+      solution.installPivots = installPivots_;
+      solution.blandRestart = blandRestart_;
+      return solution;
+    }
+    CIN_REQUIRE(st != SolveStatus::Unbounded);  // phase-1 obj is <= 0
+    if (objectiveValue() < -opt_.tol) {
+      solution.status = SolveStatus::Infeasible;
+      solution.pivots = pivots_;
+      solution.installPivots = installPivots_;
+      solution.blandRestart = blandRestart_;
+      return solution;
+    }
+    if (!evictArtificials()) {
+      // Rows whose artificial could not be pivoted out are redundant
+      // (all real coefficients zero); they can be ignored because their
+      // rhs is zero at this point.
+    }
+  }
+
+  // Phase 2: the real objective.
+  setObjectiveRow([&](int col) {
+    return (col < numOriginal_) ? objective[static_cast<std::size_t>(col)]
+                                : 0.0;
+  });
+  const SolveStatus st = optimize(/*allowArtificialEntering=*/false);
+  solution.status = st;
+  solution.pivots = pivots_;
+  solution.installPivots = installPivots_;
+  solution.blandRestart = blandRestart_;
+  if (st != SolveStatus::Optimal) return solution;
+
+  fillSolutionValues(&solution);
+  solution.objective = objectiveValue() + constant;
+  return solution;
+}
+
+bool Tableau::installBasis(const Basis& from) {
+  if (from.numVars != numOriginal_) return false;
+  if (static_cast<int>(from.basicCol.size()) > m_) return false;
+
+  // Target basic column per row: the snapshot where it reaches, the
+  // natural slack/surplus for appended rows (an appended Equal row keeps
+  // its artificial — runWarm's final level check guards soundness).
+  std::vector<int> target(static_cast<std::size_t>(m_));
+  for (int i = 0; i < m_; ++i) {
+    if (i < static_cast<int>(from.basicCol.size())) {
+      target[static_cast<std::size_t>(i)] =
+          from.basicCol[static_cast<std::size_t>(i)];
+    } else {
+      const int slack = slackColumn(numOriginal_, i);
+      target[static_cast<std::size_t>(i)] =
+          colExists_[static_cast<std::size_t>(slack)]
+              ? slack
+              : basis_[static_cast<std::size_t>(i)];
+    }
+  }
+
+  std::vector<unsigned char> taken(static_cast<std::size_t>(numCols_), 0);
+  for (const int col : target) {
+    if (col < 0 || col >= numCols_) return false;
+    if (!colExists_[static_cast<std::size_t>(col)]) return false;
+    if (taken[static_cast<std::size_t>(col)]) return false;
+    taken[static_cast<std::size_t>(col)] = 1;
+  }
+
+  // Gauss-Jordan refactorization to the target basis.  A pass pivots
+  // every row whose target column currently has a usable coefficient;
+  // pivoting can enable rows an earlier pass could not reach, so iterate
+  // to a fixpoint.  No progress with rows outstanding means the target
+  // basis is singular at the pivot tolerance: report failure so the
+  // caller re-solves cold.
+  int remaining = 0;
+  for (int i = 0; i < m_; ++i) {
+    if (basis_[static_cast<std::size_t>(i)] !=
+        target[static_cast<std::size_t>(i)]) {
+      ++remaining;
+    }
+  }
+  while (remaining > 0) {
+    bool progress = false;
+    for (int i = 0; i < m_; ++i) {
+      const int want = target[static_cast<std::size_t>(i)];
+      if (basis_[static_cast<std::size_t>(i)] == want) continue;
+      const double p = rowCoeff(rows_[static_cast<std::size_t>(i)], want);
+      if (std::abs(p) <= opt_.pivotTol) continue;
+      pivot(i, want);
+      // Refactorization eliminations, not simplex iterations: counted
+      // apart so pivot totals compare warm vs cold like for like.
+      ++installPivots_;
+      --remaining;
+      progress = true;
+    }
+    if (!progress) {
+      // Deadlock: every remaining row has a zero on its own target
+      // column.  The basis is a *set* of columns — the row assignment is
+      // free — so permute instead: pivot a remaining row on another
+      // remaining row's target it can reach and swap the two
+      // assignments.  (A pending column basic in a different row is a
+      // unit vector there and zero here, so the tolerance test skips it
+      // naturally.)  No cross pivot anywhere means the target basis
+      // really is singular at the pivot tolerance.
+      for (int i = 0; i < m_ && !progress; ++i) {
+        if (basis_[static_cast<std::size_t>(i)] ==
+            target[static_cast<std::size_t>(i)]) {
+          continue;
+        }
+        for (int j = 0; j < m_ && !progress; ++j) {
+          if (j == i || basis_[static_cast<std::size_t>(j)] ==
+                            target[static_cast<std::size_t>(j)]) {
+            continue;
+          }
+          const double p = rowCoeff(rows_[static_cast<std::size_t>(i)],
+                                    target[static_cast<std::size_t>(j)]);
+          if (std::abs(p) <= opt_.pivotTol) continue;
+          std::swap(target[static_cast<std::size_t>(i)],
+                    target[static_cast<std::size_t>(j)]);
+          pivot(i, target[static_cast<std::size_t>(i)]);
+          ++installPivots_;
+          --remaining;
+          progress = true;
+        }
+      }
+      if (!progress) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<Solution> Tableau::runWarm(const std::vector<double>& objective,
+                                         double constant, const Basis& from) {
+  if (!installBasis(from)) return std::nullopt;
+
+  setObjectiveRow([&](int col) {
+    return (col < numOriginal_) ? objective[static_cast<std::size_t>(col)]
+                                : 0.0;
+  });
+  bool realObjectivePriced = true;
+
+  // Packages a result that is genuine (something the cold path would
+  // also report), as opposed to a warm-path dead end (std::nullopt).
+  auto genuine = [&](SolveStatus st) {
+    Solution solution;
+    solution.status = st;
+    solution.pivots = pivots_;
+    solution.installPivots = installPivots_;
+    solution.dualPivots = dualPivots_;
+    solution.blandRestart = blandRestart_;
+    solution.warmUsed = true;
+    return solution;
+  };
+
+  bool primalInfeasible = false;
+  for (int i = 0; i < m_ && !primalInfeasible; ++i) {
+    primalInfeasible = rhs_[static_cast<std::size_t>(i)] < -opt_.tol;
+  }
+  if (primalInfeasible) {
+    // Dual simplex needs dual feasibility (no negative reduced cost on
+    // an admissible column).  The installed basis usually provides it
+    // for the real objective — the branch-and-bound parent was optimal
+    // and only the new cut row is violated; when it does not, the zero
+    // objective is trivially dual feasible and restores rhs >= 0 all the
+    // same, at the cost of repricing afterwards.
+    for (int j = 0; j < numCols_ && realObjectivePriced; ++j) {
+      if (!colExists_[static_cast<std::size_t>(j)]) continue;
+      if (isArtificialColumn(j)) continue;
+      if (obj_[static_cast<std::size_t>(j)] < -opt_.tol) {
+        realObjectivePriced = false;
+      }
+    }
+    if (!realObjectivePriced) setObjectiveRow([](int) { return 0.0; });
+    const SolveStatus st = dualSimplex();
+    // A budget blowout on the warm path must not surface outcomes the
+    // cold path would not produce: fall back instead of reporting it.
+    if (st == SolveStatus::IterationLimit) return std::nullopt;
+    if (st == SolveStatus::Infeasible) {
+      // Genuine result: the dual-unbounded row is an infeasibility
+      // certificate for the original system (artificials are pinned to
+      // zero in any admissible solution).
+      return genuine(st);
+    }
+  }
+
+  // Appended Equal rows keep their artificial basic, at whatever level
+  // the installed point leaves the equality violated by.  Repair exactly
+  // as cold phase 1 would — minimize the artificial levels — but from
+  // the warm (primal feasible) basis instead of from scratch.
+  bool artificialAtLevel = false;
+  for (int i = 0; i < m_ && !artificialAtLevel; ++i) {
+    artificialAtLevel =
+        isArtificialColumn(basis_[static_cast<std::size_t>(i)]) &&
+        rhs_[static_cast<std::size_t>(i)] > opt_.tol;
+  }
+  if (artificialAtLevel) {
+    setObjectiveRow([&](int col) {
+      return isArtificialColumn(col) ? -1.0 : 0.0;
+    });
+    realObjectivePriced = false;
+    const SolveStatus st = optimize(/*allowArtificialEntering=*/true);
+    if (st == SolveStatus::IterationLimit) return std::nullopt;
+    CIN_REQUIRE(st != SolveStatus::Unbounded);  // phase-1 obj is <= 0
+    if (objectiveValue() < -opt_.tol) {
+      // Genuine: cold phase 1 reaches the same verdict.
+      return genuine(SolveStatus::Infeasible);
+    }
+    evictArtificials();
+  }
+
+  if (!realObjectivePriced) {
+    setObjectiveRow([&](int col) {
+      return (col < numOriginal_) ? objective[static_cast<std::size_t>(col)]
+                                  : 0.0;
+    });
+  }
+
+  const SolveStatus st = optimize(/*allowArtificialEntering=*/false);
+  if (st == SolveStatus::IterationLimit) return std::nullopt;
+  Solution solution;
+  solution.status = st;
+  solution.pivots = pivots_;
+  solution.installPivots = installPivots_;
+  solution.dualPivots = dualPivots_;
+  solution.blandRestart = blandRestart_;
+  solution.warmUsed = true;
+  if (st != SolveStatus::Optimal) return solution;
+
+  // An artificial still basic at a nonzero level means the point
+  // violates that row's original constraint: the warm result would be
+  // unsound, so reject it and let the caller re-solve cold (phase 1
+  // decides feasibility properly).
+  for (int i = 0; i < m_; ++i) {
+    if (isArtificialColumn(basis_[static_cast<std::size_t>(i)]) &&
+        std::abs(rhs_[static_cast<std::size_t>(i)]) > opt_.tol) {
+      return std::nullopt;
+    }
+  }
+
+  fillSolutionValues(&solution);
+  solution.objective = objectiveValue() + constant;
+  return solution;
+}
+
+void Tableau::fillSolutionValues(Solution* solution) const {
+  solution->values.assign(static_cast<std::size_t>(numOriginal_), 0.0);
+  for (int i = 0; i < m_; ++i) {
+    const int b = basis_[static_cast<std::size_t>(i)];
+    if (b < numOriginal_) {
+      solution->values[static_cast<std::size_t>(b)] =
+          rhs_[static_cast<std::size_t>(i)];
+    }
+  }
+  // Clamp tiny negatives introduced by rounding.
+  for (double& v : solution->values) {
+    if (v < 0 && v > -opt_.tol) v = 0;
+  }
+}
+
+}  // namespace cinderella::lp

@@ -48,6 +48,22 @@ void statsToJson(JsonWriter* w, const ipet::SolveStats& stats) {
       .value(stats.checkedPromotions)
       .key("blandRestarts")
       .value(stats.blandRestarts)
+      .key("dedupedSets")
+      .value(stats.dedupedSets)
+      .key("dominatedSets")
+      .value(stats.dominatedSets)
+      .key("warmStarts")
+      .value(stats.warmStarts)
+      .key("coldStarts")
+      .value(stats.coldStarts)
+      .key("dualPivots")
+      .value(stats.dualPivots)
+      .key("warmFailures")
+      .value(stats.warmFailures)
+      .key("installPivots")
+      .value(stats.installPivots)
+      .key("seedPivots")
+      .value(stats.seedPivots)
       .endObject();
 }
 
@@ -79,6 +95,15 @@ void ilpRecordToJson(JsonWriter* w, const ipet::IlpSolveRecord& record,
   if (record.blandRestarts != 0) {
     w->key("blandRestarts").value(record.blandRestarts);
   }
+  if (record.warmStarts != 0) w->key("warmStarts").value(record.warmStarts);
+  if (record.coldStarts != 0) w->key("coldStarts").value(record.coldStarts);
+  if (record.dualPivots != 0) w->key("dualPivots").value(record.dualPivots);
+  if (record.warmFailures != 0) {
+    w->key("warmFailures").value(record.warmFailures);
+  }
+  if (record.installPivots != 0) {
+    w->key("installPivots").value(record.installPivots);
+  }
   if (options.includeTimings) w->key("wallMicros").value(record.wallMicros);
   w->endObject();
 }
@@ -100,6 +125,10 @@ void setRecordToJson(JsonWriter* w, const ipet::SetSolveRecord& record,
       .value(ipet::setVerdictStr(record.verdict))
       .key("issue")
       .value(errorCodeStr(record.issue));
+  if (record.sharedWith >= 0) {
+    w->key("sharedWith").value(record.sharedWith);
+    w->key("dominated").value(record.dominated);
+  }
   if (record.fallbackPivots != 0) {
     w->key("fallbackPivots").value(record.fallbackPivots);
   }
@@ -175,10 +204,19 @@ std::string formatSolveTable(const ipet::Estimate& estimate) {
       if (!r.feasible) return std::string("infeas");
       return withThousands(r.objective);
     };
+    // Skipped sets reference the representative whose solve covers them:
+    // "=N" for an identical duplicate, "<N" for a dominated superset.
+    std::string probe = rec.pruned ? "null" : "ok";
+    if (rec.sharedWith >= 0 && !rec.pruned) {
+      probe = (rec.dominated ? "<" : "=") + std::to_string(rec.sharedWith);
+    }
     out << padLeft(std::to_string(rec.setIndex), 4)
         << padLeft(std::to_string(rec.userConstraints), 6)
-        << padLeft(rec.pruned ? "null" : "ok", 7)
-        << padLeft(rec.pruned ? "-" : ipet::setVerdictStr(rec.verdict), 11)
+        << padLeft(probe, 7)
+        << padLeft(rec.pruned || rec.sharedWith >= 0
+                       ? "-"
+                       : ipet::setVerdictStr(rec.verdict),
+                   11)
         << padLeft(objective(rec.worst), 14)
         << padLeft(objective(rec.best), 14)
         << padLeft(std::to_string(rec.worst.lpCalls + rec.best.lpCalls), 5)

@@ -44,6 +44,10 @@ struct ToolOptions {
   /// --degraded forbid: exit with code 3 when any constraint set fell
   /// back to a non-exact (relaxed/structural/failed) bound.
   bool forbidDegraded = false;
+  /// --no-warm-start clears this: run the non-incremental pipeline (no
+  /// set deduplication, no domination pruning, no basis reuse) for A/B
+  /// performance comparison.  The bound is identical either way.
+  bool warmStart = true;
   /// Print the per-block cost/count report after estimation.
   bool report = false;
   /// Print the worst-case ILPs in CPLEX LP format.

@@ -56,6 +56,11 @@ options:
   --degraded <mode>        allow (default) accepts degraded per-set
                            bounds; forbid exits with code 3 when any
                            constraint set is not solved exactly
+  --no-warm-start          disable the incremental solve pipeline
+                           (constraint-set deduplication, domination
+                           pruning, and basis warm starts); the bound is
+                           identical either way — this is for A/B
+                           performance measurement
   --report                 print per-block costs and extreme counts
   --lp-dump                print the worst-case ILPs in CPLEX LP format
   --dot                    print the CFGs in Graphviz dot format
@@ -177,6 +182,8 @@ bool parseArgs(int argc, const char* const* argv, ToolOptions* options,
         err << "cinderella: --degraded must be 'allow' or 'forbid'\n";
         return false;
       }
+    } else if (arg == "--no-warm-start") {
+      options->warmStart = false;
     } else if (arg == "--report") {
       options->report = true;
     } else if (arg == "--lp-dump") {
@@ -286,6 +293,7 @@ int runTool(const ToolOptions& options, std::ostream& out,
 
     ipet::SolveControl control;
     control.threads = options.jobs;
+    control.warmStart = options.warmStart;
     control.tracer = tracer.get();
     if (options.deadlineMs > 0) {
       control.deadline = std::chrono::milliseconds(options.deadlineMs);

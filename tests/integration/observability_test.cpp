@@ -61,8 +61,14 @@ TEST(ObservedEstimate, TraceCoversEveryStageAndIlpSolve) {
   EXPECT_EQ(countEvents(events, "combine-constraints"), 1);
   EXPECT_EQ(countEvents(events, "solve-sets"), 1);
   EXPECT_EQ(countEvents(events, "merge"), 1);
-  EXPECT_EQ(countEvents(events, "set-solve"), estimate.stats.constraintSets);
-  EXPECT_EQ(countEvents(events, "lp-probe"), estimate.stats.constraintSets);
+  // Deduplicated/dominated sets are skipped before dispatch, so solve
+  // spans exist only for the scheduled ones.
+  int scheduled = 0;
+  for (const ipet::SetSolveRecord& rec : estimate.setRecords) {
+    scheduled += rec.sharedWith < 0 ? 1 : 0;
+  }
+  EXPECT_EQ(countEvents(events, "set-solve"), scheduled);
+  EXPECT_EQ(countEvents(events, "lp-probe"), scheduled);
   EXPECT_EQ(countEvents(events, "ilp-worst") + countEvents(events, "ilp-best"),
             estimate.stats.ilpSolves);
 
@@ -87,27 +93,49 @@ TEST(ObservedEstimate, SetRecordsSumToSolveStats) {
     ASSERT_EQ(static_cast<int>(e.setRecords.size()), e.stats.constraintSets);
 
     int pruned = 0;
+    int deduped = 0;
+    int dominated = 0;
     int ilpSolves = 0;
     int lpCalls = 0;
     int nodes = 0;
     int pivots = 0;
+    int warmStarts = 0;
+    int coldStarts = 0;
+    int dualPivots = 0;
+    int warmFailures = 0;
+    int installPivots = 0;
     bool allIntegral = true;
     for (const ipet::SetSolveRecord& rec : e.setRecords) {
       pruned += rec.pruned ? 1 : 0;
+      if (rec.sharedWith >= 0 && !rec.pruned) {
+        (rec.dominated ? dominated : deduped) += 1;
+      }
       for (const ipet::IlpSolveRecord* ilp : {&rec.worst, &rec.best}) {
         if (!ilp->solved) continue;
         ++ilpSolves;
         lpCalls += ilp->lpCalls;
         nodes += ilp->nodes;
         pivots += ilp->pivots;
+        warmStarts += ilp->warmStarts;
+        coldStarts += ilp->coldStarts;
+        dualPivots += ilp->dualPivots;
+        warmFailures += ilp->warmFailures;
+        installPivots += ilp->installPivots;
         allIntegral = allIntegral && ilp->firstRelaxationIntegral;
       }
     }
     EXPECT_EQ(pruned, e.stats.prunedNullSets);
+    EXPECT_EQ(deduped, e.stats.dedupedSets);
+    EXPECT_EQ(dominated, e.stats.dominatedSets);
     EXPECT_EQ(ilpSolves, e.stats.ilpSolves);
     EXPECT_EQ(lpCalls, e.stats.lpCalls);
     EXPECT_EQ(nodes, e.stats.nodesExpanded);
     EXPECT_EQ(pivots, e.stats.totalPivots);
+    EXPECT_EQ(warmStarts, e.stats.warmStarts);
+    EXPECT_EQ(coldStarts, e.stats.coldStarts);
+    EXPECT_EQ(dualPivots, e.stats.dualPivots);
+    EXPECT_EQ(warmFailures, e.stats.warmFailures);
+    EXPECT_EQ(installPivots, e.stats.installPivots);
     EXPECT_EQ(allIntegral, e.stats.allFirstRelaxationsIntegral);
   }
 }
@@ -130,6 +158,8 @@ TEST(ObservedEstimate, RecordsAreDeterministicAcrossThreadCounts) {
     EXPECT_EQ(ra.userConstraints, rb.userConstraints);
     EXPECT_EQ(ra.pruned, rb.pruned);
     EXPECT_EQ(ra.probePivots, rb.probePivots);
+    EXPECT_EQ(ra.sharedWith, rb.sharedWith);
+    EXPECT_EQ(ra.dominated, rb.dominated);
     for (const auto [ia, ib] : {std::pair{&ra.worst, &rb.worst},
                                 std::pair{&ra.best, &rb.best}}) {
       EXPECT_EQ(ia->solved, ib->solved);
@@ -138,6 +168,11 @@ TEST(ObservedEstimate, RecordsAreDeterministicAcrossThreadCounts) {
       EXPECT_EQ(ia->nodes, ib->nodes);
       EXPECT_EQ(ia->lpCalls, ib->lpCalls);
       EXPECT_EQ(ia->pivots, ib->pivots);
+      EXPECT_EQ(ia->warmStarts, ib->warmStarts);
+      EXPECT_EQ(ia->coldStarts, ib->coldStarts);
+      EXPECT_EQ(ia->dualPivots, ib->dualPivots);
+      EXPECT_EQ(ia->warmFailures, ib->warmFailures);
+      EXPECT_EQ(ia->installPivots, ib->installPivots);
       EXPECT_EQ(ia->firstRelaxationIntegral, ib->firstRelaxationIntegral);
     }
   }

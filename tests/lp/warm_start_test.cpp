@@ -1,0 +1,214 @@
+// Unit tests for the incremental solve path: basis snapshot/restore
+// round trips, dual-simplex repair of appended cuts, the warm phase-1
+// repair of appended Equal rows, and the soundness guarantees (warm
+// results are bit-identical to cold, warm Infeasible is genuine).
+#include <gtest/gtest.h>
+
+#include "cinderella/lp/problem.hpp"
+#include "cinderella/lp/simplex.hpp"
+
+namespace cinderella::lp {
+namespace {
+
+/// max 3x + 5y  s.t.  x <= 4, 2y <= 12, 3x + 2y <= 18  ->  36 at (2,6).
+Problem textbook() {
+  Problem p;
+  const int x = p.addVar("x");
+  const int y = p.addVar("y");
+  LinearExpr obj;
+  obj.add(x, 3.0);
+  obj.add(y, 5.0);
+  p.setObjective(obj, Sense::Maximize);
+  LinearExpr c1;
+  c1.add(x, 1.0);
+  p.addConstraint(std::move(c1), Relation::LessEq, 4.0);
+  LinearExpr c2;
+  c2.add(y, 2.0);
+  p.addConstraint(std::move(c2), Relation::LessEq, 12.0);
+  LinearExpr c3;
+  c3.add(x, 3.0);
+  c3.add(y, 2.0);
+  p.addConstraint(std::move(c3), Relation::LessEq, 18.0);
+  return p;
+}
+
+/// A small flow-conservation system (Equal rows only, like an IPET
+/// problem): entry = 1, entry splits into a+b, join = a+b.
+Problem flowDiamond() {
+  Problem p;
+  const int entry = p.addVar("entry");
+  const int a = p.addVar("a");
+  const int b = p.addVar("b");
+  const int join = p.addVar("join");
+  LinearExpr e1;
+  e1.add(entry, 1.0);
+  p.addConstraint(std::move(e1), Relation::Equal, 1.0);
+  LinearExpr e2;
+  e2.add(entry, 1.0);
+  e2.add(a, -1.0);
+  e2.add(b, -1.0);
+  p.addConstraint(std::move(e2), Relation::Equal, 0.0);
+  LinearExpr e3;
+  e3.add(join, 1.0);
+  e3.add(a, -1.0);
+  e3.add(b, -1.0);
+  p.addConstraint(std::move(e3), Relation::Equal, 0.0);
+  LinearExpr obj;
+  obj.add(a, 7.0);
+  obj.add(b, 3.0);
+  p.setObjective(obj, Sense::Maximize);
+  return p;
+}
+
+TEST(WarmStart, BasisRoundTripResolvesWithoutSimplexWork) {
+  const Problem p = textbook();
+  Basis basis;
+  const Solution cold = solveWarm(p, {}, nullptr, &basis);
+  ASSERT_EQ(cold.status, SolveStatus::Optimal);
+  ASSERT_FALSE(basis.empty());
+
+  const Solution warm = solveWarm(p, {}, &basis, nullptr);
+  ASSERT_EQ(warm.status, SolveStatus::Optimal);
+  EXPECT_TRUE(warm.warmUsed);
+  EXPECT_FALSE(warm.warmFailed);
+  EXPECT_DOUBLE_EQ(warm.objective, cold.objective);
+  EXPECT_EQ(warm.values, cold.values);
+  // Reinstalling an optimal basis needs no simplex iterations at all;
+  // the Gauss-Jordan refactorization is tracked separately.
+  EXPECT_EQ(warm.pivots, 0);
+  EXPECT_GT(warm.installPivots, 0);
+}
+
+TEST(WarmStart, DualSimplexRepairsAppendedCut) {
+  Problem p = textbook();
+  Basis parent;
+  const Solution root = solveWarm(p, {}, nullptr, &parent);
+  ASSERT_EQ(root.status, SolveStatus::Optimal);
+
+  // Cut off the optimum (2, 6): force y <= 4.  The parent basis is
+  // primal infeasible but dual feasible — exactly a branch-and-bound
+  // child — so the dual simplex repairs it in a few pivots.
+  LinearExpr cut;
+  cut.add(1, 1.0);
+  p.addConstraint(std::move(cut), Relation::LessEq, 4.0);
+
+  const Solution cold = solve(p);
+  ASSERT_EQ(cold.status, SolveStatus::Optimal);
+  const Solution warm = solveWarm(p, {}, &parent, nullptr);
+  ASSERT_EQ(warm.status, SolveStatus::Optimal);
+  EXPECT_TRUE(warm.warmUsed);
+  EXPECT_FALSE(warm.warmFailed);
+  EXPECT_DOUBLE_EQ(warm.objective, cold.objective);
+  EXPECT_EQ(warm.values, cold.values);
+  EXPECT_GT(warm.dualPivots, 0);
+  EXPECT_LT(warm.pivots, cold.pivots);
+}
+
+TEST(WarmStart, DualSimplexCertifiesInfeasibleAppendedCut) {
+  Problem p = textbook();
+  Basis parent;
+  ASSERT_EQ(solveWarm(p, {}, nullptr, &parent).status, SolveStatus::Optimal);
+
+  // x >= 10 contradicts x <= 4: the repaired system is empty.  The
+  // dual simplex's unbounded ray is a genuine infeasibility
+  // certificate — same verdict as the cold two-phase solve.
+  LinearExpr cut;
+  cut.add(0, 1.0);
+  p.addConstraint(std::move(cut), Relation::GreaterEq, 10.0);
+
+  EXPECT_EQ(solve(p).status, SolveStatus::Infeasible);
+  const Solution warm = solveWarm(p, {}, &parent, nullptr);
+  EXPECT_EQ(warm.status, SolveStatus::Infeasible);
+  EXPECT_TRUE(warm.warmUsed);
+  EXPECT_FALSE(warm.warmFailed);
+}
+
+TEST(WarmStart, PhaseOneRepairsAppendedEqualRow) {
+  Problem p = flowDiamond();
+  Basis parent;
+  const Solution root = solveWarm(p, {}, nullptr, &parent);
+  ASSERT_EQ(root.status, SolveStatus::Optimal);
+  EXPECT_DOUBLE_EQ(root.objective, 7.0);  // all flow through a
+
+  // Append an Equal row the optimum violates: b = 1 forces the flow
+  // down the cheap arm.  The appended row keeps its artificial basic at
+  // level 1 after installation; the warm path must repair it with a
+  // phase-1 pass, not reject the basis.
+  LinearExpr pin;
+  pin.add(2, 1.0);
+  p.addConstraint(std::move(pin), Relation::Equal, 1.0);
+
+  const Solution cold = solve(p);
+  ASSERT_EQ(cold.status, SolveStatus::Optimal);
+  EXPECT_DOUBLE_EQ(cold.objective, 3.0);
+  const Solution warm = solveWarm(p, {}, &parent, nullptr);
+  ASSERT_EQ(warm.status, SolveStatus::Optimal);
+  EXPECT_TRUE(warm.warmUsed);
+  EXPECT_FALSE(warm.warmFailed);
+  EXPECT_DOUBLE_EQ(warm.objective, cold.objective);
+  EXPECT_EQ(warm.values, cold.values);
+}
+
+TEST(WarmStart, InfeasibleAppendedEqualRowIsGenuine) {
+  Problem p = flowDiamond();
+  Basis parent;
+  ASSERT_EQ(solveWarm(p, {}, nullptr, &parent).status, SolveStatus::Optimal);
+
+  // a + b = 1 already; b = 5 is unsatisfiable.  The warm phase-1 pass
+  // bottoms out above zero, which certifies infeasibility exactly as
+  // cold phase 1 would.
+  LinearExpr pin;
+  pin.add(2, 1.0);
+  p.addConstraint(std::move(pin), Relation::Equal, 5.0);
+
+  EXPECT_EQ(solve(p).status, SolveStatus::Infeasible);
+  const Solution warm = solveWarm(p, {}, &parent, nullptr);
+  EXPECT_EQ(warm.status, SolveStatus::Infeasible);
+  EXPECT_FALSE(warm.warmFailed);
+}
+
+TEST(WarmStart, RepricedObjectiveOverSharedBasis) {
+  // The analyzer re-solves the same rows under a different objective
+  // (min over the max's root basis).  No rows change: install, reprice,
+  // optimize — identical to the cold answer.
+  Problem p = flowDiamond();
+  Basis maxBasis;
+  ASSERT_EQ(solveWarm(p, {}, nullptr, &maxBasis).status,
+            SolveStatus::Optimal);
+
+  LinearExpr obj;
+  obj.add(1, 7.0);
+  obj.add(2, 3.0);
+  p.setObjective(obj, Sense::Minimize);
+  const Solution cold = solve(p);
+  ASSERT_EQ(cold.status, SolveStatus::Optimal);
+  EXPECT_DOUBLE_EQ(cold.objective, 3.0);
+  const Solution warm = solveWarm(p, {}, &maxBasis, nullptr);
+  ASSERT_EQ(warm.status, SolveStatus::Optimal);
+  EXPECT_TRUE(warm.warmUsed);
+  EXPECT_DOUBLE_EQ(warm.objective, cold.objective);
+}
+
+TEST(WarmStart, EmptyBasisFallsBackCold) {
+  const Problem p = textbook();
+  const Basis empty;
+  const Solution s = solveWarm(p, {}, &empty, nullptr);
+  EXPECT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_FALSE(s.warmUsed);
+  EXPECT_DOUBLE_EQ(s.objective, 36.0);
+}
+
+TEST(WarmStart, MismatchedBasisFallsBackColdAndStaysCorrect) {
+  const Problem p = textbook();
+  Basis bogus;
+  bogus.numVars = 99;  // wrong variable count: cannot install
+  bogus.basicCol = {0, 1, 2};
+  const Solution s = solveWarm(p, {}, &bogus, nullptr);
+  EXPECT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_TRUE(s.warmFailed);
+  EXPECT_FALSE(s.warmUsed);
+  EXPECT_DOUBLE_EQ(s.objective, 36.0);
+}
+
+}  // namespace
+}  // namespace cinderella::lp
