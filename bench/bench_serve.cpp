@@ -1,0 +1,253 @@
+// Sustained-throughput and cache-effectiveness benchmark for the
+// cinderella-serve daemon: an in-process serve::Server (loopback TCP,
+// the real wire protocol) replays a corpus of generated fuzz programs
+// plus every Table-I benchmark, twice.
+//
+// Two claims are checked and emitted as JSON lines (the committed
+// snapshot is BENCH_serve.json):
+//   - the second pass answers from the content-addressed solve cache
+//     (hit rate >= 50% over both passes, i.e. ~100% of pass 2) with
+//     bounds bit-identical to the first pass — a cache hit never
+//     changes an answer;
+//   - served request throughput, per pass, so cold-solve and
+//     cache-served rates can be compared release over release.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cinderella/fuzz/generator.hpp"
+#include "cinderella/obs/json.hpp"
+#include "cinderella/serve/client.hpp"
+#include "cinderella/serve/server.hpp"
+#include "cinderella/suite/suite.hpp"
+
+namespace {
+
+using namespace cinderella;
+
+constexpr int kGeneratedPrograms = 24;
+constexpr std::uint64_t kCorpusSeed = 20260807;
+
+struct CorpusEntry {
+  std::string label;
+  ipet::AnalysisRequest request;
+};
+
+std::vector<CorpusEntry> buildCorpus() {
+  std::vector<CorpusEntry> corpus;
+  fuzz::GeneratorOptions generatorOptions;
+  generatorOptions.emitConstraints = true;
+  fuzz::ProgramGenerator generator(generatorOptions);
+  for (int i = 0; i < kGeneratedPrograms; ++i) {
+    const fuzz::GeneratedProgram program = generator.generate(
+        fuzz::deriveSeed(kCorpusSeed, static_cast<std::uint64_t>(i)));
+    CorpusEntry entry;
+    entry.label = "fuzz-" + std::to_string(i);
+    entry.request.label = entry.label;
+    entry.request.source = program.source;
+    entry.request.root = program.root;
+    for (const std::string& c : program.constraints) {
+      entry.request.constraints.push_back({c, ""});
+    }
+    corpus.push_back(std::move(entry));
+  }
+  for (const suite::Benchmark& bench : suite::allBenchmarks()) {
+    CorpusEntry entry;
+    entry.label = bench.name;
+    entry.request.label = bench.name;
+    entry.request.benchmark = bench.name;
+    corpus.push_back(std::move(entry));
+  }
+  return corpus;
+}
+
+struct PassStats {
+  int requests = 0;
+  int hits = 0;
+  std::int64_t wallMicros = 0;
+
+  [[nodiscard]] double reqPerSec() const {
+    return wallMicros > 0
+               ? 1e6 * static_cast<double>(requests) /
+                     static_cast<double>(wallMicros)
+               : 0.0;
+  }
+};
+
+void passToJson(obs::JsonWriter* w, const PassStats& p) {
+  w->beginObject()
+      .key("requests")
+      .value(p.requests)
+      .key("cacheHits")
+      .value(p.hits)
+      .key("wallMicros")
+      .value(p.wallMicros)
+      .key("reqPerSec")
+      .value(p.reqPerSec())
+      .endObject();
+}
+
+/// Replays the corpus twice against a fresh daemon and verifies the
+/// serving contract; exits nonzero on any violation so the committed
+/// snapshot is self-gating.
+void runReplayGate() {
+  const std::vector<CorpusEntry> corpus = buildCorpus();
+
+  serve::ServerOptions serverOptions;
+  serverOptions.poolThreads = 2;
+  serverOptions.benchmarkResolver = suite::benchmarkResolver();
+  serve::Server server(std::move(serverOptions));
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "bench_serve: start failed: %s\n", error.c_str());
+    std::exit(1);
+  }
+  serve::Client client;
+  if (!client.connect(server.port(), &error)) {
+    std::fprintf(stderr, "bench_serve: connect failed: %s\n", error.c_str());
+    std::exit(1);
+  }
+
+  std::printf("SERVE REPLAY (%zu inputs x 2 passes, loopback NDJSON)\n",
+              corpus.size());
+  std::printf("%6s %9s %9s %10s %10s\n", "Pass", "Requests", "Hits",
+              "wallMs", "req/s");
+
+  std::map<std::string, std::pair<std::int64_t, std::int64_t>> firstBounds;
+  bool boundsIdentical = true;
+  std::vector<PassStats> passes;
+  for (int pass = 0; pass < 2; ++pass) {
+    PassStats stats;
+    const auto start = std::chrono::steady_clock::now();
+    for (const CorpusEntry& entry : corpus) {
+      const auto response = client.analyze(entry.request, &error);
+      if (!response || !response->ok) {
+        std::fprintf(stderr, "bench_serve: %s: %s\n", entry.label.c_str(),
+                     response ? response->error.c_str() : error.c_str());
+        std::exit(1);
+      }
+      ++stats.requests;
+      if (response->cacheHit) ++stats.hits;
+      const std::pair<std::int64_t, std::int64_t> bound{response->boundLo,
+                                                        response->boundHi};
+      const auto [it, inserted] = firstBounds.emplace(entry.label, bound);
+      if (!inserted && it->second != bound) {
+        boundsIdentical = false;
+        std::fprintf(stderr, "bench_serve: %s: bound changed across passes\n",
+                     entry.label.c_str());
+      }
+    }
+    stats.wallMicros = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+    std::printf("%6d %9d %9d %10.1f %10.1f\n", pass + 1, stats.requests,
+                stats.hits, static_cast<double>(stats.wallMicros) / 1e3,
+                stats.reqPerSec());
+    passes.push_back(stats);
+  }
+
+  (void)client.shutdown(&error);
+  server.stop();
+
+  int totalRequests = 0;
+  int totalHits = 0;
+  for (const PassStats& p : passes) {
+    totalRequests += p.requests;
+    totalHits += p.hits;
+  }
+  const double hitRate =
+      totalRequests > 0
+          ? static_cast<double>(totalHits) / static_cast<double>(totalRequests)
+          : 0.0;
+  const double speedup =
+      passes[1].wallMicros > 0
+          ? static_cast<double>(passes[0].wallMicros) /
+                static_cast<double>(passes[1].wallMicros)
+          : 0.0;
+  std::printf("\nhit rate %d/%d (%.0f%%), cache-served pass %.2fx faster, "
+              "bounds %s\n\n",
+              totalHits, totalRequests, hitRate * 100.0, speedup,
+              boundsIdentical ? "bit-identical" : "DIVERGED");
+
+  obs::JsonWriter w;
+  w.beginObject()
+      .key("bench")
+      .value("serve")
+      .key("corpus")
+      .value(static_cast<std::int64_t>(corpus.size()))
+      .key("passes")
+      .value(2)
+      .key("hitRate")
+      .value(hitRate)
+      .key("boundsIdentical")
+      .value(boundsIdentical)
+      .key("cacheSpeedup")
+      .value(speedup)
+      .key("cold");
+  passToJson(&w, passes[0]);
+  w.key("cached");
+  passToJson(&w, passes[1]);
+  w.endObject();
+  std::printf("%s\n", w.str().c_str());
+
+  if (!boundsIdentical) {
+    std::fprintf(stderr, "bench_serve: cache hits changed bounds — bug\n");
+    std::exit(1);
+  }
+  if (hitRate < 0.5) {
+    std::fprintf(stderr,
+                 "bench_serve: hit rate %.2f below 0.5 — the second pass "
+                 "should be served from cache\n",
+                 hitRate);
+    std::exit(1);
+  }
+}
+
+/// Round-trip latency of a single cache-served request (protocol +
+/// socket + lookup; no solving).
+void BM_CachedRequest(benchmark::State& state) {
+  serve::ServerOptions serverOptions;
+  serverOptions.poolThreads = 1;
+  serverOptions.benchmarkResolver = suite::benchmarkResolver();
+  serve::Server server(std::move(serverOptions));
+  std::string error;
+  if (!server.start(&error)) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  serve::Client client;
+  if (!client.connect(server.port(), &error)) {
+    state.SkipWithError(error.c_str());
+    server.stop();
+    return;
+  }
+  ipet::AnalysisRequest request;
+  request.benchmark = "piksrt";
+  (void)client.analyze(request, &error);  // populate the cache
+  for (auto _ : state) {
+    const auto response = client.analyze(request, &error);
+    if (!response || !response->ok || !response->cacheHit) {
+      state.SkipWithError("cached request failed");
+      break;
+    }
+    benchmark::DoNotOptimize(response->boundHi);
+  }
+  (void)client.shutdown(&error);
+  server.stop();
+}
+BENCHMARK(BM_CachedRequest);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  runReplayGate();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

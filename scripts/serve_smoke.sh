@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Serve smoke test: start the analyzer daemon on an ephemeral port,
+# replay a mixed workload (fuzz-generated programs plus the Table-I
+# suite) against it twice, and require that the second pass is answered
+# from the content-addressed solve cache with bit-identical bounds.
+# Finishes with the shutdown handshake and checks the daemon exits
+# cleanly.  Used locally and by the `serve-smoke` CI job so the
+# workload and gates live in exactly one place.
+#
+# usage: scripts/serve_smoke.sh [path-to-cinderella-serve] [path-to-cinderella-replay]
+set -euo pipefail
+
+SERVE="${1:-./build/src/tools/cinderella-serve}"
+REPLAY="${2:-./build/src/tools/cinderella-replay}"
+
+for bin in "$SERVE" "$REPLAY"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "serve_smoke: binary not found at $bin" >&2
+    echo "build it with: cmake --build build -j --target cinderella-serve cinderella-replay" >&2
+    exit 1
+  fi
+done
+
+LOG="$(mktemp)"
+SNAPSHOT="$(mktemp -u).csnap"
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -f "$LOG" "$SNAPSHOT"' EXIT
+
+# Ephemeral port: the daemon announces the one it picked on stdout.
+"$SERVE" --port 0 --jobs 2 --cache-snapshot "$SNAPSHOT" > "$LOG" &
+SERVE_PID=$!
+
+PORT=""
+for _ in $(seq 1 50); do
+  PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$LOG" | head -1)"
+  [[ -n "$PORT" ]] && break
+  sleep 0.1
+done
+if [[ -z "$PORT" ]]; then
+  echo "serve_smoke: daemon did not announce a port; log:" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+echo "serve_smoke: daemon up on port $PORT"
+
+# Two passes over ~25 inputs (= ~50 requests).  The replay tool exits 2
+# if any repeated input returns a different bound, and 1 if the second
+# pass's cache hit rate leaves the overall rate below the gate.
+"$REPLAY" --port "$PORT" --generate 12 --seed 20260807 --benchmarks \
+  --repeat 2 --min-hit-rate 0.45 --shutdown
+
+# The shutdown handshake must let the daemon exit cleanly (status 0).
+if ! wait "$SERVE_PID"; then
+  echo "serve_smoke: daemon exited non-zero; log:" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+trap 'rm -f "$LOG" "$SNAPSHOT"' EXIT
+
+if [[ ! -s "$SNAPSHOT" ]]; then
+  echo "serve_smoke: daemon did not write its cache snapshot" >&2
+  exit 1
+fi
+
+echo "serve_smoke: ok (cache snapshot $(wc -c < "$SNAPSHOT") bytes)"

@@ -47,6 +47,7 @@ enum class CheckKind {
   ConstraintMoved, ///< redundant constraints changed the bound
   JobsMismatch,    ///< threaded solve differed from single-thread
   WarmColdMismatch,///< warm-started solve bound differed from cold
+  CacheReplay,     ///< solve-cache replay missed or changed the bound
   DegradedThrow,   ///< estimate threw under fault injection
   DegradedUnsound, ///< sound-claiming degraded interval lost the clean one
 };
@@ -70,6 +71,10 @@ struct OracleOptions {
       ipet::CacheMode::ConflictGraph};
   /// Run the explicit-enumeration exact-agreement check.
   bool compareExplicit = true;
+  /// Serve-cache equivalence: analyse the program twice through one
+  /// ipet::AnalysisService; the second submission must be a bound-cache
+  /// hit carrying a bit-identical interval (what the daemon relies on).
+  bool checkSolveCache = true;
   std::uint64_t maxExplicitPaths = 2'000'000;
   std::uint64_t maxExplicitSteps = 50'000'000;
   /// Simulator step cap (generated programs are tiny; a runaway run is

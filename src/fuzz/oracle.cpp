@@ -5,6 +5,7 @@
 
 #include "cinderella/codegen/codegen.hpp"
 #include "cinderella/explicitpath/enumerator.hpp"
+#include "cinderella/ipet/analysis.hpp"
 #include "cinderella/sim/simulator.hpp"
 #include "cinderella/support/error.hpp"
 #include "cinderella/support/fault_injector.hpp"
@@ -25,6 +26,7 @@ const char* checkKindStr(CheckKind kind) {
     case CheckKind::ConstraintMoved: return "constraint-moved";
     case CheckKind::JobsMismatch: return "jobs-mismatch";
     case CheckKind::WarmColdMismatch: return "warm-cold-mismatch";
+    case CheckKind::CacheReplay: return "cache-replay";
     case CheckKind::DegradedThrow: return "degraded-throw";
     case CheckKind::DegradedUnsound: return "degraded-unsound";
   }
@@ -183,6 +185,40 @@ OracleReport DifferentialOracle::check(const GeneratedProgram& program,
     }
   } catch (const Error& e) {
     add(CheckKind::Analysis, std::string("constrained: ") + e.what());
+  }
+
+  //    Serve-cache equivalence: the same request twice through one
+  //    AnalysisService.  The daemon answers repeat submissions from its
+  //    content-addressed cache, so a second pass must hit and must not
+  //    change the interval by a single bit.
+  if (options_.checkSolveCache) {
+    try {
+      ipet::AnalysisService service;
+      ipet::AnalysisRequest request;
+      request.source = program.source;
+      request.root = program.root;
+      for (const auto& text : program.constraints) {
+        request.constraints.push_back({text, ""});
+      }
+      request.cacheMode = options_.cacheModes[0];
+      const ipet::AnalysisResult cold = service.analyze(request);
+      const ipet::AnalysisResult replay = service.analyze(request);
+      if (!replay.cacheHit) {
+        add(CheckKind::CacheReplay,
+            "identical resubmission missed the bound cache");
+      } else if (replay.estimate.bound != cold.estimate.bound) {
+        add(CheckKind::CacheReplay,
+            "cache hit changed the bound from " +
+                intervalStr(cold.estimate.bound.lo, cold.estimate.bound.hi) +
+                " to " +
+                intervalStr(replay.estimate.bound.lo,
+                            replay.estimate.bound.hi));
+      } else if (cold.cacheHit) {
+        add(CheckKind::CacheReplay, "first submission hit an empty cache");
+      }
+    } catch (const Error& e) {
+      add(CheckKind::Analysis, std::string("cache replay: ") + e.what());
+    }
   }
 
   //    Degradation drill: the same analysis under a process-wide fault

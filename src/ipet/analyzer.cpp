@@ -924,57 +924,67 @@ lp::Problem Analyzer::materializeSet(const BaseProblem& base,
   return p;
 }
 
-namespace {
-
-/// Exact byte encoding of a double for canonical row keys (+0.0 and
-/// -0.0 collapse so negation round-trips cannot split a key).
-void appendDoubleBits(std::string* out, double v) {
-  if (v == 0.0) v = 0.0;
-  std::uint64_t bits = 0;
-  static_assert(sizeof(bits) == sizeof(v));
-  std::memcpy(&bits, &v, sizeof(bits));
-  char buf[17];
-  std::snprintf(buf, sizeof(buf), "%016llx",
-                static_cast<unsigned long long>(bits));
-  out->append(buf);
-}
-
-}  // namespace
-
 std::vector<std::string> Analyzer::canonicalSetRows(
     const ConjunctiveSet& set) const {
   std::vector<std::string> rows;
   rows.reserve(set.size());
   for (const auto& sc : set) {
-    lp::Constraint c = resolveSymConstraint(sc);
-    // Same canonicalization Problem::addConstraint applies: merged and
-    // sorted terms (LinearExpr::add already merges), zero coefficients
-    // dropped, the expression constant folded into the rhs.
-    c.expr.canonicalize();
-    double rhs = c.rhs - c.expr.constant();
-    // `expr >= rhs` and `-expr <= -rhs` are the same half-space; encode
-    // both as LessEq so they share a key.
-    double sign = 1.0;
-    lp::Relation rel = c.rel;
-    if (rel == lp::Relation::GreaterEq) {
-      sign = -1.0;
-      rel = lp::Relation::LessEq;
-    }
-    std::string row;
-    row.push_back(rel == lp::Relation::Equal ? 'E' : 'L');
-    for (const auto& t : c.expr.terms()) {
-      row += std::to_string(t.var);
-      row.push_back(':');
-      appendDoubleBits(&row, sign * t.coeff);
-      row.push_back(';');
-    }
-    row.push_back('#');
-    appendDoubleBits(&row, sign * rhs);
-    rows.push_back(std::move(row));
+    // canonicalRowKey applies the same canonicalization
+    // Problem::addConstraint does (merged/sorted terms, constant folded
+    // into the rhs) plus GreaterEq-to-LessEq negation, in a byte-stable
+    // little-endian encoding shared with the SolveCache digests.
+    rows.push_back(canonicalRowKey(resolveSymConstraint(sc)));
   }
   std::sort(rows.begin(), rows.end());
   rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
   return rows;
+}
+
+Analyzer::SystemDigests Analyzer::systemDigests() const {
+  const BaseProblem base = buildBaseProblem();
+  DigestBuilder builder;
+  builder.tag('V');
+  builder.u32(static_cast<std::uint32_t>(base.problem.numVars()));
+  // Base rows, order-normalized like a constraint set's: the digest must
+  // not depend on emission order, only on the region they carve.
+  std::vector<std::string> baseRows;
+  baseRows.reserve(base.problem.constraints().size());
+  for (const auto& c : base.problem.constraints()) {
+    baseRows.push_back(canonicalRowKey(c));
+  }
+  std::sort(baseRows.begin(), baseRows.end());
+  baseRows.erase(std::unique(baseRows.begin(), baseRows.end()),
+                 baseRows.end());
+  builder.tag('B');
+  builder.u32(static_cast<std::uint32_t>(baseRows.size()));
+  for (const auto& row : baseRows) builder.str(row);
+  builder.tag('W');
+  builder.u32(static_cast<std::uint32_t>(base.worstCoeff.size()));
+  for (const double c : base.worstCoeff) builder.f64(c);
+  builder.tag('C');
+  builder.u32(static_cast<std::uint32_t>(base.bestCoeff.size()));
+  for (const double c : base.bestCoeff) builder.f64(c);
+
+  SystemDigests out;
+  out.structural = builder.finish();
+
+  // Full digest: the structural prefix plus every expanded constraint
+  // set's canonical rows.  The set list itself is order-normalized (the
+  // merged interval does not depend on DNF expansion order).
+  const Dnf combined = combineUserConstraints();
+  std::vector<std::vector<std::string>> setKeys;
+  setKeys.reserve(combined.size());
+  for (const auto& set : combined) setKeys.push_back(canonicalSetRows(set));
+  std::sort(setKeys.begin(), setKeys.end());
+  setKeys.erase(std::unique(setKeys.begin(), setKeys.end()), setKeys.end());
+  builder.tag('S');
+  builder.u32(static_cast<std::uint32_t>(setKeys.size()));
+  for (const auto& rows : setKeys) {
+    builder.u32(static_cast<std::uint32_t>(rows.size()));
+    for (const auto& row : rows) builder.str(row);
+  }
+  out.full = builder.finish();
+  return out;
 }
 
 std::string Analyzer::exportWorstCaseIlp() const {
@@ -1147,15 +1157,25 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
   // worker interleaving.
   lp::Basis seedBasis;
   int seedPivots = 0;
-  if (control.warmStart && scheduledSets > 1) {
+  const lp::Basis* importedSeed =
+      (control.importSeedBasis != nullptr && !control.importSeedBasis->empty())
+          ? control.importSeedBasis
+          : nullptr;
+  if (control.warmStart &&
+      (scheduledSets > 1 || importedSeed != nullptr ||
+       control.exportSeedBasis != nullptr)) {
     obs::Span seedSpan(tracer, "structural-seed", "solve");
     try {
       lp::Problem p = base.problem;
       p.setObjective(makeObjective(base.worstCoeff), lp::Sense::Maximize);
+      // An imported basis (from a SolveCache entry keyed by this
+      // system's structural digest) turns the seed solve itself into a
+      // warm repair; solveWarm falls back cold on any mismatch.
       const lp::Solution sol =
-          lp::solveWarm(p, ilpOptions.lpOptions, nullptr, &seedBasis);
+          lp::solveWarm(p, ilpOptions.lpOptions, importedSeed, &seedBasis);
       seedPivots = sol.pivots;
       seedSpan.arg("pivots", sol.pivots)
+          .arg("imported", importedSeed != nullptr)
           .arg("status", std::string(lp::solveStatusStr(sol.status)));
     } catch (...) {
       // The seed is purely an optimization; every consumer solves cold
@@ -1738,6 +1758,9 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
 
   if (worstValues != nullptr) result.worstCounts = aggregateCounts(*worstValues);
   if (bestValues != nullptr) result.bestCounts = aggregateCounts(*bestValues);
+  if (control.exportSeedBasis != nullptr) {
+    *control.exportSeedBasis = std::move(seedBasis);
+  }
   return result;
 }
 

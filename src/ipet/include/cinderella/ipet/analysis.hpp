@@ -1,0 +1,158 @@
+// The unified analysis API: one request/result pair for every consumer
+// of the analyzer — the `cinderella` CLI, the `cinderella-serve` daemon,
+// the fuzz oracle, and the tests all build an AnalysisRequest and read
+// back an AnalysisResult, so "what can be analysed and what comes back"
+// is defined exactly once.
+//
+// An AnalysisService wraps the per-request Analyzer pipeline with the
+// persistent content-addressed SolveCache:
+//
+//   request -> resolve input -> Analyzer -> systemDigests()
+//           -> bound-cache lookup (full digest): hit => answer, no solve
+//           -> basis-cache lookup (structural digest): hit => warm start
+//           -> estimate() -> admission-gated insert -> result
+//
+// The service accepts three inputs: MiniC source, the name of a built-in
+// Table-I benchmark (resolved through an injected ProgramResolver so
+// this library does not depend on cin_suite), and LP-format constraint
+// systems — the same text Analyzer::exportWorstCaseIlp() emits, closing
+// the loop the paper describes with its off-the-shelf ILP package.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "cinderella/ipet/analyzer.hpp"
+#include "cinderella/ipet/digest.hpp"
+#include "cinderella/ipet/solve_cache.hpp"
+
+namespace cinderella::obs {
+class Tracer;
+}  // namespace cinderella::obs
+
+namespace cinderella::ipet {
+
+/// How one request may use the service's SolveCache.
+enum class CachePolicy {
+  /// Lookup and (admission-gated) insert — the default.
+  ReadWrite,
+  /// Lookup only: hits are served, but this request's result is never
+  /// admitted (e.g. fault-injected oracle runs).
+  ReadOnly,
+  /// The cache is not consulted at all; always a full cold solve.
+  Bypass,
+};
+
+[[nodiscard]] const char* cachePolicyStr(CachePolicy policy);
+[[nodiscard]] std::optional<CachePolicy> parseCachePolicy(
+    std::string_view text);
+
+/// One functionality constraint plus its default scope for unqualified
+/// x/d references (empty = the root function).
+struct RequestConstraint {
+  std::string text;
+  std::string scope;
+};
+
+/// Everything needed to run one analysis.  Exactly one input must be
+/// set: `source` (MiniC, or LP format when `lpInput`), or `benchmark`.
+struct AnalysisRequest {
+  /// Program label used in reports; defaults to the benchmark name,
+  /// or "<source>" / "<lp>".
+  std::string label;
+  /// MiniC source text — or LP-format constraint systems when lpInput.
+  std::string source;
+  /// Name of a built-in benchmark (needs a ProgramResolver).
+  std::string benchmark;
+  /// `source` holds LP-format problems (Maximize => worst-case bound,
+  /// Minimize => best-case), e.g. an exportWorstCaseIlp() dump.
+  bool lpInput = false;
+  /// Root function; empty = "main" (or the benchmark's own root).
+  std::string root;
+  std::vector<RequestConstraint> constraints;
+  CacheMode cacheMode = CacheMode::AllMiss;
+  CachePolicy cachePolicy = CachePolicy::ReadWrite;
+  /// Per-solve resource policy (threads, deadline, warm start, tracer,
+  /// cancel).  The seed-basis import/export fields are owned by the
+  /// service and overwritten; set everything else freely.
+  SolveControl control;
+};
+
+struct AnalysisResult {
+  /// Label echoed from the request (after defaulting).
+  std::string program;
+  /// The estimate: freshly solved, or synthesized from a cache hit
+  /// (bound + constraintSets only; per-set records are not cached).
+  Estimate estimate;
+  /// Content-addressed keys of the analysed system (see digest.hpp).
+  /// For LP input the two digests coincide: there is no shared
+  /// structural core to key a seed basis by.
+  Digest fullDigest;
+  Digest structuralDigest;
+  /// The bound was served from the cache; no solve ran.
+  bool cacheHit = false;
+  /// A cached structural basis warm-started this solve.
+  bool basisWarmStarted = false;
+  /// Wall µs of the whole analyze() call (compile + digest + solve).
+  std::int64_t wallMicros = 0;
+  /// On a cache hit: wall µs the original cold solve took (what the
+  /// hit saved); otherwise the µs this request's solve took.
+  std::int64_t solveMicros = 0;
+};
+
+/// Resolved form of a named benchmark: what the service needs to build
+/// the analyzer without depending on cin_suite.
+struct ResolvedProgram {
+  std::string source;
+  std::string root;
+  std::vector<RequestConstraint> constraints;
+};
+
+/// Maps a benchmark name to its program, or nullopt when unknown.  Must
+/// be thread-safe (the daemon resolves from worker threads).
+using ProgramResolver =
+    std::function<std::optional<ResolvedProgram>(const std::string&)>;
+
+struct AnalysisServiceOptions {
+  SolveCacheOptions cache;
+  /// Benchmark-name resolution seam; when empty, `benchmark` requests
+  /// are rejected with an AnalysisError.
+  ProgramResolver benchmarkResolver;
+};
+
+/// Thread-safe analysis front door: concurrent analyze() calls share
+/// only the internally locked SolveCache.
+class AnalysisService {
+ public:
+  explicit AnalysisService(AnalysisServiceOptions options = {});
+
+  /// Runs one analysis end to end.  Throws Error (ParseError /
+  /// AnalysisError) on invalid requests or un-analysable input; solver
+  /// degradation is reported inside the Estimate, never thrown.
+  [[nodiscard]] AnalysisResult analyze(const AnalysisRequest& request) const;
+
+  /// The caching core, for callers that already built an Analyzer (the
+  /// CLI compiles once for annotate/dump output and reuses it here).
+  /// `request` supplies the label, cache policy and SolveControl; the
+  /// analyzer supplies the system.
+  [[nodiscard]] AnalysisResult analyzeWith(
+      const Analyzer& analyzer, const AnalysisRequest& request) const;
+
+  [[nodiscard]] SolveCache& cache() const { return cache_; }
+
+ private:
+  [[nodiscard]] AnalysisResult analyzeLp(const AnalysisRequest& request) const;
+
+  AnalysisServiceOptions options_;
+  /// Mutable: looking up a bound reorders the LRU chains and bumps the
+  /// counters, but never changes any analysis answer.
+  mutable SolveCache cache_;
+};
+
+}  // namespace cinderella::ipet

@@ -34,6 +34,7 @@
 #include "cinderella/codegen/codegen.hpp"
 #include "cinderella/ilp/branch_and_bound.hpp"
 #include "cinderella/ipet/constraint_lang.hpp"
+#include "cinderella/ipet/digest.hpp"
 #include "cinderella/march/cost_model.hpp"
 #include "cinderella/support/error.hpp"
 #include "cinderella/vm/module.hpp"
@@ -131,6 +132,18 @@ struct SolveControl {
   /// costs nothing and emits nothing.  Tracing never affects the
   /// returned Estimate.
   obs::Tracer* tracer = nullptr;
+  /// Optional externally supplied structural seed basis — typically the
+  /// SolveCache entry of a system sharing this one's structural digest.
+  /// The structural-seed solve warm-starts from it instead of running
+  /// cold; a basis that cannot be installed falls back exactly like any
+  /// other warm failure, so the bound never depends on what is supplied
+  /// here.  Ignored when empty/null or when warmStart is off.
+  const lp::Basis* importSeedBasis = nullptr;
+  /// When non-null, receives the structural seed basis this estimate()
+  /// computed (empty when the warm engine was off or the seed solve
+  /// failed).  This is the basis a SolveCache persists for future
+  /// near-identical submissions.
+  lp::Basis* exportSeedBasis = nullptr;
 };
 
 struct Interval {
@@ -399,6 +412,20 @@ class Analyzer {
   /// ready for lp_solve/CBC/CPLEX, the way the paper handed its systems
   /// to an off-the-shelf ILP package.
   [[nodiscard]] std::string exportWorstCaseIlp() const;
+
+  /// Content-addressed keys of this analysis (see digest.hpp).
+  /// `structural` covers everything common to all constraint sets — the
+  /// base problem's canonical rows (structural flow, loop bounds,
+  /// cache-mode variables), the variable count, and both objective
+  /// coefficient vectors — and therefore keys the reusable seed basis.
+  /// `full` extends it with the canonical rows of every expanded
+  /// constraint set (order-normalized), and therefore keys the final
+  /// bound: equal full digests => equal ILP systems => equal bounds.
+  struct SystemDigests {
+    Digest full;
+    Digest structural;
+  };
+  [[nodiscard]] SystemDigests systemDigests() const;
 
  private:
   struct LoopBoundSite {

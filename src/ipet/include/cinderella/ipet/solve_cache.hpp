@@ -1,0 +1,117 @@
+// Persistent content-addressed solve cache: the serving layer's memory
+// of every constraint system it has already bounded.
+//
+// Two LRU stores, both keyed by the byte-stable digests of digest.hpp
+// (see Analyzer::systemDigests):
+//
+//   * bounds — full-system digest -> verified [BCET, WCET] interval.
+//     A hit means an identical ILP system was already solved; the
+//     cached interval IS the answer and no solve runs at all.
+//
+//   * bases — structural digest -> structural seed lp::Basis.  A hit
+//     means a system sharing this one's structural core (flow, loop
+//     bounds, objectives) was solved before; the basis warm-starts the
+//     new solve (SolveControl::importSeedBasis), which repairs it with
+//     a handful of dual pivots instead of a cold two-phase solve.
+//
+// Admission is verification-gated: only estimates that are sound, not
+// timed out, fault-free, and exact on every scheduled set are admitted,
+// so a degraded or fault-injected result can never poison a future
+// request (it is simply recomputed).  Both stores are LRU-bounded and
+// the whole cache can be snapshot to / restored from disk, surviving
+// daemon restarts — the digests' byte-stability is what makes those
+// snapshots portable across rebuilds and platforms.
+//
+// Thread-safe: one mutex over both stores (lookups are O(log n) map
+// walks plus a splice; the solves they save are milliseconds).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "cinderella/ipet/analyzer.hpp"
+#include "cinderella/ipet/digest.hpp"
+#include "cinderella/lp/simplex.hpp"
+#include "cinderella/support/lru.hpp"
+
+namespace cinderella::ipet {
+
+struct SolveCacheOptions {
+  /// Maximum entries per store (bounds and bases each); 0 disables the
+  /// cache entirely — every lookup misses and every insert is dropped.
+  std::size_t capacity = 1024;
+};
+
+/// A verified cached result: the bound plus enough context for reports.
+struct CachedBound {
+  Interval bound;
+  /// Constraint sets of the original solve (report context).
+  int constraintSets = 0;
+  /// Wall µs the original (cold) solve took — the time a hit saves.
+  std::int64_t solveWallMicros = 0;
+};
+
+struct SolveCacheStats {
+  std::int64_t boundHits = 0;
+  std::int64_t boundMisses = 0;
+  std::int64_t basisHits = 0;
+  std::int64_t basisMisses = 0;
+  std::int64_t insertions = 0;
+  std::int64_t evictions = 0;
+  /// Inserts refused by the admission gate (degraded/faulted results).
+  std::int64_t rejectedInserts = 0;
+};
+
+class SolveCache {
+ public:
+  explicit SolveCache(SolveCacheOptions options = {});
+
+  [[nodiscard]] bool enabled() const { return options_.capacity > 0; }
+
+  /// Exact-system lookup; a hit returns the verified bound and marks
+  /// the entry most-recently-used.
+  [[nodiscard]] std::optional<CachedBound> lookupBound(const Digest& full);
+
+  /// Structural-core lookup; a hit returns a seed basis for
+  /// SolveControl::importSeedBasis.
+  [[nodiscard]] std::optional<lp::Basis> lookupBasis(const Digest& structural);
+
+  /// True when `estimate` passed every verification gate and may be
+  /// cached: sound, not timed out, no absorbed issues, and no set
+  /// degraded below Exact.
+  [[nodiscard]] static bool admissible(const Estimate& estimate);
+
+  /// Inserts the result of a completed solve into both stores (the
+  /// basis only when non-empty).  Returns false without touching the
+  /// cache when `estimate` is not admissible().
+  bool insert(const Digest& full, const Digest& structural,
+              const Estimate& estimate, lp::Basis seedBasis,
+              std::int64_t solveWallMicros);
+
+  [[nodiscard]] SolveCacheStats stats() const;
+  [[nodiscard]] std::size_t boundEntries() const;
+  [[nodiscard]] std::size_t basisEntries() const;
+  void clear();
+
+  /// Writes a binary snapshot of both stores (oldest-first, so load()
+  /// restores recency order).  Returns false with a diagnostic in
+  /// `error` on I/O failure.  Counters are not persisted.
+  bool save(const std::string& path, std::string* error) const;
+
+  /// Replaces the cache contents from a snapshot written by save(),
+  /// re-applying this cache's own capacity bound.  On any malformation
+  /// (bad magic/version, truncation, corrupt basis bytes) returns false
+  /// with a diagnostic and leaves the cache unchanged.
+  bool load(const std::string& path, std::string* error);
+
+ private:
+  SolveCacheOptions options_;
+  mutable std::mutex mutex_;
+  support::LruMap<Digest, CachedBound> bounds_;
+  support::LruMap<Digest, lp::Basis> bases_;
+  SolveCacheStats stats_;
+};
+
+}  // namespace cinderella::ipet

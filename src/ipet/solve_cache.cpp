@@ -1,0 +1,286 @@
+#include "cinderella/ipet/solve_cache.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "cinderella/lp/basis_io.hpp"
+#include "cinderella/support/metrics_sink.hpp"
+
+namespace cinderella::ipet {
+
+namespace {
+
+constexpr char kMagic[5] = {'C', 'S', 'N', 'A', 'P'};
+constexpr std::uint32_t kVersion = 1;
+/// Snapshot entry counts beyond this are corruption, not workloads.
+constexpr std::uint32_t kSaneLimit = 1u << 24;
+
+void appendU32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>(static_cast<std::uint8_t>(v >> (8 * i))));
+  }
+}
+
+void appendU64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>(static_cast<std::uint8_t>(v >> (8 * i))));
+  }
+}
+
+struct Reader {
+  std::string_view bytes;
+  std::size_t offset = 0;
+  bool failed = false;
+
+  std::uint32_t u32() {
+    if (failed || bytes.size() - offset < 4) {
+      failed = true;
+      return 0;
+    }
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<std::uint8_t>(bytes[offset + i]))
+           << (8 * i);
+    }
+    offset += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    if (failed || bytes.size() - offset < 8) {
+      failed = true;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<std::uint8_t>(bytes[offset + i]))
+           << (8 * i);
+    }
+    offset += 8;
+    return v;
+  }
+
+  std::string_view raw(std::size_t len) {
+    if (failed || bytes.size() - offset < len) {
+      failed = true;
+      return {};
+    }
+    const std::string_view out = bytes.substr(offset, len);
+    offset += len;
+    return out;
+  }
+};
+
+void count(std::string_view counter) {
+  if (support::MetricsSink* sink = support::metricsSink()) {
+    sink->add(counter, 1);
+  }
+}
+
+}  // namespace
+
+SolveCache::SolveCache(SolveCacheOptions options)
+    : options_(options),
+      bounds_(options.capacity),
+      bases_(options.capacity) {}
+
+std::optional<CachedBound> SolveCache::lookupBound(const Digest& full) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (CachedBound* entry = bounds_.find(full)) {
+    ++stats_.boundHits;
+    count("solve_cache.bound_hits");
+    return *entry;
+  }
+  ++stats_.boundMisses;
+  count("solve_cache.bound_misses");
+  return std::nullopt;
+}
+
+std::optional<lp::Basis> SolveCache::lookupBasis(const Digest& structural) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (lp::Basis* entry = bases_.find(structural)) {
+    ++stats_.basisHits;
+    count("solve_cache.basis_hits");
+    return *entry;
+  }
+  ++stats_.basisMisses;
+  count("solve_cache.basis_misses");
+  return std::nullopt;
+}
+
+bool SolveCache::admissible(const Estimate& estimate) {
+  return estimate.sound() && !estimate.timedOut && estimate.issues.empty() &&
+         estimate.stats.relaxedSets == 0 && estimate.stats.structuralSets == 0;
+}
+
+bool SolveCache::insert(const Digest& full, const Digest& structural,
+                        const Estimate& estimate, lp::Basis seedBasis,
+                        std::int64_t solveWallMicros) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled()) return false;
+  if (!admissible(estimate)) {
+    ++stats_.rejectedInserts;
+    count("solve_cache.rejected_inserts");
+    return false;
+  }
+  CachedBound entry;
+  entry.bound = estimate.bound;
+  entry.constraintSets = estimate.stats.constraintSets;
+  entry.solveWallMicros = solveWallMicros;
+  std::int64_t evicted =
+      static_cast<std::int64_t>(bounds_.insert(full, entry));
+  if (!seedBasis.empty()) {
+    evicted += static_cast<std::int64_t>(
+        bases_.insert(structural, std::move(seedBasis)));
+  }
+  stats_.evictions += evicted;
+  ++stats_.insertions;
+  if (support::MetricsSink* sink = support::metricsSink()) {
+    sink->add("solve_cache.insertions", 1);
+    if (evicted > 0) sink->add("solve_cache.evictions", evicted);
+  }
+  return true;
+}
+
+SolveCacheStats SolveCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t SolveCache::boundEntries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bounds_.size();
+}
+
+std::size_t SolveCache::basisEntries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bases_.size();
+}
+
+void SolveCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bounds_.clear();
+  bases_.clear();
+}
+
+bool SolveCache::save(const std::string& path, std::string* error) const {
+  std::string blob;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    blob.append(kMagic, sizeof(kMagic));
+    appendU32(&blob, kVersion);
+    appendU32(&blob, static_cast<std::uint32_t>(bounds_.size()));
+    bounds_.forEachOldestFirst([&](const Digest& key,
+                                   const CachedBound& entry) {
+      appendU64(&blob, key.hi);
+      appendU64(&blob, key.lo);
+      appendU64(&blob, static_cast<std::uint64_t>(entry.bound.lo));
+      appendU64(&blob, static_cast<std::uint64_t>(entry.bound.hi));
+      appendU32(&blob, static_cast<std::uint32_t>(entry.constraintSets));
+      appendU64(&blob, static_cast<std::uint64_t>(entry.solveWallMicros));
+    });
+    appendU32(&blob, static_cast<std::uint32_t>(bases_.size()));
+    bases_.forEachOldestFirst([&](const Digest& key, const lp::Basis& basis) {
+      appendU64(&blob, key.hi);
+      appendU64(&blob, key.lo);
+      const std::string bytes = lp::serializeBasis(basis);
+      appendU32(&blob, static_cast<std::uint32_t>(bytes.size()));
+      blob += bytes;
+    });
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out || !(out << blob) || !out.flush()) {
+    if (error != nullptr) *error = "cannot write snapshot to '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+bool SolveCache::load(const std::string& path, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open snapshot '" + path + "'";
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string blob = buffer.str();
+
+  if (blob.size() < sizeof(kMagic) ||
+      std::string_view(blob.data(), sizeof(kMagic)) !=
+          std::string_view(kMagic, sizeof(kMagic))) {
+    if (error != nullptr) *error = "snapshot '" + path + "': bad magic";
+    return false;
+  }
+  Reader r{std::string_view(blob).substr(sizeof(kMagic))};
+  const std::uint32_t version = r.u32();
+  if (r.failed || version != kVersion) {
+    if (error != nullptr) {
+      *error = "snapshot '" + path + "': unsupported version";
+    }
+    return false;
+  }
+
+  // Parse everything into staging vectors first so a truncated file
+  // cannot leave the cache half-replaced.
+  std::vector<std::pair<Digest, CachedBound>> stagedBounds;
+  const std::uint32_t boundCount = r.u32();
+  if (r.failed || boundCount > kSaneLimit) {
+    if (error != nullptr) *error = "snapshot '" + path + "': corrupt";
+    return false;
+  }
+  stagedBounds.reserve(boundCount);
+  for (std::uint32_t i = 0; i < boundCount && !r.failed; ++i) {
+    Digest key{r.u64(), r.u64()};
+    CachedBound entry;
+    entry.bound.lo = static_cast<std::int64_t>(r.u64());
+    entry.bound.hi = static_cast<std::int64_t>(r.u64());
+    entry.constraintSets = static_cast<int>(r.u32());
+    entry.solveWallMicros = static_cast<std::int64_t>(r.u64());
+    stagedBounds.emplace_back(key, entry);
+  }
+
+  std::vector<std::pair<Digest, lp::Basis>> stagedBases;
+  const std::uint32_t basisCount = r.u32();
+  if (r.failed || basisCount > kSaneLimit) {
+    if (error != nullptr) *error = "snapshot '" + path + "': corrupt";
+    return false;
+  }
+  stagedBases.reserve(basisCount);
+  for (std::uint32_t i = 0; i < basisCount && !r.failed; ++i) {
+    Digest key{r.u64(), r.u64()};
+    const std::uint32_t len = r.u32();
+    if (r.failed || len > kSaneLimit) {
+      r.failed = true;
+      break;
+    }
+    const std::string_view bytes = r.raw(len);
+    if (r.failed) break;
+    std::optional<lp::Basis> basis = lp::parseBasis(bytes);
+    if (!basis) {
+      r.failed = true;
+      break;
+    }
+    stagedBases.emplace_back(key, std::move(*basis));
+  }
+  if (r.failed || r.offset != blob.size() - sizeof(kMagic)) {
+    if (error != nullptr) *error = "snapshot '" + path + "': corrupt";
+    return false;
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  bounds_.clear();
+  bases_.clear();
+  // Oldest-first replay restores the writer's recency order; this
+  // cache's own capacity gates how much survives.
+  for (auto& [key, entry] : stagedBounds) bounds_.insert(key, entry);
+  for (auto& [key, basis] : stagedBases) {
+    bases_.insert(key, std::move(basis));
+  }
+  return true;
+}
+
+}  // namespace cinderella::ipet

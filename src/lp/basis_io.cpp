@@ -1,0 +1,79 @@
+#include "cinderella/lp/basis_io.hpp"
+
+#include <cstdint>
+
+namespace cinderella::lp {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'B', 'A', 'S'};
+constexpr std::uint32_t kVersion = 1;
+/// Sanity cap on row counts and column ids: IPET systems are thousands
+/// of rows at the very largest, so anything near 2^30 is corruption.
+constexpr std::uint32_t kSaneLimit = 1u << 30;
+
+void appendU32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>(static_cast<std::uint8_t>(v >> (8 * i))));
+  }
+}
+
+bool readU32(std::string_view bytes, std::size_t* offset, std::uint32_t* v) {
+  if (bytes.size() - *offset < 4) return false;
+  std::uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<std::uint32_t>(
+               static_cast<std::uint8_t>(bytes[*offset + i]))
+           << (8 * i);
+  }
+  *offset += 4;
+  *v = out;
+  return true;
+}
+
+}  // namespace
+
+std::string serializeBasis(const Basis& basis) {
+  std::string out;
+  out.reserve(16 + 4 * basis.basicCol.size());
+  out.append(kMagic, sizeof(kMagic));
+  appendU32(&out, kVersion);
+  appendU32(&out, static_cast<std::uint32_t>(basis.numVars));
+  appendU32(&out, static_cast<std::uint32_t>(basis.basicCol.size()));
+  for (const int col : basis.basicCol) {
+    appendU32(&out, static_cast<std::uint32_t>(col));
+  }
+  return out;
+}
+
+std::optional<Basis> parseBasis(std::string_view bytes) {
+  if (bytes.size() < 16 ||
+      std::string_view(bytes.data(), 4) != std::string_view(kMagic, 4)) {
+    return std::nullopt;
+  }
+  std::size_t offset = 4;
+  std::uint32_t version = 0;
+  std::uint32_t numVars = 0;
+  std::uint32_t rows = 0;
+  if (!readU32(bytes, &offset, &version) || version != kVersion ||
+      !readU32(bytes, &offset, &numVars) || numVars >= kSaneLimit ||
+      !readU32(bytes, &offset, &rows) || rows >= kSaneLimit) {
+    return std::nullopt;
+  }
+  if (bytes.size() - offset != 4 * static_cast<std::size_t>(rows)) {
+    return std::nullopt;
+  }
+  Basis basis;
+  basis.numVars = static_cast<int>(numVars);
+  basis.basicCol.reserve(rows);
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    std::uint32_t col = 0;
+    if (!readU32(bytes, &offset, &col) || col >= kSaneLimit) {
+      return std::nullopt;
+    }
+    basis.basicCol.push_back(static_cast<int>(col));
+  }
+  return basis;
+}
+
+}  // namespace cinderella::lp

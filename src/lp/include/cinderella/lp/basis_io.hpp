@@ -1,0 +1,31 @@
+// Byte-stable serialization of lp::Basis for the persistent solve
+// cache's disk snapshots.
+//
+// A Basis is pure column bookkeeping over the *stable* column-id scheme
+// (variable v ↦ v, slack of row r ↦ numVars + 2r, artificial ↦
+// numVars + 2r + 1 — see simplex.hpp), so a serialized basis written on
+// one machine installs on any other as long as the constraint system it
+// came from is byte-identical — which is exactly what the cache's
+// content-addressed keys guarantee.  The encoding is explicit
+// little-endian: no host-endian struct dumps.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "cinderella/lp/simplex.hpp"
+
+namespace cinderella::lp {
+
+/// Compact binary encoding (magic "CBAS", version, numVars, row count,
+/// basic column per row; all integers little-endian).
+[[nodiscard]] std::string serializeBasis(const Basis& basis);
+
+/// Inverse of serializeBasis.  Returns nullopt on any malformation
+/// (bad magic, unknown version, truncation, trailing bytes, negative or
+/// absurd column ids) — a corrupt snapshot degrades to a cold solve,
+/// never to undefined behavior.
+[[nodiscard]] std::optional<Basis> parseBasis(std::string_view bytes);
+
+}  // namespace cinderella::lp

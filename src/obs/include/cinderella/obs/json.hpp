@@ -40,6 +40,10 @@ class JsonWriter {
   JsonWriter& value(bool flag);
   /// Finite doubles only; written with enough digits to round-trip.
   JsonWriter& value(double number);
+  /// Splices `json` — one complete, already-serialised JSON value — in
+  /// as the next element.  Lets a response envelope embed a document
+  /// built elsewhere (e.g. a solve report) without re-parsing it.
+  JsonWriter& rawValue(std::string_view json);
 
   [[nodiscard]] const std::string& str() const { return out_; }
 

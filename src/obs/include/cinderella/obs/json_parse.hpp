@@ -1,0 +1,65 @@
+// Minimal JSON parser, the reading half of json.hpp's writer/linter.
+//
+// The serve layer speaks newline-delimited JSON in both directions, so
+// unlike the linter (which only syntax-checks) the daemon, the replay
+// client and the tests need the parsed values back.  Same constraints as
+// the writer: no external dependency, RFC 8259 grammar, compact
+// documents (traces, reports, protocol frames) — not a streaming parser.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cinderella::obs {
+
+/// One parsed JSON value.  Object member order is preserved (the
+/// protocol tests compare against documents this repo's writer emits).
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolValue = false;
+  /// Numbers keep both views: `numberValue` always holds the double;
+  /// `intValue` is valid when `isInteger` (no fraction/exponent and
+  /// within int64 range), which is every number this repo emits for
+  /// counters, bounds and timings.
+  double numberValue = 0.0;
+  std::int64_t intValue = 0;
+  bool isInteger = false;
+  std::string stringValue;
+  std::vector<JsonValue> items;                            ///< Array.
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< Object.
+
+  [[nodiscard]] bool isNull() const { return kind == Kind::Null; }
+  [[nodiscard]] bool isBool() const { return kind == Kind::Bool; }
+  [[nodiscard]] bool isNumber() const { return kind == Kind::Number; }
+  [[nodiscard]] bool isString() const { return kind == Kind::String; }
+  [[nodiscard]] bool isArray() const { return kind == Kind::Array; }
+  [[nodiscard]] bool isObject() const { return kind == Kind::Object; }
+
+  /// Object member lookup (first match), or nullptr.  Null when this
+  /// value is not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  // Typed member accessors with defaults, for protocol fields: the
+  // member's value when present and of the right kind, else `fallback`.
+  [[nodiscard]] std::int64_t intOr(std::string_view key,
+                                   std::int64_t fallback) const;
+  [[nodiscard]] bool boolOr(std::string_view key, bool fallback) const;
+  [[nodiscard]] std::string stringOr(std::string_view key,
+                                     std::string_view fallback) const;
+};
+
+/// Parses one complete JSON document (leading/trailing whitespace
+/// allowed, nothing else may follow).  Returns nullopt with a short
+/// "offset N: reason" diagnostic in `error` (when non-null) on malformed
+/// input or nesting deeper than an internal sanity cap.
+[[nodiscard]] std::optional<JsonValue> jsonParse(std::string_view text,
+                                                 std::string* error = nullptr);
+
+}  // namespace cinderella::obs

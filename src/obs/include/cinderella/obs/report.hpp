@@ -26,6 +26,13 @@ struct ReportOptions {
   bool includeTimings = true;
 };
 
+/// Version stamped into every report's "schemaVersion" field (and
+/// echoed by cinderella-serve responses, which embed this exact report
+/// object).  Bump on any incompatible change to the document layout;
+/// see DESIGN.md ("Report schema") for the field-by-field contract.
+/// Version 1 was the unversioned pre-serve layout; 2 added the stamp.
+inline constexpr int kReportSchemaVersion = 2;
+
 // Composable pieces (used by the bench JSON emitters as well as the full
 // report): each writes one JSON value at the writer's current position.
 void boundToJson(JsonWriter* w, const ipet::Interval& bound);

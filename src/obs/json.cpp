@@ -110,6 +110,12 @@ JsonWriter& JsonWriter::value(bool flag) {
   return *this;
 }
 
+JsonWriter& JsonWriter::rawValue(std::string_view json) {
+  separate();
+  out_ += json;
+  return *this;
+}
+
 JsonWriter& JsonWriter::value(double number) {
   CIN_REQUIRE(std::isfinite(number));
   separate();

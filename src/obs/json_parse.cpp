@@ -1,0 +1,291 @@
+#include "cinderella/obs/json_parse.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace cinderella::obs {
+
+namespace {
+
+/// Deep enough for any document this repo emits; shallow enough that a
+/// hostile request cannot exhaust the daemon's stack.
+constexpr int kMaxDepth = 128;
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+  bool failed = false;
+
+  bool fail(const std::string& reason) {
+    if (!failed) {
+      failed = true;
+      error = "offset " + std::to_string(pos) + ": " + reason;
+    }
+    return false;
+  }
+
+  void skipWs() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  [[nodiscard]] bool atEnd() const { return pos >= text.size(); }
+
+  [[nodiscard]] char peek() const { return atEnd() ? '\0' : text[pos]; }
+
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++pos;
+    return true;
+  }
+
+  bool parseLiteral(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) {
+      return fail("invalid literal");
+    }
+    pos += word.size();
+    return true;
+  }
+
+  bool parseHex4(std::uint32_t* out) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (atEnd()) return fail("truncated \\u escape");
+      const char c = text[pos++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return fail("bad \\u escape digit");
+      }
+    }
+    *out = v;
+    return true;
+  }
+
+  void appendUtf8(std::string* out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool parseString(std::string* out) {
+    if (!consume('"')) return fail("expected string");
+    while (true) {
+      if (atEnd()) return fail("unterminated string");
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (atEnd()) return fail("truncated escape");
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          if (!parseHex4(&cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: require the paired \uDC00-\uDFFF.
+            if (!(consume('\\') && consume('u'))) {
+              return fail("unpaired surrogate");
+            }
+            std::uint32_t low = 0;
+            if (!parseHex4(&low)) return false;
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return fail("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("unpaired surrogate");
+          }
+          appendUtf8(out, cp);
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+  }
+
+  bool parseNumber(JsonValue* out) {
+    const std::size_t start = pos;
+    bool integral = true;
+    if (consume('-')) {
+    }
+    if (consume('0')) {
+      // A leading zero may not be followed by more digits.
+      if (peek() >= '0' && peek() <= '9') return fail("leading zero");
+    } else {
+      if (peek() < '1' || peek() > '9') return fail("invalid number");
+      while (peek() >= '0' && peek() <= '9') ++pos;
+    }
+    if (consume('.')) {
+      integral = false;
+      if (peek() < '0' || peek() > '9') return fail("digit expected after .");
+      while (peek() >= '0' && peek() <= '9') ++pos;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      integral = false;
+      ++pos;
+      if (peek() == '+' || peek() == '-') ++pos;
+      if (peek() < '0' || peek() > '9') {
+        return fail("digit expected in exponent");
+      }
+      while (peek() >= '0' && peek() <= '9') ++pos;
+    }
+    const std::string token(text.substr(start, pos - start));
+    out->kind = JsonValue::Kind::Number;
+    out->numberValue = std::strtod(token.c_str(), nullptr);
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        out->intValue = v;
+        out->isInteger = true;
+      }
+    }
+    return true;
+  }
+
+  bool parseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skipWs();
+    switch (peek()) {
+      case '{': {
+        ++pos;
+        out->kind = JsonValue::Kind::Object;
+        skipWs();
+        if (consume('}')) return true;
+        while (true) {
+          skipWs();
+          std::string key;
+          if (!parseString(&key)) return false;
+          skipWs();
+          if (!consume(':')) return fail("expected ':'");
+          JsonValue member;
+          if (!parseValue(&member, depth + 1)) return false;
+          out->members.emplace_back(std::move(key), std::move(member));
+          skipWs();
+          if (consume(',')) continue;
+          if (consume('}')) return true;
+          return fail("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        ++pos;
+        out->kind = JsonValue::Kind::Array;
+        skipWs();
+        if (consume(']')) return true;
+        while (true) {
+          JsonValue item;
+          if (!parseValue(&item, depth + 1)) return false;
+          out->items.push_back(std::move(item));
+          skipWs();
+          if (consume(',')) continue;
+          if (consume(']')) return true;
+          return fail("expected ',' or ']'");
+        }
+      }
+      case '"':
+        out->kind = JsonValue::Kind::String;
+        return parseString(&out->stringValue);
+      case 't':
+        out->kind = JsonValue::Kind::Bool;
+        out->boolValue = true;
+        return parseLiteral("true");
+      case 'f':
+        out->kind = JsonValue::Kind::Bool;
+        out->boolValue = false;
+        return parseLiteral("false");
+      case 'n':
+        out->kind = JsonValue::Kind::Null;
+        return parseLiteral("null");
+      default:
+        if (peek() == '-' || (peek() >= '0' && peek() <= '9')) {
+          return parseNumber(out);
+        }
+        return fail(atEnd() ? "unexpected end of input" : "unexpected byte");
+    }
+  }
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::Object) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+std::int64_t JsonValue::intOr(std::string_view key,
+                              std::int64_t fallback) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->isNumber() && v->isInteger) ? v->intValue
+                                                         : fallback;
+}
+
+bool JsonValue::boolOr(std::string_view key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->isBool()) ? v->boolValue : fallback;
+}
+
+std::string JsonValue::stringOr(std::string_view key,
+                                std::string_view fallback) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->isString()) ? v->stringValue
+                                         : std::string(fallback);
+}
+
+std::optional<JsonValue> jsonParse(std::string_view text, std::string* error) {
+  Parser parser{text};
+  JsonValue value;
+  if (!parser.parseValue(&value, 0)) {
+    if (error != nullptr) *error = parser.error;
+    return std::nullopt;
+  }
+  parser.skipWs();
+  if (!parser.atEnd()) {
+    parser.fail("trailing data after document");
+    if (error != nullptr) *error = parser.error;
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace cinderella::obs

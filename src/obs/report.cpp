@@ -147,6 +147,7 @@ std::string reportJson(std::string_view program,
                        const ReportOptions& options) {
   JsonWriter w;
   w.beginObject();
+  w.key("schemaVersion").value(kReportSchemaVersion);
   w.key("program").value(program);
   w.key("bound");
   boundToJson(&w, estimate.bound);

@@ -1,0 +1,118 @@
+#include "cinderella/serve/client.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace cinderella::serve {
+
+bool Client::connect(int port, std::string* error) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "socket: " + std::string(strerror(errno));
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    if (error != nullptr) {
+      *error = "connect 127.0.0.1:" + std::to_string(port) + ": " +
+               strerror(errno);
+    }
+    close();
+    return false;
+  }
+  return true;
+}
+
+std::optional<Response> Client::call(const RequestFrame& frame,
+                                     std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "not connected";
+    return std::nullopt;
+  }
+  const std::string payload = encodeRequest(frame) + "\n";
+  std::size_t sent = 0;
+  while (sent < payload.size()) {
+    const ssize_t n = ::send(fd_, payload.data() + sent,
+                             payload.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) *error = "send: " + std::string(strerror(errno));
+      return std::nullopt;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string line;
+  if (!readLine(&line, error)) return std::nullopt;
+  std::string decodeError;
+  std::optional<Response> response = decodeResponse(line, &decodeError);
+  if (!response && error != nullptr) *error = decodeError;
+  return response;
+}
+
+std::optional<Response> Client::analyze(const ipet::AnalysisRequest& request,
+                                        std::string* error) {
+  RequestFrame frame;
+  frame.id = nextId_++;
+  frame.op = Op::Analyze;
+  frame.request = request;
+  return call(frame, error);
+}
+
+std::optional<Response> Client::ping(std::string* error) {
+  RequestFrame frame;
+  frame.id = nextId_++;
+  frame.op = Op::Ping;
+  return call(frame, error);
+}
+
+std::optional<Response> Client::stats(std::string* error) {
+  RequestFrame frame;
+  frame.id = nextId_++;
+  frame.op = Op::Stats;
+  return call(frame, error);
+}
+
+std::optional<Response> Client::shutdown(std::string* error) {
+  RequestFrame frame;
+  frame.id = nextId_++;
+  frame.op = Op::Shutdown;
+  return call(frame, error);
+}
+
+bool Client::readLine(std::string* line, std::string* error) {
+  char chunk[4096];
+  while (true) {
+    const std::size_t eol = buffer_.find('\n');
+    if (eol != std::string::npos) {
+      *line = buffer_.substr(0, eol);
+      buffer_.erase(0, eol + 1);
+      return true;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      if (error != nullptr) *error = "connection closed by server";
+      return false;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+}  // namespace cinderella::serve

@@ -1,0 +1,53 @@
+// Blocking client for the cinderella-serve protocol: connect, send one
+// frame per call, read back the matching response line.  Used by the
+// replay tool, the serve benchmark, the fuzz oracle's cache-equivalence
+// check, and the protocol tests — anything that talks to a daemon
+// in-process or across processes.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "cinderella/serve/protocol.hpp"
+
+namespace cinderella::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to 127.0.0.1:`port`.  Returns false with a diagnostic on
+  /// failure; the client may be re-connected after close().
+  [[nodiscard]] bool connect(int port, std::string* error);
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  /// Sends `frame` and blocks for one response line.  Returns nullopt
+  /// with a diagnostic on a transport failure (including the peer
+  /// closing mid-request) — protocol-level errors come back as a
+  /// Response with ok == false instead.
+  [[nodiscard]] std::optional<Response> call(const RequestFrame& frame,
+                                             std::string* error);
+
+  /// Convenience wrappers around call().
+  [[nodiscard]] std::optional<Response> analyze(
+      const ipet::AnalysisRequest& request, std::string* error);
+  [[nodiscard]] std::optional<Response> ping(std::string* error);
+  [[nodiscard]] std::optional<Response> stats(std::string* error);
+  [[nodiscard]] std::optional<Response> shutdown(std::string* error);
+
+  void close();
+
+ private:
+  [[nodiscard]] bool readLine(std::string* line, std::string* error);
+
+  int fd_ = -1;
+  std::int64_t nextId_ = 1;
+  std::string buffer_;
+};
+
+}  // namespace cinderella::serve

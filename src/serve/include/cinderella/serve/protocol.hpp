@@ -1,0 +1,123 @@
+// The cinderella-serve wire protocol: newline-delimited JSON frames over
+// a stream socket, one request object per line in, one response object
+// per line out, in request order per connection.
+//
+// Request frame (all fields but "op" optional; defaults in brackets):
+//   {"op":"analyze",            // or "ping" | "stats" | "shutdown"
+//    "id":7,                    // echoed verbatim in the response [0]
+//    "source":"...",            // MiniC text — or LP format when "lp"
+//    "benchmark":"piksrt",      // built-in benchmark instead of source
+//    "lp":false,                // "source" is LP-format systems
+//    "root":"main",             // root function ["main"/benchmark root]
+//    "label":"...",             // report label [benchmark / "<source>"]
+//    "constraints":[{"text":"x5 <= 10","scope":""}, ...],
+//    "cache":"allmiss",         // analyzer cache mode (allmiss|firstiter|ccg)
+//    "cachePolicy":"readwrite", // solve-cache use (readwrite|readonly|bypass)
+//    "jobs":1,                  // solve worker threads [1]
+//    "deadlineMs":0,            // solve deadline [none]
+//    "maxNodes":0,              // branch-and-bound node cap [solver default]
+//    "warmStart":true}          // incremental solve engine [on]
+//
+// Analyze response frame:
+//   {"id":7,"ok":true,"protocolVersion":1,
+//    "cacheHit":false,          // bound served from the solve cache
+//    "basisWarmStarted":false,  // cached structural basis seeded the solve
+//    "degradedAdmission":false, // overload clamped the deadline
+//    "digest":"<32 hex>","structuralDigest":"<32 hex>",
+//    "wallMicros":N,"solveMicros":N,
+//    "report":{...}}            // the obs::reportJson document, embedded
+//                               // verbatim (schemaVersion inside it)
+//
+// Error response: {"id":7,"ok":false,"code":"analysis","error":"..."}.
+// Codes: "parse" (bad frame), "analysis" (Error from the analyzer),
+// "internal" (anything else).  The connection survives request errors;
+// only transport-level garbage (a line that is not JSON) also gets an
+// error frame, then the connection closes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "cinderella/ipet/analysis.hpp"
+#include "cinderella/ipet/solve_cache.hpp"
+#include "cinderella/obs/json_parse.hpp"
+
+namespace cinderella::serve {
+
+inline constexpr int kProtocolVersion = 1;
+
+enum class Op { Analyze, Ping, Stats, Shutdown };
+
+struct RequestFrame {
+  std::int64_t id = 0;
+  Op op = Op::Analyze;
+  ipet::AnalysisRequest request;
+};
+
+/// Server-level counters reported by the "stats" op (alongside the
+/// SolveCacheStats).
+struct ServeCounters {
+  std::int64_t connections = 0;
+  std::int64_t requests = 0;
+  std::int64_t errors = 0;
+  /// Requests admitted under overload with a clamped deadline.
+  std::int64_t overloadAdmissions = 0;
+  std::int64_t inflight = 0;
+};
+
+/// Client-side view of one response line.  `raw` keeps the full parsed
+/// frame (the report document is `raw.find("report")`, stats fields live
+/// under "cache"/"server"); the named fields are the common envelope.
+struct Response {
+  std::int64_t id = 0;
+  bool ok = false;
+  std::string errorCode;
+  std::string error;
+  bool cacheHit = false;
+  bool basisWarmStarted = false;
+  bool degradedAdmission = false;
+  std::int64_t wallMicros = 0;
+  std::int64_t solveMicros = 0;
+  std::string digest;
+  std::string structuralDigest;
+  /// From the embedded report: the bound and its soundness (analyze
+  /// responses only).
+  std::int64_t boundLo = 0;
+  std::int64_t boundHi = 0;
+  bool sound = false;
+  bool timedOut = false;
+  obs::JsonValue raw;
+};
+
+// --- Request frames (client encodes, server decodes). ---
+[[nodiscard]] std::string encodeRequest(const RequestFrame& frame);
+/// Parses one request line.  Returns false with a diagnostic for
+/// non-JSON input, an unknown op, or invalid field values; unknown keys
+/// are ignored (forward compatibility).
+[[nodiscard]] bool decodeRequest(std::string_view line, RequestFrame* out,
+                                 std::string* error);
+
+// --- Response frames (server encodes, client decodes). ---
+/// `report` must be a complete JSON object (obs::reportJson output); it
+/// is embedded verbatim.
+[[nodiscard]] std::string encodeAnalyzeResponse(
+    std::int64_t id, const ipet::AnalysisResult& result,
+    std::string_view report, bool degradedAdmission);
+[[nodiscard]] std::string encodeErrorResponse(std::int64_t id,
+                                              std::string_view code,
+                                              std::string_view message);
+[[nodiscard]] std::string encodePong(std::int64_t id);
+[[nodiscard]] std::string encodeStatsResponse(
+    std::int64_t id, const ipet::SolveCacheStats& cache,
+    std::size_t boundEntries, std::size_t basisEntries,
+    const ServeCounters& server);
+[[nodiscard]] std::string encodeShutdownAck(std::int64_t id);
+
+/// Parses one response line into the envelope + raw document.  Returns
+/// nullopt with a diagnostic when the line is not a JSON object.
+[[nodiscard]] std::optional<Response> decodeResponse(std::string_view line,
+                                                     std::string* error);
+
+}  // namespace cinderella::serve

@@ -1,0 +1,138 @@
+// cinderella-serve: the analyzer as a persistent daemon.
+//
+// One Server owns one AnalysisService (and therefore one persistent
+// content-addressed SolveCache) plus one work-stealing thread pool, and
+// listens on a loopback TCP socket speaking the newline-delimited JSON
+// protocol of protocol.hpp.  Each connection gets a reader thread that
+// decodes frames and answers them in order; the solves themselves are
+// multiplexed onto the shared pool, so N cheap connections do not need N
+// solver threads and one expensive request cannot starve the listener.
+//
+// Overload is admission-controlled through the degradation ladder
+// rather than queued: when more than `maxInflight` solves are already
+// running, an arriving request is still served, but with its deadline
+// clamped to `overloadDeadlineMs` — the PR-4 ladder then degrades
+// whatever cannot finish in time to a sound relaxation/structural
+// bound, and the response carries "degradedAdmission":true.  Cache hits
+// are unaffected (they skip the solve entirely), which is what makes a
+// warmed-up daemon robust to repeat-heavy request storms.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cinderella/ipet/analysis.hpp"
+#include "cinderella/serve/protocol.hpp"
+#include "cinderella/support/thread_pool.hpp"
+
+namespace cinderella::obs {
+class Tracer;
+}  // namespace cinderella::obs
+
+namespace cinderella::serve {
+
+struct ServerOptions {
+  /// TCP port on 127.0.0.1; 0 = pick an ephemeral port (see port()).
+  int port = 0;
+  /// Solver pool workers; 0 = one per hardware thread.
+  int poolThreads = 0;
+  /// Solves allowed to run concurrently before overload admission kicks
+  /// in; 0 = twice the pool size.
+  int maxInflight = 0;
+  /// Deadline clamp for requests admitted under overload.
+  std::int64_t overloadDeadlineMs = 50;
+  /// Solve-cache capacity (entries per store); 0 disables caching.
+  std::size_t cacheEntries = 1024;
+  /// When non-empty: restore the cache from this snapshot on start()
+  /// (best-effort; see snapshotLoadError()) and write it back on stop().
+  std::string snapshotPath;
+  /// Benchmark-name resolution for {"benchmark":...} requests.
+  ipet::ProgramResolver benchmarkResolver;
+  /// Optional tracer: one "request" span per frame served.
+  obs::Tracer* tracer = nullptr;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  /// Stops and joins everything (equivalent to stop()).
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds 127.0.0.1, starts the accept loop, loads the snapshot if
+  /// configured.  Returns false with a diagnostic when the socket
+  /// cannot be set up.
+  [[nodiscard]] bool start(std::string* error);
+
+  /// The bound port (after start()); useful with options.port == 0.
+  [[nodiscard]] int port() const { return port_; }
+
+  /// Blocks until stop() is called or a client sends {"op":"shutdown"}.
+  /// Returns without stopping — the caller decides to stop().
+  void wait();
+
+  /// True once a client requested shutdown (or stop() began).
+  [[nodiscard]] bool shutdownRequested() const;
+
+  /// Stops accepting, closes every connection, joins all threads, and
+  /// writes the cache snapshot if configured.  Idempotent.
+  void stop();
+
+  [[nodiscard]] ServeCounters counters() const;
+  [[nodiscard]] ipet::AnalysisService& service() { return service_; }
+
+  /// Diagnostic from a failed best-effort snapshot restore in start()
+  /// (empty when none was configured, the file was absent, or it
+  /// loaded); the server starts with a cold cache either way.
+  [[nodiscard]] const std::string& snapshotLoadError() const {
+    return snapshotLoadError_;
+  }
+
+ private:
+  void acceptLoop();
+  void handleConnection(int fd);
+  /// Decodes and serves one frame; returns the response line (without
+  /// the trailing newline).  Sets `*shutdownAfterReply` for a shutdown
+  /// frame — the connection loop wakes wait() only after the ack is
+  /// sent, so the client always sees it.
+  [[nodiscard]] std::string handleLine(const std::string& line,
+                                       bool* shutdownAfterReply);
+  [[nodiscard]] std::string handleAnalyze(const RequestFrame& frame);
+  void requestStop();
+
+  ServerOptions options_;
+  ipet::AnalysisService service_;
+  support::ThreadPool pool_;
+  int maxInflight_;
+
+  int listenFd_ = -1;
+  int port_ = 0;
+  std::thread acceptThread_;
+  std::string snapshotLoadError_;
+
+  mutable std::mutex mutex_;  ///< Guards connThreads_/connFds_.
+  std::vector<std::thread> connThreads_;
+  std::set<int> connFds_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shutdownRequested_{false};
+  bool stopped_ = false;  ///< stop() ran to completion (guarded by mutex_).
+  std::condition_variable waitCv_;
+
+  std::atomic<std::int64_t> connections_{0};
+  std::atomic<std::int64_t> requests_{0};
+  std::atomic<std::int64_t> errors_{0};
+  std::atomic<std::int64_t> overloadAdmissions_{0};
+  std::atomic<std::int64_t> inflight_{0};
+};
+
+}  // namespace cinderella::serve

@@ -1,0 +1,297 @@
+#include "cinderella/serve/protocol.hpp"
+
+#include "cinderella/obs/json.hpp"
+
+namespace cinderella::serve {
+
+namespace {
+
+const char* opStr(Op op) {
+  switch (op) {
+    case Op::Analyze:
+      return "analyze";
+    case Op::Ping:
+      return "ping";
+    case Op::Stats:
+      return "stats";
+    case Op::Shutdown:
+      return "shutdown";
+  }
+  return "?";
+}
+
+std::optional<Op> parseOp(std::string_view text) {
+  if (text == "analyze") return Op::Analyze;
+  if (text == "ping") return Op::Ping;
+  if (text == "stats") return Op::Stats;
+  if (text == "shutdown") return Op::Shutdown;
+  return std::nullopt;
+}
+
+void beginResponse(obs::JsonWriter* w, std::int64_t id, bool ok) {
+  w->beginObject()
+      .key("id")
+      .value(id)
+      .key("ok")
+      .value(ok)
+      .key("protocolVersion")
+      .value(kProtocolVersion);
+}
+
+}  // namespace
+
+std::string encodeRequest(const RequestFrame& frame) {
+  obs::JsonWriter w;
+  w.beginObject().key("op").value(opStr(frame.op)).key("id").value(frame.id);
+  if (frame.op == Op::Analyze) {
+    const ipet::AnalysisRequest& r = frame.request;
+    if (!r.label.empty()) w.key("label").value(r.label);
+    if (!r.benchmark.empty()) {
+      w.key("benchmark").value(r.benchmark);
+    } else {
+      w.key("source").value(r.source);
+    }
+    if (r.lpInput) w.key("lp").value(true);
+    if (!r.root.empty()) w.key("root").value(r.root);
+    if (!r.constraints.empty()) {
+      w.key("constraints").beginArray();
+      for (const ipet::RequestConstraint& c : r.constraints) {
+        w.beginObject().key("text").value(c.text);
+        if (!c.scope.empty()) w.key("scope").value(c.scope);
+        w.endObject();
+      }
+      w.endArray();
+    }
+    w.key("cache").value(ipet::cacheModeStr(r.cacheMode));
+    w.key("cachePolicy").value(ipet::cachePolicyStr(r.cachePolicy));
+    w.key("jobs").value(r.control.threads);
+    if (r.control.deadline.count() > 0) {
+      w.key("deadlineMs")
+          .value(static_cast<std::int64_t>(r.control.deadline.count()));
+    }
+    if (r.control.maxNodes > 0) w.key("maxNodes").value(r.control.maxNodes);
+    w.key("warmStart").value(r.control.warmStart);
+  }
+  w.endObject();
+  return w.str();
+}
+
+bool decodeRequest(std::string_view line, RequestFrame* out,
+                   std::string* error) {
+  std::string parseError;
+  std::optional<obs::JsonValue> doc = obs::jsonParse(line, &parseError);
+  if (!doc) {
+    if (error != nullptr) *error = "not a JSON frame (" + parseError + ")";
+    return false;
+  }
+  if (!doc->isObject()) {
+    if (error != nullptr) *error = "frame must be a JSON object";
+    return false;
+  }
+
+  const std::optional<Op> op = parseOp(doc->stringOr("op", "analyze"));
+  if (!op) {
+    if (error != nullptr) {
+      *error = "unknown op '" + doc->stringOr("op", "") + "'";
+    }
+    return false;
+  }
+  out->op = *op;
+  out->id = doc->intOr("id", 0);
+  if (out->op != Op::Analyze) return true;
+
+  ipet::AnalysisRequest& r = out->request;
+  r.label = doc->stringOr("label", "");
+  r.source = doc->stringOr("source", "");
+  r.benchmark = doc->stringOr("benchmark", "");
+  r.lpInput = doc->boolOr("lp", false);
+  r.root = doc->stringOr("root", "");
+  if (const obs::JsonValue* constraints = doc->find("constraints")) {
+    if (!constraints->isArray()) {
+      if (error != nullptr) *error = "\"constraints\" must be an array";
+      return false;
+    }
+    for (const obs::JsonValue& item : constraints->items) {
+      ipet::RequestConstraint c;
+      if (item.isString()) {
+        c.text = item.stringValue;
+      } else if (item.isObject()) {
+        c.text = item.stringOr("text", "");
+        c.scope = item.stringOr("scope", "");
+      }
+      if (c.text.empty()) {
+        if (error != nullptr) {
+          *error = "constraint entries need a non-empty \"text\"";
+        }
+        return false;
+      }
+      r.constraints.push_back(std::move(c));
+    }
+  }
+  const std::string cacheMode = doc->stringOr("cache", "allmiss");
+  if (const auto mode = ipet::parseCacheMode(cacheMode)) {
+    r.cacheMode = *mode;
+  } else {
+    if (error != nullptr) *error = "unknown cache mode '" + cacheMode + "'";
+    return false;
+  }
+  const std::string policy = doc->stringOr("cachePolicy", "readwrite");
+  if (const auto parsed = ipet::parseCachePolicy(policy)) {
+    r.cachePolicy = *parsed;
+  } else {
+    if (error != nullptr) *error = "unknown cache policy '" + policy + "'";
+    return false;
+  }
+  const std::int64_t jobs = doc->intOr("jobs", 1);
+  if (jobs < 0 || jobs > 1024) {
+    if (error != nullptr) *error = "\"jobs\" must be in [0, 1024]";
+    return false;
+  }
+  r.control.threads = static_cast<int>(jobs);
+  const std::int64_t deadlineMs = doc->intOr("deadlineMs", 0);
+  if (deadlineMs < 0 || deadlineMs > 86'400'000) {
+    if (error != nullptr) {
+      *error = "\"deadlineMs\" must be in [0, 86400000]";
+    }
+    return false;
+  }
+  r.control.deadline = std::chrono::milliseconds(deadlineMs);
+  const std::int64_t maxNodes = doc->intOr("maxNodes", 0);
+  if (maxNodes < 0 || maxNodes > (1ll << 31)) {
+    if (error != nullptr) *error = "\"maxNodes\" out of range";
+    return false;
+  }
+  r.control.maxNodes = static_cast<int>(maxNodes);
+  r.control.warmStart = doc->boolOr("warmStart", true);
+  return true;
+}
+
+std::string encodeAnalyzeResponse(std::int64_t id,
+                                  const ipet::AnalysisResult& result,
+                                  std::string_view report,
+                                  bool degradedAdmission) {
+  obs::JsonWriter w;
+  beginResponse(&w, id, true);
+  w.key("cacheHit")
+      .value(result.cacheHit)
+      .key("basisWarmStarted")
+      .value(result.basisWarmStarted)
+      .key("degradedAdmission")
+      .value(degradedAdmission)
+      .key("digest")
+      .value(result.fullDigest.hex())
+      .key("structuralDigest")
+      .value(result.structuralDigest.hex())
+      .key("wallMicros")
+      .value(result.wallMicros)
+      .key("solveMicros")
+      .value(result.solveMicros)
+      .key("report")
+      .rawValue(report)
+      .endObject();
+  return w.str();
+}
+
+std::string encodeErrorResponse(std::int64_t id, std::string_view code,
+                                std::string_view message) {
+  obs::JsonWriter w;
+  beginResponse(&w, id, false);
+  w.key("code").value(code).key("error").value(message).endObject();
+  return w.str();
+}
+
+std::string encodePong(std::int64_t id) {
+  obs::JsonWriter w;
+  beginResponse(&w, id, true);
+  w.key("pong").value(true).endObject();
+  return w.str();
+}
+
+std::string encodeStatsResponse(std::int64_t id,
+                                const ipet::SolveCacheStats& cache,
+                                std::size_t boundEntries,
+                                std::size_t basisEntries,
+                                const ServeCounters& server) {
+  obs::JsonWriter w;
+  beginResponse(&w, id, true);
+  w.key("cache")
+      .beginObject()
+      .key("boundHits")
+      .value(cache.boundHits)
+      .key("boundMisses")
+      .value(cache.boundMisses)
+      .key("basisHits")
+      .value(cache.basisHits)
+      .key("basisMisses")
+      .value(cache.basisMisses)
+      .key("insertions")
+      .value(cache.insertions)
+      .key("evictions")
+      .value(cache.evictions)
+      .key("rejectedInserts")
+      .value(cache.rejectedInserts)
+      .key("boundEntries")
+      .value(static_cast<std::int64_t>(boundEntries))
+      .key("basisEntries")
+      .value(static_cast<std::int64_t>(basisEntries))
+      .endObject();
+  w.key("server")
+      .beginObject()
+      .key("connections")
+      .value(server.connections)
+      .key("requests")
+      .value(server.requests)
+      .key("errors")
+      .value(server.errors)
+      .key("overloadAdmissions")
+      .value(server.overloadAdmissions)
+      .key("inflight")
+      .value(server.inflight)
+      .endObject();
+  w.endObject();
+  return w.str();
+}
+
+std::string encodeShutdownAck(std::int64_t id) {
+  obs::JsonWriter w;
+  beginResponse(&w, id, true);
+  w.key("shuttingDown").value(true).endObject();
+  return w.str();
+}
+
+std::optional<Response> decodeResponse(std::string_view line,
+                                       std::string* error) {
+  std::string parseError;
+  std::optional<obs::JsonValue> doc = obs::jsonParse(line, &parseError);
+  if (!doc || !doc->isObject()) {
+    if (error != nullptr) {
+      *error = !doc ? "not a JSON frame (" + parseError + ")"
+                    : "frame must be a JSON object";
+    }
+    return std::nullopt;
+  }
+  Response response;
+  response.id = doc->intOr("id", 0);
+  response.ok = doc->boolOr("ok", false);
+  response.errorCode = doc->stringOr("code", "");
+  response.error = doc->stringOr("error", "");
+  response.cacheHit = doc->boolOr("cacheHit", false);
+  response.basisWarmStarted = doc->boolOr("basisWarmStarted", false);
+  response.degradedAdmission = doc->boolOr("degradedAdmission", false);
+  response.wallMicros = doc->intOr("wallMicros", 0);
+  response.solveMicros = doc->intOr("solveMicros", 0);
+  response.digest = doc->stringOr("digest", "");
+  response.structuralDigest = doc->stringOr("structuralDigest", "");
+  if (const obs::JsonValue* report = doc->find("report")) {
+    response.sound = report->boolOr("sound", false);
+    response.timedOut = report->boolOr("timedOut", false);
+    if (const obs::JsonValue* bound = report->find("bound")) {
+      response.boundLo = bound->intOr("lo", 0);
+      response.boundHi = bound->intOr("hi", 0);
+    }
+  }
+  response.raw = std::move(*doc);
+  return response;
+}
+
+}  // namespace cinderella::serve

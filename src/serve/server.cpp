@@ -1,0 +1,309 @@
+#include "cinderella/serve/server.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <filesystem>
+
+#include "cinderella/obs/report.hpp"
+#include "cinderella/obs/trace.hpp"
+#include "cinderella/support/error.hpp"
+
+namespace cinderella::serve {
+
+namespace {
+
+/// Stop-flag poll tick for the blocking accept/read loops: short enough
+/// that shutdown feels immediate, long enough to cost nothing.
+constexpr int kPollMillis = 100;
+
+/// A frame longer than this is garbage, not a request (the largest
+/// legitimate payloads — benchmark sources, LP dumps — are well under
+/// a megabyte even JSON-escaped).
+constexpr std::size_t kMaxFrameBytes = 16u << 20;
+
+ipet::AnalysisServiceOptions serviceOptions(const ServerOptions& options) {
+  ipet::AnalysisServiceOptions service;
+  service.cache.capacity = options.cacheEntries;
+  service.benchmarkResolver = options.benchmarkResolver;
+  return service;
+}
+
+bool sendAll(int fd, std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      service_(serviceOptions(options_)),
+      pool_(options_.poolThreads),
+      maxInflight_(options_.maxInflight > 0 ? options_.maxInflight
+                                            : 2 * pool_.numThreads()) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* error) {
+  listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listenFd_ < 0) {
+    if (error != nullptr) *error = "socket: " + std::string(strerror(errno));
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::bind(listenFd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) < 0 ||
+      ::listen(listenFd_, 64) < 0) {
+    if (error != nullptr) {
+      *error = "bind/listen 127.0.0.1:" + std::to_string(options_.port) +
+               ": " + strerror(errno);
+    }
+    ::close(listenFd_);
+    listenFd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  if (!options_.snapshotPath.empty() &&
+      std::filesystem::exists(options_.snapshotPath)) {
+    // Best-effort: a corrupt or stale snapshot means a cold cache, never
+    // a failed start — the cache only ever changes performance.
+    std::string loadError;
+    if (!service_.cache().load(options_.snapshotPath, &loadError)) {
+      snapshotLoadError_ = loadError;
+    }
+  }
+
+  acceptThread_ = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+void Server::acceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listenFd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMillis);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    connFds_.insert(fd);
+    connThreads_.emplace_back([this, fd] { handleConnection(fd); });
+  }
+}
+
+void Server::handleConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open && !stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMillis);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // Peer closed (or error): connection done.
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (buffer.size() > kMaxFrameBytes) {
+      (void)sendAll(fd, encodeErrorResponse(0, "parse",
+                                            "frame exceeds 16 MiB") +
+                            "\n");
+      break;
+    }
+    std::size_t eol;
+    while (open && (eol = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, eol);
+      buffer.erase(0, eol + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      bool shutdownAfterReply = false;
+      const std::string response = handleLine(line, &shutdownAfterReply);
+      if (!sendAll(fd, response + "\n")) open = false;
+      if (shutdownAfterReply) {
+        // The ack is already in the socket buffer; only now wake wait()
+        // so the caller's stop() cannot tear the connection down first.
+        shutdownRequested_.store(true, std::memory_order_release);
+        waitCv_.notify_all();
+        open = false;
+      }
+    }
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(mutex_);
+  connFds_.erase(fd);
+}
+
+std::string Server::handleLine(const std::string& line,
+                               bool* shutdownAfterReply) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  RequestFrame frame;
+  std::string decodeError;
+  if (!decodeRequest(line, &frame, &decodeError)) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return encodeErrorResponse(frame.id, "parse", decodeError);
+  }
+  obs::Span span(options_.tracer, "request", "serve");
+  switch (frame.op) {
+    case Op::Ping:
+      span.arg("op", "ping");
+      return encodePong(frame.id);
+    case Op::Stats:
+      span.arg("op", "stats");
+      return encodeStatsResponse(frame.id, service_.cache().stats(),
+                                 service_.cache().boundEntries(),
+                                 service_.cache().basisEntries(), counters());
+    case Op::Shutdown:
+      span.arg("op", "shutdown");
+      *shutdownAfterReply = true;
+      return encodeShutdownAck(frame.id);
+    case Op::Analyze:
+      break;
+  }
+  span.arg("op", "analyze").arg("label", frame.request.label);
+  return handleAnalyze(frame);
+}
+
+std::string Server::handleAnalyze(const RequestFrame& frame) {
+  // Overload admission: count this solve in *before* submitting so
+  // simultaneous arrivals see each other.  Saturated requests still run,
+  // but with a clamped deadline — the degradation ladder then guarantees
+  // a sound (if loose) bound inside the clamp instead of queueing
+  // unbounded work behind the storm.
+  const std::int64_t inflight =
+      inflight_.fetch_add(1, std::memory_order_acq_rel);
+  RequestFrame admitted = frame;
+  const bool degradedAdmission = inflight >= maxInflight_;
+  if (degradedAdmission) {
+    overloadAdmissions_.fetch_add(1, std::memory_order_relaxed);
+    const auto clamp = std::chrono::milliseconds(options_.overloadDeadlineMs);
+    auto& deadline = admitted.request.control.deadline;
+    if (deadline.count() <= 0 || deadline > clamp) deadline = clamp;
+  }
+
+  struct Pending {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    std::string response;
+  };
+  auto pending = std::make_shared<Pending>();
+  pool_.submit([this, pending, admitted = std::move(admitted),
+                degradedAdmission] {
+    std::string response;
+    try {
+      const ipet::AnalysisResult result = service_.analyze(admitted.request);
+      obs::ReportOptions reportOptions;
+      const std::string report = obs::reportJson(
+          result.program, result.estimate, nullptr, reportOptions);
+      response = encodeAnalyzeResponse(admitted.id, result, report,
+                                       degradedAdmission);
+    } catch (const Error& e) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      response = encodeErrorResponse(admitted.id, "analysis", e.what());
+    } catch (const std::exception& e) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      response = encodeErrorResponse(admitted.id, "internal", e.what());
+    }
+    std::lock_guard<std::mutex> lock(pending->m);
+    pending->response = std::move(response);
+    pending->done = true;
+    pending->cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(pending->m);
+  pending->cv.wait(lock, [&] { return pending->done; });
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  return pending->response;
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  waitCv_.wait(lock, [this] {
+    return shutdownRequested_.load(std::memory_order_acquire) ||
+           stopping_.load(std::memory_order_acquire);
+  });
+}
+
+bool Server::shutdownRequested() const {
+  return shutdownRequested_.load(std::memory_order_acquire);
+}
+
+void Server::requestStop() {
+  stopping_.store(true, std::memory_order_release);
+  shutdownRequested_.store(true, std::memory_order_release);
+  waitCv_.notify_all();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const int fd : connFds_) ::shutdown(fd, SHUT_RDWR);
+  if (listenFd_ >= 0) ::shutdown(listenFd_, SHUT_RDWR);
+}
+
+void Server::stop() {
+  requestStop();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  if (acceptThread_.joinable()) acceptThread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    threads.swap(connThreads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  pool_.wait();
+  if (listenFd_ >= 0) {
+    ::close(listenFd_);
+    listenFd_ = -1;
+  }
+  if (!options_.snapshotPath.empty()) {
+    std::string saveError;
+    (void)service_.cache().save(options_.snapshotPath, &saveError);
+  }
+}
+
+ServeCounters Server::counters() const {
+  ServeCounters counters;
+  counters.connections = connections_.load(std::memory_order_relaxed);
+  counters.requests = requests_.load(std::memory_order_relaxed);
+  counters.errors = errors_.load(std::memory_order_relaxed);
+  counters.overloadAdmissions =
+      overloadAdmissions_.load(std::memory_order_relaxed);
+  counters.inflight = inflight_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+}  // namespace cinderella::serve

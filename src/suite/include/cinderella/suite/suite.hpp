@@ -15,6 +15,7 @@
 #include <string_view>
 #include <vector>
 
+#include "cinderella/ipet/analysis.hpp"
 #include "cinderella/sim/simulator.hpp"
 
 namespace cinderella::suite {
@@ -43,6 +44,12 @@ struct Benchmark {
 
 /// Lookup by name; throws AnalysisError when unknown.
 [[nodiscard]] const Benchmark& benchmarkByName(std::string_view name);
+
+/// ProgramResolver over the built-in benchmarks — the seam an
+/// ipet::AnalysisService (or a cinderella-serve daemon) installs so
+/// {"benchmark":"piksrt"} requests resolve without the analysis layer
+/// depending on this library.  Unknown names resolve to nullopt.
+[[nodiscard]] ipet::ProgramResolver benchmarkResolver();
 
 /// 1-based line number of the first source line containing `needle`;
 /// throws AnalysisError when absent.  Keeps generated constraints robust

@@ -76,4 +76,22 @@ const Benchmark& benchmarkByName(std::string_view name) {
   throw AnalysisError("unknown benchmark '" + std::string(name) + "'");
 }
 
+ipet::ProgramResolver benchmarkResolver() {
+  return [](const std::string& name)
+             -> std::optional<ipet::ResolvedProgram> {
+    for (const Benchmark& b : allBenchmarks()) {
+      if (b.name != name) continue;
+      ipet::ResolvedProgram program;
+      program.source = b.source;
+      program.root = b.rootFunction;
+      program.constraints.reserve(b.constraints.size());
+      for (const Constraint& c : b.constraints) {
+        program.constraints.push_back({c.text, c.scope});
+      }
+      return program;
+    }
+    return std::nullopt;
+  };
+}
+
 }  // namespace cinderella::suite

@@ -1,0 +1,77 @@
+// Bounded least-recently-used map, the eviction policy under the
+// persistent solve cache.
+//
+// Header-only and deliberately unsynchronized: the owner (e.g.
+// ipet::SolveCache) holds its own mutex around every call, and keeping
+// the lock outside lets one critical section cover a lookup plus the
+// stats update it implies.  Keys need operator< (ordered map index —
+// the cache keys are 128-bit digests, which order trivially).
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <map>
+#include <utility>
+
+namespace cinderella::support {
+
+template <typename Key, typename Value>
+class LruMap {
+ public:
+  /// `capacity` 0 means every insert is a no-op and find always misses.
+  explicit LruMap(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return index_.size(); }
+
+  /// Returns the value for `key` (marking it most-recently-used), or
+  /// nullptr.  The pointer is valid until the next mutating call.
+  Value* find(const Key& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    items_.splice(items_.begin(), items_, it->second);
+    return &it->second->second;
+  }
+
+  /// Inserts or overwrites `key` (marking it most-recently-used) and
+  /// evicts the least-recently-used entry when over capacity.  Returns
+  /// the number of entries evicted (0 or 1; 0 also when capacity is 0
+  /// and the insert was dropped).
+  std::size_t insert(const Key& key, Value value) {
+    if (capacity_ == 0) return 0;
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      items_.splice(items_.begin(), items_, it->second);
+      return 0;
+    }
+    items_.emplace_front(key, std::move(value));
+    index_.emplace(key, items_.begin());
+    if (index_.size() <= capacity_) return 0;
+    index_.erase(items_.back().first);
+    items_.pop_back();
+    return 1;
+  }
+
+  void clear() {
+    items_.clear();
+    index_.clear();
+  }
+
+  /// Visits every (key, value) pair from least- to most-recently-used,
+  /// so a snapshot replayed through insert() restores the recency order.
+  template <typename Fn>
+  void forEachOldestFirst(Fn&& fn) const {
+    for (auto it = items_.rbegin(); it != items_.rend(); ++it) {
+      fn(it->first, it->second);
+    }
+  }
+
+ private:
+  std::size_t capacity_;
+  /// Front = most recently used.
+  std::list<std::pair<Key, Value>> items_;
+  std::map<Key, typename std::list<std::pair<Key, Value>>::iterator> index_;
+};
+
+}  // namespace cinderella::support

@@ -1,0 +1,11 @@
+#include <iostream>
+
+#include "cinderella/tools/replay_tool.hpp"
+
+int main(int argc, char** argv) {
+  cinderella::tools::ReplayToolOptions options;
+  if (!cinderella::tools::parseReplayArgs(argc, argv, &options, std::cerr)) {
+    return 1;
+  }
+  return cinderella::tools::runReplayTool(options, std::cout, std::cerr);
+}

@@ -1,0 +1,11 @@
+#include <iostream>
+
+#include "cinderella/tools/serve_tool.hpp"
+
+int main(int argc, char** argv) {
+  cinderella::tools::ServeToolOptions options;
+  if (!cinderella::tools::parseServeArgs(argc, argv, &options, std::cerr)) {
+    return 1;
+  }
+  return cinderella::tools::runServeTool(options, std::cout, std::cerr);
+}

@@ -1,0 +1,53 @@
+// The `cinderella-replay` client: replays a workload — generated fuzz
+// programs, MiniC files from a directory, and/or the built-in benchmark
+// suite — against a running cinderella-serve daemon, several passes
+// over the same inputs, and verifies the serving contract:
+//
+//   * every response to the same input carries a bit-identical bound
+//     (cache hits must not change answers), and
+//   * from the second pass on, identical submissions hit the bound
+//     cache (the hit rate is printed and can gate CI via
+//     --min-hit-rate).
+//
+// Library entry points so tests can run it in-process.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace cinderella::tools {
+
+struct ReplayToolOptions {
+  /// Daemon port on 127.0.0.1 (required).
+  int port = 0;
+  /// Replay `generate` seeded fuzz programs (0 = none).
+  int generate = 0;
+  std::uint64_t seed = 1;
+  /// Replay every *.mc file in this directory (non-recursive).
+  std::string dir;
+  /// Replay the built-in Table-I benchmark suite.
+  bool benchmarks = false;
+  /// Passes over the whole input list (>= 1; cache hits are expected
+  /// from pass 2 on).
+  int repeat = 2;
+  /// Per-request solver threads.
+  int jobs = 1;
+  /// Per-request cache policy ("readwrite", "readonly", "bypass").
+  std::string cachePolicy = "readwrite";
+  /// Exit 1 unless bound-cache hits / lookups >= this (0 disables).
+  double minHitRate = 0.0;
+  /// Send {"op":"shutdown"} to the daemon after the replay.
+  bool shutdown = false;
+};
+
+bool parseReplayArgs(int argc, const char* const* argv,
+                     ReplayToolOptions* options, std::ostream& err);
+
+/// Runs the replay.  Exit codes: 0 success; 1 usage/transport error or
+/// gate failure; 2 bound mismatch between passes (a caching unsoundness
+/// — never expected).
+int runReplayTool(const ReplayToolOptions& options, std::ostream& out,
+                  std::ostream& err);
+
+}  // namespace cinderella::tools

@@ -1,0 +1,43 @@
+// The `cinderella-serve` daemon driver: parse flags, stand up a
+// serve::Server wired to the built-in benchmark suite, announce the
+// port, and block until a client asks for shutdown.
+//
+// Library functions (not just a main) so the smoke tests can drive the
+// daemon in-process without spawning it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace cinderella::tools {
+
+struct ServeToolOptions {
+  /// TCP port on 127.0.0.1; 0 = ephemeral (announced on stdout).
+  int port = 0;
+  /// Solver pool workers; 0 = one per hardware thread.
+  int poolThreads = 0;
+  /// Concurrent solves before overload admission; 0 = twice the pool.
+  int maxInflight = 0;
+  /// Deadline clamp (ms) for requests admitted under overload.
+  std::int64_t overloadDeadlineMs = 50;
+  /// Solve-cache entries per store; 0 disables caching.
+  std::size_t cacheEntries = 1024;
+  /// Cache snapshot file: restored on start, written on shutdown.
+  std::string snapshotPath;
+  /// Chrome trace-event JSON of every request span, written on shutdown.
+  std::string traceOut;
+};
+
+/// Parses argv.  Returns false (after printing usage to `err`) when the
+/// command line is invalid or --help was requested.
+bool parseServeArgs(int argc, const char* const* argv,
+                    ServeToolOptions* options, std::ostream& err);
+
+/// Runs the daemon until a {"op":"shutdown"} frame arrives.  Announces
+/// `cinderella-serve: listening on 127.0.0.1:<port>` on `out` once
+/// ready.  Returns the process exit code.
+int runServeTool(const ServeToolOptions& options, std::ostream& out,
+                 std::ostream& err);
+
+}  // namespace cinderella::tools

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "cinderella/ipet/analysis.hpp"
 #include "cinderella/ipet/analyzer.hpp"
 
 namespace cinderella::tools {
@@ -59,6 +60,15 @@ struct ToolOptions {
   /// Also run the program on the simulator and check enclosure
   /// (requires a benchmark, which carries its data sets).
   bool simulate = false;
+  /// Solve-cache entries (--cache-entries N); 0 disables the cache.
+  /// Without --cache-snapshot a one-shot run never revisits a system,
+  /// so the default keeps the cache off.
+  std::size_t cacheEntries = 0;
+  /// Solve-cache snapshot file (--cache-snapshot): restored before the
+  /// run when present, written back afterwards.  Implies a cache.
+  std::string cacheSnapshot;
+  /// Cache policy (--cache-policy readwrite|readonly|bypass).
+  ipet::CachePolicy cachePolicy = ipet::CachePolicy::ReadWrite;
   /// Write a Chrome trace-event JSON file of the whole run (--trace-out).
   std::string traceOut;
   /// Write a structured solve report as JSON (--report-json).

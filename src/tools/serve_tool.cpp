@@ -1,0 +1,193 @@
+#include "cinderella/tools/serve_tool.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <ostream>
+
+#include "cinderella/obs/trace.hpp"
+#include "cinderella/serve/server.hpp"
+#include "cinderella/suite/suite.hpp"
+#include "cinderella/support/error.hpp"
+
+namespace cinderella::tools {
+
+namespace {
+
+constexpr const char* kServeUsage = R"(usage: cinderella-serve [options]
+
+Runs the IPET analyzer as a persistent daemon on 127.0.0.1, speaking
+newline-delimited JSON (one request object per line, one response per
+line; see DESIGN.md "Serve protocol").  Repeat submissions of an
+identical constraint system are answered from a content-addressed solve
+cache without solving; near-identical ones warm-start from a cached
+basis.
+
+options:
+  --port <N>                listen port (default 0 = pick an ephemeral
+                            port; the chosen port is announced on stdout)
+  --jobs <N>                solver pool worker threads (default 0 = one
+                            per hardware thread)
+  --max-inflight <N>        solves allowed to run concurrently before
+                            overload admission clamps deadlines
+                            (default 0 = twice the pool size)
+  --overload-deadline-ms <N> deadline clamp for requests admitted under
+                            overload (default 50); they degrade to sound
+                            relaxation/structural bounds instead of
+                            queueing
+  --cache-entries <N>       solve-cache capacity per store (default 1024;
+                            0 disables caching)
+  --cache-snapshot <file>   restore the cache from this snapshot on start
+                            (if present) and write it back on shutdown
+  --trace-out <file>        write a Chrome trace-event JSON timeline of
+                            every request served, on shutdown
+  --help                    show this message
+
+Stop the daemon by sending {"op":"shutdown"} on any connection, e.g.:
+  printf '{"op":"shutdown"}\n' | nc 127.0.0.1 <port>
+)";
+
+bool parseSizeArg(const char* text, long long lo, long long hi,
+                  long long* out) {
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || v < lo || v > hi) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+bool parseServeArgs(int argc, const char* const* argv,
+                    ServeToolOptions* options, std::ostream& err) {
+  auto needValue = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      err << "cinderella-serve: " << flag << " needs an argument\n"
+          << kServeUsage;
+      return nullptr;
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    long long value = 0;
+    if (arg == "--help" || arg == "-h") {
+      err << kServeUsage;
+      return false;
+    } else if (arg == "--port") {
+      const char* v = needValue(i, "--port");
+      if (!v || !parseSizeArg(v, 0, 65535, &value)) {
+        err << "cinderella-serve: --port needs an integer in [0, 65535]\n";
+        return false;
+      }
+      options->port = static_cast<int>(value);
+    } else if (arg == "--jobs") {
+      const char* v = needValue(i, "--jobs");
+      if (!v || !parseSizeArg(v, 0, 1024, &value)) {
+        err << "cinderella-serve: --jobs needs an integer in [0, 1024]\n";
+        return false;
+      }
+      options->poolThreads = static_cast<int>(value);
+    } else if (arg == "--max-inflight") {
+      const char* v = needValue(i, "--max-inflight");
+      if (!v || !parseSizeArg(v, 0, 65536, &value)) {
+        err << "cinderella-serve: --max-inflight needs an integer in "
+               "[0, 65536]\n";
+        return false;
+      }
+      options->maxInflight = static_cast<int>(value);
+    } else if (arg == "--overload-deadline-ms") {
+      const char* v = needValue(i, "--overload-deadline-ms");
+      if (!v || !parseSizeArg(v, 1, 86'400'000, &value)) {
+        err << "cinderella-serve: --overload-deadline-ms needs an integer "
+               "in [1, 86400000]\n";
+        return false;
+      }
+      options->overloadDeadlineMs = value;
+    } else if (arg == "--cache-entries") {
+      const char* v = needValue(i, "--cache-entries");
+      if (!v || !parseSizeArg(v, 0, 1 << 24, &value)) {
+        err << "cinderella-serve: --cache-entries needs an integer in "
+               "[0, 16777216]\n";
+        return false;
+      }
+      options->cacheEntries = static_cast<std::size_t>(value);
+    } else if (arg == "--cache-snapshot") {
+      const char* v = needValue(i, "--cache-snapshot");
+      if (!v) return false;
+      options->snapshotPath = v;
+    } else if (arg == "--trace-out") {
+      const char* v = needValue(i, "--trace-out");
+      if (!v) return false;
+      options->traceOut = v;
+    } else {
+      err << "cinderella-serve: unknown option '" << arg << "'\n"
+          << kServeUsage;
+      return false;
+    }
+  }
+  return true;
+}
+
+int runServeTool(const ServeToolOptions& options, std::ostream& out,
+                 std::ostream& err) {
+  try {
+    std::unique_ptr<obs::Tracer> tracer;
+    if (!options.traceOut.empty()) tracer = std::make_unique<obs::Tracer>();
+
+    serve::ServerOptions serverOptions;
+    serverOptions.port = options.port;
+    serverOptions.poolThreads = options.poolThreads;
+    serverOptions.maxInflight = options.maxInflight;
+    serverOptions.overloadDeadlineMs = options.overloadDeadlineMs;
+    serverOptions.cacheEntries = options.cacheEntries;
+    serverOptions.snapshotPath = options.snapshotPath;
+    serverOptions.benchmarkResolver = suite::benchmarkResolver();
+    serverOptions.tracer = tracer.get();
+
+    serve::Server server(std::move(serverOptions));
+    std::string startError;
+    if (!server.start(&startError)) {
+      err << "cinderella-serve: " << startError << "\n";
+      return 1;
+    }
+    if (!server.snapshotLoadError().empty()) {
+      err << "cinderella-serve: snapshot ignored: "
+          << server.snapshotLoadError() << "\n";
+    }
+    out << "cinderella-serve: listening on 127.0.0.1:" << server.port()
+        << "\n";
+    out.flush();
+
+    server.wait();
+    server.stop();
+
+    const serve::ServeCounters counters = server.counters();
+    const ipet::SolveCacheStats cache = server.service().cache().stats();
+    const std::int64_t lookups = cache.boundHits + cache.boundMisses;
+    out << "cinderella-serve: served " << counters.requests << " request(s) on "
+        << counters.connections << " connection(s); cache " << cache.boundHits
+        << "/" << lookups << " bound hit(s), " << counters.overloadAdmissions
+        << " overload admission(s)\n";
+
+    if (tracer != nullptr) {
+      std::ofstream traceFile(options.traceOut);
+      if (!traceFile) {
+        err << "cinderella-serve: cannot write trace to '" << options.traceOut
+            << "'\n";
+        return 1;
+      }
+      tracer->writeChromeTrace(traceFile);
+    }
+    return 0;
+  } catch (const Error& e) {
+    err << "cinderella-serve: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    err << "cinderella-serve: internal error: " << e.what() << "\n";
+    return 4;
+  }
+}
+
+}  // namespace cinderella::tools

@@ -61,6 +61,15 @@ options:
                            pruning, and basis warm starts); the bound is
                            identical either way — this is for A/B
                            performance measurement
+  --cache-entries <N>      enable the content-addressed solve cache with
+                           N entries per store (default 0 = off; pair
+                           with --cache-snapshot to reuse it across runs)
+  --cache-snapshot <file>  restore the solve cache from this snapshot
+                           before analysing (if present) and write it
+                           back afterwards; repeat runs of an unchanged
+                           input then skip the solve entirely
+  --cache-policy <p>       readwrite (default), readonly (use but never
+                           update the snapshot) or bypass
   --report                 print per-block costs and extreme counts
   --lp-dump                print the worst-case ILPs in CPLEX LP format
   --dot                    print the CFGs in Graphviz dot format
@@ -184,6 +193,32 @@ bool parseArgs(int argc, const char* const* argv, ToolOptions* options,
       }
     } else if (arg == "--no-warm-start") {
       options->warmStart = false;
+    } else if (arg == "--cache-entries") {
+      const char* v = needValue(i, "--cache-entries");
+      if (!v) return false;
+      char* end = nullptr;
+      const long long entries = std::strtoll(v, &end, 10);
+      if (end == v || *end != '\0' || entries < 0 || entries > (1 << 24)) {
+        err << "cinderella: --cache-entries needs an integer in "
+               "[0, 16777216]\n";
+        return false;
+      }
+      options->cacheEntries = static_cast<std::size_t>(entries);
+    } else if (arg == "--cache-snapshot") {
+      const char* v = needValue(i, "--cache-snapshot");
+      if (!v) return false;
+      options->cacheSnapshot = v;
+      if (options->cacheEntries == 0) options->cacheEntries = 1024;
+    } else if (arg == "--cache-policy") {
+      const char* v = needValue(i, "--cache-policy");
+      if (!v) return false;
+      const auto policy = ipet::parseCachePolicy(v);
+      if (!policy) {
+        err << "cinderella: unknown --cache-policy '" << v
+            << "' (must be readwrite, readonly or bypass)\n";
+        return false;
+      }
+      options->cachePolicy = *policy;
     } else if (arg == "--report") {
       options->report = true;
     } else if (arg == "--lp-dump") {
@@ -291,14 +326,41 @@ int runTool(const ToolOptions& options, std::ostream& out,
       out << analyzer.exportWorstCaseIlp() << "\n";
     }
 
-    ipet::SolveControl control;
-    control.threads = options.jobs;
-    control.warmStart = options.warmStart;
-    control.tracer = tracer.get();
-    if (options.deadlineMs > 0) {
-      control.deadline = std::chrono::milliseconds(options.deadlineMs);
+    // The estimate itself goes through the same AnalysisService the
+    // daemon uses — the CLI is a thin adapter over the unified
+    // AnalysisRequest/AnalysisResult API, plus the local inspection
+    // commands (annotate/structural/dot/lp-dump) handled above.
+    ipet::AnalysisServiceOptions serviceOptions;
+    serviceOptions.cache.capacity = options.cacheEntries;
+    ipet::AnalysisService service(serviceOptions);
+    if (!options.cacheSnapshot.empty()) {
+      std::ifstream probe(options.cacheSnapshot);
+      std::string loadError;
+      if (probe && !service.cache().load(options.cacheSnapshot, &loadError)) {
+        err << "cinderella: cache snapshot ignored: " << loadError << "\n";
+      }
     }
-    const ipet::Estimate estimate = analyzer.estimate(control);
+
+    ipet::AnalysisRequest request;
+    request.label =
+        !options.benchmark.empty() ? options.benchmark : options.sourcePath;
+    request.cachePolicy = options.cachePolicy;
+    request.control.threads = options.jobs;
+    request.control.warmStart = options.warmStart;
+    request.control.tracer = tracer.get();
+    if (options.deadlineMs > 0) {
+      request.control.deadline = std::chrono::milliseconds(options.deadlineMs);
+    }
+    const ipet::AnalysisResult result = service.analyzeWith(analyzer, request);
+    const ipet::Estimate& estimate = result.estimate;
+
+    if (!options.cacheSnapshot.empty() &&
+        options.cachePolicy == ipet::CachePolicy::ReadWrite) {
+      std::string saveError;
+      if (!service.cache().save(options.cacheSnapshot, &saveError)) {
+        err << "cinderella: cache snapshot not written: " << saveError << "\n";
+      }
+    }
 
     if (tracer != nullptr) {
       std::ofstream traceFile(options.traceOut);
@@ -327,13 +389,21 @@ int runTool(const ToolOptions& options, std::ostream& out,
     out << "estimated bound: "
         << intervalStr(estimate.bound.lo, estimate.bound.hi)
         << " cycles\n";
-    out << "constraint sets: " << estimate.stats.constraintSets << " ("
-        << estimate.stats.prunedNullSets << " null, pruned); ILP solves: "
-        << estimate.stats.ilpSolves
-        << "; LP calls: " << estimate.stats.lpCalls
-        << "; first relaxation integral: "
-        << (estimate.stats.allFirstRelaxationsIntegral ? "yes" : "no")
-        << "\n";
+    if (result.cacheHit) {
+      // A hit restores only the verified bound and the set count; the
+      // per-solve statistics belong to the original (cold) run.
+      out << "solve cache: hit (" << estimate.stats.constraintSets
+          << " constraint set(s), solved in " << result.solveMicros
+          << " us originally)\n";
+    } else {
+      out << "constraint sets: " << estimate.stats.constraintSets << " ("
+          << estimate.stats.prunedNullSets << " null, pruned); ILP solves: "
+          << estimate.stats.ilpSolves
+          << "; LP calls: " << estimate.stats.lpCalls
+          << "; first relaxation integral: "
+          << (estimate.stats.allFirstRelaxationsIntegral ? "yes" : "no")
+          << "\n";
+    }
 
     const int degradedSets = estimate.stats.relaxedSets +
                              estimate.stats.structuralSets +

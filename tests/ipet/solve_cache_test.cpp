@@ -1,0 +1,216 @@
+// SolveCache semantics: hits return the inserted bound bit for bit,
+// LRU eviction under capacity pressure, capacity 0 as an off switch,
+// the verification-gated admission policy (degraded or fault-injected
+// estimates are never cached), and disk snapshot round-trips including
+// corruption handling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "cinderella/ipet/solve_cache.hpp"
+
+namespace cinderella::ipet {
+namespace {
+
+Digest key(std::uint64_t n) { return Digest{n, ~n}; }
+
+/// A clean, admissible estimate with a distinctive bound.
+Estimate cleanEstimate(std::int64_t lo, std::int64_t hi) {
+  Estimate e;
+  e.bound = {lo, hi};
+  e.stats.constraintSets = 3;
+  return e;
+}
+
+lp::Basis someBasis() {
+  lp::Basis basis;
+  basis.numVars = 4;
+  basis.basicCol = {0, 6, 3};
+  return basis;
+}
+
+class SolveCacheTest : public ::testing::Test {
+ protected:
+  std::string tmpPath_ = ::testing::TempDir() + "solve_cache_test.csnap";
+  void TearDown() override { std::remove(tmpPath_.c_str()); }
+};
+
+TEST_F(SolveCacheTest, HitReturnsBitIdenticalBound) {
+  SolveCache cache(SolveCacheOptions{4});
+  const Estimate e = cleanEstimate(449, 5884);
+  ASSERT_TRUE(cache.insert(key(1), key(100), e, someBasis(), 777));
+
+  const auto hit = cache.lookupBound(key(1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->bound.lo, 449);
+  EXPECT_EQ(hit->bound.hi, 5884);
+  EXPECT_EQ(hit->constraintSets, 3);
+  EXPECT_EQ(hit->solveWallMicros, 777);
+
+  const auto basis = cache.lookupBasis(key(100));
+  ASSERT_TRUE(basis.has_value());
+  EXPECT_EQ(basis->numVars, 4);
+  EXPECT_EQ(basis->basicCol, (std::vector<int>{0, 6, 3}));
+
+  const SolveCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.boundHits, 1);
+  EXPECT_EQ(stats.basisHits, 1);
+  EXPECT_EQ(stats.insertions, 1);
+}
+
+TEST_F(SolveCacheTest, MissesAreCountedAndEmpty) {
+  SolveCache cache(SolveCacheOptions{4});
+  EXPECT_FALSE(cache.lookupBound(key(9)).has_value());
+  EXPECT_FALSE(cache.lookupBasis(key(9)).has_value());
+  const SolveCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.boundMisses, 1);
+  EXPECT_EQ(stats.basisMisses, 1);
+}
+
+TEST_F(SolveCacheTest, LruEvictionUnderCapacityPressure) {
+  SolveCache cache(SolveCacheOptions{2});
+  ASSERT_TRUE(cache.insert(key(1), {}, cleanEstimate(1, 10), {}, 1));
+  ASSERT_TRUE(cache.insert(key(2), {}, cleanEstimate(2, 20), {}, 1));
+  // Touch 1 so 2 is the LRU victim.
+  ASSERT_TRUE(cache.lookupBound(key(1)).has_value());
+  ASSERT_TRUE(cache.insert(key(3), {}, cleanEstimate(3, 30), {}, 1));
+
+  EXPECT_FALSE(cache.lookupBound(key(2)).has_value());
+  EXPECT_TRUE(cache.lookupBound(key(1)).has_value());
+  EXPECT_TRUE(cache.lookupBound(key(3)).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_EQ(cache.boundEntries(), 2u);
+}
+
+TEST_F(SolveCacheTest, CapacityZeroDisablesEverything) {
+  SolveCache cache(SolveCacheOptions{0});
+  EXPECT_FALSE(cache.enabled());
+  EXPECT_FALSE(cache.insert(key(1), key(2), cleanEstimate(1, 10),
+                            someBasis(), 1));
+  EXPECT_FALSE(cache.lookupBound(key(1)).has_value());
+  EXPECT_EQ(cache.boundEntries(), 0u);
+  EXPECT_EQ(cache.basisEntries(), 0u);
+}
+
+TEST_F(SolveCacheTest, AdmissionGateRejectsDegradedResults) {
+  // Each of these is exactly one gate away from admissible.
+  Estimate timedOut = cleanEstimate(1, 10);
+  timedOut.timedOut = true;
+  EXPECT_FALSE(SolveCache::admissible(timedOut));
+
+  Estimate failed = cleanEstimate(1, 10);
+  failed.stats.failedSets = 1;  // sound() is false
+  EXPECT_FALSE(SolveCache::admissible(failed));
+
+  Estimate relaxed = cleanEstimate(1, 10);
+  relaxed.stats.relaxedSets = 1;
+  EXPECT_FALSE(SolveCache::admissible(relaxed));
+
+  Estimate structural = cleanEstimate(1, 10);
+  structural.stats.structuralSets = 1;
+  EXPECT_FALSE(SolveCache::admissible(structural));
+
+  Estimate faulted = cleanEstimate(1, 10);
+  faulted.issues.push_back({0, ErrorCode::InjectedFault, "probe", "injected"});
+  EXPECT_FALSE(SolveCache::admissible(faulted));
+
+  EXPECT_TRUE(SolveCache::admissible(cleanEstimate(1, 10)));
+
+  SolveCache cache(SolveCacheOptions{4});
+  EXPECT_FALSE(cache.insert(key(1), {}, timedOut, {}, 1));
+  EXPECT_FALSE(cache.lookupBound(key(1)).has_value());
+  EXPECT_EQ(cache.stats().rejectedInserts, 1);
+}
+
+TEST_F(SolveCacheTest, EmptyBasisIsNotStored) {
+  SolveCache cache(SolveCacheOptions{4});
+  ASSERT_TRUE(cache.insert(key(1), key(2), cleanEstimate(1, 10), {}, 1));
+  EXPECT_EQ(cache.basisEntries(), 0u);
+  EXPECT_EQ(cache.boundEntries(), 1u);
+}
+
+TEST_F(SolveCacheTest, SnapshotRoundTripPreservesEntriesAndRecency) {
+  SolveCache cache(SolveCacheOptions{2});
+  ASSERT_TRUE(cache.insert(key(1), key(100), cleanEstimate(1, 10),
+                           someBasis(), 11));
+  ASSERT_TRUE(cache.insert(key(2), key(200), cleanEstimate(2, 20),
+                           someBasis(), 22));
+  ASSERT_TRUE(cache.lookupBound(key(1)).has_value());  // 2 is now LRU
+
+  std::string error;
+  ASSERT_TRUE(cache.save(tmpPath_, &error)) << error;
+
+  SolveCache restored(SolveCacheOptions{2});
+  ASSERT_TRUE(restored.load(tmpPath_, &error)) << error;
+  const auto hit = restored.lookupBound(key(2));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->bound.hi, 20);
+  EXPECT_EQ(hit->solveWallMicros, 22);
+  ASSERT_TRUE(restored.lookupBasis(key(100)).has_value());
+
+  // Recency survived the round trip: key(2) was oldest at save time,
+  // but the lookup above refreshed it, so key(1) is evicted next.
+  ASSERT_TRUE(restored.insert(key(3), {}, cleanEstimate(3, 30), {}, 1));
+  EXPECT_FALSE(restored.lookupBound(key(1)).has_value());
+  EXPECT_TRUE(restored.lookupBound(key(3)).has_value());
+}
+
+TEST_F(SolveCacheTest, LoadRejectsCorruptionAndKeepsContents) {
+  SolveCache cache(SolveCacheOptions{4});
+  ASSERT_TRUE(cache.insert(key(1), {}, cleanEstimate(1, 10), {}, 1));
+  std::string error;
+  ASSERT_TRUE(cache.save(tmpPath_, &error)) << error;
+
+  // Truncate the snapshot mid-record.
+  std::string blob;
+  {
+    std::ifstream in(tmpPath_, std::ios::binary);
+    blob.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(blob.size(), 8u);
+  {
+    std::ofstream out(tmpPath_, std::ios::binary | std::ios::trunc);
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size() - 5));
+  }
+
+  SolveCache victim(SolveCacheOptions{4});
+  ASSERT_TRUE(victim.insert(key(7), {}, cleanEstimate(7, 70), {}, 1));
+  EXPECT_FALSE(victim.load(tmpPath_, &error));
+  EXPECT_FALSE(error.empty());
+  // The failed load left the existing contents untouched.
+  EXPECT_TRUE(victim.lookupBound(key(7)).has_value());
+
+  // Bad magic is rejected the same way.
+  {
+    std::ofstream out(tmpPath_, std::ios::binary | std::ios::trunc);
+    out << "NOTASNAPSHOT";
+  }
+  EXPECT_FALSE(victim.load(tmpPath_, &error));
+  EXPECT_TRUE(victim.lookupBound(key(7)).has_value());
+}
+
+TEST_F(SolveCacheTest, LoadReappliesOwnCapacity) {
+  SolveCache big(SolveCacheOptions{8});
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(big.insert(key(i), {},
+                           cleanEstimate(static_cast<std::int64_t>(i),
+                                         static_cast<std::int64_t>(10 * i)),
+                           {}, 1));
+  }
+  std::string error;
+  ASSERT_TRUE(big.save(tmpPath_, &error)) << error;
+
+  SolveCache small(SolveCacheOptions{2});
+  ASSERT_TRUE(small.load(tmpPath_, &error)) << error;
+  EXPECT_EQ(small.boundEntries(), 2u);
+  // The two most recent entries survive.
+  EXPECT_TRUE(small.lookupBound(key(4)).has_value());
+  EXPECT_TRUE(small.lookupBound(key(5)).has_value());
+  EXPECT_FALSE(small.lookupBound(key(1)).has_value());
+}
+
+}  // namespace
+}  // namespace cinderella::ipet

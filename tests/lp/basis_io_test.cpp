@@ -1,0 +1,74 @@
+// lp::Basis binary serialization (CBAS): exact round-trips, and every
+// malformation class degrades to nullopt — a corrupt cache snapshot
+// must cost a cold solve, never undefined behavior.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cinderella/lp/basis_io.hpp"
+
+namespace cinderella::lp {
+namespace {
+
+Basis sample() {
+  Basis basis;
+  basis.numVars = 5;
+  basis.basicCol = {0, 7, 2, 9};
+  return basis;
+}
+
+TEST(BasisIo, RoundTripIsExact) {
+  const Basis original = sample();
+  const std::string bytes = serializeBasis(original);
+  const auto back = parseBasis(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->numVars, original.numVars);
+  EXPECT_EQ(back->basicCol, original.basicCol);
+}
+
+TEST(BasisIo, EmptyBasisRoundTrips) {
+  const std::string bytes = serializeBasis(Basis{});
+  const auto back = parseBasis(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+  EXPECT_EQ(back->numVars, 0);
+}
+
+TEST(BasisIo, SerializationIsByteStable) {
+  // Two serializations of equal bases are byte-identical — required for
+  // the content-addressed snapshot format.
+  EXPECT_EQ(serializeBasis(sample()), serializeBasis(sample()));
+}
+
+TEST(BasisIo, RejectsBadMagicVersionTruncationAndTrailer) {
+  const std::string good = serializeBasis(sample());
+
+  std::string badMagic = good;
+  badMagic[0] = 'X';
+  EXPECT_FALSE(parseBasis(badMagic).has_value());
+
+  std::string badVersion = good;
+  badVersion[4] = static_cast<char>(0xEE);
+  EXPECT_FALSE(parseBasis(badVersion).has_value());
+
+  for (std::size_t keep = 0; keep < good.size(); ++keep) {
+    EXPECT_FALSE(parseBasis(good.substr(0, keep)).has_value())
+        << "truncation at " << keep << " accepted";
+  }
+
+  EXPECT_FALSE(parseBasis(good + "x").has_value());
+  EXPECT_FALSE(parseBasis("").has_value());
+}
+
+TEST(BasisIo, RejectsAbsurdCounts) {
+  // A row count far beyond the sane limit must be refused without
+  // attempting the allocation.
+  std::string bytes = serializeBasis(sample());
+  // Layout: magic(4) version(4) numVars(4) rowCount(4) rows...  Patch
+  // the row count to 0xFFFFFFFF.
+  for (int i = 0; i < 4; ++i) bytes[12 + i] = static_cast<char>(0xFF);
+  EXPECT_FALSE(parseBasis(bytes).has_value());
+}
+
+}  // namespace
+}  // namespace cinderella::lp

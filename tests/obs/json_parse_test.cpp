@@ -1,0 +1,125 @@
+// The recursive-descent JSON parser behind the serve protocol: value
+// coverage, escapes, integer detection, error rejection (the daemon
+// feeds it raw network bytes), and the writer/parser round trip.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cinderella/obs/json.hpp"
+#include "cinderella/obs/json_parse.hpp"
+
+namespace cinderella::obs {
+namespace {
+
+TEST(JsonParse, ParsesScalars) {
+  EXPECT_TRUE(jsonParse("null")->isNull());
+  EXPECT_EQ(jsonParse("true")->boolValue, true);
+  EXPECT_EQ(jsonParse("false")->boolValue, false);
+  const auto num = jsonParse("-42");
+  ASSERT_TRUE(num.has_value());
+  EXPECT_TRUE(num->isInteger);
+  EXPECT_EQ(num->intValue, -42);
+  const auto real = jsonParse("2.5e1");
+  ASSERT_TRUE(real.has_value());
+  EXPECT_FALSE(real->isInteger);
+  EXPECT_DOUBLE_EQ(real->numberValue, 25.0);
+  EXPECT_EQ(jsonParse("\"hi\"")->stringValue, "hi");
+}
+
+TEST(JsonParse, ParsesNestedStructures) {
+  const auto v = jsonParse(
+      R"({"op":"analyze","id":7,"constraints":[{"text":"x0 = 1"},"x1 = 0"],)"
+      R"("nested":{"deep":[1,2,3]}})");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->isObject());
+  EXPECT_EQ(v->stringOr("op", ""), "analyze");
+  EXPECT_EQ(v->intOr("id", 0), 7);
+  const JsonValue* constraints = v->find("constraints");
+  ASSERT_NE(constraints, nullptr);
+  ASSERT_TRUE(constraints->isArray());
+  ASSERT_EQ(constraints->items.size(), 2u);
+  EXPECT_EQ(constraints->items[0].stringOr("text", ""), "x0 = 1");
+  EXPECT_EQ(constraints->items[1].stringValue, "x1 = 0");
+  const JsonValue* deep = v->find("nested")->find("deep");
+  ASSERT_NE(deep, nullptr);
+  EXPECT_EQ(deep->items.size(), 3u);
+  EXPECT_EQ(v->find("missing"), nullptr);
+}
+
+TEST(JsonParse, DecodesEscapesAndUnicode) {
+  EXPECT_EQ(jsonParse(R"("a\"b\\c\nd\te")")->stringValue, "a\"b\\c\nd\te");
+  EXPECT_EQ(jsonParse(R"("A")")->stringValue, "A");
+  EXPECT_EQ(jsonParse(R"("é")")->stringValue, "\xc3\xa9");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(jsonParse(R"("😀")")->stringValue,
+            "\xf0\x9f\x98\x80");
+  // Lone surrogate is malformed.
+  std::string error;
+  EXPECT_FALSE(jsonParse(R"("\ud83d")", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "tru", "01", "1.2.3",
+        "\"unterminated", "{\"a\":1} trailing", "[1 2]", "nan", "+1"}) {
+    EXPECT_FALSE(jsonParse(bad).has_value()) << "accepted: " << bad;
+  }
+}
+
+TEST(JsonParse, RejectsRunawayNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(jsonParse(deep).has_value());
+}
+
+TEST(JsonParse, AccessorsProvideDefaults) {
+  const auto v = jsonParse(R"({"n":3,"b":true,"s":"x"})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->intOr("n", -1), 3);
+  EXPECT_EQ(v->intOr("missing", -1), -1);
+  EXPECT_EQ(v->boolOr("b", false), true);
+  EXPECT_EQ(v->boolOr("missing", true), true);
+  EXPECT_EQ(v->stringOr("s", "d"), "x");
+  EXPECT_EQ(v->stringOr("n", "d"), "d");  // wrong kind -> default
+}
+
+TEST(JsonParse, RoundTripsJsonWriterOutput) {
+  JsonWriter w;
+  w.beginObject()
+      .key("text")
+      .value("quote \" backslash \\ newline \n")
+      .key("num")
+      .value(static_cast<std::int64_t>(-123456789))
+      .key("real")
+      .value(0.25)
+      .key("flag")
+      .value(true)
+      .endObject();
+  const auto v = jsonParse(w.str());
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->stringOr("text", ""), "quote \" backslash \\ newline \n");
+  EXPECT_EQ(v->intOr("num", 0), -123456789);
+  EXPECT_DOUBLE_EQ(v->find("real")->numberValue, 0.25);
+  EXPECT_EQ(v->boolOr("flag", false), true);
+}
+
+TEST(JsonParse, RawValueSplicesPreSerializedJson) {
+  JsonWriter inner;
+  inner.beginObject().key("bound").value(42).endObject();
+  JsonWriter outer;
+  outer.beginObject()
+      .key("ok")
+      .value(true)
+      .key("report")
+      .rawValue(inner.str())
+      .endObject();
+  const auto v = jsonParse(outer.str());
+  ASSERT_TRUE(v.has_value());
+  const JsonValue* report = v->find("report");
+  ASSERT_NE(report, nullptr);
+  EXPECT_EQ(report->intOr("bound", 0), 42);
+}
+
+}  // namespace
+}  // namespace cinderella::obs

@@ -1,0 +1,187 @@
+// The NDJSON wire protocol in isolation: request encode/decode round
+// trips, field validation, error frames, and the embedded report
+// document (including its schemaVersion).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cinderella/obs/json_parse.hpp"
+#include "cinderella/obs/report.hpp"
+#include "cinderella/serve/protocol.hpp"
+
+namespace cinderella::serve {
+namespace {
+
+TEST(ServeProtocol, RequestRoundTripPreservesEveryField) {
+  RequestFrame frame;
+  frame.id = 42;
+  frame.op = Op::Analyze;
+  frame.request.label = "my-label";
+  frame.request.source = "void f() { }";
+  frame.request.root = "f";
+  frame.request.constraints.push_back({"x0 = 1", "f"});
+  frame.request.constraints.push_back({"x1 <= 2", ""});
+  frame.request.cacheMode = ipet::CacheMode::FirstIterationSplit;
+  frame.request.cachePolicy = ipet::CachePolicy::ReadOnly;
+  frame.request.control.threads = 4;
+  frame.request.control.deadline = std::chrono::milliseconds(250);
+  frame.request.control.maxNodes = 99;
+  frame.request.control.warmStart = false;
+
+  const std::string line = encodeRequest(frame);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+
+  RequestFrame back;
+  std::string error;
+  ASSERT_TRUE(decodeRequest(line, &back, &error)) << error;
+  EXPECT_EQ(back.id, 42);
+  EXPECT_EQ(back.op, Op::Analyze);
+  EXPECT_EQ(back.request.label, "my-label");
+  EXPECT_EQ(back.request.source, frame.request.source);
+  EXPECT_EQ(back.request.root, "f");
+  ASSERT_EQ(back.request.constraints.size(), 2u);
+  EXPECT_EQ(back.request.constraints[0].text, "x0 = 1");
+  EXPECT_EQ(back.request.constraints[0].scope, "f");
+  EXPECT_EQ(back.request.cacheMode, ipet::CacheMode::FirstIterationSplit);
+  EXPECT_EQ(back.request.cachePolicy, ipet::CachePolicy::ReadOnly);
+  EXPECT_EQ(back.request.control.threads, 4);
+  EXPECT_EQ(back.request.control.deadline.count(), 250);
+  EXPECT_EQ(back.request.control.maxNodes, 99);
+  EXPECT_FALSE(back.request.control.warmStart);
+}
+
+TEST(ServeProtocol, BenchmarkRequestAndDefaults) {
+  RequestFrame frame;
+  frame.request.benchmark = "piksrt";
+  RequestFrame back;
+  std::string error;
+  ASSERT_TRUE(decodeRequest(encodeRequest(frame), &back, &error)) << error;
+  EXPECT_EQ(back.request.benchmark, "piksrt");
+  EXPECT_TRUE(back.request.source.empty());
+  EXPECT_EQ(back.request.cacheMode, ipet::CacheMode::AllMiss);
+  EXPECT_EQ(back.request.cachePolicy, ipet::CachePolicy::ReadWrite);
+  EXPECT_TRUE(back.request.control.warmStart);
+}
+
+TEST(ServeProtocol, ConstraintsAcceptBareStrings) {
+  RequestFrame back;
+  std::string error;
+  ASSERT_TRUE(decodeRequest(
+      R"({"op":"analyze","source":"void f(){}","constraints":["x0 = 1"]})",
+      &back, &error))
+      << error;
+  ASSERT_EQ(back.request.constraints.size(), 1u);
+  EXPECT_EQ(back.request.constraints[0].text, "x0 = 1");
+  EXPECT_TRUE(back.request.constraints[0].scope.empty());
+}
+
+TEST(ServeProtocol, OpsParseAndDefaultToAnalyze) {
+  RequestFrame back;
+  std::string error;
+  ASSERT_TRUE(decodeRequest(R"({"op":"ping","id":3})", &back, &error));
+  EXPECT_EQ(back.op, Op::Ping);
+  ASSERT_TRUE(decodeRequest(R"({"op":"stats"})", &back, &error));
+  EXPECT_EQ(back.op, Op::Stats);
+  ASSERT_TRUE(decodeRequest(R"({"op":"shutdown"})", &back, &error));
+  EXPECT_EQ(back.op, Op::Shutdown);
+  ASSERT_TRUE(decodeRequest(R"({"source":"void f(){}"})", &back, &error));
+  EXPECT_EQ(back.op, Op::Analyze);
+}
+
+TEST(ServeProtocol, DecodeRejectsInvalidFrames) {
+  RequestFrame back;
+  std::string error;
+  for (const char* bad : {
+           "not json",
+           "[1,2,3]",                                  // not an object
+           R"({"op":"fly"})",                          // unknown op
+           R"({"op":"analyze","cache":"writeback"})",  // bad cache mode
+           R"({"op":"analyze","cachePolicy":"maybe"})",
+           R"({"op":"analyze","jobs":-1})",
+           R"({"op":"analyze","jobs":9999})",
+           R"({"op":"analyze","deadlineMs":-5})",
+           R"({"op":"analyze","constraints":[{"scope":"f"}]})",  // no text
+       }) {
+    error.clear();
+    EXPECT_FALSE(decodeRequest(bad, &back, &error)) << "accepted: " << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(ServeProtocol, AnalyzeResponseEmbedsReportWithSchemaVersion) {
+  ipet::AnalysisResult result;
+  result.program = "unit";
+  result.estimate.bound = {7, 1234};
+  result.fullDigest = {1, 2};
+  result.structuralDigest = {3, 4};
+  result.cacheHit = true;
+  result.solveMicros = 55;
+  const std::string report =
+      obs::reportJson("unit", result.estimate, nullptr);
+  const std::string line =
+      encodeAnalyzeResponse(9, result, report, /*degradedAdmission=*/true);
+
+  std::string error;
+  const auto response = decodeResponse(line, &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  EXPECT_EQ(response->id, 9);
+  EXPECT_TRUE(response->ok);
+  EXPECT_TRUE(response->cacheHit);
+  EXPECT_TRUE(response->degradedAdmission);
+  EXPECT_EQ(response->boundLo, 7);
+  EXPECT_EQ(response->boundHi, 1234);
+  EXPECT_EQ(response->solveMicros, 55);
+  EXPECT_EQ(response->digest, result.fullDigest.hex());
+
+  // The embedded report is the obs::reportJson document verbatim, and
+  // it carries the pinned schema version as its first field.
+  const obs::JsonValue* embedded = response->raw.find("report");
+  ASSERT_NE(embedded, nullptr);
+  EXPECT_EQ(embedded->intOr("schemaVersion", -1), obs::kReportSchemaVersion);
+  EXPECT_EQ(embedded->stringOr("program", ""), "unit");
+  EXPECT_EQ(response->raw.intOr("protocolVersion", -1), kProtocolVersion);
+}
+
+TEST(ServeProtocol, ErrorPongStatsAndAckFrames) {
+  std::string error;
+  const auto err = decodeResponse(
+      encodeErrorResponse(4, "analysis", "unknown benchmark 'x'"), &error);
+  ASSERT_TRUE(err.has_value()) << error;
+  EXPECT_FALSE(err->ok);
+  EXPECT_EQ(err->id, 4);
+  EXPECT_EQ(err->errorCode, "analysis");
+  EXPECT_EQ(err->error, "unknown benchmark 'x'");
+
+  const auto pong = decodeResponse(encodePong(5), &error);
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_TRUE(pong->ok);
+  EXPECT_EQ(pong->id, 5);
+
+  ipet::SolveCacheStats cacheStats;
+  cacheStats.boundHits = 10;
+  cacheStats.boundMisses = 4;
+  ServeCounters counters;
+  counters.requests = 14;
+  counters.overloadAdmissions = 1;
+  const auto stats =
+      decodeResponse(encodeStatsResponse(6, cacheStats, 3, 2, counters),
+                     &error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_TRUE(stats->ok);
+  const obs::JsonValue* cache = stats->raw.find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->intOr("boundHits", 0), 10);
+  EXPECT_EQ(cache->intOr("boundMisses", 0), 4);
+  EXPECT_EQ(cache->intOr("boundEntries", 0), 3);
+  const obs::JsonValue* server = stats->raw.find("server");
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(server->intOr("requests", 0), 14);
+  EXPECT_EQ(server->intOr("overloadAdmissions", 0), 1);
+
+  const auto ack = decodeResponse(encodeShutdownAck(7), &error);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_TRUE(ack->ok);
+}
+
+}  // namespace
+}  // namespace cinderella::serve
