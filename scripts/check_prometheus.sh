@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Structural check of a Prometheus text-exposition file (format 0.0.4),
+# mirroring obs::prometheusLint so CI can validate a scrape without
+# building the test binaries: every sample line must parse as
+# `name{labels} value`, every sample's base name must be announced by a
+# preceding `# TYPE`, histogram bucket series must be cumulative with
+# increasing le edges and end with le="+Inf", and _count must agree
+# with the +Inf bucket.
+#
+# usage: scripts/check_prometheus.sh <exposition-file>
+set -euo pipefail
+
+if [[ $# -ne 1 || ! -f "$1" ]]; then
+  echo "usage: $0 <prometheus-text-file>" >&2
+  exit 2
+fi
+
+awk '
+function fail(why) { printf "check_prometheus: line %d: %s\n", NR, why; bad = 1 }
+
+/^$/ { next }
+
+/^#/ {
+  if ($2 == "TYPE") {
+    if (NF < 4) { fail("# TYPE needs a name and a type"); next }
+    if ($4 !~ /^(counter|gauge|histogram|summary|untyped)$/) {
+      fail("unknown metric type " $4); next
+    }
+    typed[$3] = $4
+  }
+  next
+}
+
+{
+  line = $0
+  # name{labels} value  |  name value
+  if (match(line, /^[a-zA-Z_:][a-zA-Z0-9_:]*/) == 0) {
+    fail("sample must start with a metric name"); next
+  }
+  name = substr(line, 1, RLENGTH)
+  rest = substr(line, RLENGTH + 1)
+  le = ""
+  if (substr(rest, 1, 1) == "{") {
+    close_idx = index(rest, "}")
+    if (close_idx == 0) { fail("unterminated label set"); next }
+    labels = substr(rest, 2, close_idx - 2)
+    rest = substr(rest, close_idx + 1)
+    if (match(labels, /le="[^"]*"/) != 0) {
+      le = substr(labels, RSTART + 4, RLENGTH - 5)
+    }
+  }
+  sub(/^ +/, "", rest)
+  value = rest
+  sub(/ .*$/, "", value)
+  if (value !~ /^([+-]?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]?Inf|NaN)$/) {
+    fail("unparseable sample value " value); next
+  }
+
+  # Resolve the announced base name: exact, or a histogram series.
+  base = name
+  is_bucket = 0; is_count = 0
+  if (!(base in typed)) {
+    if (name ~ /_bucket$/) { cand = substr(name, 1, length(name) - 7);
+      if (typed[cand] == "histogram") { base = cand; is_bucket = 1 } }
+    else if (name ~ /_sum$/) { cand = substr(name, 1, length(name) - 4);
+      if (typed[cand] == "histogram") base = cand }
+    else if (name ~ /_count$/) { cand = substr(name, 1, length(name) - 6);
+      if (typed[cand] == "histogram") { base = cand; is_count = 1 } }
+  }
+  if (!(base in typed)) { fail("sample " name " has no preceding # TYPE"); next }
+
+  if (typed[base] == "histogram") {
+    if (is_bucket) {
+      if (le == "") { fail("histogram bucket without an le label"); next }
+      if (le == "+Inf") { saw_inf[base] = 1; inf_value[base] = value + 0 }
+      else {
+        if ((base in last_le) && le + 0 <= last_le[base]) {
+          fail("histogram " base " le values are not increasing")
+        }
+        last_le[base] = le + 0
+      }
+      if ((base in last_bucket) && value + 0 < last_bucket[base]) {
+        fail("histogram " base " buckets are not cumulative")
+      }
+      last_bucket[base] = value + 0
+    } else if (is_count) {
+      count_value[base] = value + 0
+      has_count[base] = 1
+    }
+  }
+}
+
+END {
+  for (base in typed) {
+    if (typed[base] != "histogram") continue
+    if (!(base in saw_inf)) {
+      printf "check_prometheus: histogram %s has no le=\"+Inf\" bucket\n", base
+      bad = 1
+    } else if ((base in has_count) && count_value[base] != inf_value[base]) {
+      printf "check_prometheus: histogram %s _count disagrees with le=\"+Inf\"\n", base
+      bad = 1
+    }
+  }
+  exit bad ? 1 : 0
+}
+' "$1"

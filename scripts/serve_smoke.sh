@@ -1,17 +1,25 @@
 #!/usr/bin/env bash
-# Serve smoke test: start the analyzer daemon on an ephemeral port,
-# replay a mixed workload (fuzz-generated programs plus the Table-I
-# suite) against it twice, and require that the second pass is answered
-# from the content-addressed solve cache with bit-identical bounds.
+# Serve smoke test: start the analyzer daemon on an ephemeral port with
+# full telemetry enabled (structured NDJSON log, slow-request tracing,
+# flight recorder), replay a mixed workload (fuzz-generated programs
+# plus the Table-I suite) against it twice, and require that:
+#   - the second pass is answered from the content-addressed solve
+#     cache with bit-identical bounds;
+#   - every line of the daemon's request log parses as JSON;
+#   - the Prometheus exposition scraped via the `metrics` op passes
+#     scripts/check_prometheus.sh and carries the serve counters;
+#   - the flight-recorder dump is valid JSON and saw the workload.
 # Finishes with the shutdown handshake and checks the daemon exits
 # cleanly.  Used locally and by the `serve-smoke` CI job so the
-# workload and gates live in exactly one place.
+# workload and gates live in exactly one place; telemetry outputs land
+# in serve-smoke-out/ (uploaded as a CI artifact on failure).
 #
 # usage: scripts/serve_smoke.sh [path-to-cinderella-serve] [path-to-cinderella-replay]
 set -euo pipefail
 
 SERVE="${1:-./build/src/tools/cinderella-serve}"
 REPLAY="${2:-./build/src/tools/cinderella-replay}"
+CHECK_PROM="$(dirname "$0")/check_prometheus.sh"
 
 for bin in "$SERVE" "$REPLAY"; do
   if [[ ! -x "$bin" ]]; then
@@ -21,12 +29,22 @@ for bin in "$SERVE" "$REPLAY"; do
   fi
 done
 
-LOG="$(mktemp)"
+OUT_DIR="serve-smoke-out"
+mkdir -p "$OUT_DIR"
+LOG="$OUT_DIR/daemon.out"
+REQUEST_LOG="$OUT_DIR/requests.ndjson"
+METRICS="$OUT_DIR/metrics.prom"
+FLIGHT="$OUT_DIR/flightrecorder.json"
+LATENCY="$OUT_DIR/latency.json"
 SNAPSHOT="$(mktemp -u).csnap"
-trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -f "$LOG" "$SNAPSHOT"' EXIT
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -f "$SNAPSHOT"' EXIT
 
 # Ephemeral port: the daemon announces the one it picked on stdout.
-"$SERVE" --port 0 --jobs 2 --cache-snapshot "$SNAPSHOT" > "$LOG" &
+# --slow-ms 1 arms slow-request tracing for most cold solves, so the
+# log exercises the embedded span-tree records too.
+"$SERVE" --port 0 --jobs 2 --cache-snapshot "$SNAPSHOT" \
+  --log-out "$REQUEST_LOG" --log-level info --slow-ms 1 \
+  --flight-out "$FLIGHT" > "$LOG" &
 SERVE_PID=$!
 
 PORT=""
@@ -44,9 +62,12 @@ echo "serve_smoke: daemon up on port $PORT"
 
 # Two passes over ~25 inputs (= ~50 requests).  The replay tool exits 2
 # if any repeated input returns a different bound, and 1 if the second
-# pass's cache hit rate leaves the overall rate below the gate.
+# pass's cache hit rate leaves the overall rate below the gate.  The
+# same invocation scrapes the metrics op into $METRICS and reports
+# client-observed latency percentiles per pass.
 "$REPLAY" --port "$PORT" --generate 12 --seed 20260807 --benchmarks \
-  --repeat 2 --min-hit-rate 0.45 --shutdown
+  --repeat 2 --min-hit-rate 0.45 --latency-json --metrics-out "$METRICS" \
+  --shutdown | tee "$LATENCY"
 
 # The shutdown handshake must let the daemon exit cleanly (status 0).
 if ! wait "$SERVE_PID"; then
@@ -54,11 +75,75 @@ if ! wait "$SERVE_PID"; then
   cat "$LOG" >&2
   exit 1
 fi
-trap 'rm -f "$LOG" "$SNAPSHOT"' EXIT
+trap 'rm -f "$SNAPSHOT"' EXIT
 
 if [[ ! -s "$SNAPSHOT" ]]; then
   echo "serve_smoke: daemon did not write its cache snapshot" >&2
   exit 1
 fi
+
+# --- Telemetry gates -------------------------------------------------
+
+# Every request-log line is one valid JSON object.
+if [[ ! -s "$REQUEST_LOG" ]]; then
+  echo "serve_smoke: daemon wrote no request log" >&2
+  exit 1
+fi
+python3 - "$REQUEST_LOG" <<'PY'
+import json, sys
+path = sys.argv[1]
+events = {}
+with open(path) as f:
+    for n, line in enumerate(f, 1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as e:
+            sys.exit(f"serve_smoke: {path}:{n}: invalid JSON: {e}")
+        for key in ("ts", "level", "event"):
+            if key not in record:
+                sys.exit(f"serve_smoke: {path}:{n}: missing '{key}'")
+        events[record["event"]] = events.get(record["event"], 0) + 1
+if events.get("request", 0) < 50:
+    sys.exit(f"serve_smoke: expected >=50 request records, got {events}")
+if events.get("slow-request", 0) < 1:
+    sys.exit(f"serve_smoke: no slow-request record despite --slow-ms 1: {events}")
+print(f"serve_smoke: request log ok ({events})")
+PY
+
+# The Prometheus scrape is structurally valid and saw the workload.
+if [[ ! -s "$METRICS" ]]; then
+  echo "serve_smoke: replay did not scrape the metrics op" >&2
+  exit 1
+fi
+"$CHECK_PROM" "$METRICS"
+for series in cinderella_serve_requests_total \
+              cinderella_serve_request_micros_bucket \
+              cinderella_serve_stage_solve_micros_count \
+              cinderella_cache_bound_entries; do
+  if ! grep -q "^$series" "$METRICS"; then
+    echo "serve_smoke: metrics scrape is missing $series" >&2
+    exit 1
+  fi
+done
+echo "serve_smoke: metrics scrape ok ($(grep -c '^cinderella_' "$METRICS") samples)"
+
+# The shutdown-time flight-recorder dump is valid JSON covering the run.
+if [[ ! -s "$FLIGHT" ]]; then
+  echo "serve_smoke: daemon did not write its flight-recorder dump" >&2
+  exit 1
+fi
+python3 - "$FLIGHT" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    dump = json.load(f)
+if dump.get("recorded", 0) < 50:
+    sys.exit(f"serve_smoke: flight recorder saw {dump.get('recorded')} requests, expected >=50")
+if not dump.get("records"):
+    sys.exit("serve_smoke: flight-recorder dump has no records")
+ops = {r.get("op") for r in dump["records"]}
+if "analyze" not in ops:
+    sys.exit(f"serve_smoke: no analyze records in the flight recorder: {ops}")
+print(f"serve_smoke: flight recorder ok ({dump['recorded']} recorded, {len(dump['records'])} retained)")
+PY
 
 echo "serve_smoke: ok (cache snapshot $(wc -c < "$SNAPSHOT") bytes)"

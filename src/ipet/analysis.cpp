@@ -7,6 +7,7 @@
 #include "cinderella/codegen/codegen.hpp"
 #include "cinderella/ilp/branch_and_bound.hpp"
 #include "cinderella/lp/lp_format.hpp"
+#include "cinderella/obs/request_telemetry.hpp"
 #include "cinderella/support/error.hpp"
 
 namespace cinderella::ipet {
@@ -84,7 +85,8 @@ std::optional<CachePolicy> parseCachePolicy(std::string_view text) {
 AnalysisService::AnalysisService(AnalysisServiceOptions options)
     : options_(std::move(options)), cache_(options_.cache) {}
 
-AnalysisResult AnalysisService::analyze(const AnalysisRequest& request) const {
+AnalysisResult AnalysisService::analyze(
+    const AnalysisRequest& request, obs::RequestTelemetry* telemetry) const {
   if (!request.benchmark.empty() && !request.source.empty()) {
     throw AnalysisError("request has both a source and a benchmark");
   }
@@ -99,7 +101,7 @@ AnalysisResult AnalysisService::analyze(const AnalysisRequest& request) const {
       throw AnalysisError(
           "functionality constraints apply to MiniC input, not lp input");
     }
-    return analyzeLp(request);
+    return analyzeLp(request, telemetry);
   }
 
   std::string source = request.source;
@@ -110,8 +112,10 @@ AnalysisResult AnalysisService::analyze(const AnalysisRequest& request) const {
       throw AnalysisError("benchmark input is not available here (no "
                           "benchmark resolver installed)");
     }
+    auto resolveTimer = obs::timeStage(telemetry, obs::RequestStage::Resolve);
     std::optional<ResolvedProgram> resolved =
         options_.benchmarkResolver(request.benchmark);
+    resolveTimer.stop();
     if (!resolved) {
       throw AnalysisError("unknown benchmark '" + request.benchmark + "'");
     }
@@ -123,30 +127,42 @@ AnalysisResult AnalysisService::analyze(const AnalysisRequest& request) const {
   constraints.insert(constraints.end(), request.constraints.begin(),
                      request.constraints.end());
 
+  auto frontendTimer = obs::timeStage(telemetry, obs::RequestStage::Frontend);
   const codegen::CompileResult compiled = codegen::compileSource(source);
+  frontendTimer.stop();
+
+  auto cfgTimer = obs::timeStage(telemetry, obs::RequestStage::Cfg);
   AnalyzerOptions aopt;
   aopt.cacheMode = request.cacheMode;
   Analyzer analyzer(compiled, root, aopt);
   for (const RequestConstraint& c : constraints) {
     analyzer.addConstraint(c.text, c.scope);
   }
-  return analyzeWith(analyzer, request);
+  cfgTimer.stop();
+  return analyzeWith(analyzer, request, telemetry);
 }
 
 AnalysisResult AnalysisService::analyzeWith(
-    const Analyzer& analyzer, const AnalysisRequest& request) const {
+    const Analyzer& analyzer, const AnalysisRequest& request,
+    obs::RequestTelemetry* telemetry) const {
   const Clock::time_point start = Clock::now();
   AnalysisResult result;
   result.program = defaultLabel(request);
 
+  auto digestTimer = obs::timeStage(telemetry, obs::RequestStage::Digest);
   const Analyzer::SystemDigests digests = analyzer.systemDigests();
+  digestTimer.stop();
   result.fullDigest = digests.full;
   result.structuralDigest = digests.structural;
 
   const bool useCache =
       cache_.enabled() && request.cachePolicy != CachePolicy::Bypass;
   if (useCache) {
-    if (std::optional<CachedBound> hit = cache_.lookupBound(digests.full)) {
+    auto lookupTimer =
+        obs::timeStage(telemetry, obs::RequestStage::CacheLookup);
+    std::optional<CachedBound> hit = cache_.lookupBound(digests.full);
+    lookupTimer.stop();
+    if (hit) {
       // An identical ILP system was solved and verified before: the
       // cached interval IS the answer (equal full digests => equal
       // systems => equal bounds), so no solve runs.
@@ -160,8 +176,13 @@ AnalysisResult AnalysisService::analyzeWith(
   }
 
   SolveControl control = request.control;
+  if (control.tracer == nullptr && telemetry != nullptr) {
+    control.tracer = telemetry->tracer();
+  }
   lp::Basis imported;
   if (useCache && control.warmStart) {
+    auto lookupTimer =
+        obs::timeStage(telemetry, obs::RequestStage::CacheLookup);
     if (std::optional<lp::Basis> seed =
             cache_.lookupBasis(digests.structural)) {
       imported = std::move(*seed);
@@ -173,10 +194,14 @@ AnalysisResult AnalysisService::analyzeWith(
   control.exportSeedBasis = &exported;
 
   const Clock::time_point solveStart = Clock::now();
-  result.estimate = analyzer.estimate(control);
+  {
+    auto solveTimer = obs::timeStage(telemetry, obs::RequestStage::Solve);
+    result.estimate = analyzer.estimate(control);
+  }
   result.solveMicros = microsSince(solveStart);
 
   if (useCache && request.cachePolicy == CachePolicy::ReadWrite) {
+    auto storeTimer = obs::timeStage(telemetry, obs::RequestStage::CacheStore);
     cache_.insert(digests.full, digests.structural, result.estimate,
                   std::move(exported), result.solveMicros);
   }
@@ -185,19 +210,23 @@ AnalysisResult AnalysisService::analyzeWith(
 }
 
 AnalysisResult AnalysisService::analyzeLp(
-    const AnalysisRequest& request) const {
+    const AnalysisRequest& request, obs::RequestTelemetry* telemetry) const {
   const Clock::time_point start = Clock::now();
   AnalysisResult result;
   result.program = defaultLabel(request);
 
+  auto frontendTimer = obs::timeStage(telemetry, obs::RequestStage::Frontend);
   const std::vector<lp::Problem> problems =
       lp::parseLpFormatAll(request.source);
+  frontendTimer.stop();
 
+  auto digestTimer = obs::timeStage(telemetry, obs::RequestStage::Digest);
   DigestBuilder builder;
   builder.tag('L');
   builder.u32(static_cast<std::uint32_t>(problems.size()));
   for (const lp::Problem& problem : problems) digestProblem(&builder, problem);
   result.fullDigest = builder.finish();
+  digestTimer.stop();
   // A stand-alone LP system has no structural core shared with other
   // requests, so the structural key collapses onto the full key and the
   // basis store is never consulted for lp input.
@@ -206,8 +235,11 @@ AnalysisResult AnalysisService::analyzeLp(
   const bool useCache =
       cache_.enabled() && request.cachePolicy != CachePolicy::Bypass;
   if (useCache) {
-    if (std::optional<CachedBound> hit =
-            cache_.lookupBound(result.fullDigest)) {
+    auto lookupTimer =
+        obs::timeStage(telemetry, obs::RequestStage::CacheLookup);
+    std::optional<CachedBound> hit = cache_.lookupBound(result.fullDigest);
+    lookupTimer.stop();
+    if (hit) {
       result.cacheHit = true;
       result.estimate.bound = hit->bound;
       result.estimate.stats.constraintSets = hit->constraintSets;
@@ -236,6 +268,7 @@ AnalysisResult AnalysisService::analyzeLp(
   std::vector<std::int64_t> maxima;
   std::vector<std::int64_t> minima;
   const Clock::time_point solveStart = Clock::now();
+  auto solveTimer = obs::timeStage(telemetry, obs::RequestStage::Solve);
 
   for (std::size_t i = 0; i < problems.size(); ++i) {
     const lp::Problem& problem = problems[i];
@@ -313,6 +346,7 @@ AnalysisResult AnalysisService::analyzeLp(
     record.wallMicros = ilpRecord.wallMicros;
     estimate.setRecords.push_back(std::move(record));
   }
+  solveTimer.stop();
   result.solveMicros = microsSince(solveStart);
 
   // Worst case from the maximization problems, best case from the
@@ -326,6 +360,7 @@ AnalysisResult AnalysisService::analyzeLp(
   }
 
   if (useCache && request.cachePolicy == CachePolicy::ReadWrite) {
+    auto storeTimer = obs::timeStage(telemetry, obs::RequestStage::CacheStore);
     cache_.insert(result.fullDigest, result.structuralDigest, estimate,
                   lp::Basis{}, result.solveMicros);
   }

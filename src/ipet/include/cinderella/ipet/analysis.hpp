@@ -33,6 +33,7 @@
 #include "cinderella/ipet/solve_cache.hpp"
 
 namespace cinderella::obs {
+class RequestTelemetry;
 class Tracer;
 }  // namespace cinderella::obs
 
@@ -135,19 +136,30 @@ class AnalysisService {
   /// Runs one analysis end to end.  Throws Error (ParseError /
   /// AnalysisError) on invalid requests or un-analysable input; solver
   /// degradation is reported inside the Estimate, never thrown.
-  [[nodiscard]] AnalysisResult analyze(const AnalysisRequest& request) const;
+  ///
+  /// `telemetry` (optional) receives per-stage wall timings — resolve,
+  /// frontend, cfg, digest, cache-lookup, solve, cache-store — scoped
+  /// to exactly this request; its tracer (when enabled) is handed to
+  /// the solver via SolveControl.  Telemetry never changes any analysis
+  /// answer: it is timers around the existing pipeline, nothing more.
+  [[nodiscard]] AnalysisResult analyze(
+      const AnalysisRequest& request,
+      obs::RequestTelemetry* telemetry = nullptr) const;
 
   /// The caching core, for callers that already built an Analyzer (the
   /// CLI compiles once for annotate/dump output and reuses it here).
   /// `request` supplies the label, cache policy and SolveControl; the
   /// analyzer supplies the system.
   [[nodiscard]] AnalysisResult analyzeWith(
-      const Analyzer& analyzer, const AnalysisRequest& request) const;
+      const Analyzer& analyzer, const AnalysisRequest& request,
+      obs::RequestTelemetry* telemetry = nullptr) const;
 
   [[nodiscard]] SolveCache& cache() const { return cache_; }
 
  private:
-  [[nodiscard]] AnalysisResult analyzeLp(const AnalysisRequest& request) const;
+  [[nodiscard]] AnalysisResult analyzeLp(
+      const AnalysisRequest& request,
+      obs::RequestTelemetry* telemetry) const;
 
   AnalysisServiceOptions options_;
   /// Mutable: looking up a bound reorders the LRU chains and bumps the

@@ -1,0 +1,111 @@
+// Structured NDJSON logging for the serving stack.
+//
+// A Logger writes one machine-parseable JSON object per line to a
+// caller-owned stream: {"ts":<unix µs>,"level":"info","event":"request",
+// ...fields...}.  Records are built through a fluent RAII handle and
+// emitted atomically (one mutex-guarded write per record), so lines from
+// concurrent connections never interleave.  A disabled record — null
+// logger, or level below the logger's threshold — costs one branch per
+// field call and allocates nothing, the same cost model as obs::Span.
+//
+// The daemon's per-request records, slow-request records (with the
+// embedded span tree) and lifecycle records all go through this one
+// sink, so `cinderella-serve --log-out requests.log` yields a file where
+// every line passes jsonLint and can be fed straight to jq / an
+// ingestion pipeline.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "cinderella/obs/json.hpp"
+
+namespace cinderella::obs {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+[[nodiscard]] const char* logLevelStr(LogLevel level);
+/// Inverse of logLevelStr; nullopt for anything else.
+[[nodiscard]] std::optional<LogLevel> parseLogLevel(std::string_view text);
+
+class Logger;
+
+/// One in-flight log record.  Field setters append to the record's JSON
+/// object; the record is written (with a trailing newline) when the
+/// handle is destroyed or emit() is called.  A disabled record ignores
+/// every call.
+class LogRecord {
+ public:
+  LogRecord(const LogRecord&) = delete;
+  LogRecord& operator=(const LogRecord&) = delete;
+  LogRecord(LogRecord&& other) noexcept { *this = std::move(other); }
+  LogRecord& operator=(LogRecord&& other) noexcept;
+  ~LogRecord() { emit(); }
+
+  [[nodiscard]] bool enabled() const { return logger_ != nullptr; }
+
+  LogRecord& field(std::string_view key, std::string_view value);
+  LogRecord& field(std::string_view key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+  LogRecord& field(std::string_view key, std::int64_t value);
+  LogRecord& field(std::string_view key, int value) {
+    return field(key, static_cast<std::int64_t>(value));
+  }
+  LogRecord& field(std::string_view key, bool value);
+  LogRecord& field(std::string_view key, double value);
+  /// Splices one complete, already-serialised JSON value (an object or
+  /// array built elsewhere, e.g. a span tree or a stage-timing map).
+  LogRecord& rawField(std::string_view key, std::string_view json);
+
+  /// Writes the record now; idempotent (the destructor then no-ops).
+  void emit();
+
+ private:
+  friend class Logger;
+  LogRecord() = default;  ///< Disabled record.
+  LogRecord(Logger* logger, LogLevel level, std::string_view event);
+
+  Logger* logger_ = nullptr;
+  JsonWriter writer_;
+};
+
+/// Leveled NDJSON sink over a caller-owned ostream.  Thread-safe: any
+/// thread may open records concurrently; each finished record is
+/// appended under the logger mutex and flushed, so a crash loses at
+/// most the record being written.
+class Logger {
+ public:
+  /// `out` must outlive the logger; null disables every record.
+  explicit Logger(std::ostream* out, LogLevel minLevel = LogLevel::Info)
+      : out_(out), minLevel_(minLevel) {}
+
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return out_ != nullptr && level >= minLevel_;
+  }
+  [[nodiscard]] LogLevel minLevel() const { return minLevel_; }
+
+  /// Opens a record stamped with the wall-clock time, level and event
+  /// name.  Returns a disabled record when `level` is below threshold.
+  [[nodiscard]] LogRecord record(LogLevel level, std::string_view event);
+
+  /// Microseconds since the Unix epoch (the "ts" stamp).
+  [[nodiscard]] static std::int64_t nowUnixMicros();
+
+ private:
+  friend class LogRecord;
+  void write(std::string_view line);
+
+  std::ostream* out_;
+  LogLevel minLevel_;
+  std::mutex mutex_;
+};
+
+}  // namespace cinderella::obs

@@ -22,6 +22,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "cinderella/support/metrics_sink.hpp"
 
@@ -41,6 +42,21 @@ class Counter {
 
  private:
   std::atomic<std::int64_t> value_{0};
+};
+
+/// Point-in-time copy of one histogram's state, detached from the live
+/// atomics so it can be diffed, serialised and quantile-queried without
+/// racing ongoing observations.
+struct HistogramSnapshot {
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t max = 0;
+  std::array<std::int64_t, 32> buckets{};
+
+  /// Approximate value at quantile `q` in [0, 1], derived from the log2
+  /// buckets by linear interpolation inside the holding bucket (exact
+  /// for bucket boundaries, within a factor of 2 inside).  0 when empty.
+  [[nodiscard]] std::int64_t quantile(double q) const;
 };
 
 /// Fixed-bucket log2 histogram; observe() is safe from any thread.
@@ -68,6 +84,7 @@ class Histogram {
     return max_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::array<std::int64_t, kBuckets> bucketCounts() const;
+  [[nodiscard]] HistogramSnapshot snapshot() const;
 
  private:
   std::array<std::atomic<std::int64_t>, kBuckets> buckets_{};
@@ -75,6 +92,36 @@ class Histogram {
   std::atomic<std::int64_t> sum_{0};
   std::atomic<std::int64_t> max_{0};
 };
+
+/// Point-in-time copy of a whole registry.  Snapshots are value types:
+/// diff two of them (deltaSince) to scope cumulative process-wide
+/// metrics to one request or one scrape interval — the registry itself
+/// is monotonic and is never reset.
+struct MetricsSnapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Serialises as {"counters":{...},"histograms":{...}} with derived
+  /// p50/p90/p99 per histogram.
+  void toJson(JsonWriter* w) const;
+  [[nodiscard]] std::string json() const;
+};
+
+/// What happened between two snapshots of the same registry (`before`
+/// taken first): counter and bucket-wise histogram subtraction.  Metrics
+/// absent from `before` are treated as zero there; `max` is carried from
+/// `after` (a per-interval max is not recoverable from cumulative
+/// state).  This is how per-request numbers in serve logs stay
+/// per-request instead of cumulative-since-boot.
+[[nodiscard]] MetricsSnapshot deltaSince(const MetricsSnapshot& before,
+                                         const MetricsSnapshot& after);
+
+/// Exact percentile of raw samples (nearest-rank): the value at rank
+/// ceil(q * n).  Used by the replay/bench latency reports, where the
+/// full sample set is available.  0 for an empty vector; `samples` is
+/// taken by value and sorted internally.
+[[nodiscard]] std::int64_t percentileOf(std::vector<std::int64_t> samples,
+                                        double q);
 
 /// Named counters + histograms behind the support::MetricsSink
 /// interface.  Lookup takes the registry mutex; the returned references
@@ -88,6 +135,9 @@ class MetricsRegistry : public support::MetricsSink {
   // support::MetricsSink:
   void add(std::string_view counter, std::int64_t delta) override;
   void observe(std::string_view histogram, std::int64_t value) override;
+
+  /// Point-in-time copy of every metric (see MetricsSnapshot).
+  [[nodiscard]] MetricsSnapshot snapshot() const;
 
   /// Serialises a snapshot as {"counters":{...},"histograms":{...}} into
   /// an open writer position (caller supplies surrounding structure).

@@ -1,0 +1,101 @@
+#include "cinderella/obs/log.hpp"
+
+#include <chrono>
+#include <ostream>
+#include <utility>
+
+namespace cinderella::obs {
+
+const char* logLevelStr(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug:
+      return "debug";
+    case LogLevel::Info:
+      return "info";
+    case LogLevel::Warn:
+      return "warn";
+    case LogLevel::Error:
+      return "error";
+  }
+  return "?";
+}
+
+std::optional<LogLevel> parseLogLevel(std::string_view text) {
+  if (text == "debug") return LogLevel::Debug;
+  if (text == "info") return LogLevel::Info;
+  if (text == "warn" || text == "warning") return LogLevel::Warn;
+  if (text == "error") return LogLevel::Error;
+  return std::nullopt;
+}
+
+LogRecord::LogRecord(Logger* logger, LogLevel level, std::string_view event)
+    : logger_(logger) {
+  writer_.beginObject()
+      .key("ts")
+      .value(Logger::nowUnixMicros())
+      .key("level")
+      .value(logLevelStr(level))
+      .key("event")
+      .value(event);
+}
+
+LogRecord& LogRecord::operator=(LogRecord&& other) noexcept {
+  if (this != &other) {
+    emit();
+    logger_ = other.logger_;
+    writer_ = std::move(other.writer_);
+    other.logger_ = nullptr;
+  }
+  return *this;
+}
+
+LogRecord& LogRecord::field(std::string_view key, std::string_view value) {
+  if (logger_ != nullptr) writer_.key(key).value(value);
+  return *this;
+}
+
+LogRecord& LogRecord::field(std::string_view key, std::int64_t value) {
+  if (logger_ != nullptr) writer_.key(key).value(value);
+  return *this;
+}
+
+LogRecord& LogRecord::field(std::string_view key, bool value) {
+  if (logger_ != nullptr) writer_.key(key).value(value);
+  return *this;
+}
+
+LogRecord& LogRecord::field(std::string_view key, double value) {
+  if (logger_ != nullptr) writer_.key(key).value(value);
+  return *this;
+}
+
+LogRecord& LogRecord::rawField(std::string_view key, std::string_view json) {
+  if (logger_ != nullptr) writer_.key(key).rawValue(json);
+  return *this;
+}
+
+void LogRecord::emit() {
+  if (logger_ == nullptr) return;
+  writer_.endObject();
+  logger_->write(writer_.str());
+  logger_ = nullptr;
+}
+
+LogRecord Logger::record(LogLevel level, std::string_view event) {
+  if (!enabled(level)) return LogRecord();
+  return LogRecord(this, level, event);
+}
+
+std::int64_t Logger::nowUnixMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void Logger::write(std::string_view line) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  (*out_) << line << '\n';
+  out_->flush();
+}
+
+}  // namespace cinderella::obs

@@ -1,0 +1,298 @@
+#include "cinderella/obs/prometheus.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace cinderella::obs {
+
+namespace {
+
+bool validNameStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool validNameChar(char c) {
+  return validNameStart(c) || (c >= '0' && c <= '9');
+}
+
+void appendSample(std::string* out, const std::string& name,
+                  std::string_view labels, std::int64_t value) {
+  out->append(name);
+  out->append(labels);
+  out->push_back(' ');
+  out->append(std::to_string(value));
+  out->push_back('\n');
+}
+
+}  // namespace
+
+std::string prometheusName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) out.push_back(validNameChar(c) ? c : '_');
+  if (!out.empty() && !validNameStart(out.front())) out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string prometheusText(const MetricsSnapshot& snapshot,
+                           const PrometheusOptions& options) {
+  std::string out;
+  const auto isGauge = [&](const std::string& registered) {
+    return std::find(options.gauges.begin(), options.gauges.end(),
+                     registered) != options.gauges.end();
+  };
+
+  for (const auto& [registered, value] : snapshot.counters) {
+    const bool gauge = isGauge(registered);
+    const std::string name = options.prefix + prometheusName(registered) +
+                             (gauge ? "" : "_total");
+    out += "# HELP " + name + " Counter '" + registered + "'.\n";
+    out += "# TYPE " + name + (gauge ? " gauge\n" : " counter\n");
+    appendSample(&out, name, "", value);
+  }
+
+  for (const auto& [registered, h] : snapshot.histograms) {
+    const std::string name = options.prefix + prometheusName(registered);
+    out += "# HELP " + name + " Histogram '" + registered + "'.\n";
+    out += "# TYPE " + name + " histogram\n";
+    // Cumulative le series over the log2 bucket upper edges (integer
+    // samples: bucket b >= 1 spans [2^(b-1), 2^b), so its inclusive
+    // upper edge is 2^b - 1; bucket 0 holds the zeros).  Trailing empty
+    // buckets are elided; le="+Inf" closes the series either way.
+    int lastUsed = -1;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      if (h.buckets[static_cast<std::size_t>(b)] != 0) lastUsed = b;
+    }
+    std::int64_t cumulative = 0;
+    for (int b = 0; b <= lastUsed; ++b) {
+      cumulative += h.buckets[static_cast<std::size_t>(b)];
+      const std::int64_t edge =
+          b == 0 ? 0 : Histogram::bucketLowerBound(b + 1) - 1;
+      appendSample(&out, name + "_bucket",
+                   "{le=\"" + std::to_string(edge) + "\"}", cumulative);
+    }
+    appendSample(&out, name + "_bucket", "{le=\"+Inf\"}", h.count);
+    appendSample(&out, name + "_sum", "", h.sum);
+    appendSample(&out, name + "_count", "", h.count);
+  }
+  return out;
+}
+
+namespace {
+
+struct BucketSeries {
+  double lastLe = -1e308;
+  std::int64_t lastValue = -1;
+  bool sawInf = false;
+  std::int64_t infValue = 0;
+  std::int64_t countValue = -1;
+  bool decreasing = false;
+  bool leOutOfOrder = false;
+};
+
+/// Parses `name{labels}` off the front of `rest`; returns false on
+/// grammar violations.  `le` receives the le label value when present.
+bool parseSampleName(std::string_view* rest, std::string* name,
+                     std::string* le, std::string* why) {
+  std::size_t i = 0;
+  if (rest->empty() || !validNameStart((*rest)[0])) {
+    *why = "sample must start with a metric name";
+    return false;
+  }
+  while (i < rest->size() && validNameChar((*rest)[i])) ++i;
+  *name = std::string(rest->substr(0, i));
+  rest->remove_prefix(i);
+  if (!rest->empty() && rest->front() == '{') {
+    rest->remove_prefix(1);
+    while (true) {
+      if (rest->empty()) {
+        *why = "unterminated label set";
+        return false;
+      }
+      if (rest->front() == '}') {
+        rest->remove_prefix(1);
+        break;
+      }
+      std::size_t j = 0;
+      while (j < rest->size() && validNameChar((*rest)[j])) ++j;
+      if (j == 0 || j >= rest->size() || (*rest)[j] != '=') {
+        *why = "label must be name=\"value\"";
+        return false;
+      }
+      const std::string labelName(rest->substr(0, j));
+      rest->remove_prefix(j + 1);
+      if (rest->empty() || rest->front() != '"') {
+        *why = "label value must be quoted";
+        return false;
+      }
+      rest->remove_prefix(1);
+      std::string value;
+      while (!rest->empty() && rest->front() != '"') {
+        if (rest->front() == '\\') {
+          rest->remove_prefix(1);
+          if (rest->empty()) break;
+        }
+        value.push_back(rest->front());
+        rest->remove_prefix(1);
+      }
+      if (rest->empty()) {
+        *why = "unterminated label value";
+        return false;
+      }
+      rest->remove_prefix(1);  // closing quote
+      if (labelName == "le") *le = value;
+      if (!rest->empty() && rest->front() == ',') rest->remove_prefix(1);
+    }
+  }
+  return true;
+}
+
+bool parseValue(std::string_view text, double* out) {
+  if (text == "+Inf" || text == "Inf") {
+    *out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (text == "-Inf") {
+    *out = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (text == "NaN") {
+    *out = 0.0;
+    return true;
+  }
+  char* end = nullptr;
+  const std::string owned(text);
+  *out = std::strtod(owned.c_str(), &end);
+  return end != owned.c_str() && *end == '\0';
+}
+
+}  // namespace
+
+std::string prometheusLint(std::string_view text) {
+  std::map<std::string, std::string> typed;  // name -> type
+  std::map<std::string, BucketSeries> series;
+  int lineNo = 0;
+  std::size_t pos = 0;
+
+  const auto fail = [&](const std::string& why) {
+    return "line " + std::to_string(lineNo) + ": " + why;
+  };
+
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() : eol + 1;
+    ++lineNo;
+    if (line.empty()) continue;
+
+    if (line.front() == '#') {
+      std::istringstream in{std::string(line)};
+      std::string hash, keyword, name, remainder;
+      in >> hash >> keyword;
+      if (keyword == "TYPE") {
+        in >> name >> remainder;
+        if (name.empty() || remainder.empty()) {
+          return fail("# TYPE needs a name and a type");
+        }
+        if (remainder != "counter" && remainder != "gauge" &&
+            remainder != "histogram" && remainder != "summary" &&
+            remainder != "untyped") {
+          return fail("unknown metric type '" + remainder + "'");
+        }
+        typed[name] = remainder;
+      } else if (keyword == "HELP") {
+        in >> name;
+        if (name.empty()) return fail("# HELP needs a name");
+      }
+      continue;  // other comments are allowed verbatim
+    }
+
+    std::string_view rest = line;
+    std::string name, le, why;
+    if (!parseSampleName(&rest, &name, &le, &why)) return fail(why);
+    if (rest.empty() || rest.front() != ' ') {
+      return fail("sample needs a value after the name");
+    }
+    while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+    const std::size_t space = rest.find(' ');
+    const std::string_view valueText =
+        space == std::string_view::npos ? rest : rest.substr(0, space);
+    double value = 0.0;
+    if (!parseValue(valueText, &value)) {
+      return fail("unparseable sample value '" + std::string(valueText) + "'");
+    }
+
+    // Resolve the announced base name: exact, or histogram series.
+    std::string base = name;
+    bool isBucket = false, isCount = false;
+    if (typed.find(base) == typed.end()) {
+      for (const std::string_view suffix : {"_bucket", "_sum", "_count"}) {
+        if (name.size() > suffix.size() &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+          const std::string candidate =
+              name.substr(0, name.size() - suffix.size());
+          const auto it = typed.find(candidate);
+          if (it != typed.end() && it->second == "histogram") {
+            base = candidate;
+            isBucket = suffix == "_bucket";
+            isCount = suffix == "_count";
+            break;
+          }
+        }
+      }
+    }
+    const auto it = typed.find(base);
+    if (it == typed.end()) {
+      return fail("sample '" + name + "' has no preceding # TYPE");
+    }
+
+    if (it->second == "histogram") {
+      BucketSeries& s = series[base];
+      if (isBucket) {
+        if (le.empty()) return fail("histogram bucket without an le label");
+        double leValue = 0.0;
+        if (!parseValue(le, &leValue)) {
+          return fail("unparseable le value '" + le + "'");
+        }
+        if (leValue <= s.lastLe) s.leOutOfOrder = true;
+        if (s.lastValue >= 0 &&
+            value < static_cast<double>(s.lastValue)) {
+          s.decreasing = true;
+        }
+        s.lastLe = leValue;
+        s.lastValue = static_cast<std::int64_t>(value);
+        if (le == "+Inf") {
+          s.sawInf = true;
+          s.infValue = static_cast<std::int64_t>(value);
+        }
+      } else if (isCount) {
+        s.countValue = static_cast<std::int64_t>(value);
+      }
+    }
+  }
+
+  for (const auto& [base, s] : series) {
+    if (!s.sawInf) return "histogram '" + base + "' has no le=\"+Inf\" bucket";
+    if (s.decreasing) {
+      return "histogram '" + base + "' buckets are not cumulative";
+    }
+    if (s.leOutOfOrder) {
+      return "histogram '" + base + "' le values are not increasing";
+    }
+    if (s.countValue >= 0 && s.countValue != s.infValue) {
+      return "histogram '" + base + "' _count disagrees with le=\"+Inf\"";
+    }
+  }
+  return std::string();
+}
+
+}  // namespace cinderella::obs

@@ -1,0 +1,62 @@
+#include "cinderella/obs/request_telemetry.hpp"
+
+#include "cinderella/obs/json.hpp"
+
+namespace cinderella::obs {
+
+const char* requestStageStr(RequestStage stage) {
+  switch (stage) {
+    case RequestStage::Decode:
+      return "decode";
+    case RequestStage::Resolve:
+      return "resolve";
+    case RequestStage::Frontend:
+      return "frontend";
+    case RequestStage::Cfg:
+      return "cfg";
+    case RequestStage::Digest:
+      return "digest";
+    case RequestStage::CacheLookup:
+      return "cache-lookup";
+    case RequestStage::Solve:
+      return "solve";
+    case RequestStage::CacheStore:
+      return "cache-store";
+    case RequestStage::Report:
+      return "report";
+    case RequestStage::Encode:
+      return "encode";
+  }
+  return "?";
+}
+
+std::int64_t RequestTelemetry::totalStageMicros() const {
+  std::int64_t total = 0;
+  for (const std::int64_t micros : stageMicros_) total += micros;
+  return total;
+}
+
+std::string RequestTelemetry::traceJson() const {
+  return tracer_ != nullptr ? tracer_->chromeTraceJson() : std::string("{}");
+}
+
+void RequestTelemetry::toJson(JsonWriter* w) const {
+  w->beginObject();
+  w->key("requestId").value(requestId_);
+  w->key("stages").beginObject();
+  for (int s = 0; s < kRequestStageCount; ++s) {
+    const std::int64_t micros = stageMicros_[static_cast<std::size_t>(s)];
+    if (micros == 0) continue;
+    w->key(requestStageStr(static_cast<RequestStage>(s))).value(micros);
+  }
+  w->endObject();
+  w->endObject();
+}
+
+std::string RequestTelemetry::json() const {
+  JsonWriter w;
+  toJson(&w);
+  return w.str();
+}
+
+}  // namespace cinderella::obs

@@ -55,6 +55,7 @@ std::optional<Response> Client::call(const RequestFrame& frame,
   std::string decodeError;
   std::optional<Response> response = decodeResponse(line, &decodeError);
   if (!response && error != nullptr) *error = decodeError;
+  if (response) response->rawText = std::move(line);
   return response;
 }
 
@@ -78,6 +79,20 @@ std::optional<Response> Client::stats(std::string* error) {
   RequestFrame frame;
   frame.id = nextId_++;
   frame.op = Op::Stats;
+  return call(frame, error);
+}
+
+std::optional<Response> Client::metrics(std::string* error) {
+  RequestFrame frame;
+  frame.id = nextId_++;
+  frame.op = Op::Metrics;
+  return call(frame, error);
+}
+
+std::optional<Response> Client::flightrecorder(std::string* error) {
+  RequestFrame frame;
+  frame.id = nextId_++;
+  frame.op = Op::FlightRecorder;
   return call(frame, error);
 }
 

@@ -38,6 +38,8 @@ class Client {
       const ipet::AnalysisRequest& request, std::string* error);
   [[nodiscard]] std::optional<Response> ping(std::string* error);
   [[nodiscard]] std::optional<Response> stats(std::string* error);
+  [[nodiscard]] std::optional<Response> metrics(std::string* error);
+  [[nodiscard]] std::optional<Response> flightrecorder(std::string* error);
   [[nodiscard]] std::optional<Response> shutdown(std::string* error);
 
   void close();

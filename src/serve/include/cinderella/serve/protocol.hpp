@@ -3,8 +3,11 @@
 // per line out, in request order per connection.
 //
 // Request frame (all fields but "op" optional; defaults in brackets):
-//   {"op":"analyze",            // or "ping" | "stats" | "shutdown"
-//    "id":7,                    // echoed verbatim in the response [0]
+//   {"op":"analyze",            // or "ping" | "stats" | "metrics"
+//                               //    | "flightrecorder" | "shutdown"
+//    "id":7,                    // integer or string, echoed verbatim in
+//                               // the response; omitted => the server
+//                               // assigns "srv-<seq>" and echoes that
 //    "source":"...",            // MiniC text — or LP format when "lp"
 //    "benchmark":"piksrt",      // built-in benchmark instead of source
 //    "lp":false,                // "source" is LP-format systems
@@ -19,14 +22,23 @@
 //    "warmStart":true}          // incremental solve engine [on]
 //
 // Analyze response frame:
-//   {"id":7,"ok":true,"protocolVersion":1,
+//   {"id":7,"ok":true,"protocolVersion":2,
 //    "cacheHit":false,          // bound served from the solve cache
 //    "basisWarmStarted":false,  // cached structural basis seeded the solve
 //    "degradedAdmission":false, // overload clamped the deadline
 //    "digest":"<32 hex>","structuralDigest":"<32 hex>",
 //    "wallMicros":N,"solveMicros":N,
+//    "telemetry":{"requestId":"...","stages":{"frontend":µs,...}},
 //    "report":{...}}            // the obs::reportJson document, embedded
 //                               // verbatim (schemaVersion inside it)
+//
+// "stats" returns cache/server counters plus a "metrics" object — every
+// registered counter and histogram with derived p50/p90/p99.
+// "metrics" returns the same registry rendered as Prometheus text
+// exposition format 0.0.4 in a "prometheus" string (the daemon also
+// answers a raw HTTP "GET /metrics" on the same port for standard
+// scrapers).  "flightrecorder" returns the in-memory ring of the last N
+// requests with per-stage timings (see flight_recorder.hpp).
 //
 // Error response: {"id":7,"ok":false,"code":"analysis","error":"..."}.
 // Codes: "parse" (bad frame), "analysis" (Error from the analyzer),
@@ -46,14 +58,45 @@
 
 namespace cinderella::serve {
 
-inline constexpr int kProtocolVersion = 1;
+inline constexpr int kProtocolVersion = 2;
 
-enum class Op { Analyze, Ping, Stats, Shutdown };
+enum class Op { Analyze, Ping, Stats, Metrics, FlightRecorder, Shutdown };
 
 struct RequestFrame {
+  /// Numeric id (the classic form; valid when !idIsString).
   std::int64_t id = 0;
+  /// String id, set when the client sent "id":"...".
+  std::string idText;
+  bool idIsString = false;
+  /// False when the frame carried no "id" at all — the server then
+  /// assigns a "srv-<seq>" id and echoes it as a string.
+  bool hasId = true;
   Op op = Op::Analyze;
   ipet::AnalysisRequest request;
+};
+
+/// A response id on the wire: echoed as an integer or as a string,
+/// matching what the request sent.  Implicitly constructible from both
+/// so pre-v2 call sites keep compiling.
+struct WireId {
+  std::int64_t num = 0;
+  std::string text;
+  bool isString = false;
+
+  WireId(std::int64_t n) : num(n) {}  // NOLINT(google-explicit-constructor)
+  WireId(int n) : num(n) {}           // NOLINT(google-explicit-constructor)
+  WireId(std::string t)               // NOLINT(google-explicit-constructor)
+      : text(std::move(t)), isString(true) {}
+  WireId(std::string_view t)          // NOLINT(google-explicit-constructor)
+      : text(t), isString(true) {}
+  WireId(const char* t)               // NOLINT(google-explicit-constructor)
+      : text(t), isString(true) {}
+
+  /// Canonical string form (numeric ids render as decimal) — what logs,
+  /// flight records and telemetry carry.
+  [[nodiscard]] std::string str() const {
+    return isString ? text : std::to_string(num);
+  }
 };
 
 /// Server-level counters reported by the "stats" op (alongside the
@@ -72,6 +115,9 @@ struct ServeCounters {
 /// under "cache"/"server"); the named fields are the common envelope.
 struct Response {
   std::int64_t id = 0;
+  /// The echoed id in canonical string form (numeric ids as decimal —
+  /// always set, including for server-generated "srv-<seq>" ids).
+  std::string requestId;
   bool ok = false;
   std::string errorCode;
   std::string error;
@@ -89,7 +135,14 @@ struct Response {
   bool sound = false;
   bool timedOut = false;
   obs::JsonValue raw;
+  /// The exact response line as received (no trailing newline) — set by
+  /// Client::call, empty when decoded from elsewhere.  Lets tools dump
+  /// an envelope (metrics text, flight-recorder records) verbatim.
+  std::string rawText;
 };
+
+/// Wire name of an op ("analyze", "metrics", ...).
+[[nodiscard]] const char* opName(Op op);
 
 // --- Request frames (client encodes, server decodes). ---
 [[nodiscard]] std::string encodeRequest(const RequestFrame& frame);
@@ -101,19 +154,29 @@ struct Response {
 
 // --- Response frames (server encodes, client decodes). ---
 /// `report` must be a complete JSON object (obs::reportJson output); it
-/// is embedded verbatim.
+/// is embedded verbatim.  `telemetry`, when non-empty, must likewise be
+/// a complete JSON object (obs::RequestTelemetry::json()).
 [[nodiscard]] std::string encodeAnalyzeResponse(
-    std::int64_t id, const ipet::AnalysisResult& result,
-    std::string_view report, bool degradedAdmission);
-[[nodiscard]] std::string encodeErrorResponse(std::int64_t id,
+    const WireId& id, const ipet::AnalysisResult& result,
+    std::string_view report, bool degradedAdmission,
+    std::string_view telemetry = {});
+[[nodiscard]] std::string encodeErrorResponse(const WireId& id,
                                               std::string_view code,
                                               std::string_view message);
-[[nodiscard]] std::string encodePong(std::int64_t id);
+[[nodiscard]] std::string encodePong(const WireId& id);
+/// `metricsJson`, when non-empty, must be a complete JSON object (an
+/// obs::MetricsSnapshot document) and is embedded as "metrics".
 [[nodiscard]] std::string encodeStatsResponse(
-    std::int64_t id, const ipet::SolveCacheStats& cache,
+    const WireId& id, const ipet::SolveCacheStats& cache,
     std::size_t boundEntries, std::size_t basisEntries,
-    const ServeCounters& server);
-[[nodiscard]] std::string encodeShutdownAck(std::int64_t id);
+    const ServeCounters& server, std::string_view metricsJson = {});
+/// `prometheus` is the text-exposition body (obs::prometheusText).
+[[nodiscard]] std::string encodeMetricsResponse(const WireId& id,
+                                                std::string_view prometheus);
+/// `flightJson` must be a complete JSON object (FlightRecorder::json()).
+[[nodiscard]] std::string encodeFlightRecorderResponse(
+    const WireId& id, std::string_view flightJson);
+[[nodiscard]] std::string encodeShutdownAck(const WireId& id);
 
 /// Parses one response line into the envelope + raw document.  Returns
 /// nullopt with a diagnostic when the line is not a JSON object.

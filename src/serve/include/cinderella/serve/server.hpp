@@ -29,10 +29,14 @@
 #include <vector>
 
 #include "cinderella/ipet/analysis.hpp"
+#include "cinderella/obs/metrics.hpp"
+#include "cinderella/serve/flight_recorder.hpp"
 #include "cinderella/serve/protocol.hpp"
 #include "cinderella/support/thread_pool.hpp"
 
 namespace cinderella::obs {
+class Logger;
+class RequestTelemetry;
 class Tracer;
 }  // namespace cinderella::obs
 
@@ -57,6 +61,19 @@ struct ServerOptions {
   ipet::ProgramResolver benchmarkResolver;
   /// Optional tracer: one "request" span per frame served.
   obs::Tracer* tracer = nullptr;
+  /// Optional structured log sink: one "request" NDJSON record per frame
+  /// (cinderella-serve --log-out).  Must outlive the server.
+  obs::Logger* logger = nullptr;
+  /// Requests slower than this additionally emit a "slow-request" record
+  /// embedding the request's span tree; 0 disables.  Per-request tracing
+  /// is only armed when both a logger and a slow threshold are set, so
+  /// the fast path never pays for span bookkeeping.
+  std::int64_t slowMillis = 0;
+  /// Flight-recorder ring capacity (requests); always on.
+  std::size_t flightRecorderEntries = 256;
+  /// When non-empty: stop() writes FlightRecorder::json() here, so a
+  /// shutdown always leaves a post-mortem trail next to the snapshot.
+  std::string flightDumpPath;
 };
 
 class Server {
@@ -89,6 +106,17 @@ class Server {
 
   [[nodiscard]] ServeCounters counters() const;
   [[nodiscard]] ipet::AnalysisService& service() { return service_; }
+  /// The serving metrics registry (counters + latency histograms).
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  /// The always-on ring of the last N served requests.
+  [[nodiscard]] const FlightRecorder& flightRecorder() const {
+    return flight_;
+  }
+  /// Registry snapshot merged with the live server/cache counters —
+  /// what the stats op, the metrics op and the HTTP scrape all render.
+  [[nodiscard]] obs::MetricsSnapshot metricsSnapshot() const;
+  /// The merged snapshot as Prometheus text exposition format 0.0.4.
+  [[nodiscard]] std::string prometheusText() const;
 
   /// Diagnostic from a failed best-effort snapshot restore in start()
   /// (empty when none was configured, the file was absent, or it
@@ -98,6 +126,18 @@ class Server {
   }
 
  private:
+  /// What handleAnalyze hands back up for logging / metrics / the
+  /// flight record, alongside the encoded response line.
+  struct AnalyzeOutcome {
+    std::string response;
+    std::string errorCode;  ///< Empty on success.
+    bool degradedAdmission = false;
+    bool cacheHit = false;
+    bool basisWarmStarted = false;
+    std::int64_t boundLo = 0;
+    std::int64_t boundHi = 0;
+  };
+
   void acceptLoop();
   void handleConnection(int fd);
   /// Decodes and serves one frame; returns the response line (without
@@ -106,13 +146,21 @@ class Server {
   /// sent, so the client always sees it.
   [[nodiscard]] std::string handleLine(const std::string& line,
                                        bool* shutdownAfterReply);
-  [[nodiscard]] std::string handleAnalyze(const RequestFrame& frame);
+  [[nodiscard]] AnalyzeOutcome handleAnalyze(const RequestFrame& frame,
+                                             const WireId& wireId,
+                                             obs::RequestTelemetry* telemetry);
+  /// Serves a raw "GET <path> HTTP/1.x" request line (the Prometheus
+  /// scrape path); returns the complete HTTP response.
+  [[nodiscard]] std::string handleHttpGet(const std::string& requestLine);
   void requestStop();
 
   ServerOptions options_;
   ipet::AnalysisService service_;
   support::ThreadPool pool_;
   int maxInflight_;
+  obs::MetricsRegistry metrics_;
+  FlightRecorder flight_;
+  std::atomic<std::uint64_t> idSeq_{0};  ///< For server-generated ids.
 
   int listenFd_ = -1;
   int port_ = 0;

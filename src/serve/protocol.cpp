@@ -14,6 +14,10 @@ const char* opStr(Op op) {
       return "ping";
     case Op::Stats:
       return "stats";
+    case Op::Metrics:
+      return "metrics";
+    case Op::FlightRecorder:
+      return "flightrecorder";
     case Op::Shutdown:
       return "shutdown";
   }
@@ -24,25 +28,48 @@ std::optional<Op> parseOp(std::string_view text) {
   if (text == "analyze") return Op::Analyze;
   if (text == "ping") return Op::Ping;
   if (text == "stats") return Op::Stats;
+  if (text == "metrics") return Op::Metrics;
+  if (text == "flightrecorder") return Op::FlightRecorder;
   if (text == "shutdown") return Op::Shutdown;
   return std::nullopt;
 }
 
-void beginResponse(obs::JsonWriter* w, std::int64_t id, bool ok) {
-  w->beginObject()
-      .key("id")
-      .value(id)
-      .key("ok")
-      .value(ok)
-      .key("protocolVersion")
-      .value(kProtocolVersion);
+/// String ids must be short and printable-ASCII: they travel into logs,
+/// flight records and Prometheus-adjacent places where control bytes and
+/// multi-KB blobs would be hostile.
+bool validStringId(std::string_view text) {
+  if (text.empty() || text.size() > 128) return false;
+  for (const char c : text) {
+    if (c < 0x20 || c == 0x7f) return false;
+  }
+  return true;
+}
+
+void beginResponse(obs::JsonWriter* w, const WireId& id, bool ok) {
+  w->beginObject().key("id");
+  if (id.isString) {
+    w->value(id.text);
+  } else {
+    w->value(id.num);
+  }
+  w->key("ok").value(ok).key("protocolVersion").value(kProtocolVersion);
 }
 
 }  // namespace
 
+const char* opName(Op op) { return opStr(op); }
+
 std::string encodeRequest(const RequestFrame& frame) {
   obs::JsonWriter w;
-  w.beginObject().key("op").value(opStr(frame.op)).key("id").value(frame.id);
+  w.beginObject().key("op").value(opStr(frame.op));
+  if (frame.hasId) {
+    w.key("id");
+    if (frame.idIsString) {
+      w.value(frame.idText);
+    } else {
+      w.value(frame.id);
+    }
+  }
   if (frame.op == Op::Analyze) {
     const ipet::AnalysisRequest& r = frame.request;
     if (!r.label.empty()) w.key("label").value(r.label);
@@ -97,7 +124,24 @@ bool decodeRequest(std::string_view line, RequestFrame* out,
     return false;
   }
   out->op = *op;
-  out->id = doc->intOr("id", 0);
+  if (const obs::JsonValue* id = doc->find("id")) {
+    if (id->isNumber() && id->isInteger) {
+      out->id = id->intValue;
+      out->idIsString = false;
+      out->hasId = true;
+    } else if (id->isString() && validStringId(id->stringValue)) {
+      out->idText = id->stringValue;
+      out->idIsString = true;
+      out->hasId = true;
+    } else {
+      if (error != nullptr) {
+        *error = "\"id\" must be an integer or a short printable string";
+      }
+      return false;
+    }
+  } else {
+    out->hasId = false;
+  }
   if (out->op != Op::Analyze) return true;
 
   ipet::AnalysisRequest& r = out->request;
@@ -166,10 +210,11 @@ bool decodeRequest(std::string_view line, RequestFrame* out,
   return true;
 }
 
-std::string encodeAnalyzeResponse(std::int64_t id,
+std::string encodeAnalyzeResponse(const WireId& id,
                                   const ipet::AnalysisResult& result,
                                   std::string_view report,
-                                  bool degradedAdmission) {
+                                  bool degradedAdmission,
+                                  std::string_view telemetry) {
   obs::JsonWriter w;
   beginResponse(&w, id, true);
   w.key("cacheHit")
@@ -185,14 +230,13 @@ std::string encodeAnalyzeResponse(std::int64_t id,
       .key("wallMicros")
       .value(result.wallMicros)
       .key("solveMicros")
-      .value(result.solveMicros)
-      .key("report")
-      .rawValue(report)
-      .endObject();
+      .value(result.solveMicros);
+  if (!telemetry.empty()) w.key("telemetry").rawValue(telemetry);
+  w.key("report").rawValue(report).endObject();
   return w.str();
 }
 
-std::string encodeErrorResponse(std::int64_t id, std::string_view code,
+std::string encodeErrorResponse(const WireId& id, std::string_view code,
                                 std::string_view message) {
   obs::JsonWriter w;
   beginResponse(&w, id, false);
@@ -200,18 +244,19 @@ std::string encodeErrorResponse(std::int64_t id, std::string_view code,
   return w.str();
 }
 
-std::string encodePong(std::int64_t id) {
+std::string encodePong(const WireId& id) {
   obs::JsonWriter w;
   beginResponse(&w, id, true);
   w.key("pong").value(true).endObject();
   return w.str();
 }
 
-std::string encodeStatsResponse(std::int64_t id,
+std::string encodeStatsResponse(const WireId& id,
                                 const ipet::SolveCacheStats& cache,
                                 std::size_t boundEntries,
                                 std::size_t basisEntries,
-                                const ServeCounters& server) {
+                                const ServeCounters& server,
+                                std::string_view metricsJson) {
   obs::JsonWriter w;
   beginResponse(&w, id, true);
   w.key("cache")
@@ -248,11 +293,32 @@ std::string encodeStatsResponse(std::int64_t id,
       .key("inflight")
       .value(server.inflight)
       .endObject();
+  if (!metricsJson.empty()) w.key("metrics").rawValue(metricsJson);
   w.endObject();
   return w.str();
 }
 
-std::string encodeShutdownAck(std::int64_t id) {
+std::string encodeMetricsResponse(const WireId& id,
+                                  std::string_view prometheus) {
+  obs::JsonWriter w;
+  beginResponse(&w, id, true);
+  w.key("contentType")
+      .value("text/plain; version=0.0.4")
+      .key("prometheus")
+      .value(prometheus)
+      .endObject();
+  return w.str();
+}
+
+std::string encodeFlightRecorderResponse(const WireId& id,
+                                         std::string_view flightJson) {
+  obs::JsonWriter w;
+  beginResponse(&w, id, true);
+  w.key("flightRecorder").rawValue(flightJson).endObject();
+  return w.str();
+}
+
+std::string encodeShutdownAck(const WireId& id) {
   obs::JsonWriter w;
   beginResponse(&w, id, true);
   w.key("shuttingDown").value(true).endObject();
@@ -271,7 +337,14 @@ std::optional<Response> decodeResponse(std::string_view line,
     return std::nullopt;
   }
   Response response;
-  response.id = doc->intOr("id", 0);
+  if (const obs::JsonValue* id = doc->find("id")) {
+    if (id->isNumber() && id->isInteger) {
+      response.id = id->intValue;
+      response.requestId = std::to_string(id->intValue);
+    } else if (id->isString()) {
+      response.requestId = id->stringValue;
+    }
+  }
   response.ok = doc->boolOr("ok", false);
   response.errorCode = doc->stringOr("code", "");
   response.error = doc->stringOr("error", "");

@@ -6,11 +6,16 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 
+#include "cinderella/obs/log.hpp"
+#include "cinderella/obs/prometheus.hpp"
 #include "cinderella/obs/report.hpp"
+#include "cinderella/obs/request_telemetry.hpp"
 #include "cinderella/obs/trace.hpp"
 #include "cinderella/support/error.hpp"
 
@@ -21,6 +26,14 @@ namespace {
 /// Stop-flag poll tick for the blocking accept/read loops: short enough
 /// that shutdown feels immediate, long enough to cost nothing.
 constexpr int kPollMillis = 100;
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t microsSince(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               start)
+      .count();
+}
 
 /// A frame longer than this is garbage, not a request (the largest
 /// legitimate payloads — benchmark sources, LP dumps — are well under
@@ -55,7 +68,8 @@ Server::Server(ServerOptions options)
       service_(serviceOptions(options_)),
       pool_(options_.poolThreads),
       maxInflight_(options_.maxInflight > 0 ? options_.maxInflight
-                                            : 2 * pool_.numThreads()) {}
+                                            : 2 * pool_.numThreads()),
+      flight_(options_.flightRecorderEntries) {}
 
 Server::~Server() { stop(); }
 
@@ -147,6 +161,14 @@ void Server::handleConnection(int fd) {
       buffer.erase(0, eol + 1);
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
+      if (line.rfind("GET ", 0) == 0) {
+        // A plain HTTP scraper (Prometheus, curl) on the NDJSON port:
+        // answer the one request and close, HTTP/1.0 style.  The rest
+        // of the buffer is just request headers — drop it.
+        (void)sendAll(fd, handleHttpGet(line));
+        open = false;
+        continue;
+      }
       bool shutdownAfterReply = false;
       const std::string response = handleLine(line, &shutdownAfterReply);
       if (!sendAll(fd, response + "\n")) open = false;
@@ -168,34 +190,160 @@ void Server::handleConnection(int fd) {
 std::string Server::handleLine(const std::string& line,
                                bool* shutdownAfterReply) {
   requests_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.counter("serve.requests").add(1);
+  const std::int64_t startUnixMicros = obs::Logger::nowUnixMicros();
+  const Clock::time_point start = Clock::now();
+
+  // Decode first — the request id inside the frame names everything
+  // that follows (telemetry, log record, flight record, response).
+  obs::RequestTelemetry telemetry;
   RequestFrame frame;
   std::string decodeError;
-  if (!decodeRequest(line, &frame, &decodeError)) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
-    return encodeErrorResponse(frame.id, "parse", decodeError);
+  bool decoded;
+  {
+    auto decodeTimer = obs::timeStage(&telemetry, obs::RequestStage::Decode);
+    decoded = decodeRequest(line, &frame, &decodeError);
   }
-  obs::Span span(options_.tracer, "request", "serve");
-  switch (frame.op) {
-    case Op::Ping:
-      span.arg("op", "ping");
-      return encodePong(frame.id);
-    case Op::Stats:
-      span.arg("op", "stats");
-      return encodeStatsResponse(frame.id, service_.cache().stats(),
-                                 service_.cache().boundEntries(),
-                                 service_.cache().basisEntries(), counters());
-    case Op::Shutdown:
-      span.arg("op", "shutdown");
-      *shutdownAfterReply = true;
-      return encodeShutdownAck(frame.id);
-    case Op::Analyze:
-      break;
+  const WireId wireId =
+      frame.hasId
+          ? (frame.idIsString ? WireId(frame.idText) : WireId(frame.id))
+          : WireId("srv-" + std::to_string(
+                                idSeq_.fetch_add(1, std::memory_order_relaxed) +
+                                1));
+  telemetry.setRequestId(wireId.str());
+  const bool slowTracing = options_.logger != nullptr &&
+                           options_.logger->enabled(obs::LogLevel::Warn) &&
+                           options_.slowMillis > 0;
+  if (slowTracing) telemetry.enableTracing();
+
+  std::string response;
+  AnalyzeOutcome outcome;
+  if (!decoded) {
+    outcome.errorCode = "parse";
+    response = encodeErrorResponse(wireId, "parse", decodeError);
+  } else {
+    obs::Span span(options_.tracer, "request", "serve");
+    span.arg("op", opName(frame.op));
+    switch (frame.op) {
+      case Op::Ping:
+        response = encodePong(wireId);
+        break;
+      case Op::Stats:
+        response = encodeStatsResponse(
+            wireId, service_.cache().stats(), service_.cache().boundEntries(),
+            service_.cache().basisEntries(), counters(),
+            metricsSnapshot().json());
+        break;
+      case Op::Metrics:
+        response = encodeMetricsResponse(wireId, prometheusText());
+        break;
+      case Op::FlightRecorder:
+        response = encodeFlightRecorderResponse(wireId, flight_.json());
+        break;
+      case Op::Shutdown:
+        *shutdownAfterReply = true;
+        response = encodeShutdownAck(wireId);
+        break;
+      case Op::Analyze: {
+        span.arg("label", frame.request.label);
+        outcome = handleAnalyze(frame, wireId, &telemetry);
+        response = std::move(outcome.response);
+        break;
+      }
+    }
   }
-  span.arg("op", "analyze").arg("label", frame.request.label);
-  return handleAnalyze(frame);
+
+  const std::int64_t durationMicros = microsSince(start);
+  const char* op = decoded ? opName(frame.op) : "?";
+  const std::string label =
+      !decoded ? std::string()
+               : (!frame.request.label.empty() ? frame.request.label
+                                               : frame.request.benchmark);
+  if (!outcome.errorCode.empty()) {
+    if (!decoded) errors_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.counter("serve.errors").add(1);
+  }
+  metrics_.histogram("serve.request_micros").observe(durationMicros);
+  metrics_.histogram("serve.response_bytes")
+      .observe(static_cast<std::int64_t>(response.size()));
+  if (decoded && frame.op == Op::Analyze) {
+    if (outcome.errorCode.empty()) {
+      metrics_.counter(outcome.cacheHit ? "serve.cache_hits"
+                                        : "serve.cache_misses")
+          .add(1);
+      if (outcome.basisWarmStarted) {
+        metrics_.counter("serve.basis_warm_starts").add(1);
+      }
+    }
+    if (outcome.degradedAdmission) {
+      metrics_.counter("serve.degraded_admissions").add(1);
+    }
+    for (int s = 0; s < obs::kRequestStageCount; ++s) {
+      const auto stage = static_cast<obs::RequestStage>(s);
+      const std::int64_t micros = telemetry.stageMicros(stage);
+      if (micros == 0) continue;
+      metrics_
+          .histogram(std::string("serve.stage.") + obs::requestStageStr(stage) +
+                     "_micros")
+          .observe(micros);
+    }
+  }
+
+  {
+    RequestRecord record;
+    record.requestId = wireId.str();
+    record.op = op;
+    record.label = label;
+    record.startUnixMicros = startUnixMicros;
+    record.durationMicros = durationMicros;
+    record.ok = outcome.errorCode.empty();
+    record.errorCode = outcome.errorCode;
+    record.cacheHit = outcome.cacheHit;
+    record.basisWarmStarted = outcome.basisWarmStarted;
+    record.degradedAdmission = outcome.degradedAdmission;
+    record.boundLo = outcome.boundLo;
+    record.boundHi = outcome.boundHi;
+    record.responseBytes = static_cast<std::int64_t>(response.size());
+    for (int s = 0; s < obs::kRequestStageCount; ++s) {
+      record.stageMicros[static_cast<std::size_t>(s)] =
+          telemetry.stageMicros(static_cast<obs::RequestStage>(s));
+    }
+    flight_.record(std::move(record));
+  }
+
+  if (options_.logger != nullptr) {
+    const obs::LogLevel level =
+        outcome.errorCode.empty() ? obs::LogLevel::Info : obs::LogLevel::Warn;
+    options_.logger->record(level, "request")
+        .field("id", wireId.str())
+        .field("op", op)
+        .field("label", label)
+        .field("ok", outcome.errorCode.empty())
+        .field("code", outcome.errorCode)
+        .field("cacheHit", outcome.cacheHit)
+        .field("basisWarmStarted", outcome.basisWarmStarted)
+        .field("degradedAdmission", outcome.degradedAdmission)
+        .field("boundLo", outcome.boundLo)
+        .field("boundHi", outcome.boundHi)
+        .field("bytes", static_cast<std::int64_t>(response.size()))
+        .field("durationMicros", durationMicros)
+        .rawField("telemetry", telemetry.json());
+    if (slowTracing && durationMicros >= options_.slowMillis * 1000) {
+      options_.logger->record(obs::LogLevel::Warn, "slow-request")
+          .field("id", wireId.str())
+          .field("op", op)
+          .field("durationMicros", durationMicros)
+          .field("slowMillis", options_.slowMillis)
+          .rawField("telemetry", telemetry.json())
+          .rawField("trace", telemetry.traceJson());
+    }
+  }
+  return response;
 }
 
-std::string Server::handleAnalyze(const RequestFrame& frame) {
+Server::AnalyzeOutcome Server::handleAnalyze(const RequestFrame& frame,
+                                             const WireId& wireId,
+                                             obs::RequestTelemetry* telemetry) {
   // Overload admission: count this solve in *before* submitting so
   // simultaneous arrivals see each other.  Saturated requests still run,
   // but with a clamped deadline — the degradation ladder then guarantees
@@ -216,35 +364,109 @@ std::string Server::handleAnalyze(const RequestFrame& frame) {
     std::mutex m;
     std::condition_variable cv;
     bool done = false;
-    std::string response;
+    AnalyzeOutcome outcome;
   };
   auto pending = std::make_shared<Pending>();
-  pool_.submit([this, pending, admitted = std::move(admitted),
-                degradedAdmission] {
-    std::string response;
+  // `telemetry` lives on the caller's stack; safe to use from the pool
+  // because this function blocks on `pending->cv` until the job is done.
+  pool_.submit([this, pending, wireId, telemetry,
+                admitted = std::move(admitted), degradedAdmission] {
+    AnalyzeOutcome outcome;
+    outcome.degradedAdmission = degradedAdmission;
     try {
-      const ipet::AnalysisResult result = service_.analyze(admitted.request);
-      obs::ReportOptions reportOptions;
-      const std::string report = obs::reportJson(
-          result.program, result.estimate, nullptr, reportOptions);
-      response = encodeAnalyzeResponse(admitted.id, result, report,
-                                       degradedAdmission);
+      const ipet::AnalysisResult result =
+          service_.analyze(admitted.request, telemetry);
+      outcome.cacheHit = result.cacheHit;
+      outcome.basisWarmStarted = result.basisWarmStarted;
+      outcome.boundLo = result.estimate.bound.lo;
+      outcome.boundHi = result.estimate.bound.hi;
+      std::string report;
+      {
+        auto reportTimer =
+            obs::timeStage(telemetry, obs::RequestStage::Report);
+        obs::ReportOptions reportOptions;
+        report = obs::reportJson(result.program, result.estimate, nullptr,
+                                 reportOptions);
+      }
+      auto encodeTimer = obs::timeStage(telemetry, obs::RequestStage::Encode);
+      outcome.response = encodeAnalyzeResponse(
+          wireId, result, report, degradedAdmission, telemetry->json());
     } catch (const Error& e) {
       errors_.fetch_add(1, std::memory_order_relaxed);
-      response = encodeErrorResponse(admitted.id, "analysis", e.what());
+      outcome.errorCode = "analysis";
+      outcome.response = encodeErrorResponse(wireId, "analysis", e.what());
     } catch (const std::exception& e) {
       errors_.fetch_add(1, std::memory_order_relaxed);
-      response = encodeErrorResponse(admitted.id, "internal", e.what());
+      outcome.errorCode = "internal";
+      outcome.response = encodeErrorResponse(wireId, "internal", e.what());
     }
     std::lock_guard<std::mutex> lock(pending->m);
-    pending->response = std::move(response);
+    pending->outcome = std::move(outcome);
     pending->done = true;
     pending->cv.notify_all();
   });
   std::unique_lock<std::mutex> lock(pending->m);
   pending->cv.wait(lock, [&] { return pending->done; });
   inflight_.fetch_sub(1, std::memory_order_acq_rel);
-  return pending->response;
+  return std::move(pending->outcome);
+}
+
+std::string Server::handleHttpGet(const std::string& requestLine) {
+  // "GET <path> HTTP/1.x" — only /metrics is served; everything else is
+  // a 404 so a misconfigured scraper fails loudly, not silently.
+  const std::size_t pathStart = requestLine.find(' ') + 1;
+  const std::size_t pathEnd = requestLine.find(' ', pathStart);
+  const std::string path =
+      pathEnd == std::string::npos
+          ? requestLine.substr(pathStart)
+          : requestLine.substr(pathStart, pathEnd - pathStart);
+  std::string status;
+  std::string contentType;
+  std::string body;
+  if (path == "/metrics") {
+    status = "200 OK";
+    contentType = "text/plain; version=0.0.4; charset=utf-8";
+    body = prometheusText();
+  } else {
+    status = "404 Not Found";
+    contentType = "text/plain; charset=utf-8";
+    body = "only /metrics is served here\n";
+  }
+  metrics_.counter("serve.http_scrapes").add(1);
+  return "HTTP/1.0 " + status + "\r\nContent-Type: " + contentType +
+         "\r\nContent-Length: " + std::to_string(body.size()) +
+         "\r\nConnection: close\r\n\r\n" + body;
+}
+
+obs::MetricsSnapshot Server::metricsSnapshot() const {
+  obs::MetricsSnapshot snapshot = metrics_.snapshot();
+  // Fold in the live server and solve-cache counters so one scrape sees
+  // the whole daemon; gauges (inflight, cache occupancy) are declared as
+  // such in prometheusText().
+  const ServeCounters server = counters();
+  snapshot.counters["serve.connections"] = server.connections;
+  snapshot.counters["serve.overload_admissions"] = server.overloadAdmissions;
+  snapshot.counters["serve.inflight"] = server.inflight;
+  const ipet::SolveCacheStats cache = service_.cache().stats();
+  snapshot.counters["cache.bound_hits"] = cache.boundHits;
+  snapshot.counters["cache.bound_misses"] = cache.boundMisses;
+  snapshot.counters["cache.basis_hits"] = cache.basisHits;
+  snapshot.counters["cache.basis_misses"] = cache.basisMisses;
+  snapshot.counters["cache.insertions"] = cache.insertions;
+  snapshot.counters["cache.evictions"] = cache.evictions;
+  snapshot.counters["cache.rejected_inserts"] = cache.rejectedInserts;
+  snapshot.counters["cache.bound_entries"] =
+      static_cast<std::int64_t>(service_.cache().boundEntries());
+  snapshot.counters["cache.basis_entries"] =
+      static_cast<std::int64_t>(service_.cache().basisEntries());
+  return snapshot;
+}
+
+std::string Server::prometheusText() const {
+  obs::PrometheusOptions options;
+  options.gauges = {"serve.inflight", "cache.bound_entries",
+                    "cache.basis_entries"};
+  return obs::prometheusText(metricsSnapshot(), options);
 }
 
 void Server::wait() {
@@ -292,6 +514,10 @@ void Server::stop() {
   if (!options_.snapshotPath.empty()) {
     std::string saveError;
     (void)service_.cache().save(options_.snapshotPath, &saveError);
+  }
+  if (!options_.flightDumpPath.empty()) {
+    std::ofstream out(options_.flightDumpPath, std::ios::trunc);
+    if (out) out << flight_.json() << '\n';
   }
 }
 

@@ -37,6 +37,15 @@ struct ReplayToolOptions {
   std::string cachePolicy = "readwrite";
   /// Exit 1 unless bound-cache hits / lookups >= this (0 disables).
   double minHitRate = 0.0;
+  /// Print one machine-readable JSON line with per-pass p50/p90/p99
+  /// latency and the overall hit rate after the replay.
+  bool latencyJson = false;
+  /// Scrape the daemon's "metrics" op and write the Prometheus text
+  /// exposition here ("-" = stdout).
+  std::string metricsOut;
+  /// Fetch the daemon's flight recorder and write the dump envelope
+  /// here ("-" = stdout).
+  std::string flightOut;
   /// Send {"op":"shutdown"} to the daemon after the replay.
   bool shutdown = false;
 };

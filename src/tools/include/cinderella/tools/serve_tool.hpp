@@ -27,6 +27,18 @@ struct ServeToolOptions {
   std::string snapshotPath;
   /// Chrome trace-event JSON of every request span, written on shutdown.
   std::string traceOut;
+  /// Structured NDJSON request log ("-" = stderr).
+  std::string logOut;
+  /// Minimum log level: debug, info, warn, error.
+  std::string logLevel = "info";
+  /// Requests slower than this additionally log a "slow-request" record
+  /// with the request's span tree; 0 disables.
+  std::int64_t slowMs = 0;
+  /// Flight-recorder ring capacity (last N requests, always on).
+  std::size_t flightEntries = 256;
+  /// Flight-recorder dump file, written on shutdown and (best-effort)
+  /// from the SIGSEGV/SIGABRT crash handlers.
+  std::string flightOut;
 };
 
 /// Parses argv.  Returns false (after printing usage to `err`) when the

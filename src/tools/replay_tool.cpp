@@ -1,15 +1,19 @@
 #include "cinderella/tools/replay_tool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <ostream>
 #include <sstream>
 #include <vector>
 
 #include "cinderella/fuzz/generator.hpp"
+#include "cinderella/obs/json.hpp"
+#include "cinderella/obs/metrics.hpp"
 #include "cinderella/serve/client.hpp"
 #include "cinderella/suite/suite.hpp"
 #include "cinderella/support/error.hpp"
@@ -35,6 +39,12 @@ options:
   --jobs <N>            per-request solver threads (default 1)
   --cache-policy <p>    readwrite (default), readonly, or bypass
   --min-hit-rate <X>    exit 1 unless bound hits / lookups >= X
+  --latency-json        print one JSON line with per-pass p50/p90/p99
+                        request latency and the overall hit rate
+  --metrics-out <file>  scrape the daemon's metrics op afterwards and
+                        write the Prometheus text exposition ("-" = stdout)
+  --flight-out <file>   fetch the daemon's flight recorder afterwards and
+                        write the dump envelope ("-" = stdout)
   --shutdown            ask the daemon to shut down afterwards
   --help                show this message
 
@@ -48,6 +58,34 @@ struct ReplayInput {
   std::string label;
   ipet::AnalysisRequest request;
 };
+
+/// Client-observed latency samples for one pass over the input list.
+struct PassLatency {
+  std::int64_t requests = 0;
+  std::int64_t cacheHits = 0;
+  std::vector<std::int64_t> micros;
+};
+
+/// Writes `text` to `path`, with "-" meaning stdout.  Returns false
+/// (with a diagnostic on `err`) when the file cannot be written.
+bool writeTextOutput(const std::string& path, const std::string& text,
+                     std::ostream& out, std::ostream& err,
+                     const char* what) {
+  if (path == "-") {
+    out << text;
+    if (text.empty() || text.back() != '\n') out << '\n';
+    return true;
+  }
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    err << "cinderella-replay: cannot write " << what << " to '" << path
+        << "'\n";
+    return false;
+  }
+  file << text;
+  if (text.empty() || text.back() != '\n') file << '\n';
+  return true;
+}
 
 }  // namespace
 
@@ -118,6 +156,16 @@ bool parseReplayArgs(int argc, const char* const* argv,
         return false;
       }
       options->minHitRate = rate;
+    } else if (arg == "--latency-json") {
+      options->latencyJson = true;
+    } else if (arg == "--metrics-out") {
+      const char* v = needValue(i, "--metrics-out");
+      if (!v) return false;
+      options->metricsOut = v;
+    } else if (arg == "--flight-out") {
+      const char* v = needValue(i, "--flight-out");
+      if (!v) return false;
+      options->flightOut = v;
     } else if (arg == "--shutdown") {
       options->shutdown = true;
     } else {
@@ -223,13 +271,19 @@ int runReplayTool(const ReplayToolOptions& options, std::ostream& out,
   }
 
   std::map<std::string, std::pair<std::int64_t, std::int64_t>> firstBounds;
+  std::vector<PassLatency> passes;
   std::int64_t hits = 0;
   std::int64_t total = 0;
   for (int pass = 0; pass < options.repeat; ++pass) {
-    std::int64_t passHits = 0;
+    PassLatency latency;
     for (const ReplayInput& input : inputs) {
+      const auto callStart = std::chrono::steady_clock::now();
       const std::optional<serve::Response> response =
           client.analyze(input.request, &error);
+      const std::int64_t callMicros =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - callStart)
+              .count();
       if (!response) {
         err << "cinderella-replay: " << input.label << ": " << error << "\n";
         return 1;
@@ -240,9 +294,11 @@ int runReplayTool(const ReplayToolOptions& options, std::ostream& out,
         return 1;
       }
       ++total;
+      ++latency.requests;
+      latency.micros.push_back(callMicros);
       if (response->cacheHit) {
         ++hits;
-        ++passHits;
+        ++latency.cacheHits;
       }
       const std::pair<std::int64_t, std::int64_t> bound{response->boundLo,
                                                         response->boundHi};
@@ -256,7 +312,9 @@ int runReplayTool(const ReplayToolOptions& options, std::ostream& out,
       }
     }
     out << "pass " << (pass + 1) << "/" << options.repeat << ": "
-        << inputs.size() << " request(s), " << passHits << " cache hit(s)\n";
+        << inputs.size() << " request(s), " << latency.cacheHits
+        << " cache hit(s)\n";
+    passes.push_back(std::move(latency));
   }
 
   const double hitRate =
@@ -264,6 +322,64 @@ int runReplayTool(const ReplayToolOptions& options, std::ostream& out,
   out << "replayed " << inputs.size() << " input(s) x " << options.repeat
       << " pass(es): " << hits << "/" << total << " bound-cache hit(s) ("
       << static_cast<int>(hitRate * 100.0) << "%)\n";
+
+  if (options.latencyJson) {
+    obs::JsonWriter w;
+    w.beginObject().key("passes").beginArray();
+    for (std::size_t i = 0; i < passes.size(); ++i) {
+      const PassLatency& pass = passes[i];
+      w.beginObject()
+          .key("pass")
+          .value(static_cast<std::int64_t>(i + 1))
+          .key("requests")
+          .value(pass.requests)
+          .key("cacheHits")
+          .value(pass.cacheHits)
+          .key("p50Micros")
+          .value(obs::percentileOf(pass.micros, 0.50))
+          .key("p90Micros")
+          .value(obs::percentileOf(pass.micros, 0.90))
+          .key("p99Micros")
+          .value(obs::percentileOf(pass.micros, 0.99))
+          .endObject();
+    }
+    w.endArray()
+        .key("requests")
+        .value(total)
+        .key("cacheHits")
+        .value(hits)
+        .key("hitRate")
+        .value(hitRate)
+        .endObject();
+    out << w.str() << "\n";
+  }
+
+  if (!options.metricsOut.empty()) {
+    const std::optional<serve::Response> response = client.metrics(&error);
+    if (!response || !response->ok) {
+      err << "cinderella-replay: metrics: "
+          << (!response ? error : response->error) << "\n";
+      return 1;
+    }
+    if (!writeTextOutput(options.metricsOut,
+                         response->raw.stringOr("prometheus", ""), out, err,
+                         "metrics")) {
+      return 1;
+    }
+  }
+  if (!options.flightOut.empty()) {
+    const std::optional<serve::Response> response =
+        client.flightrecorder(&error);
+    if (!response || !response->ok) {
+      err << "cinderella-replay: flightrecorder: "
+          << (!response ? error : response->error) << "\n";
+      return 1;
+    }
+    if (!writeTextOutput(options.flightOut, response->rawText, out, err,
+                         "flight recorder dump")) {
+      return 1;
+    }
+  }
 
   if (options.shutdown) {
     if (!client.shutdown(&error)) {

@@ -1,10 +1,16 @@
 #include "cinderella/tools/serve_tool.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <ostream>
 
+#include "cinderella/obs/log.hpp"
 #include "cinderella/obs/trace.hpp"
 #include "cinderella/serve/server.hpp"
 #include "cinderella/suite/suite.hpp"
@@ -13,6 +19,43 @@
 namespace cinderella::tools {
 
 namespace {
+
+/// Crash-dump plumbing for the flight recorder.  Plain globals because
+/// signal handlers cannot capture state; only one daemon runs per
+/// process.  The handler is deliberately best-effort: serialising the
+/// ring allocates, which is not async-signal-safe, but the process is
+/// dying anyway and a truncated dump beats no dump.
+serve::Server* g_crashServer = nullptr;
+std::string g_crashDumpPath;
+
+extern "C" void crashDumpHandler(int sig) {
+  if (g_crashServer != nullptr && !g_crashDumpPath.empty()) {
+    const std::string dump = g_crashServer->flightRecorder().json();
+    const int fd =
+        ::open(g_crashDumpPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      (void)!::write(fd, dump.data(), dump.size());
+      (void)!::write(fd, "\n", 1);
+      ::close(fd);
+    }
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+void installCrashHandlers(serve::Server* server, const std::string& path) {
+  g_crashServer = server;
+  g_crashDumpPath = path;
+  std::signal(SIGSEGV, crashDumpHandler);
+  std::signal(SIGABRT, crashDumpHandler);
+}
+
+void uninstallCrashHandlers() {
+  std::signal(SIGSEGV, SIG_DFL);
+  std::signal(SIGABRT, SIG_DFL);
+  g_crashServer = nullptr;
+  g_crashDumpPath.clear();
+}
 
 constexpr const char* kServeUsage = R"(usage: cinderella-serve [options]
 
@@ -41,6 +84,16 @@ options:
                             (if present) and write it back on shutdown
   --trace-out <file>        write a Chrome trace-event JSON timeline of
                             every request served, on shutdown
+  --log-out <file>          structured NDJSON request log ("-" = stderr);
+                            one {"event":"request",...} object per line
+  --log-level <level>       debug, info (default), warn, or error
+  --slow-ms <N>             requests slower than N ms additionally log a
+                            "slow-request" record embedding the request's
+                            span tree (default 0 = off)
+  --flight-recorder <N>     flight-recorder ring capacity — the last N
+                            requests, always on (default 256)
+  --flight-out <file>       dump the flight recorder here on shutdown and
+                            (best-effort) on SIGSEGV/SIGABRT
   --help                    show this message
 
 Stop the daemon by sending {"op":"shutdown"} on any connection, e.g.:
@@ -121,6 +174,39 @@ bool parseServeArgs(int argc, const char* const* argv,
       const char* v = needValue(i, "--trace-out");
       if (!v) return false;
       options->traceOut = v;
+    } else if (arg == "--log-out") {
+      const char* v = needValue(i, "--log-out");
+      if (!v) return false;
+      options->logOut = v;
+    } else if (arg == "--log-level") {
+      const char* v = needValue(i, "--log-level");
+      if (!v) return false;
+      if (!obs::parseLogLevel(v)) {
+        err << "cinderella-serve: --log-level needs debug, info, warn or "
+               "error\n";
+        return false;
+      }
+      options->logLevel = v;
+    } else if (arg == "--slow-ms") {
+      const char* v = needValue(i, "--slow-ms");
+      if (!v || !parseSizeArg(v, 0, 86'400'000, &value)) {
+        err << "cinderella-serve: --slow-ms needs an integer in "
+               "[0, 86400000]\n";
+        return false;
+      }
+      options->slowMs = value;
+    } else if (arg == "--flight-recorder") {
+      const char* v = needValue(i, "--flight-recorder");
+      if (!v || !parseSizeArg(v, 8, 1 << 20, &value)) {
+        err << "cinderella-serve: --flight-recorder needs an integer in "
+               "[8, 1048576]\n";
+        return false;
+      }
+      options->flightEntries = static_cast<std::size_t>(value);
+    } else if (arg == "--flight-out") {
+      const char* v = needValue(i, "--flight-out");
+      if (!v) return false;
+      options->flightOut = v;
     } else {
       err << "cinderella-serve: unknown option '" << arg << "'\n"
           << kServeUsage;
@@ -136,6 +222,27 @@ int runServeTool(const ServeToolOptions& options, std::ostream& out,
     std::unique_ptr<obs::Tracer> tracer;
     if (!options.traceOut.empty()) tracer = std::make_unique<obs::Tracer>();
 
+    // The structured log sink: a file, or stderr for "-".  Opened before
+    // the server so a bad path fails the start, not the first request.
+    std::unique_ptr<std::ofstream> logFile;
+    std::unique_ptr<obs::Logger> logger;
+    if (!options.logOut.empty()) {
+      std::ostream* sink = &std::cerr;
+      if (options.logOut != "-") {
+        logFile = std::make_unique<std::ofstream>(options.logOut,
+                                                  std::ios::app);
+        if (!*logFile) {
+          err << "cinderella-serve: cannot open log file '" << options.logOut
+              << "'\n";
+          return 1;
+        }
+        sink = logFile.get();
+      }
+      const auto level = obs::parseLogLevel(options.logLevel);
+      logger = std::make_unique<obs::Logger>(
+          sink, level.value_or(obs::LogLevel::Info));
+    }
+
     serve::ServerOptions serverOptions;
     serverOptions.port = options.port;
     serverOptions.poolThreads = options.poolThreads;
@@ -145,10 +252,18 @@ int runServeTool(const ServeToolOptions& options, std::ostream& out,
     serverOptions.snapshotPath = options.snapshotPath;
     serverOptions.benchmarkResolver = suite::benchmarkResolver();
     serverOptions.tracer = tracer.get();
+    serverOptions.logger = logger.get();
+    serverOptions.slowMillis = options.slowMs;
+    serverOptions.flightRecorderEntries = options.flightEntries;
+    serverOptions.flightDumpPath = options.flightOut;
 
     serve::Server server(std::move(serverOptions));
+    if (!options.flightOut.empty()) {
+      installCrashHandlers(&server, options.flightOut);
+    }
     std::string startError;
     if (!server.start(&startError)) {
+      uninstallCrashHandlers();
       err << "cinderella-serve: " << startError << "\n";
       return 1;
     }
@@ -162,6 +277,7 @@ int runServeTool(const ServeToolOptions& options, std::ostream& out,
 
     server.wait();
     server.stop();
+    uninstallCrashHandlers();
 
     const serve::ServeCounters counters = server.counters();
     const ipet::SolveCacheStats cache = server.service().cache().stats();

@@ -1,0 +1,128 @@
+// Structured NDJSON logging: one valid JSON object per line, level
+// thresholds, raw-field splicing, and atomic lines under concurrency.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cinderella/obs/json.hpp"
+#include "cinderella/obs/json_parse.hpp"
+#include "cinderella/obs/log.hpp"
+
+namespace cinderella::obs {
+namespace {
+
+std::vector<std::string> lines(const std::ostringstream& out) {
+  std::vector<std::string> result;
+  std::istringstream in(out.str());
+  std::string line;
+  while (std::getline(in, line)) result.push_back(line);
+  return result;
+}
+
+TEST(Log, LevelNamesRoundTrip) {
+  for (const LogLevel level : {LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+                               LogLevel::Error}) {
+    const auto parsed = parseLogLevel(logLevelStr(level));
+    ASSERT_TRUE(parsed.has_value()) << logLevelStr(level);
+    EXPECT_EQ(*parsed, level);
+  }
+  EXPECT_FALSE(parseLogLevel("verbose").has_value());
+  EXPECT_FALSE(parseLogLevel("").has_value());
+}
+
+TEST(Log, EveryRecordIsOneValidJsonLine) {
+  std::ostringstream out;
+  Logger logger(&out, LogLevel::Info);
+  logger.record(LogLevel::Info, "request")
+      .field("id", 7)
+      .field("label", "fig2 \"quoted\"\n")
+      .field("ok", true)
+      .field("rate", 0.5);
+  logger.record(LogLevel::Error, "lifecycle").field("msg", "bye");
+
+  const std::vector<std::string> records = lines(out);
+  ASSERT_EQ(records.size(), 2u);
+  for (const std::string& line : records) {
+    EXPECT_EQ(jsonLint(line), "") << line;
+  }
+  std::string error;
+  const auto first = jsonParse(records[0], &error);
+  ASSERT_TRUE(first.has_value()) << error;
+  EXPECT_GT(first->intOr("ts", 0), 0);
+  EXPECT_EQ(first->stringOr("level", ""), "info");
+  EXPECT_EQ(first->stringOr("event", ""), "request");
+  EXPECT_EQ(first->intOr("id", 0), 7);
+  EXPECT_EQ(first->stringOr("label", ""), "fig2 \"quoted\"\n");
+}
+
+TEST(Log, BelowThresholdRecordsWriteNothing) {
+  std::ostringstream out;
+  Logger logger(&out, LogLevel::Warn);
+  EXPECT_FALSE(logger.enabled(LogLevel::Info));
+  EXPECT_TRUE(logger.enabled(LogLevel::Warn));
+  {
+    LogRecord r = logger.record(LogLevel::Info, "dropped");
+    EXPECT_FALSE(r.enabled());
+    r.field("expensive", "never serialised");
+  }
+  EXPECT_EQ(out.str(), "");
+  logger.record(LogLevel::Warn, "kept").field("k", 1);
+  EXPECT_NE(out.str(), "");
+}
+
+TEST(Log, NullStreamDisablesEverything) {
+  Logger logger(nullptr, LogLevel::Debug);
+  EXPECT_FALSE(logger.enabled(LogLevel::Error));
+  LogRecord r = logger.record(LogLevel::Error, "nowhere");
+  EXPECT_FALSE(r.enabled());
+  r.field("k", 1);  // must not crash
+}
+
+TEST(Log, RawFieldSplicesPreserialisedJson) {
+  std::ostringstream out;
+  Logger logger(&out, LogLevel::Info);
+  logger.record(LogLevel::Info, "slow-request")
+      .field("id", 1)
+      .rawField("telemetry", R"({"stages":{"solve":1234}})");
+  const std::vector<std::string> records = lines(out);
+  ASSERT_EQ(records.size(), 1u);
+  std::string error;
+  const auto record = jsonParse(records[0], &error);
+  ASSERT_TRUE(record.has_value()) << error;
+  const JsonValue* telemetry = record->find("telemetry");
+  ASSERT_NE(telemetry, nullptr);
+  const JsonValue* stages = telemetry->find("stages");
+  ASSERT_NE(stages, nullptr);
+  EXPECT_EQ(stages->intOr("solve", 0), 1234);
+}
+
+TEST(Log, ConcurrentRecordsNeverInterleave) {
+  std::ostringstream out;
+  Logger logger(&out, LogLevel::Info);
+  constexpr int kThreads = 4;
+  constexpr int kRecordsEach = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&logger, t] {
+      for (int i = 0; i < kRecordsEach; ++i) {
+        logger.record(LogLevel::Info, "tick")
+            .field("thread", t)
+            .field("i", i)
+            .field("pad", std::string(64, 'x'));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const std::vector<std::string> records = lines(out);
+  ASSERT_EQ(records.size(),
+            static_cast<std::size_t>(kThreads * kRecordsEach));
+  for (const std::string& line : records) {
+    ASSERT_EQ(jsonLint(line), "") << line;
+  }
+}
+
+}  // namespace
+}  // namespace cinderella::obs

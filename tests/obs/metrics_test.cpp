@@ -127,5 +127,59 @@ TEST(MetricsSink, OffPathReportsNothing) {
   EXPECT_EQ(support::metricsSink(), nullptr);
 }
 
+TEST(MetricsSnapshot, CopiesStateAndDetachesFromTheRegistry) {
+  MetricsRegistry registry;
+  registry.add("solves", 3);
+  registry.observe("micros", 100);
+  registry.observe("micros", 900);
+  const MetricsSnapshot snap = registry.snapshot();
+  // Mutating the registry after the snapshot must not change it.
+  registry.add("solves", 7);
+  registry.observe("micros", 5000);
+  EXPECT_EQ(snap.counters.at("solves"), 3);
+  EXPECT_EQ(snap.histograms.at("micros").count, 2);
+  EXPECT_EQ(snap.histograms.at("micros").sum, 1000);
+  EXPECT_EQ(snap.histograms.at("micros").max, 900);
+  EXPECT_EQ(jsonLint(snap.json()), "") << snap.json();
+}
+
+TEST(MetricsSnapshot, DeltaSinceScopesCumulativeStateToAnInterval) {
+  MetricsRegistry registry;
+  registry.add("requests", 5);
+  registry.observe("micros", 64);
+  const MetricsSnapshot before = registry.snapshot();
+  registry.add("requests", 2);
+  registry.add("errors", 1);  // born after `before`
+  registry.observe("micros", 64);
+  registry.observe("micros", 128);
+  const MetricsSnapshot delta = deltaSince(before, registry.snapshot());
+  EXPECT_EQ(delta.counters.at("requests"), 2);
+  EXPECT_EQ(delta.counters.at("errors"), 1);
+  EXPECT_EQ(delta.histograms.at("micros").count, 2);
+  EXPECT_EQ(delta.histograms.at("micros").sum, 192);
+}
+
+TEST(HistogramSnapshot, QuantileIsExactAtBucketBoundsAndZeroWhenEmpty) {
+  EXPECT_EQ(HistogramSnapshot{}.quantile(0.5), 0);
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.observe(64);  // all in one bucket
+  const HistogramSnapshot snap = h.snapshot();
+  const std::int64_t p50 = snap.quantile(0.5);
+  // Bucket [64, 128): the estimate must stay inside the holding bucket.
+  EXPECT_GE(p50, 64);
+  EXPECT_LT(p50, 128);
+}
+
+TEST(PercentileOf, NearestRankOnRawSamples) {
+  EXPECT_EQ(percentileOf({}, 0.5), 0);
+  EXPECT_EQ(percentileOf({42}, 0.5), 42);
+  std::vector<std::int64_t> samples;
+  for (std::int64_t v = 100; v >= 1; --v) samples.push_back(v);  // unsorted
+  EXPECT_EQ(percentileOf(samples, 0.50), 50);
+  EXPECT_EQ(percentileOf(samples, 0.90), 90);
+  EXPECT_EQ(percentileOf(samples, 0.99), 99);
+  EXPECT_EQ(percentileOf(samples, 1.0), 100);
+}
+
 }  // namespace
 }  // namespace cinderella::obs

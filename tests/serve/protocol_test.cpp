@@ -88,6 +88,97 @@ TEST(ServeProtocol, OpsParseAndDefaultToAnalyze) {
   EXPECT_EQ(back.op, Op::Analyze);
 }
 
+TEST(ServeProtocol, StringIdsRoundTripVerbatim) {
+  RequestFrame back;
+  std::string error;
+  ASSERT_TRUE(decodeRequest(R"({"op":"ping","id":"req-abc.01"})", &back,
+                            &error))
+      << error;
+  EXPECT_TRUE(back.hasId);
+  EXPECT_TRUE(back.idIsString);
+  EXPECT_EQ(back.idText, "req-abc.01");
+  // Encoding the frame back emits the string id unchanged.
+  const std::string line = encodeRequest(back);
+  EXPECT_NE(line.find(R"("id":"req-abc.01")"), std::string::npos) << line;
+  // And responses echo it: WireId renders strings as strings.
+  const auto pong = decodeResponse(encodePong(WireId("req-abc.01")), &error);
+  ASSERT_TRUE(pong.has_value()) << error;
+  EXPECT_EQ(pong->requestId, "req-abc.01");
+}
+
+TEST(ServeProtocol, AbsentIdIsAllowedAndMarked) {
+  RequestFrame back;
+  std::string error;
+  ASSERT_TRUE(decodeRequest(R"({"op":"ping"})", &back, &error)) << error;
+  EXPECT_FALSE(back.hasId);
+  // A frame without an id encodes without one, too.
+  RequestFrame frame;
+  frame.op = Op::Ping;
+  frame.hasId = false;
+  EXPECT_EQ(encodeRequest(frame).find("\"id\""), std::string::npos);
+}
+
+TEST(ServeProtocol, MalformedIdsAreRejectedWithAClearError) {
+  RequestFrame back;
+  std::string error;
+  for (const char* bad : {
+           R"({"op":"ping","id":3.5})",          // fractional
+           R"({"op":"ping","id":true})",         // wrong type
+           R"({"op":"ping","id":[1]})",          // wrong type
+           R"({"op":"ping","id":{"n":1}})",      // wrong type
+           R"({"op":"ping","id":""})",           // empty string
+           R"({"op":"ping","id":"a\tb"})",       // control character
+       }) {
+    error.clear();
+    EXPECT_FALSE(decodeRequest(bad, &back, &error)) << "accepted: " << bad;
+    EXPECT_NE(error.find("id"), std::string::npos) << bad << ": " << error;
+  }
+  // Over-long string ids are rejected (bounded log/flight records).
+  const std::string longId(129, 'x');
+  EXPECT_FALSE(decodeRequest(R"({"op":"ping","id":")" + longId + "\"}", &back,
+                             &error));
+}
+
+TEST(ServeProtocol, WireIdRendersIntAndStringForms) {
+  EXPECT_EQ(WireId(42).str(), "42");
+  EXPECT_EQ(WireId("srv-7").str(), "srv-7");
+  std::string error;
+  const auto numeric = decodeResponse(encodePong(WireId(42)), &error);
+  ASSERT_TRUE(numeric.has_value()) << error;
+  EXPECT_EQ(numeric->id, 42);
+  EXPECT_EQ(numeric->requestId, "42");
+}
+
+TEST(ServeProtocol, MetricsAndFlightRecorderFramesRoundTrip) {
+  std::string error;
+  const auto metrics = decodeResponse(
+      encodeMetricsResponse(8, "# TYPE m counter\nm 1\n"), &error);
+  ASSERT_TRUE(metrics.has_value()) << error;
+  EXPECT_TRUE(metrics->ok);
+  EXPECT_EQ(metrics->id, 8);
+  EXPECT_EQ(metrics->raw.stringOr("prometheus", ""),
+            "# TYPE m counter\nm 1\n");
+  EXPECT_NE(metrics->raw.stringOr("contentType", "").find("0.0.4"),
+            std::string::npos);
+
+  const auto flight = decodeResponse(
+      encodeFlightRecorderResponse(
+          9, R"({"capacity":8,"recorded":0,"records":[]})"),
+      &error);
+  ASSERT_TRUE(flight.has_value()) << error;
+  EXPECT_TRUE(flight->ok);
+  const obs::JsonValue* recorder = flight->raw.find("flightRecorder");
+  ASSERT_NE(recorder, nullptr);
+  EXPECT_EQ(recorder->intOr("capacity", 0), 8);
+
+  RequestFrame back;
+  ASSERT_TRUE(decodeRequest(R"({"op":"metrics","id":1})", &back, &error));
+  EXPECT_EQ(back.op, Op::Metrics);
+  ASSERT_TRUE(decodeRequest(R"({"op":"flightrecorder","id":2})", &back,
+                            &error));
+  EXPECT_EQ(back.op, Op::FlightRecorder);
+}
+
 TEST(ServeProtocol, DecodeRejectsInvalidFrames) {
   RequestFrame back;
   std::string error;
