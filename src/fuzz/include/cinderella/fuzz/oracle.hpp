@@ -50,6 +50,7 @@ enum class CheckKind {
   CacheReplay,     ///< solve-cache replay missed or changed the bound
   DegradedThrow,   ///< estimate threw under fault injection
   DegradedUnsound, ///< sound-claiming degraded interval lost the clean one
+  ParametricMismatch, ///< formula evaluation != direct solve at a point
 };
 
 [[nodiscard]] const char* checkKindStr(CheckKind kind);
@@ -75,6 +76,12 @@ struct OracleOptions {
   /// ipet::AnalysisService; the second submission must be a bound-cache
   /// hit carrying a bit-identical interval (what the daemon relies on).
   bool checkSolveCache = true;
+  /// Parametric equivalence: attach a redundant `x0 <= @P` constraint
+  /// (the root entry block runs exactly once), build the closed-form
+  /// formula over P in [1, 3] with the parametric engine, and require
+  /// formula evaluation to equal a direct solve with P bound, bit for
+  /// bit, at every grid point and for every cache mode.
+  bool checkParametric = true;
   std::uint64_t maxExplicitPaths = 2'000'000;
   std::uint64_t maxExplicitSteps = 50'000'000;
   /// Simulator step cap (generated programs are tiny; a runaway run is

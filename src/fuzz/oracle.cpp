@@ -6,6 +6,7 @@
 #include "cinderella/codegen/codegen.hpp"
 #include "cinderella/explicitpath/enumerator.hpp"
 #include "cinderella/ipet/analysis.hpp"
+#include "cinderella/ipet/parametric.hpp"
 #include "cinderella/sim/simulator.hpp"
 #include "cinderella/support/error.hpp"
 #include "cinderella/support/fault_injector.hpp"
@@ -29,6 +30,7 @@ const char* checkKindStr(CheckKind kind) {
     case CheckKind::CacheReplay: return "cache-replay";
     case CheckKind::DegradedThrow: return "degraded-throw";
     case CheckKind::DegradedUnsound: return "degraded-unsound";
+    case CheckKind::ParametricMismatch: return "parametric-mismatch";
   }
   return "?";
 }
@@ -218,6 +220,47 @@ OracleReport DifferentialOracle::check(const GeneratedProgram& program,
       }
     } catch (const Error& e) {
       add(CheckKind::Analysis, std::string("cache replay: ") + e.what());
+    }
+  }
+
+  //    Parametric equivalence: `x0 <= @P` is redundant for any P >= 1
+  //    (the root entry block executes exactly once), so it is safe to
+  //    attach to every generated program.  Even though the resulting
+  //    formula is typically constant in P, the check drives the whole
+  //    parametric stack — the @-parameter parser, RHS folding under
+  //    bindParam, the region-splitting engine, and exact formula
+  //    evaluation — and every grid point must reproduce the direct
+  //    bound bit for bit, in every cache mode.
+  if (options_.checkParametric) {
+    const std::vector<ipet::ParamDecl> params = {{"P", 1, 3}};
+    for (const ipet::CacheMode mode : options_.cacheModes) {
+      try {
+        ipet::AnalyzerOptions aopt;
+        aopt.cacheMode = mode;
+        ipet::Analyzer analyzer(*compiled, program.root, aopt);
+        for (const auto& text : program.constraints) {
+          analyzer.addConstraint(text);
+        }
+        analyzer.addConstraint("x0 <= 3 * @P");
+        const ipet::ParametricResult parametric =
+            ipet::solveParametric(analyzer, params);
+        for (std::int64_t p = params[0].lo; p <= params[0].hi; ++p) {
+          analyzer.clearParamBindings();
+          analyzer.bindParam("P", p);
+          const ipet::Interval direct = analyzer.estimate().bound;
+          const ipet::Interval priced = parametric.formula.evaluate({p});
+          if (priced != direct) {
+            add(CheckKind::ParametricMismatch,
+                std::string(ipet::cacheModeStr(mode)) + ": P=" +
+                    std::to_string(p) + " formula " +
+                    intervalStr(priced.lo, priced.hi) + " != direct " +
+                    intervalStr(direct.lo, direct.hi));
+          }
+        }
+        analyzer.clearParamBindings();
+      } catch (const Error& e) {
+        add(CheckKind::Analysis, std::string("parametric: ") + e.what());
+      }
     }
   }
 

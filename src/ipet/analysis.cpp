@@ -6,6 +6,7 @@
 
 #include "cinderella/codegen/codegen.hpp"
 #include "cinderella/ilp/branch_and_bound.hpp"
+#include "cinderella/ipet/parametric.hpp"
 #include "cinderella/lp/lp_format.hpp"
 #include "cinderella/obs/request_telemetry.hpp"
 #include "cinderella/support/error.hpp"
@@ -101,6 +102,10 @@ AnalysisResult AnalysisService::analyze(
       throw AnalysisError(
           "functionality constraints apply to MiniC input, not lp input");
     }
+    if (!request.parameters.empty()) {
+      throw AnalysisError(
+          "parametric analysis applies to MiniC input, not lp input");
+    }
     return analyzeLp(request, telemetry);
   }
 
@@ -139,6 +144,9 @@ AnalysisResult AnalysisService::analyze(
     analyzer.addConstraint(c.text, c.scope);
   }
   cfgTimer.stop();
+  if (!request.parameters.empty()) {
+    return analyzeParametricWith(analyzer, request, telemetry);
+  }
   return analyzeWith(analyzer, request, telemetry);
 }
 
@@ -204,6 +212,72 @@ AnalysisResult AnalysisService::analyzeWith(
     auto storeTimer = obs::timeStage(telemetry, obs::RequestStage::CacheStore);
     cache_.insert(digests.full, digests.structural, result.estimate,
                   std::move(exported), result.solveMicros);
+  }
+  result.wallMicros = microsSince(start);
+  return result;
+}
+
+AnalysisResult AnalysisService::analyzeParametricWith(
+    Analyzer& analyzer, const AnalysisRequest& request,
+    obs::RequestTelemetry* telemetry) const {
+  const Clock::time_point start = Clock::now();
+  CIN_REQUIRE(!request.parameters.empty());
+  AnalysisResult result;
+  result.program = defaultLabel(request);
+
+  auto digestTimer = obs::timeStage(telemetry, obs::RequestStage::Digest);
+  const Digest parametric = analyzer.parametricDigest(request.parameters);
+  digestTimer.stop();
+  // Both digest fields carry the parametric key: it is what the formula
+  // cache and the serve "evaluate" op address this result by (the
+  // concrete full/structural digests vary per sample point).
+  result.fullDigest = parametric;
+  result.structuralDigest = parametric;
+
+  const bool useCache =
+      cache_.enabled() && request.cachePolicy != CachePolicy::Bypass;
+  if (useCache) {
+    auto lookupTimer =
+        obs::timeStage(telemetry, obs::RequestStage::CacheLookup);
+    std::optional<CachedFormula> hit = cache_.lookupFormula(parametric);
+    lookupTimer.stop();
+    if (hit) {
+      // The same system with the same symbolic parameters was already
+      // run through the parametric engine; the cached piecewise bound
+      // is the verified answer for every point in the box.
+      result.cacheHit = true;
+      result.formula = std::move(hit->formula);
+      result.estimate.bound = result.formula->hull();
+      result.solveMicros = hit->solveWallMicros;
+      result.wallMicros = microsSince(start);
+      return result;
+    }
+  }
+
+  SolveControl control = request.control;
+  if (control.tracer == nullptr && telemetry != nullptr) {
+    control.tracer = telemetry->tracer();
+  }
+  // The engine owns the warm-start chain across its sample points.
+  control.importSeedBasis = nullptr;
+  control.exportSeedBasis = nullptr;
+
+  const Clock::time_point solveStart = Clock::now();
+  ParametricResult solved;
+  {
+    auto solveTimer = obs::timeStage(telemetry, obs::RequestStage::Solve);
+    solved = solveParametric(analyzer, request.parameters, control);
+  }
+  result.solveMicros = microsSince(solveStart);
+  result.formula = std::move(solved.formula);
+  result.estimate.bound = result.formula->hull();
+
+  if (useCache && request.cachePolicy == CachePolicy::ReadWrite) {
+    auto storeTimer = obs::timeStage(telemetry, obs::RequestStage::CacheStore);
+    CachedFormula entry;
+    entry.formula = *result.formula;
+    entry.solveWallMicros = result.solveMicros;
+    cache_.insertFormula(parametric, std::move(entry));
   }
   result.wallMicros = microsSince(start);
   return result;

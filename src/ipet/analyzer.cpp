@@ -13,6 +13,7 @@
 #include <sstream>
 
 #include "cinderella/cfg/callgraph.hpp"
+#include "cinderella/ipet/formula.hpp"
 #include "cinderella/lp/lp_format.hpp"
 #include "cinderella/cfg/dominators.hpp"
 #include "cinderella/obs/trace.hpp"
@@ -900,6 +901,11 @@ lp::Constraint Analyzer::resolveSymConstraint(const SymConstraint& sc) const {
       for (const auto& t : vars.terms()) {
         expr.add(t.var, static_cast<double>(term.coeff) * t.coeff);
       }
+    } else if (!term.param.empty()) {
+      // A bound parameter is a constant: fold coeff * value exactly as
+      // if the number had been written in the constraint text.
+      rhs -= static_cast<double>(term.coeff) *
+             static_cast<double>(paramValue(term.param));
     } else {
       rhs -= static_cast<double>(term.coeff);
     }
@@ -910,11 +916,48 @@ lp::Constraint Analyzer::resolveSymConstraint(const SymConstraint& sc) const {
       for (const auto& t : vars.terms()) {
         expr.add(t.var, -static_cast<double>(term.coeff) * t.coeff);
       }
+    } else if (!term.param.empty()) {
+      rhs += static_cast<double>(term.coeff) *
+             static_cast<double>(paramValue(term.param));
     } else {
       rhs += static_cast<double>(term.coeff);
     }
   }
   return lp::Constraint{std::move(expr), sc.rel, rhs};
+}
+
+std::int64_t Analyzer::paramValue(const std::string& name) const {
+  const auto it = paramBindings_.find(name);
+  if (it == paramBindings_.end()) {
+    throw AnalysisError(
+        "constraint references unbound parameter '@" + name +
+        "' — bind a value or run the parametric analysis mode");
+  }
+  return it->second;
+}
+
+void Analyzer::bindParam(std::string_view name, std::int64_t value) {
+  paramBindings_[std::string(name)] = value;
+}
+
+void Analyzer::clearParamBindings() { paramBindings_.clear(); }
+
+std::vector<std::string> Analyzer::referencedParams() const {
+  std::vector<std::string> names;
+  for (const auto& dnf : userConstraints_) {
+    for (const auto& set : dnf) {
+      for (const auto& sc : set) {
+        for (const auto* side : {&sc.lhs, &sc.rhs}) {
+          for (const auto& term : *side) {
+            if (!term.param.empty()) names.push_back(term.param);
+          }
+        }
+      }
+    }
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
 }
 
 lp::Problem Analyzer::materializeSet(const BaseProblem& base,
@@ -940,11 +983,10 @@ std::vector<std::string> Analyzer::canonicalSetRows(
   return rows;
 }
 
-Analyzer::SystemDigests Analyzer::systemDigests() const {
-  const BaseProblem base = buildBaseProblem();
-  DigestBuilder builder;
-  builder.tag('V');
-  builder.u32(static_cast<std::uint32_t>(base.problem.numVars()));
+void Analyzer::hashStructural(DigestBuilder* builder,
+                              const BaseProblem& base) const {
+  builder->tag('V');
+  builder->u32(static_cast<std::uint32_t>(base.problem.numVars()));
   // Base rows, order-normalized like a constraint set's: the digest must
   // not depend on emission order, only on the region they carve.
   std::vector<std::string> baseRows;
@@ -955,15 +997,21 @@ Analyzer::SystemDigests Analyzer::systemDigests() const {
   std::sort(baseRows.begin(), baseRows.end());
   baseRows.erase(std::unique(baseRows.begin(), baseRows.end()),
                  baseRows.end());
-  builder.tag('B');
-  builder.u32(static_cast<std::uint32_t>(baseRows.size()));
-  for (const auto& row : baseRows) builder.str(row);
-  builder.tag('W');
-  builder.u32(static_cast<std::uint32_t>(base.worstCoeff.size()));
-  for (const double c : base.worstCoeff) builder.f64(c);
-  builder.tag('C');
-  builder.u32(static_cast<std::uint32_t>(base.bestCoeff.size()));
-  for (const double c : base.bestCoeff) builder.f64(c);
+  builder->tag('B');
+  builder->u32(static_cast<std::uint32_t>(baseRows.size()));
+  for (const auto& row : baseRows) builder->str(row);
+  builder->tag('W');
+  builder->u32(static_cast<std::uint32_t>(base.worstCoeff.size()));
+  for (const double c : base.worstCoeff) builder->f64(c);
+  builder->tag('C');
+  builder->u32(static_cast<std::uint32_t>(base.bestCoeff.size()));
+  for (const double c : base.bestCoeff) builder->f64(c);
+}
+
+Analyzer::SystemDigests Analyzer::systemDigests() const {
+  const BaseProblem base = buildBaseProblem();
+  DigestBuilder builder;
+  hashStructural(&builder, base);
 
   SystemDigests out;
   out.structural = builder.finish();
@@ -985,6 +1033,72 @@ Analyzer::SystemDigests Analyzer::systemDigests() const {
   }
   out.full = builder.finish();
   return out;
+}
+
+std::string Analyzer::symbolicRowKey(const SymConstraint& sc) const {
+  // Split the row into its parameter-free part (canonicalized exactly
+  // like a concrete row) and the rhs gradient per parameter — the key is
+  // invariant under bindings and names the *family* of concrete rows the
+  // constraint expands to.
+  SymConstraint stripped;
+  stripped.rel = sc.rel;
+  std::map<std::string, std::int64_t> gradient;  // d(rhs)/d(param)
+  for (const auto& term : sc.lhs) {
+    if (!term.param.empty()) {
+      gradient[term.param] -= term.coeff;
+    } else {
+      stripped.lhs.push_back(term);
+    }
+  }
+  for (const auto& term : sc.rhs) {
+    if (!term.param.empty()) {
+      gradient[term.param] += term.coeff;
+    } else {
+      stripped.rhs.push_back(term);
+    }
+  }
+  std::string key = canonicalRowKey(resolveSymConstraint(stripped));
+  for (const auto& [name, g] : gradient) {
+    if (g == 0) continue;
+    key += '|';
+    key += name;
+    key += ':';
+    key += std::to_string(g);
+  }
+  return key;
+}
+
+Digest Analyzer::parametricDigest(const std::vector<ParamDecl>& params) const {
+  const BaseProblem base = buildBaseProblem();
+  DigestBuilder builder;
+  hashStructural(&builder, base);
+  const Dnf combined = combineUserConstraints();
+  std::vector<std::vector<std::string>> setKeys;
+  setKeys.reserve(combined.size());
+  for (const auto& set : combined) {
+    std::vector<std::string> rows;
+    rows.reserve(set.size());
+    for (const auto& sc : set) rows.push_back(symbolicRowKey(sc));
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+    setKeys.push_back(std::move(rows));
+  }
+  std::sort(setKeys.begin(), setKeys.end());
+  setKeys.erase(std::unique(setKeys.begin(), setKeys.end()), setKeys.end());
+  builder.tag('Y');
+  builder.u32(static_cast<std::uint32_t>(setKeys.size()));
+  for (const auto& rows : setKeys) {
+    builder.u32(static_cast<std::uint32_t>(rows.size()));
+    for (const auto& row : rows) builder.str(row);
+  }
+  builder.tag('P');
+  builder.u32(static_cast<std::uint32_t>(params.size()));
+  for (const auto& p : params) {
+    builder.str(p.name);
+    builder.i64(p.lo);
+    builder.i64(p.hi);
+  }
+  return builder.finish();
 }
 
 std::string Analyzer::exportWorstCaseIlp() const {

@@ -145,7 +145,7 @@ class ConstraintParser {
     return terms;
   }
 
-  /// number | number [*] ref | ref [* number]
+  /// number | number [*] (ref|@param) | (ref|@param) [* number]
   SymTerm parseTerm(bool negate) {
     SymTerm term;
     skipSpace();
@@ -154,16 +154,33 @@ class ConstraintParser {
       term.coeff = parseNumber();
       consume('*');
       if (startsVarRef()) {
-        term.var = parseVarRef();
+        parseRefInto(term);
       }
     } else {
-      term.var = parseVarRef();
+      parseRefInto(term);
       if (consume('*')) {
         term.coeff = parseNumber();
       }
     }
     if (negate) term.coeff = -term.coeff;
     return term;
+  }
+
+  /// Fills `term` with either a variable reference or a symbolic
+  /// parameter.  '@' immediately followed by a letter or '_' is a
+  /// parameter; any other '@' form stays the line-block reference.
+  void parseRefInto(SymTerm& term) {
+    if (peek() == '@') {
+      const std::size_t save = pos_;
+      ++pos_;  // past the '@' (peek already skipped leading space)
+      const char next = pos_ < text_.size() ? text_[pos_] : '\0';
+      if (std::isalpha(static_cast<unsigned char>(next)) || next == '_') {
+        term.param = parseIdent();
+        return;
+      }
+      pos_ = save;
+    }
+    term.var = parseVarRef();
   }
 
   std::int64_t parseNumber() {

@@ -1,0 +1,284 @@
+#include "cinderella/ipet/formula.hpp"
+
+#include <numeric>
+
+#include "cinderella/obs/json.hpp"
+#include "cinderella/obs/json_parse.hpp"
+#include "cinderella/support/error.hpp"
+
+namespace cinderella::ipet {
+
+namespace {
+
+using Int128 = __int128;
+
+std::int64_t narrow(Int128 v, const char* what) {
+  if (v > Int128(INT64_MAX) || v < Int128(INT64_MIN)) {
+    throw AnalysisError(std::string("parametric formula overflow in ") + what);
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace
+
+Rat::Rat(std::int64_t n, std::int64_t d) {
+  if (d == 0) throw AnalysisError("rational with zero denominator");
+  if (d < 0) {
+    n = narrow(-Int128(n), "rational sign");
+    d = narrow(-Int128(d), "rational sign");
+  }
+  const std::int64_t g = std::gcd(n, d);
+  num = g ? n / g : n;
+  den = g ? d / g : d;
+}
+
+Rat Rat::plus(const Rat& other) const {
+  const Int128 n = Int128(num) * other.den + Int128(other.num) * den;
+  const Int128 d = Int128(den) * other.den;
+  return Rat(narrow(n, "addition"), narrow(d, "addition"));
+}
+
+Rat Rat::minus(const Rat& other) const {
+  const Int128 n = Int128(num) * other.den - Int128(other.num) * den;
+  const Int128 d = Int128(den) * other.den;
+  return Rat(narrow(n, "subtraction"), narrow(d, "subtraction"));
+}
+
+Rat Rat::times(const Rat& other) const {
+  const Int128 n = Int128(num) * other.num;
+  const Int128 d = Int128(den) * other.den;
+  return Rat(narrow(n, "multiplication"), narrow(d, "multiplication"));
+}
+
+std::int64_t AffineForm::evaluate(
+    const std::vector<std::int64_t>& point) const {
+  CIN_REQUIRE(point.size() == coeff.size());
+  // Accumulate over the common denominator in 128 bits; the final value
+  // must be an exact integer.
+  Int128 den = constant.den;
+  for (const auto& a : coeff) {
+    den = den / std::gcd(narrow(den, "denominator"), a.den) * a.den;
+    narrow(den, "denominator");
+  }
+  Int128 acc = Int128(constant.num) * (den / constant.den);
+  for (std::size_t i = 0; i < coeff.size(); ++i) {
+    acc += Int128(coeff[i].num) * (den / coeff[i].den) * point[i];
+  }
+  if (acc % den != 0) {
+    throw AnalysisError(
+        "parametric formula evaluated to a non-integer — piece fitted "
+        "incorrectly");
+  }
+  return narrow(acc / den, "evaluation");
+}
+
+bool ParamBox::contains(const std::vector<std::int64_t>& point) const {
+  if (point.size() != lo.size()) return false;
+  for (std::size_t i = 0; i < lo.size(); ++i) {
+    if (point[i] < lo[i] || point[i] > hi[i]) return false;
+  }
+  return true;
+}
+
+Interval WcetFormula::evaluate(const std::vector<std::int64_t>& point) const {
+  if (point.size() != params.size()) {
+    throw AnalysisError("parametric evaluation expects " +
+                        std::to_string(params.size()) + " values, got " +
+                        std::to_string(point.size()));
+  }
+  for (const auto& piece : pieces) {
+    if (piece.region.contains(point)) {
+      return Interval{piece.best.evaluate(point), piece.worst.evaluate(point)};
+    }
+  }
+  std::string at;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (i) at += ", ";
+    at += params[i].name + "=" + std::to_string(point[i]);
+  }
+  throw AnalysisError("parameter assignment (" + at +
+                      ") lies outside the formula's declared ranges");
+}
+
+Interval WcetFormula::hull() const {
+  CIN_REQUIRE(!pieces.empty());
+  Interval hull{INT64_MAX, INT64_MIN};
+  std::vector<std::int64_t> vertex(params.size(), 0);
+  for (const auto& piece : pieces) {
+    const std::size_t k = piece.region.lo.size();
+    // Affine forms attain their extremes at region vertices; enumerate
+    // all 2^k of them (k is capped at a handful by the engine).
+    for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << k); ++mask) {
+      for (std::size_t i = 0; i < k; ++i) {
+        vertex[i] = (mask >> i) & 1 ? piece.region.hi[i] : piece.region.lo[i];
+      }
+      hull.lo = std::min(hull.lo, piece.best.evaluate(vertex));
+      hull.hi = std::max(hull.hi, piece.worst.evaluate(vertex));
+    }
+  }
+  return hull;
+}
+
+std::optional<std::size_t> WcetFormula::paramIndex(
+    std::string_view name) const {
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+void ratToJson(obs::JsonWriter* w, const Rat& r) {
+  w->beginArray().value(r.num).value(r.den).endArray();
+}
+
+void affineToJson(obs::JsonWriter* w, const AffineForm& f) {
+  w->beginObject().key("c");
+  ratToJson(w, f.constant);
+  w->key("a").beginArray();
+  for (const auto& a : f.coeff) ratToJson(w, a);
+  w->endArray().endObject();
+}
+
+bool ratFromJson(const obs::JsonValue& v, Rat* out, std::string* error) {
+  if (v.kind != obs::JsonValue::Kind::Array || v.items.size() != 2 ||
+      !v.items[0].isInteger || !v.items[1].isInteger) {
+    if (error) *error = "coefficient must be an exact [num,den] pair";
+    return false;
+  }
+  const std::int64_t den = v.items[1].intValue;
+  if (den <= 0) {
+    if (error) *error = "coefficient denominator must be positive";
+    return false;
+  }
+  *out = Rat(v.items[0].intValue, den);
+  return true;
+}
+
+bool affineFromJson(const obs::JsonValue& v, std::size_t arity, AffineForm* out,
+                    std::string* error) {
+  const obs::JsonValue* c = v.find("c");
+  const obs::JsonValue* a = v.find("a");
+  if (v.kind != obs::JsonValue::Kind::Object || !c || !a ||
+      a->kind != obs::JsonValue::Kind::Array || a->items.size() != arity) {
+    if (error) *error = "affine form must carry \"c\" and " +
+                        std::to_string(arity) + " \"a\" coefficients";
+    return false;
+  }
+  if (!ratFromJson(*c, &out->constant, error)) return false;
+  out->coeff.resize(arity);
+  for (std::size_t i = 0; i < arity; ++i) {
+    if (!ratFromJson(a->items[i], &out->coeff[i], error)) return false;
+  }
+  return true;
+}
+
+bool intArrayFromJson(const obs::JsonValue& v, std::size_t arity,
+                      std::vector<std::int64_t>* out, std::string* error) {
+  if (v.kind != obs::JsonValue::Kind::Array || v.items.size() != arity) {
+    if (error) *error = "region bound must be an integer array of arity " +
+                        std::to_string(arity);
+    return false;
+  }
+  out->resize(arity);
+  for (std::size_t i = 0; i < arity; ++i) {
+    if (!v.items[i].isInteger) {
+      if (error) *error = "region bound entries must be integers";
+      return false;
+    }
+    (*out)[i] = v.items[i].intValue;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string WcetFormula::json() const {
+  obs::JsonWriter w;
+  w.beginObject().key("params").beginArray();
+  for (const auto& p : params) {
+    w.beginObject()
+        .key("name")
+        .value(p.name)
+        .key("lo")
+        .value(p.lo)
+        .key("hi")
+        .value(p.hi)
+        .endObject();
+  }
+  w.endArray().key("pieces").beginArray();
+  for (const auto& piece : pieces) {
+    w.beginObject().key("lo").beginArray();
+    for (const auto v : piece.region.lo) w.value(v);
+    w.endArray().key("hi").beginArray();
+    for (const auto v : piece.region.hi) w.value(v);
+    w.endArray().key("worst");
+    affineToJson(&w, piece.worst);
+    w.key("best");
+    affineToJson(&w, piece.best);
+    w.endObject();
+  }
+  w.endArray().endObject();
+  return w.str();
+}
+
+std::optional<WcetFormula> WcetFormula::fromJson(std::string_view text,
+                                                 std::string* error) {
+  std::string parseError;
+  std::optional<obs::JsonValue> doc = obs::jsonParse(text, &parseError);
+  if (!doc || doc->kind != obs::JsonValue::Kind::Object) {
+    if (error) *error = "formula is not a JSON object: " + parseError;
+    return std::nullopt;
+  }
+  const obs::JsonValue* params = doc->find("params");
+  const obs::JsonValue* pieces = doc->find("pieces");
+  if (!params || params->kind != obs::JsonValue::Kind::Array || !pieces ||
+      pieces->kind != obs::JsonValue::Kind::Array) {
+    if (error) *error = "formula needs \"params\" and \"pieces\" arrays";
+    return std::nullopt;
+  }
+  WcetFormula formula;
+  for (const auto& p : params->items) {
+    ParamDecl decl;
+    const obs::JsonValue* name = p.find("name");
+    const obs::JsonValue* lo = p.find("lo");
+    const obs::JsonValue* hi = p.find("hi");
+    if (p.kind != obs::JsonValue::Kind::Object || !name ||
+        name->kind != obs::JsonValue::Kind::String || !lo || !lo->isInteger ||
+        !hi || !hi->isInteger) {
+      if (error) *error = "parameter declarations need name/lo/hi";
+      return std::nullopt;
+    }
+    decl.name = name->stringValue;
+    decl.lo = lo->intValue;
+    decl.hi = hi->intValue;
+    formula.params.push_back(std::move(decl));
+  }
+  const std::size_t arity = formula.params.size();
+  for (const auto& p : pieces->items) {
+    FormulaPiece piece;
+    const obs::JsonValue* lo = p.find("lo");
+    const obs::JsonValue* hi = p.find("hi");
+    const obs::JsonValue* worst = p.find("worst");
+    const obs::JsonValue* best = p.find("best");
+    if (p.kind != obs::JsonValue::Kind::Object || !lo || !hi || !worst || !best) {
+      if (error) *error = "pieces need lo/hi/worst/best";
+      return std::nullopt;
+    }
+    if (!intArrayFromJson(*lo, arity, &piece.region.lo, error) ||
+        !intArrayFromJson(*hi, arity, &piece.region.hi, error) ||
+        !affineFromJson(*worst, arity, &piece.worst, error) ||
+        !affineFromJson(*best, arity, &piece.best, error)) {
+      return std::nullopt;
+    }
+    formula.pieces.push_back(std::move(piece));
+  }
+  if (formula.pieces.empty()) {
+    if (error) *error = "formula has no pieces";
+    return std::nullopt;
+  }
+  return formula;
+}
+
+}  // namespace cinderella::ipet

@@ -30,6 +30,7 @@
 
 #include "cinderella/ipet/analyzer.hpp"
 #include "cinderella/ipet/digest.hpp"
+#include "cinderella/ipet/formula.hpp"
 #include "cinderella/ipet/solve_cache.hpp"
 
 namespace cinderella::obs {
@@ -77,6 +78,11 @@ struct AnalysisRequest {
   /// Root function; empty = "main" (or the benchmark's own root).
   std::string root;
   std::vector<RequestConstraint> constraints;
+  /// Parametric mode (parametric.hpp): when non-empty, `@name`
+  /// parameters in the constraints stay symbolic over these declared
+  /// ranges and the result carries a WcetFormula instead of running one
+  /// concrete solve.  Rejected for lp input.
+  std::vector<ParamDecl> parameters;
   CacheMode cacheMode = CacheMode::AllMiss;
   CachePolicy cachePolicy = CachePolicy::ReadWrite;
   /// Per-solve resource policy (threads, deadline, warm start, tracer,
@@ -93,9 +99,14 @@ struct AnalysisResult {
   Estimate estimate;
   /// Content-addressed keys of the analysed system (see digest.hpp).
   /// For LP input the two digests coincide: there is no shared
-  /// structural core to key a seed basis by.
+  /// structural core to key a seed basis by.  For parametric requests
+  /// both fields hold the *parametric* digest (the formula-cache key —
+  /// what the serve "evaluate" op takes).
   Digest fullDigest;
   Digest structuralDigest;
+  /// Parametric requests only: the closed-form piecewise bound.  The
+  /// `estimate` then carries the formula's hull over the declared box.
+  std::optional<WcetFormula> formula;
   /// The bound was served from the cache; no solve ran.
   bool cacheHit = false;
   /// A cached structural basis warm-started this solve.
@@ -152,6 +163,15 @@ class AnalysisService {
   /// analyzer supplies the system.
   [[nodiscard]] AnalysisResult analyzeWith(
       const Analyzer& analyzer, const AnalysisRequest& request,
+      obs::RequestTelemetry* telemetry = nullptr) const;
+
+  /// The parametric counterpart of analyzeWith: runs the parametric
+  /// engine (or serves the formula from the cache) for
+  /// `request.parameters` over `analyzer`'s constraint system.  The
+  /// analyzer is non-const because the engine binds parameters per
+  /// sample point; bindings are cleared before returning.
+  [[nodiscard]] AnalysisResult analyzeParametricWith(
+      Analyzer& analyzer, const AnalysisRequest& request,
       obs::RequestTelemetry* telemetry = nullptr) const;
 
   [[nodiscard]] SolveCache& cache() const { return cache_; }

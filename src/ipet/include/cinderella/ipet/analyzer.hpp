@@ -45,6 +45,8 @@ class Tracer;
 
 namespace cinderella::ipet {
 
+struct ParamDecl;  // formula.hpp
+
 /// How the worst-case bound accounts for instruction-cache misses.
 enum class CacheMode {
   /// Paper Section IV baseline: every line fetch of every block execution
@@ -427,6 +429,24 @@ class Analyzer {
   };
   [[nodiscard]] SystemDigests systemDigests() const;
 
+  // --- Parametric analysis (formula.hpp, parametric.hpp). ---
+  /// Binds the symbolic parameter `@name` to a concrete value for
+  /// subsequent estimate() / systemDigests() calls: every row mentioning
+  /// it folds `coeff * value` into its constant side, exactly as if the
+  /// constraint had been written with the number.  Rebinding overwrites.
+  void bindParam(std::string_view name, std::int64_t value);
+  void clearParamBindings();
+  /// Names of every `@name` parameter referenced by the constraints
+  /// added so far, sorted and deduplicated.
+  [[nodiscard]] std::vector<std::string> referencedParams() const;
+  /// Content-addressed key of the *parametric* system: the structural
+  /// digest extended with the symbolic (unbound) canonical encoding of
+  /// every user-constraint row and the declared parameter ranges.  Keys
+  /// a cached WcetFormula — equal digests mean the piecewise bound is
+  /// reusable verbatim.  Ignores current bindings.
+  [[nodiscard]] Digest parametricDigest(
+      const std::vector<ParamDecl>& params) const;
+
  private:
   struct LoopBoundSite {
     int function = 0;
@@ -483,6 +503,17 @@ class Analyzer {
   [[nodiscard]] std::vector<std::string> canonicalSetRows(
       const ConjunctiveSet& set) const;
 
+  /// Shared structural-digest prefix of systemDigests / parametricDigest.
+  void hashStructural(DigestBuilder* builder, const BaseProblem& base) const;
+
+  /// Binding-invariant canonical key of one symbolic row: the
+  /// parameter-free part canonicalized like a concrete row, plus the rhs
+  /// gradient per parameter.
+  [[nodiscard]] std::string symbolicRowKey(const SymConstraint& sc) const;
+
+  /// Bound value of `@name`; throws AnalysisError when unbound.
+  [[nodiscard]] std::int64_t paramValue(const std::string& name) const;
+
   [[nodiscard]] int xVar(int context, int block) const;
   [[nodiscard]] int dVar(int context, int edge) const;
 
@@ -515,6 +546,8 @@ class Analyzer {
       apiLoopBounds_;
 
   std::vector<Dnf> userConstraints_;
+  /// Current `@name` parameter bindings (see bindParam).
+  std::map<std::string, std::int64_t, std::less<>> paramBindings_;
 };
 
 }  // namespace cinderella::ipet

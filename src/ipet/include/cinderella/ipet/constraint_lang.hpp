@@ -18,6 +18,13 @@
 //     ref[f3.f7]          restrict to the call-string context f3.f7;
 //                         without a context suffix a reference denotes
 //                         the SUM over all contexts of its function.
+//     @name               a symbolic parameter (parametric analysis):
+//                         '@' followed by a letter or '_' names an
+//                         integer parameter whose value is supplied at
+//                         solve time ('@' followed by a digit stays the
+//                         line-block form above).  Parameters may carry
+//                         a coefficient (`2*@N`) and appear on either
+//                         side of the relation, e.g. `x2 <= @N x1`.
 //
 // `scope` defaults to the function passed to `parseConstraint`.
 // Multiplication may be written `10 x1`, `10*x1` or `x1 * 10`.
@@ -53,10 +60,14 @@ struct VarRef {
   friend bool operator==(const VarRef&, const VarRef&) = default;
 };
 
-/// coeff * var, or a plain constant when `var` is empty.
+/// coeff * var, coeff * @param, or a plain constant when both `var` and
+/// `param` are empty.  `var` and `param` are mutually exclusive.
 struct SymTerm {
   std::int64_t coeff = 1;
   std::optional<VarRef> var;
+  /// Symbolic parameter name (without the '@'); empty for non-parameter
+  /// terms.  A bound parameter folds into the row's constant side.
+  std::string param;
 };
 
 /// sum(lhs) rel sum(rhs).

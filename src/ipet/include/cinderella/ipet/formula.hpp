@@ -1,0 +1,130 @@
+// Closed-form parametric WCET/BCET bounds (ISSUE 8; Ballabriga et al.,
+// "Symbolic Computation of the Worst-Case Execution Time of a Program").
+//
+// A `WcetFormula` is a piecewise-linear function of declared integer
+// parameters: the declared parameter box is partitioned into disjoint
+// axis-aligned regions (`FormulaPiece`), each carrying two affine forms
+// with exact integer-rational coefficients — `worst` for the WCET side
+// and `best` for the BCET side.  Evaluating the formula at an integer
+// parameter assignment locates the covering piece and evaluates both
+// affines exactly; the parametric engine (parametric.hpp) guarantees the
+// result is bit-identical to a direct non-parametric solve with the same
+// parameter values folded into the constraint system.
+//
+// Formulas serialize to a stable JSON document (coefficients as exact
+// num/den pairs, never floats) so they can live in the solve-cache
+// snapshot and travel over the serve wire protocol.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cinderella/ipet/analyzer.hpp"
+
+namespace cinderella::ipet {
+
+/// A declared symbolic parameter: `@name` with an inclusive integer
+/// range.  The range is part of the problem statement — the formula is
+/// only valid (and only verified) inside the declared box.
+struct ParamDecl {
+  std::string name;
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+
+  friend bool operator==(const ParamDecl&, const ParamDecl&) = default;
+};
+
+/// Exact rational with a positive denominator, normalized (gcd 1).
+/// Arithmetic is overflow-checked and throws AnalysisError on overflow —
+/// WCET coefficients are tiny, so any overflow is a bug upstream.
+struct Rat {
+  std::int64_t num = 0;
+  std::int64_t den = 1;
+
+  Rat() = default;
+  Rat(std::int64_t n, std::int64_t d);
+  static Rat ofInt(std::int64_t n) { return Rat(n, 1); }
+
+  [[nodiscard]] Rat plus(const Rat& other) const;
+  [[nodiscard]] Rat minus(const Rat& other) const;
+  [[nodiscard]] Rat times(const Rat& other) const;
+  [[nodiscard]] bool isInt() const { return den == 1; }
+
+  friend bool operator==(const Rat&, const Rat&) = default;
+};
+
+/// constant + sum coeff[i] * p[i], with p aligned to the owning
+/// formula's parameter order.
+struct AffineForm {
+  Rat constant;
+  std::vector<Rat> coeff;
+
+  /// Exact evaluation at an integer point.  Throws AnalysisError when
+  /// the result is not an integer or overflows 64 bits.
+  [[nodiscard]] std::int64_t evaluate(
+      const std::vector<std::int64_t>& point) const;
+
+  friend bool operator==(const AffineForm&, const AffineForm&) = default;
+};
+
+/// An axis-aligned integer box in parameter space (inclusive bounds).
+struct ParamBox {
+  std::vector<std::int64_t> lo;
+  std::vector<std::int64_t> hi;
+
+  [[nodiscard]] bool contains(const std::vector<std::int64_t>& point) const;
+
+  friend bool operator==(const ParamBox&, const ParamBox&) = default;
+};
+
+/// One validity region with its WCET/BCET affine forms.
+struct FormulaPiece {
+  ParamBox region;
+  AffineForm worst;
+  AffineForm best;
+
+  friend bool operator==(const FormulaPiece&, const FormulaPiece&) = default;
+};
+
+/// The closed-form bound: max over pieces for WCET, min for BCET —
+/// but because pieces partition the declared box, evaluation is just a
+/// lookup of the unique covering piece.
+class WcetFormula {
+ public:
+  std::vector<ParamDecl> params;
+  std::vector<FormulaPiece> pieces;
+
+  /// [best, worst] at an integer parameter assignment (one value per
+  /// declared parameter, in declaration order).  Throws AnalysisError
+  /// when the point has the wrong arity or lies outside every piece.
+  [[nodiscard]] Interval evaluate(const std::vector<std::int64_t>& point) const;
+
+  /// The enclosing interval over the whole declared box: min of `best`
+  /// and max of `worst` over every region vertex (affine forms attain
+  /// their extremes at vertices).
+  [[nodiscard]] Interval hull() const;
+
+  /// Index of the declared parameter called `name`, or nullopt.
+  [[nodiscard]] std::optional<std::size_t> paramIndex(
+      std::string_view name) const;
+
+  /// Stable JSON document, e.g.
+  ///   {"params":[{"name":"N","lo":1,"hi":8}],
+  ///    "pieces":[{"lo":[1],"hi":[8],
+  ///               "worst":{"c":[120,1],"a":[[45,1]]},
+  ///               "best":{"c":[80,1],"a":[[12,1]]}}]}
+  /// where every coefficient is an exact [num,den] pair.
+  [[nodiscard]] std::string json() const;
+
+  /// Parses a json() document.  Returns nullopt with a diagnostic in
+  /// *error (when non-null) on malformed input.
+  static std::optional<WcetFormula> fromJson(std::string_view text,
+                                             std::string* error = nullptr);
+
+  friend bool operator==(const WcetFormula&, const WcetFormula&) = default;
+};
+
+}  // namespace cinderella::ipet

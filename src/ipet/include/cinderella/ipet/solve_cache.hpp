@@ -14,6 +14,12 @@
 //     new solve (SolveControl::importSeedBasis), which repairs it with
 //     a handful of dual pivots instead of a cold two-phase solve.
 //
+//   * formulas — parametric digest (Analyzer::parametricDigest) ->
+//     WcetFormula.  A hit means the same system with the same symbolic
+//     parameters and ranges was already run through the parametric
+//     engine; the cached piecewise bound answers every point query in
+//     that box without any solve (the serve layer's "evaluate" op).
+//
 // Admission is verification-gated: only estimates that are sound, not
 // timed out, fault-free, and exact on every scheduled set are admitted,
 // so a degraded or fault-injected result can never poison a future
@@ -33,6 +39,7 @@
 
 #include "cinderella/ipet/analyzer.hpp"
 #include "cinderella/ipet/digest.hpp"
+#include "cinderella/ipet/formula.hpp"
 #include "cinderella/lp/simplex.hpp"
 #include "cinderella/support/lru.hpp"
 
@@ -53,11 +60,20 @@ struct CachedBound {
   std::int64_t solveWallMicros = 0;
 };
 
+/// A cached parametric result: the verified piecewise bound plus the
+/// wall time its construction took (what a hit saves).
+struct CachedFormula {
+  WcetFormula formula;
+  std::int64_t solveWallMicros = 0;
+};
+
 struct SolveCacheStats {
   std::int64_t boundHits = 0;
   std::int64_t boundMisses = 0;
   std::int64_t basisHits = 0;
   std::int64_t basisMisses = 0;
+  std::int64_t formulaHits = 0;
+  std::int64_t formulaMisses = 0;
   std::int64_t insertions = 0;
   std::int64_t evictions = 0;
   /// Inserts refused by the admission gate (degraded/faulted results).
@@ -90,9 +106,20 @@ class SolveCache {
               const Estimate& estimate, lp::Basis seedBasis,
               std::int64_t solveWallMicros);
 
+  /// Parametric-system lookup; a hit returns the cached piecewise bound
+  /// and marks the entry most-recently-used.
+  [[nodiscard]] std::optional<CachedFormula> lookupFormula(
+      const Digest& parametric);
+
+  /// Inserts a parametric result.  The parametric engine verifies every
+  /// formula against direct solves by construction, so there is no
+  /// estimate-level admission gate here.
+  void insertFormula(const Digest& parametric, CachedFormula entry);
+
   [[nodiscard]] SolveCacheStats stats() const;
   [[nodiscard]] std::size_t boundEntries() const;
   [[nodiscard]] std::size_t basisEntries() const;
+  [[nodiscard]] std::size_t formulaEntries() const;
   void clear();
 
   /// Writes a binary snapshot of both stores (oldest-first, so load()
@@ -111,6 +138,7 @@ class SolveCache {
   mutable std::mutex mutex_;
   support::LruMap<Digest, CachedBound> bounds_;
   support::LruMap<Digest, lp::Basis> bases_;
+  support::LruMap<Digest, CachedFormula> formulas_;
   SolveCacheStats stats_;
 };
 

@@ -12,7 +12,10 @@ namespace cinderella::ipet {
 namespace {
 
 constexpr char kMagic[5] = {'C', 'S', 'N', 'A', 'P'};
-constexpr std::uint32_t kVersion = 1;
+/// v1: bounds + bases.  v2 appends the formula store (parametric
+/// digest -> WcetFormula JSON); v1 snapshots still load (no formulas).
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kOldVersion = 1;
 /// Snapshot entry counts beyond this are corruption, not workloads.
 constexpr std::uint32_t kSaneLimit = 1u << 24;
 
@@ -85,7 +88,8 @@ void count(std::string_view counter) {
 SolveCache::SolveCache(SolveCacheOptions options)
     : options_(options),
       bounds_(options.capacity),
-      bases_(options.capacity) {}
+      bases_(options.capacity),
+      formulas_(options.capacity) {}
 
 std::optional<CachedBound> SolveCache::lookupBound(const Digest& full) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -109,6 +113,32 @@ std::optional<lp::Basis> SolveCache::lookupBasis(const Digest& structural) {
   ++stats_.basisMisses;
   count("solve_cache.basis_misses");
   return std::nullopt;
+}
+
+std::optional<CachedFormula> SolveCache::lookupFormula(
+    const Digest& parametric) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (CachedFormula* entry = formulas_.find(parametric)) {
+    ++stats_.formulaHits;
+    count("solve_cache.formula_hits");
+    return *entry;
+  }
+  ++stats_.formulaMisses;
+  count("solve_cache.formula_misses");
+  return std::nullopt;
+}
+
+void SolveCache::insertFormula(const Digest& parametric, CachedFormula entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled()) return;
+  const std::int64_t evicted =
+      static_cast<std::int64_t>(formulas_.insert(parametric, std::move(entry)));
+  stats_.evictions += evicted;
+  ++stats_.insertions;
+  if (support::MetricsSink* sink = support::metricsSink()) {
+    sink->add("solve_cache.insertions", 1);
+    if (evicted > 0) sink->add("solve_cache.evictions", evicted);
+  }
 }
 
 bool SolveCache::admissible(const Estimate& estimate) {
@@ -160,10 +190,16 @@ std::size_t SolveCache::basisEntries() const {
   return bases_.size();
 }
 
+std::size_t SolveCache::formulaEntries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return formulas_.size();
+}
+
 void SolveCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   bounds_.clear();
   bases_.clear();
+  formulas_.clear();
 }
 
 bool SolveCache::save(const std::string& path, std::string* error) const {
@@ -189,6 +225,16 @@ bool SolveCache::save(const std::string& path, std::string* error) const {
       const std::string bytes = lp::serializeBasis(basis);
       appendU32(&blob, static_cast<std::uint32_t>(bytes.size()));
       blob += bytes;
+    });
+    appendU32(&blob, static_cast<std::uint32_t>(formulas_.size()));
+    formulas_.forEachOldestFirst([&](const Digest& key,
+                                     const CachedFormula& entry) {
+      appendU64(&blob, key.hi);
+      appendU64(&blob, key.lo);
+      appendU64(&blob, static_cast<std::uint64_t>(entry.solveWallMicros));
+      const std::string json = entry.formula.json();
+      appendU32(&blob, static_cast<std::uint32_t>(json.size()));
+      blob += json;
     });
   }
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -217,7 +263,7 @@ bool SolveCache::load(const std::string& path, std::string* error) {
   }
   Reader r{std::string_view(blob).substr(sizeof(kMagic))};
   const std::uint32_t version = r.u32();
-  if (r.failed || version != kVersion) {
+  if (r.failed || (version != kVersion && version != kOldVersion)) {
     if (error != nullptr) {
       *error = "snapshot '" + path + "': unsupported version";
     }
@@ -266,6 +312,35 @@ bool SolveCache::load(const std::string& path, std::string* error) {
     }
     stagedBases.emplace_back(key, std::move(*basis));
   }
+
+  std::vector<std::pair<Digest, CachedFormula>> stagedFormulas;
+  if (version >= kVersion) {
+    const std::uint32_t formulaCount = r.u32();
+    if (r.failed || formulaCount > kSaneLimit) {
+      if (error != nullptr) *error = "snapshot '" + path + "': corrupt";
+      return false;
+    }
+    stagedFormulas.reserve(formulaCount);
+    for (std::uint32_t i = 0; i < formulaCount && !r.failed; ++i) {
+      Digest key{r.u64(), r.u64()};
+      CachedFormula entry;
+      entry.solveWallMicros = static_cast<std::int64_t>(r.u64());
+      const std::uint32_t len = r.u32();
+      if (r.failed || len > kSaneLimit) {
+        r.failed = true;
+        break;
+      }
+      const std::string_view json = r.raw(len);
+      if (r.failed) break;
+      std::optional<WcetFormula> formula = WcetFormula::fromJson(json);
+      if (!formula) {
+        r.failed = true;
+        break;
+      }
+      entry.formula = std::move(*formula);
+      stagedFormulas.emplace_back(key, std::move(entry));
+    }
+  }
   if (r.failed || r.offset != blob.size() - sizeof(kMagic)) {
     if (error != nullptr) *error = "snapshot '" + path + "': corrupt";
     return false;
@@ -274,11 +349,15 @@ bool SolveCache::load(const std::string& path, std::string* error) {
   std::lock_guard<std::mutex> lock(mutex_);
   bounds_.clear();
   bases_.clear();
+  formulas_.clear();
   // Oldest-first replay restores the writer's recency order; this
   // cache's own capacity gates how much survives.
   for (auto& [key, entry] : stagedBounds) bounds_.insert(key, entry);
   for (auto& [key, basis] : stagedBases) {
     bases_.insert(key, std::move(basis));
+  }
+  for (auto& [key, entry] : stagedFormulas) {
+    formulas_.insert(key, std::move(entry));
   }
   return true;
 }

@@ -68,6 +68,18 @@ std::optional<Response> Client::analyze(const ipet::AnalysisRequest& request,
   return call(frame, error);
 }
 
+std::optional<Response> Client::evaluate(
+    std::string_view digest,
+    const std::vector<std::pair<std::string, std::int64_t>>& params,
+    std::string* error) {
+  RequestFrame frame;
+  frame.id = nextId_++;
+  frame.op = Op::Evaluate;
+  frame.evaluateDigest = std::string(digest);
+  frame.evaluateParams = params;
+  return call(frame, error);
+}
+
 std::optional<Response> Client::ping(std::string* error) {
   RequestFrame frame;
   frame.id = nextId_++;

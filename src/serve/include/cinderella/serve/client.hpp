@@ -36,6 +36,13 @@ class Client {
   /// Convenience wrappers around call().
   [[nodiscard]] std::optional<Response> analyze(
       const ipet::AnalysisRequest& request, std::string* error);
+  /// Prices a cached parametric formula: `digest` is the parametric
+  /// digest an analyze response reported, `params` the concrete value
+  /// of every declared parameter.
+  [[nodiscard]] std::optional<Response> evaluate(
+      std::string_view digest,
+      const std::vector<std::pair<std::string, std::int64_t>>& params,
+      std::string* error);
   [[nodiscard]] std::optional<Response> ping(std::string* error);
   [[nodiscard]] std::optional<Response> stats(std::string* error);
   [[nodiscard]] std::optional<Response> metrics(std::string* error);

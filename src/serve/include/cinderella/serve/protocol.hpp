@@ -14,6 +14,9 @@
 //    "root":"main",             // root function ["main"/benchmark root]
 //    "label":"...",             // report label [benchmark / "<source>"]
 //    "constraints":[{"text":"x5 <= 10","scope":""}, ...],
+//    "params":[{"name":"N","lo":1,"hi":8}, ...],  // parametric mode:
+//                               // "@N" in the constraints stays symbolic
+//                               // and the response carries a "formula"
 //    "cache":"allmiss",         // analyzer cache mode (allmiss|firstiter|ccg)
 //    "cachePolicy":"readwrite", // solve-cache use (readwrite|readonly|bypass)
 //    "jobs":1,                  // solve worker threads [1]
@@ -22,15 +25,29 @@
 //    "warmStart":true}          // incremental solve engine [on]
 //
 // Analyze response frame:
-//   {"id":7,"ok":true,"protocolVersion":2,
+//   {"id":7,"ok":true,"protocolVersion":3,
 //    "cacheHit":false,          // bound served from the solve cache
 //    "basisWarmStarted":false,  // cached structural basis seeded the solve
 //    "degradedAdmission":false, // overload clamped the deadline
 //    "digest":"<32 hex>","structuralDigest":"<32 hex>",
 //    "wallMicros":N,"solveMicros":N,
 //    "telemetry":{"requestId":"...","stages":{"frontend":µs,...}},
+//    "formula":{...},           // parametric requests only: the
+//                               // WcetFormula JSON document
 //    "report":{...}}            // the obs::reportJson document, embedded
 //                               // verbatim (schemaVersion inside it)
+//
+// Evaluate request — prices a cached parametric formula at one concrete
+// parameter assignment without ever touching the solver:
+//   {"op":"evaluate","id":8,
+//    "digest":"<32 hex>",       // the parametric digest an analyze
+//                               // response reported for the system
+//    "params":{"N":5, ...}}     // one integer per declared parameter
+// Response: {"id":8,"ok":true,"protocolVersion":3,
+//            "digest":"<32 hex>","bound":{"lo":L,"hi":H}}.
+// A digest with no cached formula answers code "notfound" (re-run the
+// analyze to rebuild it); an assignment outside the declared box or
+// missing a parameter answers code "analysis".
 //
 // "stats" returns cache/server counters plus a "metrics" object — every
 // registered counter and histogram with derived p50/p90/p99.
@@ -51,6 +68,8 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "cinderella/ipet/analysis.hpp"
 #include "cinderella/ipet/solve_cache.hpp"
@@ -58,9 +77,17 @@
 
 namespace cinderella::serve {
 
-inline constexpr int kProtocolVersion = 2;
+inline constexpr int kProtocolVersion = 3;
 
-enum class Op { Analyze, Ping, Stats, Metrics, FlightRecorder, Shutdown };
+enum class Op {
+  Analyze,
+  Evaluate,
+  Ping,
+  Stats,
+  Metrics,
+  FlightRecorder,
+  Shutdown,
+};
 
 struct RequestFrame {
   /// Numeric id (the classic form; valid when !idIsString).
@@ -73,6 +100,10 @@ struct RequestFrame {
   bool hasId = true;
   Op op = Op::Analyze;
   ipet::AnalysisRequest request;
+  /// Evaluate op only: the parametric digest (32 hex chars) naming the
+  /// cached formula, and the concrete assignment to price it at.
+  std::string evaluateDigest;
+  std::vector<std::pair<std::string, std::int64_t>> evaluateParams;
 };
 
 /// A response id on the wire: echoed as an integer or as a string,
@@ -128,8 +159,8 @@ struct Response {
   std::int64_t solveMicros = 0;
   std::string digest;
   std::string structuralDigest;
-  /// From the embedded report: the bound and its soundness (analyze
-  /// responses only).
+  /// The answered bound: from the embedded report (analyze responses)
+  /// or the top-level "bound" object (evaluate responses).
   std::int64_t boundLo = 0;
   std::int64_t boundHi = 0;
   bool sound = false;
@@ -160,6 +191,11 @@ struct Response {
     const WireId& id, const ipet::AnalysisResult& result,
     std::string_view report, bool degradedAdmission,
     std::string_view telemetry = {});
+/// Evaluate response: the formula's value at the requested point.
+/// `digest` is the parametric digest the lookup keyed on (echoed back).
+[[nodiscard]] std::string encodeEvaluateResponse(const WireId& id,
+                                                 const ipet::Interval& bound,
+                                                 std::string_view digest);
 [[nodiscard]] std::string encodeErrorResponse(const WireId& id,
                                               std::string_view code,
                                               std::string_view message);

@@ -149,6 +149,11 @@ class Server {
   [[nodiscard]] AnalyzeOutcome handleAnalyze(const RequestFrame& frame,
                                              const WireId& wireId,
                                              obs::RequestTelemetry* telemetry);
+  /// Prices a cached parametric formula at one concrete assignment —
+  /// pure cache arithmetic, so it runs inline on the connection thread
+  /// and never occupies a solver-pool slot.
+  [[nodiscard]] AnalyzeOutcome handleEvaluate(const RequestFrame& frame,
+                                              const WireId& wireId);
   /// Serves a raw "GET <path> HTTP/1.x" request line (the Prometheus
   /// scrape path); returns the complete HTTP response.
   [[nodiscard]] std::string handleHttpGet(const std::string& requestLine);

@@ -10,6 +10,8 @@ const char* opStr(Op op) {
   switch (op) {
     case Op::Analyze:
       return "analyze";
+    case Op::Evaluate:
+      return "evaluate";
     case Op::Ping:
       return "ping";
     case Op::Stats:
@@ -26,6 +28,7 @@ const char* opStr(Op op) {
 
 std::optional<Op> parseOp(std::string_view text) {
   if (text == "analyze") return Op::Analyze;
+  if (text == "evaluate") return Op::Evaluate;
   if (text == "ping") return Op::Ping;
   if (text == "stats") return Op::Stats;
   if (text == "metrics") return Op::Metrics;
@@ -89,6 +92,20 @@ std::string encodeRequest(const RequestFrame& frame) {
       }
       w.endArray();
     }
+    if (!r.parameters.empty()) {
+      w.key("params").beginArray();
+      for (const ipet::ParamDecl& p : r.parameters) {
+        w.beginObject()
+            .key("name")
+            .value(p.name)
+            .key("lo")
+            .value(p.lo)
+            .key("hi")
+            .value(p.hi)
+            .endObject();
+      }
+      w.endArray();
+    }
     w.key("cache").value(ipet::cacheModeStr(r.cacheMode));
     w.key("cachePolicy").value(ipet::cachePolicyStr(r.cachePolicy));
     w.key("jobs").value(r.control.threads);
@@ -98,6 +115,14 @@ std::string encodeRequest(const RequestFrame& frame) {
     }
     if (r.control.maxNodes > 0) w.key("maxNodes").value(r.control.maxNodes);
     w.key("warmStart").value(r.control.warmStart);
+  }
+  if (frame.op == Op::Evaluate) {
+    w.key("digest").value(frame.evaluateDigest);
+    w.key("params").beginObject();
+    for (const auto& [name, value] : frame.evaluateParams) {
+      w.key(name).value(value);
+    }
+    w.endObject();
   }
   w.endObject();
   return w.str();
@@ -142,6 +167,34 @@ bool decodeRequest(std::string_view line, RequestFrame* out,
   } else {
     out->hasId = false;
   }
+  if (out->op == Op::Evaluate) {
+    out->evaluateDigest = doc->stringOr("digest", "");
+    if (out->evaluateDigest.size() != 32 ||
+        out->evaluateDigest.find_first_not_of("0123456789abcdef") !=
+            std::string::npos) {
+      if (error != nullptr) {
+        *error = "evaluate needs a 32-hex-char \"digest\"";
+      }
+      return false;
+    }
+    const obs::JsonValue* params = doc->find("params");
+    if (params == nullptr || !params->isObject() || params->members.empty()) {
+      if (error != nullptr) {
+        *error = "evaluate needs a non-empty \"params\" object";
+      }
+      return false;
+    }
+    for (const auto& [name, value] : params->members) {
+      if (!value.isNumber() || !value.isInteger) {
+        if (error != nullptr) {
+          *error = "evaluate parameter \"" + name + "\" must be an integer";
+        }
+        return false;
+      }
+      out->evaluateParams.emplace_back(name, value.intValue);
+    }
+    return true;
+  }
   if (out->op != Op::Analyze) return true;
 
   ipet::AnalysisRequest& r = out->request;
@@ -170,6 +223,41 @@ bool decodeRequest(std::string_view line, RequestFrame* out,
         return false;
       }
       r.constraints.push_back(std::move(c));
+    }
+  }
+  if (const obs::JsonValue* params = doc->find("params")) {
+    if (!params->isArray()) {
+      if (error != nullptr) *error = "\"params\" must be an array";
+      return false;
+    }
+    for (const obs::JsonValue& item : params->items) {
+      ipet::ParamDecl decl;
+      const obs::JsonValue* lo = nullptr;
+      const obs::JsonValue* hi = nullptr;
+      if (item.isObject()) {
+        decl.name = item.stringOr("name", "");
+        lo = item.find("lo");
+        hi = item.find("hi");
+      }
+      const bool boundsOk = lo != nullptr && lo->isNumber() && lo->isInteger &&
+                            hi != nullptr && hi->isNumber() && hi->isInteger;
+      if (decl.name.empty() || !boundsOk) {
+        if (error != nullptr) {
+          *error =
+              "\"params\" entries must be objects with a non-empty "
+              "\"name\" and integer \"lo\"/\"hi\"";
+        }
+        return false;
+      }
+      decl.lo = lo->intValue;
+      decl.hi = hi->intValue;
+      if (decl.lo > decl.hi) {
+        if (error != nullptr) {
+          *error = "parameter \"" + decl.name + "\" has lo > hi";
+        }
+        return false;
+      }
+      r.parameters.push_back(std::move(decl));
     }
   }
   const std::string cacheMode = doc->stringOr("cache", "allmiss");
@@ -232,7 +320,26 @@ std::string encodeAnalyzeResponse(const WireId& id,
       .key("solveMicros")
       .value(result.solveMicros);
   if (!telemetry.empty()) w.key("telemetry").rawValue(telemetry);
+  if (result.formula) w.key("formula").rawValue(result.formula->json());
   w.key("report").rawValue(report).endObject();
+  return w.str();
+}
+
+std::string encodeEvaluateResponse(const WireId& id,
+                                   const ipet::Interval& bound,
+                                   std::string_view digest) {
+  obs::JsonWriter w;
+  beginResponse(&w, id, true);
+  w.key("digest")
+      .value(digest)
+      .key("bound")
+      .beginObject()
+      .key("lo")
+      .value(bound.lo)
+      .key("hi")
+      .value(bound.hi)
+      .endObject()
+      .endObject();
   return w.str();
 }
 
@@ -362,6 +469,10 @@ std::optional<Response> decodeResponse(std::string_view line,
       response.boundLo = bound->intOr("lo", 0);
       response.boundHi = bound->intOr("hi", 0);
     }
+  } else if (const obs::JsonValue* bound = doc->find("bound")) {
+    // Evaluate responses carry the bound at the top level (no report).
+    response.boundLo = bound->intOr("lo", 0);
+    response.boundHi = bound->intOr("hi", 0);
   }
   response.raw = std::move(*doc);
   return response;

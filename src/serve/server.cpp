@@ -250,6 +250,11 @@ std::string Server::handleLine(const std::string& line,
         response = std::move(outcome.response);
         break;
       }
+      case Op::Evaluate: {
+        outcome = handleEvaluate(frame, wireId);
+        response = std::move(outcome.response);
+        break;
+      }
     }
   }
 
@@ -411,6 +416,63 @@ Server::AnalyzeOutcome Server::handleAnalyze(const RequestFrame& frame,
   return std::move(pending->outcome);
 }
 
+Server::AnalyzeOutcome Server::handleEvaluate(const RequestFrame& frame,
+                                              const WireId& wireId) {
+  AnalyzeOutcome outcome;
+  const std::optional<ipet::Digest> digest =
+      ipet::Digest::fromHex(frame.evaluateDigest);
+  if (!digest) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    outcome.errorCode = "parse";
+    outcome.response = encodeErrorResponse(
+        wireId, "parse", "\"digest\" is not 32 hex characters");
+    return outcome;
+  }
+  const std::optional<ipet::CachedFormula> cached =
+      service_.cache().lookupFormula(*digest);
+  if (!cached) {
+    metrics_.counter("serve.evaluate_misses").add(1);
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    outcome.errorCode = "notfound";
+    outcome.response = encodeErrorResponse(
+        wireId, "notfound",
+        "no cached formula for digest " + frame.evaluateDigest +
+            " — re-run the parametric analyze to rebuild it");
+    return outcome;
+  }
+  try {
+    const ipet::WcetFormula& formula = cached->formula;
+    std::vector<std::int64_t> point(formula.params.size(), 0);
+    std::vector<bool> seen(formula.params.size(), false);
+    for (const auto& [name, value] : frame.evaluateParams) {
+      const std::optional<std::size_t> index = formula.paramIndex(name);
+      if (!index) {
+        throw AnalysisError("formula declares no parameter '" + name + "'");
+      }
+      point[*index] = value;
+      seen[*index] = true;
+    }
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+      if (!seen[i]) {
+        throw AnalysisError("missing value for parameter '" +
+                            formula.params[i].name + "'");
+      }
+    }
+    const ipet::Interval bound = formula.evaluate(point);
+    metrics_.counter("serve.evaluate_hits").add(1);
+    outcome.cacheHit = true;
+    outcome.boundLo = bound.lo;
+    outcome.boundHi = bound.hi;
+    outcome.response =
+        encodeEvaluateResponse(wireId, bound, frame.evaluateDigest);
+  } catch (const Error& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    outcome.errorCode = "analysis";
+    outcome.response = encodeErrorResponse(wireId, "analysis", e.what());
+  }
+  return outcome;
+}
+
 std::string Server::handleHttpGet(const std::string& requestLine) {
   // "GET <path> HTTP/1.x" — only /metrics is served; everything else is
   // a 404 so a misconfigured scraper fails loudly, not silently.
@@ -452,6 +514,8 @@ obs::MetricsSnapshot Server::metricsSnapshot() const {
   snapshot.counters["cache.bound_misses"] = cache.boundMisses;
   snapshot.counters["cache.basis_hits"] = cache.basisHits;
   snapshot.counters["cache.basis_misses"] = cache.basisMisses;
+  snapshot.counters["cache.formula_hits"] = cache.formulaHits;
+  snapshot.counters["cache.formula_misses"] = cache.formulaMisses;
   snapshot.counters["cache.insertions"] = cache.insertions;
   snapshot.counters["cache.evictions"] = cache.evictions;
   snapshot.counters["cache.rejected_inserts"] = cache.rejectedInserts;
@@ -459,13 +523,15 @@ obs::MetricsSnapshot Server::metricsSnapshot() const {
       static_cast<std::int64_t>(service_.cache().boundEntries());
   snapshot.counters["cache.basis_entries"] =
       static_cast<std::int64_t>(service_.cache().basisEntries());
+  snapshot.counters["cache.formula_entries"] =
+      static_cast<std::int64_t>(service_.cache().formulaEntries());
   return snapshot;
 }
 
 std::string Server::prometheusText() const {
   obs::PrometheusOptions options;
   options.gauges = {"serve.inflight", "cache.bound_entries",
-                    "cache.basis_entries"};
+                    "cache.basis_entries", "cache.formula_entries"};
   return obs::prometheusText(metricsSnapshot(), options);
 }
 

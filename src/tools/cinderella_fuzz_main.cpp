@@ -47,6 +47,8 @@ options:
   --fault-seed <S>      seed of the fault injector (default 1)
   --no-shrink           keep failing programs unminimized
   --no-explicit         skip the explicit-enumeration oracle
+  --no-parametric       skip the parametric-equivalence oracle (formula
+                        evaluation vs direct solves at sampled points)
   --help                show this message
 
 The JSON summary line on stdout reports runs, failures, throughput
@@ -136,6 +138,8 @@ int parseArgs(int argc, char** argv, CliOptions* options) {
       options->fuzz.shrinkFailures = false;
     } else if (arg == "--no-explicit") {
       options->fuzz.oracle.compareExplicit = false;
+    } else if (arg == "--no-parametric") {
+      options->fuzz.oracle.checkParametric = false;
     } else {
       std::cerr << "cinderella-fuzz: unknown option '" << arg << "'\n"
                 << kUsage;

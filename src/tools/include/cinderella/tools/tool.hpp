@@ -28,6 +28,11 @@ struct ToolOptions {
   /// Extra functionality constraints, one per entry (from --constraint
   /// and from --constraints-file lines).
   std::vector<std::string> constraints;
+  /// Declared symbolic parameters (--param N=lo..hi, repeatable).  When
+  /// non-empty the analysis runs in parametric mode: `@name` references
+  /// in the constraints stay symbolic and the tool prints the piecewise
+  /// closed-form bound plus a sweep over the declared range.
+  std::vector<ipet::ParamDecl> params;
   /// Print the annotated source listing (paper Fig. 5).
   bool annotate = false;
   /// Print the structural constraints (paper Figs 2-4 content).

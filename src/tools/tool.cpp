@@ -1,5 +1,6 @@
 #include "cinderella/tools/tool.hpp"
 
+#include <cctype>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -41,6 +42,13 @@ options:
   --root <function>        root function to analyse (default: main)
   --constraint "<text>"    add a functionality constraint (repeatable)
   --constraints-file <f>   read constraints, one per line ('#' comments)
+  --param <N=lo..hi>       declare symbolic parameter @N over [lo, hi]
+                           (repeatable; N=v declares the single value v).
+                           Constraints may then reference @N, e.g.
+                           --constraint "main@L4 <= @N"; the analysis
+                           returns a closed-form piecewise-linear bound
+                           in N plus a sweep over the declared range,
+                           each point bit-identical to a direct solve
   --annotate               print the annotated source (paper Fig. 5)
   --structural             print the derived structural constraints
   --cache <mode>           allmiss (default), firstiter (Section-IV
@@ -104,6 +112,97 @@ std::string readFile(const std::string& path) {
   return buffer.str();
 }
 
+/// Parses a --param spec "name=lo..hi" or "name=value".
+bool parseParamSpec(const std::string& spec, ipet::ParamDecl* decl) {
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  const std::string name = spec.substr(0, eq);
+  for (std::size_t k = 0; k < name.size(); ++k) {
+    const auto c = static_cast<unsigned char>(name[k]);
+    const bool ok =
+        std::isalpha(c) != 0 || c == '_' || (k > 0 && std::isdigit(c) != 0);
+    if (!ok) return false;
+  }
+  const std::string range = spec.substr(eq + 1);
+  const std::size_t dots = range.find("..");
+  const std::string loText =
+      dots == std::string::npos ? range : range.substr(0, dots);
+  const std::string hiText =
+      dots == std::string::npos ? range : range.substr(dots + 2);
+  if (loText.empty() || hiText.empty()) return false;
+  char* end = nullptr;
+  const std::int64_t lo = std::strtoll(loText.c_str(), &end, 10);
+  if (end != loText.c_str() + loText.size()) return false;
+  end = nullptr;
+  const std::int64_t hi = std::strtoll(hiText.c_str(), &end, 10);
+  if (end != hiText.c_str() + hiText.size()) return false;
+  if (lo > hi) return false;
+  decl->name = name;
+  decl->lo = lo;
+  decl->hi = hi;
+  return true;
+}
+
+std::string ratStr(const ipet::Rat& r) {
+  std::string s = std::to_string(r.num);
+  if (r.den != 1) s += "/" + std::to_string(r.den);
+  return s;
+}
+
+std::string affineStr(const ipet::AffineForm& form,
+                      const std::vector<ipet::ParamDecl>& params) {
+  std::string s = ratStr(form.constant);
+  for (std::size_t i = 0; i < form.coeff.size() && i < params.size(); ++i) {
+    ipet::Rat c = form.coeff[i];
+    if (c.num == 0) continue;
+    s += c.num > 0 ? " + " : " - ";
+    if (c.num < 0) c.num = -c.num;
+    if (!(c.num == 1 && c.den == 1)) s += ratStr(c) + "*";
+    s += params[i].name;
+  }
+  return s;
+}
+
+void printParametric(std::ostream& out, const ipet::AnalysisResult& result) {
+  const ipet::WcetFormula& formula = *result.formula;
+  out << "parametric formula (" << formula.pieces.size() << " piece(s)"
+      << (result.cacheHit ? ", served from the formula cache" : "") << "):\n";
+  for (const ipet::FormulaPiece& piece : formula.pieces) {
+    out << "  ";
+    for (std::size_t i = 0; i < formula.params.size(); ++i) {
+      if (i != 0) out << ", ";
+      out << formula.params[i].name << " in [" << piece.region.lo[i] << ", "
+          << piece.region.hi[i] << "]";
+    }
+    out << ": worst = " << affineStr(piece.worst, formula.params)
+        << "; best = " << affineStr(piece.best, formula.params) << "\n";
+  }
+  if (formula.params.size() == 1) {
+    // Single-parameter sweep: the whole grid when it fits, otherwise a
+    // strided sample that always includes both endpoints.
+    const ipet::ParamDecl& p = formula.params[0];
+    constexpr std::int64_t kMaxRows = 32;
+    const std::int64_t count = p.hi - p.lo + 1;
+    const std::int64_t stride =
+        count > kMaxRows ? (count + kMaxRows - 1) / kMaxRows : 1;
+    out << "sweep " << p.name << " = " << p.lo << ".." << p.hi
+        << (stride > 1 ? " (sampled)" : "") << ":\n";
+    std::vector<std::int64_t> points;
+    for (std::int64_t v = p.lo;; v += stride) {
+      points.push_back(v);
+      if (v > p.hi - stride) break;
+    }
+    if (points.back() != p.hi) points.push_back(p.hi);
+    for (const std::int64_t v : points) {
+      const ipet::Interval bound = formula.evaluate({v});
+      out << "  " << p.name << " = " << v << ": "
+          << intervalStr(bound.lo, bound.hi) << " cycles\n";
+    }
+  }
+  out << "parametric digest: " << result.fullDigest.hex()
+      << " (serve \"evaluate\" op key)\n";
+}
+
 }  // namespace
 
 bool parseArgs(int argc, const char* const* argv, ToolOptions* options,
@@ -141,6 +240,17 @@ bool parseArgs(int argc, const char* const* argv, ToolOptions* options,
         if (first == std::string::npos || line[first] == '#') continue;
         options->constraints.push_back(line);
       }
+    } else if (arg == "--param") {
+      const char* v = needValue(i, "--param");
+      if (!v) return false;
+      ipet::ParamDecl decl;
+      if (!parseParamSpec(v, &decl)) {
+        err << "cinderella: --param needs <name>=<lo>..<hi> (or "
+               "<name>=<value>) with an identifier name and integer "
+               "lo <= hi\n";
+        return false;
+      }
+      options->params.push_back(std::move(decl));
     } else if (arg == "--annotate") {
       options->annotate = true;
     } else if (arg == "--structural") {
@@ -263,6 +373,13 @@ bool parseArgs(int argc, const char* const* argv, ToolOptions* options,
     err << "cinderella: --simulate needs --benchmark (data sets)\n";
     return false;
   }
+  if (!options->params.empty() &&
+      (options->simulate || options->compareExplicit || options->lpDump)) {
+    err << "cinderella: --param cannot be combined with --simulate, "
+           "--explicit or --lp-dump (those need concrete parameter "
+           "values)\n";
+    return false;
+  }
   return true;
 }
 
@@ -351,7 +468,11 @@ int runTool(const ToolOptions& options, std::ostream& out,
     if (options.deadlineMs > 0) {
       request.control.deadline = std::chrono::milliseconds(options.deadlineMs);
     }
-    const ipet::AnalysisResult result = service.analyzeWith(analyzer, request);
+    request.parameters = options.params;
+    const ipet::AnalysisResult result =
+        options.params.empty()
+            ? service.analyzeWith(analyzer, request)
+            : service.analyzeParametricWith(analyzer, request);
     const ipet::Estimate& estimate = result.estimate;
 
     if (!options.cacheSnapshot.empty() &&
@@ -386,23 +507,29 @@ int runTool(const ToolOptions& options, std::ostream& out,
     if (options.report) {
       out << ipet::formatEstimateReport(analyzer, estimate) << "\n";
     }
-    out << "estimated bound: "
-        << intervalStr(estimate.bound.lo, estimate.bound.hi)
-        << " cycles\n";
-    if (result.cacheHit) {
-      // A hit restores only the verified bound and the set count; the
-      // per-solve statistics belong to the original (cold) run.
-      out << "solve cache: hit (" << estimate.stats.constraintSets
-          << " constraint set(s), solved in " << result.solveMicros
-          << " us originally)\n";
+    if (result.formula) {
+      printParametric(out, result);
+      out << "estimated bound over the declared box: "
+          << intervalStr(estimate.bound.lo, estimate.bound.hi) << " cycles\n";
     } else {
-      out << "constraint sets: " << estimate.stats.constraintSets << " ("
-          << estimate.stats.prunedNullSets << " null, pruned); ILP solves: "
-          << estimate.stats.ilpSolves
-          << "; LP calls: " << estimate.stats.lpCalls
-          << "; first relaxation integral: "
-          << (estimate.stats.allFirstRelaxationsIntegral ? "yes" : "no")
-          << "\n";
+      out << "estimated bound: "
+          << intervalStr(estimate.bound.lo, estimate.bound.hi)
+          << " cycles\n";
+      if (result.cacheHit) {
+        // A hit restores only the verified bound and the set count; the
+        // per-solve statistics belong to the original (cold) run.
+        out << "solve cache: hit (" << estimate.stats.constraintSets
+            << " constraint set(s), solved in " << result.solveMicros
+            << " us originally)\n";
+      } else {
+        out << "constraint sets: " << estimate.stats.constraintSets << " ("
+            << estimate.stats.prunedNullSets << " null, pruned); ILP solves: "
+            << estimate.stats.ilpSolves
+            << "; LP calls: " << estimate.stats.lpCalls
+            << "; first relaxation integral: "
+            << (estimate.stats.allFirstRelaxationsIntegral ? "yes" : "no")
+            << "\n";
+      }
     }
 
     const int degradedSets = estimate.stats.relaxedSets +

@@ -1,0 +1,166 @@
+// WcetFormula edge cases: exact rational arithmetic, evaluation at
+// region boundaries, degenerate (single-point) regions, multi-piece
+// lookup, hull computation, and JSON round trips that must preserve
+// every coefficient exactly.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cinderella/ipet/formula.hpp"
+#include "cinderella/support/error.hpp"
+
+namespace cinderella::ipet {
+namespace {
+
+AffineForm affine(Rat constant, std::vector<Rat> coeff) {
+  AffineForm form;
+  form.constant = constant;
+  form.coeff = std::move(coeff);
+  return form;
+}
+
+TEST(Rat, NormalizesSignAndGcd) {
+  const Rat r(6, -4);
+  EXPECT_EQ(r.num, -3);
+  EXPECT_EQ(r.den, 2);
+  EXPECT_EQ(Rat(0, 7), Rat::ofInt(0));
+  EXPECT_TRUE(Rat(8, 4).isInt());
+  EXPECT_EQ(Rat(8, 4).num, 2);
+}
+
+TEST(Rat, ExactArithmetic) {
+  const Rat a(1, 3);
+  const Rat b(1, 6);
+  EXPECT_EQ(a.plus(b), Rat(1, 2));
+  EXPECT_EQ(a.minus(b), Rat(1, 6));
+  EXPECT_EQ(a.times(b), Rat(1, 18));
+}
+
+TEST(AffineForm, EvaluatesExactlyWithRationalCoefficients) {
+  // 5/2 + (3/2)*p is integral exactly when p is odd.
+  const AffineForm form = affine(Rat(5, 2), {Rat(3, 2)});
+  EXPECT_EQ(form.evaluate({1}), 4);
+  EXPECT_EQ(form.evaluate({3}), 7);
+  EXPECT_THROW((void)form.evaluate({2}), AnalysisError);
+}
+
+WcetFormula singlePieceFormula() {
+  WcetFormula formula;
+  formula.params = {{"N", 1, 8}};
+  FormulaPiece piece;
+  piece.region.lo = {1};
+  piece.region.hi = {8};
+  piece.worst = affine(Rat::ofInt(120), {Rat::ofInt(45)});
+  piece.best = affine(Rat::ofInt(80), {Rat::ofInt(12)});
+  formula.pieces.push_back(piece);
+  return formula;
+}
+
+TEST(WcetFormula, SinglePieceEvaluatesAtBothBoundaries) {
+  const WcetFormula formula = singlePieceFormula();
+  EXPECT_EQ(formula.evaluate({1}), (Interval{92, 165}));
+  EXPECT_EQ(formula.evaluate({8}), (Interval{176, 480}));
+  EXPECT_EQ(formula.evaluate({4}), (Interval{128, 300}));
+}
+
+TEST(WcetFormula, OutsideTheDeclaredBoxThrows) {
+  const WcetFormula formula = singlePieceFormula();
+  EXPECT_THROW((void)formula.evaluate({0}), AnalysisError);
+  EXPECT_THROW((void)formula.evaluate({9}), AnalysisError);
+  EXPECT_THROW((void)formula.evaluate({}), AnalysisError);
+  EXPECT_THROW((void)formula.evaluate({1, 1}), AnalysisError);
+}
+
+TEST(WcetFormula, HullIsAttainedAtRegionVertices) {
+  const WcetFormula formula = singlePieceFormula();
+  // best is increasing, worst is increasing: hull = [best(1), worst(8)].
+  EXPECT_EQ(formula.hull(), (Interval{92, 480}));
+}
+
+TEST(WcetFormula, DegenerateSinglePointRegion) {
+  WcetFormula formula;
+  formula.params = {{"N", 5, 5}};
+  FormulaPiece piece;
+  piece.region.lo = {5};
+  piece.region.hi = {5};
+  piece.worst = affine(Rat::ofInt(777), {Rat::ofInt(0)});
+  piece.best = affine(Rat::ofInt(333), {Rat::ofInt(0)});
+  formula.pieces.push_back(piece);
+  EXPECT_EQ(formula.evaluate({5}), (Interval{333, 777}));
+  EXPECT_EQ(formula.hull(), (Interval{333, 777}));
+  EXPECT_THROW((void)formula.evaluate({4}), AnalysisError);
+}
+
+TEST(WcetFormula, MultiPieceLookupPicksTheCoveringRegion) {
+  WcetFormula formula;
+  formula.params = {{"N", 0, 10}};
+  FormulaPiece low;
+  low.region.lo = {0};
+  low.region.hi = {5};
+  low.worst = affine(Rat::ofInt(10), {Rat::ofInt(2)});
+  low.best = affine(Rat::ofInt(1), {Rat::ofInt(0)});
+  FormulaPiece high;
+  high.region.lo = {6};
+  high.region.hi = {10};
+  high.worst = affine(Rat::ofInt(0), {Rat::ofInt(4)});
+  high.best = affine(Rat::ofInt(1), {Rat::ofInt(0)});
+  formula.pieces = {low, high};
+  EXPECT_EQ(formula.evaluate({5}).hi, 20);  // boundary of the low piece
+  EXPECT_EQ(formula.evaluate({6}).hi, 24);  // boundary of the high piece
+  EXPECT_EQ(formula.hull(), (Interval{1, 40}));
+}
+
+TEST(WcetFormula, TwoParameterEvaluationAndHull) {
+  WcetFormula formula;
+  formula.params = {{"M", 1, 3}, {"N", 2, 4}};
+  FormulaPiece piece;
+  piece.region.lo = {1, 2};
+  piece.region.hi = {3, 4};
+  piece.worst = affine(Rat::ofInt(7), {Rat::ofInt(10), Rat::ofInt(100)});
+  piece.best = affine(Rat::ofInt(7), {Rat::ofInt(0), Rat::ofInt(0)});
+  formula.pieces.push_back(piece);
+  EXPECT_EQ(formula.evaluate({2, 3}).hi, 327);
+  EXPECT_EQ(formula.hull(), (Interval{7, 437}));
+  EXPECT_EQ(formula.paramIndex("N"), std::optional<std::size_t>(1));
+  EXPECT_EQ(formula.paramIndex("Q"), std::nullopt);
+}
+
+TEST(WcetFormula, JsonRoundTripPreservesExactCoefficients) {
+  WcetFormula formula;
+  formula.params = {{"N", -3, 7}, {"M", 0, 2}};
+  FormulaPiece piece;
+  piece.region.lo = {-3, 0};
+  piece.region.hi = {7, 2};
+  piece.worst = affine(Rat(5, 2), {Rat(3, 2), Rat(-7, 4)});
+  piece.best = affine(Rat::ofInt(-11), {Rat(1, 3), Rat::ofInt(0)});
+  formula.pieces.push_back(piece);
+
+  const std::string json = formula.json();
+  std::string error;
+  const std::optional<WcetFormula> back = WcetFormula::fromJson(json, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(*back, formula);
+  // And the round trip is a fixed point at the byte level.
+  EXPECT_EQ(back->json(), json);
+}
+
+TEST(WcetFormula, FromJsonRejectsMalformedDocuments) {
+  std::string error;
+  EXPECT_FALSE(WcetFormula::fromJson("not json", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(WcetFormula::fromJson("{}", &error).has_value());
+  EXPECT_FALSE(
+      WcetFormula::fromJson(R"({"params":[],"pieces":[]})", &error)
+          .has_value());
+  // A piece whose arity disagrees with the parameter list.
+  EXPECT_FALSE(
+      WcetFormula::fromJson(
+          R"({"params":[{"name":"N","lo":1,"hi":2}],)"
+          R"("pieces":[{"lo":[1,1],"hi":[2,2],)"
+          R"("worst":{"c":[0,1],"a":[]},"best":{"c":[0,1],"a":[]}}]})",
+          &error)
+          .has_value());
+}
+
+}  // namespace
+}  // namespace cinderella::ipet

@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "cinderella/ipet/formula.hpp"
 #include "cinderella/obs/json_parse.hpp"
 #include "cinderella/obs/report.hpp"
 #include "cinderella/serve/protocol.hpp"
@@ -272,6 +273,121 @@ TEST(ServeProtocol, ErrorPongStatsAndAckFrames) {
   const auto ack = decodeResponse(encodeShutdownAck(7), &error);
   ASSERT_TRUE(ack.has_value());
   EXPECT_TRUE(ack->ok);
+}
+
+TEST(ServeProtocol, AnalyzeRequestCarriesParameterDeclarations) {
+  RequestFrame frame;
+  frame.id = 9;
+  frame.op = Op::Analyze;
+  frame.request.source = "void f() {}";
+  frame.request.root = "f";
+  frame.request.parameters = {{"N", 0, 64}, {"M", -3, 3}};
+
+  RequestFrame decoded;
+  std::string error;
+  ASSERT_TRUE(decodeRequest(encodeRequest(frame), &decoded, &error)) << error;
+  ASSERT_EQ(decoded.request.parameters.size(), 2u);
+  EXPECT_EQ(decoded.request.parameters[0].name, "N");
+  EXPECT_EQ(decoded.request.parameters[0].lo, 0);
+  EXPECT_EQ(decoded.request.parameters[0].hi, 64);
+  EXPECT_EQ(decoded.request.parameters[1].name, "M");
+  EXPECT_EQ(decoded.request.parameters[1].lo, -3);
+  EXPECT_EQ(decoded.request.parameters[1].hi, 3);
+
+  // An inverted range is a decode error, not a silent drop.
+  EXPECT_FALSE(decodeRequest(
+      R"({"op":"analyze","id":1,"source":"void f() {}",)"
+      R"("params":[{"name":"N","lo":5,"hi":2}]})",
+      &decoded, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ServeProtocol, EvaluateRequestRoundTrip) {
+  RequestFrame frame;
+  frame.id = 11;
+  frame.op = Op::Evaluate;
+  frame.evaluateDigest = "0123456789abcdef0123456789abcdef";
+  frame.evaluateParams = {{"N", 5}, {"M", -2}};
+
+  RequestFrame decoded;
+  std::string error;
+  ASSERT_TRUE(decodeRequest(encodeRequest(frame), &decoded, &error)) << error;
+  EXPECT_EQ(decoded.op, Op::Evaluate);
+  EXPECT_EQ(decoded.evaluateDigest, frame.evaluateDigest);
+  ASSERT_EQ(decoded.evaluateParams.size(), 2u);
+  EXPECT_EQ(decoded.evaluateParams[0].first, "N");
+  EXPECT_EQ(decoded.evaluateParams[0].second, 5);
+  EXPECT_EQ(decoded.evaluateParams[1].first, "M");
+  EXPECT_EQ(decoded.evaluateParams[1].second, -2);
+}
+
+TEST(ServeProtocol, EvaluateRequestRejectsMalformedFrames) {
+  RequestFrame decoded;
+  std::string error;
+  // Digest too short.
+  EXPECT_FALSE(decodeRequest(
+      R"({"op":"evaluate","id":1,"digest":"abc","params":{"N":1}})",
+      &decoded, &error));
+  // Digest with non-hex characters.
+  EXPECT_FALSE(decodeRequest(
+      R"({"op":"evaluate","id":1,)"
+      R"("digest":"zzzz6789abcdef0123456789abcdef01","params":{"N":1}})",
+      &decoded, &error));
+  // Missing params object.
+  EXPECT_FALSE(decodeRequest(
+      R"({"op":"evaluate","id":1,)"
+      R"("digest":"0123456789abcdef0123456789abcdef"})",
+      &decoded, &error));
+  // Non-integer parameter value.
+  EXPECT_FALSE(decodeRequest(
+      R"({"op":"evaluate","id":1,)"
+      R"("digest":"0123456789abcdef0123456789abcdef","params":{"N":"x"}})",
+      &decoded, &error));
+}
+
+TEST(ServeProtocol, EvaluateResponseCarriesTopLevelBound) {
+  const std::string digest = "0123456789abcdef0123456789abcdef";
+  std::string error;
+  const auto response = decodeResponse(
+      encodeEvaluateResponse(4, ipet::Interval{20, 577}, digest), &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  EXPECT_TRUE(response->ok);
+  EXPECT_EQ(response->id, 4);
+  EXPECT_EQ(response->digest, digest);
+  EXPECT_EQ(response->boundLo, 20);
+  EXPECT_EQ(response->boundHi, 577);
+}
+
+TEST(ServeProtocol, AnalyzeResponseEmbedsTheFormula) {
+  ipet::AnalysisResult result;
+  result.program = "ploop";
+  result.estimate.bound = {20, 3439};
+  ipet::WcetFormula formula;
+  formula.params = {{"N", 0, 64}};
+  ipet::FormulaPiece piece;
+  piece.region.lo = {0};
+  piece.region.hi = {64};
+  piece.worst.constant = ipet::Rat::ofInt(47);
+  piece.worst.coeff = {ipet::Rat::ofInt(53)};
+  piece.best.constant = ipet::Rat::ofInt(20);
+  piece.best.coeff = {ipet::Rat::ofInt(0)};
+  formula.pieces.push_back(piece);
+  result.formula = formula;
+
+  std::string error;
+  const auto decoded =
+      decodeResponse(encodeAnalyzeResponse(3, result, "{}", false), &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  const obs::JsonValue* embedded = decoded->raw.find("formula");
+  ASSERT_NE(embedded, nullptr);
+  ASSERT_TRUE(embedded->isObject());
+  // The embedded object is byte-compatible with WcetFormula's own
+  // codec: re-parse it from the response text and compare exactly.
+  std::string parseError;
+  const std::optional<ipet::WcetFormula> back =
+      ipet::WcetFormula::fromJson(formula.json(), &parseError);
+  ASSERT_TRUE(back.has_value()) << parseError;
+  EXPECT_EQ(*back, formula);
 }
 
 }  // namespace

@@ -155,6 +155,92 @@ TEST(ServeDaemon, BenchmarkRequestsResolveThroughTheSuite) {
   EXPECT_TRUE(pong->ok);
 }
 
+TEST(ServeDaemon, ParametricAnalyzeThenEvaluatePricesWithoutASolve) {
+  RunningServer running;
+  Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect(running.server.port(), &error)) << error;
+
+  // `x0 <= 3 * @P` is redundant for P in [1, 3] (the root entry block
+  // runs once), so the formula prices every point to the direct bound.
+  ipet::AnalysisRequest request;
+  request.label = "ploop";
+  request.source = kLoop;
+  request.root = "f";
+  request.constraints.push_back({"x0 <= 3 * @P", ""});
+  request.parameters = {{"P", 1, 3}};
+  const auto analyzed = client.analyze(request, &error);
+  ASSERT_TRUE(analyzed.has_value()) << error;
+  ASSERT_TRUE(analyzed->ok) << analyzed->error;
+  ASSERT_EQ(analyzed->digest.size(), 32u);
+  const obs::JsonValue* formula = analyzed->raw.find("formula");
+  ASSERT_NE(formula, nullptr);
+  EXPECT_TRUE(formula->isObject());
+  ASSERT_NE(formula->find("pieces"), nullptr);
+
+  // Price the cached formula at each declared point: no solver runs,
+  // and the redundant constraint makes every point equal the hull the
+  // analyze response reported.
+  for (std::int64_t p = 1; p <= 3; ++p) {
+    const auto priced = client.evaluate(analyzed->digest, {{"P", p}}, &error);
+    ASSERT_TRUE(priced.has_value()) << error;
+    ASSERT_TRUE(priced->ok) << priced->error;
+    EXPECT_EQ(priced->digest, analyzed->digest);
+    EXPECT_EQ(priced->boundLo, analyzed->boundLo) << "P = " << p;
+    EXPECT_EQ(priced->boundHi, analyzed->boundHi) << "P = " << p;
+  }
+
+  // A re-analyze of the identical parametric request is a formula-cache
+  // hit carrying the same digest.
+  const auto warm = client.analyze(request, &error);
+  ASSERT_TRUE(warm.has_value()) << error;
+  ASSERT_TRUE(warm->ok) << warm->error;
+  EXPECT_TRUE(warm->cacheHit);
+  EXPECT_EQ(warm->digest, analyzed->digest);
+}
+
+TEST(ServeDaemon, EvaluateErrorPathsAreTyped) {
+  RunningServer running;
+  Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect(running.server.port(), &error)) << error;
+
+  // Malformed digest: rejected at the protocol layer.
+  const auto malformed = client.evaluate("zz", {{"P", 1}}, &error);
+  ASSERT_TRUE(malformed.has_value()) << error;
+  EXPECT_FALSE(malformed->ok);
+  EXPECT_EQ(malformed->errorCode, "parse");
+
+  // Well-formed digest with no cached formula behind it.
+  const std::string unknown(32, 'a');
+  const auto missing = client.evaluate(unknown, {{"P", 1}}, &error);
+  ASSERT_TRUE(missing.has_value()) << error;
+  EXPECT_FALSE(missing->ok);
+  EXPECT_EQ(missing->errorCode, "notfound");
+
+  // Cache a formula, then price it with the wrong parameter name and an
+  // out-of-range value: both are analysis errors, not protocol errors.
+  ipet::AnalysisRequest request;
+  request.source = kLoop;
+  request.root = "f";
+  request.constraints.push_back({"x0 <= 3 * @P", ""});
+  request.parameters = {{"P", 1, 3}};
+  const auto analyzed = client.analyze(request, &error);
+  ASSERT_TRUE(analyzed.has_value()) << error;
+  ASSERT_TRUE(analyzed->ok) << analyzed->error;
+
+  const auto wrongName = client.evaluate(analyzed->digest, {{"Q", 1}}, &error);
+  ASSERT_TRUE(wrongName.has_value()) << error;
+  EXPECT_FALSE(wrongName->ok);
+  EXPECT_EQ(wrongName->errorCode, "analysis");
+
+  const auto outOfRange =
+      client.evaluate(analyzed->digest, {{"P", 99}}, &error);
+  ASSERT_TRUE(outOfRange.has_value()) << error;
+  EXPECT_FALSE(outOfRange->ok);
+  EXPECT_EQ(outOfRange->errorCode, "analysis");
+}
+
 TEST(ServeDaemon, ParseErrorGetsErrorFrame) {
   RunningServer running;
   Client client;
