@@ -1,0 +1,149 @@
+#!/usr/bin/env bash
+# Chaos test for crash-only serving: the daemon must survive a kill -9
+# mid-workload with zero lost admissions and bit-identical bounds.
+#
+# Three phases against one snapshot + journal pair:
+#   1. Reference: serve a corpus, record every bound (--bounds-out),
+#      drain gracefully — the daemon must exit with the drain-specific
+#      code 5, write its snapshot, and reset the journal.
+#   2. Crash: restart from the snapshot, throw a fresh corpus at the
+#      daemon (fault injection armed on the snapshot/journal write
+#      path), and kill -9 the process the moment admissions reach the
+#      journal.  The replay client runs with --retries, so the
+#      transport loss exercises the backoff path too.
+#   3. Recovery: restart.  The "cache restore:" announcement must show
+#      a non-empty cache recovered from snapshot + journal, and the
+#      reference corpus must re-serve with bit-identical bounds
+#      (--expect-bounds exits 3 on any divergence).  Finish with a
+#      clean drain.
+#
+# Used locally and by the `serve-chaos` CI job; outputs land in
+# serve-chaos-out/ (uploaded as a CI artifact on failure).
+#
+# usage: scripts/serve_chaos.sh [path-to-cinderella-serve] [path-to-cinderella-replay]
+set -euo pipefail
+
+SERVE="${1:-./build/src/tools/cinderella-serve}"
+REPLAY="${2:-./build/src/tools/cinderella-replay}"
+
+for bin in "$SERVE" "$REPLAY"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "serve_chaos: binary not found at $bin" >&2
+    echo "build it with: cmake --build build -j --target cinderella-serve cinderella-replay" >&2
+    exit 1
+  fi
+done
+
+OUT_DIR="serve-chaos-out"
+mkdir -p "$OUT_DIR"
+WORK="$(mktemp -d)"
+SNAPSHOT="$WORK/cache.csnap"
+JOURNAL="$SNAPSHOT.journal"
+REF="$OUT_DIR/reference-bounds.txt"
+
+DAEMON_PID=""
+trap 'kill -9 "$DAEMON_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+fail() {
+  echo "serve_chaos: $1" >&2
+  shift
+  for log in "$@"; do
+    [[ -f "$log" ]] && { echo "--- $log ---" >&2; cat "$log" >&2; }
+  done
+  exit 1
+}
+
+# Starts a daemon against $SNAPSHOT; sets DAEMON_PID and DAEMON_PORT.
+start_daemon() {
+  local log="$1"
+  shift
+  "$SERVE" --port 0 --jobs 2 --cache-snapshot "$SNAPSHOT" \
+    --drain-timeout-ms 30000 "$@" > "$log" 2> "$log.err" &
+  DAEMON_PID=$!
+  DAEMON_PORT=""
+  for _ in $(seq 1 100); do
+    DAEMON_PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$log" | head -1)"
+    [[ -n "$DAEMON_PORT" ]] && break
+    sleep 0.1
+  done
+  [[ -n "$DAEMON_PORT" ]] || fail "daemon did not announce a port" "$log" "$log.err"
+}
+
+# The reference corpus must be byte-reproducible across phases: same
+# generator seed, same benchmarks, same labels.
+CORPUS=(--generate 8 --seed 20260808 --benchmarks)
+
+# --- Phase 1: reference run + graceful drain -------------------------
+echo "serve_chaos: phase 1 (reference + drain)"
+start_daemon "$OUT_DIR/phase1-daemon.out"
+"$REPLAY" --port "$DAEMON_PORT" "${CORPUS[@]}" \
+  --bounds-out "$REF" --drain > "$OUT_DIR/phase1-replay.out"
+
+set +e
+wait "$DAEMON_PID"
+CODE=$?
+set -e
+[[ "$CODE" -eq 5 ]] || fail "phase 1: expected drain exit 5, got $CODE" \
+  "$OUT_DIR/phase1-daemon.out" "$OUT_DIR/phase1-daemon.out.err"
+[[ -s "$SNAPSHOT" ]] || fail "phase 1: no snapshot written on drain"
+[[ -s "$REF" ]] || fail "phase 1: replay wrote no reference bounds"
+if [[ -s "$JOURNAL" ]]; then
+  fail "phase 1: journal not reset by the drain-time snapshot save"
+fi
+echo "serve_chaos: phase 1 ok ($(wc -l < "$REF") reference bounds," \
+  "snapshot $(wc -c < "$SNAPSHOT") bytes)"
+
+# --- Phase 2: kill -9 mid-workload under fault injection -------------
+echo "serve_chaos: phase 2 (kill -9 mid-workload)"
+start_daemon "$OUT_DIR/phase2-daemon.out" --fault-rate 0.02 --fault-seed 12345
+"$REPLAY" --port "$DAEMON_PORT" --generate 16 --seed 424242 \
+  --retries 3 --retry-backoff-ms 50 > "$OUT_DIR/phase2-replay.out" 2>&1 &
+REPLAY_PID=$!
+
+# The journal goes non-empty on the first cache admission: that is the
+# "mid-workload" moment to pull the plug.
+for _ in $(seq 1 400); do
+  [[ -s "$JOURNAL" ]] && break
+  sleep 0.05
+done
+[[ -s "$JOURNAL" ]] || fail "phase 2: no admissions journaled before the kill" \
+  "$OUT_DIR/phase2-daemon.out" "$OUT_DIR/phase2-replay.out"
+kill -9 "$DAEMON_PID"
+# The client sees the connection die mid-corpus; its retries cannot
+# reach a dead daemon, so a non-zero exit here is expected.
+wait "$REPLAY_PID" 2>/dev/null || true
+echo "serve_chaos: phase 2 ok (killed -9 with $(wc -c < "$JOURNAL") journal bytes)"
+
+# --- Phase 3: recovery + bit-identity gate ---------------------------
+echo "serve_chaos: phase 3 (recovery)"
+start_daemon "$OUT_DIR/phase3-daemon.out"
+RESTORE_LINE="$(grep 'cache restore:' "$OUT_DIR/phase3-daemon.out" | head -1)"
+[[ -n "$RESTORE_LINE" ]] || fail "phase 3: no cache-restore announcement" \
+  "$OUT_DIR/phase3-daemon.out" "$OUT_DIR/phase3-daemon.out.err"
+RESTORED_BOUNDS="$(echo "$RESTORE_LINE" | sed -n 's/.*cache restore: \([0-9]*\) bounds.*/\1/p')"
+RESTORED_JOURNAL="$(echo "$RESTORE_LINE" | sed -n 's/.*, \([0-9]*\) journaled.*/\1/p')"
+echo "serve_chaos: $RESTORE_LINE"
+[[ -n "$RESTORED_BOUNDS" && "$RESTORED_BOUNDS" -gt 0 ]] || \
+  fail "phase 3: snapshot restored no bounds: $RESTORE_LINE"
+[[ -n "$RESTORED_JOURNAL" && "$RESTORED_JOURNAL" -gt 0 ]] || \
+  fail "phase 3: journal replayed no admissions: $RESTORE_LINE"
+
+# Bit-identity: the reference corpus must answer exactly the bounds of
+# phase 1 (exit 3 = divergence), served from the recovered cache.
+set +e
+"$REPLAY" --port "$DAEMON_PORT" "${CORPUS[@]}" \
+  --expect-bounds "$REF" --drain > "$OUT_DIR/phase3-replay.out" 2>&1
+REPLAY_CODE=$?
+set -e
+[[ "$REPLAY_CODE" -eq 0 ]] || fail \
+  "phase 3: replay exited $REPLAY_CODE (3 = bound divergence after recovery)" \
+  "$OUT_DIR/phase3-replay.out"
+
+set +e
+wait "$DAEMON_PID"
+CODE=$?
+set -e
+[[ "$CODE" -eq 5 ]] || fail "phase 3: expected drain exit 5, got $CODE" \
+  "$OUT_DIR/phase3-daemon.out" "$OUT_DIR/phase3-daemon.out.err"
+
+echo "serve_chaos: ok (recovered $RESTORED_BOUNDS bounds + $RESTORED_JOURNAL journaled, bounds bit-identical)"

@@ -37,7 +37,7 @@ METRICS="$OUT_DIR/metrics.prom"
 FLIGHT="$OUT_DIR/flightrecorder.json"
 LATENCY="$OUT_DIR/latency.json"
 SNAPSHOT="$(mktemp -u).csnap"
-trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -f "$SNAPSHOT"' EXIT
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -f "$SNAPSHOT" "$SNAPSHOT.journal"' EXIT
 
 # Ephemeral port: the daemon announces the one it picked on stdout.
 # --slow-ms 1 arms slow-request tracing for most cold solves, so the
@@ -60,6 +60,24 @@ if [[ -z "$PORT" ]]; then
 fi
 echo "serve_smoke: daemon up on port $PORT"
 
+# Readiness: the raw-HTTP /healthz twin answers 200 "ready" while the
+# daemon accepts work (it flips to 503 "draining" once a drain begins).
+python3 - "$PORT" <<'PY'
+import socket, sys
+port = int(sys.argv[1])
+s = socket.create_connection(("127.0.0.1", port), timeout=5)
+s.sendall(b"GET /healthz HTTP/1.0\r\n\r\n")
+data = b""
+while True:
+    chunk = s.recv(4096)
+    if not chunk:
+        break
+    data += chunk
+if b"200 OK" not in data or b"ready" not in data:
+    sys.exit(f"serve_smoke: /healthz not ready: {data!r}")
+print("serve_smoke: /healthz ready")
+PY
+
 # Two passes over ~25 inputs (= ~50 requests).  The replay tool exits 2
 # if any repeated input returns a different bound, and 1 if the second
 # pass's cache hit rate leaves the overall rate below the gate.  The
@@ -75,7 +93,7 @@ if ! wait "$SERVE_PID"; then
   cat "$LOG" >&2
   exit 1
 fi
-trap 'rm -f "$SNAPSHOT"' EXIT
+trap 'rm -f "$SNAPSHOT" "$SNAPSHOT.journal"' EXIT
 
 if [[ ! -s "$SNAPSHOT" ]]; then
   echo "serve_smoke: daemon did not write its cache snapshot" >&2
@@ -145,5 +163,47 @@ if "analyze" not in ops:
     sys.exit(f"serve_smoke: no analyze records in the flight recorder: {ops}")
 print(f"serve_smoke: flight recorder ok ({dump['recorded']} recorded, {len(dump['records'])} retained)")
 PY
+
+# --- Drain flow ------------------------------------------------------
+# A second daemon, shut down via the graceful-drain handshake instead of
+# the shutdown op: the replay client sends {"op":"drain"}, the daemon
+# finishes in-flight work, writes its snapshot, and exits with the
+# drain-specific code 5.
+DRAIN_LOG="$OUT_DIR/drain-daemon.out"
+DRAIN_SNAPSHOT="$(mktemp -u).csnap"
+"$SERVE" --port 0 --jobs 2 --cache-snapshot "$DRAIN_SNAPSHOT" \
+  --drain-timeout-ms 30000 > "$DRAIN_LOG" &
+DRAIN_PID=$!
+trap 'kill "$DRAIN_PID" 2>/dev/null || true; \
+  rm -f "$SNAPSHOT" "$SNAPSHOT.journal" "$DRAIN_SNAPSHOT" "$DRAIN_SNAPSHOT.journal"' EXIT
+
+DRAIN_PORT=""
+for _ in $(seq 1 50); do
+  DRAIN_PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$DRAIN_LOG" | head -1)"
+  [[ -n "$DRAIN_PORT" ]] && break
+  sleep 0.1
+done
+if [[ -z "$DRAIN_PORT" ]]; then
+  echo "serve_smoke: drain daemon did not announce a port; log:" >&2
+  cat "$DRAIN_LOG" >&2
+  exit 1
+fi
+
+"$REPLAY" --port "$DRAIN_PORT" --generate 2 --seed 7 --drain
+
+set +e
+wait "$DRAIN_PID"
+DRAIN_EXIT=$?
+set -e
+if [[ "$DRAIN_EXIT" -ne 5 ]]; then
+  echo "serve_smoke: expected drain exit code 5, got $DRAIN_EXIT; log:" >&2
+  cat "$DRAIN_LOG" >&2
+  exit 1
+fi
+if [[ ! -s "$DRAIN_SNAPSHOT" ]]; then
+  echo "serve_smoke: drained daemon did not write its cache snapshot" >&2
+  exit 1
+fi
+echo "serve_smoke: drain flow ok (exit 5, snapshot $(wc -c < "$DRAIN_SNAPSHOT") bytes)"
 
 echo "serve_smoke: ok (cache snapshot $(wc -c < "$SNAPSHOT") bytes)"

@@ -1447,6 +1447,28 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
         return;
       }
       lp::Problem p = materializeSet(base, combined[index]);
+      if (control.maxMemoryBytes > 0) {
+        // Backpressure quota: a conservative dense-tableau footprint of
+        // this set's ILP, computed before anything is allocated.  Over
+        // the ceiling the set degrades to the sound structural bound —
+        // same shape as a deadline expiry, so a hostile or runaway
+        // request can never balloon the process.
+        const std::size_t rows = p.constraints().size();
+        const std::size_t cols = static_cast<std::size_t>(p.numVars()) + rows;
+        const std::size_t estimateBytes = (rows + 1) * (cols + 1) * 16;
+        if (estimateBytes > control.maxMemoryBytes) {
+          noteIssue(out, ErrorCode::MemoryCeiling, "set",
+                    "estimated solve footprint " +
+                        std::to_string(estimateBytes) +
+                        " bytes exceeds the ceiling of " +
+                        std::to_string(control.maxMemoryBytes) + " bytes");
+          applyStructural(out, /*worstSide=*/true);
+          applyStructural(out, /*worstSide=*/false);
+          setSpan.arg("verdict", std::string(setVerdictStr(rec.verdict)));
+          rec.wallMicros = microsSince(setStart);
+          return;
+        }
+      }
 
       // Basis handed from stage to stage: seed -> probe -> worst root ->
       // best root; branch-and-bound nodes chain internally from their

@@ -115,6 +115,14 @@ struct SolveControl {
   std::chrono::milliseconds deadline{0};
   /// Overrides IlpOptions::maxNodes for every ILP when positive.
   int maxNodes = 0;
+  /// Per-request memory ceiling (bytes) on any single constraint-set
+  /// ILP, estimated from the materialized problem's tableau footprint
+  /// before the solve starts; 0 = unlimited.  A set over the ceiling
+  /// degrades to the sound structural bound (like a deadline expiry)
+  /// with a MemoryCeiling issue — the call never throws and never
+  /// allocates the oversized tableau.  The serving layer's
+  /// --max-request-memory-mb backpressure quota threads through here.
+  std::size_t maxMemoryBytes = 0;
   /// Optional cooperative cancellation: set to true from any thread to
   /// make estimate() stop early and throw AnalysisError.
   const std::atomic<bool>* cancel = nullptr;

@@ -49,6 +49,11 @@ struct SolveCacheOptions {
   /// Maximum entries per store (bounds and bases each); 0 disables the
   /// cache entirely — every lookup misses and every insert is dropped.
   std::size_t capacity = 1024;
+  /// When non-empty: every admitted insert is also appended (and
+  /// fsync'd) to this journal file, so a crash between snapshots loses
+  /// nothing that was admitted.  save() resets the journal after a
+  /// successful snapshot; restore() replays it on top of the snapshot.
+  std::string journalPath;
 };
 
 /// A verified cached result: the bound plus enough context for reports.
@@ -78,6 +83,32 @@ struct SolveCacheStats {
   std::int64_t evictions = 0;
   /// Inserts refused by the admission gate (degraded/faulted results).
   std::int64_t rejectedInserts = 0;
+  /// Admissions durably appended to the journal / append failures
+  /// (short write, failed fsync — the entry stays cached in memory but
+  /// may not survive a crash).
+  std::int64_t journaledInserts = 0;
+  std::int64_t journalFailures = 0;
+};
+
+/// What restore() managed to recover from a snapshot + journal pair.
+/// `complete` is false when any corruption or truncation was met — the
+/// entries restored are then the longest consistent prefix, never a
+/// torn or bit-flipped record.
+struct SnapshotRestoreReport {
+  bool snapshotFound = false;
+  bool journalFound = false;
+  bool complete = true;
+  std::size_t bounds = 0;
+  std::size_t bases = 0;
+  std::size_t formulas = 0;
+  /// Journal records replayed on top of the snapshot.
+  std::size_t journalRecords = 0;
+  /// First corruption diagnostic, empty when complete.
+  std::string detail;
+
+  [[nodiscard]] bool anyRestored() const {
+    return bounds + bases + formulas + journalRecords > 0;
+  }
 };
 
 class SolveCache {
@@ -122,18 +153,35 @@ class SolveCache {
   [[nodiscard]] std::size_t formulaEntries() const;
   void clear();
 
-  /// Writes a binary snapshot of both stores (oldest-first, so load()
-  /// restores recency order).  Returns false with a diagnostic in
-  /// `error` on I/O failure.  Counters are not persisted.
+  /// Writes a binary snapshot of all stores (oldest-first, so load()
+  /// restores recency order) — atomically: temp file + fsync + rename,
+  /// so a crash mid-save leaves the previous snapshot intact.  Each
+  /// section carries its own CRC32.  After a successful save the
+  /// journal (when configured) is reset, its records now being folded
+  /// into the snapshot.  Returns false with a diagnostic in `error` on
+  /// I/O failure.  Counters are not persisted.
   bool save(const std::string& path, std::string* error) const;
 
   /// Replaces the cache contents from a snapshot written by save(),
   /// re-applying this cache's own capacity bound.  On any malformation
-  /// (bad magic/version, truncation, corrupt basis bytes) returns false
-  /// with a diagnostic and leaves the cache unchanged.
+  /// (bad magic/version, truncation, CRC mismatch, corrupt basis bytes)
+  /// returns false with a diagnostic and leaves the cache unchanged.
+  /// Strict — recovery from partial damage is restore()'s job.
   bool load(const std::string& path, std::string* error);
 
+  /// Crash-recovering load: restores the longest consistent prefix of
+  /// the snapshot's sections, then replays the journal (when
+  /// configured) up to its first torn or corrupt record.  A kill -9 at
+  /// any byte offset therefore recovers every fully-persisted admission
+  /// and never installs a corrupt entry.  Replaces the cache contents
+  /// (with whatever was recovered, possibly nothing).
+  SnapshotRestoreReport restore(const std::string& path);
+
  private:
+  /// Appends one record to the journal (mutex held).  Best-effort: a
+  /// failed append is counted, not fatal — the in-memory entry stands.
+  void journalLocked(std::uint32_t type, std::string_view payload);
+
   SolveCacheOptions options_;
   mutable std::mutex mutex_;
   support::LruMap<Digest, CachedBound> bounds_;

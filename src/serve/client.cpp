@@ -5,9 +5,34 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
+
+#include "cinderella/obs/log.hpp"
+#include "cinderella/support/io.hpp"
 
 namespace cinderella::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t millisSince(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                               start)
+      .count();
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
 
 bool Client::connect(int port, std::string* error) {
   close();
@@ -29,26 +54,95 @@ bool Client::connect(int port, std::string* error) {
     close();
     return false;
   }
+  port_ = port;
   return true;
+}
+
+double Client::jitterFactor() {
+  if (!jitterSeeded_) {
+    jitterState_ = policy_.jitterSeed;
+    jitterSeeded_ = true;
+  }
+  // 53 uniform bits -> [0, 1), then centered on 1.0 with ±jitter spread.
+  const double unit =
+      static_cast<double>(splitmix64(jitterState_) >> 11) / 9007199254740992.0;
+  return 1.0 + policy_.jitter * (2.0 * unit - 1.0);
 }
 
 std::optional<Response> Client::call(const RequestFrame& frame,
                                      std::string* error) {
+  const Clock::time_point start = Clock::now();
+  std::int64_t backoffMs = policy_.initialBackoffMs;
+  std::string attemptError;
+  for (int attempt = 1;; ++attempt) {
+    attemptError.clear();
+    std::optional<Response> response = callOnce(frame, &attemptError);
+    const bool transportLoss = !response.has_value();
+    const bool overloaded = response.has_value() && !response->ok &&
+                            response->errorCode == "overloaded" &&
+                            policy_.retryOverloaded;
+    const bool retryable = transportLoss || overloaded;
+    // Drain and shutdown are one-shot: a redelivery after the daemon
+    // restarts on the same port would stop the *new* instance.
+    if (!retryable || frame.op == Op::Shutdown || frame.op == Op::Drain ||
+        attempt >= policy_.maxAttempts) {
+      if (transportLoss && error != nullptr) {
+        *error = attemptError;
+        if (attempt > 1) *error += " (after " + std::to_string(attempt) +
+                                   " attempts)";
+      }
+      return response;
+    }
+    std::int64_t sleepMs = static_cast<std::int64_t>(
+        static_cast<double>(std::min(backoffMs, policy_.maxBackoffMs)) *
+        jitterFactor());
+    if (sleepMs < 0) sleepMs = 0;
+    if (policy_.totalDeadlineMs > 0 &&
+        millisSince(start) + sleepMs >= policy_.totalDeadlineMs) {
+      if (error != nullptr) {
+        *error = (transportLoss ? attemptError
+                                : "server overloaded (" + response->error +
+                                      ")") +
+                 " — retry budget of " +
+                 std::to_string(policy_.totalDeadlineMs) + " ms exhausted";
+      }
+      return response;
+    }
+    retryStats_.retries += 1;
+    if (logger_ != nullptr) {
+      logger_->record(obs::LogLevel::Warn, "client-retry")
+          .field("id", frame.idIsString ? frame.idText
+                                        : std::to_string(frame.id))
+          .field("op", opName(frame.op))
+          .field("attempt", static_cast<std::int64_t>(attempt))
+          .field("backoffMs", sleepMs)
+          .field("reason",
+                 transportLoss ? attemptError : std::string("overloaded"));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleepMs));
+    backoffMs = static_cast<std::int64_t>(
+        static_cast<double>(backoffMs) * policy_.backoffMultiplier);
+    if (transportLoss) {
+      std::string connectError;
+      if (connect(port_, &connectError)) {
+        retryStats_.reconnects += 1;
+      }
+      // A failed reconnect falls through: callOnce reports "not
+      // connected" and the next round backs off again.
+    }
+  }
+}
+
+std::optional<Response> Client::callOnce(const RequestFrame& frame,
+                                         std::string* error) {
   if (fd_ < 0) {
     if (error != nullptr) *error = "not connected";
     return std::nullopt;
   }
   const std::string payload = encodeRequest(frame) + "\n";
-  std::size_t sent = 0;
-  while (sent < payload.size()) {
-    const ssize_t n = ::send(fd_, payload.data() + sent,
-                             payload.size() - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      if (error != nullptr) *error = "send: " + std::string(strerror(errno));
-      return std::nullopt;
-    }
-    sent += static_cast<std::size_t>(n);
+  if (!support::io::sendAll(fd_, payload)) {
+    if (error != nullptr) *error = "send: " + std::string(strerror(errno));
+    return std::nullopt;
   }
   std::string line;
   if (!readLine(&line, error)) return std::nullopt;
@@ -108,6 +202,20 @@ std::optional<Response> Client::flightrecorder(std::string* error) {
   return call(frame, error);
 }
 
+std::optional<Response> Client::health(std::string* error) {
+  RequestFrame frame;
+  frame.id = nextId_++;
+  frame.op = Op::Health;
+  return call(frame, error);
+}
+
+std::optional<Response> Client::drain(std::string* error) {
+  RequestFrame frame;
+  frame.id = nextId_++;
+  frame.op = Op::Drain;
+  return call(frame, error);
+}
+
 std::optional<Response> Client::shutdown(std::string* error) {
   RequestFrame frame;
   frame.id = nextId_++;
@@ -124,8 +232,7 @@ bool Client::readLine(std::string* line, std::string* error) {
       buffer_.erase(0, eol + 1);
       return true;
     }
-    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
-    if (n < 0 && errno == EINTR) continue;
+    const ssize_t n = support::io::recvSome(fd_, chunk, sizeof chunk);
     if (n <= 0) {
       if (error != nullptr) *error = "connection closed by server";
       return false;

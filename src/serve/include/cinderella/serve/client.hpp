@@ -3,14 +3,58 @@
 // replay tool, the serve benchmark, the fuzz oracle's cache-equivalence
 // check, and the protocol tests — anything that talks to a daemon
 // in-process or across processes.
+//
+// Resilience: an optional RetryPolicy makes call() survive transport
+// loss (daemon restart, dropped connection) and typed "overloaded"
+// rejections by reconnecting and retrying with exponential backoff plus
+// deterministic jitter.  This is safe because analyze/evaluate are
+// idempotent — results are content-addressed by request digest, so a
+// retry can only re-serve the same bound.  Shutdown and drain frames
+// are never retried (a second delivery would not be idempotent against
+// a *different* daemon instance that reused the port).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
 #include "cinderella/serve/protocol.hpp"
 
+namespace cinderella::obs {
+class Logger;
+}  // namespace cinderella::obs
+
 namespace cinderella::serve {
+
+/// Deadline-aware retry policy for Client::call.
+struct RetryPolicy {
+  /// Total attempts, the first try included; 1 = no retries (default,
+  /// the pre-v4 behavior).
+  int maxAttempts = 1;
+  /// Backoff before the first retry; doubles (backoffMultiplier) per
+  /// retry up to maxBackoffMs.
+  std::int64_t initialBackoffMs = 25;
+  double backoffMultiplier = 2.0;
+  std::int64_t maxBackoffMs = 2000;
+  /// Fraction of the backoff perturbed per retry (0.2 = ±20%), from a
+  /// deterministic splitmix64 stream seeded by jitterSeed — reproducible
+  /// in tests, decorrelated across clients with distinct seeds.
+  double jitter = 0.2;
+  std::uint64_t jitterSeed = 0x9e3779b97f4a7c15ull;
+  /// Overall wall-clock budget across attempts and backoff sleeps;
+  /// 0 = none.  A retry that cannot finish its sleep inside the budget
+  /// is not started.
+  std::int64_t totalDeadlineMs = 0;
+  /// Also retry typed "overloaded" rejections (the server's bounded
+  /// queue was full), not just transport loss.
+  bool retryOverloaded = true;
+};
+
+/// What the retry machinery did over the client's lifetime.
+struct RetryStats {
+  std::int64_t retries = 0;     ///< Attempts beyond the first.
+  std::int64_t reconnects = 0;  ///< Successful re-connects after loss.
+};
 
 class Client {
  public:
@@ -26,9 +70,19 @@ class Client {
 
   [[nodiscard]] bool connected() const { return fd_ >= 0; }
 
-  /// Sends `frame` and blocks for one response line.  Returns nullopt
-  /// with a diagnostic on a transport failure (including the peer
-  /// closing mid-request) — protocol-level errors come back as a
+  /// Arms retries for subsequent call()s (see RetryPolicy).
+  void setRetryPolicy(RetryPolicy policy) { policy_ = policy; }
+
+  /// Optional log sink: each retry emits a "client-retry" record
+  /// carrying the request id, attempt number and backoff.  Must outlive
+  /// the client.
+  void setLogger(obs::Logger* logger) { logger_ = logger; }
+
+  [[nodiscard]] const RetryStats& retryStats() const { return retryStats_; }
+
+  /// Sends `frame` and blocks for one response line, retrying per the
+  /// policy.  Returns nullopt with a diagnostic on a transport failure
+  /// that survived every retry — protocol-level errors come back as a
   /// Response with ok == false instead.
   [[nodiscard]] std::optional<Response> call(const RequestFrame& frame,
                                              std::string* error);
@@ -47,16 +101,29 @@ class Client {
   [[nodiscard]] std::optional<Response> stats(std::string* error);
   [[nodiscard]] std::optional<Response> metrics(std::string* error);
   [[nodiscard]] std::optional<Response> flightrecorder(std::string* error);
+  [[nodiscard]] std::optional<Response> health(std::string* error);
+  [[nodiscard]] std::optional<Response> drain(std::string* error);
   [[nodiscard]] std::optional<Response> shutdown(std::string* error);
 
   void close();
 
  private:
+  [[nodiscard]] std::optional<Response> callOnce(const RequestFrame& frame,
+                                                 std::string* error);
   [[nodiscard]] bool readLine(std::string* line, std::string* error);
+  /// Next multiplier in [1-jitter, 1+jitter] from the deterministic
+  /// stream.
+  [[nodiscard]] double jitterFactor();
 
   int fd_ = -1;
+  int port_ = 0;  ///< Last successful connect target, for reconnects.
   std::int64_t nextId_ = 1;
   std::string buffer_;
+  RetryPolicy policy_;
+  RetryStats retryStats_;
+  std::uint64_t jitterState_ = 0;
+  bool jitterSeeded_ = false;
+  obs::Logger* logger_ = nullptr;
 };
 
 }  // namespace cinderella::serve

@@ -4,7 +4,8 @@
 //
 // Request frame (all fields but "op" optional; defaults in brackets):
 //   {"op":"analyze",            // or "ping" | "stats" | "metrics"
-//                               //    | "flightrecorder" | "shutdown"
+//                               //    | "flightrecorder" | "health"
+//                               //    | "drain" | "shutdown"
 //    "id":7,                    // integer or string, echoed verbatim in
 //                               // the response; omitted => the server
 //                               // assigns "srv-<seq>" and echoes that
@@ -22,10 +23,12 @@
 //    "jobs":1,                  // solve worker threads [1]
 //    "deadlineMs":0,            // solve deadline [none]
 //    "maxNodes":0,              // branch-and-bound node cap [solver default]
+//    "maxMemoryMb":0,           // per-request solve memory ceiling [none;
+//                               // the server may clamp it further]
 //    "warmStart":true}          // incremental solve engine [on]
 //
 // Analyze response frame:
-//   {"id":7,"ok":true,"protocolVersion":3,
+//   {"id":7,"ok":true,"protocolVersion":4,
 //    "cacheHit":false,          // bound served from the solve cache
 //    "basisWarmStarted":false,  // cached structural basis seeded the solve
 //    "degradedAdmission":false, // overload clamped the deadline
@@ -43,7 +46,7 @@
 //    "digest":"<32 hex>",       // the parametric digest an analyze
 //                               // response reported for the system
 //    "params":{"N":5, ...}}     // one integer per declared parameter
-// Response: {"id":8,"ok":true,"protocolVersion":3,
+// Response: {"id":8,"ok":true,"protocolVersion":4,
 //            "digest":"<32 hex>","bound":{"lo":L,"hi":H}}.
 // A digest with no cached formula answers code "notfound" (re-run the
 // analyze to rebuild it); an assignment outside the declared box or
@@ -57,11 +60,25 @@
 // scrapers).  "flightrecorder" returns the in-memory ring of the last N
 // requests with per-stage timings (see flight_recorder.hpp).
 //
+// "health" reports readiness: {"id":9,"ok":true,"status":"ready",
+// "draining":false,"inflight":N} — "draining" once a drain began (the
+// daemon also answers "GET /healthz" with 200 when ready, 503 while
+// draining).  "drain" starts a graceful shutdown: the listener stops
+// accepting, in-flight analyses finish (bounded by the daemon's
+// --drain-timeout-ms), the cache snapshot and flight recorder flush,
+// and the process exits with a drain-specific code; the ack is
+// {"id":10,"ok":true,"draining":true,"inflight":N}.
+//
 // Error response: {"id":7,"ok":false,"code":"analysis","error":"..."}.
 // Codes: "parse" (bad frame), "analysis" (Error from the analyzer),
-// "internal" (anything else).  The connection survives request errors;
-// only transport-level garbage (a line that is not JSON) also gets an
-// error frame, then the connection closes.
+// "toolarge" (frame exceeded the server's --max-request-bytes; the
+// oversized line is discarded and the connection survives),
+// "overloaded" (the inflight cap plus bounded queue is full — retry
+// with backoff), "draining" (the daemon is draining and accepts no new
+// analyses), "notfound" (evaluate digest unknown), "internal" (anything
+// else).  The connection survives request errors; only transport-level
+// garbage (a line that is not JSON) also gets an error frame, then the
+// connection closes.
 #pragma once
 
 #include <cstdint>
@@ -77,7 +94,7 @@
 
 namespace cinderella::serve {
 
-inline constexpr int kProtocolVersion = 3;
+inline constexpr int kProtocolVersion = 4;
 
 enum class Op {
   Analyze,
@@ -86,6 +103,8 @@ enum class Op {
   Stats,
   Metrics,
   FlightRecorder,
+  Health,
+  Drain,
   Shutdown,
 };
 
@@ -139,6 +158,14 @@ struct ServeCounters {
   /// Requests admitted under overload with a clamped deadline.
   std::int64_t overloadAdmissions = 0;
   std::int64_t inflight = 0;
+  /// Frames rejected for exceeding --max-request-bytes.
+  std::int64_t rejectedOversize = 0;
+  /// Analyses rejected because the inflight cap + bounded queue was full.
+  std::int64_t rejectedOverload = 0;
+  /// Analyses rejected because the daemon was draining.
+  std::int64_t drainRejections = 0;
+  /// True once a drain began (health reports "draining").
+  bool draining = false;
 };
 
 /// Client-side view of one response line.  `raw` keeps the full parsed
@@ -179,9 +206,13 @@ struct Response {
 [[nodiscard]] std::string encodeRequest(const RequestFrame& frame);
 /// Parses one request line.  Returns false with a diagnostic for
 /// non-JSON input, an unknown op, or invalid field values; unknown keys
-/// are ignored (forward compatibility).
+/// are ignored (forward compatibility).  `notJson`, when non-null, is
+/// set when the line was not a JSON object at all — the server closes
+/// such connections after the error frame (transport-level garbage),
+/// while request-level failures keep the connection open.
 [[nodiscard]] bool decodeRequest(std::string_view line, RequestFrame* out,
-                                 std::string* error);
+                                 std::string* error,
+                                 bool* notJson = nullptr);
 
 // --- Response frames (server encodes, client decodes). ---
 /// `report` must be a complete JSON object (obs::reportJson output); it
@@ -213,6 +244,15 @@ struct Response {
 [[nodiscard]] std::string encodeFlightRecorderResponse(
     const WireId& id, std::string_view flightJson);
 [[nodiscard]] std::string encodeShutdownAck(const WireId& id);
+/// Health response: status "ready" or "draining" plus the live inflight
+/// count — the NDJSON twin of "GET /healthz".
+[[nodiscard]] std::string encodeHealthResponse(const WireId& id,
+                                               bool draining,
+                                               std::int64_t inflight);
+/// Drain ack: the daemon stopped accepting and will exit once in-flight
+/// work finishes (or its drain timeout expires).
+[[nodiscard]] std::string encodeDrainAck(const WireId& id,
+                                         std::int64_t inflight);
 
 /// Parses one response line into the envelope + raw document.  Returns
 /// nullopt with a diagnostic when the line is not a JSON object.

@@ -57,6 +57,22 @@ struct ServerOptions {
   /// When non-empty: restore the cache from this snapshot on start()
   /// (best-effort; see snapshotLoadError()) and write it back on stop().
   std::string snapshotPath;
+  /// When non-empty: journal every cache admission here (fsync'd), so a
+  /// kill -9 between snapshots loses nothing; restored on start() on
+  /// top of the snapshot, reset by every successful snapshot save.
+  std::string journalPath;
+  /// Per-connection frame-size limit: a request line longer than this
+  /// is answered with a typed "toolarge" error and discarded — the
+  /// connection survives.
+  std::size_t maxRequestBytes = 16u << 20;
+  /// Analyses allowed to wait beyond maxInflight before new arrivals
+  /// are rejected outright with "overloaded"; -1 = unbounded (degraded
+  /// admission only, the pre-quota behavior).
+  int maxQueuedRequests = -1;
+  /// Per-request solve memory ceiling (bytes) clamped onto every
+  /// admitted analyze (SolveControl::maxMemoryBytes); 0 = none.  A
+  /// request already asking for less keeps its own ceiling.
+  std::size_t maxRequestMemoryBytes = 0;
   /// Benchmark-name resolution for {"benchmark":...} requests.
   ipet::ProgramResolver benchmarkResolver;
   /// Optional tracer: one "request" span per frame served.
@@ -93,12 +109,28 @@ class Server {
   /// The bound port (after start()); useful with options.port == 0.
   [[nodiscard]] int port() const { return port_; }
 
-  /// Blocks until stop() is called or a client sends {"op":"shutdown"}.
-  /// Returns without stopping — the caller decides to stop().
+  /// Blocks until stop() is called, a client sends {"op":"shutdown"},
+  /// or a drain begins.  Returns without stopping — the caller decides
+  /// to stop() (typically after awaitIdle() when draining()).
   void wait();
 
   /// True once a client requested shutdown (or stop() began).
   [[nodiscard]] bool shutdownRequested() const;
+
+  /// Begins a graceful drain: the listener stops accepting connections,
+  /// new analyses are rejected with a typed "draining" error, health
+  /// flips to "draining", and wait() wakes.  In-flight analyses keep
+  /// running — awaitIdle() then stop() complete the shutdown.
+  /// Idempotent; triggered by the "drain" op and by SIGTERM/SIGINT in
+  /// the daemon driver.
+  void beginDrain();
+
+  /// True once a drain began.
+  [[nodiscard]] bool draining() const;
+
+  /// Blocks until no analyses are in flight, up to `timeoutMs`.
+  /// Returns true when idle (a clean drain), false on timeout.
+  [[nodiscard]] bool awaitIdle(std::int64_t timeoutMs);
 
   /// Stops accepting, closes every connection, joins all threads, and
   /// writes the cache snapshot if configured.  Idempotent.
@@ -118,11 +150,17 @@ class Server {
   /// The merged snapshot as Prometheus text exposition format 0.0.4.
   [[nodiscard]] std::string prometheusText() const;
 
-  /// Diagnostic from a failed best-effort snapshot restore in start()
-  /// (empty when none was configured, the file was absent, or it
-  /// loaded); the server starts with a cold cache either way.
+  /// Diagnostic from a damaged best-effort snapshot restore in start()
+  /// (empty when none was configured, the files were absent, or they
+  /// recovered cleanly); the server starts with whatever consistent
+  /// prefix was recovered either way.
   [[nodiscard]] const std::string& snapshotLoadError() const {
     return snapshotLoadError_;
+  }
+
+  /// What start()'s snapshot + journal recovery restored.
+  [[nodiscard]] const ipet::SnapshotRestoreReport& restoreReport() const {
+    return restoreReport_;
   }
 
  private:
@@ -142,10 +180,15 @@ class Server {
   void handleConnection(int fd);
   /// Decodes and serves one frame; returns the response line (without
   /// the trailing newline).  Sets `*shutdownAfterReply` for a shutdown
-  /// frame — the connection loop wakes wait() only after the ack is
-  /// sent, so the client always sees it.
+  /// frame and `*drainAfterReply` for a drain frame — the connection
+  /// loop acts only after the ack is sent, so the client always sees it.
+  /// Sets `*closeAfterReply` when the line was not JSON at all: the
+  /// peer is not speaking the protocol, so the connection closes after
+  /// the error frame (request-level errors keep it open).
   [[nodiscard]] std::string handleLine(const std::string& line,
-                                       bool* shutdownAfterReply);
+                                       bool* shutdownAfterReply,
+                                       bool* drainAfterReply,
+                                       bool* closeAfterReply);
   [[nodiscard]] AnalyzeOutcome handleAnalyze(const RequestFrame& frame,
                                              const WireId& wireId,
                                              obs::RequestTelemetry* telemetry);
@@ -171,12 +214,14 @@ class Server {
   int port_ = 0;
   std::thread acceptThread_;
   std::string snapshotLoadError_;
+  ipet::SnapshotRestoreReport restoreReport_;
 
   mutable std::mutex mutex_;  ///< Guards connThreads_/connFds_.
   std::vector<std::thread> connThreads_;
   std::set<int> connFds_;
 
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
   std::atomic<bool> shutdownRequested_{false};
   bool stopped_ = false;  ///< stop() ran to completion (guarded by mutex_).
   std::condition_variable waitCv_;
@@ -186,6 +231,9 @@ class Server {
   std::atomic<std::int64_t> errors_{0};
   std::atomic<std::int64_t> overloadAdmissions_{0};
   std::atomic<std::int64_t> inflight_{0};
+  std::atomic<std::int64_t> rejectedOversize_{0};
+  std::atomic<std::int64_t> rejectedOverload_{0};
+  std::atomic<std::int64_t> drainRejections_{0};
 };
 
 }  // namespace cinderella::serve

@@ -20,6 +20,10 @@ const char* opStr(Op op) {
       return "metrics";
     case Op::FlightRecorder:
       return "flightrecorder";
+    case Op::Health:
+      return "health";
+    case Op::Drain:
+      return "drain";
     case Op::Shutdown:
       return "shutdown";
   }
@@ -33,6 +37,8 @@ std::optional<Op> parseOp(std::string_view text) {
   if (text == "stats") return Op::Stats;
   if (text == "metrics") return Op::Metrics;
   if (text == "flightrecorder") return Op::FlightRecorder;
+  if (text == "health") return Op::Health;
+  if (text == "drain") return Op::Drain;
   if (text == "shutdown") return Op::Shutdown;
   return std::nullopt;
 }
@@ -114,6 +120,10 @@ std::string encodeRequest(const RequestFrame& frame) {
           .value(static_cast<std::int64_t>(r.control.deadline.count()));
     }
     if (r.control.maxNodes > 0) w.key("maxNodes").value(r.control.maxNodes);
+    if (r.control.maxMemoryBytes > 0) {
+      w.key("maxMemoryMb")
+          .value(static_cast<std::int64_t>(r.control.maxMemoryBytes >> 20));
+    }
     w.key("warmStart").value(r.control.warmStart);
   }
   if (frame.op == Op::Evaluate) {
@@ -129,15 +139,18 @@ std::string encodeRequest(const RequestFrame& frame) {
 }
 
 bool decodeRequest(std::string_view line, RequestFrame* out,
-                   std::string* error) {
+                   std::string* error, bool* notJson) {
+  if (notJson != nullptr) *notJson = false;
   std::string parseError;
   std::optional<obs::JsonValue> doc = obs::jsonParse(line, &parseError);
   if (!doc) {
     if (error != nullptr) *error = "not a JSON frame (" + parseError + ")";
+    if (notJson != nullptr) *notJson = true;
     return false;
   }
   if (!doc->isObject()) {
     if (error != nullptr) *error = "frame must be a JSON object";
+    if (notJson != nullptr) *notJson = true;
     return false;
   }
 
@@ -294,6 +307,14 @@ bool decodeRequest(std::string_view line, RequestFrame* out,
     return false;
   }
   r.control.maxNodes = static_cast<int>(maxNodes);
+  const std::int64_t maxMemoryMb = doc->intOr("maxMemoryMb", 0);
+  if (maxMemoryMb < 0 || maxMemoryMb > (1 << 20)) {
+    if (error != nullptr) {
+      *error = "\"maxMemoryMb\" must be in [0, 1048576]";
+    }
+    return false;
+  }
+  r.control.maxMemoryBytes = static_cast<std::size_t>(maxMemoryMb) << 20;
   r.control.warmStart = doc->boolOr("warmStart", true);
   return true;
 }
@@ -399,6 +420,14 @@ std::string encodeStatsResponse(const WireId& id,
       .value(server.overloadAdmissions)
       .key("inflight")
       .value(server.inflight)
+      .key("rejectedOversize")
+      .value(server.rejectedOversize)
+      .key("rejectedOverload")
+      .value(server.rejectedOverload)
+      .key("drainRejections")
+      .value(server.drainRejections)
+      .key("draining")
+      .value(server.draining)
       .endObject();
   if (!metricsJson.empty()) w.key("metrics").rawValue(metricsJson);
   w.endObject();
@@ -429,6 +458,27 @@ std::string encodeShutdownAck(const WireId& id) {
   obs::JsonWriter w;
   beginResponse(&w, id, true);
   w.key("shuttingDown").value(true).endObject();
+  return w.str();
+}
+
+std::string encodeHealthResponse(const WireId& id, bool draining,
+                                 std::int64_t inflight) {
+  obs::JsonWriter w;
+  beginResponse(&w, id, true);
+  w.key("status")
+      .value(draining ? "draining" : "ready")
+      .key("draining")
+      .value(draining)
+      .key("inflight")
+      .value(inflight)
+      .endObject();
+  return w.str();
+}
+
+std::string encodeDrainAck(const WireId& id, std::int64_t inflight) {
+  obs::JsonWriter w;
+  beginResponse(&w, id, true);
+  w.key("draining").value(true).key("inflight").value(inflight).endObject();
   return w.str();
 }
 

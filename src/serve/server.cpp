@@ -18,6 +18,7 @@
 #include "cinderella/obs/request_telemetry.hpp"
 #include "cinderella/obs/trace.hpp"
 #include "cinderella/support/error.hpp"
+#include "cinderella/support/io.hpp"
 
 namespace cinderella::serve {
 
@@ -35,31 +36,15 @@ std::int64_t microsSince(Clock::time_point start) {
       .count();
 }
 
-/// A frame longer than this is garbage, not a request (the largest
-/// legitimate payloads — benchmark sources, LP dumps — are well under
-/// a megabyte even JSON-escaped).
-constexpr std::size_t kMaxFrameBytes = 16u << 20;
-
 ipet::AnalysisServiceOptions serviceOptions(const ServerOptions& options) {
   ipet::AnalysisServiceOptions service;
   service.cache.capacity = options.cacheEntries;
+  service.cache.journalPath = options.journalPath;
   service.benchmarkResolver = options.benchmarkResolver;
   return service;
 }
 
-bool sendAll(int fd, std::string_view bytes) {
-  std::size_t sent = 0;
-  while (sent < bytes.size()) {
-    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
-}
+using support::io::sendAll;
 
 }  // namespace
 
@@ -104,14 +89,14 @@ bool Server::start(std::string* error) {
     port_ = ntohs(bound.sin_port);
   }
 
-  if (!options_.snapshotPath.empty() &&
-      std::filesystem::exists(options_.snapshotPath)) {
-    // Best-effort: a corrupt or stale snapshot means a cold cache, never
-    // a failed start — the cache only ever changes performance.
-    std::string loadError;
-    if (!service_.cache().load(options_.snapshotPath, &loadError)) {
-      snapshotLoadError_ = loadError;
-    }
+  if (!options_.snapshotPath.empty()) {
+    // Crash recovery: restore() keeps every section of the snapshot (and
+    // every journaled admission) up to the first damage, so a kill -9 at
+    // any byte offset costs at most the torn suffix — never a failed
+    // start, never a silently empty cache when a consistent prefix
+    // exists.  The cache only ever changes performance.
+    restoreReport_ = service_.cache().restore(options_.snapshotPath);
+    if (!restoreReport_.complete) snapshotLoadError_ = restoreReport_.detail;
   }
 
   acceptThread_ = std::thread([this] { acceptLoop(); });
@@ -119,7 +104,8 @@ bool Server::start(std::string* error) {
 }
 
 void Server::acceptLoop() {
-  while (!stopping_.load(std::memory_order_acquire)) {
+  while (!stopping_.load(std::memory_order_acquire) &&
+         !draining_.load(std::memory_order_acquire)) {
     pollfd pfd{listenFd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, kPollMillis);
     if (ready <= 0) continue;
@@ -140,20 +126,46 @@ void Server::handleConnection(int fd) {
   std::string buffer;
   char chunk[4096];
   bool open = true;
+  bool discarding = false;  ///< Skipping the rest of an oversized line.
   while (open && !stopping_.load(std::memory_order_acquire)) {
     pollfd pfd{fd, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, kPollMillis);
     if (ready < 0 && errno != EINTR) break;
     if (ready <= 0) continue;
-    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-    if (n < 0 && errno == EINTR) continue;
+    const ssize_t n = support::io::recvSome(fd, chunk, sizeof chunk);
     if (n <= 0) break;  // Peer closed (or error): connection done.
     buffer.append(chunk, static_cast<std::size_t>(n));
-    if (buffer.size() > kMaxFrameBytes) {
-      (void)sendAll(fd, encodeErrorResponse(0, "parse",
-                                            "frame exceeds 16 MiB") +
-                            "\n");
-      break;
+    if (discarding) {
+      const std::size_t eol = buffer.find('\n');
+      if (eol == std::string::npos) {
+        buffer.clear();
+        continue;
+      }
+      buffer.erase(0, eol + 1);
+      discarding = false;
+    }
+    if (buffer.size() > options_.maxRequestBytes &&
+        buffer.find('\n') == std::string::npos) {
+      // The line already exceeds the frame quota with no end in sight:
+      // answer a typed error now and skip bytes until the newline, so
+      // one oversized frame cannot kill the connection (or the heap).
+      rejectedOversize_.fetch_add(1, std::memory_order_relaxed);
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.counter("serve.rejected_oversize").add(1);
+      const WireId wireId("srv-" + std::to_string(idSeq_.fetch_add(
+                                       1, std::memory_order_relaxed) +
+                                   1));
+      if (!sendAll(fd, encodeErrorResponse(
+                           wireId, "toolarge",
+                           "frame exceeds --max-request-bytes (" +
+                               std::to_string(options_.maxRequestBytes) +
+                               "); the line was discarded") +
+                           "\n")) {
+        break;
+      }
+      buffer.clear();
+      discarding = true;
+      continue;
     }
     std::size_t eol;
     while (open && (eol = buffer.find('\n')) != std::string::npos) {
@@ -169,9 +181,43 @@ void Server::handleConnection(int fd) {
         open = false;
         continue;
       }
+      if (line.size() > options_.maxRequestBytes) {
+        // A complete line over quota (the newline arrived in the same
+        // chunk that crossed the limit): same typed error, no discard
+        // mode needed.
+        rejectedOversize_.fetch_add(1, std::memory_order_relaxed);
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        metrics_.counter("serve.rejected_oversize").add(1);
+        const WireId wireId("srv-" + std::to_string(idSeq_.fetch_add(
+                                         1, std::memory_order_relaxed) +
+                                     1));
+        if (!sendAll(fd, encodeErrorResponse(
+                             wireId, "toolarge",
+                             "frame exceeds --max-request-bytes (" +
+                                 std::to_string(options_.maxRequestBytes) +
+                                 "); the line was discarded") +
+                             "\n")) {
+          open = false;
+        }
+        continue;
+      }
       bool shutdownAfterReply = false;
-      const std::string response = handleLine(line, &shutdownAfterReply);
+      bool drainAfterReply = false;
+      bool closeAfterReply = false;
+      const std::string response = handleLine(
+          line, &shutdownAfterReply, &drainAfterReply, &closeAfterReply);
       if (!sendAll(fd, response + "\n")) open = false;
+      if (closeAfterReply) {
+        // The line was not JSON: the peer is not a protocol client.
+        // The error frame is already in the socket buffer; close so
+        // garbage streams cannot pin a connection thread.
+        open = false;
+      }
+      if (drainAfterReply) {
+        // The ack is already in the socket buffer; the connection stays
+        // open (the client may poll health/stats while we drain).
+        beginDrain();
+      }
       if (shutdownAfterReply) {
         // The ack is already in the socket buffer; only now wake wait()
         // so the caller's stop() cannot tear the connection down first.
@@ -188,7 +234,9 @@ void Server::handleConnection(int fd) {
 }
 
 std::string Server::handleLine(const std::string& line,
-                               bool* shutdownAfterReply) {
+                               bool* shutdownAfterReply,
+                               bool* drainAfterReply,
+                               bool* closeAfterReply) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   metrics_.counter("serve.requests").add(1);
   const std::int64_t startUnixMicros = obs::Logger::nowUnixMicros();
@@ -199,11 +247,13 @@ std::string Server::handleLine(const std::string& line,
   obs::RequestTelemetry telemetry;
   RequestFrame frame;
   std::string decodeError;
+  bool notJson = false;
   bool decoded;
   {
     auto decodeTimer = obs::timeStage(&telemetry, obs::RequestStage::Decode);
-    decoded = decodeRequest(line, &frame, &decodeError);
+    decoded = decodeRequest(line, &frame, &decodeError, &notJson);
   }
+  if (closeAfterReply != nullptr) *closeAfterReply = notJson;
   const WireId wireId =
       frame.hasId
           ? (frame.idIsString ? WireId(frame.idText) : WireId(frame.id))
@@ -240,11 +290,31 @@ std::string Server::handleLine(const std::string& line,
       case Op::FlightRecorder:
         response = encodeFlightRecorderResponse(wireId, flight_.json());
         break;
+      case Op::Health:
+        response = encodeHealthResponse(
+            wireId, draining_.load(std::memory_order_acquire),
+            inflight_.load(std::memory_order_acquire));
+        break;
+      case Op::Drain:
+        *drainAfterReply = true;
+        response = encodeDrainAck(
+            wireId, inflight_.load(std::memory_order_acquire));
+        break;
       case Op::Shutdown:
         *shutdownAfterReply = true;
         response = encodeShutdownAck(wireId);
         break;
       case Op::Analyze: {
+        if (draining_.load(std::memory_order_acquire)) {
+          drainRejections_.fetch_add(1, std::memory_order_relaxed);
+          errors_.fetch_add(1, std::memory_order_relaxed);
+          metrics_.counter("serve.drain_rejections").add(1);
+          outcome.errorCode = "draining";
+          response = encodeErrorResponse(
+              wireId, "draining",
+              "daemon is draining; no new analyses accepted");
+          break;
+        }
         span.arg("label", frame.request.label);
         outcome = handleAnalyze(frame, wireId, &telemetry);
         response = std::move(outcome.response);
@@ -356,7 +426,31 @@ Server::AnalyzeOutcome Server::handleAnalyze(const RequestFrame& frame,
   // unbounded work behind the storm.
   const std::int64_t inflight =
       inflight_.fetch_add(1, std::memory_order_acq_rel);
+  if (options_.maxQueuedRequests >= 0 &&
+      inflight >= maxInflight_ + options_.maxQueuedRequests) {
+    // The bounded queue behind the inflight cap is full: reject outright
+    // with a typed, retryable error instead of piling unbounded work
+    // (and memory) behind the storm.
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    waitCv_.notify_all();
+    rejectedOverload_.fetch_add(1, std::memory_order_relaxed);
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.counter("serve.rejected_overload").add(1);
+    AnalyzeOutcome rejected;
+    rejected.errorCode = "overloaded";
+    rejected.response = encodeErrorResponse(
+        wireId, "overloaded",
+        "server at capacity (" + std::to_string(inflight) +
+            " analyses in flight); retry with backoff");
+    return rejected;
+  }
   RequestFrame admitted = frame;
+  if (options_.maxRequestMemoryBytes > 0 &&
+      (admitted.request.control.maxMemoryBytes == 0 ||
+       admitted.request.control.maxMemoryBytes >
+           options_.maxRequestMemoryBytes)) {
+    admitted.request.control.maxMemoryBytes = options_.maxRequestMemoryBytes;
+  }
   const bool degradedAdmission = inflight >= maxInflight_;
   if (degradedAdmission) {
     overloadAdmissions_.fetch_add(1, std::memory_order_relaxed);
@@ -413,6 +507,7 @@ Server::AnalyzeOutcome Server::handleAnalyze(const RequestFrame& frame,
   std::unique_lock<std::mutex> lock(pending->m);
   pending->cv.wait(lock, [&] { return pending->done; });
   inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  waitCv_.notify_all();  // awaitIdle() watches this count reach zero.
   return std::move(pending->outcome);
 }
 
@@ -474,8 +569,8 @@ Server::AnalyzeOutcome Server::handleEvaluate(const RequestFrame& frame,
 }
 
 std::string Server::handleHttpGet(const std::string& requestLine) {
-  // "GET <path> HTTP/1.x" — only /metrics is served; everything else is
-  // a 404 so a misconfigured scraper fails loudly, not silently.
+  // "GET <path> HTTP/1.x" — /metrics and /healthz are served; everything
+  // else is a 404 so a misconfigured scraper fails loudly, not silently.
   const std::size_t pathStart = requestLine.find(' ') + 1;
   const std::size_t pathEnd = requestLine.find(' ', pathStart);
   const std::string path =
@@ -489,6 +584,13 @@ std::string Server::handleHttpGet(const std::string& requestLine) {
     status = "200 OK";
     contentType = "text/plain; version=0.0.4; charset=utf-8";
     body = prometheusText();
+  } else if (path == "/healthz") {
+    // Readiness for load balancers and the smoke/chaos scripts: 503 the
+    // moment a drain begins, so traffic shifts before the exit.
+    const bool draining = draining_.load(std::memory_order_acquire);
+    status = draining ? "503 Service Unavailable" : "200 OK";
+    contentType = "text/plain; charset=utf-8";
+    body = draining ? "draining\n" : "ready\n";
   } else {
     status = "404 Not Found";
     contentType = "text/plain; charset=utf-8";
@@ -509,6 +611,10 @@ obs::MetricsSnapshot Server::metricsSnapshot() const {
   snapshot.counters["serve.connections"] = server.connections;
   snapshot.counters["serve.overload_admissions"] = server.overloadAdmissions;
   snapshot.counters["serve.inflight"] = server.inflight;
+  snapshot.counters["serve.rejected_oversize"] = server.rejectedOversize;
+  snapshot.counters["serve.rejected_overload"] = server.rejectedOverload;
+  snapshot.counters["serve.drain_rejections"] = server.drainRejections;
+  snapshot.counters["serve.draining"] = server.draining ? 1 : 0;
   const ipet::SolveCacheStats cache = service_.cache().stats();
   snapshot.counters["cache.bound_hits"] = cache.boundHits;
   snapshot.counters["cache.bound_misses"] = cache.boundMisses;
@@ -530,7 +636,7 @@ obs::MetricsSnapshot Server::metricsSnapshot() const {
 
 std::string Server::prometheusText() const {
   obs::PrometheusOptions options;
-  options.gauges = {"serve.inflight", "cache.bound_entries",
+  options.gauges = {"serve.inflight", "serve.draining", "cache.bound_entries",
                     "cache.basis_entries", "cache.formula_entries"};
   return obs::prometheusText(metricsSnapshot(), options);
 }
@@ -539,12 +645,34 @@ void Server::wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   waitCv_.wait(lock, [this] {
     return shutdownRequested_.load(std::memory_order_acquire) ||
-           stopping_.load(std::memory_order_acquire);
+           stopping_.load(std::memory_order_acquire) ||
+           draining_.load(std::memory_order_acquire);
   });
 }
 
 bool Server::shutdownRequested() const {
   return shutdownRequested_.load(std::memory_order_acquire);
+}
+
+void Server::beginDrain() {
+  if (draining_.exchange(true, std::memory_order_acq_rel)) return;
+  metrics_.counter("serve.drains").add(1);
+  // Shutting the listener down makes pending and future connects fail
+  // immediately instead of hanging in the backlog; the accept loop also
+  // observes draining_ and exits.  stop() still owns the close().
+  if (listenFd_ >= 0) ::shutdown(listenFd_, SHUT_RDWR);
+  waitCv_.notify_all();
+}
+
+bool Server::draining() const {
+  return draining_.load(std::memory_order_acquire);
+}
+
+bool Server::awaitIdle(std::int64_t timeoutMs) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return waitCv_.wait_for(lock, std::chrono::milliseconds(timeoutMs), [this] {
+    return inflight_.load(std::memory_order_acquire) == 0;
+  });
 }
 
 void Server::requestStop() {
@@ -579,7 +707,12 @@ void Server::stop() {
   }
   if (!options_.snapshotPath.empty()) {
     std::string saveError;
-    (void)service_.cache().save(options_.snapshotPath, &saveError);
+    if (!service_.cache().save(options_.snapshotPath, &saveError) &&
+        options_.logger != nullptr) {
+      options_.logger->record(obs::LogLevel::Error, "snapshot-save-failed")
+          .field("path", options_.snapshotPath)
+          .field("error", saveError);
+    }
   }
   if (!options_.flightDumpPath.empty()) {
     std::ofstream out(options_.flightDumpPath, std::ios::trunc);
@@ -595,6 +728,10 @@ ServeCounters Server::counters() const {
   counters.overloadAdmissions =
       overloadAdmissions_.load(std::memory_order_relaxed);
   counters.inflight = inflight_.load(std::memory_order_relaxed);
+  counters.rejectedOversize = rejectedOversize_.load(std::memory_order_relaxed);
+  counters.rejectedOverload = rejectedOverload_.load(std::memory_order_relaxed);
+  counters.drainRejections = drainRejections_.load(std::memory_order_relaxed);
+  counters.draining = draining_.load(std::memory_order_acquire);
   return counters;
 }
 

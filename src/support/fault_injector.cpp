@@ -23,6 +23,10 @@ const char* faultSiteStr(FaultSite site) {
       return "thread-pool-task";
     case FaultSite::DeadlineClock:
       return "deadline-clock";
+    case FaultSite::SnapshotWrite:
+      return "snapshot-write";
+    case FaultSite::SnapshotFsync:
+      return "snapshot-fsync";
   }
   return "?";
 }
@@ -35,6 +39,10 @@ double FaultPlan::rate(FaultSite site) const {
       return threadTaskRate;
     case FaultSite::DeadlineClock:
       return deadlineClockRate;
+    case FaultSite::SnapshotWrite:
+      return snapshotWriteRate;
+    case FaultSite::SnapshotFsync:
+      return snapshotFsyncRate;
   }
   return 0.0;
 }

@@ -62,6 +62,7 @@ enum class ErrorCode {
   NumericOverflow,    ///< Objective exceeded 64-bit range (saturated).
   InjectedFault,      ///< A FaultInjector site fired.
   TaskLost,           ///< A per-set solve task never ran.
+  MemoryCeiling,      ///< SolveControl::maxMemoryBytes would be exceeded.
   Internal,           ///< Invariant violation or unexpected exception.
 };
 
@@ -83,6 +84,8 @@ enum class ErrorCode {
       return "injected-fault";
     case ErrorCode::TaskLost:
       return "task-lost";
+    case ErrorCode::MemoryCeiling:
+      return "memory-ceiling";
     case ErrorCode::Internal:
       return "internal";
   }

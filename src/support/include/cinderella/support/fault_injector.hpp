@@ -2,7 +2,7 @@
 // oracle prove the solve engine's degradation paths stay sound.
 //
 // A FaultInjector is installed process-wide (like the MetricsSink) and
-// consulted at three sites:
+// consulted at five sites:
 //
 //   * LpPivot        — the simplex pivot loop throws InjectedFaultError,
 //                      emulating a numeric breakdown mid-solve;
@@ -11,7 +11,13 @@
 //                      lost per-constraint-set solve;
 //   * DeadlineClock  — the analyzer's deadline check reports "expired"
 //                      spuriously, emulating clock faults and exercising
-//                      the partial-result path without real waiting.
+//                      the partial-result path without real waiting;
+//   * SnapshotWrite  — support::io's file writers stop after a prefix of
+//                      the bytes and report failure, emulating ENOSPC or
+//                      a crash mid-write (the torn file stays on disk);
+//   * SnapshotFsync  — support::io's fsync reports failure, emulating a
+//                      dying disk, so durable-write callers must treat
+//                      the data as not yet persisted.
 //
 // Decisions are a pure function of (seed, site, per-site call counter),
 // so a single-threaded run replays bit-for-bit from the seed alone.
@@ -29,8 +35,10 @@ enum class FaultSite : int {
   LpPivot = 0,
   ThreadPoolTask = 1,
   DeadlineClock = 2,
+  SnapshotWrite = 3,
+  SnapshotFsync = 4,
 };
-inline constexpr int kNumFaultSites = 3;
+inline constexpr int kNumFaultSites = 5;
 
 [[nodiscard]] const char* faultSiteStr(FaultSite site);
 
@@ -40,6 +48,8 @@ struct FaultPlan {
   double lpPivotRate = 0.0;
   double threadTaskRate = 0.0;
   double deadlineClockRate = 0.0;
+  double snapshotWriteRate = 0.0;
+  double snapshotFsyncRate = 0.0;
 
   [[nodiscard]] double rate(FaultSite site) const;
 };

@@ -1,0 +1,58 @@
+// Checked low-level I/O, shared by the serve socket loops and the
+// SolveCache's durable snapshots:
+//
+//   * sendAll / recvSome — EINTR-safe, partial-write-safe socket
+//     primitives, so every serve loop handles signal interruption and
+//     short transfers the same way instead of five hand-rolled copies;
+//   * writeFileAtomic — crash-safe whole-file replacement: write a
+//     sibling temp file, fsync it, rename() over the target, fsync the
+//     directory.  A kill -9 at any instant leaves either the complete
+//     old file or the complete new file, never a torn mixture;
+//   * appendDurable — append a record to a log file and fsync it, the
+//     journal primitive (a crash can tear only the final record, which
+//     the reader's per-record CRC detects);
+//   * crc32 — the IEEE polynomial, used to frame snapshot sections and
+//     journal records.
+//
+// The file-writing helpers consult the process-wide FaultInjector
+// (FaultSite::SnapshotWrite / SnapshotFsync) so tests and the chaos
+// harness can force short writes and failed fsyncs deterministically: an
+// injected short write really does leave a torn prefix on disk, which is
+// exactly what the recovery paths must survive.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include <sys/types.h>
+
+namespace cinderella::support::io {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of `bytes`.
+[[nodiscard]] std::uint32_t crc32(std::string_view bytes);
+
+/// Sends every byte of `bytes` on socket `fd`, retrying EINTR and short
+/// sends; MSG_NOSIGNAL so a dead peer yields an error, not SIGPIPE.
+[[nodiscard]] bool sendAll(int fd, std::string_view bytes);
+
+/// One recv() with EINTR retried.  Returns the byte count (0 = peer
+/// closed) or -1 on any other error.
+[[nodiscard]] ssize_t recvSome(int fd, char* buf, std::size_t len);
+
+/// Atomically replaces `path` with `bytes` (temp + fsync + rename +
+/// directory fsync).  Returns false with a diagnostic in `error`; on
+/// failure the previous contents of `path` are untouched and the temp
+/// file is removed.  Fault-injectable (short write, failed fsync).
+[[nodiscard]] bool writeFileAtomic(const std::string& path,
+                                   std::string_view bytes,
+                                   std::string* error);
+
+/// Appends `bytes` to `path` (creating it if absent) and fsyncs.
+/// Returns false with a diagnostic on failure; an injected short write
+/// deliberately leaves a torn prefix of `bytes` on disk, emulating a
+/// crash mid-append.
+[[nodiscard]] bool appendDurable(const std::string& path,
+                                 std::string_view bytes, std::string* error);
+
+}  // namespace cinderella::support::io

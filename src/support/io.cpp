@@ -1,0 +1,174 @@
+#include "cinderella/support/io.hpp"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "cinderella/support/fault_injector.hpp"
+
+namespace cinderella::support::io {
+
+namespace {
+
+std::array<std::uint32_t, 256> makeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+std::string errnoDetail(const char* what, const std::string& path) {
+  return std::string(what) + " '" + path + "': " + std::strerror(errno);
+}
+
+/// Writes all of `bytes` to `fd`, retrying EINTR and short writes.  An
+/// injected SnapshotWrite fault writes only a prefix and reports
+/// failure — the torn file it leaves behind is the point.
+bool writeAllFd(int fd, std::string_view bytes, const std::string& path,
+                std::string* error) {
+  if (FaultInjector* injector = faultInjector();
+      injector != nullptr && injector->shouldFault(FaultSite::SnapshotWrite)) {
+    const std::size_t torn = bytes.size() / 2;
+    std::size_t sent = 0;
+    while (sent < torn) {
+      const ssize_t n = ::write(fd, bytes.data() + sent, torn - sent);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    if (error != nullptr) {
+      *error = "injected short write to '" + path + "' (" +
+               std::to_string(sent) + "/" + std::to_string(bytes.size()) +
+               " bytes)";
+    }
+    return false;
+  }
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + sent, bytes.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) *error = errnoDetail("write", path);
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool fsyncFd(int fd, const std::string& path, std::string* error) {
+  if (FaultInjector* injector = faultInjector();
+      injector != nullptr && injector->shouldFault(FaultSite::SnapshotFsync)) {
+    if (error != nullptr) *error = "injected fsync failure on '" + path + "'";
+    return false;
+  }
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    if (error != nullptr) *error = errnoDetail("fsync", path);
+    return false;
+  }
+  return true;
+}
+
+/// Best-effort fsync of the directory containing `path`, making the
+/// rename itself durable.  Failure is not fatal: the file contents are
+/// already synced, only the directory entry might replay.
+void fsyncParentDir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." :
+                          slash == 0 ? "/" : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc < 0 && errno == EINTR);
+  ::close(fd);
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view bytes) {
+  static const std::array<std::uint32_t, 256> table = makeCrcTable();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const char ch : bytes) {
+    c = table[(c ^ static_cast<std::uint8_t>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+bool sendAll(int fd, std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+ssize_t recvSome(int fd, char* buf, std::size_t len) {
+  ssize_t n;
+  do {
+    n = ::recv(fd, buf, len, 0);
+  } while (n < 0 && errno == EINTR);
+  return n;
+}
+
+bool writeFileAtomic(const std::string& path, std::string_view bytes,
+                     std::string* error) {
+  const std::string temp = path + ".tmp";
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    if (error != nullptr) *error = errnoDetail("open", temp);
+    return false;
+  }
+  if (!writeAllFd(fd, bytes, temp, error) || !fsyncFd(fd, temp, error)) {
+    ::close(fd);
+    ::unlink(temp.c_str());
+    return false;
+  }
+  ::close(fd);
+  if (::rename(temp.c_str(), path.c_str()) < 0) {
+    if (error != nullptr) *error = errnoDetail("rename", temp);
+    ::unlink(temp.c_str());
+    return false;
+  }
+  fsyncParentDir(path);
+  return true;
+}
+
+bool appendDurable(const std::string& path, std::string_view bytes,
+                   std::string* error) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    if (error != nullptr) *error = errnoDetail("open", path);
+    return false;
+  }
+  const bool ok =
+      writeAllFd(fd, bytes, path, error) && fsyncFd(fd, path, error);
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace cinderella::support::io

@@ -48,6 +48,20 @@ struct ReplayToolOptions {
   std::string flightOut;
   /// Send {"op":"shutdown"} to the daemon after the replay.
   bool shutdown = false;
+  /// Send {"op":"drain"} to the daemon after the replay (graceful stop).
+  bool drain = false;
+  /// Retry attempts per request beyond the first (serve::RetryPolicy);
+  /// 0 = fail fast.  Transport loss reconnects; "overloaded" backs off.
+  int retries = 0;
+  /// Initial retry backoff (doubles per retry, ±20% jitter).
+  std::int64_t retryBackoffMs = 25;
+  /// Write one "label lo hi" line per input here after the replay ("-"
+  /// = stdout) — the chaos harness diffs these across restarts.
+  std::string boundsOut;
+  /// Read "label lo hi" lines (a previous --bounds-out) and exit 3
+  /// unless every replayed input reproduces its recorded bound
+  /// bit-identically.
+  std::string expectBounds;
 };
 
 bool parseReplayArgs(int argc, const char* const* argv,
@@ -55,7 +69,8 @@ bool parseReplayArgs(int argc, const char* const* argv,
 
 /// Runs the replay.  Exit codes: 0 success; 1 usage/transport error or
 /// gate failure; 2 bound mismatch between passes (a caching unsoundness
-/// — never expected).
+/// — never expected); 3 a bound diverged from --expect-bounds (a
+/// crash-recovery unsoundness — never expected).
 int runReplayTool(const ReplayToolOptions& options, std::ostream& out,
                   std::ostream& err);
 

@@ -23,8 +23,27 @@ struct ServeToolOptions {
   std::int64_t overloadDeadlineMs = 50;
   /// Solve-cache entries per store; 0 disables caching.
   std::size_t cacheEntries = 1024;
-  /// Cache snapshot file: restored on start, written on shutdown.
+  /// Cache snapshot file: restored on start, written on shutdown.  A
+  /// `<file>.journal` of admissions rides along so a kill -9 between
+  /// snapshots loses nothing.
   std::string snapshotPath;
+  /// Budget for in-flight analyses to finish once a drain begins
+  /// (SIGTERM/SIGINT or the "drain" op); a clean drain exits 5, expiry
+  /// exits 6.
+  std::int64_t drainTimeoutMs = 30'000;
+  /// Per-connection frame-size quota (bytes); longer lines answer a
+  /// typed "toolarge" error and are discarded.
+  std::size_t maxRequestBytes = 16u << 20;
+  /// Analyses allowed to wait beyond --max-inflight before arrivals are
+  /// rejected with "overloaded"; -1 = unbounded.
+  int maxQueuedRequests = -1;
+  /// Per-request solve memory ceiling (MiB); 0 = none.
+  std::size_t maxRequestMemoryMb = 0;
+  /// Chaos testing: probability of an injected snapshot write/fsync
+  /// fault per opportunity, in [0, 1]; 0 = off.
+  double faultRate = 0.0;
+  /// Seed for the deterministic fault stream.
+  std::uint64_t faultSeed = 1;
   /// Chrome trace-event JSON of every request span, written on shutdown.
   std::string traceOut;
   /// Structured NDJSON request log ("-" = stderr).
@@ -46,9 +65,13 @@ struct ServeToolOptions {
 bool parseServeArgs(int argc, const char* const* argv,
                     ServeToolOptions* options, std::ostream& err);
 
-/// Runs the daemon until a {"op":"shutdown"} frame arrives.  Announces
+/// Runs the daemon until a {"op":"shutdown"} frame arrives, or a drain
+/// (SIGTERM, SIGINT, or a {"op":"drain"} frame) completes.  Announces
 /// `cinderella-serve: listening on 127.0.0.1:<port>` on `out` once
-/// ready.  Returns the process exit code.
+/// ready.  Returns the process exit code: 0 after a shutdown frame,
+/// 1 on a startup/usage failure, 4 on an internal error, 5 after a
+/// clean drain (all in-flight work finished), 6 when the drain timeout
+/// expired with work still in flight (the snapshot is still written).
 int runServeTool(const ServeToolOptions& options, std::ostream& out,
                  std::ostream& err);
 

@@ -45,13 +45,25 @@ options:
                         write the Prometheus text exposition ("-" = stdout)
   --flight-out <file>   fetch the daemon's flight recorder afterwards and
                         write the dump envelope ("-" = stdout)
+  --retries <N>         retry each request up to N extra times on
+                        transport loss (reconnecting) or a typed
+                        "overloaded" rejection, with exponential backoff
+                        and jitter (default 0 = fail fast)
+  --retry-backoff-ms <N> initial retry backoff; doubles per retry
+                        (default 25)
+  --bounds-out <file>   write one "label lo hi" line per input afterwards
+                        ("-" = stdout); a later run can verify against it
+  --expect-bounds <file> verify every bound against a previous
+                        --bounds-out file; any divergence exits 3
   --shutdown            ask the daemon to shut down afterwards
+  --drain               ask the daemon to drain gracefully afterwards
   --help                show this message
 
 exit codes:
   0  success
   1  usage, transport, analysis or hit-rate-gate failure
   2  a repeated input came back with a different bound (cache bug)
+  3  a bound diverged from --expect-bounds (crash-recovery bug)
 )";
 
 struct ReplayInput {
@@ -166,8 +178,24 @@ bool parseReplayArgs(int argc, const char* const* argv,
       const char* v = needValue(i, "--flight-out");
       if (!v) return false;
       options->flightOut = v;
+    } else if (arg == "--retries") {
+      if (!intValue(i, "--retries", 0, 1000, &value)) return false;
+      options->retries = static_cast<int>(value);
+    } else if (arg == "--retry-backoff-ms") {
+      if (!intValue(i, "--retry-backoff-ms", 1, 60'000, &value)) return false;
+      options->retryBackoffMs = value;
+    } else if (arg == "--bounds-out") {
+      const char* v = needValue(i, "--bounds-out");
+      if (!v) return false;
+      options->boundsOut = v;
+    } else if (arg == "--expect-bounds") {
+      const char* v = needValue(i, "--expect-bounds");
+      if (!v) return false;
+      options->expectBounds = v;
     } else if (arg == "--shutdown") {
       options->shutdown = true;
+    } else if (arg == "--drain") {
+      options->drain = true;
     } else {
       err << "cinderella-replay: unknown option '" << arg << "'\n"
           << kReplayUsage;
@@ -263,11 +291,43 @@ int runReplayTool(const ReplayToolOptions& options, std::ostream& out,
     input.request.control.threads = options.jobs;
   }
 
+  // Expected bounds from a previous --bounds-out run (the chaos harness
+  // uses this to prove a restarted daemon re-serves identical answers).
+  std::map<std::string, std::pair<std::int64_t, std::int64_t>> expected;
+  if (!options.expectBounds.empty()) {
+    std::ifstream in(options.expectBounds);
+    if (!in) {
+      err << "cinderella-replay: cannot open --expect-bounds file '"
+          << options.expectBounds << "'\n";
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::istringstream fields(line);
+      std::string label;
+      std::int64_t lo = 0;
+      std::int64_t hi = 0;
+      if (!(fields >> label >> lo >> hi)) {
+        err << "cinderella-replay: malformed --expect-bounds line: " << line
+            << "\n";
+        return 1;
+      }
+      expected[label] = {lo, hi};
+    }
+  }
+
   serve::Client client;
   std::string error;
   if (!client.connect(options.port, &error)) {
     err << "cinderella-replay: " << error << "\n";
     return 1;
+  }
+  if (options.retries > 0) {
+    serve::RetryPolicy retry;
+    retry.maxAttempts = options.retries + 1;
+    retry.initialBackoffMs = options.retryBackoffMs;
+    client.setRetryPolicy(retry);
   }
 
   std::map<std::string, std::pair<std::int64_t, std::int64_t>> firstBounds;
@@ -310,6 +370,14 @@ int runReplayTool(const ReplayToolOptions& options, std::ostream& out,
             << bound.second << "]\n";
         return 2;
       }
+      const auto want = expected.find(input.label);
+      if (want != expected.end() && want->second != bound) {
+        err << "cinderella-replay: " << input.label
+            << ": bound diverged from " << options.expectBounds << ": expected ["
+            << want->second.first << ", " << want->second.second << "], got ["
+            << bound.first << ", " << bound.second << "]\n";
+        return 3;
+      }
     }
     out << "pass " << (pass + 1) << "/" << options.repeat << ": "
         << inputs.size() << " request(s), " << latency.cacheHits
@@ -319,9 +387,16 @@ int runReplayTool(const ReplayToolOptions& options, std::ostream& out,
 
   const double hitRate =
       total > 0 ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+  const serve::RetryStats& retryStats = client.retryStats();
   out << "replayed " << inputs.size() << " input(s) x " << options.repeat
       << " pass(es): " << hits << "/" << total << " bound-cache hit(s) ("
-      << static_cast<int>(hitRate * 100.0) << "%)\n";
+      << static_cast<int>(hitRate * 100.0) << "%)";
+  if (retryStats.retries > 0) {
+    out << ", " << retryStats.retries << " retr"
+        << (retryStats.retries == 1 ? "y" : "ies") << " ("
+        << retryStats.reconnects << " reconnect(s))";
+  }
+  out << "\n";
 
   if (options.latencyJson) {
     obs::JsonWriter w;
@@ -350,8 +425,23 @@ int runReplayTool(const ReplayToolOptions& options, std::ostream& out,
         .value(hits)
         .key("hitRate")
         .value(hitRate)
+        .key("retries")
+        .value(retryStats.retries)
+        .key("reconnects")
+        .value(retryStats.reconnects)
         .endObject();
     out << w.str() << "\n";
+  }
+
+  if (!options.boundsOut.empty()) {
+    std::ostringstream bounds;
+    for (const auto& [label, bound] : firstBounds) {
+      bounds << label << ' ' << bound.first << ' ' << bound.second << '\n';
+    }
+    if (!writeTextOutput(options.boundsOut, bounds.str(), out, err,
+                         "bounds")) {
+      return 1;
+    }
   }
 
   if (!options.metricsOut.empty()) {
@@ -381,6 +471,12 @@ int runReplayTool(const ReplayToolOptions& options, std::ostream& out,
     }
   }
 
+  if (options.drain) {
+    if (!client.drain(&error)) {
+      err << "cinderella-replay: drain: " << error << "\n";
+      return 1;
+    }
+  }
   if (options.shutdown) {
     if (!client.shutdown(&error)) {
       err << "cinderella-replay: shutdown: " << error << "\n";

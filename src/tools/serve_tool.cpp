@@ -3,18 +3,22 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <csignal>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <ostream>
+#include <thread>
 
 #include "cinderella/obs/log.hpp"
 #include "cinderella/obs/trace.hpp"
 #include "cinderella/serve/server.hpp"
 #include "cinderella/suite/suite.hpp"
 #include "cinderella/support/error.hpp"
+#include "cinderella/support/fault_injector.hpp"
 
 namespace cinderella::tools {
 
@@ -57,6 +61,19 @@ void uninstallCrashHandlers() {
   g_crashDumpPath.clear();
 }
 
+/// Self-pipe for SIGTERM/SIGINT: the handler only write()s one byte
+/// (async-signal-safe); a watcher thread reads the pipe and starts the
+/// graceful drain from normal thread context, where condition variables
+/// and allocation are legal.
+int g_signalPipeWrite = -1;
+
+extern "C" void drainSignalHandler(int) {
+  if (g_signalPipeWrite >= 0) {
+    const char byte = 'd';
+    (void)!::write(g_signalPipeWrite, &byte, 1);
+  }
+}
+
 constexpr const char* kServeUsage = R"(usage: cinderella-serve [options]
 
 Runs the IPET analyzer as a persistent daemon on 127.0.0.1, speaking
@@ -80,8 +97,29 @@ options:
                             queueing
   --cache-entries <N>       solve-cache capacity per store (default 1024;
                             0 disables caching)
-  --cache-snapshot <file>   restore the cache from this snapshot on start
-                            (if present) and write it back on shutdown
+  --cache-snapshot <file>   restore the cache from this snapshot (plus its
+                            <file>.journal of admissions) on start and
+                            write it back on shutdown; writes are atomic
+                            and CRC-framed, so a kill -9 at any byte
+                            offset recovers to a consistent prefix
+  --drain-timeout-ms <N>    budget for in-flight analyses to finish once a
+                            drain begins — SIGTERM, SIGINT, or an
+                            {"op":"drain"} frame (default 30000); a clean
+                            drain exits 5, expiry exits 6
+  --max-request-bytes <N>   per-connection frame quota; longer lines get a
+                            typed "toolarge" error and are discarded
+                            (default 16777216)
+  --max-queued <N>          analyses allowed to wait beyond --max-inflight
+                            before arrivals are rejected with a typed
+                            "overloaded" error (default -1 = unbounded)
+  --max-request-memory-mb <N> per-request solve memory ceiling; oversize
+                            solves degrade to sound structural bounds
+                            (default 0 = none)
+  --fault-rate <R>          chaos testing: inject snapshot write/fsync
+                            faults with probability R in [0, 1]
+                            (default 0 = off)
+  --fault-seed <N>          seed for the deterministic fault stream
+                            (default 1)
   --trace-out <file>        write a Chrome trace-event JSON timeline of
                             every request served, on shutdown
   --log-out <file>          structured NDJSON request log ("-" = stderr);
@@ -98,6 +136,11 @@ options:
 
 Stop the daemon by sending {"op":"shutdown"} on any connection, e.g.:
   printf '{"op":"shutdown"}\n' | nc 127.0.0.1 <port>
+Drain it gracefully (finish in-flight work, write the snapshot, exit 5)
+with SIGTERM, SIGINT, or:
+  printf '{"op":"drain"}\n' | nc 127.0.0.1 <port>
+Readiness: {"op":"health"} on the socket, or GET /healthz on the same
+port (200 while ready, 503 once draining).
 )";
 
 bool parseSizeArg(const char* text, long long lo, long long hi,
@@ -170,6 +213,55 @@ bool parseServeArgs(int argc, const char* const* argv,
       const char* v = needValue(i, "--cache-snapshot");
       if (!v) return false;
       options->snapshotPath = v;
+    } else if (arg == "--drain-timeout-ms") {
+      const char* v = needValue(i, "--drain-timeout-ms");
+      if (!v || !parseSizeArg(v, 0, 86'400'000, &value)) {
+        err << "cinderella-serve: --drain-timeout-ms needs an integer in "
+               "[0, 86400000]\n";
+        return false;
+      }
+      options->drainTimeoutMs = value;
+    } else if (arg == "--max-request-bytes") {
+      const char* v = needValue(i, "--max-request-bytes");
+      if (!v || !parseSizeArg(v, 1024, 1LL << 32, &value)) {
+        err << "cinderella-serve: --max-request-bytes needs an integer in "
+               "[1024, 4294967296]\n";
+        return false;
+      }
+      options->maxRequestBytes = static_cast<std::size_t>(value);
+    } else if (arg == "--max-queued") {
+      const char* v = needValue(i, "--max-queued");
+      if (!v || !parseSizeArg(v, -1, 1 << 20, &value)) {
+        err << "cinderella-serve: --max-queued needs an integer in "
+               "[-1, 1048576]\n";
+        return false;
+      }
+      options->maxQueuedRequests = static_cast<int>(value);
+    } else if (arg == "--max-request-memory-mb") {
+      const char* v = needValue(i, "--max-request-memory-mb");
+      if (!v || !parseSizeArg(v, 0, 1 << 20, &value)) {
+        err << "cinderella-serve: --max-request-memory-mb needs an integer "
+               "in [0, 1048576]\n";
+        return false;
+      }
+      options->maxRequestMemoryMb = static_cast<std::size_t>(value);
+    } else if (arg == "--fault-rate") {
+      const char* v = needValue(i, "--fault-rate");
+      char* end = nullptr;
+      const double rate = v != nullptr ? std::strtod(v, &end) : 0.0;
+      if (!v || end == v || *end != '\0' || rate < 0.0 || rate > 1.0) {
+        err << "cinderella-serve: --fault-rate needs a number in [0, 1]\n";
+        return false;
+      }
+      options->faultRate = rate;
+    } else if (arg == "--fault-seed") {
+      const char* v = needValue(i, "--fault-seed");
+      if (!v || !parseSizeArg(v, 0, (1LL << 62), &value)) {
+        err << "cinderella-serve: --fault-seed needs a non-negative "
+               "integer\n";
+        return false;
+      }
+      options->faultSeed = static_cast<std::uint64_t>(value);
     } else if (arg == "--trace-out") {
       const char* v = needValue(i, "--trace-out");
       if (!v) return false;
@@ -243,6 +335,19 @@ int runServeTool(const ServeToolOptions& options, std::ostream& out,
           sink, level.value_or(obs::LogLevel::Info));
     }
 
+    // Chaos mode: arm the deterministic fault injector so snapshot
+    // writes and fsyncs fail with the configured probability — the
+    // serve-chaos CI job proves recovery still converges under it.
+    std::unique_ptr<support::FaultInjector> faultInjector;
+    if (options.faultRate > 0.0) {
+      support::FaultPlan plan;
+      plan.seed = options.faultSeed;
+      plan.snapshotWriteRate = options.faultRate;
+      plan.snapshotFsyncRate = options.faultRate;
+      faultInjector = std::make_unique<support::FaultInjector>(plan);
+    }
+    support::ScopedFaultInjector scopedFaults(faultInjector.get());
+
     serve::ServerOptions serverOptions;
     serverOptions.port = options.port;
     serverOptions.poolThreads = options.poolThreads;
@@ -250,6 +355,12 @@ int runServeTool(const ServeToolOptions& options, std::ostream& out,
     serverOptions.overloadDeadlineMs = options.overloadDeadlineMs;
     serverOptions.cacheEntries = options.cacheEntries;
     serverOptions.snapshotPath = options.snapshotPath;
+    if (!options.snapshotPath.empty()) {
+      serverOptions.journalPath = options.snapshotPath + ".journal";
+    }
+    serverOptions.maxRequestBytes = options.maxRequestBytes;
+    serverOptions.maxQueuedRequests = options.maxQueuedRequests;
+    serverOptions.maxRequestMemoryBytes = options.maxRequestMemoryMb << 20;
     serverOptions.benchmarkResolver = suite::benchmarkResolver();
     serverOptions.tracer = tracer.get();
     serverOptions.logger = logger.get();
@@ -268,16 +379,71 @@ int runServeTool(const ServeToolOptions& options, std::ostream& out,
       return 1;
     }
     if (!server.snapshotLoadError().empty()) {
-      err << "cinderella-serve: snapshot ignored: "
+      err << "cinderella-serve: snapshot damage recovered: "
           << server.snapshotLoadError() << "\n";
+    }
+    if (!options.snapshotPath.empty()) {
+      const ipet::SnapshotRestoreReport& restore = server.restoreReport();
+      out << "cinderella-serve: cache restore: " << restore.bounds
+          << " bounds, " << restore.bases << " bases, " << restore.formulas
+          << " formulas, " << restore.journalRecords << " journaled\n";
     }
     out << "cinderella-serve: listening on 127.0.0.1:" << server.port()
         << "\n";
     out.flush();
 
+    // SIGTERM/SIGINT start a graceful drain via the self-pipe watcher.
+    int signalPipe[2] = {-1, -1};
+    if (::pipe(signalPipe) != 0) {
+      uninstallCrashHandlers();
+      err << "cinderella-serve: pipe: " << strerror(errno) << "\n";
+      return 4;
+    }
+    g_signalPipeWrite = signalPipe[1];
+    std::signal(SIGTERM, drainSignalHandler);
+    std::signal(SIGINT, drainSignalHandler);
+    std::thread signalWatcher([&server, readFd = signalPipe[0]] {
+      char byte = 0;
+      while (true) {
+        const ssize_t n = ::read(readFd, &byte, 1);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0 || byte == 'q') return;
+        server.beginDrain();
+      }
+    });
+
     server.wait();
+    int exitCode = 0;
+    bool drainTimedOut = false;
+    if (server.draining() && !server.shutdownRequested()) {
+      // Graceful drain: the listener is already closed and new analyses
+      // are being rejected; give in-flight work its budget to finish.
+      const bool idle = server.awaitIdle(options.drainTimeoutMs);
+      drainTimedOut = !idle;
+      exitCode = idle ? 5 : 6;
+    }
+
+    // Retire the watcher before stop() so a late signal cannot race the
+    // server teardown; any drain it would have started is moot now.
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+    g_signalPipeWrite = -1;
+    {
+      const char quit = 'q';
+      (void)!::write(signalPipe[1], &quit, 1);
+    }
+    signalWatcher.join();
+    ::close(signalPipe[0]);
+    ::close(signalPipe[1]);
+
     server.stop();
     uninstallCrashHandlers();
+    if (drainTimedOut) {
+      err << "cinderella-serve: drain timeout of " << options.drainTimeoutMs
+          << " ms expired with work still in flight\n";
+    } else if (exitCode == 5) {
+      out << "cinderella-serve: drained cleanly\n";
+    }
 
     const serve::ServeCounters counters = server.counters();
     const ipet::SolveCacheStats cache = server.service().cache().stats();
@@ -296,7 +462,7 @@ int runServeTool(const ServeToolOptions& options, std::ostream& out,
       }
       tracer->writeChromeTrace(traceFile);
     }
-    return 0;
+    return exitCode;
   } catch (const Error& e) {
     err << "cinderella-serve: " << e.what() << "\n";
     return 1;

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
@@ -177,26 +178,58 @@ void printParametric(std::ostream& out, const ipet::AnalysisResult& result) {
     out << ": worst = " << affineStr(piece.worst, formula.params)
         << "; best = " << affineStr(piece.best, formula.params) << "\n";
   }
-  if (formula.params.size() == 1) {
-    // Single-parameter sweep: the whole grid when it fits, otherwise a
-    // strided sample that always includes both endpoints.
-    const ipet::ParamDecl& p = formula.params[0];
+  if (!formula.params.empty()) {
+    // Sweep over the declared box: every axis is sampled with an
+    // endpoint-inclusive stride and the cartesian grid printed row by
+    // row.  The row budget is split evenly across axes, so two or three
+    // parameters still render a digestible table instead of an
+    // exponential dump.
     constexpr std::int64_t kMaxRows = 32;
-    const std::int64_t count = p.hi - p.lo + 1;
-    const std::int64_t stride =
-        count > kMaxRows ? (count + kMaxRows - 1) / kMaxRows : 1;
-    out << "sweep " << p.name << " = " << p.lo << ".." << p.hi
-        << (stride > 1 ? " (sampled)" : "") << ":\n";
-    std::vector<std::int64_t> points;
-    for (std::int64_t v = p.lo;; v += stride) {
-      points.push_back(v);
-      if (v > p.hi - stride) break;
+    const std::size_t numParams = formula.params.size();
+    const auto axisBudget = std::max<std::int64_t>(
+        2, static_cast<std::int64_t>(std::floor(std::pow(
+               static_cast<double>(kMaxRows),
+               1.0 / static_cast<double>(numParams)))));
+    std::vector<std::vector<std::int64_t>> axes;
+    bool sampled = false;
+    for (const ipet::ParamDecl& p : formula.params) {
+      const std::int64_t count = p.hi - p.lo + 1;
+      const std::int64_t stride =
+          count > axisBudget ? (count + axisBudget - 1) / axisBudget : 1;
+      if (stride > 1) sampled = true;
+      std::vector<std::int64_t> points;
+      for (std::int64_t v = p.lo;; v += stride) {
+        points.push_back(v);
+        if (v > p.hi - stride) break;
+      }
+      if (points.back() != p.hi) points.push_back(p.hi);
+      axes.push_back(std::move(points));
     }
-    if (points.back() != p.hi) points.push_back(p.hi);
-    for (const std::int64_t v : points) {
-      const ipet::Interval bound = formula.evaluate({v});
-      out << "  " << p.name << " = " << v << ": "
-          << intervalStr(bound.lo, bound.hi) << " cycles\n";
+    out << "sweep ";
+    for (std::size_t i = 0; i < numParams; ++i) {
+      if (i != 0) out << ", ";
+      out << formula.params[i].name << " = " << formula.params[i].lo << ".."
+          << formula.params[i].hi;
+    }
+    out << (sampled ? " (sampled)" : "") << ":\n";
+    std::vector<std::size_t> index(numParams, 0);
+    std::vector<std::int64_t> point(numParams, 0);
+    bool done = false;
+    while (!done) {
+      for (std::size_t i = 0; i < numParams; ++i) point[i] = axes[i][index[i]];
+      const ipet::Interval bound = formula.evaluate(point);
+      out << "  ";
+      for (std::size_t i = 0; i < numParams; ++i) {
+        if (i != 0) out << ", ";
+        out << formula.params[i].name << " = " << point[i];
+      }
+      out << ": " << intervalStr(bound.lo, bound.hi) << " cycles\n";
+      std::size_t axis = numParams;
+      while (axis-- > 0) {
+        if (++index[axis] < axes[axis].size()) break;
+        index[axis] = 0;
+        if (axis == 0) done = true;
+      }
     }
   }
   out << "parametric digest: " << result.fullDigest.hex()

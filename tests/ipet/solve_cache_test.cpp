@@ -3,6 +3,12 @@
 // the verification-gated admission policy (degraded or fault-injected
 // estimates are never cached), and disk snapshot round-trips including
 // corruption handling.
+//
+// Crash safety (the PR-9 contract): the admission journal replays
+// everything a kill -9 between snapshots would otherwise lose, save()
+// folds the journal into the snapshot atomically, and restore()
+// recovers the longest consistent prefix of a snapshot + journal pair
+// truncated at ANY byte offset — never a corrupt entry, never a crash.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -10,6 +16,7 @@
 #include <string>
 
 #include "cinderella/ipet/solve_cache.hpp"
+#include "cinderella/support/fault_injector.hpp"
 
 namespace cinderella::ipet {
 namespace {
@@ -210,6 +217,240 @@ TEST_F(SolveCacheTest, LoadReappliesOwnCapacity) {
   EXPECT_TRUE(small.lookupBound(key(4)).has_value());
   EXPECT_TRUE(small.lookupBound(key(5)).has_value());
   EXPECT_FALSE(small.lookupBound(key(1)).has_value());
+}
+
+WcetFormula someFormula() {
+  WcetFormula f;
+  f.params = {{"N", 1, 8}};
+  FormulaPiece piece;
+  piece.region.lo = {1};
+  piece.region.hi = {8};
+  piece.worst = {Rat::ofInt(120), {Rat::ofInt(45)}};
+  piece.best = {Rat::ofInt(80), {Rat::ofInt(12)}};
+  f.pieces.push_back(piece);
+  return f;
+}
+
+std::string readFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void writeFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+class SolveCacheCrashTest : public ::testing::Test {
+ protected:
+  std::string snap_ = ::testing::TempDir() + "solve_cache_crash.csnap";
+  std::string journal_ = snap_ + ".journal";
+
+  SolveCacheOptions journaled(std::size_t capacity) {
+    SolveCacheOptions options;
+    options.capacity = capacity;
+    options.journalPath = journal_;
+    return options;
+  }
+
+  void TearDown() override {
+    std::remove(snap_.c_str());
+    std::remove(journal_.c_str());
+    std::remove((snap_ + ".tmp").c_str());
+    std::remove((journal_ + ".tmp").c_str());
+  }
+};
+
+TEST_F(SolveCacheCrashTest, JournalReplaysAdmissionsAfterCrash) {
+  // Admissions happen, then the process dies before any save() — the
+  // journal alone must reconstruct every admitted entry.
+  {
+    SolveCache cache(journaled(8));
+    ASSERT_TRUE(cache.insert(key(1), key(100), cleanEstimate(10, 100),
+                             someBasis(), 11));
+    ASSERT_TRUE(cache.insert(key(2), {}, cleanEstimate(20, 200), {}, 22));
+    cache.insertFormula(key(3), {someFormula(), 33});
+    EXPECT_EQ(cache.stats().journaledInserts, 3);
+    EXPECT_EQ(cache.stats().journalFailures, 0);
+  }  // No save: simulated kill -9.
+
+  SolveCache revived(journaled(8));
+  const SnapshotRestoreReport report = revived.restore(snap_);
+  EXPECT_FALSE(report.snapshotFound);
+  EXPECT_TRUE(report.journalFound);
+  EXPECT_TRUE(report.complete) << report.detail;
+  EXPECT_EQ(report.journalRecords, 3u);
+
+  const auto hit = revived.lookupBound(key(1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->bound.lo, 10);
+  EXPECT_EQ(hit->bound.hi, 100);
+  EXPECT_EQ(hit->solveWallMicros, 11);
+  EXPECT_TRUE(revived.lookupBasis(key(100)).has_value());
+  ASSERT_TRUE(revived.lookupBound(key(2)).has_value());
+  const auto formula = revived.lookupFormula(key(3));
+  ASSERT_TRUE(formula.has_value());
+  EXPECT_EQ(formula->formula, someFormula());
+  EXPECT_EQ(formula->solveWallMicros, 33);
+}
+
+TEST_F(SolveCacheCrashTest, SaveFoldsJournalIntoSnapshotAndResetsIt) {
+  SolveCache cache(journaled(8));
+  ASSERT_TRUE(cache.insert(key(1), {}, cleanEstimate(1, 10), {}, 1));
+  std::string error;
+  ASSERT_TRUE(cache.save(snap_, &error)) << error;
+  EXPECT_TRUE(readFileBytes(journal_).empty())
+      << "save() must reset the journal";
+
+  // One more admission after the snapshot: lives only in the journal.
+  ASSERT_TRUE(cache.insert(key(2), {}, cleanEstimate(2, 20), {}, 2));
+  EXPECT_FALSE(readFileBytes(journal_).empty());
+
+  SolveCache revived(journaled(8));
+  const SnapshotRestoreReport report = revived.restore(snap_);
+  EXPECT_TRUE(report.snapshotFound);
+  EXPECT_TRUE(report.journalFound);
+  EXPECT_TRUE(report.complete) << report.detail;
+  EXPECT_EQ(report.bounds, 1u);
+  EXPECT_EQ(report.journalRecords, 1u);
+  EXPECT_TRUE(revived.lookupBound(key(1)).has_value());
+  EXPECT_TRUE(revived.lookupBound(key(2)).has_value());
+}
+
+TEST_F(SolveCacheCrashTest, TornSnapshotRecoversConsistentPrefixAtEveryByte) {
+  // Build a snapshot holding all three section kinds, plus a journal
+  // with one post-snapshot admission.
+  SolveCache cache(journaled(8));
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(cache.insert(key(i), key(100 + i),
+                             cleanEstimate(static_cast<std::int64_t>(i),
+                                           static_cast<std::int64_t>(10 * i)),
+                             someBasis(), static_cast<std::int64_t>(i)));
+  }
+  cache.insertFormula(key(50), {someFormula(), 5});
+  std::string error;
+  ASSERT_TRUE(cache.save(snap_, &error)) << error;
+  ASSERT_TRUE(cache.insert(key(9), {}, cleanEstimate(9, 90), {}, 9));
+
+  const std::string blob = readFileBytes(snap_);
+  const std::string journalBytes = readFileBytes(journal_);
+  ASSERT_GT(blob.size(), 16u);
+  ASSERT_FALSE(journalBytes.empty());
+
+  std::size_t fullyRestored = 0;
+  for (std::size_t cut = 0; cut <= blob.size(); ++cut) {
+    writeFileBytes(snap_, blob.substr(0, cut));
+    writeFileBytes(journal_, journalBytes);
+    SolveCache victim(journaled(8));
+    const SnapshotRestoreReport report = victim.restore(snap_);
+    // Whatever was restored must be bit-identical to what was inserted —
+    // a truncation may lose entries but never corrupt one.
+    for (std::uint64_t i = 1; i <= 3; ++i) {
+      const auto hit = victim.lookupBound(key(i));
+      if (hit.has_value()) {
+        EXPECT_EQ(hit->bound.lo, static_cast<std::int64_t>(i));
+        EXPECT_EQ(hit->bound.hi, static_cast<std::int64_t>(10 * i));
+      }
+    }
+    const auto formula = victim.lookupFormula(key(50));
+    if (formula.has_value()) EXPECT_EQ(formula->formula, someFormula());
+    // The intact journal replays regardless of snapshot damage.
+    EXPECT_EQ(report.journalRecords, 1u) << "cut at byte " << cut;
+    const auto replayed = victim.lookupBound(key(9));
+    ASSERT_TRUE(replayed.has_value()) << "cut at byte " << cut;
+    EXPECT_EQ(replayed->bound.hi, 90);
+    if (cut < blob.size()) {
+      EXPECT_FALSE(report.complete) << "cut at byte " << cut;
+    } else {
+      EXPECT_TRUE(report.complete) << report.detail;
+      EXPECT_EQ(report.bounds, 3u);
+      EXPECT_EQ(report.bases, 3u);
+      EXPECT_EQ(report.formulas, 1u);
+      ++fullyRestored;
+    }
+  }
+  EXPECT_EQ(fullyRestored, 1u);
+}
+
+TEST_F(SolveCacheCrashTest, TornJournalRecoversRecordPrefixAtEveryByte) {
+  {
+    SolveCache cache(journaled(8));
+    ASSERT_TRUE(cache.insert(key(1), key(101), cleanEstimate(1, 10),
+                             someBasis(), 1));
+    ASSERT_TRUE(cache.insert(key(2), {}, cleanEstimate(2, 20), {}, 2));
+    cache.insertFormula(key(3), {someFormula(), 3});
+  }
+  const std::string journalBytes = readFileBytes(journal_);
+  ASSERT_GT(journalBytes.size(), 24u);
+
+  std::size_t previousRecords = 0;
+  for (std::size_t cut = 0; cut <= journalBytes.size(); ++cut) {
+    writeFileBytes(journal_, journalBytes.substr(0, cut));
+    SolveCache victim(journaled(8));
+    const SnapshotRestoreReport report = victim.restore(snap_);
+    EXPECT_LE(report.journalRecords, 3u);
+    // Longer prefixes never recover fewer records.
+    EXPECT_GE(report.journalRecords, previousRecords) << "cut " << cut;
+    previousRecords = report.journalRecords;
+    if (const auto hit = victim.lookupBound(key(1))) {
+      EXPECT_EQ(hit->bound.hi, 10);
+    }
+    if (cut == journalBytes.size()) {
+      EXPECT_TRUE(report.complete) << report.detail;
+      EXPECT_EQ(report.journalRecords, 3u);
+      EXPECT_TRUE(victim.lookupFormula(key(3)).has_value());
+    }
+  }
+}
+
+TEST_F(SolveCacheCrashTest, BitFlipIsDetectedNotInstalled) {
+  SolveCache cache(journaled(8));
+  ASSERT_TRUE(cache.insert(key(1), {}, cleanEstimate(1, 10), {}, 1));
+  ASSERT_TRUE(cache.insert(key(2), {}, cleanEstimate(2, 20), {}, 2));
+  std::string error;
+  ASSERT_TRUE(cache.save(snap_, &error)) << error;
+
+  std::string blob = readFileBytes(snap_);
+  blob[blob.size() / 2] = static_cast<char>(blob[blob.size() / 2] ^ 0x40);
+  writeFileBytes(snap_, blob);
+
+  SolveCache victim(journaled(8));
+  const SnapshotRestoreReport report = victim.restore(snap_);
+  EXPECT_FALSE(report.complete);
+  EXPECT_FALSE(report.detail.empty());
+  // Every entry that DID come back is uncorrupted.
+  if (const auto hit = victim.lookupBound(key(1))) {
+    EXPECT_EQ(hit->bound.hi, 10);
+  }
+  if (const auto hit = victim.lookupBound(key(2))) {
+    EXPECT_EQ(hit->bound.hi, 20);
+  }
+}
+
+TEST_F(SolveCacheCrashTest, FaultedSaveLeavesPreviousSnapshotLoadable) {
+  SolveCache cache(SolveCacheOptions{8});
+  ASSERT_TRUE(cache.insert(key(1), {}, cleanEstimate(1, 10), {}, 1));
+  std::string error;
+  ASSERT_TRUE(cache.save(snap_, &error)) << error;
+
+  ASSERT_TRUE(cache.insert(key(2), {}, cleanEstimate(2, 20), {}, 2));
+  {
+    support::FaultPlan plan;
+    plan.snapshotWriteRate = 1.0;
+    support::FaultInjector injector(plan);
+    support::ScopedFaultInjector scoped(&injector);
+    error.clear();
+    EXPECT_FALSE(cache.save(snap_, &error));
+    EXPECT_FALSE(error.empty());
+  }
+
+  // The failed save never touched the destination: the old snapshot
+  // still loads strictly, with exactly its original contents.
+  SolveCache revived(SolveCacheOptions{8});
+  ASSERT_TRUE(revived.load(snap_, &error)) << error;
+  EXPECT_TRUE(revived.lookupBound(key(1)).has_value());
+  EXPECT_FALSE(revived.lookupBound(key(2)).has_value());
 }
 
 }  // namespace

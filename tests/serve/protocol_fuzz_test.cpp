@@ -1,0 +1,220 @@
+// Protocol robustness under hostile bytes: every malformed line a raw
+// socket can deliver — truncated JSON, binary garbage, non-UTF-8,
+// pathological ids, nesting past the parser's depth cap — must come
+// back as a typed error frame or a clean close, and must never kill a
+// connection thread or the daemon.  After each attack the same daemon
+// answers a well-formed ping on a fresh connection.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cinderella/serve/client.hpp"
+#include "cinderella/serve/server.hpp"
+#include "cinderella/suite/suite.hpp"
+
+namespace cinderella::serve {
+namespace {
+
+ServerOptions fuzzOptions() {
+  ServerOptions options;
+  options.poolThreads = 2;
+  options.maxRequestBytes = 1u << 20;
+  options.benchmarkResolver = suite::benchmarkResolver();
+  return options;
+}
+
+class RawConnection {
+ public:
+  explicit RawConnection(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) < 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~RawConnection() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  [[nodiscard]] bool ok() const { return fd_ >= 0; }
+
+  [[nodiscard]] bool send(const std::string& bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads one '\n'-terminated line; empty on EOF/error.  A hung server
+  /// would hang the test here — the suite timeout is the tripwire.
+  [[nodiscard]] std::string readLine() {
+    std::string line;
+    char c = 0;
+    for (;;) {
+      const ssize_t n = ::recv(fd_, &c, 1, 0);
+      if (n <= 0) return {};
+      if (c == '\n') return line;
+      line.push_back(c);
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+class ProtocolFuzz : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<Server>(fuzzOptions());
+    std::string error;
+    ASSERT_TRUE(server_->start(&error)) << error;
+  }
+  void TearDown() override { server_->stop(); }
+
+  /// The liveness oracle: a well-formed ping on a brand-new connection
+  /// must still work after whatever the test threw at the daemon.
+  void expectDaemonAlive() {
+    Client client;
+    std::string error;
+    ASSERT_TRUE(client.connect(server_->port(), &error)) << error;
+    const auto pong = client.ping(&error);
+    ASSERT_TRUE(pong.has_value()) << error;
+    EXPECT_TRUE(pong->ok);
+  }
+
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ProtocolFuzz, TruncatedJsonGetsErrorFrameThenClose) {
+  RawConnection conn(server_->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn.send("{\"op\":\"ping\",\"id\":\n"));
+  const std::string reply = conn.readLine();
+  EXPECT_NE(reply.find("\"ok\":false"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("parse"), std::string::npos) << reply;
+  // Non-JSON input closes the connection after the error frame.
+  EXPECT_TRUE(conn.readLine().empty());
+  expectDaemonAlive();
+}
+
+TEST_F(ProtocolFuzz, BinaryGarbageNeverKillsTheDaemon) {
+  // A deterministic xorshift byte stream with '\n' scattered in: many
+  // garbage "lines" on one connection, then more connections after it.
+  std::uint64_t state = 0x2545F4914F6CDD1Dull;
+  for (int round = 0; round < 8; ++round) {
+    RawConnection conn(server_->port());
+    ASSERT_TRUE(conn.ok()) << round;
+    std::string payload;
+    for (int i = 0; i < 512; ++i) {
+      state ^= state << 13;
+      state ^= state >> 7;
+      state ^= state << 17;
+      char byte = static_cast<char>(state & 0xff);
+      payload.push_back(byte == 0 ? ' ' : byte);
+      if (i % 97 == 96) payload.push_back('\n');
+    }
+    payload.push_back('\n');
+    // The server may close mid-send (first garbage line already fatal
+    // for the connection) — that is a clean close, not a failure.
+    (void)conn.send(payload);
+    (void)conn.readLine();
+  }
+  expectDaemonAlive();
+}
+
+TEST_F(ProtocolFuzz, NonUtf8BytesAreHandledAsGarbage) {
+  RawConnection conn(server_->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn.send("\xff\xfe\xc0\x80{\"op\":\"ping\"}\xf5\n"));
+  const std::string reply = conn.readLine();
+  EXPECT_NE(reply.find("\"ok\":false"), std::string::npos) << reply;
+  expectDaemonAlive();
+}
+
+TEST_F(ProtocolFuzz, UnknownOpIsTypedAndTheConnectionSurvives) {
+  RawConnection conn(server_->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn.send("{\"op\":\"frobnicate\",\"id\":1}\n"));
+  const std::string reply = conn.readLine();
+  EXPECT_NE(reply.find("\"ok\":false"), std::string::npos) << reply;
+  // Valid JSON, invalid op: a request error, so the SAME connection
+  // still serves a proper ping.
+  ASSERT_TRUE(conn.send("{\"op\":\"ping\",\"id\":2}\n"));
+  const std::string pong = conn.readLine();
+  EXPECT_NE(pong.find("\"ok\":true"), std::string::npos) << pong;
+  expectDaemonAlive();
+}
+
+TEST_F(ProtocolFuzz, OversizedIdIsEchoedOrRejectedNeverFatal) {
+  RawConnection conn(server_->port());
+  ASSERT_TRUE(conn.ok());
+  const std::string hugeId(64 * 1024, 'x');
+  ASSERT_TRUE(conn.send("{\"op\":\"ping\",\"id\":\"" + hugeId + "\"}\n"));
+  const std::string reply = conn.readLine();
+  ASSERT_FALSE(reply.empty());
+  // Either behavior is acceptable; a dead thread or empty reply is not.
+  EXPECT_TRUE(reply.find("\"ok\":true") != std::string::npos ||
+              reply.find("\"ok\":false") != std::string::npos)
+      << reply.substr(0, 200);
+  expectDaemonAlive();
+}
+
+TEST_F(ProtocolFuzz, NestingPastTheParserCapIsATypedParseError) {
+  // 256 levels — double the parser's kMaxDepth of 128.  The cap turns a
+  // potential stack exhaustion into an ordinary parse failure.
+  std::string deep = "{\"op\":\"ping\",\"x\":";
+  for (int i = 0; i < 256; ++i) deep += "[";
+  deep += "1";
+  for (int i = 0; i < 256; ++i) deep += "]";
+  deep += "}\n";
+  RawConnection conn(server_->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn.send(deep));
+  const std::string reply = conn.readLine();
+  EXPECT_NE(reply.find("\"ok\":false"), std::string::npos) << reply;
+  expectDaemonAlive();
+}
+
+TEST_F(ProtocolFuzz, OversizedFrameThenPipelinedPingBothAnswered) {
+  // The discard path must resynchronize on the newline: an over-quota
+  // line followed IN THE SAME BYTES by a valid ping yields a "toolarge"
+  // error frame and then the pong.
+  ServerOptions small = fuzzOptions();
+  small.maxRequestBytes = 256;
+  Server tight(std::move(small));
+  std::string error;
+  ASSERT_TRUE(tight.start(&error)) << error;
+  RawConnection conn(tight.port());
+  ASSERT_TRUE(conn.ok());
+  std::string bytes = "{\"op\":\"ping\",\"pad\":\"";
+  bytes += std::string(1024, 'p');
+  bytes += "\"}\n{\"op\":\"ping\",\"id\":7}\n";
+  ASSERT_TRUE(conn.send(bytes));
+  const std::string first = conn.readLine();
+  EXPECT_NE(first.find("toolarge"), std::string::npos) << first;
+  const std::string second = conn.readLine();
+  EXPECT_NE(second.find("\"ok\":true"), std::string::npos) << second;
+  EXPECT_NE(second.find("7"), std::string::npos) << second;
+  tight.stop();
+}
+
+}  // namespace
+}  // namespace cinderella::serve
