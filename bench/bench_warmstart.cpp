@@ -54,6 +54,12 @@ RunStats runOnce(const suite::Benchmark& bench, bool warm) {
   }
   ipet::SolveControl control;
   control.warmStart = warm;
+  // Presolve is pinned off so the A/B isolates the warm chain — with
+  // the reduction engine in front, both sides solve near-trivial
+  // tableaus and the comparison stops measuring warm starts.  The
+  // default (presolve-on) configuration is benchmarked by
+  // bench_presolve.
+  control.presolve = false;
   const auto start = std::chrono::steady_clock::now();
   const ipet::Estimate estimate = analyzer.estimate(control);
   RunStats out;

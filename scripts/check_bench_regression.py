@@ -3,6 +3,7 @@
 
 Usage:
     check_bench_regression.py warmstart  BENCH_warmstart.json  <fresh-output>
+    check_bench_regression.py presolve   BENCH_presolve.json   <fresh-output>
     check_bench_regression.py serve      BENCH_serve.json      <fresh-output>
     check_bench_regression.py parametric BENCH_parametric.json <fresh-output>
 
@@ -95,6 +96,42 @@ def check_warmstart(baseline, fresh_objects):
              f"baseline — update BENCH_warmstart.json deliberately")
 
 
+def check_presolve(baseline, fresh_objects):
+    fresh = {doc["name"]: doc for doc in fresh_objects
+             if doc.get("bench") == "presolve" and "name" in doc}
+    if not fresh:
+        fail("presolve: no per-benchmark JSON lines in the fresh output")
+        return
+    for base in baseline["benchmarks"]:
+        name = base["name"]
+        doc = fresh.get(name)
+        if doc is None:
+            fail(f"presolve/{name}: missing from the fresh run")
+            continue
+        check_eq(f"presolve/{name}.boundsIdentical",
+                 doc.get("boundsIdentical"), True)
+        check_eq(f"presolve/{name}.bound", doc.get("bound"), base["bound"])
+        check_eq(f"presolve/{name}.constraintSets",
+                 doc.get("constraintSets"), base["constraintSets"])
+        for side in ("on", "off"):
+            for field in ("simplexPivots", "ilpPivots", "probePivots",
+                          "seedPivots", "lpCalls", "rowsRemoved",
+                          "colsFixed", "substitutions", "rounds"):
+                check_eq(f"presolve/{name}.{side}.{field}",
+                         doc[side].get(field), base[side][field])
+            check_wall(f"presolve/{name}.{side}.wallMicros",
+                       doc[side].get("wallMicros", 0),
+                       base[side]["wallMicros"])
+        if doc["on"]["simplexPivots"] > doc["off"]["simplexPivots"]:
+            fail(f"presolve/{name}: presolve-on took more pivots "
+                 f"({doc['on']['simplexPivots']}) than presolve-off "
+                 f"({doc['off']['simplexPivots']})")
+    extra = set(fresh) - {b["name"] for b in baseline["benchmarks"]}
+    for name in sorted(extra):
+        fail(f"presolve/{name}: present in the fresh run but not the "
+             f"baseline — update BENCH_presolve.json deliberately")
+
+
 def check_serve(baseline, fresh_objects):
     docs = [doc for doc in fresh_objects if doc.get("bench") == "serve"]
     if len(docs) != 1:
@@ -145,6 +182,7 @@ def check_parametric(baseline, fresh_objects):
 
 CHECKERS = {
     "warmstart": check_warmstart,
+    "presolve": check_presolve,
     "serve": check_serve,
     "parametric": check_parametric,
 }

@@ -47,6 +47,7 @@ enum class CheckKind {
   ConstraintMoved, ///< redundant constraints changed the bound
   JobsMismatch,    ///< threaded solve differed from single-thread
   WarmColdMismatch,///< warm-started solve bound differed from cold
+  PresolveMismatch,///< presolve-on bound/verdicts differed from presolve-off
   CacheReplay,     ///< solve-cache replay missed or changed the bound
   DegradedThrow,   ///< estimate threw under fault injection
   DegradedUnsound, ///< sound-claiming degraded interval lost the clean one
@@ -72,6 +73,11 @@ struct OracleOptions {
       ipet::CacheMode::ConflictGraph};
   /// Run the explicit-enumeration exact-agreement check.
   bool compareExplicit = true;
+  /// Presolve A/B: re-run every cache-mode estimate (and the
+  /// constrained and fault-drill runs) with SolveControl::presolve off;
+  /// the reduction engine must leave the interval and every per-set
+  /// verdict bit-identical.
+  bool checkPresolve = true;
   /// Serve-cache equivalence: analyse the program twice through one
   /// ipet::AnalysisService; the second submission must be a bound-cache
   /// hit carrying a bit-identical interval (what the daemon relies on).

@@ -27,6 +27,7 @@ const char* checkKindStr(CheckKind kind) {
     case CheckKind::ConstraintMoved: return "constraint-moved";
     case CheckKind::JobsMismatch: return "jobs-mismatch";
     case CheckKind::WarmColdMismatch: return "warm-cold-mismatch";
+    case CheckKind::PresolveMismatch: return "presolve-mismatch";
     case CheckKind::CacheReplay: return "cache-replay";
     case CheckKind::DegradedThrow: return "degraded-throw";
     case CheckKind::DegradedUnsound: return "degraded-unsound";
@@ -92,6 +93,42 @@ bool sameDeterministicResult(const ipet::Estimate& a, const ipet::Estimate& b,
   return true;
 }
 
+/// Comparison surface of a presolve A/B: the reduction engine changes
+/// pivot/node counts by design, so only the interval and the per-set
+/// solve outcomes (verdict, objectives, feasibility) must agree.
+bool samePresolveResult(const ipet::Estimate& on, const ipet::Estimate& off,
+                        std::string* why) {
+  const auto fail = [&](const std::string& message) {
+    *why = message;
+    return false;
+  };
+  if (on.bound != off.bound) {
+    return fail("bound " + intervalStr(on.bound.lo, on.bound.hi) +
+                " != presolve-off " +
+                intervalStr(off.bound.lo, off.bound.hi));
+  }
+  if (on.setRecords.size() != off.setRecords.size()) {
+    return fail("set-record counts differ");
+  }
+  for (std::size_t i = 0; i < on.setRecords.size(); ++i) {
+    const ipet::SetSolveRecord& a = on.setRecords[i];
+    const ipet::SetSolveRecord& b = off.setRecords[i];
+    if (a.verdict != b.verdict) {
+      return fail("set " + std::to_string(a.setIndex) + " verdict " +
+                  std::string(ipet::setVerdictStr(a.verdict)) +
+                  " != presolve-off " + ipet::setVerdictStr(b.verdict));
+    }
+    if (a.worst.objective != b.worst.objective ||
+        a.best.objective != b.best.objective ||
+        a.worst.feasible != b.worst.feasible ||
+        a.best.feasible != b.best.feasible) {
+      return fail("set " + std::to_string(a.setIndex) +
+                  " objectives differ from presolve-off");
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 OracleReport DifferentialOracle::check(const GeneratedProgram& program,
@@ -125,6 +162,18 @@ OracleReport DifferentialOracle::check(const GeneratedProgram& program,
       aopt.cacheMode = mode;
       ipet::Analyzer analyzer(*compiled, program.root, aopt);
       estimates.push_back(analyzer.estimate());
+      // Presolve A/B at every cache mode: the reduction engine must be
+      // invisible in the interval and per-set verdicts.
+      if (options_.checkPresolve) {
+        ipet::SolveControl noPresolve;
+        noPresolve.presolve = false;
+        const ipet::Estimate off = analyzer.estimate(noPresolve);
+        std::string why;
+        if (!samePresolveResult(estimates.back(), off, &why)) {
+          add(CheckKind::PresolveMismatch,
+              std::string(ipet::cacheModeStr(mode)) + ": " + why);
+        }
+      }
     } catch (const Error& e) {
       add(CheckKind::Analysis,
           std::string(ipet::cacheModeStr(mode)) + ": " + e.what());
@@ -183,6 +232,28 @@ OracleReport DifferentialOracle::check(const GeneratedProgram& program,
         add(CheckKind::WarmColdMismatch,
             "warm " + intervalStr(single.bound.lo, single.bound.hi) +
                 " != cold " + intervalStr(cold.bound.lo, cold.bound.hi));
+      }
+    }
+
+    // Presolve A/B on the constrained analyzer, both with and without
+    // warm starts: user constraints are where reductions interact with
+    // the loop-bound and disjunction rows, and the cold pairing checks
+    // the reduced-tableau path without the warm ladder in front of it.
+    if (options_.checkPresolve) {
+      for (const bool warm : {true, false}) {
+        ipet::SolveControl noPresolve;
+        noPresolve.presolve = false;
+        noPresolve.warmStart = warm;
+        ipet::SolveControl withPresolve;
+        withPresolve.warmStart = warm;
+        const ipet::Estimate on = analyzer.estimate(withPresolve);
+        const ipet::Estimate off = analyzer.estimate(noPresolve);
+        std::string why;
+        if (!samePresolveResult(on, off, &why)) {
+          add(CheckKind::PresolveMismatch,
+              std::string("constrained ") + (warm ? "warm" : "cold") +
+                  ": " + why);
+        }
       }
     }
   } catch (const Error& e) {
@@ -300,6 +371,43 @@ OracleReport DifferentialOracle::check(const GeneratedProgram& program,
     } catch (...) {
       add(CheckKind::DegradedThrow,
           "estimate threw a non-std exception under fault injection");
+    }
+
+    // The same drill with presolve off (fresh injector so both runs see
+    // the same fault schedule): disabling the reduction engine must not
+    // change what "degrades to a sound bound" means.
+    if (options_.checkPresolve) {
+      support::FaultInjector offInjector(plan);
+      const support::ScopedFaultInjector scopedOff(&offInjector);
+      try {
+        ipet::AnalyzerOptions aopt;
+        aopt.cacheMode = options_.cacheModes[0];
+        ipet::Analyzer analyzer(*compiled, program.root, aopt);
+        for (const auto& text : program.constraints) {
+          analyzer.addConstraint(text);
+        }
+        ipet::SolveControl control;
+        control.threads = options_.faultJobs;
+        control.presolve = false;
+        const ipet::Estimate degraded = analyzer.estimate(control);
+        if (degraded.sound() &&
+            !degraded.bound.encloses(estimates[0].bound)) {
+          add(CheckKind::PresolveMismatch,
+              "presolve-off degraded " +
+                  intervalStr(degraded.bound.lo, degraded.bound.hi) +
+                  " claims soundness but loses clean " +
+                  intervalStr(estimates[0].bound.lo, estimates[0].bound.hi));
+        }
+      } catch (const std::exception& e) {
+        add(CheckKind::DegradedThrow,
+            std::string("presolve-off estimate threw under fault "
+                        "injection: ") +
+                e.what());
+      } catch (...) {
+        add(CheckKind::DegradedThrow,
+            "presolve-off estimate threw a non-std exception under fault "
+            "injection");
+      }
     }
   }
 

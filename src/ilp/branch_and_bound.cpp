@@ -214,6 +214,11 @@ IlpSolution solve(const lp::Problem& problem, const IlpOptions& options) {
     result.stats.totalPivots += relax.pivots;
     result.stats.dualPivots += relax.dualPivots;
     result.stats.installPivots += relax.installPivots;
+    result.stats.devexPivots += relax.devexPivots;
+    result.stats.presolveRowsRemoved += relax.presolve.rowsRemoved;
+    result.stats.presolveColsFixed += relax.presolve.colsFixed;
+    result.stats.presolveSubstitutions += relax.presolve.substitutions;
+    result.stats.presolveRounds += relax.presolve.propagationRounds;
     if (relax.blandRestart) ++result.stats.blandRestarts;
     if (relax.warmUsed) {
       ++result.stats.warmStarts;

@@ -52,6 +52,17 @@ struct IlpStats {
   int installPivots = 0;
   /// Warm bases that could not be used (the call fell back cold).
   int warmFailures = 0;
+  /// Devex reference-framework pivots across all LP calls (included in
+  /// totalPivots; the remainder ran under Dantzig or Bland).
+  int devexPivots = 0;
+  /// Presolve reductions summed over all LP calls: constraint rows
+  /// removed, variables fixed at an exact value, and variables
+  /// substituted out through singleton equalities.
+  int presolveRowsRemoved = 0;
+  int presolveColsFixed = 0;
+  int presolveSubstitutions = 0;
+  /// Presolve fixpoint rounds summed over all LP calls.
+  int presolveRounds = 0;
 };
 
 struct IlpSolution {

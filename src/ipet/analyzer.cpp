@@ -1228,6 +1228,7 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
 
   ilp::IlpOptions ilpOptions = options_.ilpOptions;
   if (control.maxNodes > 0) ilpOptions.maxNodes = control.maxNodes;
+  ilpOptions.lpOptions.presolve = control.presolve;
 
   auto cancelled = [&control] {
     return control.cancel != nullptr &&
@@ -1538,6 +1539,11 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
         slot->dualPivots = solution.stats.dualPivots;
         slot->warmFailures = solution.stats.warmFailures;
         slot->installPivots = solution.stats.installPivots;
+        slot->devexPivots = solution.stats.devexPivots;
+        slot->presolveRowsRemoved = solution.stats.presolveRowsRemoved;
+        slot->presolveColsFixed = solution.stats.presolveColsFixed;
+        slot->presolveSubstitutions = solution.stats.presolveSubstitutions;
+        slot->presolveRounds = solution.stats.presolveRounds;
         slot->wallMicros = microsSince(ilpStart);
         if (slot->feasible) {
           // Prefer the checked integer recomputation: the double
@@ -1840,6 +1846,11 @@ Estimate Analyzer::estimate(const SolveControl& control) const {
       result.stats.dualPivots += ilpRec->dualPivots;
       result.stats.warmFailures += ilpRec->warmFailures;
       result.stats.installPivots += ilpRec->installPivots;
+      result.stats.devexPivots += ilpRec->devexPivots;
+      result.stats.presolveRowsRemoved += ilpRec->presolveRowsRemoved;
+      result.stats.presolveColsFixed += ilpRec->presolveColsFixed;
+      result.stats.presolveSubstitutions += ilpRec->presolveSubstitutions;
+      result.stats.presolveRounds += ilpRec->presolveRounds;
       result.stats.allFirstRelaxationsIntegral &=
           ilpRec->firstRelaxationIntegral;
     }

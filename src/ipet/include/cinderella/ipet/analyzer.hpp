@@ -135,6 +135,15 @@ struct SolveControl {
   /// repair phase.  Bounds are bit-identical with this off (CLI
   /// --no-warm-start); off exists for A/B measurement and bisection.
   bool warmStart = true;
+  /// Presolve/postsolve reduction engine (default on): every LP is
+  /// shrunk by exact-integer fixpoint reductions — singleton-equality
+  /// substitution, bound propagation, fixed-variable elimination, and
+  /// redundant-row removal — before it reaches the simplex, with a
+  /// postsolve stack mapping reduced-space solutions and bases back to
+  /// the original column space.  Bounds are bit-identical with this
+  /// off (CLI --no-presolve); off exists for A/B measurement and
+  /// bisection.
+  bool presolve = true;
   /// Optional span tracer (see obs/trace.hpp).  When set, estimate()
   /// emits spans for the base-problem build, the DNF combination, every
   /// per-set LP probe and worst/best ILP solve (which are also the
@@ -222,6 +231,17 @@ struct SolveStats {
   /// estimate() when the incremental engine is on).  Like probe and
   /// fallback pivots, deliberately not part of totalPivots.
   int seedPivots = 0;
+  /// Devex reference-framework pivots across the ILP solves (included
+  /// in totalPivots; the remainder ran under Dantzig or Bland).
+  int devexPivots = 0;
+  /// Presolve reductions summed over the ILP solves' LP calls (equal to
+  /// the sums over setRecords): constraint rows removed, variables
+  /// fixed at an exact value, variables substituted out through
+  /// singleton equalities, and fixpoint propagation rounds.
+  int presolveRowsRemoved = 0;
+  int presolveColsFixed = 0;
+  int presolveSubstitutions = 0;
+  int presolveRounds = 0;
 };
 
 struct BlockCountRow {
@@ -289,6 +309,13 @@ struct IlpSolveRecord {
   int warmFailures = 0;
   /// Basis-installation eliminations in this solve (not in `pivots`).
   int installPivots = 0;
+  /// Devex pivots in this solve (included in `pivots`).
+  int devexPivots = 0;
+  /// Presolve reductions summed over this solve's LP calls.
+  int presolveRowsRemoved = 0;
+  int presolveColsFixed = 0;
+  int presolveSubstitutions = 0;
+  int presolveRounds = 0;
   /// This side finished without an exact optimum and contributed
   /// `fallbackBound` (a sound relaxation/structural bound) instead.
   bool degraded = false;

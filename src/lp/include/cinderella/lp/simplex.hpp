@@ -1,14 +1,20 @@
 // Two-phase primal simplex solver over a sparse-row tableau, with an
-// incremental warm-start path.
+// incremental warm-start path and a presolve/postsolve reduction pass.
 //
 // Sized for IPET workloads: hundreds of variables and constraints.  The
-// default pivot rule is Dantzig (most negative reduced cost), which is
-// fast in practice but can cycle on degenerate flow problems — which
-// IPET constraint systems almost always are.  When a Dantzig run hits
-// its pivot budget, the solver switches to Bland's rule in place
-// (continuing from the current basis, not from scratch) with a fresh
-// budget; only if Bland also exhausts the budget does the caller see
-// IterationLimit.
+// default pivot rule is Devex reference-framework pricing, which prices
+// columns by reduced cost scaled against an approximate steepest-edge
+// weight — on degenerate flow problems it takes far fewer pivots than
+// pure Dantzig while costing the same per-iteration scan.  When the
+// first-attempt rule (Devex or Dantzig) hits its pivot budget, the
+// solver switches to Bland's rule in place (continuing from the current
+// basis, not from scratch) with a fresh budget; only if Bland also
+// exhausts the budget does the caller see IterationLimit.
+//
+// Presolve: when SimplexOptions::presolve is set, each solve first runs
+// the lp::Reduction fixpoint pass (see presolve.hpp) and the simplex
+// only ever sees the reduced rows; solutions and bases are mapped back
+// to the original space, so callers observe identical results.
 //
 // Warm starts: solveWarm() can resume from a Basis snapshot taken from a
 // related solve (same constraint-row prefix, possibly extra appended
@@ -36,6 +42,11 @@ enum class PivotRule {
   Dantzig,
   /// Smallest-index negative reduced cost; provably terminating.
   Bland,
+  /// Devex reference-framework pricing: maximizes rc^2 / weight, where
+  /// the weights approximate steepest-edge norms and are updated from
+  /// the pivot row.  Same O(cols) scan as Dantzig, far fewer pivots on
+  /// degenerate flow systems.
+  Devex,
 };
 
 [[nodiscard]] const char* pivotRuleStr(PivotRule rule);
@@ -53,6 +64,24 @@ struct Basis {
   std::vector<int> basicCol;
 
   [[nodiscard]] bool empty() const { return basicCol.empty(); }
+};
+
+/// What the presolve reduction pass removed ahead of one solve.  All
+/// zero when presolve is disabled or found nothing to reduce.
+struct PresolveStats {
+  /// Constraint rows dropped (substituted away, forced, redundant, or
+  /// duplicates).
+  int rowsRemoved = 0;
+  /// Variables eliminated at a fixed value (lo == hi after bound
+  /// propagation, e.g. blocks pinned to 1 or forced to 0).
+  int colsFixed = 0;
+  /// Variables eliminated by singleton-equality substitution.
+  int substitutions = 0;
+  /// Fixpoint rounds the reduction pass ran before quiescing.
+  int propagationRounds = 0;
+
+  friend bool operator==(const PresolveStats&, const PresolveStats&) =
+      default;
 };
 
 struct Solution {
@@ -73,8 +102,10 @@ struct Solution {
   /// (refactorization work, bounded by the row count; not simplex
   /// iterations and excluded from `pivots`).
   int installPivots = 0;
-  /// True when the Dantzig run hit maxPivots and the solve continued
-  /// from the same basis under Bland's rule.
+  /// True when the configured rule hit maxPivots (or the
+  /// degenerate-stall guard) and the solve was re-run from scratch on a
+  /// fresh tableau under a more conservative rule (Dantzig, then
+  /// Bland).
   bool blandRestart = false;
   /// True when the solve ran from the supplied warm basis (no cold
   /// two-phase rebuild).
@@ -82,6 +113,11 @@ struct Solution {
   /// True when a warm basis was supplied but could not be used and the
   /// solve fell back to the cold path.
   bool warmFailed = false;
+  /// Pivots chosen by Devex pricing (subset of `pivots`; the rest were
+  /// Dantzig/Bland picks or dual-simplex repairs).
+  int devexPivots = 0;
+  /// What the presolve pass removed before the simplex ran.
+  PresolveStats presolve;
 };
 
 struct SimplexOptions {
@@ -92,10 +128,17 @@ struct SimplexOptions {
   /// Feasibility/optimality tolerance on reduced costs and residuals.
   double tol = 1e-7;
   /// Entering-column rule for the first attempt.
-  PivotRule pivotRule = PivotRule::Dantzig;
-  /// On IterationLimit under Dantzig, continue once under Bland's rule
-  /// (cycling is the usual culprit; Bland cannot cycle).
+  PivotRule pivotRule = PivotRule::Devex;
+  /// On IterationLimit (budget exhausted or the degenerate-stall guard
+  /// tripped), re-solve from scratch under progressively more
+  /// conservative rules — Dantzig, then Bland, which cannot cycle.
+  /// Cycling/stalling is the usual culprit and a fresh tableau carries
+  /// none of the numeric drift the stalled one accumulated.
   bool blandRetry = true;
+  /// Run the lp::Reduction presolve pass before the simplex and map the
+  /// solution/basis back afterwards.  Results are identical either way;
+  /// the reduced tableau is just smaller.
+  bool presolve = true;
 };
 
 /// Solves `problem` and returns its optimum, or the failure status.

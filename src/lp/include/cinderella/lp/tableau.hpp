@@ -38,10 +38,11 @@ class Tableau {
   /// rows beyond the snapshot), repairs primal infeasibility with a
   /// dual-simplex phase, then runs primal phase 2.  Returns nullopt when
   /// the basis cannot be used soundly — singular or missing target
-  /// columns, a state that is neither primal- nor dual-feasible, or an
-  /// artificial left basic at a nonzero level — in which case the caller
-  /// must fall back to a cold solve on a fresh tableau.  A returned
-  /// Infeasible/IterationLimit solution is a genuine result.
+  /// columns, a state that is neither primal- nor dual-feasible, an
+  /// artificial left basic at a nonzero level, or an exhausted pivot
+  /// budget — in which case the caller must fall back to a cold solve on
+  /// a fresh tableau.  A returned Infeasible solution is a genuine
+  /// result.
   [[nodiscard]] std::optional<Solution> runWarm(
       const std::vector<double>& objective, double constant,
       const Basis& from);
@@ -54,7 +55,7 @@ class Tableau {
   [[nodiscard]] int totalPivots() const { return pivots_; }
   [[nodiscard]] int dualPivots() const { return dualPivots_; }
   [[nodiscard]] int installPivots() const { return installPivots_; }
-  [[nodiscard]] bool blandRestart() const { return blandRestart_; }
+  [[nodiscard]] int devexPivots() const { return devexPivots_; }
 
   // Introspection for tests.
   [[nodiscard]] int numRows() const { return m_; }
@@ -93,14 +94,14 @@ class Tableau {
   void setObjectiveRow(CoeffFn coeff);
   [[nodiscard]] double objectiveValue() const { return objRhs_; }
 
-  /// When the pivot budget is exhausted under Dantzig with blandRetry,
-  /// switches to Bland's rule in place (keeping the current basis) with
-  /// a fresh budget and returns true; returns false when the limit is
-  /// final.
-  bool extendBudgetWithBland();
-
   [[nodiscard]] SolveStatus optimize(bool allowArtificialEntering);
   [[nodiscard]] SolveStatus dualSimplex();
+  /// Audit after a claimed-Optimal solve: true when every basic value is
+  /// nonnegative within a scale-aware tolerance.  Accumulated pivot
+  /// drift can push a row's rhs genuinely negative (an ignored
+  /// constraint); callers treat a failed audit as IterationLimit so the
+  /// solver re-solves on a fresh tableau under Bland's rule.
+  [[nodiscard]] bool primalFeasibleAtTol() const;
   bool evictArtificials();
   /// Gauss-Jordan refactorization to the target basis; false when the
   /// target is singular/unreachable at the pivot tolerance.
@@ -122,10 +123,14 @@ class Tableau {
   std::vector<unsigned char> colExists_;
   std::vector<int> basis_;
   SparseRow scratch_;
+  /// Devex reference-framework weights, one per column; reinitialized
+  /// to 1.0 at every optimize() entry (a fresh reference framework) and
+  /// whenever they grow past the reset threshold.
+  std::vector<double> devexWeights_;
   int pivots_ = 0;
   int dualPivots_ = 0;
   int installPivots_ = 0;
-  bool blandRestart_ = false;
+  int devexPivots_ = 0;
 };
 
 }  // namespace cinderella::lp

@@ -197,30 +197,50 @@ void Tableau::setObjectiveRow(CoeffFn coeff) {
   }
 }
 
-bool Tableau::extendBudgetWithBland() {
-  if (rule_ != PivotRule::Dantzig || !opt_.blandRetry || blandRestart_) {
-    return false;
-  }
-  // Dantzig exhausted its budget — on degenerate IPET systems that is
-  // usually cycling, not genuine size.  Continue from the current basis
-  // under Bland's rule, which cannot cycle, with a fresh budget; only
-  // its failure is reported upward.
-  blandRestart_ = true;
-  rule_ = PivotRule::Bland;
-  pivotBudget_ += opt_.maxPivots;
-  return true;
-}
-
 SolveStatus Tableau::optimize(bool allowArtificialEntering) {
+  // Fresh Devex reference framework per optimize() call: every weight
+  // starts at 1 (so the first pick is plain Dantzig) and grows with the
+  // pivot-row update below, steering later picks away from columns that
+  // produced long steps through degenerate vertices.
+  if (rule_ == PivotRule::Devex) {
+    devexWeights_.assign(static_cast<std::size_t>(numCols_), 1.0);
+  }
+  // Anti-stalling guard: IPET tableaus are massively degenerate (every
+  // flow row is an equality threaded through x0 = 1), and Devex/Dantzig
+  // can orbit a degenerate vertex for the whole pivot budget making
+  // zero- or epsilon-length steps while numeric drift accumulates.
+  // Track the objective: a run of pivots with no measurable improvement
+  // longer than any plausible honest degenerate stretch reports
+  // IterationLimit immediately instead of burning the budget first, and
+  // the solver re-solves on a fresh tableau under the next rule of its
+  // retry ladder.  The limit scales with m so big tableaus get
+  // proportionally more slack; every wasted stall pivot is paid at full
+  // tableau-update cost, so the limit errs low.
+  const int stallLimit = std::max(500, m_);
+  int pivotsSinceProgress = 0;
+  double lastObjective = objectiveValue();
   while (true) {
-    if (pivots_ >= pivotBudget_ && !extendBudgetWithBland()) {
-      return SolveStatus::IterationLimit;
-    }
-    // Entering column per the configured rule.  Dantzig: most negative
-    // reduced cost (smallest index on ties, for determinism).  Bland:
-    // smallest-index column with negative reduced cost.
+    if (pivots_ >= pivotBudget_) return SolveStatus::IterationLimit;
+    // Entering column per the configured rule.  Devex: largest
+    // rc^2/weight (smallest index on ties).  Dantzig: most negative
+    // reduced cost (smallest index on ties).  Bland: smallest-index
+    // column with negative reduced cost.
     int enter = -1;
-    if (rule_ == PivotRule::Dantzig) {
+    if (rule_ == PivotRule::Devex) {
+      double bestScore = 0.0;
+      for (int j = 0; j < numCols_; ++j) {
+        if (!colExists_[static_cast<std::size_t>(j)]) continue;
+        if (!allowArtificialEntering && isArtificialColumn(j)) continue;
+        const double rc = obj_[static_cast<std::size_t>(j)];
+        if (rc >= -opt_.tol) continue;
+        const double score =
+            rc * rc / devexWeights_[static_cast<std::size_t>(j)];
+        if (score > bestScore) {
+          bestScore = score;
+          enter = j;
+        }
+      }
+    } else if (rule_ == PivotRule::Dantzig) {
       double best = -opt_.tol;
       for (int j = 0; j < numCols_; ++j) {
         if (!colExists_[static_cast<std::size_t>(j)]) continue;
@@ -243,36 +263,95 @@ SolveStatus Tableau::optimize(bool allowArtificialEntering) {
     }
     if (enter < 0) return SolveStatus::Optimal;
 
-    // Ratio test; Bland tie-break on the leaving basic variable index.
-    int leave = -1;
+    // Ratio test, two passes.  A single pass that accepts any ratio
+    // within +/-tol of the running best lets the accepted ratio creep
+    // one tolerance upward per acceptance; pivoting on a row whose
+    // ratio exceeds the true minimum drives the minimum row's rhs
+    // negative by a_ij times the excess, which on million-scale IPET
+    // tableaus compounds into real infeasibility (a bounding cut
+    // silently ignored).  Pass 1 finds the exact minimum ratio; pass 2
+    // picks the smallest basic index (Bland anti-cycling tie-break)
+    // among rows within one tolerance of it.
     double bestRatio = std::numeric_limits<double>::infinity();
     for (int i = 0; i < m_; ++i) {
       const double aij = rowCoeff(rows_[static_cast<std::size_t>(i)], enter);
       if (aij <= opt_.pivotTol) continue;
       const double ratio = rhs_[static_cast<std::size_t>(i)] / aij;
-      if (ratio < bestRatio - opt_.tol ||
-          (ratio < bestRatio + opt_.tol &&
-           (leave < 0 || basis_[static_cast<std::size_t>(i)] <
-                             basis_[static_cast<std::size_t>(leave)]))) {
-        bestRatio = ratio;
+      if (ratio < bestRatio) bestRatio = ratio;
+    }
+    if (bestRatio == std::numeric_limits<double>::infinity()) {
+      return SolveStatus::Unbounded;
+    }
+    int leave = -1;
+    for (int i = 0; i < m_; ++i) {
+      const double aij = rowCoeff(rows_[static_cast<std::size_t>(i)], enter);
+      if (aij <= opt_.pivotTol) continue;
+      const double ratio = rhs_[static_cast<std::size_t>(i)] / aij;
+      if (ratio <= bestRatio + opt_.tol &&
+          (leave < 0 || basis_[static_cast<std::size_t>(i)] <
+                            basis_[static_cast<std::size_t>(leave)])) {
         leave = i;
       }
     }
-    if (leave < 0) return SolveStatus::Unbounded;
+    if (pivotsSinceProgress >= stallLimit && rule_ != PivotRule::Bland) {
+      // Stalled.  Do NOT continue from this basis — epsilon-step pivots
+      // through near-singular elements have been eroding it numerically
+      // the whole time — report IterationLimit so the solver rebuilds a
+      // fresh tableau under the next rule of its retry ladder.
+      return SolveStatus::IterationLimit;
+    }
+    const double gammaQ =
+        rule_ == PivotRule::Devex
+            ? devexWeights_[static_cast<std::size_t>(enter)]
+            : 0.0;
     pivot(leave, enter);
     ++pivots_;
+    if (rule_ != PivotRule::Bland) {
+      const double objectiveNow = objectiveValue();
+      if (objectiveNow > lastObjective + opt_.tol) {
+        lastObjective = objectiveNow;
+        pivotsSinceProgress = 0;
+      } else {
+        ++pivotsSinceProgress;
+      }
+    }
+    if (rule_ == PivotRule::Devex) {
+      ++devexPivots_;
+      // Reference-framework update from the pivot row.  pivot() scaled
+      // the row so the entry at `enter` is exactly 1, making every
+      // other entry the ratio alpha_rj / alpha_rq the update needs:
+      //   gamma_j = max(gamma_j, ratio^2 * gamma_q)
+      // (the old basic column appears in the row with value
+      // 1/alpha_rq, so the classic leaving-variable update
+      // gamma_p = max(1, gamma_q / alpha_rq^2) falls out of the same
+      // loop).  Weights that outgrow the threshold restart the
+      // framework — the approximation has drifted too far to steer.
+      constexpr double kDevexReset = 1e9;
+      double maxWeight = 1.0;
+      for (const Entry& e :
+           rows_[static_cast<std::size_t>(leave)]) {
+        if (e.col == enter) continue;
+        const double candidate = e.val * e.val * gammaQ;
+        double& w = devexWeights_[static_cast<std::size_t>(e.col)];
+        if (candidate > w) w = candidate;
+        if (w > maxWeight) maxWeight = w;
+      }
+      if (maxWeight > kDevexReset) {
+        devexWeights_.assign(static_cast<std::size_t>(numCols_), 1.0);
+      }
+    }
   }
 }
 
 SolveStatus Tableau::dualSimplex() {
   while (true) {
-    if (pivots_ >= pivotBudget_ && !extendBudgetWithBland()) {
-      return SolveStatus::IterationLimit;
-    }
-    // Leaving row: most negative rhs under Dantzig (ties: smallest row);
-    // smallest-index violated row under Bland.
+    if (pivots_ >= pivotBudget_) return SolveStatus::IterationLimit;
+    // Leaving row: most negative rhs under Devex/Dantzig (ties:
+    // smallest row); smallest-index violated row under Bland.  (Devex
+    // pricing is a primal entering-column rule; the dual repair keeps
+    // the most-violated-row heuristic.)
     int leave = -1;
-    if (rule_ == PivotRule::Dantzig) {
+    if (rule_ != PivotRule::Bland) {
       double mostNegative = -opt_.tol;
       for (int i = 0; i < m_; ++i) {
         if (rhs_[static_cast<std::size_t>(i)] < mostNegative) {
@@ -355,7 +434,6 @@ Solution Tableau::run(const std::vector<double>& objective, double constant) {
       solution.status = st;
       solution.pivots = pivots_;
       solution.installPivots = installPivots_;
-      solution.blandRestart = blandRestart_;
       return solution;
     }
     CIN_REQUIRE(st != SolveStatus::Unbounded);  // phase-1 obj is <= 0
@@ -363,7 +441,6 @@ Solution Tableau::run(const std::vector<double>& objective, double constant) {
       solution.status = SolveStatus::Infeasible;
       solution.pivots = pivots_;
       solution.installPivots = installPivots_;
-      solution.blandRestart = blandRestart_;
       return solution;
     }
     if (!evictArtificials()) {
@@ -382,12 +459,31 @@ Solution Tableau::run(const std::vector<double>& objective, double constant) {
   solution.status = st;
   solution.pivots = pivots_;
   solution.installPivots = installPivots_;
-  solution.blandRestart = blandRestart_;
   if (st != SolveStatus::Optimal) return solution;
+  if (!primalFeasibleAtTol()) {
+    // The "optimum" sits outside the feasible region: pivot drift ate a
+    // constraint.  Report IterationLimit so the solver re-solves on a
+    // fresh tableau under Bland's rule instead of returning an unsound
+    // point.
+    solution.status = SolveStatus::IterationLimit;
+    return solution;
+  }
 
   fillSolutionValues(&solution);
   solution.objective = objectiveValue() + constant;
   return solution;
+}
+
+bool Tableau::primalFeasibleAtTol() const {
+  double scale = 1.0;
+  for (int i = 0; i < m_; ++i) {
+    scale = std::max(scale, std::abs(rhs_[static_cast<std::size_t>(i)]));
+  }
+  const double limit = -1e-6 * scale;
+  for (int i = 0; i < m_; ++i) {
+    if (rhs_[static_cast<std::size_t>(i)] < limit) return false;
+  }
+  return true;
 }
 
 bool Tableau::installBasis(const Basis& from) {
@@ -500,7 +596,6 @@ std::optional<Solution> Tableau::runWarm(const std::vector<double>& objective,
     solution.pivots = pivots_;
     solution.installPivots = installPivots_;
     solution.dualPivots = dualPivots_;
-    solution.blandRestart = blandRestart_;
     solution.warmUsed = true;
     return solution;
   };
@@ -558,8 +653,15 @@ std::optional<Solution> Tableau::runWarm(const std::vector<double>& objective,
       // Genuine: cold phase 1 reaches the same verdict.
       return genuine(SolveStatus::Infeasible);
     }
-    evictArtificials();
   }
+
+  // A warm basis may leave artificials basic at level zero in
+  // non-redundant rows (e.g. a postsolved basis hosting a removed Equal
+  // row).  Phase 2's unboundedness certificate is only valid when every
+  // artificial-basic row is redundant in the real columns, so pivot
+  // them out exactly as the cold path does after phase 1; whatever
+  // cannot be evicted is a genuinely redundant zero row.
+  evictArtificials();
 
   if (!realObjectivePriced) {
     setObjectiveRow([&](int col) {
@@ -575,9 +677,11 @@ std::optional<Solution> Tableau::runWarm(const std::vector<double>& objective,
   solution.pivots = pivots_;
   solution.installPivots = installPivots_;
   solution.dualPivots = dualPivots_;
-  solution.blandRestart = blandRestart_;
   solution.warmUsed = true;
   if (st != SolveStatus::Optimal) return solution;
+  // Same audit as the cold path: a warm "optimum" outside the feasible
+  // region falls back to a cold re-solve.
+  if (!primalFeasibleAtTol()) return std::nullopt;
 
   // An artificial still basic at a nonzero level means the point
   // violates that row's original constraint: the warm result would be

@@ -30,8 +30,10 @@ struct ReportOptions {
 /// echoed by cinderella-serve responses, which embed this exact report
 /// object).  Bump on any incompatible change to the document layout;
 /// see DESIGN.md ("Report schema") for the field-by-field contract.
-/// Version 1 was the unversioned pre-serve layout; 2 added the stamp.
-inline constexpr int kReportSchemaVersion = 2;
+/// Version 1 was the unversioned pre-serve layout; 2 added the stamp;
+/// 3 added the presolve/Devex counters (stats.devexPivots,
+/// stats.presolve*, and the per-ILP-record equivalents).
+inline constexpr int kReportSchemaVersion = 3;
 
 // Composable pieces (used by the bench JSON emitters as well as the full
 // report): each writes one JSON value at the writer's current position.

@@ -1,7 +1,9 @@
 #include "cinderella/obs/report.hpp"
 
+#include <algorithm>
 #include <ostream>
 #include <sstream>
+#include <vector>
 
 #include "cinderella/obs/json.hpp"
 #include "cinderella/obs/metrics.hpp"
@@ -64,6 +66,16 @@ void statsToJson(JsonWriter* w, const ipet::SolveStats& stats) {
       .value(stats.installPivots)
       .key("seedPivots")
       .value(stats.seedPivots)
+      .key("devexPivots")
+      .value(stats.devexPivots)
+      .key("presolveRowsRemoved")
+      .value(stats.presolveRowsRemoved)
+      .key("presolveColsFixed")
+      .value(stats.presolveColsFixed)
+      .key("presolveSubstitutions")
+      .value(stats.presolveSubstitutions)
+      .key("presolveRounds")
+      .value(stats.presolveRounds)
       .endObject();
 }
 
@@ -103,6 +115,21 @@ void ilpRecordToJson(JsonWriter* w, const ipet::IlpSolveRecord& record,
   }
   if (record.installPivots != 0) {
     w->key("installPivots").value(record.installPivots);
+  }
+  if (record.devexPivots != 0) {
+    w->key("devexPivots").value(record.devexPivots);
+  }
+  if (record.presolveRowsRemoved != 0) {
+    w->key("presolveRowsRemoved").value(record.presolveRowsRemoved);
+  }
+  if (record.presolveColsFixed != 0) {
+    w->key("presolveColsFixed").value(record.presolveColsFixed);
+  }
+  if (record.presolveSubstitutions != 0) {
+    w->key("presolveSubstitutions").value(record.presolveSubstitutions);
+  }
+  if (record.presolveRounds != 0) {
+    w->key("presolveRounds").value(record.presolveRounds);
   }
   if (options.includeTimings) w->key("wallMicros").value(record.wallMicros);
   w->endObject();
@@ -194,10 +221,12 @@ std::string formatSolveTable(const ipet::Estimate& estimate) {
   std::ostringstream out;
   out << "per-set solve records (" << estimate.stats.constraintSets
       << " sets, " << estimate.stats.prunedNullSets << " pruned):\n";
-  out << padLeft("set", 4) << padLeft("cons", 6) << padLeft("probe", 7)
-      << padLeft("verdict", 11) << padLeft("worst", 14) << padLeft("best", 14)
-      << padLeft("LPs", 5) << padLeft("nodes", 7) << padLeft("pivots", 8)
-      << padLeft("us", 9) << "\n";
+  // Column widths are computed from the actual cell contents so wide
+  // values — degradation markers ("~1,234,567") or large presolve
+  // tallies — stretch their column instead of shearing the row.
+  std::vector<std::vector<std::string>> grid;
+  grid.push_back({"set", "cons", "probe", "verdict", "worst", "best", "LPs",
+                  "nodes", "pivots", "psrows", "pscols", "us"});
   for (const ipet::SetSolveRecord& rec : estimate.setRecords) {
     const auto objective = [](const ipet::IlpSolveRecord& r) {
       if (r.degraded) return "~" + withThousands(r.fallbackBound);
@@ -211,19 +240,36 @@ std::string formatSolveTable(const ipet::Estimate& estimate) {
     if (rec.sharedWith >= 0 && !rec.pruned) {
       probe = (rec.dominated ? "<" : "=") + std::to_string(rec.sharedWith);
     }
-    out << padLeft(std::to_string(rec.setIndex), 4)
-        << padLeft(std::to_string(rec.userConstraints), 6)
-        << padLeft(probe, 7)
-        << padLeft(rec.pruned || rec.sharedWith >= 0
-                       ? "-"
-                       : ipet::setVerdictStr(rec.verdict),
-                   11)
-        << padLeft(objective(rec.worst), 14)
-        << padLeft(objective(rec.best), 14)
-        << padLeft(std::to_string(rec.worst.lpCalls + rec.best.lpCalls), 5)
-        << padLeft(std::to_string(rec.worst.nodes + rec.best.nodes), 7)
-        << padLeft(std::to_string(rec.worst.pivots + rec.best.pivots), 8)
-        << padLeft(std::to_string(rec.wallMicros), 9) << "\n";
+    const int psRows =
+        rec.worst.presolveRowsRemoved + rec.best.presolveRowsRemoved;
+    const int psCols = rec.worst.presolveColsFixed +
+                       rec.worst.presolveSubstitutions +
+                       rec.best.presolveColsFixed +
+                       rec.best.presolveSubstitutions;
+    grid.push_back(
+        {std::to_string(rec.setIndex), std::to_string(rec.userConstraints),
+         probe,
+         rec.pruned || rec.sharedWith >= 0
+             ? "-"
+             : ipet::setVerdictStr(rec.verdict),
+         objective(rec.worst), objective(rec.best),
+         std::to_string(rec.worst.lpCalls + rec.best.lpCalls),
+         std::to_string(rec.worst.nodes + rec.best.nodes),
+         std::to_string(rec.worst.pivots + rec.best.pivots),
+         std::to_string(psRows), std::to_string(psCols),
+         std::to_string(rec.wallMicros)});
+  }
+  std::vector<std::size_t> width(grid.front().size(), 0);
+  for (const auto& row : grid) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  for (const auto& row : grid) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << padLeft(row[c], width[c] + (c == 0 ? 1 : 2));
+    }
+    out << "\n";
   }
   return out.str();
 }

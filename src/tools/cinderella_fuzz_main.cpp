@@ -47,6 +47,8 @@ options:
   --fault-seed <S>      seed of the fault injector (default 1)
   --no-shrink           keep failing programs unminimized
   --no-explicit         skip the explicit-enumeration oracle
+  --no-presolve         skip the presolve A/B oracle (presolve-on vs
+                        presolve-off bounds and verdicts per cache mode)
   --no-parametric       skip the parametric-equivalence oracle (formula
                         evaluation vs direct solves at sampled points)
   --help                show this message
@@ -138,6 +140,8 @@ int parseArgs(int argc, char** argv, CliOptions* options) {
       options->fuzz.shrinkFailures = false;
     } else if (arg == "--no-explicit") {
       options->fuzz.oracle.compareExplicit = false;
+    } else if (arg == "--no-presolve") {
+      options->fuzz.oracle.checkPresolve = false;
     } else if (arg == "--no-parametric") {
       options->fuzz.oracle.checkParametric = false;
     } else {

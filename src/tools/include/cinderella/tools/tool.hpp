@@ -54,6 +54,10 @@ struct ToolOptions {
   /// set deduplication, no domination pruning, no basis reuse) for A/B
   /// performance comparison.  The bound is identical either way.
   bool warmStart = true;
+  /// --no-presolve clears this: solve every LP without the
+  /// presolve/postsolve reduction engine for A/B performance
+  /// comparison.  The bound is identical either way.
+  bool presolve = true;
   /// Print the per-block cost/count report after estimation.
   bool report = false;
   /// Print the worst-case ILPs in CPLEX LP format.

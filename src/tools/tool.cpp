@@ -70,6 +70,12 @@ options:
                            pruning, and basis warm starts); the bound is
                            identical either way — this is for A/B
                            performance measurement
+  --no-presolve            disable the presolve/postsolve reduction
+                           engine (singleton substitution, bound
+                           propagation, fixed-variable elimination,
+                           redundant-row removal); the bound is
+                           identical either way — this is for A/B
+                           performance measurement
   --cache-entries <N>      enable the content-addressed solve cache with
                            N entries per store (default 0 = off; pair
                            with --cache-snapshot to reuse it across runs)
@@ -336,6 +342,8 @@ bool parseArgs(int argc, const char* const* argv, ToolOptions* options,
       }
     } else if (arg == "--no-warm-start") {
       options->warmStart = false;
+    } else if (arg == "--no-presolve") {
+      options->presolve = false;
     } else if (arg == "--cache-entries") {
       const char* v = needValue(i, "--cache-entries");
       if (!v) return false;
@@ -497,6 +505,7 @@ int runTool(const ToolOptions& options, std::ostream& out,
     request.cachePolicy = options.cachePolicy;
     request.control.threads = options.jobs;
     request.control.warmStart = options.warmStart;
+    request.control.presolve = options.presolve;
     request.control.tracer = tracer.get();
     if (options.deadlineMs > 0) {
       request.control.deadline = std::chrono::milliseconds(options.deadlineMs);
@@ -562,6 +571,16 @@ int runTool(const ToolOptions& options, std::ostream& out,
             << "; first relaxation integral: "
             << (estimate.stats.allFirstRelaxationsIntegral ? "yes" : "no")
             << "\n";
+        if (estimate.stats.presolveRowsRemoved +
+                estimate.stats.presolveColsFixed +
+                estimate.stats.presolveSubstitutions !=
+            0) {
+          out << "presolve: " << estimate.stats.presolveRowsRemoved
+              << " row(s) removed, " << estimate.stats.presolveColsFixed
+              << " var(s) fixed, " << estimate.stats.presolveSubstitutions
+              << " substituted across " << estimate.stats.lpCalls
+              << " LP call(s)\n";
+        }
       }
     }
 

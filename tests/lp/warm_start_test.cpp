@@ -80,9 +80,14 @@ TEST(WarmStart, BasisRoundTripResolvesWithoutSimplexWork) {
 }
 
 TEST(WarmStart, DualSimplexRepairsAppendedCut) {
+  // White-box drill of the dual-simplex repair itself: presolve is off
+  // so the tiny textbook problem actually reaches the tableau (presolve
+  // would solve it outright and the repair path would never run).
+  SimplexOptions options;
+  options.presolve = false;
   Problem p = textbook();
   Basis parent;
-  const Solution root = solveWarm(p, {}, nullptr, &parent);
+  const Solution root = solveWarm(p, options, nullptr, &parent);
   ASSERT_EQ(root.status, SolveStatus::Optimal);
 
   // Cut off the optimum (2, 6): force y <= 4.  The parent basis is
@@ -92,9 +97,9 @@ TEST(WarmStart, DualSimplexRepairsAppendedCut) {
   cut.add(1, 1.0);
   p.addConstraint(std::move(cut), Relation::LessEq, 4.0);
 
-  const Solution cold = solve(p);
+  const Solution cold = solve(p, options);
   ASSERT_EQ(cold.status, SolveStatus::Optimal);
-  const Solution warm = solveWarm(p, {}, &parent, nullptr);
+  const Solution warm = solveWarm(p, options, &parent, nullptr);
   ASSERT_EQ(warm.status, SolveStatus::Optimal);
   EXPECT_TRUE(warm.warmUsed);
   EXPECT_FALSE(warm.warmFailed);
@@ -105,9 +110,15 @@ TEST(WarmStart, DualSimplexRepairsAppendedCut) {
 }
 
 TEST(WarmStart, DualSimplexCertifiesInfeasibleAppendedCut) {
+  // Presolve off: the x >= 10 vs x <= 4 contradiction is exactly what
+  // presolve's bound propagation proves on its own, and this test wants
+  // the dual simplex — not presolve — to certify it.
+  SimplexOptions options;
+  options.presolve = false;
   Problem p = textbook();
   Basis parent;
-  ASSERT_EQ(solveWarm(p, {}, nullptr, &parent).status, SolveStatus::Optimal);
+  ASSERT_EQ(solveWarm(p, options, nullptr, &parent).status,
+            SolveStatus::Optimal);
 
   // x >= 10 contradicts x <= 4: the repaired system is empty.  The
   // dual simplex's unbounded ray is a genuine infeasibility
@@ -116,8 +127,8 @@ TEST(WarmStart, DualSimplexCertifiesInfeasibleAppendedCut) {
   cut.add(0, 1.0);
   p.addConstraint(std::move(cut), Relation::GreaterEq, 10.0);
 
-  EXPECT_EQ(solve(p).status, SolveStatus::Infeasible);
-  const Solution warm = solveWarm(p, {}, &parent, nullptr);
+  EXPECT_EQ(solve(p, options).status, SolveStatus::Infeasible);
+  const Solution warm = solveWarm(p, options, &parent, nullptr);
   EXPECT_EQ(warm.status, SolveStatus::Infeasible);
   EXPECT_TRUE(warm.warmUsed);
   EXPECT_FALSE(warm.warmFailed);
